@@ -1,0 +1,38 @@
+"""Ablation — the 3 ms trace filter (Section III / V design choice).
+
+LiLa filters sub-3 ms episodes to keep traces loadable; LagAlyzer only
+sees their count. This ablation raises the effective filter further
+(3 -> 10 -> 30 ms) and measures what the analyses would lose: traced
+episodes drop fast, but perceptible episodes — the ones that matter —
+are untouched, which is exactly why the paper's filter is safe.
+"""
+
+import pytest
+
+from repro.core.patterns import PatternTable
+
+
+@pytest.mark.parametrize("filter_ms", [3.0, 10.0, 30.0])
+def test_filter_sensitivity(study_result, app_analyzer, filter_ms):
+    analyzer = app_analyzer("SwingSet")
+    episodes = [
+        ep for ep in analyzer.episodes if ep.duration_ms >= filter_ms
+    ]
+    perceptible = [ep for ep in episodes if ep.is_perceptible()]
+    table = PatternTable.from_episodes(episodes)
+    print()
+    print(f"filter {filter_ms:5.1f} ms: {len(episodes):5d} episodes, "
+          f"{table.distinct_count:4d} patterns, "
+          f"{len(perceptible):3d} perceptible")
+    # Perceptible episodes are immune to any filter below 100 ms.
+    assert len(perceptible) == len(analyzer.perceptible_episodes())
+
+
+def test_filter_cost(benchmark, app_analyzer):
+    episodes = app_analyzer("SwingSet").episodes
+
+    def refilter():
+        return [ep for ep in episodes if ep.duration_ms >= 10.0]
+
+    kept = benchmark(refilter)
+    assert len(kept) <= len(episodes)

@@ -1,0 +1,71 @@
+"""Ablation — binary vs text trace encoding.
+
+The paper's limitations section: LiLa "produces relatively large traces
+for real-world sessions", constraining session length. The binary
+encoding interns strings, frames, and stacks; this bench quantifies the
+size reduction and the parse/serialize speed difference against the
+text format on the same simulated session.
+"""
+
+import os
+
+import pytest
+
+from repro.lila.binary import read_trace_binary, write_trace_binary
+from repro.lila.reader import read_trace
+from repro.lila.writer import write_trace
+
+
+@pytest.fixture(scope="module")
+def trace(app_traces):
+    return app_traces("SwingSet")[0]
+
+
+@pytest.fixture(scope="module")
+def trace_files(trace, tmp_path_factory):
+    outdir = tmp_path_factory.mktemp("formats")
+    text_path = write_trace(trace, outdir / "session.lila")
+    binary_path = write_trace_binary(trace, outdir / "session.lilb")
+    return text_path, binary_path
+
+
+def test_size_reduction(trace_files):
+    text_path, binary_path = trace_files
+    text_size = text_path.stat().st_size
+    binary_size = binary_path.stat().st_size
+    ratio = text_size / binary_size
+    print()
+    print(f"text:   {text_size / 1024:8.1f} KiB")
+    print(f"binary: {binary_size / 1024:8.1f} KiB  ({ratio:.1f}x smaller)")
+    assert ratio > 2.0
+
+
+def test_text_write_cost(benchmark, trace, tmp_path):
+    path = tmp_path / "t.lila"
+    benchmark(write_trace, trace, path)
+
+
+def test_binary_write_cost(benchmark, trace, tmp_path):
+    path = tmp_path / "t.lilb"
+    benchmark(write_trace_binary, trace, path)
+
+
+def test_text_read_cost(benchmark, trace_files):
+    text_path, _ = trace_files
+    loaded = benchmark(read_trace, text_path)
+    assert loaded.episodes
+
+
+def test_binary_read_cost(benchmark, trace_files):
+    _, binary_path = trace_files
+    loaded = benchmark(read_trace_binary, binary_path)
+    assert loaded.episodes
+
+
+def test_formats_agree(trace_files):
+    text_path, binary_path = trace_files
+    a = read_trace(text_path)
+    b = read_trace_binary(binary_path)
+    assert len(a.episodes) == len(b.episodes)
+    assert len(a.samples) == len(b.samples)
+    assert a.short_episode_count == b.short_episode_count

@@ -1,0 +1,75 @@
+"""Figure 1 — the episode sketch.
+
+Reconstructs the paper's Figure 1 scenario (a long paint episode whose
+native DrawLine call contains a garbage collection, with the JVMTI
+sampling blackout around it) and benchmarks the sketch renderer.
+"""
+
+import pytest
+
+from repro.core.intervals import IntervalKind
+from repro.vm.behavior import Behavior, NativeCall, Paint, native_stack
+from repro.vm.components import Component
+from repro.vm.heap import HeapConfig
+from repro.vm.jvm import PostedEvent, SessionConfig, SimulatedJVM
+from repro.viz.sketch import render_episode_sketch
+
+
+@pytest.fixture(scope="module")
+def figure1_episode():
+    toolbar = Component(
+        "javax.swing.JToolBar", self_paint_ms=430.0,
+        alloc_bytes_per_paint=100 * 1024 * 1024,
+    )
+    chain = toolbar
+    for cls in ("javax.swing.JLayeredPane", "javax.swing.JRootPane",
+                "javax.swing.JFrame"):
+        chain = Component(cls, [chain], self_paint_ms=50.0)
+    config = SessionConfig(
+        application="Fig1", session_id="s0", seed=7, duration_s=5.0,
+        heap=HeapConfig(
+            young_capacity_bytes=32 * 1024 * 1024,
+            old_capacity_bytes=40 * 1024 * 1024,
+            promotion_fraction=1.0,
+            major_pause_ms=466.0,
+            pause_jitter=0.0,
+        ),
+    )
+    jvm = SimulatedJVM(config)
+    behavior = Behavior([
+        Paint(chain, sigma=0.0),
+        NativeCall(
+            "sun.java2d.loops.DrawLine.DrawLine", 377.0,
+            native_stack("sun.java2d.loops.DrawLine", "DrawLine"),
+            sigma=0.0, alloc_bytes_per_ms=220 * 1024,
+        ),
+    ])
+    trace = jvm.run([PostedEvent(1_000_000_000, behavior)])
+    return max(trace.episodes, key=lambda ep: ep.duration_ns)
+
+
+def test_figure1_scenario_shape(figure1_episode):
+    ep = figure1_episode
+    print()
+    print(f"episode lag: {ep.duration_ms:.0f} ms (paper: 1705 ms)")
+    # The cascade JFrame -> ... -> toolbar exists.
+    symbols = [n.symbol for n in ep.root.preorder()]
+    assert "javax.swing.JFrame.paint" in symbols
+    assert "javax.swing.JToolBar.paint" in symbols
+    # A GC nests somewhere inside the episode...
+    gcs = ep.intervals_of_kind(IntervalKind.GC)
+    assert gcs
+    # ...and the sampling blackout is visible: no samples during GC.
+    for gc in gcs:
+        assert not any(
+            gc.start_ns <= s.timestamp_ns < gc.end_ns for s in ep.samples
+        )
+    # The episode is clearly perceptible, like the paper's 1705 ms one.
+    assert ep.duration_ms > 1000.0
+
+
+def test_fig1_sketch_render_cost(benchmark, figure1_episode):
+    doc = benchmark(render_episode_sketch, figure1_episode)
+    text = doc.to_string()
+    assert "JToolBar" in text
+    assert text.startswith("<svg")

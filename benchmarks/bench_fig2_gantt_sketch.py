@@ -1,0 +1,35 @@
+"""Figure 2 — GanttProject's deeply nested paint cascade.
+
+Finds a deep-paint episode in a simulated GanttProject session and
+benchmarks sketching it; asserts the deep nesting the paper shows.
+"""
+
+import pytest
+
+from repro.core.intervals import IntervalKind
+from repro.viz.sketch import render_episode_sketch
+
+
+@pytest.fixture(scope="module")
+def gantt_episode(app_analyzer):
+    analyzer = app_analyzer("GanttProject")
+    # The paper sketches a paint-rich episode: pick the deepest.
+    return max(analyzer.episodes, key=lambda ep: ep.tree_depth())
+
+
+def test_gantt_deep_nesting(gantt_episode):
+    depth = gantt_episode.tree_depth()
+    paints = gantt_episode.intervals_of_kind(IntervalKind.PAINT)
+    print()
+    print(
+        f"deepest GanttProject episode: depth {depth}, "
+        f"{len(paints)} paint intervals, "
+        f"{gantt_episode.duration_ms:.0f} ms"
+    )
+    assert depth >= 8, "GanttProject episodes must nest deeply (paper: 12)"
+    assert len(paints) >= 6
+
+
+def test_fig2_sketch_render_cost(benchmark, gantt_episode):
+    doc = benchmark(render_episode_sketch, gantt_episode)
+    assert "paint" in doc.to_string()

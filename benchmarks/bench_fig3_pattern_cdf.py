@@ -1,0 +1,43 @@
+"""Figure 3 — cumulative distribution of episodes into patterns.
+
+Regenerates the per-application CDF curves and checks the Pareto rule
+the paper highlights (roughly 80% of episodes in 20% of patterns);
+benchmarks pattern mining plus the CDF computation.
+"""
+
+import statistics
+
+from repro.core.patterns import PatternTable
+from repro.study.figures import figure3_data
+
+
+def test_fig3_pareto_rule(study_result):
+    curves = figure3_data(study_result)
+    at20 = {name: curve[20] for name, curve in curves.items()}
+    print()
+    print("episodes covered by the top 20% of patterns (paper: ~80%):")
+    for name, value in at20.items():
+        print(f"  {name:<14s} {value:5.1f}%")
+    mean_at20 = statistics.mean(at20.values())
+    print(f"  {'MEAN':<14s} {mean_at20:5.1f}%")
+    assert mean_at20 > 60.0
+    # Every application is strongly super-diagonal.
+    assert all(value > 40.0 for value in at20.values())
+
+
+def test_fig3_curves_monotone(study_result):
+    for name, curve in figure3_data(study_result).items():
+        assert len(curve) == 101
+        assert all(b >= a for a, b in zip(curve, curve[1:])), name
+        assert curve[-1] > 99.0, name
+
+
+def test_fig3_mining_and_cdf_cost(benchmark, app_analyzer):
+    episodes = app_analyzer("ArgoUML").episodes
+
+    def mine_and_cdf():
+        table = PatternTable.from_episodes(episodes)
+        return table.cumulative_episode_distribution()
+
+    cdf = benchmark(mine_and_cdf)
+    assert cdf[-1] > 99.0

@@ -1,0 +1,48 @@
+"""Figure 4 — always / sometimes / once / never patterns.
+
+Regenerates the occurrence-class distribution per application and
+benchmarks the classification pass.
+"""
+
+import statistics
+
+from repro.core import occurrence as occurrence_mod
+from repro.study.figures import figure4_data
+
+
+def test_fig4_rows(study_result):
+    data = figure4_data(study_result)
+    print()
+    print(f"{'app':<14s} {'always':>7s} {'sometimes':>10s} "
+          f"{'once':>6s} {'never':>7s}")
+    for name, row in data.items():
+        print(f"{name:<14s} {row['always']:6.0f}% {row['sometimes']:9.0f}% "
+              f"{row['once']:5.0f}% {row['never']:6.0f}%")
+    # Shape claims (paper Section IV-B):
+    # GanttProject has the largest always-slow share...
+    assert data["GanttProject"]["always"] == max(
+        row["always"] for row in data.values()
+    )
+    # ...FreeMind is overwhelmingly never-slow.
+    assert data["FreeMind"]["never"] > 80.0
+
+
+def test_fig4_consistency_aggregate(study_result):
+    consistent = statistics.mean(
+        app.occurrence.consistent_fraction for app in study_result.ordered()
+    )
+    ever = statistics.mean(
+        app.occurrence.ever_perceptible_fraction
+        for app in study_result.ordered()
+    )
+    print()
+    print(f"consistently fast-or-slow: {100 * consistent:.0f}% (paper 96%)")
+    print(f"ever perceptible: {100 * ever:.0f}% (paper 22%)")
+    assert consistent > 0.85
+    assert ever < 0.45
+
+
+def test_fig4_classification_cost(benchmark, app_analyzer):
+    table = app_analyzer("ArgoUML").pattern_table()
+    summary = benchmark(occurrence_mod.summarize, table)
+    assert summary.total == table.distinct_count

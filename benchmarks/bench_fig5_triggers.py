@@ -1,0 +1,47 @@
+"""Figure 5 — triggers of (perceptible) episodes.
+
+Regenerates both graphs (all episodes / perceptible only) and checks
+the paper's callouts: JMol output-dominated, ArgoUML input-dominated,
+FindBugs with the largest async share, Arabeske with a large
+unspecified share. Benchmarks the trigger classification pass.
+"""
+
+import pytest
+
+from repro.core import triggers as triggers_mod
+from repro.study.figures import figure5_data
+
+
+def _print_rows(data, heading):
+    print()
+    print(heading)
+    print(f"{'app':<14s} {'input':>6s} {'output':>7s} {'async':>6s} "
+          f"{'unspec':>7s}")
+    for name, row in data.items():
+        print(f"{name:<14s} {row['input']:5.0f}% {row['output']:6.0f}% "
+              f"{row['asynchronous']:5.0f}% {row['unspecified']:6.0f}%")
+
+
+def test_fig5_perceptible_rows(study_result):
+    data = figure5_data(study_result, perceptible_only=True)
+    _print_rows(data, "triggers of perceptible episodes "
+                      "(paper mean: 40/47/7)")
+    assert data["JMol"]["output"] > 90.0
+    assert data["ArgoUML"]["input"] > 60.0
+    assert data["FindBugs"]["asynchronous"] == max(
+        row["asynchronous"] for row in data.values()
+    )
+    assert data["Arabeske"]["unspecified"] > 40.0
+
+
+def test_fig5_all_rows(study_result):
+    data = figure5_data(study_result, perceptible_only=False)
+    _print_rows(data, "triggers of all episodes")
+    for name, row in data.items():
+        assert sum(row.values()) == pytest.approx(100.0), name
+
+
+def test_fig5_classification_cost(benchmark, app_analyzer):
+    episodes = app_analyzer("ArgoUML").episodes
+    summary = benchmark(triggers_mod.summarize, episodes)
+    assert summary.total == len(episodes)

@@ -1,0 +1,49 @@
+"""Figure 6 — location of episode time (app / library / GC / native).
+
+Regenerates both graphs and checks the paper's callouts: Arabeske's
+explicit GCs dominating its perceptible lag, JHotDraw almost entirely
+in application code, Euclide library-heavy, JFreeChart the most
+native-heavy. Benchmarks the location analysis (sample partitioning
+plus interval time accounting).
+"""
+
+from repro.core import location as location_mod
+from repro.study.figures import figure6_data
+
+
+def _print_rows(data, heading):
+    print()
+    print(heading)
+    print(f"{'app':<14s} {'app':>5s} {'lib':>5s} {'gc':>5s} {'native':>7s}")
+    for name, row in data.items():
+        print(f"{name:<14s} {row['Application']:4.0f}% "
+              f"{row['RT Library']:4.0f}% {row['GC']:4.0f}% "
+              f"{row['Native']:6.0f}%")
+
+
+def test_fig6_perceptible_rows(study_result):
+    data = figure6_data(study_result, perceptible_only=True)
+    _print_rows(data, "location of perceptible lag "
+                      "(paper mean: 48 app / 52 lib / 11 gc / 5 native)")
+    assert data["Arabeske"]["GC"] == max(row["GC"] for row in data.values())
+    assert data["Arabeske"]["GC"] > 30.0
+    assert data["JHotDraw"]["Application"] > 85.0
+    assert data["Euclide"]["RT Library"] > 60.0
+    assert data["JFreeChart"]["Native"] == max(
+        row["Native"] for row in data.values()
+    )
+
+
+def test_fig6_all_rows(study_result):
+    data = figure6_data(study_result, perceptible_only=False)
+    _print_rows(data, "location over all episodes")
+    # ArgoUML's GC is prevalent across the whole execution (paper: 16%).
+    assert data["ArgoUML"]["GC"] > 5.0
+    for name, row in data.items():
+        assert 0.0 <= row["GC"] + row["Native"] <= 100.0, name
+
+
+def test_fig6_analysis_cost(benchmark, app_analyzer):
+    episodes = app_analyzer("ArgoUML").episodes
+    summary = benchmark(location_mod.summarize, episodes)
+    assert summary.episode_ns > 0

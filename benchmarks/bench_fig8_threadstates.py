@@ -1,0 +1,48 @@
+"""Figure 8 — synchronization and sleep during (perceptible) episodes.
+
+Regenerates both graphs and checks the paper's callouts: jEdit's
+modal-dialog waits, FreeMind's monitor contention, Euclide's toolkit
+sleeps — and the headline that aggregate (all-episode) statistics hide
+what the perceptible episodes reveal. Benchmarks the state-tally pass.
+"""
+
+from repro.core import threadstates as threadstates_mod
+from repro.study.figures import figure8_data
+
+
+def _print_rows(data, heading):
+    print()
+    print(heading)
+    print(f"{'app':<14s} {'blocked':>8s} {'waiting':>8s} {'sleeping':>9s}")
+    for name, row in data.items():
+        print(f"{name:<14s} {row['blocked']:7.0f}% {row['waiting']:7.0f}% "
+              f"{row['sleeping']:8.0f}%")
+
+
+def test_fig8_perceptible_rows(study_result):
+    data = figure8_data(study_result, perceptible_only=True)
+    _print_rows(data, "GUI-thread states in perceptible episodes")
+    assert data["JEdit"]["waiting"] > 15.0
+    assert data["FreeMind"]["blocked"] > 6.0
+    assert data["Euclide"]["sleeping"] > 25.0
+    # Euclide is the sleep outlier.
+    assert data["Euclide"]["sleeping"] == max(
+        row["sleeping"] for row in data.values()
+    )
+
+
+def test_fig8_aggregate_hides_causes(study_result):
+    all_eps = figure8_data(study_result, perceptible_only=False)
+    perceptible = figure8_data(study_result, perceptible_only=True)
+    # The paper: over all episodes almost no blocked/wait/sleep time is
+    # visible, while perceptible episodes show substantial shares.
+    for name in ("Euclide", "JEdit", "FreeMind"):
+        non_runnable_all = 100.0 - all_eps[name]["runnable"]
+        non_runnable_perc = 100.0 - perceptible[name]["runnable"]
+        assert non_runnable_perc > 1.5 * non_runnable_all, name
+
+
+def test_fig8_analysis_cost(benchmark, app_analyzer):
+    episodes = app_analyzer("Euclide").episodes
+    summary = benchmark(threadstates_mod.summarize, episodes)
+    assert summary.total > 0

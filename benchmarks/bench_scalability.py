@@ -1,0 +1,61 @@
+"""Scalability — analysis cost versus trace size.
+
+The paper reports that fully automated analysis of about 7.5 hours of
+sessions (roughly 250k episodes) took 15 minutes. This bench measures
+how our core scales: trace loading (parse + validate), pattern mining,
+and the full analysis battery, at increasing session lengths.
+"""
+
+import pytest
+
+from repro.core.api import LagAlyzer
+from repro.apps.sessions import simulate_session
+from repro.lila.reader import read_trace_lines
+from repro.lila.writer import trace_to_lines
+
+
+@pytest.fixture(scope="module")
+def sized_traces():
+    cache = {}
+
+    def get(scale):
+        if scale not in cache:
+            cache[scale] = simulate_session(
+                "SwingSet", seed=1, scale=scale
+            )
+        return cache[scale]
+
+    return get
+
+
+@pytest.mark.parametrize("scale", [0.05, 0.1, 0.2])
+def test_full_analysis_cost(benchmark, sized_traces, scale):
+    trace = sized_traces(scale)
+
+    def analyze():
+        analyzer = LagAlyzer.from_traces([trace])
+        analyzer.pattern_table()
+        analyzer.occurrence_summary()
+        analyzer.trigger_summary(perceptible_only=True)
+        analyzer.location_summary(perceptible_only=True)
+        analyzer.concurrency_summary(perceptible_only=True)
+        analyzer.threadstate_summary(perceptible_only=True)
+        return analyzer.mean_session_stats()
+
+    stats = benchmark(analyze)
+    print()
+    print(f"scale {scale}: {stats.traced:.0f} episodes analyzed")
+    assert stats.traced > 0
+
+
+def test_trace_parse_cost(benchmark, sized_traces):
+    lines = trace_to_lines(sized_traces(0.1))
+
+    trace = benchmark(read_trace_lines, lines)
+    assert trace.episodes
+
+
+def test_trace_serialize_cost(benchmark, sized_traces):
+    trace = sized_traces(0.1)
+    lines = benchmark(trace_to_lines, trace)
+    assert lines[0].startswith("#%lila")

@@ -1,0 +1,60 @@
+"""Ablation — streaming vs in-memory analysis.
+
+Quantifies what the streaming reader costs and saves: the Table III row
+computed by `stream_session_stats` (O(1) memory) versus loading the
+whole trace and running `session_stats` (what the paper's tool does).
+"""
+
+import pytest
+
+from repro.core.statistics import session_stats
+from repro.lila.reader import read_trace
+from repro.lila.streaming import iter_episodes, stream_session_stats
+from repro.lila.writer import write_trace
+
+
+@pytest.fixture(scope="module")
+def trace_path(app_traces, tmp_path_factory):
+    trace = app_traces("SwingSet")[0]
+    outdir = tmp_path_factory.mktemp("streaming")
+    return write_trace(trace, outdir / "session.lila"), trace
+
+
+def test_streaming_stats_cost(benchmark, trace_path):
+    path, _ = trace_path
+    stats = benchmark(stream_session_stats, path)
+    assert stats.traced > 0
+
+
+def test_in_memory_stats_cost(benchmark, trace_path):
+    path, _ = trace_path
+
+    def load_and_compute():
+        return session_stats(read_trace(path))
+
+    stats = benchmark(load_and_compute)
+    assert stats.traced > 0
+
+
+def test_results_identical(trace_path):
+    path, trace = trace_path
+    streamed = stream_session_stats(path)
+    in_memory = session_stats(trace)
+    print()
+    print(f"streamed:  traced={streamed.traced:.0f} "
+          f"perceptible={streamed.perceptible:.0f}")
+    print(f"in-memory: traced={in_memory.traced:.0f} "
+          f"perceptible={in_memory.perceptible:.0f}")
+    assert streamed.traced == in_memory.traced
+    assert streamed.perceptible == in_memory.perceptible
+    assert streamed.distinct_patterns == in_memory.distinct_patterns
+
+
+def test_episode_iteration_cost(benchmark, trace_path):
+    path, _ = trace_path
+
+    def scan():
+        return sum(1 for _ in iter_episodes(path))
+
+    count = benchmark(scan)
+    assert count > 0

@@ -1,0 +1,26 @@
+"""Table I — the interval-type vocabulary.
+
+Regenerates the paper's Table I and benchmarks the hot path it feeds:
+interval-kind lookup during trace parsing.
+"""
+
+from repro.core.intervals import IntervalKind
+from repro.study.tables import format_table1
+
+
+def test_table1_rows(benchmark):
+    text = benchmark(format_table1)
+    print()
+    print(text)
+    for name in ("Dispatch", "Listener", "Paint", "Native", "Async", "GC"):
+        assert name in text
+
+
+def test_kind_lookup_throughput(benchmark):
+    names = [kind.value for kind in IntervalKind] * 1000
+
+    def parse_all():
+        return [IntervalKind.from_name(name) for name in names]
+
+    kinds = benchmark(parse_all)
+    assert len(kinds) == 6000

@@ -1,0 +1,24 @@
+"""Table II — the 14-application suite.
+
+Regenerates Table II from the application catalog and benchmarks the
+per-application behaviour-model expansion (template catalog build).
+"""
+
+from repro.apps.catalog import APPLICATION_NAMES, get_spec
+from repro.apps.sessions import build_catalog
+from repro.study.tables import format_table2
+
+
+def test_table2_rows(benchmark):
+    text = benchmark(format_table2)
+    print()
+    print(text)
+    assert "NetBeans" in text and "45367" in text
+    assert len(text.splitlines()) == 2 + len(APPLICATION_NAMES)
+
+
+def test_catalog_expansion_cost(benchmark):
+    """Cost of expanding one rich spec into its template catalog."""
+    spec = get_spec("ArgoUML")
+    catalog = benchmark(build_catalog, spec, 20100401)
+    assert len(catalog.common) == spec.n_common_templates

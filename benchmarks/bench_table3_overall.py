@@ -1,0 +1,53 @@
+"""Table III — overall statistics of the characterization study.
+
+Regenerates the paper's Table III (one row per application plus the
+mean row) from the simulated study and benchmarks the per-session
+statistics computation that produces a row.
+"""
+
+import pytest
+
+from repro.core.statistics import session_stats
+from repro.study import paper_data
+from repro.study.tables import format_table3
+from repro.study.runner import StudyConfig
+
+
+def test_table3_regeneration(study_result):
+    rows = [app.mean_stats for app in study_result.ordered()]
+    text = format_table3(rows, study_result.mean_stats)
+    print()
+    print(f"(scale={study_result.config.scale}, counts scale accordingly; "
+          f"paper values at scale 1.0)")
+    print(text)
+    assert len(rows) == 14
+
+    # Shape claims that must survive any scale:
+    by_name = {app.name: app.mean_stats for app in study_result.ordered()}
+    # GanttProject has the richest interval trees...
+    assert by_name["GanttProject"].mean_descendants == max(
+        s.mean_descendants for s in rows
+    )
+    assert by_name["GanttProject"].mean_depth == max(
+        s.mean_depth for s in rows
+    )
+    # ...JMol and GanttProject the worst perceptible rates...
+    worst_two = sorted(rows, key=lambda s: s.long_per_min)[-2:]
+    assert {s.application for s in worst_two} <= {
+        "JMol", "GanttProject", "JFreeChart",
+    }
+    # ...and Laoe by far the most sub-filter episodes.
+    assert by_name["Laoe"].below_filter == max(s.below_filter for s in rows)
+
+
+def test_table3_row_cost(benchmark, app_traces):
+    """Cost of computing one Table III row from a loaded trace."""
+    trace = app_traces("ArgoUML")[0]
+    stats = benchmark(session_stats, trace)
+    assert stats.traced > 0
+
+
+def test_table3_in_eps_range(study_result):
+    """In-episode fractions stay in the paper's observed 8-47%% band."""
+    for app in study_result.ordered():
+        assert 3.0 <= app.mean_stats.in_episode_pct <= 60.0, app.name

@@ -1,0 +1,52 @@
+#!/usr/bin/env python
+"""The full characterization study (Section IV of the paper).
+
+Simulates interactive sessions for all 14 applications, runs every
+analysis, prints Table III, and writes Figures 3-8 as SVG plus an
+EXPERIMENTS.md comparing measured values against the paper's.
+
+Run:  python examples/characterization_study.py [outdir]
+
+By default this runs a quarter-scale study (about a minute); pass
+``--full`` for the paper's full 4x8-minute sessions per application.
+"""
+
+import sys
+from pathlib import Path
+
+from repro.study.report import render_figures, write_experiments_md
+from repro.study.runner import StudyConfig, run_study
+from repro.study.tables import format_table3
+
+
+def main() -> None:
+    args = [a for a in sys.argv[1:]]
+    full = "--full" in args
+    args = [a for a in args if a != "--full"]
+    outdir = Path(args[0]) if args else Path("study-output")
+
+    config = StudyConfig(
+        sessions=4 if full else 1,
+        scale=1.0 if full else 0.25,
+    )
+    print(
+        f"running {'full' if full else 'quarter-scale'} study "
+        f"({config.sessions} session(s)/app)..."
+    )
+    result = run_study(config, progress=True)
+
+    print()
+    print(
+        format_table3(
+            [app.mean_stats for app in result.ordered()], result.mean_stats
+        )
+    )
+
+    figures = render_figures(result, outdir)
+    report = write_experiments_md(result, outdir / "EXPERIMENTS.md")
+    print()
+    print(f"wrote {len(figures)} figure SVGs and {report}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,105 @@
+#!/usr/bin/env python
+"""Recreating the paper's Figure 1: an episode sketch.
+
+The paper's example episode takes 1705 ms: a JFrame.paint cascades down
+to a JToolBar, inside which a long native DrawLine call contains a
+466 ms garbage collection — and the sample dots vanish around the
+collection because JVMTI sampling stops at the safepoint (the blackout
+the paper dissects).
+
+This example drives the simulator's low-level API directly to produce
+exactly that scenario, then renders the sketch to SVG.
+
+Run:  python examples/episode_sketch.py [output.svg]
+"""
+
+import sys
+
+from repro.core.intervals import IntervalKind
+from repro.vm.behavior import Behavior, NativeCall, Paint, native_stack
+from repro.vm.components import Component
+from repro.vm.heap import HeapConfig
+from repro.vm.jvm import PostedEvent, SessionConfig, SimulatedJVM
+from repro.viz.sketch import render_episode_sketch
+
+GUI_THREAD = "AWT-EventQueue-0"
+
+
+def figure1_window() -> Component:
+    """The component chain of Figure 1: JFrame -> ... -> JToolBar."""
+    toolbar = Component(
+        "javax.swing.JToolBar", self_paint_ms=430.0,
+        alloc_bytes_per_paint=100 * 1024 * 1024,  # heavy allocation -> GC
+    )
+    panel = Component("javax.swing.JPanel", [toolbar], self_paint_ms=60.0)
+    layered = Component(
+        "javax.swing.JLayeredPane", [panel], self_paint_ms=60.0
+    )
+    root_pane = Component("javax.swing.JRootPane", [layered], self_paint_ms=40.0)
+    return Component("javax.swing.JFrame", [root_pane], self_paint_ms=30.0)
+
+
+def main() -> None:
+    output = sys.argv[1] if len(sys.argv) > 1 else "episode_sketch.svg"
+
+    # A heap sized so the toolbar's allocations trigger one major GC
+    # right in the middle of the native call.
+    config = SessionConfig(
+        application="Figure1Demo",
+        session_id="demo",
+        seed=7,
+        duration_s=5.0,
+        heap=HeapConfig(
+            young_capacity_bytes=32 * 1024 * 1024,
+            old_capacity_bytes=40 * 1024 * 1024,
+            promotion_fraction=1.0,   # promote everything -> major GC soon
+            major_pause_ms=466.0,
+            pause_jitter=0.0,
+        ),
+    )
+    jvm = SimulatedJVM(config)
+
+    behavior = Behavior(
+        [
+            Paint(figure1_window(), sigma=0.0),
+            NativeCall(
+                "sun.java2d.loops.DrawLine.DrawLine",
+                377.0,
+                native_stack("sun.java2d.loops.DrawLine", "DrawLine"),
+                sigma=0.0,
+                alloc_bytes_per_ms=220 * 1024,
+            ),
+        ]
+    )
+    trace = jvm.run([PostedEvent(1_000_000_000, behavior)])
+
+    episode = max(trace.episodes, key=lambda ep: ep.duration_ns)
+    print(f"episode lag: {episode.duration_ms:.0f} ms")
+    print("interval tree:")
+    for node in episode.root.preorder():
+        depth = 0
+        parent = node.parent
+        while parent is not None:
+            depth += 1
+            parent = parent.parent
+        print(f"  {'  ' * depth}{node.kind.value:<9s} "
+              f"{node.symbol:<45s} {node.duration_ms:7.0f} ms")
+
+    gc_nodes = episode.intervals_of_kind(IntervalKind.GC)
+    in_gc = [
+        s for s in episode.samples
+        if any(gc.start_ns <= s.timestamp_ns < gc.end_ns for gc in gc_nodes)
+    ]
+    print(
+        f"samples during episode: {len(episode.samples)}; "
+        f"during the GC: {len(in_gc)} (the blackout)"
+    )
+
+    path = render_episode_sketch(
+        episode, title="Figure 1 scenario: paint -> native -> GC"
+    ).save(output)
+    print(f"wrote {path}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""Quickstart: simulate an interactive session and analyze its lag.
+
+Runs one session of JMol (the paper's worst perceptible performer — a
+timer-driven 3D molecule animation), then asks LagAlyzer the questions
+the paper's pattern browser answers: which episode patterns exist, which
+are perceptibly slow, and what triggered / caused the lag.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import LagAlyzer, simulate_session
+from repro.viz.browser import render_pattern_browser
+
+SCALE = 0.25  # quarter-length session so the example runs in seconds
+
+
+def main() -> None:
+    print("simulating a JMol session (~2 min of virtual use)...")
+    trace = simulate_session("JMol", seed=42, scale=SCALE)
+    print(f"  {trace}")
+
+    analyzer = LagAlyzer.from_traces([trace])
+
+    stats = analyzer.mean_session_stats()
+    print()
+    print(f"end-to-end time: {stats.e2e_s:.0f} s")
+    print(f"in-episode time: {stats.in_episode_pct:.0f}%")
+    print(
+        f"episodes: {stats.below_filter:.0f} below the 3 ms trace filter, "
+        f"{stats.traced:.0f} traced, {stats.perceptible:.0f} perceptible "
+        f"(>= 100 ms)"
+    )
+    print(f"perceptible episodes per in-episode minute: {stats.long_per_min:.0f}")
+
+    print()
+    print("pattern browser (perceptible patterns only):")
+    print(
+        render_pattern_browser(
+            analyzer.pattern_table(), limit=10, perceptible_only=True
+        )
+    )
+
+    print()
+    triggers = analyzer.trigger_summary(perceptible_only=True).percentages()
+    print("what triggered the perceptible episodes:")
+    for trigger, pct in triggers.items():
+        print(f"  {trigger.value:<13s} {pct:5.1f}%")
+
+    location = analyzer.location_summary(perceptible_only=True)
+    print()
+    print("where the perceptible time went:")
+    for label, pct in location.percentages().items():
+        print(f"  {label:<13s} {pct:5.1f}%")
+
+
+if __name__ == "__main__":
+    main()

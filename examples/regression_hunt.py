@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Regression hunting: diffing pattern tables between two builds.
+
+LagAlyzer's pattern keys are purely structural, so they are stable
+across runs — which makes them natural join keys for before/after
+comparisons. This example simulates a "nightly" scenario: a baseline
+FreeMind build, and a candidate build where one handler's model update
+got 8x slower (injected into the simulated episode stream). The
+comparison report pinpoints the regressed pattern.
+
+Run:  python examples/regression_hunt.py
+"""
+
+from repro import LagAlyzer, simulate_session
+from repro.core.compare import Verdict, compare_tables
+from repro.core.intervals import NS_PER_MS
+
+SCALE = 0.2
+
+
+def slow_down_pattern(trace, factor=8.0):
+    """Simulate a regressed build: stretch one recurring pattern's work.
+
+    (In real life the candidate build's own sessions would be traced;
+    here we inject the slowdown into the baseline's episode stream so
+    the example is self-contained.)
+    """
+    from repro.core.patterns import PatternTable
+
+    table = PatternTable.from_episodes(trace.episodes)
+    victim = table.by_count()[2]  # a recurring, currently-fast pattern
+    for episode in victim.episodes:
+        stretch = round(episode.duration_ns * (factor - 1.0))
+        episode.root.end_ns += stretch
+        for child in episode.root.children:
+            child.end_ns = min(child.end_ns + stretch, episode.root.end_ns)
+    return victim
+
+
+def main() -> None:
+    print("tracing the baseline build...")
+    baseline = simulate_session("FreeMind", seed=31, scale=SCALE)
+    before = LagAlyzer.from_traces([baseline]).pattern_table()
+
+    print("tracing the candidate build (with a hidden 8x slowdown)...")
+    candidate = simulate_session("FreeMind", seed=31, scale=SCALE)
+    victim = slow_down_pattern(candidate)
+    after = LagAlyzer.from_traces([candidate]).pattern_table()
+
+    report = compare_tables(before, after)
+    print()
+    print(f"comparison: {report.summary()}")
+    print()
+    print("worst regressions:")
+    for delta in report.regressions[:5]:
+        print(f"  {delta.describe()}")
+
+    top = report.regressions[0]
+    injected_symbol = victim.representative.root.children[0].symbol
+    found_symbol = top.after.representative.root.children[0].symbol
+    verdict = "FOUND" if found_symbol == injected_symbol else "MISSED"
+    print()
+    print(f"injected slowdown in: {injected_symbol}")
+    print(f"top regression is:    {found_symbol}  [{verdict}]")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+"""LagAlyzer — latency profile analysis and visualization.
+
+A reproduction of "LagAlyzer: A latency profile analysis and visualization
+tool" (Adamoli, Jovic, Hauswirth — ISPASS 2010).
+
+The package is organized as:
+
+- :mod:`repro.core` — the paper's primary contribution: the in-memory
+  latency-trace model, episode/pattern mining, and the characterization
+  analyses (occurrence, trigger, location, concurrency, thread states).
+- :mod:`repro.lila` — a LiLa-style trace file format (writer/reader).
+- :mod:`repro.vm` — a discrete-event JVM/Swing session simulator that
+  produces LiLa-style traces (substitute for running real Java apps).
+- :mod:`repro.apps` — behaviour models for the paper's 14 applications.
+- :mod:`repro.viz` — SVG episode sketches and characterization charts.
+- :mod:`repro.study` — the full characterization-study harness
+  (Table III and Figures 3-8).
+
+Quickstart::
+
+    from repro import LagAlyzer, simulate_session
+
+    trace = simulate_session("JMol", seed=42)
+    analyzer = LagAlyzer.from_traces([trace])
+    for pattern in analyzer.pattern_table().perceptible_only().rows():
+        print(pattern.key, pattern.count, pattern.max_lag_ms)
+"""
+
+from repro.core.api import AnalysisConfig, LagAlyzer
+from repro.core.episodes import Episode
+from repro.core.intervals import Interval, IntervalKind
+from repro.core.patterns import Pattern, PatternTable
+from repro.core.samples import Sample, StackFrame, StackTrace, ThreadState
+from repro.core.trace import Trace, TraceMetadata
+from repro.apps import simulate_session
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AnalysisConfig",
+    "Episode",
+    "Interval",
+    "IntervalKind",
+    "LagAlyzer",
+    "Pattern",
+    "PatternTable",
+    "Sample",
+    "StackFrame",
+    "StackTrace",
+    "ThreadState",
+    "Trace",
+    "TraceMetadata",
+    "simulate_session",
+    "__version__",
+]

@@ -1,0 +1,43 @@
+"""Behaviour models of the paper's 14 benchmark applications.
+
+Each module in this package describes one Table II application as an
+:class:`~repro.apps.base.AppSpec`; :mod:`repro.apps.catalog` is the
+registry. :func:`simulate_session` runs one interactive session of an
+application and returns its trace.
+"""
+
+from repro.apps.base import (
+    AnimationSpec,
+    AppSpec,
+    BackgroundSpec,
+    EpisodeTemplate,
+    TemplateCatalog,
+)
+from repro.apps.catalog import (
+    APPLICATION_NAMES,
+    all_specs,
+    get_spec,
+    table2_rows,
+)
+from repro.apps.sessions import (
+    SessionScript,
+    build_catalog,
+    simulate_session,
+    simulate_sessions,
+)
+
+__all__ = [
+    "APPLICATION_NAMES",
+    "AnimationSpec",
+    "AppSpec",
+    "BackgroundSpec",
+    "EpisodeTemplate",
+    "SessionScript",
+    "TemplateCatalog",
+    "all_specs",
+    "build_catalog",
+    "get_spec",
+    "simulate_session",
+    "simulate_sessions",
+    "table2_rows",
+]

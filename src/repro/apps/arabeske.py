@@ -1,0 +1,73 @@
+"""Arabeske — texture editor that calls ``System.gc()`` explicitly.
+
+The paper's findings for Arabeske (Sections IV-C and IV-D): 57% of its
+perceptible episodes have no specific trigger — they are "empty"
+episodes consisting of a long garbage collection, because the program
+explicitly calls ``System.gc()`` during interactive episodes. Those
+explicit major collections account for roughly 60% of Arabeske's
+perceptible lag. Arabeske is also one of only three applications whose
+perceptible episodes show a mean runnable-thread count above one, due
+to background worker activity.
+"""
+
+from repro.apps.base import AppSpec, BackgroundSpec
+from repro.vm.heap import HeapConfig
+
+SPEC = AppSpec(
+    name="Arabeske",
+    version="2.0.1",
+    classes=222,
+    description="Arabeske texture editor",
+    package="org.arabeske",
+    content_classes=(
+        "TexturePanel",
+        "PatternCanvas",
+        "PaletteBar",
+        "PreviewPane",
+        "SymmetryControl",
+    ),
+    listener_vocab=(
+        "TextureMouseListener",
+        "PatternSelectListener",
+        "PaletteListener",
+        "SymmetryListener",
+        "ZoomListener",
+    ),
+    e2e_s=461.0,
+    traced_per_min=800.0,
+    micro_per_min=42000.0,
+    n_common_templates=230,
+    rare_per_session=330,
+    zipf_exponent=1.15,
+    paint_depth=2,
+    paint_fanout=2,
+    paint_self_ms=1.0,
+    input_weight=0.42,
+    output_weight=0.30,
+    async_weight=0.05,
+    unspec_weight=0.23,
+    median_fast_ms=8.5,
+    slow_share_target=0.006,
+    median_slow_ms=280.0,
+    app_code_fraction=0.45,
+    native_call_fraction=0.08,
+    alloc_bytes_per_ms=20 * 1024,
+    explicit_gc_per_min=12.5,
+    slow_trigger_bias="input",
+    sleep_fraction=0.08,
+    wait_fraction=0.05,
+    block_fraction=0.05,
+    background_threads=(
+        BackgroundSpec(
+            thread_name="arabeske-renderer",
+            windows=((30.0, 120.0), (250.0, 100.0)),
+            work_class="org.arabeske.TextureRenderer",
+            duty_cycle=0.8,
+        ),
+    ),
+    misc_runnable_fraction=0.18,
+    heap=HeapConfig(
+        young_capacity_bytes=64 * 1024 * 1024,
+        major_pause_ms=340.0,
+    ),
+)

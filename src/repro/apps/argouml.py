@@ -1,0 +1,67 @@
+"""ArgoUML — UML CASE tool with a high allocation rate.
+
+Paper findings: 78% of ArgoUML's perceptible episodes are input episodes
+spread over many patterns — updates to the UML model trigger expensive
+computations and checks. Roughly 26% of its perceptible lag is due to
+garbage collection, but GC is not concentrated in long episodes: over
+*all* episodes ArgoUML still spends 16% of time in GC, indicating a
+generally high allocation rate with frequent minor collections.
+"""
+
+from repro.apps.base import AppSpec
+from repro.vm.heap import HeapConfig
+
+SPEC = AppSpec(
+    name="ArgoUML",
+    version="0.28",
+    classes=5349,
+    description="UML CASE tool",
+    package="org.argouml",
+    content_classes=(
+        "DiagramCanvas",
+        "ExplorerTree",
+        "PropertyPanel",
+        "CritiqueList",
+        "ToolPalette",
+        "StyleSheet",
+    ),
+    listener_vocab=(
+        "ModelElementListener",
+        "DiagramMouseListener",
+        "ExplorerSelectionListener",
+        "CritiqueListener",
+        "PropertyChangeHandler",
+        "WizardListener",
+    ),
+    e2e_s=630.0,
+    traced_per_min=860.0,
+    micro_per_min=18700.0,
+    n_common_templates=1100,
+    rare_per_session=550,
+    zipf_exponent=0.95,
+    paint_depth=3,
+    max_nested_listeners=8,
+    paint_fanout=2,
+    paint_self_ms=1.2,
+    input_weight=0.55,
+    output_weight=0.28,
+    async_weight=0.05,
+    unspec_weight=0.12,
+    median_fast_ms=10.0,
+    slow_share_target=0.023,
+    slow_trigger_bias="input",
+    median_slow_ms=300.0,
+    app_code_fraction=0.52,
+    native_call_fraction=0.08,
+    alloc_bytes_per_ms=110 * 1024,
+    sleep_fraction=0.10,
+    wait_fraction=0.08,
+    block_fraction=0.05,
+    misc_runnable_fraction=0.10,
+    heap=HeapConfig(
+        young_capacity_bytes=24 * 1024 * 1024,
+        minor_pause_ms=42.0,
+        major_pause_ms=320.0,
+        old_capacity_bytes=384 * 1024 * 1024,
+    ),
+)

@@ -1,0 +1,650 @@
+"""Application behaviour models.
+
+Each of the paper's 14 Swing applications (Table II) is described here by
+an :class:`AppSpec`: identity, session shape (event rates, think time),
+the structure of its episode templates (which become LagAlyzer patterns),
+where its code spends time (application vs library vs native), its
+allocation behaviour (which drives GC), its synchronization/sleep quirks,
+and its background activity (animation timers, loader threads).
+
+A :class:`TemplateCatalog` expands the spec into concrete episode
+templates — each template is a fixed interval-tree *structure* with
+randomized durations, so repeated uses of one template fall into the
+same LagAlyzer pattern while their lags vary, exactly the property the
+paper's pattern mining exploits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.errors import SimulationError
+from repro.core.samples import StackFrame, StackTrace
+from repro.vm.behavior import (
+    Behavior,
+    Block,
+    Compute,
+    ExplicitGc,
+    NativeCall,
+    Paint,
+    Sleep,
+    Step,
+    Wait,
+    async_dispatch,
+    edt_stack,
+    java_stack,
+    listener,
+    native_stack,
+)
+from repro.vm.components import Component, component_tree
+from repro.vm.heap import HeapConfig
+from repro.vm.rng import RngStream
+
+#: Runtime-library classes sampled when an app works inside the toolkit.
+LIBRARY_WORK_CLASSES = (
+    "javax.swing.plaf.basic.BasicListUI",
+    "javax.swing.text.PlainDocument",
+    "javax.swing.JComponent",
+    "java.awt.Container",
+    "java.util.HashMap",
+    "java.lang.String",
+    "sun.font.GlyphLayout",
+    "javax.swing.RepaintManager",
+)
+
+#: The Apple toolkit method responsible for combo-box blink sleeps; the
+#: paper traced *all* Thread.sleep lag across benchmarks to this code.
+APPLE_BLINK_STACK = StackTrace(
+    (
+        StackFrame("java.lang.Thread", "sleep", is_native=True),
+        StackFrame("com.apple.laf.AquaComboBoxUI$1", "actionPerformed"),
+        StackFrame("javax.swing.Timer", "fireActionPerformed"),
+    )
+    + tuple(edt_stack().frames)
+)
+
+
+@dataclass(frozen=True)
+class AnimationSpec:
+    """A background timer that periodically posts repaint events.
+
+    JMol's molecule animation is the canonical case: a timer posts a
+    repaint roughly every 40 ms, producing a stream of output episodes
+    even without user input.
+    """
+
+    thread_name: str
+    period_ms: float
+    active_fraction: float
+    """Fraction of the session during which the animation runs."""
+    window_count: int = 3
+    """The active time is split over this many windows."""
+    render_median_ms: float = 30.0
+    """Median total cost of the repaint cascade the timer triggers."""
+    alloc_bytes_per_event: int = 64 * 1024
+
+
+@dataclass(frozen=True)
+class BackgroundSpec:
+    """A background worker thread (loader, checker, indexer).
+
+    FindBugs's project loader is the canonical case: loading runs for
+    minutes in a background thread, competing with the GUI thread, and
+    periodically posts progress-bar updates to the EDT.
+    """
+
+    thread_name: str
+    windows: Tuple[Tuple[float, float], ...]
+    """(start_s, duration_s) windows during which the worker is runnable."""
+    work_class: str = ""
+    """Class name sampled while the worker runs (defaults to app package)."""
+    post_period_ms: Optional[float] = None
+    """If set, the worker posts an async progress event at this period."""
+    post_alloc_bytes: int = 256 * 1024
+    """Allocation per posted progress event (progress bars allocate!)."""
+    duty_cycle: float = 1.0
+    """Fraction of each window the worker is actually runnable."""
+
+
+@dataclass(frozen=True)
+class AppSpec:
+    """Complete behaviour description of one benchmark application."""
+
+    # --- identity (Table II) -----------------------------------------
+    name: str
+    version: str
+    classes: int
+    description: str
+    package: str
+    content_classes: Tuple[str, ...]
+    listener_vocab: Tuple[str, ...]
+
+    # --- session shape ------------------------------------------------
+    e2e_s: float
+    """Target end-to-end session duration in seconds."""
+    traced_per_min: float
+    """Traced (>= 3 ms) episodes per minute of session time."""
+    micro_per_min: float
+    """Sub-filter episodes per minute of session time."""
+    mean_micro_ms: float = 0.5
+
+    # --- pattern structure ---------------------------------------------
+    n_common_templates: int = 60
+    rare_per_session: int = 40
+    zipf_exponent: float = 1.1
+
+    # --- component tree -------------------------------------------------
+    paint_depth: int = 2
+    paint_fanout: int = 2
+    paint_self_ms: float = 1.0
+    paint_alloc_bytes: int = 24 * 1024
+    full_window_paint_chance: float = 0.3
+    """Probability an output template repaints the whole window (deep
+    cascade) rather than a dirty region — GanttProject-style apps set
+    this high, which is what drives their Descs/Depth columns up."""
+    paint_fanout_levels: Optional[int] = None
+    """Content-tree levels that use the full fanout (see
+    :func:`repro.vm.components.component_tree`)."""
+    max_nested_listeners: int = 5
+    """Upper bound on nested observer notifications per input template
+    (model updates notifying further listeners)."""
+    input_paint_chance: float = 0.6
+    """Probability an input template repaints a dirty region."""
+
+    # --- trigger mix (relative template weights) -------------------------
+    input_weight: float = 0.45
+    output_weight: float = 0.35
+    async_weight: float = 0.05
+    unspec_weight: float = 0.15
+
+    # --- durations --------------------------------------------------------
+    median_fast_ms: float = 12.0
+    slow_share_target: float = 0.03
+    """Target fraction of (catalog-driven) episodes that come from slow
+    templates — calibrates each app's perceptible-episode rate."""
+    protect_top_ranks: int = 2
+    """The most frequent templates stay fast unless this is 0 (apps like
+    GanttProject whose *dominant* patterns are the slow ones)."""
+    rare_slow_chance: float = 0.1
+    """Probability a one-off template is slow (drives 'always'
+    occurrence classes via perceptible singletons, Figure 4)."""
+    slow_trigger_bias: Optional[str] = None
+    """When set ("input"/"output"/"async"/"unspec"), slow templates are
+    preferentially drawn from this trigger class — e.g. ArgoUML's
+    perceptible episodes are predominantly input episodes."""
+    median_slow_ms: float = 180.0
+    duration_sigma: float = 0.55
+
+    # --- location -----------------------------------------------------------
+    app_code_fraction: float = 0.5
+    """Probability a compute step executes application (vs library) code."""
+    native_call_fraction: float = 0.10
+    """Probability a template includes a JNI call."""
+    native_median_ms: float = 6.0
+    alloc_bytes_per_ms: int = 24 * 1024
+    explicit_gc_per_min: float = 0.0
+    """Rate of System.gc()-only episodes (Arabeske's performance bug)."""
+
+    # --- causes (synchronization and sleep) -----------------------------------
+    sleep_fraction: float = 0.0
+    sleep_median_ms: float = 140.0
+    wait_fraction: float = 0.0
+    wait_median_ms: float = 160.0
+    block_fraction: float = 0.0
+    block_median_ms: float = 90.0
+
+    # --- environment ------------------------------------------------------------
+    animations: Tuple[AnimationSpec, ...] = ()
+    background_threads: Tuple[BackgroundSpec, ...] = ()
+    misc_runnable_fraction: float = 0.08
+    """Duty cycle of the app's miscellaneous worker thread (image
+    fetchers, file watchers) — the source of the >1 mean runnable-thread
+    counts seen over all episodes in Figure 7."""
+    heap: HeapConfig = field(default_factory=HeapConfig)
+
+    def validate(self) -> None:
+        if self.e2e_s <= 0:
+            raise SimulationError(f"{self.name}: e2e_s must be positive")
+        if self.traced_per_min < 0 or self.micro_per_min < 0:
+            raise SimulationError(f"{self.name}: rates cannot be negative")
+        weights = (
+            self.input_weight,
+            self.output_weight,
+            self.async_weight,
+            self.unspec_weight,
+        )
+        if any(w < 0 for w in weights) or sum(weights) <= 0:
+            raise SimulationError(f"{self.name}: bad trigger weights")
+        if not self.content_classes or not self.listener_vocab:
+            raise SimulationError(f"{self.name}: empty symbol vocabulary")
+
+
+@dataclass
+class EpisodeTemplate:
+    """A fixed episode structure with randomized durations."""
+
+    name: str
+    trigger: str
+    behavior: Behavior
+    weight: float
+
+
+class TemplateCatalog:
+    """The expanded set of episode templates for one application."""
+
+    def __init__(
+        self, spec: AppSpec, rng: RngStream, window: Component
+    ) -> None:
+        spec.validate()
+        self.spec = spec
+        self.window = window
+        self._rng = rng
+        self.common: List[EpisodeTemplate] = []
+        self._rare_counter = 0
+        weights = rng.zipf_weights(
+            spec.n_common_templates, spec.zipf_exponent
+        )
+        triggers = self._assign_triggers(weights)
+        slow_ranks = self._choose_slow_ranks(weights, triggers)
+        for index in range(spec.n_common_templates):
+            template = self._make_template(
+                f"{spec.name}.t{index}",
+                weights[index],
+                trigger=triggers[index],
+                slow=index in slow_ranks,
+                rare=False,
+            )
+            self.common.append(template)
+
+    def _assign_triggers(self, weights: Sequence[float]) -> List[str]:
+        """Assign a trigger class to each template rank.
+
+        Greedy deficit balancing: ranks are processed heaviest first and
+        each takes the trigger class furthest below its target *episode*
+        share — so the spec's trigger weights come out as fractions of
+        episodes, not merely fractions of templates (a Zipf head template
+        covers orders of magnitude more episodes than a tail one).
+        """
+        spec = self.spec
+        total_weight = sum(weights)
+        target_total = (
+            spec.input_weight
+            + spec.output_weight
+            + spec.async_weight
+            + spec.unspec_weight
+        )
+        targets = {
+            "input": spec.input_weight / target_total,
+            "output": spec.output_weight / target_total,
+            "async": spec.async_weight / target_total,
+            "unspec": spec.unspec_weight / target_total,
+        }
+        realized = {trigger: 0.0 for trigger in targets}
+        triggers: List[str] = []
+        for weight in weights:
+            trigger = max(
+                targets, key=lambda t: targets[t] - realized[t]
+            )
+            triggers.append(trigger)
+            realized[trigger] += weight / total_weight
+        return triggers
+
+    def _choose_slow_ranks(
+        self, weights: Sequence[float], triggers: Sequence[str]
+    ) -> set:
+        """Pick which templates are slow so their episode share hits the
+        spec's ``slow_share_target``.
+
+        Candidates are drawn in shuffled order from outside the
+        protected top ranks; marking stops once the cumulative weight
+        share reaches the target. This keeps the perceptible-episode
+        rate calibrated while leaving *which* operations are slow to
+        chance, as in a real application.
+        """
+        spec = self.spec
+        if spec.slow_share_target <= 0:
+            return set()
+        total = sum(weights)
+        # Structureless ("unspec") templates never carry the slow role:
+        # in the paper, unspecified *perceptible* episodes arise from
+        # garbage collections (Arabeske), not from slow empty handlers.
+        # Remaining candidates are grouped by trigger, heaviest first,
+        # and slow slots are dealt to triggers by deficit against their
+        # target mix, so the perceptible trigger mix of Figure 5 tracks
+        # the spec instead of the luck of the draw.
+        by_trigger: dict = {"input": [], "output": [], "async": []}
+        for index in range(spec.protect_top_ranks, len(weights)):
+            if triggers[index] in by_trigger:
+                by_trigger[triggers[index]].append(index)
+        for group in by_trigger.values():
+            group.sort(key=lambda i: -weights[i])
+        targets = self._slow_trigger_targets()
+        realized = {trigger: 0.0 for trigger in targets}
+        chosen: set = set()
+        remaining = spec.slow_share_target
+        while remaining > spec.slow_share_target * 0.05:
+            open_triggers = [t for t in targets if by_trigger[t]]
+            if not open_triggers:
+                break
+            trigger = max(
+                open_triggers, key=lambda t: targets[t] - realized[t]
+            )
+            group = by_trigger[trigger]
+            # Take the heaviest candidate that does not overshoot the
+            # calibrated share; drop candidates that are too heavy.
+            while group and weights[group[0]] / total > remaining * 1.2:
+                group.pop(0)
+            if not group:
+                targets = {t: v for t, v in targets.items() if t != trigger}
+                if not targets:
+                    break
+                continue
+            index = group.pop(0)
+            share = weights[index] / total
+            chosen.add(index)
+            remaining -= share
+            realized[trigger] += share / max(spec.slow_share_target, 1e-12)
+        return chosen
+
+    def _slow_trigger_targets(self) -> dict:
+        """Desired trigger mix among slow templates (normalized)."""
+        spec = self.spec
+        if spec.slow_trigger_bias in ("input", "output", "async"):
+            targets = {"input": 0.1, "output": 0.1, "async": 0.02}
+            targets[spec.slow_trigger_bias] = 0.9
+        else:
+            # Unbiased apps still skew perceptible episodes toward
+            # output: rendering is where interactive applications lose
+            # most of their perceptible time (the paper's mean is 47%
+            # output vs 40% input).
+            targets = {
+                "input": spec.input_weight * 0.7,
+                "output": spec.output_weight * 2.5,
+                "async": spec.async_weight * 2.0,
+            }
+        total = sum(targets.values())
+        return {trigger: value / total for trigger, value in targets.items()}
+
+    # ------------------------------------------------------------------
+    # Template construction
+    # ------------------------------------------------------------------
+
+    def pick_common(self, rng: RngStream) -> EpisodeTemplate:
+        """Draw a common template by Zipf weight."""
+        return rng.weighted_choice(
+            self.common, [t.weight for t in self.common]
+        )
+
+    def make_rare(self) -> EpisodeTemplate:
+        """A one-off template (a singleton pattern when used once)."""
+        self._rare_counter += 1
+        rng = self._rng
+        trigger = rng.weighted_choice(
+            ("input", "output", "async", "unspec"),
+            (
+                self.spec.input_weight,
+                self.spec.output_weight,
+                self.spec.async_weight,
+                self.spec.unspec_weight,
+            ),
+        )
+        return self._make_template(
+            f"{self.spec.name}.rare{self._rare_counter}",
+            1.0,
+            trigger=trigger,
+            slow=rng.chance(self.spec.rare_slow_chance),
+            rare=True,
+        )
+
+    def _make_template(
+        self, name: str, weight: float, trigger: str, slow: bool, rare: bool
+    ) -> EpisodeTemplate:
+        builder = {
+            "input": self._input_template,
+            "output": self._output_template,
+            "async": self._async_template,
+            "unspec": self._unspec_template,
+        }[trigger]
+        behavior = builder(name, slow, rare)
+        return EpisodeTemplate(name, trigger, behavior, weight)
+
+    # -- shared pieces ---------------------------------------------------
+
+    def _app_stack(self) -> StackTrace:
+        """A compute stack executing application code."""
+        rng = self._rng
+        class_name = (
+            f"{self.spec.package}."
+            f"{rng.choice(self.spec.content_classes)}"
+        )
+        method = rng.choice(("update", "compute", "layout", "apply"))
+        return java_stack(class_name, method)
+
+    def _library_stack(self) -> StackTrace:
+        """A compute stack executing runtime-library code."""
+        rng = self._rng
+        class_name = rng.choice(LIBRARY_WORK_CLASSES)
+        method = rng.choice(("process", "getText", "validate", "lookup"))
+        return java_stack(class_name, method)
+
+    def _compute(self, median_ms: float) -> List[Step]:
+        """Computation steps whose app/library time split matches the
+        spec's ``app_code_fraction``.
+
+        The split is deterministic per step pair (not a per-template
+        coin flip): with only a handful of slow templates per app, a
+        random draw would make the perceptible location mix of Figure 6
+        an accident of which templates happened to be slow.
+        """
+        spec = self.spec
+        app_ms = median_ms * spec.app_code_fraction
+        lib_ms = median_ms - app_ms
+        steps: List[Step] = []
+        if app_ms > 0:
+            steps.append(
+                Compute(
+                    app_ms,
+                    self._app_stack(),
+                    sigma=spec.duration_sigma,
+                    alloc_bytes_per_ms=spec.alloc_bytes_per_ms,
+                )
+            )
+        if lib_ms > 0:
+            steps.append(
+                Compute(
+                    lib_ms,
+                    self._library_stack(),
+                    sigma=spec.duration_sigma,
+                    alloc_bytes_per_ms=spec.alloc_bytes_per_ms,
+                )
+            )
+        return steps
+
+    def _cause_steps(self, slow: bool) -> List[Step]:
+        """Optional sleep/wait/block steps per the spec's cause mix.
+
+        Slow templates carry the causes: the paper finds sleeps, waits,
+        and blocking concentrated in *perceptible* episodes while being
+        nearly invisible over all episodes (Figure 8).
+        """
+        if not slow:
+            return []
+        spec = self.spec
+        rng = self._rng
+        steps: List[Step] = []
+        if rng.chance(spec.sleep_fraction):
+            steps.append(
+                Sleep(spec.sleep_median_ms, APPLE_BLINK_STACK, sigma=0.3)
+            )
+        if rng.chance(spec.wait_fraction):
+            stack = edt_stack(
+                StackFrame("java.lang.Object", "wait", is_native=True),
+                StackFrame(f"{spec.package}.ModalDialog", "show"),
+            )
+            steps.append(Wait(spec.wait_median_ms, stack, sigma=0.4))
+        if rng.chance(spec.block_fraction):
+            stack = edt_stack(
+                StackFrame("sun.awt.SunToolkit", "awtLock"),
+                StackFrame("java.awt.GraphicsEnvironment", "getConfiguration"),
+            )
+            steps.append(Block(spec.block_median_ms, stack, sigma=0.4))
+        return steps
+
+    def _maybe_native(self, slow: bool) -> List[Step]:
+        spec = self.spec
+        rng = self._rng
+        if not rng.chance(spec.native_call_fraction):
+            return []
+        median = spec.native_median_ms * (4.0 if slow else 1.0)
+        symbol_class = rng.choice(
+            (
+                "sun.java2d.loops.DrawLine",
+                "sun.java2d.loops.DrawGlyphList",
+                "sun.java2d.loops.Blit",
+                "sun.awt.image.ImagingLib",
+            )
+        )
+        method = "DrawLine" if "DrawLine" in symbol_class else "nativeRender"
+        return [
+            NativeCall(
+                f"{symbol_class}.{method}",
+                median,
+                native_stack(symbol_class, method),
+                sigma=self.spec.duration_sigma,
+                alloc_bytes_per_ms=512,
+            )
+        ]
+
+    def _paint_subtree(self, name: str, rare: bool) -> Component:
+        """Choose what gets repainted: the window, an interior subtree,
+        or a region specific to this template.
+
+        Rare templates paint a one-off dialog whose component classes
+        exist nowhere else, so their episodes form singleton patterns.
+        Half the common templates paint a template-specific dirty
+        region (distinct structure, hence a distinct pattern); the rest
+        share the main window or one of its interior subtrees, which is
+        what makes full-window repaints the high-count patterns.
+        """
+        rng = self._rng
+        suffix = name.rsplit(".", 1)[-1]
+        if rare:
+            return component_tree(
+                self.spec.package,
+                (f"Dialog_{suffix}",)
+                + tuple(rng.choice(self.spec.content_classes) for _ in range(2)),
+                depth=rng.randint(2, 3),
+                fanout=rng.randint(1, 2),
+                self_paint_ms=self.spec.paint_self_ms,
+                alloc_bytes_per_paint=self.spec.paint_alloc_bytes,
+            )
+        if rng.chance(self.spec.full_window_paint_chance):
+            return self.window
+        if rng.chance(0.7):
+            # A template-specific dirty region of the UI. Wide fanout is
+            # only allowed for shallow regions so sizes stay realistic.
+            region_depth = rng.randint(2, max(3, self.spec.paint_depth))
+            region_fanout = rng.randint(1, 2) if region_depth <= 3 else 1
+            return component_tree(
+                self.spec.package,
+                (f"Region_{suffix}",)
+                + tuple(rng.choice(self.spec.content_classes) for _ in range(2)),
+                depth=region_depth,
+                fanout=region_fanout,
+                self_paint_ms=self.spec.paint_self_ms,
+                alloc_bytes_per_paint=self.spec.paint_alloc_bytes,
+            )
+        interior = [c for c in self.window.walk() if c.children]
+        return rng.choice(interior) if interior else self.window
+
+    # -- per-trigger template shapes -----------------------------------------
+
+    def _input_template(self, name: str, slow: bool, rare: bool) -> Behavior:
+        spec = self.spec
+        rng = self._rng
+        suffix = name.rsplit(".", 1)[-1]
+        listener_class = (
+            f"{spec.package}."
+            f"{rng.choice(spec.listener_vocab)}_{suffix}"
+        )
+        median = spec.median_slow_ms if slow else spec.median_fast_ms
+        # Input handlers fan out through the app's own observer chains:
+        # model updates notify further listeners, nested inside the
+        # top-level notification. The handler's time budget is split
+        # between its own work and the nested notifications.
+        nested_count = rng.randint(0, spec.max_nested_listeners)
+        own_share = 1.0 / (1.0 + 0.3 * nested_count)
+        body: List[Step] = list(self._compute(median * own_share))
+        for nested_index in range(nested_count):
+            nested_symbol = (
+                f"{spec.package}."
+                f"{rng.choice(spec.listener_vocab)}_{suffix}n{nested_index}"
+                f".propertyChange"
+            )
+            body.append(
+                listener(
+                    nested_symbol,
+                    self._compute(median * own_share * 0.3),
+                )
+            )
+        body.extend(self._maybe_native(slow))
+        body.extend(self._cause_steps(slow))
+        if rng.chance(spec.input_paint_chance):
+            # Input that dirties the view repaints a small subtree.
+            subtree = self._paint_subtree(name, rare)
+            body.append(
+                Paint(
+                    subtree,
+                    scale=self._paint_scale(subtree, spec.median_fast_ms * 0.5),
+                    sigma=spec.duration_sigma,
+                    max_depth=4,
+                    library_split=1.0 - spec.app_code_fraction,
+                )
+            )
+        return Behavior([listener(f"{listener_class}.actionPerformed", body)])
+
+    @staticmethod
+    def _paint_scale(subtree: Component, target_total_ms: float) -> float:
+        """Scale factor so a cascade over ``subtree`` costs the target.
+
+        Without this, small component trees would produce cascades that
+        fall under the tracer's 3 ms filter and vanish from the trace.
+        """
+        return target_total_ms / max(subtree.total_paint_ms(), 0.1)
+
+    def _output_template(self, name: str, slow: bool, rare: bool) -> Behavior:
+        spec = self.spec
+        target_ms = spec.median_slow_ms if slow else spec.median_fast_ms
+        subtree = self._paint_subtree(name, rare)
+        steps: List[Step] = [
+            Paint(
+                subtree,
+                scale=self._paint_scale(subtree, target_ms),
+                sigma=spec.duration_sigma,
+                library_split=1.0 - spec.app_code_fraction,
+            )
+        ]
+        steps.extend(self._maybe_native(slow))
+        steps.extend(self._cause_steps(slow))
+        return Behavior(steps)
+
+    def _async_template(self, name: str, slow: bool, rare: bool) -> Behavior:
+        spec = self.spec
+        suffix = name.rsplit(".", 1)[-1]
+        median = spec.median_slow_ms if slow else spec.median_fast_ms
+        body: List[Step] = list(self._compute(median * 0.8))
+        body.extend(self._cause_steps(slow))
+        symbol = f"{spec.package}.ModelUpdate_{suffix}.run"
+        return Behavior([async_dispatch(symbol, body)])
+
+    def _unspec_template(self, name: str, slow: bool, rare: bool) -> Behavior:
+        """An episode whose dispatch has no (trigger) children.
+
+        The handler does its work directly in the dispatch — nothing
+        long enough to pass the 3 ms sub-interval filter — so LagAlyzer
+        sees an episode without internal structure.
+        """
+        spec = self.spec
+        median = spec.median_slow_ms if slow else spec.median_fast_ms
+        return Behavior(self._compute(median * 0.6))

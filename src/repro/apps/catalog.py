@@ -1,0 +1,100 @@
+"""Registry of the 14 benchmark applications (Table II)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.apps.base import AppSpec
+
+
+def _load_specs() -> Dict[str, AppSpec]:
+    from repro.apps import (
+        arabeske,
+        argouml,
+        crosswordsage,
+        euclide,
+        findbugs,
+        freemind,
+        ganttproject,
+        jedit,
+        jfreechart,
+        jhotdraw,
+        jmol,
+        laoe,
+        netbeans,
+        swingset,
+    )
+
+    specs = (
+        arabeske.SPEC,
+        argouml.SPEC,
+        crosswordsage.SPEC,
+        euclide.SPEC,
+        findbugs.SPEC,
+        freemind.SPEC,
+        ganttproject.SPEC,
+        jedit.SPEC,
+        jfreechart.SPEC,
+        jhotdraw.SPEC,
+        jmol.SPEC,
+        laoe.SPEC,
+        netbeans.SPEC,
+        swingset.SPEC,
+    )
+    return {spec.name: spec for spec in specs}
+
+
+_SPECS: Dict[str, AppSpec] = {}
+
+
+def _specs() -> Dict[str, AppSpec]:
+    if not _SPECS:
+        _SPECS.update(_load_specs())
+    return _SPECS
+
+
+#: Application names in Table II (and paper figure) order.
+APPLICATION_NAMES: Tuple[str, ...] = (
+    "Arabeske",
+    "ArgoUML",
+    "CrosswordSage",
+    "Euclide",
+    "FindBugs",
+    "FreeMind",
+    "GanttProject",
+    "JEdit",
+    "JFreeChart",
+    "JHotDraw",
+    "JMol",
+    "Laoe",
+    "NetBeans",
+    "SwingSet",
+)
+
+
+def get_spec(name: str) -> AppSpec:
+    """The spec of application ``name`` (case-insensitive).
+
+    Raises:
+        KeyError: for a name not in Table II.
+    """
+    specs = _specs()
+    for candidate, spec in specs.items():
+        if candidate.lower() == name.lower():
+            return spec
+    raise KeyError(
+        f"unknown application {name!r}; known: {sorted(specs)}"
+    )
+
+
+def all_specs() -> List[AppSpec]:
+    """All 14 specs in Table II order."""
+    return [get_spec(name) for name in APPLICATION_NAMES]
+
+
+def table2_rows() -> List[Tuple[str, str, int, str]]:
+    """Table II: (application, version, classes, description)."""
+    return [
+        (spec.name, spec.version, spec.classes, spec.description)
+        for spec in all_specs()
+    ]

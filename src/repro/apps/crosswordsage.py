@@ -1,0 +1,50 @@
+"""CrosswordSage — small, focused crossword puzzle editor.
+
+The smallest application of the suite (34 classes). Its sessions show
+the lowest in-episode fraction (8%): a user filling in a crossword
+leaves the system idle most of the time. Few patterns, few perceptible
+episodes, no notable pathologies — the paper's baseline for a simple
+well-behaved application.
+"""
+
+from repro.apps.base import AppSpec
+from repro.vm.heap import HeapConfig
+
+SPEC = AppSpec(
+    name="CrosswordSage",
+    version="0.3.5",
+    classes=34,
+    description="Crossword puzzle editor",
+    package="crosswordsage",
+    content_classes=("CrosswordGrid", "CluePanel", "WordSuggester"),
+    listener_vocab=(
+        "GridKeyListener",
+        "ClueSelectionListener",
+        "MenuListener",
+    ),
+    e2e_s=367.0,
+    traced_per_min=192.0,
+    micro_per_min=17900.0,
+    n_common_templates=120,
+    rare_per_session=55,
+    zipf_exponent=0.9,
+    paint_depth=1,
+    paint_fanout=2,
+    paint_self_ms=1.0,
+    input_weight=0.55,
+    output_weight=0.25,
+    async_weight=0.03,
+    unspec_weight=0.17,
+    median_fast_ms=12.0,
+    slow_share_target=0.022,
+    slow_trigger_bias="input",
+    median_slow_ms=260.0,
+    app_code_fraction=0.55,
+    native_call_fraction=0.06,
+    alloc_bytes_per_ms=16 * 1024,
+    sleep_fraction=0.12,
+    wait_fraction=0.05,
+    block_fraction=0.03,
+    misc_runnable_fraction=0.06,
+    heap=HeapConfig(young_capacity_bytes=96 * 1024 * 1024),
+)

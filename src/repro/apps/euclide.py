@@ -1,0 +1,57 @@
+"""Euclide — geometry construction kit dominated by toolkit sleeps.
+
+Paper findings: over 60% of Euclide's perceptible lag is the GUI thread
+*sleeping* — every such stack trace pointed into Apple's combo-box
+blinking animation (``Thread.sleep`` inside the Aqua toolkit). About
+73% of its perceptible lag is runtime-library time, consistent with the
+combo-box controls being slow to react.
+"""
+
+from repro.apps.base import AppSpec
+from repro.vm.heap import HeapConfig
+
+SPEC = AppSpec(
+    name="Euclide",
+    version="0.5.2",
+    classes=398,
+    description="Geometry construction kit",
+    package="org.euclide",
+    content_classes=(
+        "GeometryCanvas",
+        "ConstructionTree",
+        "ToolSelector",
+        "CoordinatePanel",
+    ),
+    listener_vocab=(
+        "CanvasMouseListener",
+        "ToolComboListener",
+        "ConstructionListener",
+        "MacroListener",
+    ),
+    e2e_s=614.0,
+    traced_per_min=940.0,
+    micro_per_min=10700.0,
+    n_common_templates=215,
+    rare_per_session=75,
+    zipf_exponent=0.9,
+    paint_depth=2,
+    paint_fanout=2,
+    paint_self_ms=0.9,
+    input_weight=0.52,
+    output_weight=0.28,
+    async_weight=0.04,
+    unspec_weight=0.16,
+    median_fast_ms=12.5,
+    slow_share_target=0.0085,
+    slow_trigger_bias="input",
+    median_slow_ms=340.0,
+    app_code_fraction=0.27,
+    native_call_fraction=0.07,
+    alloc_bytes_per_ms=18 * 1024,
+    sleep_fraction=0.95,
+    sleep_median_ms=320.0,
+    wait_fraction=0.05,
+    block_fraction=0.03,
+    misc_runnable_fraction=0.07,
+    heap=HeapConfig(young_capacity_bytes=96 * 1024 * 1024),
+)

@@ -1,0 +1,73 @@
+"""FindBugs — bug browser with a long-running background loader.
+
+Paper findings: FindBugs shows the largest fraction of asynchronously
+triggered perceptible episodes (42%), mostly progress-bar updates posted
+by a background thread. One recurring pattern spends significant time in
+the toolkit's progress-bar animation code with a garbage collection
+triggered inside each such episode — pointing at the allocation
+behaviour of the animation. Loading a >1600-class project takes about
+three minutes in a background thread that competes with the GUI thread,
+making FindBugs one of the three applications with a mean
+runnable-thread count above one during perceptible episodes.
+"""
+
+from repro.apps.base import AppSpec, BackgroundSpec
+from repro.vm.heap import HeapConfig
+
+SPEC = AppSpec(
+    name="FindBugs",
+    version="1.3.8",
+    classes=3698,
+    description="Bug browser",
+    package="edu.umd.cs.findbugs",
+    content_classes=(
+        "BugTree",
+        "SourceCodePanel",
+        "SummaryPane",
+        "FilterPanel",
+    ),
+    listener_vocab=(
+        "BugSelectionListener",
+        "FilterListener",
+        "TreeExpansionHandler",
+        "AnalysisMenuListener",
+    ),
+    e2e_s=599.0,
+    traced_per_min=590.0,
+    micro_per_min=3930.0,
+    n_common_templates=185,
+    rare_per_session=135,
+    zipf_exponent=1.1,
+    paint_depth=2,
+    paint_fanout=2,
+    paint_self_ms=1.1,
+    input_weight=0.48,
+    output_weight=0.30,
+    async_weight=0.10,
+    unspec_weight=0.12,
+    median_fast_ms=13.5,
+    slow_share_target=0.016,
+    median_slow_ms=250.0,
+    app_code_fraction=0.5,
+    native_call_fraction=0.08,
+    alloc_bytes_per_ms=8 * 1024,
+    sleep_fraction=0.05,
+    wait_fraction=0.08,
+    block_fraction=0.04,
+    background_threads=(
+        BackgroundSpec(
+            thread_name="findbugs-analysis",
+            windows=((40.0, 180.0),),
+            work_class="edu.umd.cs.findbugs.ProjectLoader",
+            post_period_ms=400.0,
+            post_alloc_bytes=4 * 1024 * 1024,
+            duty_cycle=0.95,
+        ),
+    ),
+    misc_runnable_fraction=0.12,
+    heap=HeapConfig(
+        young_capacity_bytes=48 * 1024 * 1024,
+        minor_pause_ms=110.0,
+        major_pause_ms=380.0,
+    ),
+)

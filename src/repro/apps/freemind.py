@@ -1,0 +1,57 @@
+"""FreeMind — mind-mapping editor that is almost never slow.
+
+Paper findings: FreeMind is the well-behaved extreme of Figure 4 — 92%
+of its patterns never contain a perceptible episode (only 26 of 3462
+traced episodes are perceptible). Of the lag it does have, 12% is
+monitor contention whose stack traces point into the runtime library's
+display-configuration code.
+"""
+
+from repro.apps.base import AppSpec
+from repro.vm.heap import HeapConfig
+
+SPEC = AppSpec(
+    name="FreeMind",
+    version="0.8.1",
+    classes=1909,
+    description="Mind mapping editor",
+    package="freemind",
+    content_classes=(
+        "MapView",
+        "NodeView",
+        "IconToolbar",
+        "NoteEditor",
+    ),
+    listener_vocab=(
+        "NodeMouseListener",
+        "MapScrollListener",
+        "NodeEditListener",
+        "IconListener",
+    ),
+    e2e_s=524.0,
+    traced_per_min=396.0,
+    micro_per_min=37200.0,
+    n_common_templates=160,
+    rare_per_session=135,
+    zipf_exponent=1.1,
+    paint_depth=2,
+    paint_fanout=2,
+    paint_self_ms=0.9,
+    input_weight=0.48,
+    output_weight=0.32,
+    async_weight=0.04,
+    unspec_weight=0.16,
+    median_fast_ms=12.0,
+    slow_share_target=0.005,
+    slow_trigger_bias="input",
+    median_slow_ms=220.0,
+    app_code_fraction=0.5,
+    native_call_fraction=0.07,
+    alloc_bytes_per_ms=18 * 1024,
+    sleep_fraction=0.10,
+    wait_fraction=0.06,
+    block_fraction=0.50,
+    block_median_ms=120.0,
+    misc_runnable_fraction=0.08,
+    heap=HeapConfig(young_capacity_bytes=96 * 1024 * 1024),
+)

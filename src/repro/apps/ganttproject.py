@@ -1,0 +1,71 @@
+"""GanttProject — deeply nested paint cascades, often slow.
+
+Paper findings: GanttProject has the richest interval trees of the suite
+(mean 18 descendants, depth 12) because a paint request to its main
+window recurses through a complex, deeply nested component hierarchy
+(Figure 2). It also has the most perceptible episodes (706 per session,
+168 per in-episode minute) and the highest fraction of always-slow
+patterns (57%), inflated by its many slow singleton patterns.
+"""
+
+from repro.apps.base import AppSpec
+from repro.vm.heap import HeapConfig
+
+SPEC = AppSpec(
+    name="GanttProject",
+    version="2.0.9",
+    classes=5288,
+    description="Gantt chart editor",
+    package="net.sourceforge.ganttproject",
+    content_classes=(
+        "GanttTree",
+        "ChartArea",
+        "TaskGrid",
+        "TimelinePanel",
+        "ResourcePanel",
+        "ScrollingBar",
+        "TaskCell",
+        "DependencyLayer",
+    ),
+    listener_vocab=(
+        "TaskSelectionListener",
+        "ChartMouseListener",
+        "CalendarListener",
+        "ResourceListener",
+        "ZoomListener",
+    ),
+    e2e_s=523.0,
+    traced_per_min=294.0,
+    micro_per_min=14560.0,
+    n_common_templates=337,
+    rare_per_session=520,
+    zipf_exponent=1.0,
+    paint_depth=8,
+    paint_fanout=2,
+    paint_fanout_levels=3,
+    paint_self_ms=3.0,
+    full_window_paint_chance=0.4,
+    max_nested_listeners=8,
+    input_paint_chance=0.8,
+    input_weight=0.32,
+    output_weight=0.52,
+    async_weight=0.04,
+    unspec_weight=0.12,
+    median_fast_ms=26.0,
+    slow_share_target=0.22,
+    protect_top_ranks=0,
+    rare_slow_chance=0.62,
+    slow_trigger_bias="output",
+    median_slow_ms=240.0,
+    app_code_fraction=0.55,
+    native_call_fraction=0.10,
+    alloc_bytes_per_ms=30 * 1024,
+    sleep_fraction=0.08,
+    wait_fraction=0.06,
+    block_fraction=0.05,
+    misc_runnable_fraction=0.08,
+    heap=HeapConfig(
+        young_capacity_bytes=56 * 1024 * 1024,
+        minor_pause_ms=20.0,
+    ),
+)

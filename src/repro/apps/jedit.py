@@ -1,0 +1,55 @@
+"""jEdit — programmer's text editor with modal-dialog waits.
+
+Paper findings: jEdit is the synchronization outlier of Figure 8 — over
+25% of its perceptible lag is the GUI thread waiting, and the stack
+traces tie the waits to event processing inside jEdit's modal dialogs.
+Otherwise a quiet application: only 24 perceptible episodes per session.
+"""
+
+from repro.apps.base import AppSpec
+from repro.vm.heap import HeapConfig
+
+SPEC = AppSpec(
+    name="JEdit",
+    version="4.3pre16",
+    classes=1150,
+    description="Programmer's text editor",
+    package="org.gjt.sp.jedit",
+    content_classes=(
+        "TextArea",
+        "Gutter",
+        "StatusBar",
+        "DockableWindow",
+    ),
+    listener_vocab=(
+        "BufferKeyListener",
+        "CaretListener",
+        "MacroListener",
+        "SearchDialogListener",
+    ),
+    e2e_s=502.0,
+    traced_per_min=271.0,
+    micro_per_min=14050.0,
+    n_common_templates=105,
+    rare_per_session=85,
+    zipf_exponent=1.05,
+    paint_depth=1,
+    paint_fanout=2,
+    paint_self_ms=0.9,
+    input_weight=0.55,
+    output_weight=0.22,
+    async_weight=0.04,
+    unspec_weight=0.19,
+    median_fast_ms=11.5,
+    slow_share_target=0.005,
+    median_slow_ms=300.0,
+    app_code_fraction=0.48,
+    native_call_fraction=0.07,
+    alloc_bytes_per_ms=18 * 1024,
+    sleep_fraction=0.10,
+    wait_fraction=0.75,
+    wait_median_ms=260.0,
+    block_fraction=0.04,
+    misc_runnable_fraction=0.07,
+    heap=HeapConfig(young_capacity_bytes=96 * 1024 * 1024),
+)

@@ -1,0 +1,56 @@
+"""JFreeChart (Time) — chart rendering with many short native calls.
+
+Paper findings: 24% of JFreeChart's perceptible lag is native code — a
+large fraction of its lag is output, and the episodes contain many calls
+to native rendering methods that individually complete quickly but add
+up. Its sessions are the shortest of the suite (the demo's limited
+functionality does not support longer realistic sessions).
+"""
+
+from repro.apps.base import AppSpec
+from repro.vm.heap import HeapConfig
+
+SPEC = AppSpec(
+    name="JFreeChart",
+    version="1.0.13",
+    classes=1667,
+    description="Chart library (time data)",
+    package="org.jfree.chart",
+    content_classes=(
+        "ChartPanel",
+        "PlotArea",
+        "AxisPanel",
+        "LegendBlock",
+    ),
+    listener_vocab=(
+        "ChartMouseListener",
+        "ZoomListener",
+        "DatasetChangeListener",
+    ),
+    e2e_s=250.0,
+    traced_per_min=398.0,
+    micro_per_min=18640.0,
+    n_common_templates=105,
+    rare_per_session=50,
+    zipf_exponent=1.0,
+    paint_depth=2,
+    paint_fanout=2,
+    paint_self_ms=2.2,
+    input_weight=0.30,
+    output_weight=0.50,
+    async_weight=0.04,
+    unspec_weight=0.16,
+    median_fast_ms=8.0,
+    slow_share_target=0.11,
+    slow_trigger_bias="output",
+    median_slow_ms=230.0,
+    app_code_fraction=0.45,
+    native_call_fraction=0.85,
+    native_median_ms=14.0,
+    alloc_bytes_per_ms=24 * 1024,
+    sleep_fraction=0.08,
+    wait_fraction=0.05,
+    block_fraction=0.04,
+    misc_runnable_fraction=0.08,
+    heap=HeapConfig(young_capacity_bytes=80 * 1024 * 1024),
+)

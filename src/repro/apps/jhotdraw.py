@@ -1,0 +1,55 @@
+"""JHotDraw (Draw) — vector editor whose lag is its own code.
+
+Paper findings: 96% of JHotDraw's perceptible lag is application code —
+the call-stack samples concentrate in the code drawing handles and
+outlines of bezier curves, which does not scale with curve complexity.
+Input-triggered episodes dominate (drawing gestures).
+"""
+
+from repro.apps.base import AppSpec
+from repro.vm.heap import HeapConfig
+
+SPEC = AppSpec(
+    name="JHotDraw",
+    version="7.1",
+    classes=1146,
+    description="Vector graphics editor",
+    package="org.jhotdraw",
+    content_classes=(
+        "DrawingView",
+        "BezierOutline",
+        "HandleLayer",
+        "ToolPalette",
+    ),
+    listener_vocab=(
+        "BezierToolListener",
+        "SelectionToolListener",
+        "HandleDragListener",
+        "FigureListener",
+    ),
+    e2e_s=421.0,
+    traced_per_min=852.0,
+    micro_per_min=35160.0,
+    n_common_templates=230,
+    rare_per_session=330,
+    zipf_exponent=1.05,
+    paint_depth=2,
+    paint_fanout=2,
+    paint_self_ms=1.1,
+    input_weight=0.58,
+    output_weight=0.26,
+    async_weight=0.03,
+    unspec_weight=0.13,
+    median_fast_ms=11.0,
+    slow_share_target=0.052,
+    slow_trigger_bias="input",
+    median_slow_ms=260.0,
+    app_code_fraction=0.95,
+    native_call_fraction=0.05,
+    alloc_bytes_per_ms=26 * 1024,
+    sleep_fraction=0.08,
+    wait_fraction=0.02,
+    block_fraction=0.03,
+    misc_runnable_fraction=0.08,
+    heap=HeapConfig(young_capacity_bytes=72 * 1024 * 1024),
+)

@@ -1,0 +1,66 @@
+"""JMol — molecule viewer with a timer-driven 3D animation.
+
+Paper findings: JMol has the worst perceptible performance of the suite
+(180 perceptible episodes per in-episode minute). 98% of its perceptible
+episodes are output episodes, most conforming to a single pattern: the
+rendering of the complex three-dimensional molecule visualization. A
+timer-based animation triggers a repaint roughly every 40 ms, so output
+episodes stream in even without user input.
+"""
+
+from repro.apps.base import AnimationSpec, AppSpec
+from repro.vm.heap import HeapConfig
+
+SPEC = AppSpec(
+    name="JMol",
+    version="11.6.21",
+    classes=1422,
+    description="Chemical structure viewer",
+    package="org.jmol",
+    content_classes=(
+        "MoleculeCanvas",
+        "SurfaceRenderer",
+        "ScriptConsole",
+        "MeasurementPanel",
+    ),
+    listener_vocab=(
+        "RotationListener",
+        "ScriptListener",
+        "PickingListener",
+    ),
+    e2e_s=449.0,
+    traced_per_min=134.0,
+    micro_per_min=14830.0,
+    n_common_templates=160,
+    rare_per_session=95,
+    zipf_exponent=1.0,
+    paint_depth=2,
+    paint_fanout=2,
+    paint_self_ms=4.5,
+    input_weight=0.45,
+    output_weight=0.30,
+    async_weight=0.04,
+    unspec_weight=0.21,
+    median_fast_ms=14.0,
+    slow_share_target=0.012,
+    median_slow_ms=260.0,
+    app_code_fraction=0.70,
+    native_call_fraction=0.15,
+    native_median_ms=7.0,
+    alloc_bytes_per_ms=30 * 1024,
+    sleep_fraction=0.08,
+    wait_fraction=0.05,
+    block_fraction=0.03,
+    animations=(
+        AnimationSpec(
+            thread_name="jmol-animation-timer",
+            period_ms=40.0,
+            active_fraction=0.22,
+            window_count=4,
+            render_median_ms=76.0,
+            alloc_bytes_per_event=96 * 1024,
+        ),
+    ),
+    misc_runnable_fraction=0.08,
+    heap=HeapConfig(young_capacity_bytes=72 * 1024 * 1024),
+)

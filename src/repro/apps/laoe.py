@@ -1,0 +1,56 @@
+"""LAoE — audio sample editor with torrents of tiny episodes.
+
+Paper findings: Laoe produced by far the most sub-3 ms episodes of the
+suite (over 1.2 million per session — waveform scrubbing and level
+meters generate streams of micro-events), yet the lowest rate of
+perceptible episodes per in-episode minute (18): its episodes are
+plentiful and moderately long, but rarely cross the 100 ms threshold.
+The paper's sessions edited a complete MP3 song.
+"""
+
+from repro.apps.base import AppSpec
+from repro.vm.heap import HeapConfig
+
+SPEC = AppSpec(
+    name="Laoe",
+    version="0.6.03",
+    classes=688,
+    description="Audio sample editor",
+    package="ch.laoe",
+    content_classes=(
+        "WaveformView",
+        "ChannelPanel",
+        "LevelMeter",
+        "EffectRack",
+    ),
+    listener_vocab=(
+        "WaveSelectionListener",
+        "EffectListener",
+        "TransportListener",
+    ),
+    e2e_s=460.0,
+    traced_per_min=414.0,
+    micro_per_min=161900.0,
+    n_common_templates=133,
+    rare_per_session=180,
+    zipf_exponent=1.1,
+    paint_depth=2,
+    paint_fanout=2,
+    paint_self_ms=3.2,
+    input_weight=0.48,
+    output_weight=0.32,
+    async_weight=0.04,
+    unspec_weight=0.16,
+    median_fast_ms=57.0,
+    duration_sigma=0.22,
+    slow_share_target=0.007,
+    median_slow_ms=300.0,
+    app_code_fraction=0.55,
+    native_call_fraction=0.12,
+    alloc_bytes_per_ms=22 * 1024,
+    sleep_fraction=0.10,
+    wait_fraction=0.03,
+    block_fraction=0.03,
+    misc_runnable_fraction=0.09,
+    heap=HeapConfig(young_capacity_bytes=96 * 1024 * 1024),
+)

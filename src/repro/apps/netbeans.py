@@ -1,0 +1,70 @@
+"""NetBeans (Java SE) — the largest application of the suite.
+
+Paper findings: with over 45000 classes NetBeans is the heavyweight
+bound of the study. It is one of only three applications whose mean
+runnable-thread count exceeds one during perceptible episodes — its
+background scanners and indexers compete with the GUI thread. Its
+framework architecture produces a large, diverse pattern population.
+"""
+
+from repro.apps.base import AppSpec, BackgroundSpec
+from repro.vm.heap import HeapConfig
+
+SPEC = AppSpec(
+    name="NetBeans",
+    version="6.7",
+    classes=45367,
+    description="Development environment",
+    package="org.netbeans",
+    content_classes=(
+        "EditorPane",
+        "ProjectTree",
+        "NavigatorPanel",
+        "OutputWindow",
+        "PalettePanel",
+        "TaskListView",
+    ),
+    listener_vocab=(
+        "EditorKeyListener",
+        "ProjectActionListener",
+        "CodeCompletionListener",
+        "RefactoringListener",
+        "DebuggerListener",
+    ),
+    e2e_s=398.0,
+    traced_per_min=470.0,
+    micro_per_min=46000.0,
+    n_common_templates=520,
+    rare_per_session=400,
+    zipf_exponent=0.85,
+    paint_depth=3,
+    max_nested_listeners=8,
+    paint_fanout=2,
+    paint_self_ms=1.4,
+    input_weight=0.50,
+    output_weight=0.28,
+    async_weight=0.07,
+    unspec_weight=0.15,
+    median_fast_ms=16.0,
+    slow_share_target=0.036,
+    median_slow_ms=300.0,
+    app_code_fraction=0.40,
+    native_call_fraction=0.08,
+    alloc_bytes_per_ms=40 * 1024,
+    sleep_fraction=0.10,
+    wait_fraction=0.08,
+    block_fraction=0.05,
+    background_threads=(
+        BackgroundSpec(
+            thread_name="netbeans-scanner",
+            windows=((20.0, 90.0), (220.0, 70.0)),
+            work_class="org.netbeans.modules.parsing.RepositoryUpdater",
+            duty_cycle=0.9,
+        ),
+    ),
+    misc_runnable_fraction=0.18,
+    heap=HeapConfig(
+        young_capacity_bytes=48 * 1024 * 1024,
+        minor_pause_ms=26.0,
+    ),
+)

@@ -1,0 +1,453 @@
+"""Interactive-session scripting: from an AppSpec to a session trace.
+
+The paper's methodology performs four similar interactive sessions per
+application, each around eight minutes of realistic use. This module
+reproduces that: it expands an :class:`~repro.apps.base.AppSpec` into a
+time-ordered stream of GUI events (user actions with think time, timer
+animations, background-thread posts, micro-event bursts) plus the
+background threads' timelines, and runs them on a
+:class:`~repro.vm.jvm.SimulatedJVM`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core.intervals import NS_PER_MS, NS_PER_S
+from repro.core.samples import StackFrame, StackTrace, ThreadState
+from repro.core.trace import Trace
+from repro.vm.behavior import (
+    Behavior,
+    Compute,
+    ExplicitGc,
+    Paint,
+    async_dispatch,
+    java_stack,
+)
+from repro.vm.jvm import (
+    MicroBurst,
+    PostedEvent,
+    SessionConfig,
+    SessionEvent,
+    SimulatedJVM,
+)
+from repro.vm.rng import RngStream
+from repro.vm.threads import ThreadTimeline
+from repro.apps.base import AppSpec, EpisodeTemplate, TemplateCatalog
+from repro.vm.components import Component, component_tree
+
+#: Bucket width for aggregating sub-filter micro-episodes.
+_MICRO_BUCKET_S = 5.0
+
+
+def build_window(spec: AppSpec) -> Component:
+    """The application's main window component tree."""
+    return component_tree(
+        spec.package,
+        spec.content_classes,
+        depth=spec.paint_depth,
+        fanout=spec.paint_fanout,
+        self_paint_ms=spec.paint_self_ms,
+        alloc_bytes_per_paint=spec.paint_alloc_bytes,
+        fanout_levels=spec.paint_fanout_levels,
+    )
+
+
+def build_catalog(spec: AppSpec, seed: int) -> TemplateCatalog:
+    """The app's template catalog.
+
+    Derived from the app-level seed only (not the session index), so the
+    same patterns recur across an application's four sessions — the
+    property LagAlyzer's multi-trace pattern integration relies on.
+    """
+    app_rng = RngStream(seed).fork(spec.name).fork("catalog")
+    window = build_window(spec)
+    return TemplateCatalog(spec, app_rng, window)
+
+
+class SessionScript:
+    """Generates the event stream and background timelines of a session."""
+
+    def __init__(
+        self,
+        spec: AppSpec,
+        catalog: TemplateCatalog,
+        session_index: int,
+        seed: int,
+        scale: float = 1.0,
+    ) -> None:
+        if scale <= 0 or scale > 1:
+            raise ValueError("scale must be in (0, 1]")
+        self.spec = spec
+        self.catalog = catalog
+        self.session_index = session_index
+        self.scale = scale
+        self.duration_s = spec.e2e_s * scale
+        self._rng = (
+            RngStream(seed).fork(spec.name).fork(f"session{session_index}")
+        )
+
+    # ------------------------------------------------------------------
+    # Events
+    # ------------------------------------------------------------------
+
+    def events(self) -> List[SessionEvent]:
+        """All session events, unsorted (the JVM sorts by time)."""
+        result: List[SessionEvent] = []
+        result.extend(self._user_events())
+        result.extend(self._animation_events())
+        result.extend(self._background_posts())
+        result.extend(self._explicit_gc_events())
+        result.extend(self._micro_bursts())
+        return result
+
+    def _user_events(self) -> List[SessionEvent]:
+        """Traced user actions: think-time arrivals over the session."""
+        spec = self.spec
+        rng = self._rng.fork("user")
+        mean_gap_s = 60.0 / max(spec.traced_per_min, 1e-9)
+        rare_budget = max(0, round(spec.rare_per_session * self.scale))
+        expected_events = max(self.duration_s / mean_gap_s, 1.0)
+        # Spread the rare (one-off) actions across the session: the
+        # chance is sized so the budget is roughly used up by the end.
+        rare_chance = min(0.5, 1.15 * rare_budget / expected_events)
+        events: List[SessionEvent] = []
+        first_uses: Dict[str, bool] = {}
+        t_s = rng.exponential_ms(mean_gap_s * 1000.0) / 1000.0
+        while t_s < self.duration_s:
+            if rare_budget > 0 and rng.chance(rare_chance):
+                template = self.catalog.make_rare()
+                rare_budget -= 1
+            else:
+                template = self.catalog.pick_common(rng)
+            behavior = self._with_init_cost(template, first_uses, rng)
+            events.append(
+                PostedEvent(round(t_s * NS_PER_S), behavior)
+            )
+            t_s += rng.exponential_ms(mean_gap_s * 1000.0) / 1000.0
+        return events
+
+    def _with_init_cost(
+        self,
+        template: EpisodeTemplate,
+        first_uses: Dict[str, bool],
+        rng: RngStream,
+    ) -> Behavior:
+        """First use of a template may pay a class-loading surcharge.
+
+        This is the mechanism behind "once" patterns (Figure 4): some
+        initialization activity slows down only a pattern's first
+        episode.
+        """
+        spec = self.spec
+        if template.name in first_uses:
+            return template.behavior
+        first_uses[template.name] = True
+        if not rng.chance(0.02):
+            return template.behavior
+        loader_stack = java_stack("java.lang.ClassLoader", "loadClass")
+        init = Compute(
+            130.0,
+            loader_stack,
+            sigma=0.4,
+            alloc_bytes_per_ms=spec.alloc_bytes_per_ms,
+        )
+        return Behavior([init] + list(template.behavior.steps))
+
+    def _animation_events(self) -> List[SessionEvent]:
+        """Timer-driven repaints posted through the repaint manager.
+
+        The async-wrapping-paint structure is deliberate: it reproduces
+        the Swing repaint-manager quirk of footnote 3, and LagAlyzer's
+        trigger analysis must reclassify these episodes as output.
+        """
+        events: List[SessionEvent] = []
+        for animation in self.spec.animations:
+            rng = self._rng.fork(f"anim/{animation.thread_name}")
+            window_cost_ms = max(self.catalog.window.total_paint_ms(), 0.1)
+            behavior = Behavior(
+                [
+                    async_dispatch(
+                        "javax.swing.RepaintManager.paintDirtyRegions",
+                        [
+                            Paint(
+                                self.catalog.window,
+                                scale=animation.render_median_ms / window_cost_ms,
+                                sigma=self.spec.duration_sigma,
+                                library_split=1.0 - self.spec.app_code_fraction,
+                            )
+                        ],
+                    )
+                ]
+            )
+            for start_s, end_s in self._animation_windows(animation, rng):
+                t_s = start_s
+                while t_s < end_s:
+                    events.append(
+                        PostedEvent(round(t_s * NS_PER_S), behavior)
+                    )
+                    t_s += animation.period_ms / 1000.0
+        return events
+
+    def _animation_windows(
+        self, animation, rng: RngStream
+    ) -> List[Tuple[float, float]]:
+        """Split the animation's active time over its windows."""
+        total_active = self.duration_s * animation.active_fraction
+        count = max(1, animation.window_count)
+        window_len = total_active / count
+        starts = sorted(
+            rng.uniform(0, max(self.duration_s - window_len, 0.0))
+            for _ in range(count)
+        )
+        windows: List[Tuple[float, float]] = []
+        for start in starts:
+            end = min(start + window_len, self.duration_s)
+            if windows and start < windows[-1][1]:
+                start = windows[-1][1]
+            if end > start:
+                windows.append((start, end))
+        return windows
+
+    def _background_posts(self) -> List[SessionEvent]:
+        """Progress updates posted by background workers."""
+        events: List[SessionEvent] = []
+        for worker in self.spec.background_threads:
+            if worker.post_period_ms is None:
+                continue
+            duration_ms = 4.0
+            alloc_rate = int(worker.post_alloc_bytes / duration_ms)
+            stack = java_stack(
+                "javax.swing.plaf.basic.BasicProgressBarUI", "paintDeterminate"
+            )
+            behavior = Behavior(
+                [
+                    async_dispatch(
+                        f"{self.spec.package}.ProgressUpdate.run",
+                        [
+                            Compute(
+                                duration_ms,
+                                stack,
+                                sigma=0.3,
+                                alloc_bytes_per_ms=alloc_rate,
+                            )
+                        ],
+                    )
+                ]
+            )
+            for start_s, window_s in worker.windows:
+                start_s *= self.scale
+                window_s *= self.scale
+                t_s = start_s
+                while t_s < min(start_s + window_s, self.duration_s):
+                    events.append(
+                        PostedEvent(round(t_s * NS_PER_S), behavior)
+                    )
+                    t_s += worker.post_period_ms / 1000.0
+        return events
+
+    def _explicit_gc_events(self) -> List[SessionEvent]:
+        """System.gc()-only episodes (the Arabeske performance bug)."""
+        spec = self.spec
+        if spec.explicit_gc_per_min <= 0:
+            return []
+        rng = self._rng.fork("explicitgc")
+        behavior = Behavior(
+            [
+                Compute(
+                    0.8,
+                    java_stack(f"{spec.package}.TextureCache", "flush"),
+                    sigma=0.2,
+                    alloc_bytes_per_ms=1024,
+                ),
+                ExplicitGc(),
+            ]
+        )
+        events: List[SessionEvent] = []
+        mean_gap_s = 60.0 / spec.explicit_gc_per_min
+        t_s = rng.exponential_ms(mean_gap_s * 1000.0) / 1000.0
+        while t_s < self.duration_s:
+            events.append(PostedEvent(round(t_s * NS_PER_S), behavior))
+            t_s += rng.exponential_ms(mean_gap_s * 1000.0) / 1000.0
+        return events
+
+    def _micro_bursts(self) -> List[SessionEvent]:
+        """Sub-filter episodes (typing, mouse moves) in aggregate."""
+        spec = self.spec
+        if spec.micro_per_min <= 0:
+            return []
+        rng = self._rng.fork("micro")
+        per_bucket_mean = spec.micro_per_min * _MICRO_BUCKET_S / 60.0
+        events: List[SessionEvent] = []
+        t_s = 0.0
+        while t_s < self.duration_s:
+            count = rng.poisson(per_bucket_mean)
+            if count > 0:
+                busy_ms = count * spec.mean_micro_ms
+                alloc = int(busy_ms * spec.alloc_bytes_per_ms * 0.25)
+                burst_time_s = t_s + rng.uniform(0, _MICRO_BUCKET_S)
+                events.append(
+                    MicroBurst(round(burst_time_s * NS_PER_S), count, alloc)
+                )
+            t_s += _MICRO_BUCKET_S
+        return events
+
+    # ------------------------------------------------------------------
+    # Background timelines
+    # ------------------------------------------------------------------
+
+    def background_timelines(self) -> List[ThreadTimeline]:
+        """Timelines of every background thread of this session."""
+        timelines: List[ThreadTimeline] = []
+        timelines.extend(self._worker_timelines())
+        timelines.extend(self._animation_timelines())
+        misc = self._misc_worker_timeline()
+        if misc is not None:
+            timelines.append(misc)
+        return timelines
+
+    def _worker_timelines(self) -> List[ThreadTimeline]:
+        spec = self.spec
+        timelines = []
+        for worker in spec.background_threads:
+            timeline = ThreadTimeline(worker.thread_name)
+            work_class = worker.work_class or f"{spec.package}.Worker"
+            stack = StackTrace(
+                (
+                    StackFrame(work_class, "run"),
+                    StackFrame("java.lang.Thread", "run"),
+                )
+            )
+            rng = self._rng.fork(f"worker/{worker.thread_name}")
+            for start_s, window_s in worker.windows:
+                start_ns = round(start_s * self.scale * NS_PER_S)
+                end_ns = round(
+                    min((start_s + window_s) * self.scale, self.duration_s)
+                    * NS_PER_S
+                )
+                self._fill_duty_cycle(
+                    timeline, start_ns, end_ns, worker.duty_cycle, stack, rng
+                )
+            timelines.append(timeline)
+        return timelines
+
+    def _animation_timelines(self) -> List[ThreadTimeline]:
+        """Timer threads: almost always waiting, brief runnable blips."""
+        timelines = []
+        for animation in self.spec.animations:
+            timeline = ThreadTimeline(animation.thread_name)
+            timelines.append(timeline)
+        return timelines
+
+    def _misc_worker_timeline(self) -> ThreadTimeline:
+        """The app's miscellaneous worker (image fetcher, file watcher)."""
+        spec = self.spec
+        if spec.misc_runnable_fraction <= 0:
+            return None
+        timeline = ThreadTimeline(f"{spec.name}-misc-worker")
+        stack = StackTrace(
+            (
+                StackFrame(f"{spec.package}.AsyncTasks", "poll"),
+                StackFrame("java.lang.Thread", "run"),
+            )
+        )
+        rng = self._rng.fork("misc")
+        self._fill_duty_cycle(
+            timeline,
+            0,
+            round(self.duration_s * NS_PER_S),
+            spec.misc_runnable_fraction,
+            stack,
+            rng,
+        )
+        return timeline
+
+    @staticmethod
+    def _fill_duty_cycle(
+        timeline: ThreadTimeline,
+        start_ns: int,
+        end_ns: int,
+        duty_cycle: float,
+        stack: StackTrace,
+        rng: RngStream,
+    ) -> None:
+        """Alternate runnable bursts and waits to hit ``duty_cycle``."""
+        duty_cycle = min(max(duty_cycle, 0.0), 1.0)
+        if duty_cycle == 0.0 or end_ns <= start_ns:
+            return
+        t = start_ns
+        burst_mean_ms = 120.0
+        while t < end_ns:
+            burst_ns = round(rng.exponential_ms(burst_mean_ms) * NS_PER_MS)
+            burst_end = min(t + max(burst_ns, NS_PER_MS), end_ns)
+            timeline.record(t, burst_end, ThreadState.RUNNABLE, stack)
+            if duty_cycle >= 1.0:
+                t = burst_end
+                continue
+            gap_mean_ms = burst_mean_ms * (1.0 - duty_cycle) / duty_cycle
+            gap_ns = round(rng.exponential_ms(gap_mean_ms) * NS_PER_MS)
+            t = burst_end + max(gap_ns, NS_PER_MS)
+
+
+def simulate_session(
+    app: str,
+    session_index: int = 0,
+    seed: int = 20100401,
+    scale: float = 1.0,
+) -> Trace:
+    """Run one interactive session of ``app`` and return its trace.
+
+    Args:
+        app: application name as in Table II (e.g. ``"JMol"``).
+        session_index: which of the (four) sessions to run; sessions
+            share the app's pattern catalog but differ in user timing.
+        seed: root seed of the whole study.
+        scale: session-length multiplier in (0, 1]; tests use small
+            scales to run the identical code path quickly.
+    """
+    from repro.apps.catalog import get_spec
+
+    spec = get_spec(app)
+    catalog = build_catalog(spec, seed)
+    return _run_script(spec, catalog, session_index, seed, scale)
+
+
+def simulate_sessions(
+    app: str,
+    count: int = 4,
+    seed: int = 20100401,
+    scale: float = 1.0,
+) -> List[Trace]:
+    """Run ``count`` sessions of ``app`` (the paper performs four)."""
+    from repro.apps.catalog import get_spec
+
+    spec = get_spec(app)
+    catalog = build_catalog(spec, seed)
+    return [
+        _run_script(spec, catalog, index, seed, scale)
+        for index in range(count)
+    ]
+
+
+def _run_script(
+    spec: AppSpec,
+    catalog: TemplateCatalog,
+    session_index: int,
+    seed: int,
+    scale: float,
+) -> Trace:
+    script = SessionScript(spec, catalog, session_index, seed, scale=scale)
+    session_seed = RngStream(seed).fork(spec.name).fork(
+        f"jvm{session_index}"
+    ).seed
+    config = SessionConfig(
+        application=spec.name,
+        session_id=f"session-{session_index}",
+        seed=session_seed,
+        duration_s=script.duration_s,
+        heap=spec.heap,
+    )
+    jvm = SimulatedJVM(config)
+    for timeline in script.background_timelines():
+        jvm.add_background_timeline(timeline)
+    return jvm.run(script.events())

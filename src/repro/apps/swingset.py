@@ -1,0 +1,55 @@
+"""SwingSet — Sun's Swing component demo.
+
+A tour across every Swing component: tabs, tables, trees, sliders,
+internal frames. Episodes are short and diverse (the demo switches
+component panels constantly, giving a broad pattern population), with
+few perceptible outliers.
+"""
+
+from repro.apps.base import AppSpec
+from repro.vm.heap import HeapConfig
+
+SPEC = AppSpec(
+    name="SwingSet",
+    version="2",
+    classes=131,
+    description="Swing component demo",
+    package="swingset",
+    content_classes=(
+        "DemoPanel",
+        "TabbedPane",
+        "TableDemo",
+        "TreeDemo",
+        "SliderDemo",
+    ),
+    listener_vocab=(
+        "TabChangeListener",
+        "TableSelectionListener",
+        "SliderListener",
+        "ThemeListener",
+    ),
+    e2e_s=384.0,
+    traced_per_min=673.0,
+    micro_per_min=34300.0,
+    n_common_templates=380,
+    rare_per_session=230,
+    zipf_exponent=0.95,
+    paint_depth=2,
+    paint_fanout=2,
+    paint_self_ms=1.0,
+    input_weight=0.45,
+    output_weight=0.33,
+    async_weight=0.05,
+    unspec_weight=0.17,
+    median_fast_ms=12.0,
+    slow_share_target=0.010,
+    median_slow_ms=220.0,
+    app_code_fraction=0.35,
+    native_call_fraction=0.08,
+    alloc_bytes_per_ms=22 * 1024,
+    sleep_fraction=0.12,
+    wait_fraction=0.03,
+    block_fraction=0.04,
+    misc_runnable_fraction=0.09,
+    heap=HeapConfig(young_capacity_bytes=80 * 1024 * 1024),
+)

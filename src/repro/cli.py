@@ -1,0 +1,336 @@
+"""The ``lagalyzer`` command-line interface.
+
+Subcommands:
+
+- ``simulate``  — run one simulated session, write a LiLa trace file;
+- ``analyze``   — load trace file(s), print stats and the pattern browser;
+- ``sketch``    — render an episode sketch SVG from a trace;
+- ``browse``    — write an HTML pattern browser with inline sketches;
+- ``timeline``  — render a whole-session timeline SVG;
+- ``lint``      — check trace files for anomalies a profiler can cause;
+- ``export``    — write analysis results as JSON or the patterns as CSV;
+- ``compare``   — diff the pattern tables of two trace sets
+  (regression hunting);
+- ``study``     — run the full characterization study, write Table III,
+  all figure SVGs, and EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.core.api import AnalysisConfig, LagAlyzer
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.apps.sessions import simulate_session
+    from repro.lila.writer import write_trace
+
+    trace = simulate_session(
+        args.app, session_index=args.session, seed=args.seed, scale=args.scale
+    )
+    if args.format == "binary":
+        from repro.lila.binary import write_trace_binary
+
+        path = write_trace_binary(trace, args.output)
+    else:
+        path = write_trace(trace, args.output)
+    print(
+        f"wrote {path} ({len(trace.episodes)} episodes, "
+        f"{len(trace.samples)} samples, "
+        f"{trace.short_episode_count} filtered)"
+    )
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from repro.viz.browser import render_pattern_browser
+
+    config = AnalysisConfig(perceptible_threshold_ms=args.threshold)
+    analyzer = LagAlyzer.load(args.traces, config=config)
+    stats = analyzer.mean_session_stats()
+    print(f"Application: {analyzer.application}")
+    print(f"Sessions: {len(analyzer.traces)}")
+    print(f"Episodes (>= filter): {stats.traced:.0f} per session")
+    print(f"Perceptible (>= {args.threshold:.0f} ms): {stats.perceptible:.0f}")
+    print(f"In-episode time: {stats.in_episode_pct:.0f}%")
+    print(f"Distinct patterns: {analyzer.pattern_table().distinct_count}")
+    from repro.core.lagstats import summarize_lags
+
+    print(f"Lag distribution: {summarize_lags(analyzer.episodes).describe()}")
+    print()
+    print(
+        render_pattern_browser(
+            analyzer.pattern_table(),
+            limit=args.limit,
+            perceptible_only=args.perceptible_only,
+            threshold_ms=args.threshold,
+        )
+    )
+    if args.inspect is not None:
+        from repro.core.drilldown import drill_down_pattern, format_drilldown
+
+        table = analyzer.pattern_table()
+        shown = (
+            table.perceptible_only(args.threshold)
+            if args.perceptible_only
+            else table
+        )
+        rows = shown.rows()
+        if not 1 <= args.inspect <= len(rows):
+            print(f"--inspect out of range (1..{len(rows)})", file=sys.stderr)
+            return 1
+        pattern = rows[args.inspect - 1]
+        print()
+        print(f"drill-down into pattern #{args.inspect}:")
+        print(format_drilldown(drill_down_pattern(pattern)))
+    return 0
+
+
+def _cmd_sketch(args: argparse.Namespace) -> int:
+    from repro.viz.sketch import render_episode_sketch
+
+    analyzer = LagAlyzer.load([args.trace])
+    episodes = analyzer.episodes
+    if args.episode is None:
+        # Default to the worst episode: the one a developer looks at first.
+        episode = max(episodes, key=lambda ep: ep.duration_ns)
+    else:
+        if not 0 <= args.episode < len(episodes):
+            print(
+                f"episode index out of range (0..{len(episodes) - 1})",
+                file=sys.stderr,
+            )
+            return 1
+        episode = episodes[args.episode]
+    path = render_episode_sketch(episode).save(args.output)
+    print(f"wrote {path} (episode #{episode.index}, {episode.duration_ms:.0f} ms)")
+    return 0
+
+
+def _cmd_browse(args: argparse.Namespace) -> int:
+    from repro.viz.htmlbrowser import write_html_browser
+
+    analyzer = LagAlyzer.load(
+        args.traces,
+        config=AnalysisConfig(perceptible_threshold_ms=args.threshold),
+    )
+    path = write_html_browser(
+        analyzer,
+        args.output,
+        max_patterns=args.limit,
+        perceptible_only=not args.all_patterns,
+    )
+    print(f"wrote {path}")
+    return 0
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    from repro.core.export import write_analysis_json, write_patterns_csv
+
+    analyzer = LagAlyzer.load(
+        args.traces,
+        config=AnalysisConfig(perceptible_threshold_ms=args.threshold),
+    )
+    if args.format == "json":
+        path = write_analysis_json(analyzer, args.output)
+    else:
+        path = write_patterns_csv(analyzer, args.output)
+    print(f"wrote {path}")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    from repro.core.compare import compare_tables
+
+    before = LagAlyzer.load(args.before)
+    after = LagAlyzer.load(args.after)
+    report = compare_tables(
+        before.pattern_table(), after.pattern_table(),
+        threshold_ms=args.threshold,
+    )
+    print(report.summary())
+    regressions = report.regressions[: args.limit]
+    if regressions:
+        print()
+        print("worst regressions:")
+        for delta in regressions:
+            print(f"  {delta.describe()}")
+    improvements = report.improvements[: args.limit]
+    if improvements:
+        print()
+        print("best improvements:")
+        for delta in improvements:
+            print(f"  {delta.describe()}")
+    return 1 if report.regressions and args.fail_on_regression else 0
+
+
+def _cmd_timeline(args: argparse.Namespace) -> int:
+    from repro.lila.autodetect import load_trace
+    from repro.viz.timeline import render_session_timeline
+
+    trace = load_trace(args.trace)
+    doc = render_session_timeline(trace, threshold_ms=args.threshold)
+    path = doc.save(args.output)
+    print(
+        f"wrote {path} ({len(trace.episodes)} episodes, "
+        f"{len(trace.perceptible_episodes(args.threshold))} perceptible)"
+    )
+    return 0
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.core.errors import TraceFormatError
+    from repro.lila.autodetect import load_trace
+    from repro.lila.validation import has_errors, lint_trace
+
+    worst = 0
+    for path in args.traces:
+        print(f"{path}:")
+        try:
+            trace = load_trace(path)
+        except TraceFormatError as error:
+            print(f"  ERROR    FMT000: {error}")
+            worst = 2
+            continue
+        diagnostics = lint_trace(trace)
+        if not diagnostics:
+            print("  clean")
+            continue
+        for diagnostic in diagnostics:
+            print(f"  {diagnostic}")
+        if has_errors(diagnostics):
+            worst = max(worst, 2)
+        else:
+            worst = max(worst, 1 if args.strict else 0)
+    return worst
+
+
+def _cmd_study(args: argparse.Namespace) -> int:
+    from repro.study.report import render_figures, write_experiments_md
+    from repro.study.runner import StudyConfig, run_study
+    from repro.study.tables import format_table3
+
+    config = StudyConfig(
+        seed=args.seed, sessions=args.sessions, scale=args.scale
+    )
+    print(
+        f"running study: {len(config.applications)} applications x "
+        f"{config.sessions} sessions (scale {config.scale}) ..."
+    )
+    result = run_study(config, progress=True)
+    outdir = Path(args.output)
+    outdir.mkdir(parents=True, exist_ok=True)
+    table3 = format_table3(
+        [app.mean_stats for app in result.ordered()], result.mean_stats
+    )
+    (outdir / "table3.txt").write_text(table3 + "\n", encoding="utf-8")
+    figure_paths = render_figures(result, outdir)
+    report_path = write_experiments_md(result, outdir / "EXPERIMENTS.md")
+    from repro.study.export import write_study_csvs
+    from repro.study.html import write_html_report
+
+    write_study_csvs(result, outdir / "csv")
+    html_path = write_html_report(result, outdir / "report.html")
+    print(table3)
+    print(
+        f"wrote {len(figure_paths)} figures, {report_path}, and "
+        f"{html_path} to {outdir}/"
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="lagalyzer",
+        description="Latency profile analysis and visualization "
+        "(ISPASS 2010 reproduction).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_sim = sub.add_parser("simulate", help="simulate a session, write a trace")
+    p_sim.add_argument("--app", required=True, help="application name (Table II)")
+    p_sim.add_argument("--session", type=int, default=0)
+    p_sim.add_argument("--seed", type=int, default=20100401)
+    p_sim.add_argument("--scale", type=float, default=1.0)
+    p_sim.add_argument("--format", choices=("text", "binary"),
+                       default="text")
+    p_sim.add_argument("--output", "-o", default="session.lila")
+    p_sim.set_defaults(func=_cmd_simulate)
+
+    p_an = sub.add_parser("analyze", help="analyze trace files")
+    p_an.add_argument("traces", nargs="+")
+    p_an.add_argument("--threshold", type=float, default=100.0)
+    p_an.add_argument("--limit", type=int, default=20)
+    p_an.add_argument("--perceptible-only", action="store_true")
+    p_an.add_argument("--inspect", type=int, default=None,
+                      help="drill into the Nth pattern of the table")
+    p_an.set_defaults(func=_cmd_analyze)
+
+    p_sk = sub.add_parser("sketch", help="render an episode sketch SVG")
+    p_sk.add_argument("trace")
+    p_sk.add_argument("--episode", type=int, default=None,
+                      help="episode index (default: worst episode)")
+    p_sk.add_argument("--output", "-o", default="sketch.svg")
+    p_sk.set_defaults(func=_cmd_sketch)
+
+    p_br = sub.add_parser(
+        "browse", help="write an HTML pattern browser with sketches"
+    )
+    p_br.add_argument("traces", nargs="+")
+    p_br.add_argument("--threshold", type=float, default=100.0)
+    p_br.add_argument("--limit", type=int, default=25)
+    p_br.add_argument("--all-patterns", action="store_true",
+                      help="include patterns without perceptible episodes")
+    p_br.add_argument("--output", "-o", default="browser.html")
+    p_br.set_defaults(func=_cmd_browse)
+
+    p_ex = sub.add_parser("export", help="export analysis results")
+    p_ex.add_argument("traces", nargs="+")
+    p_ex.add_argument("--format", choices=("json", "csv"), default="json")
+    p_ex.add_argument("--threshold", type=float, default=100.0)
+    p_ex.add_argument("--output", "-o", default="analysis.json")
+    p_ex.set_defaults(func=_cmd_export)
+
+    p_cp = sub.add_parser(
+        "compare", help="diff pattern tables of two trace sets"
+    )
+    p_cp.add_argument("--before", nargs="+", required=True)
+    p_cp.add_argument("--after", nargs="+", required=True)
+    p_cp.add_argument("--threshold", type=float, default=100.0)
+    p_cp.add_argument("--limit", type=int, default=10)
+    p_cp.add_argument("--fail-on-regression", action="store_true")
+    p_cp.set_defaults(func=_cmd_compare)
+
+    p_tl = sub.add_parser("timeline", help="render a session-timeline SVG")
+    p_tl.add_argument("trace")
+    p_tl.add_argument("--threshold", type=float, default=100.0)
+    p_tl.add_argument("--output", "-o", default="timeline.svg")
+    p_tl.set_defaults(func=_cmd_timeline)
+
+    p_li = sub.add_parser("lint", help="check trace files for anomalies")
+    p_li.add_argument("traces", nargs="+")
+    p_li.add_argument("--strict", action="store_true",
+                      help="exit nonzero on warnings too")
+    p_li.set_defaults(func=_cmd_lint)
+
+    p_st = sub.add_parser("study", help="run the full characterization study")
+    p_st.add_argument("--seed", type=int, default=20100401)
+    p_st.add_argument("--sessions", type=int, default=4)
+    p_st.add_argument("--scale", type=float, default=1.0)
+    p_st.add_argument("--output", "-o", default="study-output")
+    p_st.set_defaults(func=_cmd_study)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,43 @@
+"""Core LagAlyzer model and analyses.
+
+This package contains the paper's primary contribution: the in-memory
+representation of latency traces (episodes as trees of typed nested
+intervals, correlated with call-stack samples) and the analyses built on
+top of it (pattern mining, occurrence/trigger/location/cause
+characterization).
+"""
+
+from repro.core.api import AnalysisConfig, LagAlyzer
+from repro.core.compare import ComparisonReport, Verdict, compare_tables
+from repro.core.episodes import Episode
+from repro.core.export import write_analysis_json, write_patterns_csv
+from repro.core.intervals import Interval, IntervalKind
+from repro.core.lagstats import LagSummary, summarize_lags
+from repro.core.patterns import Pattern, PatternTable
+from repro.core.queries import EpisodeQuery
+from repro.core.samples import Sample, StackFrame, StackTrace, ThreadState
+from repro.core.trace import Trace, TraceMetadata
+
+__all__ = [
+    "AnalysisConfig",
+    "ComparisonReport",
+    "Episode",
+    "EpisodeQuery",
+    "Interval",
+    "IntervalKind",
+    "LagAlyzer",
+    "LagSummary",
+    "Pattern",
+    "PatternTable",
+    "Sample",
+    "StackFrame",
+    "StackTrace",
+    "ThreadState",
+    "Trace",
+    "TraceMetadata",
+    "Verdict",
+    "compare_tables",
+    "summarize_lags",
+    "write_analysis_json",
+    "write_patterns_csv",
+]

@@ -1,0 +1,232 @@
+"""The LagAlyzer facade: one object that runs every analysis.
+
+The paper's core "provides the basis for the visualizations and analyses"
+and exposes "a straightforward API" for developers writing their own
+analyses. :class:`LagAlyzer` is that API: construct it from one or more
+session traces (the tool integrates multiple traces in its analysis) and
+query episodes, patterns, and the four characterization axes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.core import concurrency as concurrency_mod
+from repro.core import location as location_mod
+from repro.core import occurrence as occurrence_mod
+from repro.core import threadstates as threadstates_mod
+from repro.core import triggers as triggers_mod
+from repro.core.concurrency import ConcurrencySummary
+from repro.core.episodes import DEFAULT_PERCEPTIBLE_MS, Episode
+from repro.core.errors import AnalysisError
+from repro.core.location import LocationSummary
+from repro.core.occurrence import Occurrence, OccurrenceSummary
+from repro.core.patterns import Pattern, PatternTable
+from repro.core.samples import DEFAULT_LIBRARY_PREFIXES
+from repro.core.statistics import (
+    SessionStats,
+    average_stats,
+    session_stats,
+)
+from repro.core.threadstates import ThreadStateSummary
+from repro.core.trace import Trace
+from repro.core.triggers import Trigger, TriggerSummary
+
+
+@dataclass(frozen=True)
+class AnalysisConfig:
+    """Tunable knobs shared by every analysis.
+
+    Attributes:
+        perceptible_threshold_ms: lag beyond which an episode is deemed
+            perceptible. The paper uses Shneiderman's 100 ms; Dabrowski &
+            Munson suggest 150 ms (keyboard) / 195 ms (mouse) — exposed
+            for the threshold ablation.
+        library_prefixes: fully-qualified class-name prefixes classified
+            as "runtime library" in the location analysis.
+        include_gc_in_patterns: include GC nodes in pattern keys. The
+            paper's tool never does; this is an ablation knob.
+    """
+
+    perceptible_threshold_ms: float = DEFAULT_PERCEPTIBLE_MS
+    library_prefixes: Tuple[str, ...] = DEFAULT_LIBRARY_PREFIXES
+    include_gc_in_patterns: bool = False
+    all_dispatch_threads: bool = False
+    """Analyze episodes from every event dispatch thread, not just the
+    primary GUI thread. The paper's study has one GUI thread; the tool
+    supports multiple (Section V)."""
+
+    def with_threshold(self, threshold_ms: float) -> "AnalysisConfig":
+        """A copy of this config with a different perceptibility cut."""
+        return replace(self, perceptible_threshold_ms=threshold_ms)
+
+
+class LagAlyzer:
+    """Offline analyzer over one or more session traces.
+
+    All analyses are lazy and cached: the pattern table is mined once on
+    first use and reused by every analysis that needs it.
+    """
+
+    def __init__(
+        self,
+        traces: Sequence[Trace],
+        config: Optional[AnalysisConfig] = None,
+    ) -> None:
+        if not traces:
+            raise AnalysisError("LagAlyzer needs at least one trace")
+        applications = {trace.application for trace in traces}
+        if len(applications) > 1:
+            raise AnalysisError(
+                "all traces passed to one LagAlyzer must come from the "
+                f"same application; got {sorted(applications)}"
+            )
+        self.traces: List[Trace] = list(traces)
+        self.config = config or AnalysisConfig()
+        self._pattern_table: Optional[PatternTable] = None
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_traces(
+        cls,
+        traces: Sequence[Trace],
+        config: Optional[AnalysisConfig] = None,
+    ) -> "LagAlyzer":
+        """Build an analyzer from already-loaded traces."""
+        return cls(traces, config=config)
+
+    @classmethod
+    def load(
+        cls,
+        paths: Sequence[Union[str, Path]],
+        config: Optional[AnalysisConfig] = None,
+    ) -> "LagAlyzer":
+        """Build an analyzer by reading LiLa-style trace files.
+
+        Both the text and the binary encodings are accepted; the format
+        is detected per file.
+        """
+        from repro.lila.autodetect import load_trace
+
+        traces = [load_trace(path) for path in paths]
+        return cls(traces, config=config)
+
+    # ------------------------------------------------------------------
+    # Episode access
+    # ------------------------------------------------------------------
+
+    @property
+    def application(self) -> str:
+        return self.traces[0].application
+
+    @property
+    def episodes(self) -> List[Episode]:
+        """All episodes of all sessions, session order then time order."""
+        result: List[Episode] = []
+        for trace in self.traces:
+            if self.config.all_dispatch_threads:
+                result.extend(trace.all_episodes())
+            else:
+                result.extend(trace.episodes)
+        return result
+
+    def perceptible_episodes(self) -> List[Episode]:
+        """Episodes beyond the configured perceptibility threshold."""
+        threshold = self.config.perceptible_threshold_ms
+        return [ep for ep in self.episodes if ep.is_perceptible(threshold)]
+
+    # ------------------------------------------------------------------
+    # Patterns (Sections II-C to II-E)
+    # ------------------------------------------------------------------
+
+    def pattern_table(self) -> PatternTable:
+        """The mined pattern table, integrating all sessions."""
+        if self._pattern_table is None:
+            self._pattern_table = PatternTable.from_episodes(
+                self.episodes,
+                include_gc=self.config.include_gc_in_patterns,
+            )
+        return self._pattern_table
+
+    def pattern_of(self, episode: Episode) -> Optional[Pattern]:
+        """The pattern containing ``episode`` (None for empty episodes)."""
+        if not episode.has_structure:
+            return None
+        from repro.core.patterns import pattern_key
+
+        key = pattern_key(
+            episode, include_gc=self.config.include_gc_in_patterns
+        )
+        return self.pattern_table().get(key)
+
+    # ------------------------------------------------------------------
+    # Characterization analyses (Section IV)
+    # ------------------------------------------------------------------
+
+    def occurrence_summary(self) -> OccurrenceSummary:
+        """Always/sometimes/once/never distribution over patterns (Fig 4)."""
+        return occurrence_mod.summarize(
+            self.pattern_table(), self.config.perceptible_threshold_ms
+        )
+
+    def trigger_summary(self, perceptible_only: bool = False) -> TriggerSummary:
+        """Input/output/async/unspecified episode counts (Fig 5)."""
+        episodes = (
+            self.perceptible_episodes() if perceptible_only else self.episodes
+        )
+        return triggers_mod.summarize(episodes)
+
+    def location_summary(self, perceptible_only: bool = False) -> LocationSummary:
+        """App/library and GC/native time breakdown (Fig 6)."""
+        episodes = (
+            self.perceptible_episodes() if perceptible_only else self.episodes
+        )
+        return location_mod.summarize(
+            episodes, library_prefixes=self.config.library_prefixes
+        )
+
+    def concurrency_summary(
+        self, perceptible_only: bool = False
+    ) -> ConcurrencySummary:
+        """Mean runnable threads during episodes (Fig 7)."""
+        episodes = (
+            self.perceptible_episodes() if perceptible_only else self.episodes
+        )
+        return concurrency_mod.summarize(episodes)
+
+    def threadstate_summary(
+        self, perceptible_only: bool = False
+    ) -> ThreadStateSummary:
+        """GUI-thread blocked/wait/sleep/runnable split (Fig 8)."""
+        episodes = (
+            self.perceptible_episodes() if perceptible_only else self.episodes
+        )
+        return threadstates_mod.summarize(episodes)
+
+    # ------------------------------------------------------------------
+    # Session statistics (Table III)
+    # ------------------------------------------------------------------
+
+    def session_stats(self) -> List[SessionStats]:
+        """One Table III row per session."""
+        threshold = self.config.perceptible_threshold_ms
+        return [session_stats(trace, threshold) for trace in self.traces]
+
+    def mean_session_stats(self) -> SessionStats:
+        """Table III row averaged over this application's sessions."""
+        return average_stats(self.session_stats(), self.application)
+
+    # ------------------------------------------------------------------
+    # Misc
+    # ------------------------------------------------------------------
+
+    def __repr__(self) -> str:
+        return (
+            f"LagAlyzer({self.application!r}, {len(self.traces)} sessions, "
+            f"{len(self.episodes)} episodes)"
+        )

@@ -1,0 +1,169 @@
+"""Comparing pattern tables: regression hunting across sessions.
+
+LagAlyzer "integrates multiple traces in its analysis, and thus helps
+to uncover repeating patterns of bad performance". The natural next
+question — did yesterday's change make a pattern slower? — needs a
+*diff* between two pattern tables: which patterns appeared, which
+disappeared, and which got perceptibly worse or better. This module
+provides that comparison on the structural pattern keys, which are
+stable across runs by construction.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.core.episodes import DEFAULT_PERCEPTIBLE_MS
+from repro.core.patterns import Pattern, PatternTable
+
+
+class Verdict(enum.Enum):
+    """What happened to a pattern between two runs."""
+
+    NEW = "new"
+    GONE = "gone"
+    REGRESSED = "regressed"
+    IMPROVED = "improved"
+    UNCHANGED = "unchanged"
+
+
+@dataclass(frozen=True)
+class PatternDelta:
+    """One pattern's before/after comparison."""
+
+    key: str
+    verdict: Verdict
+    before: Optional[Pattern]
+    after: Optional[Pattern]
+
+    @property
+    def avg_lag_change_ms(self) -> float:
+        """after - before average lag; 0 when either side is missing."""
+        if self.before is None or self.after is None:
+            return 0.0
+        return self.after.avg_lag_ms - self.before.avg_lag_ms
+
+    def describe(self) -> str:
+        """One line for reports."""
+        if self.verdict is Verdict.NEW:
+            return (
+                f"NEW        {self.after.count:5d} episodes, "
+                f"avg {self.after.avg_lag_ms:7.1f} ms"
+            )
+        if self.verdict is Verdict.GONE:
+            return (
+                f"GONE       was {self.before.count} episodes, "
+                f"avg {self.before.avg_lag_ms:.1f} ms"
+            )
+        return (
+            f"{self.verdict.value.upper():<10s} "
+            f"avg {self.before.avg_lag_ms:7.1f} -> "
+            f"{self.after.avg_lag_ms:7.1f} ms "
+            f"({self.avg_lag_change_ms:+.1f})"
+        )
+
+
+@dataclass
+class ComparisonReport:
+    """All pattern deltas between two tables."""
+
+    deltas: List[PatternDelta]
+
+    def by_verdict(self, verdict: Verdict) -> List[PatternDelta]:
+        return [d for d in self.deltas if d.verdict is verdict]
+
+    @property
+    def regressions(self) -> List[PatternDelta]:
+        """Regressed patterns, worst lag increase first."""
+        return sorted(
+            self.by_verdict(Verdict.REGRESSED),
+            key=lambda d: d.avg_lag_change_ms,
+            reverse=True,
+        )
+
+    @property
+    def improvements(self) -> List[PatternDelta]:
+        """Improved patterns, biggest lag drop first."""
+        return sorted(
+            self.by_verdict(Verdict.IMPROVED),
+            key=lambda d: d.avg_lag_change_ms,
+        )
+
+    def summary(self) -> str:
+        counts = {
+            verdict: len(self.by_verdict(verdict)) for verdict in Verdict
+        }
+        return (
+            f"{counts[Verdict.NEW]} new, {counts[Verdict.GONE]} gone, "
+            f"{counts[Verdict.REGRESSED]} regressed, "
+            f"{counts[Verdict.IMPROVED]} improved, "
+            f"{counts[Verdict.UNCHANGED]} unchanged"
+        )
+
+
+def compare_tables(
+    before: PatternTable,
+    after: PatternTable,
+    threshold_ms: float = DEFAULT_PERCEPTIBLE_MS,
+    lag_change_factor: float = 1.5,
+    min_episodes: int = 2,
+) -> ComparisonReport:
+    """Diff two pattern tables.
+
+    A pattern present on both sides is *regressed* when its average lag
+    grew by ``lag_change_factor`` (or it newly crossed the
+    perceptibility threshold), *improved* for the symmetric cases, and
+    *unchanged* otherwise. Patterns with fewer than ``min_episodes`` on
+    either side are compared but never flagged as regressed/improved —
+    one noisy episode should not raise an alarm.
+
+    Args:
+        before: baseline table (e.g. yesterday's sessions).
+        after: candidate table (e.g. today's sessions).
+    """
+    before_by_key: Dict[str, Pattern] = {p.key: p for p in before}
+    after_by_key: Dict[str, Pattern] = {p.key: p for p in after}
+    deltas: List[PatternDelta] = []
+
+    for key, pattern in after_by_key.items():
+        old = before_by_key.get(key)
+        if old is None:
+            deltas.append(PatternDelta(key, Verdict.NEW, None, pattern))
+            continue
+        deltas.append(
+            PatternDelta(
+                key,
+                _judge(old, pattern, threshold_ms, lag_change_factor,
+                       min_episodes),
+                old,
+                pattern,
+            )
+        )
+    for key, pattern in before_by_key.items():
+        if key not in after_by_key:
+            deltas.append(PatternDelta(key, Verdict.GONE, pattern, None))
+    return ComparisonReport(deltas)
+
+
+def _judge(
+    old: Pattern,
+    new: Pattern,
+    threshold_ms: float,
+    factor: float,
+    min_episodes: int,
+) -> Verdict:
+    if old.count < min_episodes or new.count < min_episodes:
+        return Verdict.UNCHANGED
+    was_perceptible = old.avg_lag_ms >= threshold_ms
+    is_perceptible = new.avg_lag_ms >= threshold_ms
+    if not was_perceptible and is_perceptible:
+        return Verdict.REGRESSED
+    if was_perceptible and not is_perceptible:
+        return Verdict.IMPROVED
+    if new.avg_lag_ms >= old.avg_lag_ms * factor:
+        return Verdict.REGRESSED
+    if new.avg_lag_ms * factor <= old.avg_lag_ms:
+        return Verdict.IMPROVED
+    return Verdict.UNCHANGED

@@ -1,0 +1,67 @@
+"""Concurrency analysis: runnable threads during episodes.
+
+Section IV-E ("Concurrent Activity") measures, for each call-stack
+sample taken during episodes, how many threads were runnable (not
+necessarily running). A mean of exactly 1 means only the GUI thread was
+runnable; below 1 means the GUI thread itself was sometimes blocked;
+above 1 means background threads competed with the GUI thread for the
+CPU (Figure 7).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+
+class ConcurrencySummary:
+    """Mean number of runnable threads over a population of samples."""
+
+    __slots__ = ("runnable_total", "sample_count")
+
+    def __init__(self, runnable_total: int, sample_count: int) -> None:
+        self.runnable_total = runnable_total
+        self.sample_count = sample_count
+
+    @property
+    def mean_runnable(self) -> float:
+        """Average runnable-thread count per sample (Figure 7 x-value)."""
+        if self.sample_count == 0:
+            return 0.0
+        return self.runnable_total / self.sample_count
+
+    def __repr__(self) -> str:
+        return (
+            f"ConcurrencySummary(mean={self.mean_runnable:.2f}, "
+            f"n={self.sample_count})"
+        )
+
+
+def summarize(episodes: Iterable) -> ConcurrencySummary:
+    """Compute the mean runnable-thread count over episode samples.
+
+    Args:
+        episodes: :class:`~repro.core.episodes.Episode` objects; every
+            sampling tick inside each episode contributes one data point.
+    """
+    runnable_total = 0
+    sample_count = 0
+    for episode in episodes:
+        for sample in episode.samples:
+            runnable_total += sample.runnable_count()
+            sample_count += 1
+    return ConcurrencySummary(runnable_total, sample_count)
+
+
+def per_episode_means(episodes: Iterable) -> List[float]:
+    """Mean runnable-thread count per individual episode.
+
+    Episodes that received no samples (shorter than the sampling period,
+    or fully inside a GC blackout) are skipped.
+    """
+    means = []
+    for episode in episodes:
+        if not episode.samples:
+            continue
+        total = sum(sample.runnable_count() for sample in episode.samples)
+        means.append(total / len(episode.samples))
+    return means

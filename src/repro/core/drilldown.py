@@ -1,0 +1,178 @@
+"""Pattern drill-down: why is *this* pattern slow?
+
+Every per-application finding in the paper's Section IV ends the same
+way: "a look at the call stack samples during these episodes shows..."
+— Euclide's sleeps resolve to Apple's combo-box blink, jEdit's waits to
+its modal dialogs, JHotDraw's time to its bezier-outline code. This
+module packages that drill-down: given a pattern (or any episode
+population), it reports the hottest sampled methods, the location and
+cause summaries, and the GC burden — the facts a developer needs to
+name the culprit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core import location as location_mod
+from repro.core import threadstates as threadstates_mod
+from repro.core.episodes import Episode
+from repro.core.intervals import IntervalKind
+from repro.core.location import LocationSummary
+from repro.core.patterns import Pattern
+from repro.core.samples import DEFAULT_LIBRARY_PREFIXES, ThreadState
+from repro.core.threadstates import ThreadStateSummary
+
+
+@dataclass(frozen=True)
+class HotMethod:
+    """One method ranked by how often it was executing when sampled."""
+
+    qualified_name: str
+    samples: int
+    share: float
+    """Fraction of the population's GUI-thread samples."""
+    state: str
+    """Dominant thread state when sampled here (runnable/sleeping/...)."""
+    is_library: bool
+
+    def describe(self) -> str:
+        where = "library" if self.is_library else "app"
+        return (
+            f"{100 * self.share:5.1f}%  {self.qualified_name}  "
+            f"[{where}, mostly {self.state}]"
+        )
+
+
+@dataclass
+class DrilldownReport:
+    """Everything the drill-down gathered for one episode population."""
+
+    episode_count: int
+    total_lag_ms: float
+    hot_methods: List[HotMethod]
+    location: LocationSummary
+    causes: ThreadStateSummary
+    gc_episode_count: int
+    gc_time_ms: float
+
+    def headline(self) -> str:
+        """The one-line diagnosis a developer reads first."""
+        if not self.hot_methods:
+            if self.gc_time_ms > 0:
+                return (
+                    f"no samples — time dominated by garbage collection "
+                    f"({self.gc_time_ms:.0f} ms across "
+                    f"{self.gc_episode_count} episodes)"
+                )
+            return "no samples available for this population"
+        top = self.hot_methods[0]
+        parts = [
+            f"{100 * top.share:.0f}% of sampled time in "
+            f"{top.qualified_name}"
+        ]
+        if top.state != ThreadState.RUNNABLE.value:
+            parts.append(f"mostly {top.state}")
+        if self.location.gc_fraction > 0.2:
+            parts.append(
+                f"{100 * self.location.gc_fraction:.0f}% of episode time "
+                f"in GC"
+            )
+        return "; ".join(parts)
+
+
+def drill_down(
+    episodes: Sequence[Episode],
+    top: int = 10,
+    library_prefixes: Sequence[str] = DEFAULT_LIBRARY_PREFIXES,
+) -> DrilldownReport:
+    """Aggregate the drill-down facts for ``episodes``.
+
+    Hot methods are ranked by GUI-thread sample count at the executing
+    (leaf) frame; each carries its dominant thread state so a developer
+    immediately sees "this is a sleep", not just "this is hot".
+    """
+    method_counts: Dict[Tuple[str, bool], int] = {}
+    method_states: Dict[Tuple[str, bool], Dict[ThreadState, int]] = {}
+    total_samples = 0
+    gc_episodes = 0
+    gc_ms = 0.0
+
+    for episode in episodes:
+        gcs = episode.intervals_of_kind(IntervalKind.GC)
+        if gcs:
+            gc_episodes += 1
+            gc_ms += sum(gc.duration_ms for gc in gcs)
+        for entry in episode.gui_samples():
+            leaf = entry.stack.leaf
+            if leaf is None:
+                continue
+            total_samples += 1
+            key = (leaf.qualified_name, leaf.is_library(library_prefixes))
+            method_counts[key] = method_counts.get(key, 0) + 1
+            states = method_states.setdefault(key, {})
+            states[entry.state] = states.get(entry.state, 0) + 1
+
+    ranked = sorted(
+        method_counts.items(), key=lambda item: item[1], reverse=True
+    )
+    hot = []
+    for (name, is_library), count in ranked[:top]:
+        states = method_states[(name, is_library)]
+        dominant = max(states, key=states.get)
+        hot.append(
+            HotMethod(
+                qualified_name=name,
+                samples=count,
+                share=count / total_samples if total_samples else 0.0,
+                state=dominant.value,
+                is_library=is_library,
+            )
+        )
+
+    return DrilldownReport(
+        episode_count=len(episodes),
+        total_lag_ms=sum(ep.duration_ms for ep in episodes),
+        hot_methods=hot,
+        location=location_mod.summarize(episodes, library_prefixes),
+        causes=threadstates_mod.summarize(episodes),
+        gc_episode_count=gc_episodes,
+        gc_time_ms=gc_ms,
+    )
+
+
+def drill_down_pattern(pattern: Pattern, top: int = 10) -> DrilldownReport:
+    """Drill into one pattern's episodes."""
+    return drill_down(pattern.episodes, top=top)
+
+
+def format_drilldown(report: DrilldownReport) -> str:
+    """A compact text rendering for terminals and reports."""
+    lines = [
+        f"{report.episode_count} episodes, "
+        f"{report.total_lag_ms:.0f} ms total lag",
+        f"diagnosis: {report.headline()}",
+    ]
+    if report.hot_methods:
+        lines.append("hot methods (by GUI-thread samples):")
+        for method in report.hot_methods:
+            lines.append(f"  {method.describe()}")
+    pct = report.location.percentages()
+    lines.append(
+        f"location: app {pct['Application']:.0f}% / "
+        f"lib {pct['RT Library']:.0f}% / gc {pct['GC']:.0f}% / "
+        f"native {pct['Native']:.0f}%"
+    )
+    causes = report.causes.percentages()
+    lines.append(
+        f"causes: blocked {causes[ThreadState.BLOCKED]:.0f}% / "
+        f"waiting {causes[ThreadState.WAITING]:.0f}% / "
+        f"sleeping {causes[ThreadState.SLEEPING]:.0f}%"
+    )
+    if report.gc_episode_count:
+        lines.append(
+            f"GC: {report.gc_episode_count}/{report.episode_count} episodes "
+            f"contain a collection ({report.gc_time_ms:.0f} ms)"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,30 @@
+"""Exception hierarchy for the LagAlyzer core.
+
+All exceptions raised intentionally by this package derive from
+:class:`LagAlyzerError`, so callers can catch one type.
+"""
+
+
+class LagAlyzerError(Exception):
+    """Base class for all LagAlyzer errors."""
+
+
+class NestingError(LagAlyzerError):
+    """An interval violates the proper-nesting invariant.
+
+    The paper guarantees that the intervals of a given thread are properly
+    nested (they either nest or do not overlap at all); this error signals
+    input that breaks the guarantee.
+    """
+
+
+class TraceFormatError(LagAlyzerError):
+    """A trace file is malformed or uses an unsupported version."""
+
+
+class AnalysisError(LagAlyzerError):
+    """An analysis was asked to operate on inconsistent inputs."""
+
+
+class SimulationError(LagAlyzerError):
+    """The session simulator was configured inconsistently."""

@@ -1,0 +1,144 @@
+"""Exporting analysis results as JSON and CSV.
+
+An offline analysis tool lives or dies by how easily its results reach
+other tools (spreadsheets, dashboards, regression gates). This module
+serializes a :class:`LagAlyzer`'s complete output — session statistics,
+pattern table, and every characterization summary — to plain JSON, and
+the pattern table to CSV.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from pathlib import Path
+from typing import Any, Dict, Union
+
+from repro.core.api import LagAlyzer
+from repro.core.occurrence import classify_pattern
+
+
+def analysis_to_dict(analyzer: LagAlyzer) -> Dict[str, Any]:
+    """Every analysis result as one JSON-serializable dict."""
+    threshold = analyzer.config.perceptible_threshold_ms
+    table = analyzer.pattern_table()
+    occurrence = analyzer.occurrence_summary()
+    return {
+        "application": analyzer.application,
+        "sessions": len(analyzer.traces),
+        "config": {
+            "perceptible_threshold_ms": threshold,
+            "include_gc_in_patterns": analyzer.config.include_gc_in_patterns,
+            "all_dispatch_threads": analyzer.config.all_dispatch_threads,
+        },
+        "session_stats": [
+            {"application": row.application, **row.as_dict()}
+            for row in analyzer.session_stats()
+        ],
+        "patterns": {
+            "distinct": table.distinct_count,
+            "covered_episodes": table.covered_episodes,
+            "excluded_episodes": table.excluded_episodes,
+            "singleton_fraction": table.singleton_fraction,
+            "mean_descendants": table.mean_descendants,
+            "mean_depth": table.mean_depth,
+        },
+        "occurrence": {
+            kind.value: count for kind, count in occurrence.counts.items()
+        },
+        "triggers": {
+            scope: {
+                trigger.value: count
+                for trigger, count in analyzer.trigger_summary(
+                    perceptible_only=(scope == "perceptible")
+                ).counts.items()
+            }
+            for scope in ("all", "perceptible")
+        },
+        "location": {
+            scope: analyzer.location_summary(
+                perceptible_only=(scope == "perceptible")
+            ).percentages()
+            for scope in ("all", "perceptible")
+        },
+        "concurrency": {
+            scope: analyzer.concurrency_summary(
+                perceptible_only=(scope == "perceptible")
+            ).mean_runnable
+            for scope in ("all", "perceptible")
+        },
+        "threadstates": {
+            scope: {
+                state.value: pct
+                for state, pct in analyzer.threadstate_summary(
+                    perceptible_only=(scope == "perceptible")
+                ).percentages().items()
+            }
+            for scope in ("all", "perceptible")
+        },
+    }
+
+
+def write_analysis_json(
+    analyzer: LagAlyzer, path: Union[str, Path]
+) -> Path:
+    """Write :func:`analysis_to_dict` to ``path`` as pretty JSON."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(
+        json.dumps(analysis_to_dict(analyzer), indent=2, sort_keys=True)
+        + "\n",
+        encoding="utf-8",
+    )
+    return path
+
+
+PATTERN_CSV_COLUMNS = (
+    "rank",
+    "episodes",
+    "perceptible",
+    "min_lag_ms",
+    "avg_lag_ms",
+    "max_lag_ms",
+    "total_lag_ms",
+    "occurrence",
+    "descendants",
+    "depth",
+    "gc_episodes",
+    "key",
+)
+
+
+def patterns_to_csv(analyzer: LagAlyzer) -> str:
+    """The pattern table as CSV text, worst total lag first."""
+    threshold = analyzer.config.perceptible_threshold_ms
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\n")
+    writer.writerow(PATTERN_CSV_COLUMNS)
+    for rank, pattern in enumerate(analyzer.pattern_table().rows(), start=1):
+        writer.writerow(
+            [
+                rank,
+                pattern.count,
+                pattern.perceptible_count(threshold),
+                f"{pattern.min_lag_ms:.3f}",
+                f"{pattern.avg_lag_ms:.3f}",
+                f"{pattern.max_lag_ms:.3f}",
+                f"{pattern.total_lag_ms:.3f}",
+                classify_pattern(pattern, threshold).value,
+                pattern.descendant_count,
+                pattern.depth,
+                pattern.gc_episode_count(),
+                pattern.key,
+            ]
+        )
+    return buffer.getvalue()
+
+
+def write_patterns_csv(analyzer: LagAlyzer, path: Union[str, Path]) -> Path:
+    """Write :func:`patterns_to_csv` to ``path``."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(patterns_to_csv(analyzer), encoding="utf-8")
+    return path

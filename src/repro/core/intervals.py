@@ -1,0 +1,391 @@
+"""Typed nested intervals — the backbone of LagAlyzer's trace model.
+
+The paper (Table I) models all traced activity as *intervals* of six
+kinds: the episode dispatch itself, listener notifications, paint
+operations, JNI native calls, background-thread event handling ("async"),
+and garbage collections. For a given thread, intervals are guaranteed to
+be *properly nested*: any two intervals either nest or do not overlap at
+all. This module provides the :class:`Interval` tree node, the
+:class:`IntervalKind` vocabulary, and a builder that enforces the nesting
+invariant while a trace is loaded.
+
+All timestamps are integers in **nanoseconds** of virtual (or profiled)
+time; durations in milliseconds are exposed as floats for reporting.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.core.errors import NestingError
+
+NS_PER_MS = 1_000_000
+NS_PER_S = 1_000_000_000
+
+
+class IntervalKind(enum.Enum):
+    """The six interval types of Table I.
+
+    The enum value is the short name used in trace files and in pattern
+    keys, so it is part of the stable on-disk vocabulary.
+    """
+
+    DISPATCH = "dispatch"
+    """Start to end of a given episode."""
+
+    LISTENER = "listener"
+    """A listener notification call (handling of user input)."""
+
+    PAINT = "paint"
+    """A graphics rendering operation (output to the screen)."""
+
+    NATIVE = "native"
+    """A JNI native call."""
+
+    ASYNC = "async"
+    """The handling of an event posted in a background thread."""
+
+    GC = "gc"
+    """A garbage collection (stop-the-world)."""
+
+    @classmethod
+    def from_name(cls, name: str) -> "IntervalKind":
+        """Return the kind whose trace-file name is ``name``.
+
+        Raises:
+            ValueError: if ``name`` is not one of the six kind names.
+        """
+        try:
+            return cls(name.lower())
+        except ValueError:
+            valid = ", ".join(kind.value for kind in cls)
+            raise ValueError(
+                f"unknown interval kind {name!r}; expected one of: {valid}"
+            ) from None
+
+    @property
+    def is_structural(self) -> bool:
+        """True for kinds that participate in pattern keys.
+
+        GC intervals are excluded from pattern comparison (Section II-D):
+        a collection may or may not be the fault of the interval that
+        happens to surround it.
+        """
+        return self is not IntervalKind.GC
+
+
+class Interval:
+    """One node of a thread's interval tree.
+
+    An interval has a :class:`IntervalKind`, a symbol (the class/method
+    name that identifies it — e.g. ``javax.swing.JFrame.paint`` for a
+    paint interval), a start and end timestamp in nanoseconds, and
+    properly nested children.
+    """
+
+    __slots__ = ("kind", "symbol", "start_ns", "end_ns", "children", "parent")
+
+    def __init__(
+        self,
+        kind: IntervalKind,
+        symbol: str,
+        start_ns: int,
+        end_ns: int,
+        children: Optional[List["Interval"]] = None,
+    ) -> None:
+        if end_ns < start_ns:
+            raise NestingError(
+                f"interval {kind.value}:{symbol} ends before it starts "
+                f"({end_ns} < {start_ns})"
+            )
+        self.kind = kind
+        self.symbol = symbol
+        self.start_ns = start_ns
+        self.end_ns = end_ns
+        self.children: List[Interval] = children if children is not None else []
+        self.parent: Optional[Interval] = None
+        for child in self.children:
+            child.parent = self
+
+    # ------------------------------------------------------------------
+    # Durations and geometry
+    # ------------------------------------------------------------------
+
+    @property
+    def duration_ns(self) -> int:
+        """Length of the interval in nanoseconds."""
+        return self.end_ns - self.start_ns
+
+    @property
+    def duration_ms(self) -> float:
+        """Length of the interval in milliseconds."""
+        return self.duration_ns / NS_PER_MS
+
+    def contains_time(self, t_ns: int) -> bool:
+        """True if timestamp ``t_ns`` falls inside this interval.
+
+        The start bound is inclusive and the end bound exclusive, so that
+        adjacent siblings never both claim a timestamp.
+        """
+        return self.start_ns <= t_ns < self.end_ns
+
+    def encloses(self, other: "Interval") -> bool:
+        """True if ``other`` lies fully within this interval."""
+        return self.start_ns <= other.start_ns and other.end_ns <= self.end_ns
+
+    def overlaps(self, other: "Interval") -> bool:
+        """True if the two intervals share any time."""
+        return self.start_ns < other.end_ns and other.start_ns < self.end_ns
+
+    # ------------------------------------------------------------------
+    # Tree traversal
+    # ------------------------------------------------------------------
+
+    def preorder(self) -> Iterator["Interval"]:
+        """Yield this interval and all descendants in pre-order.
+
+        Pre-order (node before children, children left to right) is the
+        traversal the paper uses to determine an episode's trigger.
+        """
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(reversed(node.children))
+
+    def descendants(self) -> Iterator["Interval"]:
+        """Yield all proper descendants in pre-order."""
+        iterator = self.preorder()
+        next(iterator)  # skip self
+        return iterator
+
+    def descendant_count(self, include_gc: bool = True) -> int:
+        """Number of proper descendants.
+
+        Args:
+            include_gc: when False, GC intervals are not counted
+                (matching the GC-blind pattern structure).
+        """
+        return sum(
+            1
+            for node in self.descendants()
+            if include_gc or node.kind is not IntervalKind.GC
+        )
+
+    def depth(self, include_gc: bool = True) -> int:
+        """Height of the tree rooted here; a leaf has depth 1."""
+        best = 0
+        stack: List[Tuple[Interval, int]] = [(self, 1)]
+        while stack:
+            node, level = stack.pop()
+            if level > best:
+                best = level
+            for child in node.children:
+                if include_gc or child.kind is not IntervalKind.GC:
+                    stack.append((child, level + 1))
+        return best
+
+    def find(
+        self, predicate: Callable[["Interval"], bool]
+    ) -> Optional["Interval"]:
+        """Return the first interval (pre-order) matching ``predicate``."""
+        for node in self.preorder():
+            if predicate(node):
+                return node
+        return None
+
+    def find_all(
+        self, predicate: Callable[["Interval"], bool]
+    ) -> List["Interval"]:
+        """Return every interval (pre-order) matching ``predicate``."""
+        return [node for node in self.preorder() if predicate(node)]
+
+    def self_time_ns(self) -> int:
+        """Time spent in this interval excluding its direct children."""
+        return self.duration_ns - sum(c.duration_ns for c in self.children)
+
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+
+    def validate(self) -> None:
+        """Check the proper-nesting invariant for the whole subtree.
+
+        Raises:
+            NestingError: if any child escapes its parent or two siblings
+                overlap.
+        """
+        for node in self.preorder():
+            previous_end = node.start_ns
+            for child in node.children:
+                if not node.encloses(child):
+                    raise NestingError(
+                        f"child {child.kind.value}:{child.symbol} "
+                        f"[{child.start_ns}, {child.end_ns}) escapes parent "
+                        f"{node.kind.value}:{node.symbol} "
+                        f"[{node.start_ns}, {node.end_ns})"
+                    )
+                if child.start_ns < previous_end:
+                    raise NestingError(
+                        f"siblings overlap at {child.start_ns} under "
+                        f"{node.kind.value}:{node.symbol}"
+                    )
+                previous_end = child.end_ns
+
+    # ------------------------------------------------------------------
+    # Misc
+    # ------------------------------------------------------------------
+
+    def __repr__(self) -> str:
+        return (
+            f"Interval({self.kind.value}, {self.symbol!r}, "
+            f"{self.start_ns}..{self.end_ns}, "
+            f"{len(self.children)} children)"
+        )
+
+
+class IntervalTreeBuilder:
+    """Builds a properly nested interval tree from open/close events.
+
+    The builder mirrors how a tracer observes a thread: calls open
+    intervals, returns close them, and closures must match the most
+    recently opened interval (LIFO). Complete intervals (e.g. a GC whose
+    start and end are both known when it is reported) can be inserted with
+    :meth:`add_complete` as long as they nest into the currently open
+    interval.
+    """
+
+    def __init__(self) -> None:
+        self._roots: List[Interval] = []
+        self._stack: List[_OpenInterval] = []
+        self._last_close_ns: int = 0
+
+    @property
+    def open_depth(self) -> int:
+        """Number of currently open (unclosed) intervals."""
+        return len(self._stack)
+
+    def open(self, kind: IntervalKind, symbol: str, start_ns: int) -> None:
+        """Open a new interval at ``start_ns``.
+
+        Raises:
+            NestingError: if ``start_ns`` precedes the enclosing
+                interval's start or the previous sibling's end.
+        """
+        if self._stack:
+            top = self._stack[-1]
+            if start_ns < top.start_ns:
+                raise NestingError(
+                    f"interval {kind.value}:{symbol} starts at {start_ns}, "
+                    f"before its enclosing interval ({top.start_ns})"
+                )
+            if top.children and start_ns < top.children[-1].end_ns:
+                raise NestingError(
+                    f"interval {kind.value}:{symbol} starts at {start_ns}, "
+                    f"inside the previous sibling"
+                )
+        elif self._roots and start_ns < self._roots[-1].end_ns:
+            raise NestingError(
+                f"root interval {kind.value}:{symbol} starts at {start_ns}, "
+                f"inside the previous root"
+            )
+        self._stack.append(_OpenInterval(kind, symbol, start_ns))
+
+    def close(self, end_ns: int) -> Interval:
+        """Close the most recently opened interval at ``end_ns``.
+
+        Returns:
+            The completed :class:`Interval`.
+
+        Raises:
+            NestingError: if no interval is open or ``end_ns`` precedes
+                the last nested activity.
+        """
+        if not self._stack:
+            raise NestingError("close without a matching open")
+        pending = self._stack.pop()
+        if pending.children and end_ns < pending.children[-1].end_ns:
+            raise NestingError(
+                f"interval {pending.kind.value}:{pending.symbol} closes at "
+                f"{end_ns}, before its last child ends"
+            )
+        interval = Interval(
+            pending.kind, pending.symbol, pending.start_ns, end_ns,
+            children=pending.children,
+        )
+        if self._stack:
+            self._stack[-1].children.append(interval)
+        else:
+            self._roots.append(interval)
+        return interval
+
+    def add_complete(
+        self, kind: IntervalKind, symbol: str, start_ns: int, end_ns: int
+    ) -> Interval:
+        """Insert an already-complete interval (typically a GC).
+
+        The interval becomes a child of the innermost open interval, or a
+        root if nothing is open. It must not overlap previously closed
+        siblings.
+        """
+        self.open(kind, symbol, start_ns)
+        return self.close(end_ns)
+
+    def finish(self) -> List[Interval]:
+        """Return the completed root intervals.
+
+        Raises:
+            NestingError: if intervals are still open.
+        """
+        if self._stack:
+            open_names = ", ".join(
+                f"{p.kind.value}:{p.symbol}" for p in self._stack
+            )
+            raise NestingError(f"unclosed intervals at end of trace: {open_names}")
+        return self._roots
+
+
+class _OpenInterval:
+    """Bookkeeping for an interval whose end is not yet known."""
+
+    __slots__ = ("kind", "symbol", "start_ns", "children")
+
+    def __init__(self, kind: IntervalKind, symbol: str, start_ns: int) -> None:
+        self.kind = kind
+        self.symbol = symbol
+        self.start_ns = start_ns
+        self.children: List[Interval] = []
+
+
+def merge_adjacent(
+    intervals: Sequence[Interval], gap_ns: int = 0
+) -> List[Tuple[int, int]]:
+    """Merge interval spans that touch or are within ``gap_ns`` of each other.
+
+    Utility used by time-accounting analyses to avoid double counting
+    when summing e.g. total GC time within an episode.
+
+    Args:
+        intervals: intervals to merge; need not be sorted.
+        gap_ns: two spans closer than this are coalesced.
+
+    Returns:
+        Sorted, disjoint (start_ns, end_ns) spans.
+    """
+    if not intervals:
+        return []
+    spans = sorted((iv.start_ns, iv.end_ns) for iv in intervals)
+    merged = [spans[0]]
+    for start, end in spans[1:]:
+        last_start, last_end = merged[-1]
+        if start <= last_end + gap_ns:
+            merged[-1] = (last_start, max(last_end, end))
+        else:
+            merged.append((start, end))
+    return merged
+
+
+def total_span_ns(intervals: Sequence[Interval]) -> int:
+    """Total time covered by ``intervals``, counting overlaps once."""
+    return sum(end - start for start, end in merge_adjacent(intervals))

@@ -1,0 +1,149 @@
+"""Lag distributions: percentiles, histograms, and duration bands.
+
+Table III summarizes episode durations with three coarse bands (below
+the trace filter, traced, perceptible). Real latency work needs the
+full distribution — medians move rarely, tails move first — so this
+module provides percentile summaries, logarithmic histograms, and the
+band decomposition for any episode population.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core.episodes import DEFAULT_PERCEPTIBLE_MS, Episode
+
+
+@dataclass(frozen=True)
+class LagSummary:
+    """Percentile summary of one episode population's lags (ms)."""
+
+    count: int
+    min_ms: float
+    p25_ms: float
+    median_ms: float
+    p75_ms: float
+    p90_ms: float
+    p99_ms: float
+    max_ms: float
+    mean_ms: float
+    total_ms: float
+
+    def describe(self) -> str:
+        """One-line summary for reports."""
+        if self.count == 0:
+            return "no episodes"
+        return (
+            f"n={self.count}  min={self.min_ms:.1f}  "
+            f"p50={self.median_ms:.1f}  p90={self.p90_ms:.1f}  "
+            f"p99={self.p99_ms:.1f}  max={self.max_ms:.1f}  "
+            f"mean={self.mean_ms:.1f} ms"
+        )
+
+
+def percentile(sorted_values: Sequence[float], fraction: float) -> float:
+    """Linear-interpolated percentile of pre-sorted values.
+
+    Args:
+        sorted_values: non-empty ascending values.
+        fraction: in [0, 1].
+    """
+    if not sorted_values:
+        raise ValueError("percentile of empty population")
+    if len(sorted_values) == 1:
+        return sorted_values[0]
+    fraction = min(max(fraction, 0.0), 1.0)
+    position = fraction * (len(sorted_values) - 1)
+    lower = math.floor(position)
+    upper = math.ceil(position)
+    if lower == upper:
+        return sorted_values[lower]
+    weight = position - lower
+    return sorted_values[lower] * (1 - weight) + sorted_values[upper] * weight
+
+
+def summarize_lags(episodes: Sequence[Episode]) -> LagSummary:
+    """Percentile summary over ``episodes``; zeros when empty."""
+    lags = sorted(ep.duration_ms for ep in episodes)
+    if not lags:
+        return LagSummary(0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+    total = sum(lags)
+    return LagSummary(
+        count=len(lags),
+        min_ms=lags[0],
+        p25_ms=percentile(lags, 0.25),
+        median_ms=percentile(lags, 0.50),
+        p75_ms=percentile(lags, 0.75),
+        p90_ms=percentile(lags, 0.90),
+        p99_ms=percentile(lags, 0.99),
+        max_ms=lags[-1],
+        mean_ms=total / len(lags),
+        total_ms=total,
+    )
+
+
+def log_histogram(
+    episodes: Sequence[Episode],
+    bins_per_decade: int = 3,
+    floor_ms: float = 1.0,
+) -> List[Tuple[float, float, int]]:
+    """Logarithmically binned histogram of episode lags.
+
+    Log bins match how lag matters perceptually: the difference between
+    10 and 20 ms is as meaningful as between 100 and 200 ms.
+
+    Returns:
+        (bin_low_ms, bin_high_ms, count) triples, low bins first; empty
+        leading/trailing bins are trimmed.
+    """
+    if bins_per_decade <= 0:
+        raise ValueError("bins_per_decade must be positive")
+    counts: Dict[int, int] = {}
+    for episode in episodes:
+        lag = max(episode.duration_ms, floor_ms)
+        index = math.floor(math.log10(lag / floor_ms) * bins_per_decade)
+        counts[index] = counts.get(index, 0) + 1
+    if not counts:
+        return []
+    result = []
+    for index in range(min(counts), max(counts) + 1):
+        low = floor_ms * 10 ** (index / bins_per_decade)
+        high = floor_ms * 10 ** ((index + 1) / bins_per_decade)
+        result.append((low, high, counts.get(index, 0)))
+    return result
+
+
+@dataclass(frozen=True)
+class DurationBands:
+    """Table III's episode-duration decomposition for one population."""
+
+    below_filter: int
+    traced_fast: int
+    perceptible: int
+
+    @property
+    def traced(self) -> int:
+        return self.traced_fast + self.perceptible
+
+
+def duration_bands(
+    episodes: Sequence[Episode],
+    filtered_count: int,
+    threshold_ms: float = DEFAULT_PERCEPTIBLE_MS,
+) -> DurationBands:
+    """Band decomposition matching Table III's three count columns.
+
+    Args:
+        episodes: traced episodes (the sub-filter ones never reach us).
+        filtered_count: the tracer's sub-filter count.
+    """
+    perceptible = sum(
+        1 for ep in episodes if ep.is_perceptible(threshold_ms)
+    )
+    return DurationBands(
+        below_filter=filtered_count,
+        traced_fast=len(episodes) - perceptible,
+        perceptible=perceptible,
+    )

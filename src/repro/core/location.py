@@ -1,0 +1,178 @@
+"""Location analysis: application, library, garbage collector, or native.
+
+Section IV-D attributes episode time to where it was spent, along two
+independent axes:
+
+1. **Application vs runtime library** — estimated from the call-stack
+   samples taken of the GUI thread while it was executing Java code
+   during episodes. A sample counts as "library" when the fully
+   qualified class name of the executing (leaf) method matches a runtime
+   library prefix.
+2. **GC vs native code** — computed exactly from the trace's GC and
+   native *intervals* as a fraction of total episode time. Native time
+   that encloses a GC is attributed to the GC (the paper's Figure 1
+   discussion shows the native method is not to blame for the time the
+   collector stole from it), so the two fractions are disjoint.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+from repro.core.episodes import Episode
+from repro.core.intervals import Interval, IntervalKind, merge_adjacent
+from repro.core.samples import DEFAULT_LIBRARY_PREFIXES
+
+
+class LocationSummary:
+    """Where time went for one population of episodes (Figure 6)."""
+
+    __slots__ = (
+        "app_samples",
+        "library_samples",
+        "gc_ns",
+        "native_ns",
+        "episode_ns",
+    )
+
+    def __init__(
+        self,
+        app_samples: int,
+        library_samples: int,
+        gc_ns: int,
+        native_ns: int,
+        episode_ns: int,
+    ) -> None:
+        self.app_samples = app_samples
+        self.library_samples = library_samples
+        self.gc_ns = gc_ns
+        self.native_ns = native_ns
+        self.episode_ns = episode_ns
+
+    # -- first stack: application vs runtime library -------------------
+
+    @property
+    def app_fraction(self) -> float:
+        """Fraction of sampled Java time spent in application code."""
+        total = self.app_samples + self.library_samples
+        if total == 0:
+            return 0.0
+        return self.app_samples / total
+
+    @property
+    def library_fraction(self) -> float:
+        """Fraction of sampled Java time spent in the runtime library."""
+        total = self.app_samples + self.library_samples
+        if total == 0:
+            return 0.0
+        return self.library_samples / total
+
+    # -- second stack: GC and native ------------------------------------
+
+    @property
+    def gc_fraction(self) -> float:
+        """Fraction of episode time spent in garbage collection."""
+        if self.episode_ns == 0:
+            return 0.0
+        return self.gc_ns / self.episode_ns
+
+    @property
+    def native_fraction(self) -> float:
+        """Fraction of episode time spent in native code (GC excluded)."""
+        if self.episode_ns == 0:
+            return 0.0
+        return self.native_ns / self.episode_ns
+
+    def percentages(self) -> dict:
+        """All four percentages keyed by Figure 6's legend labels."""
+        return {
+            "Application": 100.0 * self.app_fraction,
+            "RT Library": 100.0 * self.library_fraction,
+            "GC": 100.0 * self.gc_fraction,
+            "Native": 100.0 * self.native_fraction,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"LocationSummary(app={100 * self.app_fraction:.0f}%, "
+            f"lib={100 * self.library_fraction:.0f}%, "
+            f"gc={100 * self.gc_fraction:.0f}%, "
+            f"native={100 * self.native_fraction:.0f}%)"
+        )
+
+
+def _covered_ns_within(
+    intervals: Sequence[Interval], start_ns: int, end_ns: int
+) -> int:
+    """Time covered by ``intervals``, clipped to [start_ns, end_ns)."""
+    total = 0
+    for span_start, span_end in merge_adjacent(intervals):
+        lo = max(span_start, start_ns)
+        hi = min(span_end, end_ns)
+        if hi > lo:
+            total += hi - lo
+    return total
+
+
+def episode_gc_native_ns(episode: Episode) -> Tuple[int, int]:
+    """(gc_ns, native_ns) for one episode, disjoint by construction.
+
+    GC time is the union of the episode's GC intervals. Native time is
+    the union of native intervals minus any GC time nested inside them.
+    """
+    gc_intervals = episode.intervals_of_kind(IntervalKind.GC)
+    native_intervals = episode.intervals_of_kind(IntervalKind.NATIVE)
+    gc_ns = _covered_ns_within(gc_intervals, episode.start_ns, episode.end_ns)
+    native_ns = _covered_ns_within(
+        native_intervals, episode.start_ns, episode.end_ns
+    )
+    # Subtract GC time that falls inside native intervals so the two
+    # fractions never double count.
+    overlap = 0
+    native_spans = merge_adjacent(native_intervals)
+    gc_spans = merge_adjacent(gc_intervals)
+    for n_start, n_end in native_spans:
+        for g_start, g_end in gc_spans:
+            lo = max(n_start, g_start)
+            hi = min(n_end, g_end)
+            if hi > lo:
+                overlap += hi - lo
+    return gc_ns, native_ns - overlap
+
+
+def summarize(
+    episodes: Iterable[Episode],
+    library_prefixes: Sequence[str] = DEFAULT_LIBRARY_PREFIXES,
+) -> LocationSummary:
+    """Compute the Figure 6 breakdown for ``episodes``.
+
+    Samples taken while the GUI thread was in native code are excluded
+    from the application-vs-library split (the paper analyzes "call
+    stack samples taken in Java code"); GC blackout means no samples
+    exist during collections.
+    """
+    app_samples = 0
+    library_samples = 0
+    gc_ns = 0
+    native_ns = 0
+    episode_ns = 0
+    for episode in episodes:
+        episode_ns += episode.duration_ns
+        ep_gc, ep_native = episode_gc_native_ns(episode)
+        gc_ns += ep_gc
+        native_ns += ep_native
+        for entry in episode.gui_samples():
+            stack = entry.stack
+            if stack.leaf is None or stack.in_native():
+                continue
+            if stack.in_library(library_prefixes):
+                library_samples += 1
+            else:
+                app_samples += 1
+    return LocationSummary(
+        app_samples=app_samples,
+        library_samples=library_samples,
+        gc_ns=gc_ns,
+        native_ns=native_ns,
+        episode_ns=episode_ns,
+    )

@@ -1,0 +1,129 @@
+"""Occurrence classification: always, sometimes, once, or never slow.
+
+Section IV-B characterizes how problematic each pattern is by how many of
+its episodes are perceptible. A pattern whose episodes are *always*
+perceptible is a deterministic problem; *sometimes* suggests
+non-determinism; *once* (especially if it is the pattern's first episode)
+suggests initialization effects such as class loading; *never* is the
+ideal. Singleton patterns whose only episode is perceptible are
+classified "always".
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, Iterable, List
+
+from repro.core.episodes import DEFAULT_PERCEPTIBLE_MS
+from repro.core.patterns import Pattern, PatternTable
+
+
+class Occurrence(enum.Enum):
+    """How often a pattern's episodes are perceptible (Figure 4)."""
+
+    ALWAYS = "always"
+    SOMETIMES = "sometimes"
+    ONCE = "once"
+    NEVER = "never"
+
+
+def classify_pattern(
+    pattern: Pattern, threshold_ms: float = DEFAULT_PERCEPTIBLE_MS
+) -> Occurrence:
+    """Classify a single pattern per the Section IV-B rules."""
+    n_perceptible = pattern.perceptible_count(threshold_ms)
+    if n_perceptible == 0:
+        return Occurrence.NEVER
+    if n_perceptible == pattern.count:
+        # Covers singletons with a perceptible episode: "We classify
+        # singleton patterns as 'always' if their only episode was
+        # perceptible."
+        return Occurrence.ALWAYS
+    if n_perceptible == 1:
+        return Occurrence.ONCE
+    return Occurrence.SOMETIMES
+
+
+class OccurrenceSummary:
+    """Distribution of patterns over occurrence classes for one app."""
+
+    def __init__(self, counts: Dict[Occurrence, int]) -> None:
+        self.counts: Dict[Occurrence, int] = {
+            occurrence: counts.get(occurrence, 0) for occurrence in Occurrence
+        }
+
+    @property
+    def total(self) -> int:
+        return sum(self.counts.values())
+
+    def fraction(self, occurrence: Occurrence) -> float:
+        """Fraction of patterns in ``occurrence`` (0 if no patterns)."""
+        total = self.total
+        if total == 0:
+            return 0.0
+        return self.counts[occurrence] / total
+
+    def percentages(self) -> Dict[Occurrence, float]:
+        """Percentages per class, in Figure 4's bar order."""
+        return {
+            occurrence: 100.0 * self.fraction(occurrence)
+            for occurrence in Occurrence
+        }
+
+    @property
+    def consistent_fraction(self) -> float:
+        """Patterns that are consistently slow or consistently fast.
+
+        The paper reports that on average 96% of patterns are either
+        "always" or "never" perceptible.
+        """
+        total = self.total
+        if total == 0:
+            return 0.0
+        consistent = (
+            self.counts[Occurrence.ALWAYS] + self.counts[Occurrence.NEVER]
+        )
+        return consistent / total
+
+    @property
+    def ever_perceptible_fraction(self) -> float:
+        """Patterns that are once, sometimes, or always perceptible.
+
+        The paper reports this is a relatively small fraction (22% on
+        average).
+        """
+        total = self.total
+        if total == 0:
+            return 0.0
+        ever = total - self.counts[Occurrence.NEVER]
+        return ever / total
+
+    def __repr__(self) -> str:
+        parts = ", ".join(
+            f"{occ.value}={count}" for occ, count in self.counts.items()
+        )
+        return f"OccurrenceSummary({parts})"
+
+
+def summarize(
+    table: PatternTable, threshold_ms: float = DEFAULT_PERCEPTIBLE_MS
+) -> OccurrenceSummary:
+    """Classify every pattern of ``table`` and tally the classes."""
+    counts: Dict[Occurrence, int] = {}
+    for pattern in table:
+        occurrence = classify_pattern(pattern, threshold_ms)
+        counts[occurrence] = counts.get(occurrence, 0) + 1
+    return OccurrenceSummary(counts)
+
+
+def patterns_by_occurrence(
+    table: PatternTable,
+    occurrence: Occurrence,
+    threshold_ms: float = DEFAULT_PERCEPTIBLE_MS,
+) -> List[Pattern]:
+    """All patterns of ``table`` in the given occurrence class."""
+    return [
+        pattern
+        for pattern in table
+        if classify_pattern(pattern, threshold_ms) is occurrence
+    ]

@@ -1,0 +1,127 @@
+"""Episode queries: the filters custom analyses keep rewriting.
+
+The paper's core exposes "a straightforward API" for developers to
+write their own analyses. In practice every such analysis starts by
+selecting episodes — by duration, trigger, time window, or structure.
+:class:`EpisodeQuery` is a small chainable filter over an episode
+population; each method returns a new query, and the terminal methods
+materialize results.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, List, Optional, Sequence
+
+from repro.core.episodes import DEFAULT_PERCEPTIBLE_MS, Episode
+from repro.core.intervals import IntervalKind, NS_PER_S
+from repro.core.triggers import Trigger, classify_episode
+
+
+class EpisodeQuery:
+    """A chainable, immutable filter over episodes.
+
+    Example::
+
+        slow_paint_gc = (
+            EpisodeQuery(analyzer.episodes)
+            .perceptible()
+            .triggered_by(Trigger.OUTPUT)
+            .containing(IntervalKind.GC)
+        )
+        for episode in slow_paint_gc:
+            ...
+    """
+
+    def __init__(self, episodes: Sequence[Episode]) -> None:
+        self._episodes: List[Episode] = list(episodes)
+
+    # ------------------------------------------------------------------
+    # Filters (each returns a new query)
+    # ------------------------------------------------------------------
+
+    def where(
+        self, predicate: Callable[[Episode], bool]
+    ) -> "EpisodeQuery":
+        """Keep episodes matching an arbitrary predicate."""
+        return EpisodeQuery([ep for ep in self._episodes if predicate(ep)])
+
+    def perceptible(
+        self, threshold_ms: float = DEFAULT_PERCEPTIBLE_MS
+    ) -> "EpisodeQuery":
+        """Keep episodes at or beyond the perceptibility threshold."""
+        return self.where(lambda ep: ep.is_perceptible(threshold_ms))
+
+    def faster_than(self, lag_ms: float) -> "EpisodeQuery":
+        """Keep episodes strictly shorter than ``lag_ms``."""
+        return self.where(lambda ep: ep.duration_ms < lag_ms)
+
+    def slower_than(self, lag_ms: float) -> "EpisodeQuery":
+        """Keep episodes at or beyond ``lag_ms``."""
+        return self.where(lambda ep: ep.duration_ms >= lag_ms)
+
+    def triggered_by(self, trigger: Trigger) -> "EpisodeQuery":
+        """Keep episodes with the given trigger classification."""
+        return self.where(lambda ep: classify_episode(ep) is trigger)
+
+    def containing(self, kind: IntervalKind) -> "EpisodeQuery":
+        """Keep episodes whose tree contains an interval of ``kind``."""
+        return self.where(
+            lambda ep: ep.root.find(lambda n: n.kind is kind) is not None
+        )
+
+    def not_containing(self, kind: IntervalKind) -> "EpisodeQuery":
+        """Keep episodes without any interval of ``kind``."""
+        return self.where(
+            lambda ep: ep.root.find(lambda n: n.kind is kind) is None
+        )
+
+    def touching_symbol(self, fragment: str) -> "EpisodeQuery":
+        """Keep episodes where some interval symbol contains ``fragment``."""
+        return self.where(
+            lambda ep: ep.root.find(lambda n: fragment in n.symbol)
+            is not None
+        )
+
+    def between_seconds(self, start_s: float, end_s: float) -> "EpisodeQuery":
+        """Keep episodes starting within [start_s, end_s) of the session."""
+        start_ns = round(start_s * NS_PER_S)
+        end_ns = round(end_s * NS_PER_S)
+        return self.where(lambda ep: start_ns <= ep.start_ns < end_ns)
+
+    def with_structure(self) -> "EpisodeQuery":
+        """Keep episodes whose dispatch has children."""
+        return self.where(lambda ep: ep.has_structure)
+
+    # ------------------------------------------------------------------
+    # Terminals
+    # ------------------------------------------------------------------
+
+    def to_list(self) -> List[Episode]:
+        return list(self._episodes)
+
+    def count(self) -> int:
+        return len(self._episodes)
+
+    def total_lag_ms(self) -> float:
+        return sum(ep.duration_ms for ep in self._episodes)
+
+    def worst(self, n: int = 1) -> List[Episode]:
+        """The ``n`` slowest episodes, worst first."""
+        return sorted(
+            self._episodes, key=lambda ep: ep.duration_ns, reverse=True
+        )[:n]
+
+    def first(self) -> Optional[Episode]:
+        """The earliest episode, or None."""
+        if not self._episodes:
+            return None
+        return min(self._episodes, key=lambda ep: ep.start_ns)
+
+    def __iter__(self) -> Iterator[Episode]:
+        return iter(self._episodes)
+
+    def __len__(self) -> int:
+        return len(self._episodes)
+
+    def __repr__(self) -> str:
+        return f"EpisodeQuery({len(self._episodes)} episodes)"

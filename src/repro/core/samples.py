@@ -1,0 +1,227 @@
+"""Call-stack samples and thread states.
+
+Besides intervals, LiLa traces carry periodically captured call stacks of
+*all* threads, each annotated with the thread's scheduling state. These
+samples let LagAlyzer estimate, for perceptibly slow episodes, whether the
+GUI thread was runnable, blocked, waiting, or sleeping; how much time was
+spent in native versus Java code; and how much in the runtime library
+versus the application (Sections II-B and IV-D/IV-E of the paper).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, Iterable, Iterator, Optional, Sequence, Tuple
+
+#: Fully-qualified class-name prefixes treated as "runtime library" when
+#: partitioning samples into application vs library time (Section IV-D).
+DEFAULT_LIBRARY_PREFIXES: Tuple[str, ...] = (
+    "java.",
+    "javax.",
+    "sun.",
+    "com.sun.",
+    "com.apple.",
+    "apple.",
+    "org.w3c.",
+    "org.xml.",
+    "jdk.",
+)
+
+
+class ThreadState(enum.Enum):
+    """Scheduling state of a thread at sampling time.
+
+    The paper's cause analysis (Section IV-E) distinguishes a GUI thread
+    that is blocked entering a contended monitor, waiting in
+    ``Object.wait()``/``LockSupport.park()``, voluntarily sleeping in
+    ``Thread.sleep()``, or runnable (doing — or ready to do — work).
+    """
+
+    RUNNABLE = "runnable"
+    BLOCKED = "blocked"
+    WAITING = "waiting"
+    SLEEPING = "sleeping"
+
+    @classmethod
+    def from_name(cls, name: str) -> "ThreadState":
+        """Return the state whose trace-file name is ``name``."""
+        try:
+            return cls(name.lower())
+        except ValueError:
+            valid = ", ".join(state.value for state in cls)
+            raise ValueError(
+                f"unknown thread state {name!r}; expected one of: {valid}"
+            ) from None
+
+
+class StackFrame:
+    """One frame of a call stack: a method of a class, Java or native."""
+
+    __slots__ = ("class_name", "method_name", "is_native")
+
+    def __init__(self, class_name: str, method_name: str, is_native: bool = False) -> None:
+        self.class_name = class_name
+        self.method_name = method_name
+        self.is_native = is_native
+
+    @property
+    def qualified_name(self) -> str:
+        """``package.Class.method`` form used in sketches and reports."""
+        return f"{self.class_name}.{self.method_name}"
+
+    def is_library(
+        self, prefixes: Sequence[str] = DEFAULT_LIBRARY_PREFIXES
+    ) -> bool:
+        """True if this frame belongs to the runtime library.
+
+        Classification is by fully qualified class name, exactly as the
+        paper does for its application-vs-library split.
+        """
+        return any(self.class_name.startswith(prefix) for prefix in prefixes)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, StackFrame):
+            return NotImplemented
+        return (
+            self.class_name == other.class_name
+            and self.method_name == other.method_name
+            and self.is_native == other.is_native
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.class_name, self.method_name, self.is_native))
+
+    def __repr__(self) -> str:
+        suffix = " [native]" if self.is_native else ""
+        return f"StackFrame({self.qualified_name}{suffix})"
+
+
+class StackTrace:
+    """An immutable call stack, leaf frame first."""
+
+    __slots__ = ("frames",)
+
+    def __init__(self, frames: Iterable[StackFrame]) -> None:
+        self.frames: Tuple[StackFrame, ...] = tuple(frames)
+
+    @property
+    def leaf(self) -> Optional[StackFrame]:
+        """The currently executing frame, or None for an empty stack."""
+        return self.frames[0] if self.frames else None
+
+    @property
+    def depth(self) -> int:
+        return len(self.frames)
+
+    def in_native(self) -> bool:
+        """True if execution was inside native code when sampled."""
+        leaf = self.leaf
+        return leaf is not None and leaf.is_native
+
+    def in_library(
+        self, prefixes: Sequence[str] = DEFAULT_LIBRARY_PREFIXES
+    ) -> bool:
+        """True if the executing (leaf) frame is runtime-library code."""
+        leaf = self.leaf
+        return leaf is not None and leaf.is_library(prefixes)
+
+    def __iter__(self) -> Iterator[StackFrame]:
+        return iter(self.frames)
+
+    def __len__(self) -> int:
+        return len(self.frames)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, StackTrace):
+            return NotImplemented
+        return self.frames == other.frames
+
+    def __hash__(self) -> int:
+        return hash(self.frames)
+
+    def __repr__(self) -> str:
+        if not self.frames:
+            return "StackTrace(<empty>)"
+        return f"StackTrace({self.leaf.qualified_name} +{len(self.frames) - 1})"
+
+
+EMPTY_STACK = StackTrace(())
+
+
+class ThreadSample:
+    """State and stack of a single thread within one sampling tick."""
+
+    __slots__ = ("thread_name", "state", "stack")
+
+    def __init__(
+        self, thread_name: str, state: ThreadState, stack: StackTrace = EMPTY_STACK
+    ) -> None:
+        self.thread_name = thread_name
+        self.state = state
+        self.stack = stack
+
+    def __repr__(self) -> str:
+        return f"ThreadSample({self.thread_name}, {self.state.value}, {self.stack!r})"
+
+
+class Sample:
+    """One sampling tick: the states and stacks of all threads.
+
+    The tracer captures all threads at (roughly) periodic intervals;
+    during a stop-the-world garbage collection no samples are taken at
+    all (the JVMTI sampling blackout discussed with Figure 1).
+    """
+
+    __slots__ = ("timestamp_ns", "threads")
+
+    def __init__(
+        self, timestamp_ns: int, threads: Iterable[ThreadSample]
+    ) -> None:
+        self.timestamp_ns = timestamp_ns
+        self.threads: Tuple[ThreadSample, ...] = tuple(threads)
+
+    def thread(self, thread_name: str) -> Optional[ThreadSample]:
+        """The sample entry for ``thread_name``, or None if absent."""
+        for entry in self.threads:
+            if entry.thread_name == thread_name:
+                return entry
+        return None
+
+    def runnable_count(self) -> int:
+        """Number of threads in the RUNNABLE state at this tick (Fig 7)."""
+        return sum(
+            1 for entry in self.threads if entry.state is ThreadState.RUNNABLE
+        )
+
+    def states_by_thread(self) -> Dict[str, ThreadState]:
+        """Mapping thread name -> state for this tick."""
+        return {entry.thread_name: entry.state for entry in self.threads}
+
+    def __repr__(self) -> str:
+        return f"Sample(t={self.timestamp_ns}, {len(self.threads)} threads)"
+
+
+def samples_in_range(
+    samples: Sequence[Sample], start_ns: int, end_ns: int
+) -> list:
+    """Samples whose timestamps fall in ``[start_ns, end_ns)``.
+
+    ``samples`` must be sorted by timestamp; a binary search keeps episode
+    slicing cheap even for long sessions.
+    """
+    lo, hi = 0, len(samples)
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if samples[mid].timestamp_ns < start_ns:
+            lo = mid + 1
+        else:
+            hi = mid
+    first = lo
+    lo, hi = first, len(samples)
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if samples[mid].timestamp_ns < end_ns:
+            lo = mid + 1
+        else:
+            hi = mid
+    return list(samples[first:lo])

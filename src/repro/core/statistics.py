@@ -1,0 +1,115 @@
+"""Session statistics: the numbers behind Table III.
+
+For each interactive session the paper reports: end-to-end time, the
+fraction of time spent in episodes, episode counts by duration band
+(< 3 ms filtered at trace time, ≥ 3 ms traced, ≥ 100 ms perceptible),
+the rate of perceptible episodes per minute of in-episode time, and a
+block of pattern statistics (distinct patterns, covered episodes,
+singleton fraction, mean tree size and depth).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+from typing import Dict, Iterable, List, Sequence
+
+from repro.core.episodes import DEFAULT_PERCEPTIBLE_MS
+from repro.core.patterns import PatternTable
+from repro.core.trace import Trace
+
+SECONDS_PER_MINUTE = 60.0
+
+
+@dataclass(frozen=True)
+class SessionStats:
+    """One row of Table III for a single session (or session average)."""
+
+    application: str
+    e2e_s: float
+    """End-to-end session duration in seconds ("E2E [s]")."""
+    in_episode_pct: float
+    """Percentage of E2E time spent handling requests ("In-Eps [%]")."""
+    below_filter: float
+    """Episodes shorter than the trace filter ("< 3ms")."""
+    traced: float
+    """Episodes represented in the trace ("≥ 3ms")."""
+    perceptible: float
+    """Episodes at or beyond the perceptibility threshold ("≥ 100ms")."""
+    long_per_min: float
+    """Perceptible episodes per minute of in-episode time ("Long/min")."""
+    distinct_patterns: float
+    """Distinct structural patterns ("Dist")."""
+    covered_episodes: float
+    """Episodes covered by some pattern ("#Eps")."""
+    singleton_pct: float
+    """Percentage of patterns with a single episode ("One-Ep [%]")."""
+    mean_descendants: float
+    """Mean dispatch-descendant count over patterns ("Descs")."""
+    mean_depth: float
+    """Mean interval-tree depth over patterns ("Depth")."""
+
+    _NUMERIC_FIELDS = (
+        "e2e_s",
+        "in_episode_pct",
+        "below_filter",
+        "traced",
+        "perceptible",
+        "long_per_min",
+        "distinct_patterns",
+        "covered_episodes",
+        "singleton_pct",
+        "mean_descendants",
+        "mean_depth",
+    )
+
+    def as_dict(self) -> Dict[str, float]:
+        """Numeric columns keyed by field name (application excluded)."""
+        return {name: getattr(self, name) for name in self._NUMERIC_FIELDS}
+
+
+def session_stats(
+    trace: Trace, threshold_ms: float = DEFAULT_PERCEPTIBLE_MS
+) -> SessionStats:
+    """Compute the Table III row for one session trace."""
+    episodes = trace.episodes
+    perceptible_eps = trace.perceptible_episodes(threshold_ms)
+    in_episode_ns = trace.in_episode_ns()
+    in_episode_minutes = in_episode_ns / 1e9 / SECONDS_PER_MINUTE
+    if in_episode_minutes > 0:
+        long_per_min = len(perceptible_eps) / in_episode_minutes
+    else:
+        long_per_min = 0.0
+    table = PatternTable.from_episodes(episodes)
+    return SessionStats(
+        application=trace.application,
+        e2e_s=trace.metadata.duration_s,
+        in_episode_pct=100.0 * trace.in_episode_fraction(),
+        below_filter=float(trace.short_episode_count),
+        traced=float(len(episodes)),
+        perceptible=float(len(perceptible_eps)),
+        long_per_min=long_per_min,
+        distinct_patterns=float(table.distinct_count),
+        covered_episodes=float(table.covered_episodes),
+        singleton_pct=100.0 * table.singleton_fraction,
+        mean_descendants=table.mean_descendants,
+        mean_depth=table.mean_depth,
+    )
+
+
+def average_stats(
+    rows: Sequence[SessionStats], application: str
+) -> SessionStats:
+    """Field-wise mean of several rows (paper: average over 4 sessions)."""
+    if not rows:
+        raise ValueError("cannot average zero session rows")
+    n = len(rows)
+    means = {
+        name: sum(getattr(row, name) for row in rows) / n
+        for name in SessionStats._NUMERIC_FIELDS
+    }
+    return SessionStats(application=application, **means)
+
+
+def mean_row(rows: Sequence[SessionStats]) -> SessionStats:
+    """The cross-application "Mean" row at the bottom of Table III."""
+    return average_stats(rows, application="Mean")

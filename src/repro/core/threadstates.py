@@ -1,0 +1,78 @@
+"""Cause analysis: synchronization, sleep, and work in the GUI thread.
+
+Section IV-E partitions the time the GUI thread spent in episodes into
+four components, using the fraction of call-stack samples taken in each
+thread state: blocked entering contended monitors, waiting in
+``Object.wait()``/``LockSupport.park()``, sleeping in ``Thread.sleep()``,
+and runnable (the remainder — actual or pending work). Figure 8 plots
+the first three; the paper stresses that aggregate (all-episode)
+numbers hide what perceptible episodes reveal.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable
+
+from repro.core.samples import ThreadState
+
+
+class ThreadStateSummary:
+    """GUI-thread state distribution over one population of episodes."""
+
+    def __init__(self, counts: Dict[ThreadState, int]) -> None:
+        self.counts: Dict[ThreadState, int] = {
+            state: counts.get(state, 0) for state in ThreadState
+        }
+
+    @property
+    def total(self) -> int:
+        return sum(self.counts.values())
+
+    def fraction(self, state: ThreadState) -> float:
+        total = self.total
+        if total == 0:
+            return 0.0
+        return self.counts[state] / total
+
+    def percentages(self) -> Dict[ThreadState, float]:
+        """Percentage of episode time per state (Figure 8 bars)."""
+        return {
+            state: 100.0 * self.fraction(state) for state in ThreadState
+        }
+
+    @property
+    def blocked_fraction(self) -> float:
+        return self.fraction(ThreadState.BLOCKED)
+
+    @property
+    def waiting_fraction(self) -> float:
+        return self.fraction(ThreadState.WAITING)
+
+    @property
+    def sleeping_fraction(self) -> float:
+        return self.fraction(ThreadState.SLEEPING)
+
+    @property
+    def runnable_fraction(self) -> float:
+        return self.fraction(ThreadState.RUNNABLE)
+
+    @property
+    def synchronization_fraction(self) -> float:
+        """Blocked + waiting: the synchronization share of episode time."""
+        return self.blocked_fraction + self.waiting_fraction
+
+    def __repr__(self) -> str:
+        parts = ", ".join(
+            f"{state.value}={100 * self.fraction(state):.0f}%"
+            for state in ThreadState
+        )
+        return f"ThreadStateSummary({parts})"
+
+
+def summarize(episodes: Iterable) -> ThreadStateSummary:
+    """Tally the GUI thread's sampled states over ``episodes``."""
+    counts: Dict[ThreadState, int] = {}
+    for episode in episodes:
+        for entry in episode.gui_samples():
+            counts[entry.state] = counts.get(entry.state, 0) + 1
+    return ThreadStateSummary(counts)

@@ -1,0 +1,244 @@
+"""The session trace: LagAlyzer's in-memory representation of one run.
+
+A :class:`Trace` holds everything a LiLa-style profiler recorded about a
+single interactive session: metadata about the session, the per-thread
+interval trees, the episodes extracted from the GUI thread, all stack
+samples, and the count of episodes that fell below the tracing filter
+(the paper filters episodes shorter than 3 ms at trace time; LagAlyzer
+only ever learns how many such episodes existed).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.core.episodes import Episode, episodes_from_roots
+from repro.core.errors import AnalysisError
+from repro.core.intervals import Interval, IntervalKind, NS_PER_MS, NS_PER_S
+from repro.core.samples import Sample
+
+#: Episodes shorter than this are filtered at trace time (paper: 3 ms).
+DEFAULT_FILTER_MS = 3.0
+
+#: Thread name LiLa uses for the AWT/Swing event dispatch thread.
+DEFAULT_GUI_THREAD = "AWT-EventQueue-0"
+
+
+class TraceMetadata:
+    """Descriptive header of a session trace."""
+
+    __slots__ = (
+        "application",
+        "session_id",
+        "start_ns",
+        "end_ns",
+        "gui_thread",
+        "sample_period_ns",
+        "filter_ms",
+        "extra",
+    )
+
+    def __init__(
+        self,
+        application: str,
+        session_id: str,
+        start_ns: int,
+        end_ns: int,
+        gui_thread: str = DEFAULT_GUI_THREAD,
+        sample_period_ns: int = 10 * NS_PER_MS,
+        filter_ms: float = DEFAULT_FILTER_MS,
+        extra: Optional[Dict[str, str]] = None,
+    ) -> None:
+        if end_ns < start_ns:
+            raise AnalysisError(
+                f"session ends before it starts ({end_ns} < {start_ns})"
+            )
+        self.application = application
+        self.session_id = session_id
+        self.start_ns = start_ns
+        self.end_ns = end_ns
+        self.gui_thread = gui_thread
+        self.sample_period_ns = sample_period_ns
+        self.filter_ms = filter_ms
+        self.extra: Dict[str, str] = dict(extra or {})
+
+    @property
+    def duration_ns(self) -> int:
+        """End-to-end session time ("E2E")."""
+        return self.end_ns - self.start_ns
+
+    @property
+    def duration_s(self) -> float:
+        return self.duration_ns / NS_PER_S
+
+    def __repr__(self) -> str:
+        return (
+            f"TraceMetadata({self.application!r}, {self.session_id!r}, "
+            f"{self.duration_s:.0f} s)"
+        )
+
+
+class Trace:
+    """One session's complete latency profile.
+
+    Attributes:
+        metadata: session header.
+        thread_roots: per-thread root intervals (properly nested trees).
+            GC intervals appear as a copy in *every* thread's tree, as
+            the paper prescribes for stop-the-world collections.
+        episodes: the GUI thread's dispatch intervals, wrapped as
+            :class:`Episode` objects with their sample slices attached.
+        samples: all sampling ticks of the session, sorted by time.
+        short_episode_count: how many episodes the tracer filtered out
+            for being shorter than ``metadata.filter_ms`` (column
+            "< 3ms" of Table III).
+    """
+
+    def __init__(
+        self,
+        metadata: TraceMetadata,
+        thread_roots: Dict[str, List[Interval]],
+        samples: Sequence[Sample] = (),
+        short_episode_count: int = 0,
+    ) -> None:
+        self.metadata = metadata
+        self.thread_roots: Dict[str, List[Interval]] = {
+            name: list(roots) for name, roots in thread_roots.items()
+        }
+        self.samples: List[Sample] = sorted(
+            samples, key=lambda s: s.timestamp_ns
+        )
+        self.short_episode_count = short_episode_count
+        # Episodes exist wherever dispatch intervals do. The paper's
+        # study uses a single GUI thread, but the tool supports traces
+        # with multiple concurrent event dispatch threads (Section V):
+        # an episode is the handling of one GUI event by *its* thread.
+        self._episodes_by_thread: Dict[str, List[Episode]] = {}
+        for thread_name, roots in self.thread_roots.items():
+            if any(r.kind is IntervalKind.DISPATCH for r in roots):
+                self._episodes_by_thread[thread_name] = episodes_from_roots(
+                    roots, thread_name, self.samples
+                )
+        self.episodes: List[Episode] = self._episodes_by_thread.get(
+            metadata.gui_thread, []
+        )
+
+    # ------------------------------------------------------------------
+    # Convenience accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def application(self) -> str:
+        return self.metadata.application
+
+    @property
+    def gui_thread(self) -> str:
+        return self.metadata.gui_thread
+
+    @property
+    def thread_names(self) -> List[str]:
+        """All thread names observed in the trace, GUI thread first."""
+        names = sorted(self.thread_roots)
+        gui = self.metadata.gui_thread
+        if gui in names:
+            names.remove(gui)
+            names.insert(0, gui)
+        return names
+
+    @property
+    def dispatch_threads(self) -> List[str]:
+        """Threads that dispatched GUI events, primary GUI thread first."""
+        names = sorted(self._episodes_by_thread)
+        gui = self.metadata.gui_thread
+        if gui in names:
+            names.remove(gui)
+            names.insert(0, gui)
+        return names
+
+    def episodes_of(self, thread_name: str) -> List[Episode]:
+        """Episodes dispatched by ``thread_name`` (empty if none)."""
+        return list(self._episodes_by_thread.get(thread_name, []))
+
+    def all_episodes(self) -> List[Episode]:
+        """Episodes of every dispatch thread, merged in time order."""
+        merged: List[Episode] = []
+        for episodes in self._episodes_by_thread.values():
+            merged.extend(episodes)
+        merged.sort(key=lambda ep: ep.start_ns)
+        return merged
+
+    def perceptible_episodes(self, threshold_ms: float = 100.0) -> List[Episode]:
+        """Episodes whose lag meets the perceptibility threshold."""
+        return [ep for ep in self.episodes if ep.is_perceptible(threshold_ms)]
+
+    def in_episode_ns(self) -> int:
+        """Total time the system spent handling user requests."""
+        return sum(ep.duration_ns for ep in self.episodes)
+
+    def in_episode_fraction(self) -> float:
+        """Fraction of the session spent in episodes ("In-Eps")."""
+        e2e = self.metadata.duration_ns
+        if e2e == 0:
+            return 0.0
+        return self.in_episode_ns() / e2e
+
+    def gc_intervals(self) -> List[Interval]:
+        """All GC intervals as seen from the GUI thread's tree."""
+        result: List[Interval] = []
+        for root in self.thread_roots.get(self.metadata.gui_thread, []):
+            result.extend(root.find_all(lambda n: n.kind is IntervalKind.GC))
+        return result
+
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+
+    def validate(self) -> None:
+        """Check structural invariants of the whole trace.
+
+        Raises:
+            LagAlyzerError: on nesting violations, unsorted samples, or
+                episodes outside session bounds.
+        """
+        for name, roots in self.thread_roots.items():
+            previous_end = None
+            for root in roots:
+                root.validate()
+                if previous_end is not None and root.start_ns < previous_end:
+                    raise AnalysisError(
+                        f"root intervals overlap in thread {name!r} "
+                        f"at {root.start_ns}"
+                    )
+                previous_end = root.end_ns
+        for episode in self.episodes:
+            if episode.start_ns < self.metadata.start_ns or (
+                episode.end_ns > self.metadata.end_ns
+            ):
+                raise AnalysisError(
+                    f"episode #{episode.index} "
+                    f"[{episode.start_ns}, {episode.end_ns}) lies outside "
+                    f"the session bounds"
+                )
+        previous = None
+        for sample in self.samples:
+            if previous is not None and sample.timestamp_ns < previous:
+                raise AnalysisError("samples are not sorted by timestamp")
+            previous = sample.timestamp_ns
+
+    def __repr__(self) -> str:
+        return (
+            f"Trace({self.application!r}, {len(self.episodes)} episodes, "
+            f"{len(self.samples)} samples, "
+            f"{self.short_episode_count} filtered)"
+        )
+
+
+def merge_thread_names(traces: Iterable[Trace]) -> List[str]:
+    """Union of thread names across traces, sorted, GUI threads first."""
+    names = set()
+    gui_names = set()
+    for trace in traces:
+        names.update(trace.thread_roots)
+        gui_names.add(trace.metadata.gui_thread)
+    ordered = sorted(names & gui_names) + sorted(names - gui_names)
+    return ordered

@@ -1,0 +1,120 @@
+"""Trigger classification: input, output, or asynchronous events.
+
+Section IV-C classifies each episode by what triggered it. A pre-order
+traversal of the interval tree finds the first "listener", "paint", or
+"async" interval:
+
+- a *listener* interval means the episode was triggered by user input,
+- a *paint* interval means it was triggered by an output (repaint)
+  request,
+- an *async* interval means a background thread posted the triggering
+  event.
+
+Episodes with no such child (or none long enough to pass the tracer's
+3 ms filter) are *unspecified*.
+
+Footnote 3 of the paper describes a quirk of Swing's repaint manager: it
+sometimes produces an "async" interval that directly wraps a "paint"
+interval even though no background thread is involved. Episodes whose
+first trigger interval is such an async-wrapping-paint are reclassified
+as output episodes.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, Iterable, List, Sequence
+
+from repro.core.episodes import Episode
+from repro.core.intervals import Interval, IntervalKind
+
+_TRIGGER_KINDS = (IntervalKind.LISTENER, IntervalKind.PAINT, IntervalKind.ASYNC)
+
+
+class Trigger(enum.Enum):
+    """What caused an episode to be dispatched (Figure 5)."""
+
+    INPUT = "input"
+    OUTPUT = "output"
+    ASYNC = "asynchronous"
+    UNSPECIFIED = "unspecified"
+
+
+def _first_trigger_interval(episode: Episode) -> Interval:
+    for node in episode.root.preorder():
+        if node.kind in _TRIGGER_KINDS:
+            return node
+    return None
+
+
+def _async_wraps_paint(async_interval: Interval) -> bool:
+    """True for the repaint-manager pattern: an async containing a paint."""
+    return (
+        async_interval.find(
+            lambda node: node.kind is IntervalKind.PAINT
+            and node is not async_interval
+        )
+        is not None
+    )
+
+
+def classify_episode(episode: Episode) -> Trigger:
+    """Determine the trigger of one episode (Section IV-C rules)."""
+    first = _first_trigger_interval(episode)
+    if first is None:
+        return Trigger.UNSPECIFIED
+    if first.kind is IntervalKind.LISTENER:
+        return Trigger.INPUT
+    if first.kind is IntervalKind.PAINT:
+        return Trigger.OUTPUT
+    # ASYNC: apply the repaint-manager reclassification.
+    if _async_wraps_paint(first):
+        return Trigger.OUTPUT
+    return Trigger.ASYNC
+
+
+class TriggerSummary:
+    """Episode counts per trigger class for one population of episodes."""
+
+    def __init__(self, counts: Dict[Trigger, int]) -> None:
+        self.counts: Dict[Trigger, int] = {
+            trigger: counts.get(trigger, 0) for trigger in Trigger
+        }
+
+    @property
+    def total(self) -> int:
+        return sum(self.counts.values())
+
+    def fraction(self, trigger: Trigger) -> float:
+        total = self.total
+        if total == 0:
+            return 0.0
+        return self.counts[trigger] / total
+
+    def percentages(self) -> Dict[Trigger, float]:
+        """Percentages per trigger, in Figure 5's bar order."""
+        return {
+            trigger: 100.0 * self.fraction(trigger) for trigger in Trigger
+        }
+
+    def __repr__(self) -> str:
+        parts = ", ".join(
+            f"{trig.value}={count}" for trig, count in self.counts.items()
+        )
+        return f"TriggerSummary({parts})"
+
+
+def summarize(episodes: Iterable[Episode]) -> TriggerSummary:
+    """Classify every episode and tally the trigger classes."""
+    counts: Dict[Trigger, int] = {}
+    for episode in episodes:
+        trigger = classify_episode(episode)
+        counts[trigger] = counts.get(trigger, 0) + 1
+    return TriggerSummary(counts)
+
+
+def episodes_by_trigger(
+    episodes: Sequence[Episode], trigger: Trigger
+) -> List[Episode]:
+    """The episodes classified as ``trigger``."""
+    return [ep for ep in episodes if classify_episode(ep) is trigger]

@@ -1,0 +1,30 @@
+"""LiLa-style trace file format.
+
+The paper's traces are produced by LiLa, a listener-latency profiler.
+This package defines a textual, versioned trace format with the same
+record vocabulary LiLa gives LagAlyzer — session metadata, per-thread
+interval open/close events, complete GC intervals, multi-thread stack
+samples, and the count of episodes filtered at trace time — plus a
+writer and reader with a round-trip guarantee.
+"""
+
+from repro.lila.autodetect import detect_format, load_trace
+from repro.lila.binary import read_trace_binary, write_trace_binary
+from repro.lila.format import FORMAT_VERSION, MAGIC
+from repro.lila.reader import read_trace, read_trace_lines
+from repro.lila.validation import lint_trace
+from repro.lila.writer import write_trace, trace_to_lines
+
+__all__ = [
+    "FORMAT_VERSION",
+    "MAGIC",
+    "detect_format",
+    "lint_trace",
+    "load_trace",
+    "read_trace",
+    "read_trace_binary",
+    "read_trace_lines",
+    "trace_to_lines",
+    "write_trace",
+    "write_trace_binary",
+]

@@ -1,0 +1,43 @@
+"""Loading traces regardless of encoding.
+
+Both encodings are self-identifying (``#%lila`` for text, ``LILB`` for
+binary), so callers should not have to care: :func:`load_trace` sniffs
+the first bytes and dispatches.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Union
+
+from repro.core.errors import TraceFormatError
+from repro.core.trace import Trace
+from repro.lila import binary as binary_format
+from repro.lila import format as text_format
+from repro.lila.reader import read_trace
+
+
+def detect_format(path: Union[str, Path]) -> str:
+    """``"text"`` or ``"binary"``, by magic bytes.
+
+    Raises:
+        TraceFormatError: when neither magic matches.
+    """
+    path = Path(path)
+    with path.open("rb") as handle:
+        head = handle.read(8)
+    if head.startswith(binary_format.MAGIC):
+        return "binary"
+    if head.startswith(text_format.MAGIC.encode("utf-8")):
+        return "text"
+    raise TraceFormatError(
+        f"{path}: not a LiLa trace in either encoding "
+        f"(first bytes: {head!r})"
+    )
+
+
+def load_trace(path: Union[str, Path]) -> Trace:
+    """Read a trace file in whichever encoding it uses."""
+    if detect_format(path) == "binary":
+        return binary_format.read_trace_binary(path)
+    return read_trace(path)

@@ -1,0 +1,396 @@
+"""A compact binary trace encoding.
+
+The paper's limitations section notes that LiLa "produces relatively
+large traces for real-world sessions", which constrains session length.
+This module provides a binary sibling of the text format that attacks
+the dominant redundancy: symbols, stack frames, and whole call stacks
+repeat constantly, so the encoding interns all three —
+
+1. a **string table** (every symbol, class, method, thread name once),
+2. a **frame table** of (class, method, native) triples over string ids,
+3. a **stack table** of frame-id tuples —
+
+and samples then cost a few integers each. Interval events use fixed-
+width records. The reader reconstructs exactly the same
+:class:`~repro.core.trace.Trace` as the text reader (round-trip
+tested); ``bench_binary_format.py`` measures the size and speed win.
+
+Layout (little-endian):
+
+=======  =============================================
+header   magic ``LILB``, u16 version
+strings  u32 count; per string: u32 length + UTF-8 bytes
+frames   u32 count; per frame: u32 class, u32 method, u8 native
+stacks   u32 count; per stack: u16 depth + depth * u32 frame
+meta     u32 string ids: application, session id, gui thread;
+         u64 start/end/sample-period; f64 filter;
+         u64 filtered-count; u32 extra-count + id pairs
+threads  u32 count; per thread: u32 name, u32 event count, events
+samples  u32 count; per tick: u64 t, u16 entries,
+         per entry: u32 thread, u8 state, u32 stack
+footer   u32 CRC-32 of everything after the 6-byte header
+=======  =============================================
+
+Interval events: u8 tag (1 open / 2 close / 3 complete-GC), then
+open: u64 t + u8 kind + u32 symbol; close: u64 t; GC: u64 t0 + u64 t1
++ u32 symbol.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from pathlib import Path
+from typing import BinaryIO, Dict, List, Tuple, Union
+
+from repro.core.errors import TraceFormatError
+from repro.core.intervals import Interval, IntervalKind, IntervalTreeBuilder
+from repro.core.samples import (
+    Sample,
+    StackFrame,
+    StackTrace,
+    ThreadSample,
+    ThreadState,
+)
+from repro.core.trace import Trace, TraceMetadata
+
+MAGIC = b"LILB"
+VERSION = 1
+
+_TAG_OPEN = 1
+_TAG_CLOSE = 2
+_TAG_GC = 3
+
+_KIND_CODES = {kind: index for index, kind in enumerate(IntervalKind)}
+_KINDS_BY_CODE = {index: kind for kind, index in _KIND_CODES.items()}
+_STATE_CODES = {state: index for index, state in enumerate(ThreadState)}
+_STATES_BY_CODE = {index: state for state, index in _STATE_CODES.items()}
+
+_U16 = struct.Struct("<H")
+_U32 = struct.Struct("<I")
+_U64 = struct.Struct("<Q")
+_F64 = struct.Struct("<d")
+_U8 = struct.Struct("<B")
+
+
+class _Interner:
+    """Assigns dense ids to hashable values in first-seen order."""
+
+    def __init__(self) -> None:
+        self._ids: Dict = {}
+        self.values: List = []
+
+    def intern(self, value) -> int:
+        existing = self._ids.get(value)
+        if existing is not None:
+            return existing
+        index = len(self.values)
+        self._ids[value] = index
+        self.values.append(value)
+        return index
+
+
+class _Writer:
+    def __init__(self, trace: Trace) -> None:
+        self.trace = trace
+        self.strings = _Interner()
+        self.frames = _Interner()
+        self.stacks = _Interner()
+
+    # -- interning --------------------------------------------------------
+
+    def _frame_id(self, frame: StackFrame) -> int:
+        return self.frames.intern(
+            (
+                self.strings.intern(frame.class_name),
+                self.strings.intern(frame.method_name),
+                frame.is_native,
+            )
+        )
+
+    def _stack_id(self, stack: StackTrace) -> int:
+        return self.stacks.intern(
+            tuple(self._frame_id(frame) for frame in stack.frames)
+        )
+
+    # -- encoding ----------------------------------------------------------
+
+    def _interval_events(self, interval: Interval, out: List[bytes]) -> None:
+        if interval.kind is IntervalKind.GC and not interval.children:
+            out.append(
+                _U8.pack(_TAG_GC)
+                + _U64.pack(interval.start_ns)
+                + _U64.pack(interval.end_ns)
+                + _U32.pack(self.strings.intern(interval.symbol))
+            )
+            return
+        out.append(
+            _U8.pack(_TAG_OPEN)
+            + _U64.pack(interval.start_ns)
+            + _U8.pack(_KIND_CODES[interval.kind])
+            + _U32.pack(self.strings.intern(interval.symbol))
+        )
+        for child in interval.children:
+            self._interval_events(child, out)
+        out.append(_U8.pack(_TAG_CLOSE) + _U64.pack(interval.end_ns))
+
+    def write(self, handle: BinaryIO) -> None:
+        import io
+
+        payload = io.BytesIO()
+        self._write_payload(payload)
+        data = payload.getvalue()
+        handle.write(MAGIC)
+        handle.write(_U16.pack(VERSION))
+        handle.write(data)
+        handle.write(_U32.pack(zlib.crc32(data) & 0xFFFFFFFF))
+
+    def _write_payload(self, handle: BinaryIO) -> None:
+        trace = self.trace
+        meta = trace.metadata
+
+        # Pass 1: build all sections (interning fills the tables).
+        thread_sections: List[Tuple[int, List[bytes]]] = []
+        for thread_name in trace.thread_names:
+            events: List[bytes] = []
+            for root in trace.thread_roots[thread_name]:
+                self._interval_events(root, events)
+            thread_sections.append(
+                (self.strings.intern(thread_name), events)
+            )
+
+        sample_blobs: List[bytes] = []
+        for sample in trace.samples:
+            entry_parts = [
+                _U64.pack(sample.timestamp_ns),
+                _U16.pack(len(sample.threads)),
+            ]
+            for entry in sample.threads:
+                entry_parts.append(
+                    _U32.pack(self.strings.intern(entry.thread_name))
+                    + _U8.pack(_STATE_CODES[entry.state])
+                    + _U32.pack(self._stack_id(entry.stack))
+                )
+            sample_blobs.append(b"".join(entry_parts))
+
+        meta_ids = (
+            self.strings.intern(meta.application),
+            self.strings.intern(meta.session_id),
+            self.strings.intern(meta.gui_thread),
+        )
+        extra_ids = [
+            (self.strings.intern(key), self.strings.intern(value))
+            for key, value in sorted(meta.extra.items())
+        ]
+
+        # Pass 2: emit.
+        handle.write(_U32.pack(len(self.strings.values)))
+        for text in self.strings.values:
+            data = text.encode("utf-8")
+            handle.write(_U32.pack(len(data)))
+            handle.write(data)
+
+        handle.write(_U32.pack(len(self.frames.values)))
+        for class_id, method_id, native in self.frames.values:
+            handle.write(_U32.pack(class_id))
+            handle.write(_U32.pack(method_id))
+            handle.write(_U8.pack(1 if native else 0))
+
+        handle.write(_U32.pack(len(self.stacks.values)))
+        for frame_ids in self.stacks.values:
+            handle.write(_U16.pack(len(frame_ids)))
+            for frame_id in frame_ids:
+                handle.write(_U32.pack(frame_id))
+
+        for meta_id in meta_ids:
+            handle.write(_U32.pack(meta_id))
+        handle.write(_U64.pack(meta.start_ns))
+        handle.write(_U64.pack(meta.end_ns))
+        handle.write(_U64.pack(meta.sample_period_ns))
+        handle.write(_F64.pack(meta.filter_ms))
+        handle.write(_U64.pack(trace.short_episode_count))
+        handle.write(_U32.pack(len(extra_ids)))
+        for key_id, value_id in extra_ids:
+            handle.write(_U32.pack(key_id))
+            handle.write(_U32.pack(value_id))
+
+        handle.write(_U32.pack(len(thread_sections)))
+        for name_id, events in thread_sections:
+            handle.write(_U32.pack(name_id))
+            handle.write(_U32.pack(len(events)))
+            for event in events:
+                handle.write(event)
+
+        handle.write(_U32.pack(len(sample_blobs)))
+        for blob in sample_blobs:
+            handle.write(blob)
+
+
+class _Reader:
+    def __init__(self, handle: BinaryIO) -> None:
+        self._handle = handle
+
+    def _read(self, n: int) -> bytes:
+        data = self._handle.read(n)
+        if len(data) != n:
+            raise TraceFormatError(
+                f"truncated binary trace (wanted {n} bytes, got {len(data)})"
+            )
+        return data
+
+    def _u8(self) -> int:
+        return _U8.unpack(self._read(1))[0]
+
+    def _u16(self) -> int:
+        return _U16.unpack(self._read(2))[0]
+
+    def _u32(self) -> int:
+        return _U32.unpack(self._read(4))[0]
+
+    def _u64(self) -> int:
+        return _U64.unpack(self._read(8))[0]
+
+    def _f64(self) -> float:
+        return _F64.unpack(self._read(8))[0]
+
+    def read(self) -> Trace:
+        if self._read(4) != MAGIC:
+            raise TraceFormatError("not a binary LiLa trace (bad magic)")
+        version = self._u16()
+        if version != VERSION:
+            raise TraceFormatError(
+                f"unsupported binary trace version {version}"
+            )
+        # Everything between the header and the 4-byte CRC footer is
+        # payload; verify integrity before trusting a single field.
+        import io
+
+        rest = self._handle.read()
+        if len(rest) < 4:
+            raise TraceFormatError("truncated binary trace (missing CRC)")
+        data, (expected,) = rest[:-4], _U32.unpack(rest[-4:])
+        actual = zlib.crc32(data) & 0xFFFFFFFF
+        if actual != expected:
+            raise TraceFormatError(
+                f"binary trace is corrupt (CRC {actual:#010x}, "
+                f"expected {expected:#010x})"
+            )
+        self._handle = io.BytesIO(data)
+
+        strings = [
+            self._read(self._u32()).decode("utf-8")
+            for _ in range(self._u32())
+        ]
+
+        def string(index: int) -> str:
+            try:
+                return strings[index]
+            except IndexError:
+                raise TraceFormatError(
+                    f"string id {index} out of range"
+                ) from None
+
+        frames: List[StackFrame] = []
+        for _ in range(self._u32()):
+            class_id, method_id = self._u32(), self._u32()
+            native = self._u8() == 1
+            frames.append(
+                StackFrame(string(class_id), string(method_id), native)
+            )
+
+        stacks: List[StackTrace] = []
+        for _ in range(self._u32()):
+            depth = self._u16()
+            stacks.append(
+                StackTrace(frames[self._u32()] for _ in range(depth))
+            )
+
+        application = string(self._u32())
+        session_id = string(self._u32())
+        gui_thread = string(self._u32())
+        start_ns = self._u64()
+        end_ns = self._u64()
+        sample_period_ns = self._u64()
+        filter_ms = self._f64()
+        short_count = self._u64()
+        extra = {}
+        for _ in range(self._u32()):
+            key_id, value_id = self._u32(), self._u32()
+            extra[string(key_id)] = string(value_id)
+
+        thread_roots: Dict[str, List[Interval]] = {}
+        for _ in range(self._u32()):
+            name = string(self._u32())
+            builder = IntervalTreeBuilder()
+            for _ in range(self._u32()):
+                tag = self._u8()
+                if tag == _TAG_OPEN:
+                    t = self._u64()
+                    kind = _KINDS_BY_CODE.get(self._u8())
+                    if kind is None:
+                        raise TraceFormatError("unknown interval kind code")
+                    builder.open(kind, string(self._u32()), t)
+                elif tag == _TAG_CLOSE:
+                    builder.close(self._u64())
+                elif tag == _TAG_GC:
+                    t0, t1 = self._u64(), self._u64()
+                    builder.add_complete(
+                        IntervalKind.GC, string(self._u32()), t0, t1
+                    )
+                else:
+                    raise TraceFormatError(f"unknown event tag {tag}")
+            thread_roots[name] = builder.finish()
+
+        samples: List[Sample] = []
+        for _ in range(self._u32()):
+            t = self._u64()
+            entries = []
+            for _ in range(self._u16()):
+                thread_id = self._u32()
+                state = _STATES_BY_CODE.get(self._u8())
+                if state is None:
+                    raise TraceFormatError("unknown thread state code")
+                stack_id = self._u32()
+                try:
+                    stack = stacks[stack_id]
+                except IndexError:
+                    raise TraceFormatError(
+                        f"stack id {stack_id} out of range"
+                    ) from None
+                entries.append(ThreadSample(string(thread_id), state, stack))
+            samples.append(Sample(t, entries))
+
+        metadata = TraceMetadata(
+            application=application,
+            session_id=session_id,
+            start_ns=start_ns,
+            end_ns=end_ns,
+            gui_thread=gui_thread,
+            sample_period_ns=sample_period_ns,
+            filter_ms=filter_ms,
+            extra=extra,
+        )
+        trace = Trace(
+            metadata,
+            thread_roots,
+            samples=samples,
+            short_episode_count=short_count,
+        )
+        trace.validate()
+        return trace
+
+
+def write_trace_binary(trace: Trace, path: Union[str, Path]) -> Path:
+    """Write ``trace`` to ``path`` in the binary format."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("wb") as handle:
+        _Writer(trace).write(handle)
+    return path
+
+
+def read_trace_binary(path: Union[str, Path]) -> Trace:
+    """Read and validate a binary trace file."""
+    path = Path(path)
+    with path.open("rb") as handle:
+        return _Reader(handle).read()

@@ -1,0 +1,127 @@
+"""Record grammar of the LiLa-style trace format.
+
+A trace file is UTF-8 text, one record per line:
+
+========  =====================================================
+``#%lila <version>``   magic header, must be the first line
+``M <key> <value>``    metadata (application, session_id, ...)
+``F <count>``          count of episodes filtered at trace time
+``T <thread>``         start of a thread section
+``O <ns> <kind> <symbol>``  open an interval in the current thread
+``C <ns>``             close the innermost open interval
+``G <ns> <ns> <symbol>``    complete GC interval (start end)
+``P <ns>``             a sampling tick
+``t <thread> <state> <stack>``  one thread's entry of the tick
+``#`` ...              comment, ignored
+========  =====================================================
+
+Stacks are ``;``-separated frames, leaf first; each frame is
+``class#method`` with a leading ``!`` marking a native frame. An empty
+stack is the single token ``-``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from repro.core.errors import TraceFormatError
+from repro.core.samples import StackFrame, StackTrace
+
+MAGIC = "#%lila"
+FORMAT_VERSION = 1
+
+FRAME_SEPARATOR = ";"
+FRAME_MEMBER_SEPARATOR = "#"
+NATIVE_MARKER = "!"
+EMPTY_STACK_TOKEN = "-"
+
+#: Characters that may not appear in symbols, thread names, or metadata
+#: keys because the format is whitespace-delimited.
+FORBIDDEN = (" ", "\t", "\n", FRAME_SEPARATOR)
+
+
+def check_symbol(symbol: str, what: str = "symbol") -> str:
+    """Validate that ``symbol`` can be stored in the format unescaped.
+
+    Raises:
+        TraceFormatError: when the symbol is empty or contains
+            whitespace/separator characters.
+    """
+    if not symbol:
+        raise TraceFormatError(f"empty {what} cannot be serialized")
+    for char in FORBIDDEN:
+        if char in symbol:
+            raise TraceFormatError(
+                f"{what} {symbol!r} contains forbidden character {char!r}"
+            )
+    return symbol
+
+
+def encode_frame(frame: StackFrame) -> str:
+    """Serialize one stack frame."""
+    prefix = NATIVE_MARKER if frame.is_native else ""
+    return (
+        f"{prefix}{frame.class_name}"
+        f"{FRAME_MEMBER_SEPARATOR}{frame.method_name}"
+    )
+
+
+def decode_frame(token: str) -> StackFrame:
+    """Parse one stack frame token.
+
+    Raises:
+        TraceFormatError: if the token lacks the class/method separator.
+    """
+    is_native = token.startswith(NATIVE_MARKER)
+    if is_native:
+        token = token[len(NATIVE_MARKER):]
+    class_name, sep, method_name = token.rpartition(FRAME_MEMBER_SEPARATOR)
+    if not sep or not class_name or not method_name:
+        raise TraceFormatError(f"malformed stack frame token {token!r}")
+    return StackFrame(class_name, method_name, is_native=is_native)
+
+
+def encode_stack(stack: StackTrace) -> str:
+    """Serialize a stack, leaf first; empty stacks become ``-``."""
+    if not stack.frames:
+        return EMPTY_STACK_TOKEN
+    return FRAME_SEPARATOR.join(encode_frame(frame) for frame in stack)
+
+
+def decode_stack(token: str) -> StackTrace:
+    """Parse a serialized stack."""
+    if token == EMPTY_STACK_TOKEN:
+        return StackTrace(())
+    frames = [
+        decode_frame(part) for part in token.split(FRAME_SEPARATOR) if part
+    ]
+    return StackTrace(frames)
+
+
+def header_line() -> str:
+    """The magic first line of a trace file."""
+    return f"{MAGIC} {FORMAT_VERSION}"
+
+
+def parse_header(line: str) -> int:
+    """Validate the magic line and return the format version.
+
+    Raises:
+        TraceFormatError: when the magic is missing or the version is
+            unsupported.
+    """
+    parts = line.split()
+    if len(parts) != 2 or parts[0] != MAGIC:
+        raise TraceFormatError(
+            f"not a LiLa trace (expected {MAGIC!r} header, got {line!r})"
+        )
+    try:
+        version = int(parts[1])
+    except ValueError:
+        raise TraceFormatError(f"bad version in header {line!r}") from None
+    if version != FORMAT_VERSION:
+        raise TraceFormatError(
+            f"unsupported trace format version {version} "
+            f"(this reader supports {FORMAT_VERSION})"
+        )
+    return version

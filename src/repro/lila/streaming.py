@@ -1,0 +1,235 @@
+"""Streaming access to text traces: bounded memory for long sessions.
+
+The paper's limitations section: "LagAlyzer is an offline tool that
+needs to load the complete session trace into memory for analysis and
+visualization", which forced the authors to filter traces and keep
+sessions short. This module lifts that constraint for the text format:
+:func:`iter_episodes` yields one fully formed
+:class:`~repro.core.episodes.Episode` at a time — interval tree plus
+its slice of call-stack samples — holding only the *current* episode in
+memory, using two cursors over the same file (one for interval events,
+one for the sample section). :func:`stream_session_stats` computes a
+Table III row over an arbitrarily long trace in O(1) memory.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Tuple, Union
+
+from repro.core.episodes import DEFAULT_PERCEPTIBLE_MS, Episode
+from repro.core.errors import TraceFormatError
+from repro.core.intervals import IntervalKind, IntervalTreeBuilder, NS_PER_S
+from repro.core.samples import Sample, ThreadSample, ThreadState
+from repro.core.statistics import SECONDS_PER_MINUTE, SessionStats
+from repro.core.patterns import pattern_key
+from repro.lila.format import decode_stack, parse_header
+
+
+def _read_metadata(path: Path) -> Dict[str, str]:
+    """First pass: header + M/F records (cheap, stops at first T)."""
+    meta: Dict[str, str] = {}
+    with path.open("r", encoding="utf-8") as handle:
+        first = handle.readline()
+        if not first:
+            raise TraceFormatError("empty trace input")
+        parse_header(first.rstrip("\n"))
+        for raw in handle:
+            line = raw.rstrip("\n")
+            if not line or line.startswith("#"):
+                continue
+            record, _, rest = line.partition(" ")
+            if record == "M":
+                key, _, value = rest.partition(" ")
+                meta[key] = value
+            elif record == "F":
+                meta["__filtered__"] = rest
+            elif record == "T":
+                break
+    return meta
+
+
+def _iter_samples(path: Path) -> Iterator[Sample]:
+    """Yield sampling ticks in file order (they are time-sorted)."""
+    with path.open("r", encoding="utf-8") as handle:
+        handle.readline()  # header (validated by the metadata pass)
+        tick_ns: Optional[int] = None
+        entries: List[ThreadSample] = []
+        for raw in handle:
+            line = raw.rstrip("\n")
+            if not line or line.startswith("#"):
+                continue
+            record, _, rest = line.partition(" ")
+            if record == "P":
+                if tick_ns is not None:
+                    yield Sample(tick_ns, entries)
+                tick_ns = int(rest)
+                entries = []
+            elif record == "t":
+                if tick_ns is None:
+                    raise TraceFormatError("t record outside a tick")
+                parts = rest.split(" ", 2)
+                if len(parts) != 3:
+                    raise TraceFormatError("malformed t record")
+                entries.append(
+                    ThreadSample(
+                        parts[0],
+                        ThreadState.from_name(parts[1]),
+                        decode_stack(parts[2]),
+                    )
+                )
+        if tick_ns is not None:
+            yield Sample(tick_ns, entries)
+
+
+def iter_episodes(
+    path: Union[str, Path], gui_thread: Optional[str] = None
+) -> Iterator[Episode]:
+    """Stream the GUI thread's episodes from a text trace file.
+
+    Each yielded episode carries its interval tree and the sampling
+    ticks that fall within it; only one episode is materialized at a
+    time. Non-dispatch roots (GCs between episodes) are skipped, as in
+    the in-memory model.
+
+    Args:
+        path: a text-format trace file.
+        gui_thread: dispatch thread to stream (defaults to the trace's
+            ``gui_thread`` metadata).
+    """
+    path = Path(path)
+    meta = _read_metadata(path)
+    if gui_thread is None:
+        gui_thread = meta.get("gui_thread", "")
+        if not gui_thread:
+            raise TraceFormatError("missing gui_thread metadata")
+
+    samples = _iter_samples(path)
+    pending_sample: Optional[Sample] = None
+    index = 0
+
+    def collect_samples(start_ns: int, end_ns: int) -> List[Sample]:
+        nonlocal pending_sample
+        collected: List[Sample] = []
+        while True:
+            if pending_sample is None:
+                pending_sample = next(samples, None)
+                if pending_sample is None:
+                    return collected
+            if pending_sample.timestamp_ns < start_ns:
+                pending_sample = None  # between episodes: not needed
+                continue
+            if pending_sample.timestamp_ns >= end_ns:
+                return collected
+            collected.append(pending_sample)
+            pending_sample = None
+
+    with path.open("r", encoding="utf-8") as handle:
+        handle.readline()  # header
+        builder: Optional[IntervalTreeBuilder] = None
+        in_gui_section = False
+        for raw in handle:
+            line = raw.rstrip("\n")
+            if not line or line.startswith("#"):
+                continue
+            record, _, rest = line.partition(" ")
+            if record == "T":
+                in_gui_section = rest.strip() == gui_thread
+                if in_gui_section and builder is None:
+                    builder = IntervalTreeBuilder()
+                continue
+            if not in_gui_section or record in ("M", "F", "P", "t"):
+                continue
+            if record == "O":
+                parts = rest.split(" ", 2)
+                builder.open(
+                    IntervalKind.from_name(parts[1]), parts[2], int(parts[0])
+                )
+            elif record == "G":
+                parts = rest.split(" ", 2)
+                builder.add_complete(
+                    IntervalKind.GC, parts[2], int(parts[0]), int(parts[1])
+                )
+            elif record == "C":
+                root = builder.close(int(rest))
+                if builder.open_depth == 0:
+                    if root.kind is IntervalKind.DISPATCH:
+                        episode = Episode(
+                            root,
+                            index=index,
+                            gui_thread=gui_thread,
+                            samples=collect_samples(
+                                root.start_ns, root.end_ns
+                            ),
+                        )
+                        index += 1
+                        yield episode
+        if builder is not None and builder.open_depth:
+            raise TraceFormatError("unclosed intervals at end of trace")
+
+
+def stream_session_stats(
+    path: Union[str, Path],
+    threshold_ms: float = DEFAULT_PERCEPTIBLE_MS,
+) -> SessionStats:
+    """A Table III row computed in one streaming pass, O(1) memory.
+
+    Pattern statistics are computed over pattern *keys* (bounded by the
+    number of distinct structures, not episodes); everything else is
+    running sums.
+    """
+    path = Path(path)
+    meta = _read_metadata(path)
+    e2e_ns = int(meta.get("end_ns", "0")) - int(meta.get("start_ns", "0"))
+
+    traced = 0
+    perceptible = 0
+    in_episode_ns = 0
+    key_stats: Dict[str, int] = {}
+    key_descs: Dict[str, Tuple[int, int]] = {}
+    covered = 0
+
+    for episode in iter_episodes(path):
+        traced += 1
+        in_episode_ns += episode.duration_ns
+        if episode.is_perceptible(threshold_ms):
+            perceptible += 1
+        if episode.has_structure:
+            covered += 1
+            key = pattern_key(episode)
+            key_stats[key] = key_stats.get(key, 0) + 1
+            if key not in key_descs:
+                key_descs[key] = (
+                    episode.descendant_count(include_gc=False),
+                    episode.tree_depth(include_gc=False),
+                )
+
+    distinct = len(key_stats)
+    singletons = sum(1 for count in key_stats.values() if count == 1)
+    in_episode_minutes = in_episode_ns / 1e9 / SECONDS_PER_MINUTE
+    return SessionStats(
+        application=meta.get("application", "?"),
+        e2e_s=e2e_ns / 1e9,
+        in_episode_pct=(
+            100.0 * in_episode_ns / e2e_ns if e2e_ns else 0.0
+        ),
+        below_filter=float(meta.get("__filtered__", "0")),
+        traced=float(traced),
+        perceptible=float(perceptible),
+        long_per_min=(
+            perceptible / in_episode_minutes if in_episode_minutes else 0.0
+        ),
+        distinct_patterns=float(distinct),
+        covered_episodes=float(covered),
+        singleton_pct=(100.0 * singletons / distinct if distinct else 0.0),
+        mean_descendants=(
+            sum(d for d, _ in key_descs.values()) / distinct
+            if distinct
+            else 0.0
+        ),
+        mean_depth=(
+            sum(d for _, d in key_descs.values()) / distinct
+            if distinct
+            else 0.0
+        ),
+    )

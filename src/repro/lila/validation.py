@@ -1,0 +1,203 @@
+"""Trace linting: diagnostics beyond hard format errors.
+
+The reader rejects traces that are structurally *invalid* (bad records,
+nesting violations). This module finds traces that are valid but
+*suspicious* — signs of a broken or misconfigured profiler that would
+silently skew every analysis: sampling gaps without a GC to explain
+them, episodes with impossible durations, GC intervals missing from
+some threads, sample rates far from the declared period, and so on.
+
+Each finding is a :class:`Diagnostic` with a severity; ``lint_trace``
+never raises.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List
+
+from repro.core.intervals import IntervalKind, NS_PER_MS
+from repro.core.trace import Trace
+
+
+class Severity(enum.Enum):
+    """How bad a finding is."""
+
+    INFO = "info"
+    WARNING = "warning"
+    ERROR = "error"
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One lint finding."""
+
+    severity: Severity
+    code: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.severity.value.upper():<8s} {self.code}: {self.message}"
+
+
+def _check_episode_durations(trace: Trace, out: List[Diagnostic]) -> None:
+    filter_ns = round(trace.metadata.filter_ms * NS_PER_MS)
+    below = [ep for ep in trace.episodes if ep.duration_ns < filter_ns]
+    if below:
+        out.append(
+            Diagnostic(
+                Severity.WARNING,
+                "EP001",
+                f"{len(below)} episode(s) shorter than the declared "
+                f"{trace.metadata.filter_ms:g} ms trace filter — the "
+                f"profiler's filter looks inconsistent",
+            )
+        )
+    absurd = [ep for ep in trace.episodes if ep.duration_ms > 600_000]
+    if absurd:
+        out.append(
+            Diagnostic(
+                Severity.WARNING,
+                "EP002",
+                f"{len(absurd)} episode(s) longer than 10 minutes — "
+                f"likely a missing episode-end record",
+            )
+        )
+
+
+def _check_gc_replication(trace: Trace, out: List[Diagnostic]) -> None:
+    """Stop-the-world GCs must appear once per thread."""
+    gc_spans_by_thread = {}
+    for thread, roots in trace.thread_roots.items():
+        spans = set()
+        for root in roots:
+            for node in root.preorder():
+                if node.kind is IntervalKind.GC:
+                    spans.add((node.start_ns, node.end_ns))
+        gc_spans_by_thread[thread] = spans
+    reference = gc_spans_by_thread.get(trace.gui_thread, set())
+    for thread, spans in gc_spans_by_thread.items():
+        if thread == trace.gui_thread:
+            continue
+        missing = reference - spans
+        if missing:
+            out.append(
+                Diagnostic(
+                    Severity.WARNING,
+                    "GC001",
+                    f"thread {thread!r} is missing {len(missing)} GC "
+                    f"interval(s) present in the GUI thread — "
+                    f"stop-the-world collections should appear in every "
+                    f"thread's tree",
+                )
+            )
+
+
+def _check_samples(trace: Trace, out: List[Diagnostic]) -> None:
+    if not trace.samples:
+        if trace.episodes:
+            out.append(
+                Diagnostic(
+                    Severity.WARNING,
+                    "SM001",
+                    "trace has episodes but no call-stack samples — the "
+                    "location/cause analyses will be empty",
+                )
+            )
+        return
+    # Samples during GC mean the profiler ignored the JVMTI blackout.
+    gc_spans = [
+        (gc.start_ns, gc.end_ns) for gc in trace.gc_intervals()
+    ]
+    inside = 0
+    for sample in trace.samples:
+        if any(start <= sample.timestamp_ns < end for start, end in gc_spans):
+            inside += 1
+    if inside:
+        out.append(
+            Diagnostic(
+                Severity.ERROR,
+                "SM002",
+                f"{inside} sample(s) taken during garbage collection — "
+                f"impossible under JVMTI; the trace's GC bounds or "
+                f"sample clock are wrong",
+            )
+        )
+    # Thread coverage should be constant across ticks.
+    thread_counts = {len(sample.threads) for sample in trace.samples}
+    if len(thread_counts) > 3:
+        out.append(
+            Diagnostic(
+                Severity.INFO,
+                "SM003",
+                f"sample ticks cover between {min(thread_counts)} and "
+                f"{max(thread_counts)} threads — threads appear to come "
+                f"and go (fine, but worth knowing)",
+            )
+        )
+
+
+def _check_sample_rate(trace: Trace, out: List[Diagnostic]) -> None:
+    """Within episodes, the sample spacing should match the period."""
+    period = trace.metadata.sample_period_ns
+    if period <= 0 or len(trace.samples) < 10:
+        return
+    gaps = []
+    for episode in trace.episodes:
+        times = [s.timestamp_ns for s in episode.samples]
+        gaps.extend(b - a for a, b in zip(times, times[1:]))
+    if not gaps:
+        return
+    gaps.sort()
+    median_gap = gaps[len(gaps) // 2]
+    if median_gap > period * 2 or median_gap < period / 2:
+        out.append(
+            Diagnostic(
+                Severity.WARNING,
+                "SM004",
+                f"median in-episode sample spacing is "
+                f"{median_gap / NS_PER_MS:.1f} ms but the declared period "
+                f"is {period / NS_PER_MS:.1f} ms",
+            )
+        )
+
+
+def _check_session_shape(trace: Trace, out: List[Diagnostic]) -> None:
+    if not trace.episodes and trace.short_episode_count == 0:
+        out.append(
+            Diagnostic(
+                Severity.WARNING,
+                "TR001",
+                "trace contains no episodes at all — was the session empty?",
+            )
+        )
+    if trace.in_episode_fraction() > 0.95:
+        out.append(
+            Diagnostic(
+                Severity.INFO,
+                "TR002",
+                f"in-episode time is "
+                f"{100 * trace.in_episode_fraction():.0f}% of the session "
+                f"— no user think time; this looks like a replay, not an "
+                f"interactive session",
+            )
+        )
+
+
+def lint_trace(trace: Trace) -> List[Diagnostic]:
+    """Run every check over ``trace``; returns findings, worst first."""
+    findings: List[Diagnostic] = []
+    _check_episode_durations(trace, findings)
+    _check_gc_replication(trace, findings)
+    _check_samples(trace, findings)
+    _check_sample_rate(trace, findings)
+    _check_session_shape(trace, findings)
+    order = {Severity.ERROR: 0, Severity.WARNING: 1, Severity.INFO: 2}
+    findings.sort(key=lambda d: (order[d.severity], d.code))
+    return findings
+
+
+def has_errors(diagnostics: List[Diagnostic]) -> bool:
+    """True if any finding is an ERROR."""
+    return any(d.severity is Severity.ERROR for d in diagnostics)

@@ -1,0 +1,83 @@
+"""Serializing a :class:`~repro.core.trace.Trace` to the LiLa format.
+
+Interval trees are flattened back to the open/close event stream a
+profiler would have produced, thread by thread; complete GC intervals
+use the dedicated ``G`` record so readers can re-insert them with
+:meth:`IntervalTreeBuilder.add_complete`.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterator, List, Union
+
+from repro.core.intervals import Interval, IntervalKind
+from repro.core.trace import Trace
+from repro.lila.format import (
+    check_symbol,
+    encode_stack,
+    header_line,
+)
+
+
+def _interval_lines(interval: Interval) -> Iterator[str]:
+    """Yield open/close (or G) records for one interval subtree."""
+    if interval.kind is IntervalKind.GC and not interval.children:
+        yield (
+            f"G {interval.start_ns} {interval.end_ns} "
+            f"{check_symbol(interval.symbol)}"
+        )
+        return
+    yield (
+        f"O {interval.start_ns} {interval.kind.value} "
+        f"{check_symbol(interval.symbol)}"
+    )
+    for child in interval.children:
+        yield from _interval_lines(child)
+    yield f"C {interval.end_ns}"
+
+
+def trace_to_lines(trace: Trace) -> List[str]:
+    """Serialize ``trace`` to format lines (without line terminators)."""
+    meta = trace.metadata
+    lines = [header_line()]
+    lines.append(f"M application {check_symbol(meta.application, 'application')}")
+    lines.append(f"M session_id {check_symbol(meta.session_id, 'session id')}")
+    lines.append(f"M start_ns {meta.start_ns}")
+    lines.append(f"M end_ns {meta.end_ns}")
+    lines.append(f"M gui_thread {check_symbol(meta.gui_thread, 'thread name')}")
+    lines.append(f"M sample_period_ns {meta.sample_period_ns}")
+    lines.append(f"M filter_ms {meta.filter_ms!r}")
+    for key in sorted(meta.extra):
+        lines.append(
+            f"M x.{check_symbol(key, 'metadata key')} "
+            f"{check_symbol(meta.extra[key], 'metadata value')}"
+        )
+    lines.append(f"F {trace.short_episode_count}")
+    for thread_name in trace.thread_names:
+        lines.append(f"T {check_symbol(thread_name, 'thread name')}")
+        for root in trace.thread_roots[thread_name]:
+            lines.extend(_interval_lines(root))
+    for sample in trace.samples:
+        lines.append(f"P {sample.timestamp_ns}")
+        for entry in sample.threads:
+            lines.append(
+                f"t {check_symbol(entry.thread_name, 'thread name')} "
+                f"{entry.state.value} {encode_stack(entry.stack)}"
+            )
+    return lines
+
+
+def write_trace(trace: Trace, path: Union[str, Path]) -> Path:
+    """Write ``trace`` to ``path`` in the LiLa text format.
+
+    Returns:
+        The path written, as a :class:`~pathlib.Path`.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", encoding="utf-8") as handle:
+        for line in trace_to_lines(trace):
+            handle.write(line)
+            handle.write("\n")
+    return path

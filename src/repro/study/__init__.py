@@ -1,0 +1,34 @@
+"""The characterization-study harness.
+
+Runs the paper's methodology end to end: four simulated sessions for
+each of the 14 applications, then every analysis of Section IV —
+Table III and Figures 3 through 8 — and renders the corresponding
+charts. :mod:`repro.study.paper_data` carries the numbers the paper
+reports so the harness can print paper-vs-measured for every statistic.
+"""
+
+from repro.study.runner import StudyConfig, StudyResult, run_study
+from repro.study.tables import format_table1, format_table2, format_table3
+from repro.study.figures import (
+    figure3_data,
+    figure4_data,
+    figure5_data,
+    figure6_data,
+    figure7_data,
+    figure8_data,
+)
+
+__all__ = [
+    "StudyConfig",
+    "StudyResult",
+    "figure3_data",
+    "figure4_data",
+    "figure5_data",
+    "figure6_data",
+    "figure7_data",
+    "figure8_data",
+    "format_table1",
+    "format_table2",
+    "format_table3",
+    "run_study",
+]

@@ -1,0 +1,116 @@
+"""Study datasets as CSV, for external plotting tools.
+
+The figures ship as SVG, but anyone comparing against this reproduction
+(or replotting in their own toolchain) wants the underlying series.
+This module writes one CSV per table/figure from a
+:class:`~repro.study.runner.StudyResult`.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import List, Union
+
+from repro.core.statistics import SessionStats
+from repro.study import figures
+from repro.study.paper_data import TABLE3_COLUMNS
+from repro.study.runner import StudyResult
+
+
+def _write_csv(path: Path, header: List[str], rows: List[List]) -> Path:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", encoding="utf-8", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(header)
+        writer.writerows(rows)
+    return path
+
+
+def write_study_csvs(
+    result: StudyResult, outdir: Union[str, Path]
+) -> List[Path]:
+    """Write table3.csv and one fig*.csv per figure; returns the paths."""
+    outdir = Path(outdir)
+    written: List[Path] = []
+
+    # Table III.
+    rows = []
+    for app in result.ordered():
+        stats = app.mean_stats
+        rows.append([stats.application] + [
+            stats.as_dict()[column] for column in TABLE3_COLUMNS
+        ])
+    mean = result.mean_stats
+    rows.append([mean.application] + [
+        mean.as_dict()[column] for column in TABLE3_COLUMNS
+    ])
+    written.append(
+        _write_csv(
+            outdir / "table3.csv",
+            ["application"] + list(TABLE3_COLUMNS),
+            rows,
+        )
+    )
+
+    # Figure 3: one column per application, 101 rows (pattern %).
+    fig3 = figures.figure3_data(result)
+    apps = list(fig3)
+    rows = [
+        [i] + [fig3[app][i] for app in apps] for i in range(101)
+    ]
+    written.append(
+        _write_csv(outdir / "fig3.csv", ["patterns_pct"] + apps, rows)
+    )
+
+    # Figures 4-8: long format (application, scope, category, value).
+    def stacked(name, data_fn, has_scopes=True):
+        rows = []
+        scopes = (False, True) if has_scopes else (True,)
+        for perceptible in scopes:
+            data = data_fn(result, perceptible) if has_scopes else (
+                data_fn(result)
+            )
+            scope = "perceptible" if perceptible else "all"
+            for app, categories in data.items():
+                for category, value in categories.items():
+                    rows.append([app, scope, category, value])
+        return _write_csv(
+            outdir / name,
+            ["application", "scope", "category", "value"],
+            rows,
+        )
+
+    written.append(
+        _write_csv(
+            outdir / "fig4.csv",
+            ["application", "category", "value"],
+            [
+                [app, category, value]
+                for app, categories in figures.figure4_data(result).items()
+                for category, value in categories.items()
+            ],
+        )
+    )
+    written.append(
+        stacked("fig5.csv", lambda r, p: figures.figure5_data(r, p))
+    )
+    written.append(
+        stacked("fig6.csv", lambda r, p: figures.figure6_data(r, p))
+    )
+    fig7_rows = []
+    for perceptible in (False, True):
+        scope = "perceptible" if perceptible else "all"
+        for app, value in figures.figure7_data(result, perceptible).items():
+            fig7_rows.append([app, scope, value])
+    written.append(
+        _write_csv(
+            outdir / "fig7.csv",
+            ["application", "scope", "mean_runnable"],
+            fig7_rows,
+        )
+    )
+    written.append(
+        stacked("fig8.csv", lambda r, p: figures.figure8_data(r, p))
+    )
+    return written

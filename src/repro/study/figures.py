@@ -1,0 +1,102 @@
+"""Datasets for the paper's figures, extracted from a study result.
+
+Each ``figureN_data`` function reduces a :class:`StudyResult` to the
+exact series the corresponding paper figure plots; the visualization
+layer (:mod:`repro.viz`) renders them, and the benchmarks print them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.core.occurrence import Occurrence
+from repro.core.samples import ThreadState
+from repro.core.triggers import Trigger
+from repro.study.runner import StudyResult
+
+
+def figure3_data(result: StudyResult) -> Dict[str, List[float]]:
+    """Fig 3: cumulative distribution of episodes into patterns.
+
+    Returns per-application curves: entry i is the percentage of
+    episodes covered by the top i% of patterns (ranked by frequency).
+    """
+    return {app.name: app.pattern_cdf for app in result.ordered()}
+
+
+def figure4_data(result: StudyResult) -> Dict[str, Dict[str, float]]:
+    """Fig 4: pattern occurrence classes per application (percent)."""
+    data = {}
+    for app in result.ordered():
+        data[app.name] = {
+            occurrence.value: pct
+            for occurrence, pct in app.occurrence.percentages().items()
+        }
+    return data
+
+
+def figure5_data(
+    result: StudyResult, perceptible_only: bool = True
+) -> Dict[str, Dict[str, float]]:
+    """Fig 5: trigger mix per application (percent of episodes).
+
+    Args:
+        perceptible_only: lower graph (perceptible episodes) when True,
+            upper graph (all episodes) when False.
+    """
+    data = {}
+    for app in result.ordered():
+        summary = (
+            app.triggers_perceptible if perceptible_only else app.triggers_all
+        )
+        data[app.name] = {
+            trigger.value: pct
+            for trigger, pct in summary.percentages().items()
+        }
+    return data
+
+
+def figure6_data(
+    result: StudyResult, perceptible_only: bool = True
+) -> Dict[str, Dict[str, float]]:
+    """Fig 6: location of episode time per application (percent)."""
+    data = {}
+    for app in result.ordered():
+        summary = (
+            app.location_perceptible if perceptible_only else app.location_all
+        )
+        data[app.name] = summary.percentages()
+    return data
+
+
+def figure7_data(
+    result: StudyResult, perceptible_only: bool = True
+) -> Dict[str, float]:
+    """Fig 7: mean runnable threads during episodes per application."""
+    data = {}
+    for app in result.ordered():
+        summary = (
+            app.concurrency_perceptible
+            if perceptible_only
+            else app.concurrency_all
+        )
+        data[app.name] = summary.mean_runnable
+    return data
+
+
+def figure8_data(
+    result: StudyResult, perceptible_only: bool = True
+) -> Dict[str, Dict[str, float]]:
+    """Fig 8: GUI-thread state split per application (percent of time)."""
+    data = {}
+    for app in result.ordered():
+        summary = (
+            app.threadstates_perceptible
+            if perceptible_only
+            else app.threadstates_all
+        )
+        data[app.name] = {
+            state.value: pct
+            for state, pct in summary.percentages().items()
+        }
+    return data

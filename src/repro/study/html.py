@@ -1,0 +1,150 @@
+"""A self-contained HTML study report.
+
+Bundles everything the study produces — Table III, all figure SVGs
+(inlined, no external files), and the per-application pattern summaries
+— into one HTML page a developer can open or attach to a bug report.
+"""
+
+from __future__ import annotations
+
+from html import escape
+from pathlib import Path
+from typing import List, Union
+
+from repro.study import figures
+from repro.study.runner import StudyResult
+from repro.study.tables import format_table2, format_table3
+from repro.viz.charts import (
+    render_cdf_chart,
+    render_dot_chart,
+    render_stacked_bars,
+)
+from repro.viz.colors import (
+    LOCATION_COLORS,
+    OCCURRENCE_COLORS,
+    THREADSTATE_COLORS,
+    TRIGGER_COLORS,
+)
+
+_STYLE = """
+body { font-family: Helvetica, Arial, sans-serif; margin: 2em auto;
+       max-width: 1080px; color: #222; }
+h1 { border-bottom: 2px solid #4e79a7; padding-bottom: 0.2em; }
+h2 { margin-top: 2em; color: #33506e; }
+pre { background: #f7f7f7; padding: 1em; overflow-x: auto;
+      font-size: 12px; border-radius: 4px; }
+figure { margin: 1.5em 0; }
+figcaption { color: #666; font-size: 13px; margin-top: 0.4em; }
+.note { background: #fff8e1; border-left: 4px solid #edc948;
+        padding: 0.6em 1em; font-size: 14px; }
+"""
+
+
+def _figure_block(svg_doc, caption: str) -> str:
+    return (
+        f"<figure>{svg_doc.to_string()}"
+        f"<figcaption>{escape(caption)}</figcaption></figure>"
+    )
+
+
+def render_html_report(result: StudyResult) -> str:
+    """The complete study as one HTML page."""
+    config = result.config
+    parts: List[str] = []
+    parts.append("<!DOCTYPE html><html><head><meta charset='utf-8'>")
+    parts.append("<title>LagAlyzer characterization study</title>")
+    parts.append(f"<style>{_STYLE}</style></head><body>")
+    parts.append("<h1>LagAlyzer characterization study</h1>")
+    parts.append(
+        f"<p class='note'>{config.sessions} session(s) per application at "
+        f"scale {config.scale}, seed {config.seed}, perceptibility "
+        f"threshold {config.perceptible_threshold_ms:.0f}&nbsp;ms. "
+        f"Simulated substrate — compare shapes, not absolute values "
+        f"(see DESIGN.md).</p>"
+    )
+
+    parts.append("<h2>Applications (Table II)</h2>")
+    parts.append(f"<pre>{escape(format_table2())}</pre>")
+
+    parts.append("<h2>Overall statistics (Table III)</h2>")
+    table3 = format_table3(
+        [app.mean_stats for app in result.ordered()], result.mean_stats
+    )
+    parts.append(f"<pre>{escape(table3)}</pre>")
+
+    parts.append("<h2>Patterns (Figures 3 and 4)</h2>")
+    parts.append(
+        _figure_block(
+            render_cdf_chart(figures.figure3_data(result)),
+            "Figure 3: cumulative distribution of episodes into patterns "
+            "(Pareto: most episodes concentrate in few patterns).",
+        )
+    )
+    parts.append(
+        _figure_block(
+            render_stacked_bars(
+                figures.figure4_data(result),
+                OCCURRENCE_COLORS,
+                "Long-latency episodes in patterns",
+                x_label="Patterns [%]",
+            ),
+            "Figure 4: patterns by occurrence class.",
+        )
+    )
+
+    captioned = (
+        (
+            "Figure 5: triggers of episodes",
+            lambda perceptible: render_stacked_bars(
+                figures.figure5_data(result, perceptible_only=perceptible),
+                TRIGGER_COLORS,
+                "Triggers",
+                x_label="Episodes [%]",
+            ),
+        ),
+        (
+            "Figure 6: location of episode time",
+            lambda perceptible: render_stacked_bars(
+                figures.figure6_data(result, perceptible_only=perceptible),
+                LOCATION_COLORS,
+                "Location",
+                x_label="Episodes - Time [%]",
+                x_max=200.0,
+            ),
+        ),
+        (
+            "Figure 7: concurrency",
+            lambda perceptible: render_dot_chart(
+                figures.figure7_data(result, perceptible_only=perceptible),
+                "Runnable threads",
+            ),
+        ),
+        (
+            "Figure 8: synchronization and sleep",
+            lambda perceptible: render_stacked_bars(
+                figures.figure8_data(result, perceptible_only=perceptible),
+                THREADSTATE_COLORS,
+                "GUI-thread states",
+                x_label="Episodes - Time [%]",
+            ),
+        ),
+    )
+    for caption, build in captioned:
+        parts.append(f"<h2>{escape(caption)}</h2>")
+        parts.append(_figure_block(build(False), f"{caption} — all episodes."))
+        parts.append(
+            _figure_block(build(True), f"{caption} — perceptible episodes.")
+        )
+
+    parts.append("</body></html>")
+    return "\n".join(parts)
+
+
+def write_html_report(
+    result: StudyResult, path: Union[str, Path]
+) -> Path:
+    """Write :func:`render_html_report` to ``path``."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(render_html_report(result), encoding="utf-8")
+    return path

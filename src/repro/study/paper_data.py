@@ -1,0 +1,130 @@
+"""The numbers the paper reports, as data.
+
+Used by the study harness and benchmarks to print paper-vs-measured
+comparisons (EXPERIMENTS.md), and by tests to assert that the
+reproduction preserves the paper's qualitative *shape* — who is worst,
+what dominates, where the outliers are — without chasing exact values
+measured on 2009 hardware.
+
+All values transcribed from the paper (Tables I-III, Sections IV-A to
+IV-E, Figures 3-8).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+#: Table III, one row per application:
+#: (E2E s, In-Eps %, <3ms, >=3ms, >=100ms, Long/min, Dist, #Eps,
+#:  One-Ep %, Descs, Depth)
+TABLE3: Dict[str, Tuple[float, ...]] = {
+    "Arabeske": (461, 25, 323605, 6278, 177, 95, 427, 5456, 62, 7, 5),
+    "ArgoUML": (630, 35, 196247, 9066, 265, 75, 1292, 8011, 66, 10, 5),
+    "CrosswordSage": (367, 8, 109547, 1173, 36, 80, 119, 1068, 46, 5, 4),
+    "Euclide": (614, 35, 109572, 9676, 96, 26, 202, 9053, 35, 5, 4),
+    "FindBugs": (599, 21, 39254, 6336, 120, 56, 245, 6128, 44, 6, 4),
+    "FreeMind": (524, 11, 325135, 3462, 26, 30, 246, 3326, 55, 7, 5),
+    "GanttProject": (523, 47, 126940, 2564, 706, 168, 803, 2373, 70, 18, 12),
+    "JEdit": (502, 9, 117615, 2271, 24, 33, 150, 1610, 50, 5, 4),
+    "JFreeChart": (250, 26, 77720, 1658, 175, 164, 114, 1581, 44, 6, 5),
+    "JHotDraw": (421, 41, 246836, 5980, 338, 114, 454, 5675, 70, 8, 5),
+    "JMol": (449, 46, 110929, 3197, 604, 180, 187, 3062, 52, 7, 5),
+    "Laoe": (460, 47, 1241198, 3174, 61, 18, 226, 3007, 58, 8, 5),
+    "NetBeans": (398, 27, 305177, 3120, 149, 82, 642, 2911, 66, 10, 5),
+    "SwingSet": (384, 20, 219569, 4310, 70, 57, 444, 4152, 59, 6, 5),
+}
+
+#: Table III's cross-application mean row, same column order.
+TABLE3_MEAN: Tuple[float, ...] = (
+    470, 28, 253525, 4447, 203, 84, 396, 4101, 56, 8, 5,
+)
+
+TABLE3_COLUMNS: Tuple[str, ...] = (
+    "e2e_s",
+    "in_episode_pct",
+    "below_filter",
+    "traced",
+    "perceptible",
+    "long_per_min",
+    "distinct_patterns",
+    "covered_episodes",
+    "singleton_pct",
+    "mean_descendants",
+    "mean_depth",
+)
+
+#: Section IV-C: mean trigger mix of *perceptible* episodes (percent).
+PERCEPTIBLE_TRIGGER_MEAN = {
+    "input": 40.0,
+    "output": 47.0,
+    "asynchronous": 7.0,
+    # The remainder (~6%) is unspecified.
+}
+
+#: Section IV-C per-application callouts (percent of perceptible
+#: episodes in the named trigger class).
+TRIGGER_CALLOUTS = {
+    "Arabeske": ("unspecified", 57.0),
+    "JMol": ("output", 98.0),
+    "ArgoUML": ("input", 78.0),
+    "FindBugs": ("asynchronous", 42.0),
+}
+
+#: Section IV-D: mean location mix of perceptible lag (percent).
+PERCEPTIBLE_LOCATION_MEAN = {
+    "RT Library": 52.0,
+    "Application": 48.0,
+    "GC": 11.0,
+    "Native": 5.0,
+}
+
+#: Section IV-D per-application callouts.
+LOCATION_CALLOUTS = {
+    "Arabeske": ("GC", 60.0),
+    "ArgoUML": ("GC", 26.0),
+    "JFreeChart": ("Native", 24.0),
+    "Euclide": ("RT Library", 73.0),
+    "JHotDraw": ("Application", 96.0),
+}
+
+#: ArgoUML's GC share over *all* episodes (Section IV-D).
+ARGOUML_ALL_EPISODES_GC_PCT = 16.0
+
+#: Section IV-E: mean runnable threads over all episodes.
+MEAN_RUNNABLE_ALL_EPISODES = 1.2
+
+#: The only applications with >1 mean runnable threads during
+#: perceptible episodes (Section IV-E).
+CONCURRENT_APPS = ("Arabeske", "FindBugs", "NetBeans")
+
+#: Section IV-E callouts on Figure 8 (percent of perceptible episode
+#: time in the named state).
+THREADSTATE_CALLOUTS = {
+    "JEdit": ("waiting", 25.0),
+    "FreeMind": ("blocked", 12.0),
+    "Euclide": ("sleeping", 60.0),
+}
+
+#: Figure 4 callouts: percent of patterns in the named occurrence class.
+OCCURRENCE_CALLOUTS = {
+    "GanttProject": ("always", 57.0),
+    "FreeMind": ("never", 92.0),
+}
+
+#: Figure 4 aggregates: mean percent of patterns that are consistently
+#: fast-or-slow, and mean percent ever perceptible.
+OCCURRENCE_CONSISTENT_PCT = 96.0
+OCCURRENCE_EVER_PERCEPTIBLE_PCT = 22.0
+
+#: Figure 3: the pattern distribution follows the Pareto rule — roughly
+#: 80% of episodes covered by 20% of patterns.
+PARETO_PATTERN_PCT = 20.0
+PARETO_EPISODE_PCT = 80.0
+
+#: Study scale facts (Section IV intro).
+TOTAL_SESSION_HOURS = 7.5
+TOTAL_EPISODES_APPROX = 250_000
+
+#: Singleton patterns hold ~10% of episodes despite being 56% of
+#: patterns (Section IV-A).
+SINGLETON_EPISODE_PCT = 10.0

@@ -1,0 +1,327 @@
+"""Study outputs: figure SVGs and the EXPERIMENTS.md comparison report."""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, List, Union
+
+from repro.core.samples import ThreadState
+from repro.core.triggers import Trigger
+from repro.study import figures, paper_data
+from repro.study.runner import StudyResult
+from repro.study.tables import format_table3, format_table3_row
+from repro.viz.charts import (
+    render_cdf_chart,
+    render_dot_chart,
+    render_stacked_bars,
+)
+from repro.viz.colors import (
+    LOCATION_COLORS,
+    OCCURRENCE_COLORS,
+    THREADSTATE_COLORS,
+    TRIGGER_COLORS,
+)
+
+
+def render_figures(result: StudyResult, outdir: Union[str, Path]) -> List[Path]:
+    """Render Figures 3-8 (both graphs where the paper shows two)."""
+    outdir = Path(outdir)
+    written: List[Path] = []
+
+    fig3 = render_cdf_chart(figures.figure3_data(result))
+    written.append(fig3.save(outdir / "fig3_pattern_cdf.svg"))
+
+    fig4 = render_stacked_bars(
+        figures.figure4_data(result),
+        OCCURRENCE_COLORS,
+        "Long-latency episodes in patterns",
+        x_label="Patterns [%]",
+    )
+    written.append(fig4.save(outdir / "fig4_occurrence.svg"))
+
+    for perceptible, suffix, label in (
+        (False, "all", "Episodes [%]"),
+        (True, "perceptible", "Episodes >100ms [%]"),
+    ):
+        fig5 = render_stacked_bars(
+            figures.figure5_data(result, perceptible_only=perceptible),
+            TRIGGER_COLORS,
+            f"Triggers of episodes ({suffix})",
+            x_label=label,
+        )
+        written.append(fig5.save(outdir / f"fig5_triggers_{suffix}.svg"))
+
+        fig6 = render_stacked_bars(
+            figures.figure6_data(result, perceptible_only=perceptible),
+            LOCATION_COLORS,
+            f"Location of episode time ({suffix})",
+            x_label=label.replace("Episodes", "Episodes - Time"),
+            x_max=200.0,
+        )
+        written.append(fig6.save(outdir / f"fig6_location_{suffix}.svg"))
+
+        fig7 = render_dot_chart(
+            figures.figure7_data(result, perceptible_only=perceptible),
+            f"Concurrency in episodes ({suffix})",
+        )
+        written.append(fig7.save(outdir / f"fig7_concurrency_{suffix}.svg"))
+
+        fig8 = render_stacked_bars(
+            figures.figure8_data(result, perceptible_only=perceptible),
+            THREADSTATE_COLORS,
+            f"Synchronization and sleep during episodes ({suffix})",
+            x_label=label.replace("Episodes", "Episodes - Time"),
+            x_max=100.0,
+        )
+        written.append(fig8.save(outdir / f"fig8_threadstates_{suffix}.svg"))
+    return written
+
+
+def _pct(value: float) -> str:
+    return f"{value:.0f}%"
+
+
+def write_experiments_md(
+    result: StudyResult, path: Union[str, Path]
+) -> Path:
+    """Write the paper-vs-measured record for every table and figure."""
+    lines: List[str] = []
+    config = result.config
+    lines.append("# EXPERIMENTS — paper vs. measured")
+    lines.append("")
+    lines.append(
+        f"Study configuration: {config.sessions} session(s) per application, "
+        f"scale={config.scale}, seed={config.seed}, perceptibility "
+        f"threshold {config.perceptible_threshold_ms:.0f} ms."
+    )
+    lines.append("")
+    lines.append(
+        "Measured values come from the simulated substrate (see DESIGN.md "
+        "substitutions); the claim being reproduced is the *shape* of each "
+        "result — orderings, dominant categories, outliers — not the exact "
+        "values measured on the paper's 2009 hardware."
+    )
+
+    # ------------------------------------------------------------------
+    # Table III
+    # ------------------------------------------------------------------
+    lines.append("")
+    lines.append("## Table III — overall statistics")
+    lines.append("")
+    lines.append("Paper values in parentheses under each measured row.")
+    lines.append("")
+    lines.append("```")
+    for app in result.ordered():
+        stats = app.mean_stats
+        lines.append(format_table3_row(stats))
+        paper = paper_data.TABLE3[app.name]
+        paper_text = (
+            f"{'(paper)':<15s}"
+            f"{paper[0]:>8.0f}{paper[1]:>9.0f}{paper[2]:>10.0f}"
+            f"{paper[3]:>8.0f}{paper[4]:>9.0f}{paper[5]:>10.0f}"
+            f"{paper[6]:>7.0f}{paper[7]:>7.0f}{paper[8]:>9.0f}"
+            f"{paper[9]:>7.0f}{paper[10]:>7.0f}"
+        )
+        lines.append(paper_text)
+    mean = result.mean_stats
+    lines.append(format_table3_row(mean))
+    paper_mean = paper_data.TABLE3_MEAN
+    lines.append(
+        f"{'(paper mean)':<15s}"
+        f"{paper_mean[0]:>8.0f}{paper_mean[1]:>9.0f}{paper_mean[2]:>10.0f}"
+        f"{paper_mean[3]:>8.0f}{paper_mean[4]:>9.0f}{paper_mean[5]:>10.0f}"
+        f"{paper_mean[6]:>7.0f}{paper_mean[7]:>7.0f}{paper_mean[8]:>9.0f}"
+        f"{paper_mean[9]:>7.0f}{paper_mean[10]:>7.0f}"
+    )
+    lines.append("```")
+
+    # ------------------------------------------------------------------
+    # Figure 3
+    # ------------------------------------------------------------------
+    lines.append("")
+    lines.append("## Figure 3 — cumulative distribution of episodes into patterns")
+    lines.append("")
+    lines.append(
+        "| Application | Episodes covered by top 20% of patterns | Paper |"
+    )
+    lines.append("|---|---|---|")
+    for app in result.ordered():
+        at20 = app.pattern_cdf[20] if len(app.pattern_cdf) > 20 else 0.0
+        lines.append(f"| {app.name} | {_pct(at20)} | ~80% (Pareto rule) |")
+
+    # ------------------------------------------------------------------
+    # Figure 4
+    # ------------------------------------------------------------------
+    lines.append("")
+    lines.append("## Figure 4 — occurrence classes of patterns")
+    lines.append("")
+    lines.append(
+        "| Application | Always | Sometimes | Once | Never | Paper callout |"
+    )
+    lines.append("|---|---|---|---|---|---|")
+    for app in result.ordered():
+        pct = app.occurrence.percentages()
+        callout = paper_data.OCCURRENCE_CALLOUTS.get(app.name)
+        note = f"{callout[0]} = {callout[1]:.0f}%" if callout else ""
+        from repro.core.occurrence import Occurrence
+
+        lines.append(
+            f"| {app.name} | {_pct(pct[Occurrence.ALWAYS])} "
+            f"| {_pct(pct[Occurrence.SOMETIMES])} "
+            f"| {_pct(pct[Occurrence.ONCE])} "
+            f"| {_pct(pct[Occurrence.NEVER])} | {note} |"
+        )
+    consistent = sum(
+        app.occurrence.consistent_fraction for app in result.ordered()
+    ) / len(result.apps)
+    ever = sum(
+        app.occurrence.ever_perceptible_fraction for app in result.ordered()
+    ) / len(result.apps)
+    lines.append("")
+    lines.append(
+        f"Mean consistently-fast-or-slow: measured {_pct(100 * consistent)} "
+        f"(paper {paper_data.OCCURRENCE_CONSISTENT_PCT:.0f}%); mean ever-"
+        f"perceptible: measured {_pct(100 * ever)} "
+        f"(paper {paper_data.OCCURRENCE_EVER_PERCEPTIBLE_PCT:.0f}%)."
+    )
+
+    # ------------------------------------------------------------------
+    # Figure 5
+    # ------------------------------------------------------------------
+    lines.append("")
+    lines.append("## Figure 5 — triggers of perceptible episodes")
+    lines.append("")
+    lines.append(
+        "| Application | Input | Output | Async | Unspecified | Paper callout |"
+    )
+    lines.append("|---|---|---|---|---|---|")
+    mean_acc: Dict[Trigger, float] = {t: 0.0 for t in Trigger}
+    for app in result.ordered():
+        pct = app.triggers_perceptible.percentages()
+        for trigger in Trigger:
+            mean_acc[trigger] += pct[trigger]
+        callout = paper_data.TRIGGER_CALLOUTS.get(app.name)
+        note = f"{callout[0]} = {callout[1]:.0f}%" if callout else ""
+        lines.append(
+            f"| {app.name} | {_pct(pct[Trigger.INPUT])} "
+            f"| {_pct(pct[Trigger.OUTPUT])} | {_pct(pct[Trigger.ASYNC])} "
+            f"| {_pct(pct[Trigger.UNSPECIFIED])} | {note} |"
+        )
+    n = len(result.apps)
+    lines.append("")
+    lines.append(
+        f"Mean of perceptible episodes: input {_pct(mean_acc[Trigger.INPUT] / n)}, "
+        f"output {_pct(mean_acc[Trigger.OUTPUT] / n)}, "
+        f"async {_pct(mean_acc[Trigger.ASYNC] / n)} "
+        f"(paper: 40% / 47% / 7%)."
+    )
+
+    # ------------------------------------------------------------------
+    # Figure 6
+    # ------------------------------------------------------------------
+    lines.append("")
+    lines.append("## Figure 6 — location of perceptible lag")
+    lines.append("")
+    lines.append(
+        "| Application | Application | RT Library | GC | Native | Paper callout |"
+    )
+    lines.append("|---|---|---|---|---|---|")
+    acc = {"Application": 0.0, "RT Library": 0.0, "GC": 0.0, "Native": 0.0}
+    for app in result.ordered():
+        pct = app.location_perceptible.percentages()
+        for key in acc:
+            acc[key] += pct[key]
+        callout = paper_data.LOCATION_CALLOUTS.get(app.name)
+        note = f"{callout[0]} = {callout[1]:.0f}%" if callout else ""
+        lines.append(
+            f"| {app.name} | {_pct(pct['Application'])} "
+            f"| {_pct(pct['RT Library'])} | {_pct(pct['GC'])} "
+            f"| {_pct(pct['Native'])} | {note} |"
+        )
+    lines.append("")
+    mean_line = (
+        f"Mean: app {_pct(acc['Application'] / n)} / "
+        f"lib {_pct(acc['RT Library'] / n)} / gc {_pct(acc['GC'] / n)} / "
+        f"native {_pct(acc['Native'] / n)} (paper: 48% / 52% / 11% / 5%)."
+    )
+    if "ArgoUML" in result.apps:
+        argouml_gc = result.apps["ArgoUML"].location_all.percentages()["GC"]
+        mean_line += (
+            f" ArgoUML over all episodes: GC {_pct(argouml_gc)} "
+            f"(paper {paper_data.ARGOUML_ALL_EPISODES_GC_PCT:.0f}%)."
+        )
+    lines.append(mean_line)
+
+    # ------------------------------------------------------------------
+    # Figure 7
+    # ------------------------------------------------------------------
+    lines.append("")
+    lines.append("## Figure 7 — concurrency (mean runnable threads)")
+    lines.append("")
+    lines.append("| Application | All episodes | Perceptible | >1 in paper? |")
+    lines.append("|---|---|---|---|")
+    for app in result.ordered():
+        concurrent = "yes" if app.name in paper_data.CONCURRENT_APPS else ""
+        lines.append(
+            f"| {app.name} | {app.concurrency_all.mean_runnable:.2f} "
+            f"| {app.concurrency_perceptible.mean_runnable:.2f} "
+            f"| {concurrent} |"
+        )
+
+    # ------------------------------------------------------------------
+    # Figure 8
+    # ------------------------------------------------------------------
+    lines.append("")
+    lines.append("## Figure 8 — synchronization and sleep (perceptible)")
+    lines.append("")
+    lines.append(
+        "| Application | Blocked | Waiting | Sleeping | Paper callout |"
+    )
+    lines.append("|---|---|---|---|---|")
+    for app in result.ordered():
+        pct = app.threadstates_perceptible.percentages()
+        callout = paper_data.THREADSTATE_CALLOUTS.get(app.name)
+        note = f"{callout[0]} > {callout[1]:.0f}%" if callout else ""
+        lines.append(
+            f"| {app.name} | {_pct(pct[ThreadState.BLOCKED])} "
+            f"| {_pct(pct[ThreadState.WAITING])} "
+            f"| {_pct(pct[ThreadState.SLEEPING])} | {note} |"
+        )
+
+    # ------------------------------------------------------------------
+    # Known deviations
+    # ------------------------------------------------------------------
+    lines.append("")
+    lines.append("## Known deviations from the paper")
+    lines.append("")
+    lines.append(
+        "- **Descs/Depth magnitudes.** GanttProject's mean interval-tree "
+        "size and depth (paper: 18 / 12) are underrepresented: the paper's "
+        "deepest component hierarchies exceed what the synthetic component "
+        "trees model, though GanttProject remains the structural maximum "
+        "of the suite as in the paper."
+    )
+    lines.append(
+        "- **Absolute GC/native shares.** GC and native fractions of "
+        "perceptible lag track the paper's outliers (Arabeske's explicit "
+        "collections, JFreeChart's native rendering) but run a few points "
+        "low on average — pause costs and JNI call rates of the 2009 "
+        "Apple JVM are approximated, not measured."
+    )
+    lines.append(
+        "- **Per-application cause bars.** Which *specific* non-outlier "
+        "application shows a given small synchronization bar is sensitive "
+        "to which templates the calibrated slow set lands on; the paper's "
+        "named outliers (jEdit waits, FreeMind contention, Euclide sleeps) "
+        "are reproduced by construction of their mechanisms."
+    )
+    lines.append(
+        "- **Timing noise.** All counts vary a few percent run to run with "
+        "the seed; the committed numbers use the default seed "
+        f"({result.config.seed})."
+    )
+
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+    return path

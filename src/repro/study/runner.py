@@ -1,0 +1,134 @@
+"""Running the characterization study.
+
+The paper's methodology: four interactive sessions per application,
+each analyzed offline by LagAlyzer; Table III reports per-application
+averages over the sessions, and Figures 3-8 characterize patterns,
+triggers, locations, and causes. :func:`run_study` reproduces that
+pipeline, one application at a time (like the paper's tool, which loads
+one session's trace into memory at a time, we keep only analysis
+summaries, not traces).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.api import AnalysisConfig, LagAlyzer
+from repro.core.concurrency import ConcurrencySummary
+from repro.core.location import LocationSummary
+from repro.core.occurrence import OccurrenceSummary
+from repro.core.statistics import SessionStats, average_stats, mean_row
+from repro.core.threadstates import ThreadStateSummary
+from repro.core.triggers import TriggerSummary
+from repro.apps.catalog import APPLICATION_NAMES
+from repro.apps.sessions import simulate_sessions
+
+
+@dataclass(frozen=True)
+class StudyConfig:
+    """How to run the study."""
+
+    seed: int = 20100401
+    sessions: int = 4
+    scale: float = 1.0
+    applications: Tuple[str, ...] = APPLICATION_NAMES
+    perceptible_threshold_ms: float = 100.0
+
+    def analysis_config(self) -> AnalysisConfig:
+        return AnalysisConfig(
+            perceptible_threshold_ms=self.perceptible_threshold_ms
+        )
+
+
+@dataclass
+class AppResult:
+    """Every per-application statistic the paper's evaluation uses."""
+
+    name: str
+    session_stats: List[SessionStats]
+    mean_stats: SessionStats
+    occurrence: OccurrenceSummary
+    triggers_all: TriggerSummary
+    triggers_perceptible: TriggerSummary
+    location_all: LocationSummary
+    location_perceptible: LocationSummary
+    concurrency_all: ConcurrencySummary
+    concurrency_perceptible: ConcurrencySummary
+    threadstates_all: ThreadStateSummary
+    threadstates_perceptible: ThreadStateSummary
+    pattern_cdf: List[float]
+    """Figure 3 curve: cumulative episode % by pattern % (101 points)."""
+
+
+@dataclass
+class StudyResult:
+    """All application results plus the cross-application mean row."""
+
+    config: StudyConfig
+    apps: Dict[str, AppResult]
+
+    @property
+    def mean_stats(self) -> SessionStats:
+        """The "Mean" row at the bottom of Table III."""
+        return mean_row([result.mean_stats for result in self.apps.values()])
+
+    def ordered(self) -> List[AppResult]:
+        """Results in Table II order."""
+        return [self.apps[name] for name in self.config.applications]
+
+
+def analyze_app(
+    name: str, config: StudyConfig
+) -> AppResult:
+    """Simulate and analyze one application's sessions."""
+    traces = simulate_sessions(
+        name, count=config.sessions, seed=config.seed, scale=config.scale
+    )
+    analyzer = LagAlyzer.from_traces(traces, config=config.analysis_config())
+    per_session = analyzer.session_stats()
+    return AppResult(
+        name=analyzer.application,
+        session_stats=per_session,
+        mean_stats=average_stats(per_session, analyzer.application),
+        occurrence=analyzer.occurrence_summary(),
+        triggers_all=analyzer.trigger_summary(),
+        triggers_perceptible=analyzer.trigger_summary(perceptible_only=True),
+        location_all=analyzer.location_summary(),
+        location_perceptible=analyzer.location_summary(perceptible_only=True),
+        concurrency_all=analyzer.concurrency_summary(),
+        concurrency_perceptible=analyzer.concurrency_summary(
+            perceptible_only=True
+        ),
+        threadstates_all=analyzer.threadstate_summary(),
+        threadstates_perceptible=analyzer.threadstate_summary(
+            perceptible_only=True
+        ),
+        pattern_cdf=analyzer.pattern_table().cumulative_episode_distribution(),
+    )
+
+
+def run_study(
+    config: Optional[StudyConfig] = None,
+    progress: bool = False,
+) -> StudyResult:
+    """Run the full characterization study.
+
+    Args:
+        config: study parameters; defaults to the paper's setup (four
+            full-length sessions per application, 100 ms threshold).
+        progress: print one line per application as it completes.
+    """
+    config = config or StudyConfig()
+    results: Dict[str, AppResult] = {}
+    for name in config.applications:
+        result = analyze_app(name, config)
+        results[result.name] = result
+        if progress:
+            stats = result.mean_stats
+            print(
+                f"  {result.name:<14s} traced={stats.traced:7.0f} "
+                f"perceptible={stats.perceptible:6.0f} "
+                f"patterns={stats.distinct_patterns:6.0f}"
+            )
+    return StudyResult(config=config, apps=results)

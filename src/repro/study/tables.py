@@ -1,0 +1,75 @@
+"""Text renderings of the paper's tables."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.core.intervals import IntervalKind
+from repro.core.statistics import SessionStats
+from repro.apps.catalog import table2_rows
+
+#: Table I descriptions, keyed by interval kind.
+_TABLE1_DESCRIPTIONS = {
+    IntervalKind.DISPATCH: "Start to end of a given episode",
+    IntervalKind.LISTENER: "A listener notification call",
+    IntervalKind.PAINT: "A graphics rendering operation",
+    IntervalKind.NATIVE: "A JNI native call",
+    IntervalKind.ASYNC: "The handling of an event posted in a background thread",
+    IntervalKind.GC: "A garbage collection",
+}
+
+
+def format_table1() -> str:
+    """Table I: interval types."""
+    lines = [f"{'Name':<10s} Description", "-" * 66]
+    for kind in IntervalKind:
+        name = kind.value.capitalize() if kind is not IntervalKind.GC else "GC"
+        lines.append(f"{name:<10s} {_TABLE1_DESCRIPTIONS[kind]}")
+    return "\n".join(lines)
+
+
+def format_table2() -> str:
+    """Table II: the application suite."""
+    lines = [
+        f"{'Application':<15s} {'Version':<10s} {'Classes':>8s}  Description",
+        "-" * 70,
+    ]
+    for name, version, classes, description in table2_rows():
+        lines.append(
+            f"{name:<15s} {version:<10s} {classes:>8d}  {description}"
+        )
+    return "\n".join(lines)
+
+
+_TABLE3_HEADER = (
+    f"{'Benchmarks':<15s}"
+    f"{'E2E[s]':>8s}{'In-Eps%':>9s}"
+    f"{'<3ms':>10s}{'>=3ms':>8s}{'>=100ms':>9s}{'Long/min':>10s}"
+    f"{'Dist':>7s}{'#Eps':>7s}{'One-Ep%':>9s}{'Descs':>7s}{'Depth':>7s}"
+)
+
+
+def format_table3_row(stats: SessionStats) -> str:
+    """One formatted Table III row."""
+    return (
+        f"{stats.application:<15s}"
+        f"{stats.e2e_s:>8.0f}{stats.in_episode_pct:>9.0f}"
+        f"{stats.below_filter:>10.0f}{stats.traced:>8.0f}"
+        f"{stats.perceptible:>9.0f}{stats.long_per_min:>10.0f}"
+        f"{stats.distinct_patterns:>7.0f}{stats.covered_episodes:>7.0f}"
+        f"{stats.singleton_pct:>9.0f}{stats.mean_descendants:>7.0f}"
+        f"{stats.mean_depth:>7.0f}"
+    )
+
+
+def format_table3(
+    rows: Sequence[SessionStats], mean: Optional[SessionStats] = None
+) -> str:
+    """Table III: overall statistics, one row per application."""
+    lines: List[str] = [_TABLE3_HEADER, "-" * len(_TABLE3_HEADER)]
+    for stats in rows:
+        lines.append(format_table3_row(stats))
+    if mean is not None:
+        lines.append("-" * len(_TABLE3_HEADER))
+        lines.append(format_table3_row(mean))
+    return "\n".join(lines)

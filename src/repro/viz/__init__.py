@@ -1,0 +1,38 @@
+"""Visualization: episode sketches and characterization charts.
+
+The paper's tool renders *episode sketches* (a temporal view of one
+episode: the nested interval tree over a time axis, with call-stack
+sample dots along the top edge) and generates characterization charts
+(the MATLAB figures of Section IV). This package reproduces both as
+dependency-free SVG.
+"""
+
+from repro.viz.svg import SvgDocument
+from repro.viz.colors import (
+    APP_PALETTE,
+    INTERVAL_COLORS,
+    STATE_COLORS,
+    color_for_app,
+)
+from repro.viz.sketch import render_episode_sketch
+from repro.viz.timeline import render_session_timeline
+from repro.viz.charts import (
+    render_cdf_chart,
+    render_dot_chart,
+    render_stacked_bars,
+)
+from repro.viz.browser import render_pattern_browser
+
+__all__ = [
+    "APP_PALETTE",
+    "INTERVAL_COLORS",
+    "STATE_COLORS",
+    "SvgDocument",
+    "color_for_app",
+    "render_cdf_chart",
+    "render_dot_chart",
+    "render_episode_sketch",
+    "render_pattern_browser",
+    "render_session_timeline",
+    "render_stacked_bars",
+]

@@ -1,0 +1,94 @@
+"""The Pattern Browser, rendered as text.
+
+Section II-E: LagAlyzer presents a table of patterns with, for each,
+the number of episodes and the minimum, average, maximum, and total lag;
+the table can be filtered to patterns with perceptible episodes, and
+selecting a pattern reveals its episode list and a sketch of its first
+episode. This module renders the table (and an episode list) for
+terminals and reports.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.episodes import DEFAULT_PERCEPTIBLE_MS
+from repro.core.occurrence import classify_pattern
+from repro.core.patterns import Pattern, PatternTable
+
+_HEADER = (
+    f"{'#':>4s} {'Episodes':>9s} {'Min[ms]':>9s} {'Avg[ms]':>9s} "
+    f"{'Max[ms]':>9s} {'Total[ms]':>11s} {'Perc':>5s} {'Class':<10s} "
+    f"Structure"
+)
+
+
+def _describe_key(pattern: Pattern, max_length: int = 48) -> str:
+    """A compact human-readable summary of a pattern's structure."""
+    episode = pattern.representative
+    parts: List[str] = []
+    for child in episode.root.children:
+        symbol = child.symbol.rsplit(".", 2)
+        parts.append(
+            f"{child.kind.value}:{'.'.join(symbol[-2:])}"
+        )
+        if len(parts) >= 3:
+            break
+    text = " ".join(parts) if parts else "(gc only)"
+    if len(text) > max_length:
+        text = text[: max_length - 1] + "…"
+    return text
+
+
+def render_pattern_browser(
+    table: PatternTable,
+    limit: int = 20,
+    perceptible_only: bool = False,
+    threshold_ms: float = DEFAULT_PERCEPTIBLE_MS,
+) -> str:
+    """Render the pattern table, worst total lag first.
+
+    Args:
+        table: the mined patterns.
+        limit: show at most this many rows.
+        perceptible_only: apply the browser's elision filter.
+        threshold_ms: perceptibility threshold for the "Perc" column.
+    """
+    shown = (
+        table.perceptible_only(threshold_ms) if perceptible_only else table
+    )
+    lines = [_HEADER, "-" * len(_HEADER)]
+    for index, pattern in enumerate(shown.rows()[:limit], start=1):
+        occurrence = classify_pattern(pattern, threshold_ms)
+        lines.append(
+            f"{index:>4d} {pattern.count:>9d} {pattern.min_lag_ms:>9.1f} "
+            f"{pattern.avg_lag_ms:>9.1f} {pattern.max_lag_ms:>9.1f} "
+            f"{pattern.total_lag_ms:>11.1f} "
+            f"{pattern.perceptible_count(threshold_ms):>5d} "
+            f"{occurrence.value:<10s} {_describe_key(pattern)}"
+        )
+    remaining = len(shown.rows()) - limit
+    if remaining > 0:
+        lines.append(f"... and {remaining} more patterns")
+    return "\n".join(lines)
+
+
+def render_episode_list(
+    pattern: Pattern, limit: int = 15, threshold_ms: float = DEFAULT_PERCEPTIBLE_MS
+) -> str:
+    """The episode list revealed when a pattern is selected."""
+    lines = [
+        f"Pattern with {pattern.count} episodes "
+        f"(perceptible: {pattern.perceptible_count(threshold_ms)})",
+        f"{'Episode':>8s} {'Lag[ms]':>9s} {'Perceptible':>12s}",
+    ]
+    for episode in pattern.episodes[:limit]:
+        perceptible = "yes" if episode.is_perceptible(threshold_ms) else ""
+        lines.append(
+            f"{episode.index:>8d} {episode.duration_ms:>9.1f} "
+            f"{perceptible:>12s}"
+        )
+    remaining = pattern.count - limit
+    if remaining > 0:
+        lines.append(f"... and {remaining} more episodes")
+    return "\n".join(lines)

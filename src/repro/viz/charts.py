@@ -1,0 +1,257 @@
+"""Chart renderers for the characterization figures.
+
+Three chart families cover every figure of Section IV:
+
+- stacked horizontal bars (Figures 4, 5, 6, 8): one bar per
+  application, segments per category, x-axis in percent;
+- dot/bar charts (Figure 7): one value per application;
+- multi-series line charts (Figure 3): the cumulative distribution of
+  episodes into patterns.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from repro.viz.colors import color_for_app
+from repro.viz.svg import SvgDocument
+
+_LABEL_WIDTH = 120
+_MARGIN = 16
+_BAR_HEIGHT = 16
+_BAR_GAP = 8
+_LEGEND_BAND = 26
+_AXIS_BAND = 30
+
+
+def _chart_frame(
+    n_rows: int, width: int
+) -> SvgDocument:
+    height = (
+        _MARGIN
+        + _LEGEND_BAND
+        + n_rows * (_BAR_HEIGHT + _BAR_GAP)
+        + _AXIS_BAND
+    )
+    return SvgDocument(width, height)
+
+
+def render_stacked_bars(
+    data: Mapping[str, Mapping[str, float]],
+    colors: Mapping[str, str],
+    title: str,
+    width: int = 820,
+    x_max: float = 100.0,
+    x_label: str = "Episodes [%]",
+) -> SvgDocument:
+    """A horizontal stacked-bar chart, one bar per row of ``data``.
+
+    Args:
+        data: row label -> {category: percentage}; categories are drawn
+            in ``colors`` order, so every row stacks identically.
+        colors: category -> fill color; also defines the legend.
+        title: chart heading.
+        x_max: right edge of the axis (Figure 8 zooms to 60%).
+        x_label: axis caption.
+    """
+    doc = _chart_frame(len(data), width)
+    doc.text(_MARGIN, _MARGIN + 2, title, size=13, fill="#111111")
+
+    # Legend.
+    legend_x = _MARGIN + _LABEL_WIDTH
+    for category, color in colors.items():
+        doc.rect(legend_x, _MARGIN + 10, 10, 10, fill=color)
+        doc.text(legend_x + 14, _MARGIN + 19, category, size=10)
+        legend_x += 14 + 7 * len(category) + 18
+
+    plot_left = _MARGIN + _LABEL_WIDTH
+    plot_width = width - plot_left - _MARGIN
+    top = _MARGIN + _LEGEND_BAND + 6
+
+    for row_index, (label, values) in enumerate(data.items()):
+        y = top + row_index * (_BAR_HEIGHT + _BAR_GAP)
+        doc.text(
+            plot_left - 6,
+            y + _BAR_HEIGHT - 4,
+            label,
+            size=10,
+            anchor="end",
+        )
+        x = float(plot_left)
+        for category, color in colors.items():
+            value = values.get(category, 0.0)
+            seg = plot_width * min(value, x_max) / x_max
+            if seg <= 0:
+                continue
+            doc.rect(
+                x,
+                y,
+                seg,
+                _BAR_HEIGHT,
+                fill=color,
+                title=f"{label}: {category} {value:.1f}%",
+            )
+            x += seg
+
+    _draw_percent_axis(doc, plot_left, plot_width, top, len(data), x_max, x_label)
+    return doc
+
+
+def render_dot_chart(
+    data: Mapping[str, float],
+    title: str,
+    width: int = 820,
+    x_max: float = 2.0,
+    x_label: str = "Runnable threads",
+    reference: Optional[float] = 1.0,
+) -> SvgDocument:
+    """A dot chart, one value per row (Figure 7).
+
+    Args:
+        reference: draw a dashed vertical guide at this x (the "exactly
+            one runnable thread" line); None omits it.
+    """
+    doc = _chart_frame(len(data), width)
+    doc.text(_MARGIN, _MARGIN + 2, title, size=13, fill="#111111")
+    plot_left = _MARGIN + _LABEL_WIDTH
+    plot_width = width - plot_left - _MARGIN
+    top = _MARGIN + _LEGEND_BAND + 6
+
+    if reference is not None and 0 <= reference <= x_max:
+        x_ref = plot_left + plot_width * reference / x_max
+        bottom = top + len(data) * (_BAR_HEIGHT + _BAR_GAP) - _BAR_GAP
+        doc.line(x_ref, top - 4, x_ref, bottom + 4, stroke="#999999",
+                 dash="4,3")
+
+    for row_index, (label, value) in enumerate(data.items()):
+        y = top + row_index * (_BAR_HEIGHT + _BAR_GAP)
+        cy = y + _BAR_HEIGHT / 2
+        doc.text(plot_left - 6, y + _BAR_HEIGHT - 4, label, size=10,
+                 anchor="end")
+        doc.line(plot_left, cy, plot_left + plot_width * min(value, x_max) / x_max,
+                 cy, stroke="#bbbbbb", stroke_width=2.0)
+        doc.circle(
+            plot_left + plot_width * min(value, x_max) / x_max,
+            cy,
+            4.0,
+            fill="#4e79a7",
+            title=f"{label}: {value:.2f}",
+        )
+
+    _draw_numeric_axis(doc, plot_left, plot_width, top, len(data), x_max, x_label)
+    return doc
+
+
+def render_cdf_chart(
+    curves: Mapping[str, Sequence[float]],
+    title: str = "Cumulative distribution of episodes into patterns",
+    width: int = 760,
+    height: int = 520,
+) -> SvgDocument:
+    """The Figure 3 chart: one CDF line per application.
+
+    Args:
+        curves: app name -> list of y values (percent of episodes) for
+            x = 0..100 percent of patterns, equally spaced.
+    """
+    doc = SvgDocument(width, height)
+    doc.text(_MARGIN, _MARGIN + 2, title, size=13, fill="#111111")
+    plot_left = 60
+    plot_top = 40
+    plot_width = width - plot_left - 170
+    plot_height = height - plot_top - 50
+
+    # Frame and grid.
+    for fraction in (0.0, 0.2, 0.4, 0.6, 0.8, 1.0):
+        x = plot_left + plot_width * fraction
+        y = plot_top + plot_height * (1 - fraction)
+        doc.line(x, plot_top, x, plot_top + plot_height, stroke="#eeeeee")
+        doc.line(plot_left, y, plot_left + plot_width, y, stroke="#eeeeee")
+        doc.text(x, plot_top + plot_height + 16, f"{fraction * 100:.0f}",
+                 size=9, anchor="middle", fill="#555555")
+        doc.text(plot_left - 8, y + 3, f"{fraction * 100:.0f}", size=9,
+                 anchor="end", fill="#555555")
+    doc.text(
+        plot_left + plot_width / 2,
+        plot_top + plot_height + 34,
+        "Patterns [%]",
+        size=11,
+        anchor="middle",
+    )
+    doc.text(
+        18,
+        plot_top + plot_height / 2,
+        "Cumulative Episodes Count [%]",
+        size=11,
+        anchor="middle",
+        rotate=-90.0,
+    )
+
+    legend_y = plot_top
+    for index, (name, curve) in enumerate(curves.items()):
+        color = color_for_app(index)
+        if curve:
+            n = len(curve) - 1
+            points = [
+                (
+                    plot_left + plot_width * i / max(n, 1),
+                    plot_top + plot_height * (1 - value / 100.0),
+                )
+                for i, value in enumerate(curve)
+            ]
+            doc.polyline(points, stroke=color, stroke_width=1.6)
+        doc.line(
+            plot_left + plot_width + 12,
+            legend_y + 4,
+            plot_left + plot_width + 30,
+            legend_y + 4,
+            stroke=color,
+            stroke_width=2.0,
+        )
+        doc.text(plot_left + plot_width + 34, legend_y + 8, name, size=10)
+        legend_y += 16
+    return doc
+
+
+def _draw_percent_axis(
+    doc: SvgDocument,
+    plot_left: float,
+    plot_width: float,
+    top: float,
+    n_rows: int,
+    x_max: float,
+    x_label: str,
+) -> None:
+    axis_y = top + n_rows * (_BAR_HEIGHT + _BAR_GAP) + 4
+    doc.line(plot_left, axis_y, plot_left + plot_width, axis_y,
+             stroke="#555555")
+    ticks = 4
+    for i in range(ticks + 1):
+        x = plot_left + plot_width * i / ticks
+        doc.line(x, axis_y, x, axis_y + 4, stroke="#555555")
+        doc.text(x, axis_y + 16, f"{x_max * i / ticks:.0f}", size=9,
+                 anchor="middle", fill="#555555")
+    doc.text(plot_left + plot_width / 2, axis_y + 28, x_label, size=10,
+             anchor="middle")
+
+
+def _draw_numeric_axis(
+    doc: SvgDocument,
+    plot_left: float,
+    plot_width: float,
+    top: float,
+    n_rows: int,
+    x_max: float,
+    x_label: str,
+) -> None:
+    axis_y = top + n_rows * (_BAR_HEIGHT + _BAR_GAP) + 4
+    doc.line(plot_left, axis_y, plot_left + plot_width, axis_y,
+             stroke="#555555")
+    ticks = 8
+    for i in range(ticks + 1):
+        x = plot_left + plot_width * i / ticks
+        doc.line(x, axis_y, x, axis_y + 4, stroke="#555555")
+        doc.text(x, axis_y + 16, f"{x_max * i / ticks:g}", size=9,
+                 anchor="middle", fill="#555555")
+    doc.text(plot_left + plot_width / 2, axis_y + 28, x_label, size=10,
+             anchor="middle")

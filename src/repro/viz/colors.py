@@ -1,0 +1,76 @@
+"""Color schemes for sketches and charts.
+
+LagAlyzer "renders each interval type in a different color" and colors
+sample dots by thread state; the characterization charts need a stable
+categorical palette for the 14 applications and for the stacked-bar
+category sets.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+from repro.core.intervals import IntervalKind
+from repro.core.samples import ThreadState
+
+#: Fill colors per interval type (the episode-sketch legend).
+INTERVAL_COLORS: Dict[IntervalKind, str] = {
+    IntervalKind.DISPATCH: "#9aa7b5",
+    IntervalKind.LISTENER: "#4e79a7",
+    IntervalKind.PAINT: "#59a14f",
+    IntervalKind.NATIVE: "#e15759",
+    IntervalKind.ASYNC: "#b07aa1",
+    IntervalKind.GC: "#edc948",
+}
+
+#: Sample-dot colors per thread state (runnable should read as "fine").
+STATE_COLORS: Dict[ThreadState, str] = {
+    ThreadState.RUNNABLE: "#2e7d32",
+    ThreadState.BLOCKED: "#c62828",
+    ThreadState.WAITING: "#ef6c00",
+    ThreadState.SLEEPING: "#6a1b9a",
+}
+
+#: Stacked-bar colors for the trigger chart (Figure 5).
+TRIGGER_COLORS: Dict[str, str] = {
+    "input": "#4e79a7",
+    "output": "#59a14f",
+    "asynchronous": "#b07aa1",
+    "unspecified": "#bab0ac",
+}
+
+#: Stacked-bar colors for the occurrence chart (Figure 4).
+OCCURRENCE_COLORS: Dict[str, str] = {
+    "always": "#c62828",
+    "sometimes": "#ef6c00",
+    "once": "#edc948",
+    "never": "#59a14f",
+}
+
+#: Stacked-bar colors for the location chart (Figure 6).
+LOCATION_COLORS: Dict[str, str] = {
+    "Application": "#4e79a7",
+    "RT Library": "#9ecae1",
+    "GC": "#edc948",
+    "Native": "#e15759",
+}
+
+#: Stacked-bar colors for the thread-state chart (Figure 8).
+THREADSTATE_COLORS: Dict[str, str] = {
+    "blocked": "#c62828",
+    "waiting": "#ef6c00",
+    "sleeping": "#6a1b9a",
+    "runnable": "#d9e6d9",
+}
+
+#: Categorical palette for per-application lines (Figure 3).
+APP_PALETTE: Sequence[str] = (
+    "#4e79a7", "#f28e2b", "#e15759", "#76b7b2", "#59a14f",
+    "#edc948", "#b07aa1", "#ff9da7", "#9c755f", "#bab0ac",
+    "#1f77b4", "#2ca02c", "#d62728", "#9467bd",
+)
+
+
+def color_for_app(index: int) -> str:
+    """A stable color for the app at ``index`` (Table II order)."""
+    return APP_PALETTE[index % len(APP_PALETTE)]

@@ -1,0 +1,194 @@
+"""An HTML pattern browser: Section II-E as a shareable artifact.
+
+The paper's Pattern Browser shows a table of patterns with lag
+statistics; selecting a pattern reveals its episode list and an episode
+sketch of its first episode, and the developer browses the sketches of
+the pattern's episodes "to get a quick grasp of the timing variations".
+This module renders that whole workflow into one static HTML page:
+a sortable-by-construction pattern table, a collapsible section per
+pattern with its episode list, and inline SVG sketches (first episode
+plus the slowest, where different) — no server, no JavaScript
+dependencies, attachable to a bug report.
+"""
+
+from __future__ import annotations
+
+from html import escape
+from pathlib import Path
+from typing import List, Optional, Union
+
+from repro.core.api import LagAlyzer
+from repro.core.drilldown import drill_down_pattern, format_drilldown
+from repro.core.occurrence import classify_pattern
+from repro.core.patterns import Pattern
+from repro.viz.sketch import render_episode_sketch
+
+_STYLE = """
+body { font-family: Helvetica, Arial, sans-serif; margin: 2em auto;
+       max-width: 1060px; color: #222; }
+h1 { border-bottom: 2px solid #4e79a7; padding-bottom: 0.2em; }
+table { border-collapse: collapse; width: 100%; font-size: 13px; }
+th, td { text-align: right; padding: 4px 10px;
+         border-bottom: 1px solid #e5e5e5; }
+th { background: #f1f4f8; }
+td.key, th.key { text-align: left; font-family: monospace;
+                 font-size: 12px; max-width: 330px; overflow: hidden;
+                 text-overflow: ellipsis; white-space: nowrap; }
+details { margin: 0.8em 0; border: 1px solid #dddddd; border-radius: 4px;
+          padding: 0.4em 0.9em; }
+summary { cursor: pointer; font-weight: bold; font-size: 14px; }
+.occ-always { color: #c62828; } .occ-sometimes { color: #ef6c00; }
+.occ-once { color: #b8860b; } .occ-never { color: #2e7d32; }
+.meta { color: #666; font-size: 13px; }
+"""
+
+
+def _occurrence_cell(pattern: Pattern, threshold_ms: float) -> str:
+    occurrence = classify_pattern(pattern, threshold_ms)
+    return (
+        f"<span class='occ-{occurrence.value}'>{occurrence.value}</span>"
+    )
+
+
+def _pattern_label(pattern: Pattern) -> str:
+    children = pattern.representative.root.children
+    if not children:
+        return "(gc only)"
+    return children[0].symbol
+
+
+def _pattern_section(
+    index: int,
+    pattern: Pattern,
+    threshold_ms: float,
+    sketch_limit: int,
+    episode_rows: int,
+) -> str:
+    parts: List[str] = []
+    parts.append("<details>")
+    parts.append(
+        f"<summary>#{index} — {escape(_pattern_label(pattern))} "
+        f"({pattern.count} episodes, "
+        f"max {pattern.max_lag_ms:.0f} ms)</summary>"
+    )
+    parts.append(
+        f"<p class='meta'>min {pattern.min_lag_ms:.1f} / "
+        f"avg {pattern.avg_lag_ms:.1f} / max {pattern.max_lag_ms:.1f} / "
+        f"total {pattern.total_lag_ms:.1f} ms — "
+        f"{pattern.perceptible_count(threshold_ms)} perceptible, "
+        f"{pattern.gc_episode_count()} with GC — "
+        f"{_occurrence_cell(pattern, threshold_ms)}</p>"
+    )
+
+    drilldown = format_drilldown(drill_down_pattern(pattern, top=5))
+    parts.append(
+        f"<pre class='meta'>{escape(drilldown)}</pre>"
+    )
+
+    parts.append("<table><tr><th>episode</th><th>lag [ms]</th>"
+                 "<th>perceptible</th></tr>")
+    for episode in pattern.episodes[:episode_rows]:
+        flag = "yes" if episode.is_perceptible(threshold_ms) else ""
+        parts.append(
+            f"<tr><td>{episode.index}</td>"
+            f"<td>{episode.duration_ms:.1f}</td><td>{flag}</td></tr>"
+        )
+    parts.append("</table>")
+    if pattern.count > episode_rows:
+        parts.append(
+            f"<p class='meta'>... and {pattern.count - episode_rows} "
+            f"more episodes</p>"
+        )
+
+    # Sketches: the first episode (what the paper's browser shows) and
+    # the slowest one, when different.
+    to_sketch = [pattern.representative]
+    worst = max(pattern.episodes, key=lambda ep: ep.duration_ns)
+    if worst is not pattern.representative:
+        to_sketch.append(worst)
+    for episode in to_sketch[:sketch_limit]:
+        sketch = render_episode_sketch(
+            episode,
+            width=980,
+            title=(
+                f"episode #{episode.index} — {episode.duration_ms:.0f} ms"
+            ),
+        )
+        parts.append(sketch.to_string())
+    parts.append("</details>")
+    return "\n".join(parts)
+
+
+def render_html_browser(
+    analyzer: LagAlyzer,
+    max_patterns: int = 25,
+    perceptible_only: bool = True,
+    sketches_per_pattern: int = 2,
+    episode_rows: int = 12,
+    title: Optional[str] = None,
+) -> str:
+    """Render the pattern browser for ``analyzer`` as one HTML page.
+
+    Args:
+        max_patterns: sections rendered (worst total lag first).
+        perceptible_only: apply the browser's elision filter.
+        sketches_per_pattern: inline sketches per pattern (first + worst).
+        episode_rows: rows in each pattern's episode list.
+    """
+    threshold = analyzer.config.perceptible_threshold_ms
+    table = analyzer.pattern_table()
+    shown = table.perceptible_only(threshold) if perceptible_only else table
+    rows = shown.rows()[:max_patterns]
+
+    parts: List[str] = []
+    parts.append("<!DOCTYPE html><html><head><meta charset='utf-8'>")
+    heading = title or f"Pattern browser — {analyzer.application}"
+    parts.append(f"<title>{escape(heading)}</title>")
+    parts.append(f"<style>{_STYLE}</style></head><body>")
+    parts.append(f"<h1>{escape(heading)}</h1>")
+    parts.append(
+        f"<p class='meta'>{len(analyzer.traces)} session(s), "
+        f"{len(analyzer.episodes)} episodes, "
+        f"{table.distinct_count} patterns "
+        f"({len(shown.rows())} shown after "
+        f"{'perceptible-only filtering' if perceptible_only else 'no filtering'}"
+        f"), threshold {threshold:.0f} ms.</p>"
+    )
+
+    parts.append("<table><tr><th>#</th><th>episodes</th><th>min</th>"
+                 "<th>avg</th><th>max</th><th>total</th><th>perc</th>"
+                 "<th>class</th><th class='key'>structure</th></tr>")
+    for index, pattern in enumerate(rows, start=1):
+        parts.append(
+            f"<tr><td>{index}</td><td>{pattern.count}</td>"
+            f"<td>{pattern.min_lag_ms:.1f}</td>"
+            f"<td>{pattern.avg_lag_ms:.1f}</td>"
+            f"<td>{pattern.max_lag_ms:.1f}</td>"
+            f"<td>{pattern.total_lag_ms:.1f}</td>"
+            f"<td>{pattern.perceptible_count(threshold)}</td>"
+            f"<td>{_occurrence_cell(pattern, threshold)}</td>"
+            f"<td class='key'>{escape(_pattern_label(pattern))}</td></tr>"
+        )
+    parts.append("</table>")
+
+    for index, pattern in enumerate(rows, start=1):
+        parts.append(
+            _pattern_section(
+                index, pattern, threshold, sketches_per_pattern,
+                episode_rows,
+            )
+        )
+    parts.append("</body></html>")
+    return "\n".join(parts)
+
+
+def write_html_browser(
+    analyzer: LagAlyzer,
+    path: Union[str, Path],
+    **kwargs,
+) -> Path:
+    """Write :func:`render_html_browser` to ``path``."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(render_html_browser(analyzer, **kwargs), encoding="utf-8")
+    return path

@@ -1,0 +1,140 @@
+"""Episode sketches: the temporal visualization of Figures 1 and 2.
+
+An episode sketch has three parts (Section II-B):
+
+1. a time axis at the bottom, locating the episode in the session;
+2. above it, the tree of nested intervals, one row per nesting level,
+   each interval a colored bar (color = interval type) labeled with its
+   symbol and duration;
+3. along the top edge, one dot per call-stack sample of the GUI thread,
+   colored by thread state, with the full stack as a hover tooltip —
+   the blackout during garbage collections is visible as a gap in the
+   dots.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.core.episodes import Episode
+from repro.core.intervals import Interval, NS_PER_MS
+from repro.viz.colors import INTERVAL_COLORS, STATE_COLORS
+from repro.viz.svg import SvgDocument
+
+_ROW_HEIGHT = 22
+_ROW_GAP = 4
+_MARGIN_LEFT = 10
+_MARGIN_RIGHT = 10
+_SAMPLE_BAND = 26
+_AXIS_BAND = 34
+_MIN_LABEL_PX = 60
+
+
+def _levels(root: Interval) -> List[List[Interval]]:
+    """Intervals grouped by nesting level, root level first."""
+    rows: List[List[Interval]] = []
+    frontier = [root]
+    while frontier:
+        rows.append(frontier)
+        next_frontier: List[Interval] = []
+        for node in frontier:
+            next_frontier.extend(node.children)
+        frontier = next_frontier
+    return rows
+
+
+def render_episode_sketch(
+    episode: Episode,
+    width: int = 960,
+    title: Optional[str] = None,
+) -> SvgDocument:
+    """Render one episode as an SVG sketch.
+
+    Args:
+        episode: the episode to draw (its samples supply the dot band).
+        width: document width in pixels; height follows tree depth.
+        title: optional heading (defaults to episode index and lag).
+    """
+    rows = _levels(episode.root)
+    rows.reverse()  # dispatch at the bottom, like the paper's figure
+    tree_height = len(rows) * (_ROW_HEIGHT + _ROW_GAP)
+    height = _SAMPLE_BAND + tree_height + _AXIS_BAND + 24
+    doc = SvgDocument(width, height)
+
+    heading = title or (
+        f"Episode #{episode.index} — {episode.duration_ms:.0f} ms"
+    )
+    doc.text(_MARGIN_LEFT, 16, heading, size=13, fill="#111111")
+
+    span_ns = max(episode.duration_ns, 1)
+    plot_width = width - _MARGIN_LEFT - _MARGIN_RIGHT
+
+    def x_of(t_ns: int) -> float:
+        return _MARGIN_LEFT + plot_width * (t_ns - episode.start_ns) / span_ns
+
+    # --- sample dots along the top edge --------------------------------
+    dot_y = 24 + _SAMPLE_BAND / 2
+    for sample in episode.samples:
+        entry = sample.thread(episode.gui_thread)
+        if entry is None:
+            continue
+        frames = "\n".join(
+            frame.qualified_name for frame in entry.stack.frames[:12]
+        )
+        tooltip = f"{entry.state.value}\n{frames}" if frames else entry.state.value
+        doc.circle(
+            x_of(sample.timestamp_ns),
+            dot_y,
+            2.2,
+            fill=STATE_COLORS[entry.state],
+            title=tooltip,
+        )
+
+    # --- interval tree ---------------------------------------------------
+    tree_top = 24 + _SAMPLE_BAND
+    for row_index, row in enumerate(rows):
+        y = tree_top + row_index * (_ROW_HEIGHT + _ROW_GAP)
+        for interval in row:
+            x0 = x_of(interval.start_ns)
+            x1 = x_of(interval.end_ns)
+            bar_width = max(x1 - x0, 1.0)
+            label = f"{interval.symbol} ({interval.duration_ms:.0f} ms)"
+            doc.rect(
+                x0,
+                y,
+                bar_width,
+                _ROW_HEIGHT,
+                fill=INTERVAL_COLORS[interval.kind],
+                stroke="#ffffff",
+                stroke_width=0.8,
+                title=label,
+                rx=2.0,
+            )
+            if bar_width >= _MIN_LABEL_PX:
+                short = interval.symbol.rsplit(".", 2)
+                text = ".".join(short[-2:]) if len(short) > 1 else short[0]
+                doc.text(
+                    x0 + 4,
+                    y + _ROW_HEIGHT - 7,
+                    f"{text} {interval.duration_ms:.0f}ms",
+                    size=9,
+                    fill="#ffffff",
+                )
+
+    # --- time axis --------------------------------------------------------
+    axis_y = tree_top + tree_height + 12
+    doc.line(_MARGIN_LEFT, axis_y, width - _MARGIN_RIGHT, axis_y,
+             stroke="#555555")
+    for fraction in (0.0, 0.25, 0.5, 0.75, 1.0):
+        t_ns = episode.start_ns + round(span_ns * fraction)
+        x = x_of(t_ns)
+        doc.line(x, axis_y, x, axis_y + 5, stroke="#555555")
+        doc.text(
+            x,
+            axis_y + 18,
+            f"{t_ns / NS_PER_MS:.0f} ms",
+            size=9,
+            anchor="middle",
+            fill="#555555",
+        )
+    return doc

@@ -1,0 +1,167 @@
+"""A minimal SVG document builder.
+
+matplotlib is not available offline, so every chart and sketch in this
+package is generated as plain SVG text. The builder covers exactly the
+elements the renderers need, escapes text safely, and produces stable
+output (attribute order is fixed) so renders can be golden-tested.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import List, Optional, Sequence, Tuple, Union
+from xml.sax.saxutils import escape, quoteattr
+
+
+def _fmt(value: Union[int, float]) -> str:
+    """Format a coordinate: trim trailing zeros, keep output stable."""
+    if isinstance(value, int):
+        return str(value)
+    text = f"{value:.2f}"
+    return text.rstrip("0").rstrip(".") if "." in text else text
+
+
+class SvgDocument:
+    """An append-only SVG scene graph with a fixed viewport."""
+
+    def __init__(
+        self, width: int, height: int, background: Optional[str] = "#ffffff"
+    ) -> None:
+        self.width = width
+        self.height = height
+        self._parts: List[str] = []
+        if background is not None:
+            self.rect(0, 0, width, height, fill=background, stroke="none")
+
+    # ------------------------------------------------------------------
+    # Elements
+    # ------------------------------------------------------------------
+
+    def rect(
+        self,
+        x: float,
+        y: float,
+        width: float,
+        height: float,
+        fill: str = "#000000",
+        stroke: str = "none",
+        stroke_width: float = 1.0,
+        title: Optional[str] = None,
+        rx: float = 0.0,
+    ) -> None:
+        """Add a rectangle; ``title`` becomes a hover tooltip."""
+        attrs = (
+            f'x={quoteattr(_fmt(x))} y={quoteattr(_fmt(y))} '
+            f'width={quoteattr(_fmt(max(width, 0.0)))} '
+            f'height={quoteattr(_fmt(max(height, 0.0)))} '
+            f'fill={quoteattr(fill)} stroke={quoteattr(stroke)} '
+            f'stroke-width={quoteattr(_fmt(stroke_width))}'
+        )
+        if rx:
+            attrs += f" rx={quoteattr(_fmt(rx))}"
+        if title is None:
+            self._parts.append(f"<rect {attrs}/>")
+        else:
+            self._parts.append(
+                f"<rect {attrs}><title>{escape(title)}</title></rect>"
+            )
+
+    def line(
+        self,
+        x1: float,
+        y1: float,
+        x2: float,
+        y2: float,
+        stroke: str = "#000000",
+        stroke_width: float = 1.0,
+        dash: Optional[str] = None,
+    ) -> None:
+        attrs = (
+            f'x1={quoteattr(_fmt(x1))} y1={quoteattr(_fmt(y1))} '
+            f'x2={quoteattr(_fmt(x2))} y2={quoteattr(_fmt(y2))} '
+            f'stroke={quoteattr(stroke)} '
+            f'stroke-width={quoteattr(_fmt(stroke_width))}'
+        )
+        if dash:
+            attrs += f" stroke-dasharray={quoteattr(dash)}"
+        self._parts.append(f"<line {attrs}/>")
+
+    def circle(
+        self,
+        cx: float,
+        cy: float,
+        r: float,
+        fill: str = "#000000",
+        title: Optional[str] = None,
+    ) -> None:
+        attrs = (
+            f'cx={quoteattr(_fmt(cx))} cy={quoteattr(_fmt(cy))} '
+            f'r={quoteattr(_fmt(r))} fill={quoteattr(fill)}'
+        )
+        if title is None:
+            self._parts.append(f"<circle {attrs}/>")
+        else:
+            self._parts.append(
+                f"<circle {attrs}><title>{escape(title)}</title></circle>"
+            )
+
+    def polyline(
+        self,
+        points: Sequence[Tuple[float, float]],
+        stroke: str = "#000000",
+        stroke_width: float = 1.5,
+        fill: str = "none",
+    ) -> None:
+        path = " ".join(f"{_fmt(x)},{_fmt(y)}" for x, y in points)
+        self._parts.append(
+            f"<polyline points={quoteattr(path)} fill={quoteattr(fill)} "
+            f"stroke={quoteattr(stroke)} "
+            f"stroke-width={quoteattr(_fmt(stroke_width))}/>"
+        )
+
+    def text(
+        self,
+        x: float,
+        y: float,
+        content: str,
+        size: int = 11,
+        fill: str = "#222222",
+        anchor: str = "start",
+        family: str = "Helvetica, Arial, sans-serif",
+        rotate: Optional[float] = None,
+    ) -> None:
+        attrs = (
+            f'x={quoteattr(_fmt(x))} y={quoteattr(_fmt(y))} '
+            f'font-size={quoteattr(str(size))} fill={quoteattr(fill)} '
+            f'text-anchor={quoteattr(anchor)} '
+            f'font-family={quoteattr(family)}'
+        )
+        if rotate is not None:
+            attrs += (
+                f' transform={quoteattr(f"rotate({_fmt(rotate)} {_fmt(x)} {_fmt(y)})")}'
+            )
+        self._parts.append(f"<text {attrs}>{escape(content)}</text>")
+
+    # ------------------------------------------------------------------
+    # Output
+    # ------------------------------------------------------------------
+
+    def to_string(self) -> str:
+        """The complete SVG document as text."""
+        header = (
+            '<svg xmlns="http://www.w3.org/2000/svg" '
+            f'width="{self.width}" height="{self.height}" '
+            f'viewBox="0 0 {self.width} {self.height}">'
+        )
+        return "\n".join([header] + self._parts + ["</svg>"])
+
+    def save(self, path: Union[str, Path]) -> Path:
+        """Write the document to ``path`` and return it."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(self.to_string(), encoding="utf-8")
+        return path
+
+    def __len__(self) -> int:
+        """Number of elements added (background included)."""
+        return len(self._parts)

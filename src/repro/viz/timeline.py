@@ -1,0 +1,135 @@
+"""Session timelines: the LiLa-Viewer view the episode sketch extends.
+
+The paper's episode sketches are "an extension of the trace timeline
+visualizations implemented in LiLa Viewer". This module renders that
+underlying view for a whole session: every episode as a bar on the
+session's time axis (height = lag, on a log scale; color = perceptible
+or not), the perceptibility threshold as a guide line, and garbage
+collections as marks underneath — the view a developer scans to decide
+*which* episode to open as a sketch.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from repro.core.intervals import IntervalKind, NS_PER_MS, NS_PER_S
+from repro.core.trace import Trace
+from repro.viz.colors import INTERVAL_COLORS
+from repro.viz.svg import SvgDocument
+
+_PERCEPTIBLE_COLOR = "#c62828"
+_FAST_COLOR = "#7f9fc4"
+_THRESHOLD_COLOR = "#888888"
+
+
+def render_session_timeline(
+    trace: Trace,
+    width: int = 1000,
+    height: int = 260,
+    threshold_ms: float = 100.0,
+    max_lag_ms: Optional[float] = None,
+) -> SvgDocument:
+    """Render one session as a timeline of episode lags.
+
+    Args:
+        trace: the session to draw.
+        threshold_ms: the perceptibility guide line.
+        max_lag_ms: top of the log-scaled lag axis (defaults to the
+            worst episode's lag).
+    """
+    doc = SvgDocument(width, height)
+    margin_left, margin_right = 56, 14
+    plot_top, plot_bottom = 36, height - 44
+    plot_width = width - margin_left - margin_right
+    plot_height = plot_bottom - plot_top
+
+    doc.text(
+        margin_left,
+        18,
+        f"{trace.application} — {trace.metadata.session_id}: "
+        f"{len(trace.episodes)} episodes, "
+        f"{len(trace.perceptible_episodes(threshold_ms))} perceptible",
+        size=13,
+        fill="#111111",
+    )
+
+    span_ns = max(trace.metadata.duration_ns, 1)
+
+    def x_of(t_ns: int) -> float:
+        return margin_left + plot_width * (t_ns - trace.metadata.start_ns) / span_ns
+
+    lags = [ep.duration_ms for ep in trace.episodes]
+    top_lag = max_lag_ms or (max(lags) if lags else threshold_ms * 2)
+    top_lag = max(top_lag, threshold_ms * 1.5)
+    floor_ms = 1.0
+    log_floor = math.log10(floor_ms)
+    log_span = math.log10(top_lag) - log_floor or 1.0
+
+    def y_of(lag_ms: float) -> float:
+        clamped = min(max(lag_ms, floor_ms), top_lag)
+        fraction = (math.log10(clamped) - log_floor) / log_span
+        return plot_bottom - plot_height * fraction
+
+    # Lag axis (log): 1, 10, 100, ... ms.
+    decade = floor_ms
+    while decade <= top_lag:
+        y = y_of(decade)
+        doc.line(margin_left, y, width - margin_right, y, stroke="#f0f0f0")
+        doc.text(margin_left - 6, y + 3, f"{decade:g}", size=9,
+                 anchor="end", fill="#777777")
+        decade *= 10
+    doc.text(14, plot_top - 8, "lag [ms]", size=9, fill="#777777")
+
+    # Perceptibility threshold.
+    y_threshold = y_of(threshold_ms)
+    doc.line(margin_left, y_threshold, width - margin_right, y_threshold,
+             stroke=_THRESHOLD_COLOR, dash="5,4")
+    doc.text(width - margin_right, y_threshold - 4,
+             f"{threshold_ms:g} ms", size=9, anchor="end",
+             fill=_THRESHOLD_COLOR)
+
+    # Episodes.
+    for episode in trace.episodes:
+        x0 = x_of(episode.start_ns)
+        bar_width = max(x_of(episode.end_ns) - x0, 0.8)
+        y = y_of(episode.duration_ms)
+        perceptible = episode.is_perceptible(threshold_ms)
+        doc.rect(
+            x0,
+            y,
+            bar_width,
+            max(plot_bottom - y, 1.0),
+            fill=_PERCEPTIBLE_COLOR if perceptible else _FAST_COLOR,
+            title=(
+                f"episode #{episode.index}: {episode.duration_ms:.1f} ms "
+                f"at t={episode.start_ns / NS_PER_S:.1f} s"
+            ),
+        )
+
+    # GC marks under the axis.
+    gc_y = plot_bottom + 6
+    for gc in trace.gc_intervals():
+        doc.rect(
+            x_of(gc.start_ns),
+            gc_y,
+            max(x_of(gc.end_ns) - x_of(gc.start_ns), 1.2),
+            5,
+            fill=INTERVAL_COLORS[IntervalKind.GC],
+            title=f"{gc.symbol}: {gc.duration_ms:.0f} ms",
+        )
+    doc.text(margin_left - 6, gc_y + 5, "GC", size=8, anchor="end",
+             fill="#777777")
+
+    # Time axis.
+    axis_y = plot_bottom + 18
+    doc.line(margin_left, axis_y, width - margin_right, axis_y,
+             stroke="#555555")
+    for fraction in (0.0, 0.25, 0.5, 0.75, 1.0):
+        t_ns = trace.metadata.start_ns + round(span_ns * fraction)
+        x = x_of(t_ns)
+        doc.line(x, axis_y, x, axis_y + 4, stroke="#555555")
+        doc.text(x, axis_y + 15, f"{t_ns / NS_PER_S:.0f} s", size=9,
+                 anchor="middle", fill="#555555")
+    return doc

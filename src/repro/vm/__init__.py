@@ -1,0 +1,33 @@
+"""A discrete-event JVM/Swing session simulator.
+
+The paper gathers traces by running 14 real Swing applications under the
+LiLa profiler on real hardware. Neither is available offline, so this
+package provides the substitute: a deterministic simulator of a Java
+virtual machine running an interactive application — an event dispatch
+thread draining a GUI event queue, background threads posting events, a
+Swing-like component tree answering paint requests, an allocation-driven
+stop-the-world garbage collector, and a JVMTI-like sampler that captures
+all threads periodically (and goes dark during collections, reproducing
+the sampling blackout the paper analyzes around Figure 1).
+
+The simulator emits :class:`repro.core.trace.Trace` objects with exactly
+the record vocabulary LiLa gives LagAlyzer, so the analysis code path is
+identical to the paper's.
+"""
+
+from repro.vm.clock import VirtualClock
+from repro.vm.rng import RngStream
+from repro.vm.heap import Heap, HeapConfig
+from repro.vm.components import Component, component_tree
+from repro.vm.jvm import SessionConfig, SimulatedJVM
+
+__all__ = [
+    "Component",
+    "Heap",
+    "HeapConfig",
+    "RngStream",
+    "SessionConfig",
+    "SimulatedJVM",
+    "VirtualClock",
+    "component_tree",
+]

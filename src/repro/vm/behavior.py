@@ -1,0 +1,362 @@
+"""The behaviour step language: what a handler does with its time.
+
+Each GUI event handled by the simulated EDT runs a *behaviour*: a list
+of steps. Steps model the activities the paper's traces distinguish —
+runnable Java computation (in application or library code), JNI native
+calls, recursive paint cascades over a component tree, voluntary sleeps,
+monitor blocking, ``Object.wait()`` waits, and explicit ``System.gc()``
+calls. Steps open/close the corresponding intervals through the tracer,
+write the EDT's state timeline for the sampler, and report allocations
+to the heap — which is how garbage collections end up nested inside
+whatever interval happened to be open when the young generation filled.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.core.intervals import NS_PER_MS, IntervalKind
+from repro.core.samples import StackFrame, StackTrace, ThreadState
+from repro.vm.components import Component
+
+#: Base frames under every EDT stack (outermost last).
+EDT_BASE_FRAMES = (
+    StackFrame("java.awt.event.InvocationEvent", "dispatch"),
+    StackFrame("java.awt.EventQueue", "dispatchEvent"),
+    StackFrame("java.awt.EventDispatchThread", "pumpOneEventForFilters"),
+    StackFrame("java.awt.EventDispatchThread", "run"),
+)
+
+
+def edt_stack(*leaf_frames: StackFrame) -> StackTrace:
+    """An EDT call stack: the given frames (leaf first) over EDT plumbing."""
+    return StackTrace(tuple(leaf_frames) + EDT_BASE_FRAMES)
+
+
+def java_stack(class_name: str, method_name: str) -> StackTrace:
+    """Convenience: an EDT stack executing ``class_name.method_name``."""
+    return edt_stack(StackFrame(class_name, method_name))
+
+
+def native_stack(class_name: str, method_name: str) -> StackTrace:
+    """An EDT stack whose leaf is a native frame."""
+    return edt_stack(StackFrame(class_name, method_name, is_native=True))
+
+
+class Step:
+    """Base class of all behaviour steps."""
+
+    def execute(self, ctx: "ExecutionContext") -> None:
+        raise NotImplementedError
+
+
+class Compute(Step):
+    """Runnable Java computation.
+
+    Args:
+        median_ms: median duration (log-normal).
+        stack: the stack the sampler sees while this runs; its leaf
+            class decides application-vs-library attribution.
+        sigma: log-normal spread; 0 makes the duration deterministic.
+        alloc_bytes_per_ms: allocation rate while computing.
+    """
+
+    def __init__(
+        self,
+        median_ms: float,
+        stack: StackTrace,
+        sigma: float = 0.4,
+        alloc_bytes_per_ms: int = 2048,
+    ) -> None:
+        self.median_ms = median_ms
+        self.stack = stack
+        self.sigma = sigma
+        self.alloc_bytes_per_ms = alloc_bytes_per_ms
+
+    def execute(self, ctx: "ExecutionContext") -> None:
+        duration_ms = ctx.draw_ms(self.median_ms, self.sigma)
+        ctx.run_runnable(duration_ms, self.stack, self.alloc_bytes_per_ms)
+
+
+class Sleep(Step):
+    """Voluntary ``Thread.sleep()`` (the Euclide combo-box blink)."""
+
+    def __init__(
+        self, median_ms: float, stack: StackTrace, sigma: float = 0.2
+    ) -> None:
+        self.median_ms = median_ms
+        self.stack = stack
+        self.sigma = sigma
+
+    def execute(self, ctx: "ExecutionContext") -> None:
+        duration_ms = ctx.draw_ms(self.median_ms, self.sigma)
+        ctx.run_in_state(duration_ms, ThreadState.SLEEPING, self.stack)
+
+
+class Wait(Step):
+    """``Object.wait()`` / ``LockSupport.park()`` (jEdit modal dialogs)."""
+
+    def __init__(
+        self, median_ms: float, stack: StackTrace, sigma: float = 0.4
+    ) -> None:
+        self.median_ms = median_ms
+        self.stack = stack
+        self.sigma = sigma
+
+    def execute(self, ctx: "ExecutionContext") -> None:
+        duration_ms = ctx.draw_ms(self.median_ms, self.sigma)
+        ctx.run_in_state(duration_ms, ThreadState.WAITING, self.stack)
+
+
+class Block(Step):
+    """Blocked entering a contended monitor (FreeMind display config)."""
+
+    def __init__(
+        self, median_ms: float, stack: StackTrace, sigma: float = 0.4
+    ) -> None:
+        self.median_ms = median_ms
+        self.stack = stack
+        self.sigma = sigma
+
+    def execute(self, ctx: "ExecutionContext") -> None:
+        duration_ms = ctx.draw_ms(self.median_ms, self.sigma)
+        ctx.run_in_state(duration_ms, ThreadState.BLOCKED, self.stack)
+
+
+class Enclose(Step):
+    """Open an interval, run body steps inside it, close it.
+
+    Used for listener notifications, async dispatch handling, and
+    explicit paint/native intervals that wrap further structure.
+    """
+
+    def __init__(
+        self, kind: IntervalKind, symbol: str, body: Sequence[Step]
+    ) -> None:
+        self.kind = kind
+        self.symbol = symbol
+        self.body: List[Step] = list(body)
+
+    def execute(self, ctx: "ExecutionContext") -> None:
+        ctx.tracer.open_interval(self.kind, self.symbol, ctx.clock.now_ns)
+        for step in self.body:
+            step.execute(ctx)
+        ctx.tracer.close_interval(ctx.clock.now_ns)
+
+
+def listener(symbol: str, body: Sequence[Step]) -> Enclose:
+    """A listener-notification interval (user-input handling)."""
+    return Enclose(IntervalKind.LISTENER, symbol, body)
+
+
+def async_dispatch(symbol: str, body: Sequence[Step]) -> Enclose:
+    """Handling of an event posted by a background thread."""
+    return Enclose(IntervalKind.ASYNC, symbol, body)
+
+
+class NativeCall(Step):
+    """A JNI call: a NATIVE interval with a native-leaf stack."""
+
+    def __init__(
+        self,
+        symbol: str,
+        median_ms: float,
+        stack: StackTrace,
+        sigma: float = 0.4,
+        alloc_bytes_per_ms: int = 256,
+        body: Sequence[Step] = (),
+    ) -> None:
+        self.symbol = symbol
+        self.median_ms = median_ms
+        self.stack = stack
+        self.sigma = sigma
+        self.alloc_bytes_per_ms = alloc_bytes_per_ms
+        self.body: List[Step] = list(body)
+
+    def execute(self, ctx: "ExecutionContext") -> None:
+        ctx.tracer.open_interval(
+            IntervalKind.NATIVE, self.symbol, ctx.clock.now_ns
+        )
+        duration_ms = ctx.draw_ms(self.median_ms, self.sigma)
+        ctx.run_runnable(duration_ms, self.stack, self.alloc_bytes_per_ms)
+        for step in self.body:
+            step.execute(ctx)
+        ctx.tracer.close_interval(ctx.clock.now_ns)
+
+
+class Paint(Step):
+    """A recursive paint cascade over a component (sub)tree.
+
+    Produces the deep nesting of PAINT intervals of Figures 1 and 2:
+    each component contributes its own interval wrapping its children's.
+
+    Args:
+        component: root of the subtree to paint.
+        scale: multiplies every component's own paint cost — a cheap
+            repaint uses a small scale, a complex render a large one.
+        max_depth: prune the cascade below this depth (None = full).
+        library_split: fraction of each component's paint time spent
+            inside the toolkit's rendering internals (Java2D) rather
+            than the component's own ``paintComponent`` — this is what
+            the sampler sees, and thus what the application-vs-library
+            location analysis measures for output episodes.
+    """
+
+    def __init__(
+        self,
+        component: Component,
+        scale: float = 1.0,
+        sigma: float = 0.3,
+        max_depth: Optional[int] = None,
+        library_split: float = 0.45,
+    ) -> None:
+        self.component = component
+        self.scale = scale
+        self.sigma = sigma
+        self.max_depth = max_depth
+        self.library_split = min(max(library_split, 0.0), 1.0)
+
+    def execute(self, ctx: "ExecutionContext") -> None:
+        self._paint(ctx, self.component, 1)
+
+    def _paint(self, ctx: "ExecutionContext", node: Component, level: int) -> None:
+        ctx.tracer.open_interval(
+            IntervalKind.PAINT, node.paint_symbol, ctx.clock.now_ns
+        )
+        duration_ms = ctx.draw_ms(node.self_paint_ms * self.scale, self.sigma)
+        alloc_rate = 0
+        if duration_ms > 0:
+            alloc_rate = int(node.alloc_bytes_per_paint / max(duration_ms, 0.01))
+        own_ms = duration_ms * (1.0 - self.library_split)
+        toolkit_ms = duration_ms - own_ms
+        if own_ms > 0:
+            ctx.run_runnable(
+                own_ms,
+                java_stack(node.class_name, "paintComponent"),
+                alloc_rate,
+            )
+        if toolkit_ms > 0:
+            ctx.run_runnable(
+                toolkit_ms,
+                edt_stack(
+                    StackFrame("sun.java2d.SunGraphics2D", "fillRect"),
+                    StackFrame(node.class_name, "paintComponent"),
+                ),
+                alloc_rate,
+            )
+        if self.max_depth is None or level < self.max_depth:
+            for child in node.children:
+                self._paint(ctx, child, level + 1)
+        ctx.tracer.close_interval(ctx.clock.now_ns)
+
+
+class ExplicitGc(Step):
+    """An application call to ``System.gc()`` (Arabeske's habit)."""
+
+    def __init__(self, stack: Optional[StackTrace] = None) -> None:
+        self.stack = stack or java_stack("java.lang.System", "gc")
+
+    def execute(self, ctx: "ExecutionContext") -> None:
+        # A brief runnable lead-in so the request comes from Java code.
+        ctx.run_runnable(0.2, self.stack, 0)
+        ctx.run_gc(ctx.heap.explicit_gc())
+
+
+class Behavior:
+    """A complete event handler: the steps run inside one dispatch."""
+
+    __slots__ = ("steps",)
+
+    def __init__(self, steps: Sequence[Step]) -> None:
+        self.steps: List[Step] = list(steps)
+
+    def execute(self, ctx: "ExecutionContext") -> None:
+        for step in self.steps:
+            step.execute(ctx)
+
+    def __repr__(self) -> str:
+        return f"Behavior({len(self.steps)} steps)"
+
+
+class ExecutionContext:
+    """Everything a step needs: clock, heap, tracer, timeline, RNG.
+
+    The context also implements the *mechanics* shared by steps:
+    chunked runnable execution with allocation (so collections land in
+    the middle of whatever was running), idle-state execution, and
+    stop-the-world GC insertion.
+    """
+
+    #: Granularity at which runnable execution checks the heap.
+    CHUNK_MS = 4.0
+
+    def __init__(self, clock, rng, heap, tracer, edt_timeline) -> None:
+        self.clock = clock
+        self.rng = rng
+        self.heap = heap
+        self.tracer = tracer
+        self.edt_timeline = edt_timeline
+
+    def draw_ms(self, median_ms: float, sigma: float) -> float:
+        """Draw a duration; deterministic when sigma is 0."""
+        if median_ms <= 0:
+            return 0.0
+        if sigma <= 0:
+            return median_ms
+        return self.rng.lognormal_ms(median_ms, sigma)
+
+    def run_runnable(
+        self, duration_ms: float, stack: StackTrace, alloc_bytes_per_ms: int
+    ) -> None:
+        """Execute runnable for ``duration_ms``, allocating as we go.
+
+        Execution proceeds in chunks; when an allocation fills the young
+        (or old) generation, the pending chunk is cut short, the
+        collection runs stop-the-world at that instant — nesting its GC
+        interval inside whatever interval is currently open — and the
+        remainder of the work resumes afterwards.
+        """
+        remaining_ms = duration_ms
+        segment_start = self.clock.now_ns
+        while remaining_ms > 1e-9:
+            chunk_ms = min(remaining_ms, self.CHUNK_MS)
+            self.clock.advance_ms(chunk_ms)
+            remaining_ms -= chunk_ms
+            request = None
+            if alloc_bytes_per_ms > 0:
+                request = self.heap.allocate(
+                    int(alloc_bytes_per_ms * chunk_ms)
+                )
+            if request is not None:
+                self.edt_timeline.record(
+                    segment_start,
+                    self.clock.now_ns,
+                    ThreadState.RUNNABLE,
+                    stack,
+                )
+                self.run_gc(request)
+                segment_start = self.clock.now_ns
+        self.edt_timeline.record(
+            segment_start, self.clock.now_ns, ThreadState.RUNNABLE, stack
+        )
+
+    def run_in_state(
+        self, duration_ms: float, state: ThreadState, stack: StackTrace
+    ) -> None:
+        """Spend ``duration_ms`` sleeping, waiting, or blocked."""
+        start = self.clock.now_ns
+        self.clock.advance_ms(duration_ms)
+        self.edt_timeline.record(start, self.clock.now_ns, state, stack)
+
+    def run_gc(self, request) -> None:
+        """Run a stop-the-world collection right now.
+
+        The GC interval is recorded into every thread's tree (the paper
+        adds a copy per thread because a collection stops them all), and
+        the sampler blackout covers the pause plus safepoint margins.
+        """
+        start_ns = self.clock.now_ns
+        self.clock.advance_ms(request.pause_ms)
+        end_ns = self.clock.now_ns
+        self.tracer.record_gc(start_ns, end_ns, request.symbol)
+        self.heap.collected(request)

@@ -1,0 +1,55 @@
+"""Virtual time for the simulator.
+
+All simulated activity advances a single monotonic nanosecond clock; no
+wall-clock time ever enters a trace, which is what makes sessions
+reproducible bit-for-bit from a seed.
+"""
+
+from __future__ import annotations
+
+from repro.core.errors import SimulationError
+from repro.core.intervals import NS_PER_MS
+
+
+class VirtualClock:
+    """A monotonic nanosecond clock."""
+
+    __slots__ = ("_now_ns",)
+
+    def __init__(self, start_ns: int = 0) -> None:
+        self._now_ns = start_ns
+
+    @property
+    def now_ns(self) -> int:
+        """The current virtual time in nanoseconds."""
+        return self._now_ns
+
+    @property
+    def now_ms(self) -> float:
+        return self._now_ns / NS_PER_MS
+
+    def advance_ns(self, delta_ns: int) -> int:
+        """Move time forward by ``delta_ns`` and return the new time.
+
+        Raises:
+            SimulationError: on an attempt to move time backwards.
+        """
+        if delta_ns < 0:
+            raise SimulationError(
+                f"virtual time cannot move backwards (delta {delta_ns})"
+            )
+        self._now_ns += delta_ns
+        return self._now_ns
+
+    def advance_ms(self, delta_ms: float) -> int:
+        """Move time forward by ``delta_ms`` milliseconds."""
+        return self.advance_ns(round(delta_ms * NS_PER_MS))
+
+    def advance_to(self, t_ns: int) -> int:
+        """Move time forward to ``t_ns`` if it is in the future."""
+        if t_ns > self._now_ns:
+            self._now_ns = t_ns
+        return self._now_ns
+
+    def __repr__(self) -> str:
+        return f"VirtualClock({self._now_ns} ns)"

@@ -1,0 +1,140 @@
+"""A Swing-like component tree for paint cascades.
+
+A paint request to a window triggers recursive paint requests throughout
+its component tree — the paper's Figure 2 shows GanttProject's deeply
+nested paint intervals arising exactly this way. The simulator models a
+component hierarchy whose ``paint`` produces the corresponding nested
+PAINT intervals.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Sequence
+
+
+class Component:
+    """One GUI component: a class name and child components.
+
+    Attributes:
+        class_name: fully qualified Swing (or application) class whose
+            ``paint`` method the component contributes to traces.
+        children: nested components painted recursively.
+        self_paint_ms: median milliseconds of the component's own
+            painting work (excluding children).
+        alloc_bytes_per_paint: bytes allocated while painting this
+            component (drives GC pressure from rendering).
+    """
+
+    __slots__ = ("class_name", "children", "self_paint_ms", "alloc_bytes_per_paint")
+
+    def __init__(
+        self,
+        class_name: str,
+        children: Sequence["Component"] = (),
+        self_paint_ms: float = 0.5,
+        alloc_bytes_per_paint: int = 16 * 1024,
+    ) -> None:
+        self.class_name = class_name
+        self.children: List[Component] = list(children)
+        self.self_paint_ms = self_paint_ms
+        self.alloc_bytes_per_paint = alloc_bytes_per_paint
+
+    @property
+    def paint_symbol(self) -> str:
+        """Symbol recorded on this component's paint interval."""
+        return f"{self.class_name}.paint"
+
+    def walk(self) -> Iterator["Component"]:
+        """This component and all descendants, pre-order."""
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(reversed(node.children))
+
+    def size(self) -> int:
+        """Number of components in this subtree."""
+        return sum(1 for _ in self.walk())
+
+    def depth(self) -> int:
+        """Height of the component tree; a leaf has depth 1."""
+        if not self.children:
+            return 1
+        return 1 + max(child.depth() for child in self.children)
+
+    def total_paint_ms(self) -> float:
+        """Median full-cascade paint cost of this subtree."""
+        return sum(node.self_paint_ms for node in self.walk())
+
+    def __repr__(self) -> str:
+        return (
+            f"Component({self.class_name!r}, {len(self.children)} children, "
+            f"{self.self_paint_ms} ms)"
+        )
+
+
+#: Standard Swing chrome wrapped around every application window: the
+#: chain the paper's Figure 1 sketch shows (JFrame -> JRootPane ->
+#: JLayeredPane -> content).
+_SWING_CHROME = (
+    "javax.swing.JFrame",
+    "javax.swing.JRootPane",
+    "javax.swing.JLayeredPane",
+)
+
+
+def component_tree(
+    app_package: str,
+    content_classes: Sequence[str],
+    depth: int = 2,
+    fanout: int = 2,
+    self_paint_ms: float = 0.5,
+    alloc_bytes_per_paint: int = 16 * 1024,
+    fanout_levels: Optional[int] = None,
+) -> Component:
+    """Build a window: Swing chrome wrapping an application content tree.
+
+    Args:
+        app_package: package prefix for application content classes.
+        content_classes: class base names cycled through the content
+            tree (e.g. panel/canvas/toolbar names of the app).
+        depth: depth of the content tree below the Swing chrome.
+        fanout: children per content node.
+        self_paint_ms: per-component own paint cost (median ms).
+        alloc_bytes_per_paint: per-component paint allocation.
+        fanout_levels: apply ``fanout`` only to the first this-many
+            content levels, then continue as a chain — how deep GUIs
+            (GanttProject) combine breadth near the window root with
+            long nested chains below, without exponential blowup.
+
+    Returns:
+        The root :class:`Component` (the JFrame).
+    """
+    counter = [0]
+    if fanout_levels is None:
+        fanout_levels = depth
+
+    def build_content(level: int) -> Component:
+        base = content_classes[counter[0] % len(content_classes)]
+        counter[0] += 1
+        name = f"{app_package}.{base}"
+        children = []
+        if level < depth:
+            level_fanout = fanout if level <= fanout_levels else 1
+            children = [build_content(level + 1) for _ in range(level_fanout)]
+        return Component(
+            name,
+            children,
+            self_paint_ms=self_paint_ms,
+            alloc_bytes_per_paint=alloc_bytes_per_paint,
+        )
+
+    node = build_content(1)
+    for chrome_class in reversed(_SWING_CHROME):
+        node = Component(
+            chrome_class,
+            [node],
+            self_paint_ms=0.2,
+            alloc_bytes_per_paint=4 * 1024,
+        )
+    return node

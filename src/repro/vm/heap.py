@@ -1,0 +1,124 @@
+"""An allocation-driven stop-the-world garbage collector model.
+
+GC in the simulator is a *mechanism*, not a scripted outcome: mutator
+steps report their allocations to the heap; when the young generation
+fills, a minor collection is due; when promotion fills the old
+generation, a major collection is due. An explicit ``System.gc()`` call
+forces a major collection regardless of occupancy (the Arabeske
+behaviour the paper diagnoses in Section IV-C). Collections stop the
+world: the JVM inserts the pause into whatever every thread was doing
+and the sampler goes dark for the pause plus safepoint margins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.errors import SimulationError
+
+
+@dataclass(frozen=True)
+class HeapConfig:
+    """Sizing and cost parameters of the collector.
+
+    Attributes:
+        young_capacity_bytes: allocation budget between minor GCs.
+        old_capacity_bytes: promotion budget between major GCs.
+        promotion_fraction: fraction of collected young bytes promoted.
+        minor_pause_ms: base pause of a minor collection.
+        major_pause_ms: base pause of a major collection.
+        pause_jitter: relative spread applied to pause durations.
+    """
+
+    young_capacity_bytes: int = 64 * 1024 * 1024
+    old_capacity_bytes: int = 512 * 1024 * 1024
+    promotion_fraction: float = 0.1
+    minor_pause_ms: float = 18.0
+    major_pause_ms: float = 350.0
+    pause_jitter: float = 0.25
+
+    def validate(self) -> None:
+        if self.young_capacity_bytes <= 0 or self.old_capacity_bytes <= 0:
+            raise SimulationError("heap capacities must be positive")
+        if not 0.0 <= self.promotion_fraction <= 1.0:
+            raise SimulationError("promotion_fraction must be in [0, 1]")
+
+
+@dataclass(frozen=True)
+class GcRequest:
+    """A collection the heap wants to run right now."""
+
+    major: bool
+    pause_ms: float
+
+    @property
+    def symbol(self) -> str:
+        """Symbol recorded on the GC interval."""
+        return "GC.major" if self.major else "GC.minor"
+
+
+class Heap:
+    """Tracks allocation and decides when collections happen."""
+
+    def __init__(self, config: HeapConfig, rng) -> None:
+        config.validate()
+        self.config = config
+        self._rng = rng
+        self._young_used = 0
+        self._old_used = 0
+        self.minor_count = 0
+        self.major_count = 0
+
+    @property
+    def young_used(self) -> int:
+        return self._young_used
+
+    @property
+    def old_used(self) -> int:
+        return self._old_used
+
+    def allocate(self, nbytes: int) -> Optional[GcRequest]:
+        """Record an allocation; returns a GC request if one is now due.
+
+        Only one collection is requested at a time: a due *major* wins
+        over a due minor (it subsumes it).
+        """
+        if nbytes < 0:
+            raise SimulationError(f"negative allocation ({nbytes})")
+        self._young_used += nbytes
+        if self._old_used >= self.config.old_capacity_bytes:
+            return self._request(major=True)
+        if self._young_used >= self.config.young_capacity_bytes:
+            return self._request(major=False)
+        return None
+
+    def explicit_gc(self) -> GcRequest:
+        """A forced major collection (``System.gc()``)."""
+        return self._request(major=True)
+
+    def _request(self, major: bool) -> GcRequest:
+        base = (
+            self.config.major_pause_ms if major else self.config.minor_pause_ms
+        )
+        jitter = self.config.pause_jitter
+        pause = base * self._rng.uniform(1.0 - jitter, 1.0 + jitter)
+        return GcRequest(major=major, pause_ms=pause)
+
+    def collected(self, request: GcRequest) -> None:
+        """Apply the effect of a completed collection to occupancy."""
+        if request.major:
+            self.major_count += 1
+            self._young_used = 0
+            self._old_used = 0
+        else:
+            self.minor_count += 1
+            promoted = int(self._young_used * self.config.promotion_fraction)
+            self._old_used += promoted
+            self._young_used = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"Heap(young={self._young_used}B, old={self._old_used}B, "
+            f"{self.minor_count} minor / {self.major_count} major GCs)"
+        )

@@ -1,0 +1,192 @@
+"""The simulated JVM: an EDT draining a GUI event queue.
+
+:class:`SimulatedJVM` wires the substrate together — virtual clock,
+heap, tracer, EDT timeline, background-thread timelines, sampler — and
+runs a session: a time-ordered stream of posted GUI events, each handled
+to completion on the event dispatch thread (interactive GUIs are
+single-threaded by design, as the paper notes), producing one
+:class:`~repro.core.trace.Trace`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Union
+
+from repro.core.errors import SimulationError
+from repro.core.intervals import NS_PER_MS, NS_PER_S
+from repro.core.samples import StackFrame, StackTrace, ThreadState
+from repro.core.trace import Trace, TraceMetadata
+from repro.vm.behavior import Behavior, ExecutionContext
+from repro.vm.clock import VirtualClock
+from repro.vm.heap import Heap, HeapConfig
+from repro.vm.rng import RngStream
+from repro.vm.sampler import Sampler
+from repro.vm.threads import ThreadTimeline
+from repro.vm.tracer import TraceCollector
+
+#: Stack shown while the EDT waits for the next event.
+EDT_IDLE_STACK = StackTrace(
+    (
+        StackFrame("java.lang.Object", "wait", is_native=True),
+        StackFrame("java.awt.EventQueue", "getNextEvent"),
+        StackFrame("java.awt.EventDispatchThread", "pumpOneEventForFilters"),
+        StackFrame("java.awt.EventDispatchThread", "run"),
+    )
+)
+
+#: Idle stack of JVM service daemons.
+DAEMON_IDLE_STACK = StackTrace(
+    (
+        StackFrame("java.lang.Object", "wait", is_native=True),
+        StackFrame("java.lang.ref.ReferenceQueue", "remove"),
+    )
+)
+
+#: Service threads present in every JVM; they wait essentially forever.
+DEFAULT_DAEMONS = ("main", "Reference-Handler", "Finalizer")
+
+
+@dataclass(frozen=True)
+class SessionConfig:
+    """Configuration of one simulated interactive session."""
+
+    application: str
+    session_id: str
+    seed: int
+    duration_s: float
+    gui_thread: str = "AWT-EventQueue-0"
+    sample_period_ns: int = 10 * NS_PER_MS
+    filter_ms: float = 3.0
+    heap: HeapConfig = field(default_factory=HeapConfig)
+
+    def validate(self) -> None:
+        if self.duration_s <= 0:
+            raise SimulationError("session duration must be positive")
+        if self.filter_ms < 0:
+            raise SimulationError("filter threshold cannot be negative")
+
+
+@dataclass(frozen=True)
+class PostedEvent:
+    """A GUI event to be handled on the EDT at (or after) ``time_ns``."""
+
+    time_ns: int
+    behavior: Behavior
+
+
+@dataclass(frozen=True)
+class MicroBurst:
+    """A batch of sub-filter episodes, accounted without materializing.
+
+    The tracer only ever reports a *count* of episodes shorter than its
+    filter, so the simulator processes them in aggregate: the count is
+    added to the filter counter and the batch's allocations feed the
+    heap (typing and mouse-move handlers allocate too — their GC
+    pressure must not vanish with them).
+    """
+
+    time_ns: int
+    count: int
+    alloc_bytes: int = 0
+
+
+SessionEvent = Union[PostedEvent, MicroBurst]
+
+
+class SimulatedJVM:
+    """Runs one interactive session and emits its trace."""
+
+    def __init__(self, config: SessionConfig) -> None:
+        config.validate()
+        self.config = config
+        self.clock = VirtualClock()
+        root = RngStream(config.seed, name=f"{config.application}/{config.session_id}")
+        self._exec_rng = root.fork("exec")
+        self.heap = Heap(config.heap, root.fork("heap"))
+        self.tracer = TraceCollector(
+            config.gui_thread, config.filter_ms, root.fork("tracer")
+        )
+        self._sampler = Sampler(config.sample_period_ns, root.fork("sampler"))
+        self.edt_timeline = ThreadTimeline(
+            config.gui_thread,
+            idle_state=ThreadState.WAITING,
+            idle_stack=EDT_IDLE_STACK,
+        )
+        self._background: List[ThreadTimeline] = []
+        for daemon in DEFAULT_DAEMONS:
+            self.add_background_timeline(
+                ThreadTimeline(
+                    daemon,
+                    idle_state=ThreadState.WAITING,
+                    idle_stack=DAEMON_IDLE_STACK,
+                )
+            )
+
+    # ------------------------------------------------------------------
+    # Setup
+    # ------------------------------------------------------------------
+
+    def add_background_timeline(self, timeline: ThreadTimeline) -> None:
+        """Register a background thread (its GC copies and samples)."""
+        if timeline.thread_name == self.config.gui_thread:
+            raise SimulationError(
+                "the GUI thread's timeline is owned by the JVM"
+            )
+        self._background.append(timeline)
+        self.tracer.register_thread(timeline.thread_name)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def run(self, events: Sequence[SessionEvent]) -> Trace:
+        """Handle ``events`` in time order and return the session trace."""
+        ctx = ExecutionContext(
+            clock=self.clock,
+            rng=self._exec_rng,
+            heap=self.heap,
+            tracer=self.tracer,
+            edt_timeline=self.edt_timeline,
+        )
+        session_end_ns = round(self.config.duration_s * NS_PER_S)
+        ordered = sorted(events, key=lambda e: e.time_ns)
+        for event in ordered:
+            if event.time_ns >= session_end_ns:
+                break
+            # The EDT is serial: a posted event waits until the EDT is free.
+            self.clock.advance_to(event.time_ns)
+            if isinstance(event, MicroBurst):
+                self.tracer.count_filtered(event.count)
+                if event.alloc_bytes > 0:
+                    request = self.heap.allocate(event.alloc_bytes)
+                    if request is not None:
+                        ctx.run_gc(request)
+            else:
+                self.tracer.begin_episode(self.clock.now_ns)
+                event.behavior.execute(ctx)
+                self.tracer.end_episode(self.clock.now_ns)
+        self.clock.advance_to(session_end_ns)
+
+        timelines = [self.edt_timeline] + self._background
+        samples = self._sampler.run(
+            self.tracer.episode_spans(),
+            timelines,
+            self.tracer.merged_blackouts(),
+        )
+        metadata = TraceMetadata(
+            application=self.config.application,
+            session_id=self.config.session_id,
+            start_ns=0,
+            end_ns=self.clock.now_ns,
+            gui_thread=self.config.gui_thread,
+            sample_period_ns=self.config.sample_period_ns,
+            filter_ms=self.config.filter_ms,
+            extra={"seed": str(self.config.seed)},
+        )
+        return Trace(
+            metadata,
+            self.tracer.thread_roots,
+            samples=samples,
+            short_episode_count=self.tracer.short_episode_count,
+        )

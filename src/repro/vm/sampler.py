@@ -1,0 +1,79 @@
+"""A JVMTI-like call-stack sampler.
+
+LiLa's extended traces contain periodically captured call stacks of all
+threads. The simulator's sampler reproduces that: ticks at the sampling
+period (with small jitter, as real timers drift), each tick recording
+every thread's state and stack — except during blackout windows, when a
+stop-the-world collection (plus its safepoint ramps) keeps the JVMTI
+agent from sampling at all. That blackout is what Figure 1's episode
+sketch makes visible.
+
+Like the paper's tracing setup — which filters to keep trace sizes
+manageable — the sampler materializes ticks only inside retained
+episodes; analyses never consult samples outside episodes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core.samples import Sample, ThreadSample
+from repro.vm.threads import ThreadTimeline
+
+
+class Sampler:
+    """Generates the session's sample ticks from thread timelines."""
+
+    def __init__(self, period_ns: int, rng, jitter_fraction: float = 0.08) -> None:
+        if period_ns <= 0:
+            raise ValueError("sampling period must be positive")
+        self.period_ns = period_ns
+        self._rng = rng
+        self.jitter_fraction = jitter_fraction
+
+    def run(
+        self,
+        spans: Sequence[Tuple[int, int]],
+        timelines: Sequence[ThreadTimeline],
+        blackouts: Sequence[Tuple[int, int]] = (),
+    ) -> List[Sample]:
+        """Sample all threads over the given spans.
+
+        Args:
+            spans: disjoint, sorted (start, end) windows to sample
+                (the retained episode spans).
+            timelines: every simulated thread's timeline.
+            blackouts: disjoint, sorted windows with no sampling.
+
+        Returns:
+            Samples sorted by timestamp.
+        """
+        samples: List[Sample] = []
+        blackout_index = 0
+        for span_start, span_end in spans:
+            # The first tick of a span falls at a uniformly random phase
+            # of the sampling period, as it would for a free-running timer.
+            t = span_start + round(self._rng.uniform(0, self.period_ns))
+            while t < span_end:
+                while (
+                    blackout_index < len(blackouts)
+                    and blackouts[blackout_index][1] <= t
+                ):
+                    blackout_index += 1
+                in_blackout = (
+                    blackout_index < len(blackouts)
+                    and blackouts[blackout_index][0] <= t
+                )
+                if not in_blackout:
+                    samples.append(self._tick(t, timelines))
+                t += self._rng.jitter_ns(self.period_ns, self.jitter_fraction)
+        return samples
+
+    def _tick(
+        self, t_ns: int, timelines: Sequence[ThreadTimeline]
+    ) -> Sample:
+        entries = []
+        for timeline in timelines:
+            state, stack = timeline.at(t_ns)
+            entries.append(ThreadSample(timeline.thread_name, state, stack))
+        return Sample(t_ns, entries)

@@ -1,0 +1,110 @@
+"""Simulated threads and their state timelines.
+
+The sampler needs to answer, for any timestamp, "what was every thread
+doing?". Each simulated thread therefore records a *timeline*: a sorted
+sequence of segments, each with a scheduling state and a call stack.
+The EDT's timeline is written by the episode executor as it runs; the
+timelines of background threads (timers, loaders, daemons) are written
+by their activity models.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import List, Optional, Tuple
+
+from repro.core.errors import SimulationError
+from repro.core.samples import EMPTY_STACK, StackTrace, ThreadState
+
+
+class Segment:
+    """One homogeneous stretch of a thread's activity."""
+
+    __slots__ = ("start_ns", "end_ns", "state", "stack")
+
+    def __init__(
+        self,
+        start_ns: int,
+        end_ns: int,
+        state: ThreadState,
+        stack: StackTrace = EMPTY_STACK,
+    ) -> None:
+        self.start_ns = start_ns
+        self.end_ns = end_ns
+        self.state = state
+        self.stack = stack
+
+    def __repr__(self) -> str:
+        return (
+            f"Segment({self.start_ns}..{self.end_ns}, {self.state.value})"
+        )
+
+
+class ThreadTimeline:
+    """Append-only state/stack timeline of one simulated thread.
+
+    Gaps between segments are legal; :meth:`at` reports them with the
+    timeline's idle state (what the thread does when nothing is
+    scheduled — WAITING for an event-queue or timer thread).
+    """
+
+    def __init__(
+        self,
+        thread_name: str,
+        idle_state: ThreadState = ThreadState.WAITING,
+        idle_stack: StackTrace = EMPTY_STACK,
+    ) -> None:
+        self.thread_name = thread_name
+        self.idle_state = idle_state
+        self.idle_stack = idle_stack
+        self._segments: List[Segment] = []
+        self._starts: List[int] = []
+
+    @property
+    def segments(self) -> Tuple[Segment, ...]:
+        return tuple(self._segments)
+
+    def record(
+        self,
+        start_ns: int,
+        end_ns: int,
+        state: ThreadState,
+        stack: StackTrace = EMPTY_STACK,
+    ) -> None:
+        """Append a segment; must not precede earlier recorded activity.
+
+        Zero-length segments are dropped silently (they cannot be
+        sampled).
+
+        Raises:
+            SimulationError: if the segment overlaps recorded history.
+        """
+        if end_ns <= start_ns:
+            return
+        if self._segments and start_ns < self._segments[-1].end_ns:
+            raise SimulationError(
+                f"thread {self.thread_name!r}: segment at {start_ns} "
+                f"overlaps recorded history "
+                f"(last end {self._segments[-1].end_ns})"
+            )
+        self._segments.append(Segment(start_ns, end_ns, state, stack))
+        self._starts.append(start_ns)
+
+    def at(self, t_ns: int) -> Tuple[ThreadState, StackTrace]:
+        """The thread's (state, stack) at time ``t_ns``."""
+        index = bisect.bisect_right(self._starts, t_ns) - 1
+        if index >= 0:
+            segment = self._segments[index]
+            if segment.start_ns <= t_ns < segment.end_ns:
+                return segment.state, segment.stack
+        return self.idle_state, self.idle_stack
+
+    def busy_ns(self) -> int:
+        """Total recorded (non-idle) time."""
+        return sum(seg.end_ns - seg.start_ns for seg in self._segments)
+
+    def __repr__(self) -> str:
+        return (
+            f"ThreadTimeline({self.thread_name!r}, "
+            f"{len(self._segments)} segments)"
+        )

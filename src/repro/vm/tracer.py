@@ -1,0 +1,167 @@
+"""The tracer: turns simulated activity into trace records.
+
+Mirrors what the (extended) LiLa profiler does on a real JVM: it
+observes interval open/close events on the EDT, replicates each
+stop-the-world GC into every thread's interval tree, filters episodes
+shorter than the trace threshold (keeping only their count), and
+maintains the sampling-blackout windows caused by collections — the
+JVMTI bracket semantics the paper dissects around Figure 1 mean the
+blackout extends beyond the collection itself by safepoint margins.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.errors import SimulationError
+from repro.core.intervals import (
+    Interval,
+    IntervalKind,
+    IntervalTreeBuilder,
+    NS_PER_MS,
+)
+
+
+class TraceCollector:
+    """Collects per-thread intervals, the episode filter, and blackouts."""
+
+    def __init__(
+        self,
+        gui_thread: str,
+        filter_ms: float,
+        rng,
+        safepoint_before_ms: float = 25.0,
+        safepoint_after_ms: float = 5.0,
+    ) -> None:
+        self.gui_thread = gui_thread
+        self.filter_ns = round(filter_ms * NS_PER_MS)
+        self._rng = rng
+        self.safepoint_before_ms = safepoint_before_ms
+        self.safepoint_after_ms = safepoint_after_ms
+        self.thread_roots: Dict[str, List[Interval]] = {gui_thread: []}
+        self.short_episode_count = 0
+        self.blackouts: List[Tuple[int, int]] = []
+        self._episode_builder: Optional[IntervalTreeBuilder] = None
+
+    # ------------------------------------------------------------------
+    # Threads
+    # ------------------------------------------------------------------
+
+    def register_thread(self, thread_name: str) -> None:
+        """Ensure ``thread_name`` has an interval tree (for GC copies)."""
+        self.thread_roots.setdefault(thread_name, [])
+
+    # ------------------------------------------------------------------
+    # Episodes
+    # ------------------------------------------------------------------
+
+    def begin_episode(self, start_ns: int, symbol: str = "EventQueue.dispatchEvent") -> None:
+        """Open the dispatch interval of a new episode."""
+        if self._episode_builder is not None:
+            raise SimulationError("episode already in progress")
+        self._episode_builder = IntervalTreeBuilder()
+        self._episode_builder.open(IntervalKind.DISPATCH, symbol, start_ns)
+
+    def open_interval(self, kind: IntervalKind, symbol: str, t_ns: int) -> None:
+        """Open a nested interval inside the current episode."""
+        if self._episode_builder is None:
+            raise SimulationError("interval opened outside an episode")
+        self._episode_builder.open(kind, symbol, t_ns)
+
+    def close_interval(self, t_ns: int) -> None:
+        """Close the innermost open interval of the current episode."""
+        if self._episode_builder is None:
+            raise SimulationError("interval closed outside an episode")
+        self._episode_builder.close(t_ns)
+
+    def end_episode(self, end_ns: int) -> Optional[Interval]:
+        """Close the dispatch; apply the short-episode trace filter.
+
+        Returns:
+            The retained dispatch interval, or None when the episode was
+            filtered out (its GC children, if any, survive as root
+            intervals — a real collector's log does not vanish with the
+            episode around it).
+        """
+        builder = self._episode_builder
+        if builder is None:
+            raise SimulationError("end_episode without begin_episode")
+        if builder.open_depth != 1:
+            raise SimulationError(
+                f"episode ended with {builder.open_depth - 1} nested "
+                f"intervals still open"
+            )
+        root = builder.close(end_ns)
+        self._episode_builder = None
+        if root.duration_ns < self.filter_ns:
+            self.short_episode_count += 1
+            for child in root.children:
+                if child.kind is IntervalKind.GC:
+                    child.parent = None
+                    self.thread_roots[self.gui_thread].append(child)
+            return None
+        self.thread_roots[self.gui_thread].append(root)
+        return root
+
+    def count_filtered(self, count: int) -> None:
+        """Account micro-episodes the tracer never materialized."""
+        if count < 0:
+            raise SimulationError(f"negative filtered count ({count})")
+        self.short_episode_count += count
+
+    # ------------------------------------------------------------------
+    # Garbage collections
+    # ------------------------------------------------------------------
+
+    def record_gc(self, start_ns: int, end_ns: int, symbol: str) -> None:
+        """Record a stop-the-world collection.
+
+        The interval lands inside the current episode (when one is
+        running) and as a root in every *other* thread's tree; the
+        sampler blackout covers the pause plus safepoint margins.
+        """
+        if self._episode_builder is not None:
+            self._episode_builder.add_complete(
+                IntervalKind.GC, symbol, start_ns, end_ns
+            )
+        else:
+            self.thread_roots[self.gui_thread].append(
+                Interval(IntervalKind.GC, symbol, start_ns, end_ns)
+            )
+        for thread_name, roots in self.thread_roots.items():
+            if thread_name == self.gui_thread:
+                continue
+            roots.append(Interval(IntervalKind.GC, symbol, start_ns, end_ns))
+        before_ns = round(
+            self._rng.exponential_ms(self.safepoint_before_ms) * NS_PER_MS
+        )
+        after_ns = round(
+            self._rng.exponential_ms(self.safepoint_after_ms) * NS_PER_MS
+        )
+        self.blackouts.append((start_ns - before_ns, end_ns + after_ns))
+
+    # ------------------------------------------------------------------
+    # Results
+    # ------------------------------------------------------------------
+
+    def episode_spans(self) -> List[Tuple[int, int]]:
+        """(start, end) of every retained episode, in time order."""
+        return [
+            (root.start_ns, root.end_ns)
+            for root in self.thread_roots[self.gui_thread]
+            if root.kind is IntervalKind.DISPATCH
+        ]
+
+    def merged_blackouts(self) -> List[Tuple[int, int]]:
+        """Blackout windows merged into disjoint sorted spans."""
+        if not self.blackouts:
+            return []
+        spans = sorted(self.blackouts)
+        merged = [spans[0]]
+        for start, end in spans[1:]:
+            last_start, last_end = merged[-1]
+            if start <= last_end:
+                merged[-1] = (last_start, max(last_end, end))
+            else:
+                merged.append((start, end))
+        return merged

@@ -1,0 +1,72 @@
+"""Per-application shape tests.
+
+For every Table II application, the simulated sessions must land in the
+broad bands the paper reports — not exact values (the substrate is a
+simulator), but the properties a reader of the paper would check first.
+One moderate-scale session per app keeps this suite fast while still
+exercising the full per-app mechanism set.
+"""
+
+import pytest
+
+from repro import LagAlyzer, simulate_session
+from repro.apps.catalog import APPLICATION_NAMES
+from repro.study.paper_data import TABLE3
+
+SCALE = 0.25
+SEED = 20100401
+
+_analyzers = {}
+
+
+def analyzer_for(app):
+    if app not in _analyzers:
+        _analyzers[app] = LagAlyzer.from_traces(
+            [simulate_session(app, seed=SEED, scale=SCALE)]
+        )
+    return _analyzers[app]
+
+
+@pytest.mark.parametrize("app", APPLICATION_NAMES)
+class TestPerAppShape:
+    def test_session_duration(self, app):
+        stats = analyzer_for(app).mean_session_stats()
+        paper_e2e = TABLE3[app][0]
+        assert stats.e2e_s == pytest.approx(paper_e2e * SCALE, rel=0.15)
+
+    def test_in_episode_band(self, app):
+        stats = analyzer_for(app).mean_session_stats()
+        paper_pct = TABLE3[app][1]
+        # Within a factor of ~1.7 of the paper's value, and inside the
+        # study's global 5-60% envelope.
+        assert paper_pct / 1.8 <= stats.in_episode_pct <= paper_pct * 1.8
+        assert 3.0 <= stats.in_episode_pct <= 60.0
+
+    def test_traced_episode_rate(self, app):
+        stats = analyzer_for(app).mean_session_stats()
+        paper_traced = TABLE3[app][3] * SCALE
+        assert stats.traced == pytest.approx(paper_traced, rel=0.3)
+
+    def test_filtered_episode_rate(self, app):
+        stats = analyzer_for(app).mean_session_stats()
+        paper_filtered = TABLE3[app][2] * SCALE
+        assert stats.below_filter == pytest.approx(paper_filtered, rel=0.3)
+
+    def test_some_perceptible_lag_exists(self, app):
+        assert analyzer_for(app).perceptible_episodes()
+
+    def test_patterns_mined(self, app):
+        table = analyzer_for(app).pattern_table()
+        assert table.distinct_count >= 10
+        assert table.covered_episodes > table.distinct_count
+
+    def test_every_trace_validates(self, app):
+        for trace in analyzer_for(app).traces:
+            trace.validate()
+
+    def test_samples_present_in_long_episodes(self, app):
+        episodes = analyzer_for(app).perceptible_episodes()
+        sampled = sum(1 for ep in episodes if ep.samples)
+        # GC-only episodes can be blacked out entirely; the rest must
+        # carry samples.
+        assert sampled >= len(episodes) * 0.4

@@ -1,0 +1,79 @@
+"""Tests for the 14-application registry (Table II)."""
+
+import pytest
+
+from repro.apps.catalog import (
+    APPLICATION_NAMES,
+    all_specs,
+    get_spec,
+    table2_rows,
+)
+
+#: The paper's Table II, transcribed.
+TABLE2 = {
+    "Arabeske": ("2.0.1", 222),
+    "ArgoUML": ("0.28", 5349),
+    "CrosswordSage": ("0.3.5", 34),
+    "Euclide": ("0.5.2", 398),
+    "FindBugs": ("1.3.8", 3698),
+    "FreeMind": ("0.8.1", 1909),
+    "GanttProject": ("2.0.9", 5288),
+    "JEdit": ("4.3pre16", 1150),
+    "JFreeChart": ("1.0.13", 1667),
+    "JHotDraw": ("7.1", 1146),
+    "JMol": ("11.6.21", 1422),
+    "Laoe": ("0.6.03", 688),
+    "NetBeans": ("6.7", 45367),
+    "SwingSet": ("2", 131),
+}
+
+
+class TestCatalog:
+    def test_fourteen_applications(self):
+        assert len(APPLICATION_NAMES) == 14
+        assert len(all_specs()) == 14
+
+    def test_names_match_paper(self):
+        assert set(APPLICATION_NAMES) == set(TABLE2)
+
+    @pytest.mark.parametrize("name", sorted(TABLE2))
+    def test_table2_identity(self, name):
+        spec = get_spec(name)
+        version, classes = TABLE2[name]
+        assert spec.version == version
+        assert spec.classes == classes
+
+    def test_lookup_case_insensitive(self):
+        assert get_spec("jmol").name == "JMol"
+        assert get_spec("NETBEANS").name == "NetBeans"
+
+    def test_unknown_application(self):
+        with pytest.raises(KeyError, match="unknown application"):
+            get_spec("Word")
+
+    def test_table2_rows_order(self):
+        rows = table2_rows()
+        assert [row[0] for row in rows] == list(APPLICATION_NAMES)
+        assert rows[-1] == ("SwingSet", "2", 131, "Swing component demo")
+
+    def test_all_specs_validate(self):
+        for spec in all_specs():
+            spec.validate()
+
+    def test_netbeans_is_largest(self):
+        largest = max(all_specs(), key=lambda spec: spec.classes)
+        assert largest.name == "NetBeans"
+
+    def test_paper_mechanisms_present(self):
+        # The per-app pathologies the paper diagnoses must be modeled.
+        assert get_spec("Arabeske").explicit_gc_per_min > 0
+        assert get_spec("JMol").animations
+        assert get_spec("JMol").animations[0].period_ms == pytest.approx(40.0)
+        assert get_spec("FindBugs").background_threads
+        assert get_spec("FindBugs").background_threads[0].post_period_ms
+        assert get_spec("Euclide").sleep_fraction > 0.5
+        assert get_spec("JEdit").wait_fraction > 0.5
+        assert get_spec("FreeMind").block_fraction > 0.3
+        assert get_spec("JHotDraw").app_code_fraction > 0.9
+        assert get_spec("GanttProject").paint_depth >= 6
+        assert get_spec("NetBeans").background_threads

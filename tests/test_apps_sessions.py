@@ -1,0 +1,140 @@
+"""Tests for session scripting and the public simulate API."""
+
+import pytest
+
+from repro.apps.sessions import (
+    SessionScript,
+    build_catalog,
+    simulate_session,
+    simulate_sessions,
+)
+from repro.apps.catalog import get_spec
+from repro.core.intervals import IntervalKind
+from repro.vm.jvm import MicroBurst, PostedEvent
+
+SCALE = 0.08
+
+
+class TestSessionScript:
+    def _script(self, app="CrosswordSage", session_index=0):
+        spec = get_spec(app)
+        catalog = build_catalog(spec, seed=99)
+        return SessionScript(spec, catalog, session_index, seed=99, scale=SCALE)
+
+    def test_rejects_bad_scale(self):
+        spec = get_spec("CrosswordSage")
+        catalog = build_catalog(spec, seed=99)
+        with pytest.raises(ValueError):
+            SessionScript(spec, catalog, 0, seed=99, scale=0.0)
+        with pytest.raises(ValueError):
+            SessionScript(spec, catalog, 0, seed=99, scale=1.5)
+
+    def test_events_within_session(self):
+        script = self._script()
+        duration_ns = round(script.duration_s * 1e9)
+        for event in script.events():
+            assert 0 <= event.time_ns <= duration_ns * 1.01
+
+    def test_event_mix(self):
+        events = self._script().events()
+        assert any(isinstance(e, PostedEvent) for e in events)
+        assert any(isinstance(e, MicroBurst) for e in events)
+
+    def test_sessions_differ_in_timing(self):
+        a = self._script(session_index=0).events()
+        b = self._script(session_index=1).events()
+        times_a = sorted(e.time_ns for e in a)
+        times_b = sorted(e.time_ns for e in b)
+        assert times_a != times_b
+
+    def test_script_deterministic(self):
+        a = self._script().events()
+        b = self._script().events()
+        assert [e.time_ns for e in a] == [e.time_ns for e in b]
+
+    def test_animation_posts_for_jmol(self):
+        script = self._script("JMol")
+        posted = [e for e in script.events() if isinstance(e, PostedEvent)]
+        # Animation posts share a single behavior object.
+        from collections import Counter
+
+        behaviors = Counter(id(e.behavior) for e in posted)
+        assert behaviors.most_common(1)[0][1] > 50
+
+    def test_explicit_gc_events_for_arabeske(self):
+        script = self._script("Arabeske")
+        from repro.vm.behavior import ExplicitGc
+
+        posted = [e for e in script.events() if isinstance(e, PostedEvent)]
+        with_gc = [
+            e for e in posted
+            if any(isinstance(s, ExplicitGc) for s in e.behavior.steps)
+        ]
+        assert with_gc
+
+    def test_background_timelines_for_findbugs(self):
+        script = self._script("FindBugs")
+        names = {t.thread_name for t in script.background_timelines()}
+        assert "findbugs-analysis" in names
+        loader = next(
+            t for t in script.background_timelines()
+            if t.thread_name == "findbugs-analysis"
+        )
+        assert loader.busy_ns() > 0
+
+
+class TestSimulateSession:
+    def test_returns_valid_trace(self):
+        trace = simulate_session("CrosswordSage", scale=SCALE)
+        trace.validate()
+        assert trace.application == "CrosswordSage"
+        assert trace.episodes
+        assert trace.short_episode_count > 0
+
+    def test_deterministic(self):
+        a = simulate_session("CrosswordSage", seed=5, scale=SCALE)
+        b = simulate_session("CrosswordSage", seed=5, scale=SCALE)
+        assert len(a.episodes) == len(b.episodes)
+        assert a.metadata.end_ns == b.metadata.end_ns
+        assert [e.duration_ns for e in a.episodes] == [
+            e.duration_ns for e in b.episodes
+        ]
+
+    def test_seed_changes_output(self):
+        a = simulate_session("CrosswordSage", seed=5, scale=SCALE)
+        b = simulate_session("CrosswordSage", seed=6, scale=SCALE)
+        assert [e.duration_ns for e in a.episodes] != [
+            e.duration_ns for e in b.episodes
+        ]
+
+    def test_simulate_sessions_count(self):
+        traces = simulate_sessions("CrosswordSage", count=2, scale=SCALE)
+        assert len(traces) == 2
+        assert traces[0].metadata.session_id != traces[1].metadata.session_id
+
+    def test_patterns_recur_across_sessions(self):
+        # Sessions share the catalog: their pattern keys must overlap.
+        from repro.core.patterns import PatternTable
+
+        traces = simulate_sessions("CrosswordSage", count=2, scale=SCALE)
+        keys = [
+            {p.key for p in PatternTable.from_episodes(t.episodes)}
+            for t in traces
+        ]
+        shared = keys[0] & keys[1]
+        assert len(shared) >= 3
+
+    def test_samples_inside_episodes(self):
+        trace = simulate_session("CrosswordSage", scale=SCALE)
+        spans = [(ep.start_ns, ep.end_ns) for ep in trace.episodes]
+        for sample in trace.samples:
+            assert any(s <= sample.timestamp_ns < e for s, e in spans)
+
+    def test_gc_replicated_to_daemon_threads(self):
+        trace = simulate_session("ArgoUML", scale=SCALE)
+        gui_gcs = len(trace.gc_intervals())
+        if gui_gcs == 0:
+            pytest.skip("no GC occurred at this scale")
+        finalizer_roots = trace.thread_roots["Finalizer"]
+        assert len(finalizer_roots) == gui_gcs
+        assert all(r.kind is IntervalKind.GC for r in finalizer_roots)

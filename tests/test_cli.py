@@ -1,0 +1,122 @@
+"""Tests for the lagalyzer command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_simulate_defaults(self):
+        args = build_parser().parse_args(["simulate", "--app", "JMol"])
+        assert args.app == "JMol"
+        assert args.scale == 1.0
+        assert args.output == "session.lila"
+
+
+class TestCommands:
+    @pytest.fixture()
+    def trace_file(self, tmp_path):
+        path = tmp_path / "t.lila"
+        code = main([
+            "simulate", "--app", "CrosswordSage",
+            "--scale", "0.05", "-o", str(path),
+        ])
+        assert code == 0
+        return path
+
+    def test_simulate_writes_trace(self, trace_file):
+        assert trace_file.exists()
+        assert trace_file.read_text().startswith("#%lila")
+
+    def test_analyze(self, trace_file, capsys):
+        code = main(["analyze", str(trace_file)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Application: CrosswordSage" in out
+        assert "Min[ms]" in out
+
+    def test_analyze_perceptible_only(self, trace_file, capsys):
+        code = main(["analyze", str(trace_file), "--perceptible-only",
+                     "--threshold", "50"])
+        assert code == 0
+
+    def test_sketch_default_episode(self, trace_file, tmp_path, capsys):
+        out_svg = tmp_path / "sketch.svg"
+        code = main(["sketch", str(trace_file), "-o", str(out_svg)])
+        assert code == 0
+        assert out_svg.read_text().startswith("<svg")
+
+    def test_sketch_specific_episode(self, trace_file, tmp_path):
+        out_svg = tmp_path / "sketch.svg"
+        code = main(["sketch", str(trace_file), "--episode", "0",
+                     "-o", str(out_svg)])
+        assert code == 0
+
+    def test_sketch_bad_index(self, trace_file, tmp_path, capsys):
+        code = main(["sketch", str(trace_file), "--episode", "999999",
+                     "-o", str(tmp_path / "x.svg")])
+        assert code == 1
+        assert "out of range" in capsys.readouterr().err
+
+    def test_timeline(self, trace_file, tmp_path):
+        out_svg = tmp_path / "timeline.svg"
+        code = main(["timeline", str(trace_file), "-o", str(out_svg)])
+        assert code == 0
+        assert out_svg.read_text().startswith("<svg")
+
+    def test_lint_valid_trace(self, trace_file, capsys):
+        code = main(["lint", str(trace_file)])
+        assert code == 0
+        assert str(trace_file) in capsys.readouterr().out
+
+    def test_lint_malformed_file(self, tmp_path, capsys):
+        bad = tmp_path / "bad.lila"
+        bad.write_text("not a trace\n")
+        code = main(["lint", str(bad)])
+        assert code == 2
+        assert "FMT000" in capsys.readouterr().out
+
+    def test_export_json(self, trace_file, tmp_path):
+        out = tmp_path / "analysis.json"
+        code = main(["export", str(trace_file), "-o", str(out)])
+        assert code == 0
+        import json
+
+        assert json.loads(out.read_text())["application"] == "CrosswordSage"
+
+    def test_export_csv(self, trace_file, tmp_path):
+        out = tmp_path / "patterns.csv"
+        code = main([
+            "export", str(trace_file), "--format", "csv", "-o", str(out),
+        ])
+        assert code == 0
+        assert out.read_text().startswith("rank,")
+
+    def test_compare_same_traces(self, trace_file, capsys):
+        code = main([
+            "compare", "--before", str(trace_file),
+            "--after", str(trace_file),
+        ])
+        assert code == 0
+        assert "0 regressed" in capsys.readouterr().out
+
+    def test_analyze_inspect(self, trace_file, capsys):
+        code = main(["analyze", str(trace_file), "--inspect", "1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "drill-down into pattern #1" in out
+        assert "location:" in out
+
+    def test_analyze_inspect_out_of_range(self, trace_file, capsys):
+        code = main(["analyze", str(trace_file), "--inspect", "99999"])
+        assert code == 1
+        assert "out of range" in capsys.readouterr().err
+
+    def test_analyze_lag_distribution_line(self, trace_file, capsys):
+        code = main(["analyze", str(trace_file)])
+        assert code == 0
+        assert "Lag distribution: n=" in capsys.readouterr().out

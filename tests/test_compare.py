@@ -1,0 +1,90 @@
+"""Tests for cross-run pattern comparison."""
+
+import pytest
+
+from repro.core.compare import (
+    ComparisonReport,
+    Verdict,
+    compare_tables,
+)
+from repro.core.patterns import PatternTable
+
+from helpers import simple_episode
+
+
+def _table(spec):
+    """Build a table from {symbol: [lags...]}."""
+    episodes = []
+    index = 0
+    for symbol, lags in spec.items():
+        for lag in lags:
+            episodes.append(
+                simple_episode(lag_ms=lag, symbol=symbol, index=index)
+            )
+            index += 1
+    return PatternTable.from_episodes(episodes)
+
+
+class TestCompareTables:
+    def test_new_and_gone(self):
+        before = _table({"a.A.m": [10, 12]})
+        after = _table({"b.B.m": [10, 12]})
+        report = compare_tables(before, after)
+        assert len(report.by_verdict(Verdict.NEW)) == 1
+        assert len(report.by_verdict(Verdict.GONE)) == 1
+
+    def test_unchanged(self):
+        before = _table({"a.A.m": [10, 12]})
+        after = _table({"a.A.m": [11, 12]})
+        report = compare_tables(before, after)
+        assert len(report.by_verdict(Verdict.UNCHANGED)) == 1
+
+    def test_regression_by_factor(self):
+        before = _table({"a.A.m": [10, 10, 10]})
+        after = _table({"a.A.m": [30, 30, 30]})
+        report = compare_tables(before, after)
+        (delta,) = report.regressions
+        assert delta.avg_lag_change_ms == pytest.approx(20.0)
+
+    def test_regression_by_threshold_crossing(self):
+        before = _table({"a.A.m": [80, 80]})
+        after = _table({"a.A.m": [110, 110]})
+        report = compare_tables(before, after)
+        assert report.by_verdict(Verdict.REGRESSED)
+
+    def test_improvement(self):
+        before = _table({"a.A.m": [200, 200]})
+        after = _table({"a.A.m": [50, 50]})
+        report = compare_tables(before, after)
+        assert report.by_verdict(Verdict.IMPROVED)
+
+    def test_singletons_never_flagged(self):
+        before = _table({"a.A.m": [10]})
+        after = _table({"a.A.m": [500]})
+        report = compare_tables(before, after)
+        assert report.by_verdict(Verdict.UNCHANGED)
+        assert not report.regressions
+
+    def test_regressions_sorted_worst_first(self):
+        before = _table({"a.A.m": [10, 10], "b.B.m": [10, 10]})
+        after = _table({"a.A.m": [200, 200], "b.B.m": [50, 50]})
+        regressions = compare_tables(before, after).regressions
+        assert len(regressions) == 2
+        assert regressions[0].avg_lag_change_ms >= (
+            regressions[1].avg_lag_change_ms
+        )
+
+    def test_summary_counts(self):
+        before = _table({"a.A.m": [10, 10], "gone.G.m": [5, 5]})
+        after = _table({"a.A.m": [10, 10], "new.N.m": [5, 5]})
+        summary = compare_tables(before, after).summary()
+        assert "1 new" in summary
+        assert "1 gone" in summary
+
+    def test_describe_lines(self):
+        before = _table({"a.A.m": [10, 10]})
+        after = _table({"a.A.m": [200, 200], "new.N.m": [5, 5]})
+        report = compare_tables(before, after)
+        texts = [d.describe() for d in report.deltas]
+        assert any("NEW" in t for t in texts)
+        assert any("REGRESSED" in t for t in texts)

@@ -1,0 +1,65 @@
+"""Unit tests for the runnable-threads concurrency analysis."""
+
+import pytest
+
+from repro.core.concurrency import (
+    ConcurrencySummary,
+    per_episode_means,
+    summarize,
+)
+from repro.core.samples import ThreadState
+
+from helpers import dispatch, episode, gui_sample
+
+
+class TestSummarize:
+    def test_only_gui_runnable(self):
+        samples = [gui_sample(t) for t in (10.0, 20.0)]
+        ep = episode(dispatch(0.0, 100.0), samples=samples)
+        assert summarize([ep]).mean_runnable == pytest.approx(1.0)
+
+    def test_background_thread_raises_mean(self):
+        samples = [
+            gui_sample(10.0, extra_threads=[("worker", ThreadState.RUNNABLE)]),
+            gui_sample(20.0, extra_threads=[("worker", ThreadState.WAITING)]),
+        ]
+        ep = episode(dispatch(0.0, 100.0), samples=samples)
+        assert summarize([ep]).mean_runnable == pytest.approx(1.5)
+
+    def test_blocked_gui_lowers_mean(self):
+        samples = [
+            gui_sample(10.0, state=ThreadState.BLOCKED),
+            gui_sample(20.0),
+        ]
+        ep = episode(dispatch(0.0, 100.0), samples=samples)
+        assert summarize([ep]).mean_runnable == pytest.approx(0.5)
+
+    def test_no_samples(self):
+        ep = episode(dispatch(0.0, 100.0))
+        summary = summarize([ep])
+        assert summary.sample_count == 0
+        assert summary.mean_runnable == 0.0
+
+    def test_aggregates_over_episodes(self):
+        ep1 = episode(dispatch(0.0, 50.0), samples=[gui_sample(10.0)])
+        ep2 = episode(
+            dispatch(100.0, 150.0),
+            samples=[gui_sample(110.0, state=ThreadState.WAITING)],
+        )
+        assert summarize([ep1, ep2]).mean_runnable == pytest.approx(0.5)
+
+
+class TestPerEpisodeMeans:
+    def test_skips_unsampled_episodes(self):
+        sampled = episode(dispatch(0.0, 50.0), samples=[gui_sample(10.0)])
+        unsampled = episode(dispatch(100.0, 104.0))
+        means = per_episode_means([sampled, unsampled])
+        assert means == [pytest.approx(1.0)]
+
+    def test_mean_per_episode(self):
+        samples = [
+            gui_sample(10.0, extra_threads=[("w", ThreadState.RUNNABLE)]),
+            gui_sample(20.0),
+        ]
+        ep = episode(dispatch(0.0, 100.0), samples=samples)
+        assert per_episode_means([ep]) == [pytest.approx(1.5)]

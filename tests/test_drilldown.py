@@ -1,0 +1,111 @@
+"""Tests for the pattern drill-down."""
+
+import pytest
+
+from repro.core.drilldown import (
+    drill_down,
+    drill_down_pattern,
+    format_drilldown,
+)
+from repro.core.patterns import Pattern, pattern_key
+from repro.core.samples import StackFrame, ThreadState
+
+from helpers import (
+    APP_FRAME,
+    LIB_FRAME,
+    dispatch,
+    episode,
+    gc_iv,
+    gui_sample,
+    listener_iv,
+    simple_episode,
+)
+
+SLEEP_FRAME = StackFrame("java.lang.Thread", "sleep", is_native=True)
+BLINK_FRAME = StackFrame("com.apple.laf.AquaComboBoxUI$1", "actionPerformed")
+
+
+def _sampled_episode(frames_and_states, lag_ms=200.0, start_ms=0.0, index=0):
+    samples = [
+        gui_sample(start_ms + 5.0 + i, state=state, frames=frames)
+        for i, (frames, state) in enumerate(frames_and_states)
+    ]
+    root = dispatch(start_ms, start_ms + lag_ms,
+                    [listener_iv("a.A.m", start_ms, start_ms + lag_ms - 1)])
+    return episode(root, index=index, samples=samples)
+
+
+class TestDrillDown:
+    def test_hot_methods_ranked(self):
+        ep = _sampled_episode([
+            ((APP_FRAME,), ThreadState.RUNNABLE),
+            ((APP_FRAME,), ThreadState.RUNNABLE),
+            ((LIB_FRAME,), ThreadState.RUNNABLE),
+        ])
+        report = drill_down([ep])
+        assert report.hot_methods[0].qualified_name == (
+            APP_FRAME.qualified_name
+        )
+        assert report.hot_methods[0].samples == 2
+        assert report.hot_methods[0].share == pytest.approx(2 / 3)
+        assert not report.hot_methods[0].is_library
+        assert report.hot_methods[1].is_library
+
+    def test_dominant_state_attached(self):
+        # The Euclide story: the hot method is a *sleep*.
+        ep = _sampled_episode([
+            ((BLINK_FRAME,), ThreadState.SLEEPING),
+            ((BLINK_FRAME,), ThreadState.SLEEPING),
+            ((APP_FRAME,), ThreadState.RUNNABLE),
+        ])
+        report = drill_down([ep])
+        top = report.hot_methods[0]
+        assert top.qualified_name == BLINK_FRAME.qualified_name
+        assert top.state == "sleeping"
+        assert "sleeping" in report.headline()
+
+    def test_gc_burden(self):
+        with_gc = episode(
+            dispatch(0.0, 500.0, [gc_iv(50.0, 450.0, symbol="GC.major")]),
+            index=0,
+        )
+        report = drill_down([with_gc])
+        assert report.gc_episode_count == 1
+        assert report.gc_time_ms == pytest.approx(400.0)
+        assert "garbage collection" in report.headline()
+
+    def test_empty_population(self):
+        report = drill_down([])
+        assert report.episode_count == 0
+        assert "no samples" in report.headline()
+
+    def test_top_limit(self):
+        frames = [
+            ((StackFrame(f"a.C{i}", "m"),), ThreadState.RUNNABLE)
+            for i in range(20)
+        ]
+        report = drill_down([_sampled_episode(frames)], top=5)
+        assert len(report.hot_methods) == 5
+
+    def test_drill_down_pattern(self):
+        eps = [simple_episode(150.0, index=i) for i in range(3)]
+        pattern = Pattern(pattern_key(eps[0]), eps)
+        report = drill_down_pattern(pattern)
+        assert report.episode_count == 3
+
+    def test_format_drilldown(self):
+        ep = _sampled_episode([
+            ((APP_FRAME,), ThreadState.RUNNABLE),
+            ((SLEEP_FRAME, BLINK_FRAME), ThreadState.SLEEPING),
+        ])
+        text = format_drilldown(drill_down([ep]))
+        assert "hot methods" in text
+        assert "location:" in text
+        assert "causes:" in text
+
+    def test_headline_mentions_gc_share(self):
+        samples = [gui_sample(5.0, frames=(APP_FRAME,))]
+        root = dispatch(0.0, 1000.0, [gc_iv(100.0, 900.0)])
+        ep = episode(root, samples=samples)
+        report = drill_down([ep])
+        assert "GC" in report.headline()

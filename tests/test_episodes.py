@@ -1,0 +1,110 @@
+"""Unit tests for the episode model."""
+
+import pytest
+
+from repro.core.episodes import (
+    Episode,
+    episodes_from_roots,
+    lag_ms,
+    longest,
+    perceptible,
+    total_in_episode_ns,
+)
+from repro.core.errors import AnalysisError
+from repro.core.intervals import IntervalKind
+
+from helpers import (
+    GUI,
+    dispatch,
+    episode,
+    gc_iv,
+    gui_sample,
+    listener_iv,
+    ms,
+    paint_iv,
+    simple_episode,
+)
+
+
+class TestEpisode:
+    def test_requires_dispatch_root(self):
+        with pytest.raises(AnalysisError, match="dispatch"):
+            Episode(paint_iv("p", 0.0, 10.0), index=0, gui_thread=GUI)
+
+    def test_timing_properties(self):
+        ep = simple_episode(lag_ms=150.0, start_ms=1000.0)
+        assert ep.start_ns == ms(1000.0)
+        assert ep.end_ns == ms(1150.0)
+        assert ep.duration_ms == pytest.approx(150.0)
+
+    def test_perceptibility_threshold(self):
+        assert simple_episode(lag_ms=100.0).is_perceptible()
+        assert not simple_episode(lag_ms=99.9).is_perceptible()
+        assert simple_episode(lag_ms=160.0).is_perceptible(threshold_ms=150.0)
+        assert not simple_episode(lag_ms=160.0).is_perceptible(threshold_ms=195.0)
+
+    def test_has_structure(self):
+        assert simple_episode().has_structure
+        assert not episode(dispatch(0.0, 50.0)).has_structure
+        # A GC child counts as structure (the GC-only Arabeske episodes).
+        assert episode(dispatch(0.0, 50.0, [gc_iv(10.0, 40.0)])).has_structure
+
+    def test_descendants_and_depth(self):
+        inner = paint_iv("inner", 2.0, 4.0)
+        outer = paint_iv("outer", 1.0, 8.0, [inner])
+        ep = episode(dispatch(0.0, 10.0, [outer]))
+        assert ep.descendant_count() == 2
+        assert ep.tree_depth() == 3
+
+    def test_intervals_of_kind(self):
+        gc = gc_iv(2.0, 3.0)
+        ep = episode(dispatch(0.0, 10.0, [paint_iv("p", 1.0, 5.0, [gc])]))
+        assert ep.intervals_of_kind(IntervalKind.GC) == [gc]
+        assert len(ep.intervals_of_kind(IntervalKind.PAINT)) == 1
+
+    def test_gui_samples_filters_other_threads(self):
+        samples = [gui_sample(5.0), gui_sample(6.0)]
+        ep = episode(dispatch(0.0, 10.0), samples=samples)
+        assert len(ep.gui_samples()) == 2
+        assert all(s.thread_name == GUI for s in ep.gui_samples())
+
+    def test_attach_samples_slices_by_time(self):
+        session_samples = [gui_sample(t) for t in (1.0, 5.0, 9.0, 15.0)]
+        ep = episode(dispatch(4.0, 10.0))
+        ep.attach_samples(session_samples)
+        assert [s.timestamp_ns for s in ep.samples] == [ms(5.0), ms(9.0)]
+
+
+class TestEpisodeHelpers:
+    def test_episodes_from_roots_skips_non_dispatch(self):
+        roots = [
+            dispatch(0.0, 10.0),
+            gc_iv(20.0, 30.0),  # a GC between episodes
+            dispatch(40.0, 55.0),
+        ]
+        eps = episodes_from_roots(roots, GUI)
+        assert len(eps) == 2
+        assert [ep.index for ep in eps] == [0, 1]
+
+    def test_episodes_from_roots_attaches_samples(self):
+        roots = [dispatch(0.0, 10.0)]
+        eps = episodes_from_roots(roots, GUI, [gui_sample(5.0)])
+        assert len(eps[0].samples) == 1
+
+    def test_perceptible_filter(self):
+        eps = [simple_episode(50.0), simple_episode(120.0), simple_episode(300.0)]
+        assert len(perceptible(eps)) == 2
+        assert len(perceptible(eps, threshold_ms=200.0)) == 1
+
+    def test_total_in_episode(self):
+        eps = [simple_episode(50.0), simple_episode(100.0)]
+        assert total_in_episode_ns(eps) == ms(150.0)
+
+    def test_longest(self):
+        eps = [simple_episode(50.0), simple_episode(120.0)]
+        assert longest(eps).duration_ms == pytest.approx(120.0)
+        assert longest([]) is None
+
+    def test_lag_ms(self):
+        eps = [simple_episode(50.0), simple_episode(120.0)]
+        assert lag_ms(eps) == [pytest.approx(50.0), pytest.approx(120.0)]

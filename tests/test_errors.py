@@ -1,0 +1,34 @@
+"""Tests for the exception hierarchy contract."""
+
+import pytest
+
+from repro.core.errors import (
+    AnalysisError,
+    LagAlyzerError,
+    NestingError,
+    SimulationError,
+    TraceFormatError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "error_type",
+        [NestingError, TraceFormatError, AnalysisError, SimulationError],
+    )
+    def test_all_derive_from_base(self, error_type):
+        # Callers may catch LagAlyzerError and get everything.
+        assert issubclass(error_type, LagAlyzerError)
+        with pytest.raises(LagAlyzerError):
+            raise error_type("boom")
+
+    def test_base_derives_from_exception(self):
+        assert issubclass(LagAlyzerError, Exception)
+
+    def test_types_are_distinct(self):
+        # A nesting violation must not be catchable as a format error.
+        with pytest.raises(NestingError):
+            try:
+                raise NestingError("x")
+            except TraceFormatError:  # pragma: no cover
+                pytest.fail("NestingError caught as TraceFormatError")

@@ -1,0 +1,131 @@
+"""End-to-end integration tests.
+
+These run the real pipeline — simulate a session, serialize it to the
+LiLa format, read it back, analyze — and check that the paper's
+qualitative claims (the "shape" of the results) hold at reduced scale.
+"""
+
+import pytest
+
+from repro import LagAlyzer, simulate_session
+from repro.apps.sessions import simulate_sessions
+from repro.core.samples import ThreadState
+from repro.core.triggers import Trigger
+from repro.lila.reader import read_trace
+from repro.lila.writer import write_trace
+
+SCALE = 0.2
+SEED = 20100401
+
+
+@pytest.fixture(scope="module")
+def jmol_trace():
+    return simulate_session("JMol", seed=SEED, scale=SCALE)
+
+
+@pytest.fixture(scope="module")
+def euclide_analyzer():
+    trace = simulate_session("Euclide", seed=SEED, scale=SCALE)
+    return LagAlyzer.from_traces([trace])
+
+
+class TestFileRoundtripEquivalence:
+    def test_analysis_identical_after_roundtrip(self, jmol_trace, tmp_path):
+        path = write_trace(jmol_trace, tmp_path / "jmol.lila")
+        loaded = read_trace(path)
+
+        direct = LagAlyzer.from_traces([jmol_trace])
+        via_file = LagAlyzer.from_traces([loaded])
+
+        assert len(direct.episodes) == len(via_file.episodes)
+        assert (
+            direct.pattern_table().distinct_count
+            == via_file.pattern_table().distinct_count
+        )
+        assert direct.trigger_summary().counts == (
+            via_file.trigger_summary().counts
+        )
+        assert direct.threadstate_summary().counts == (
+            via_file.threadstate_summary().counts
+        )
+        assert direct.mean_session_stats().as_dict() == pytest.approx(
+            via_file.mean_session_stats().as_dict()
+        )
+
+
+class TestPaperShapeClaims:
+    def test_jmol_output_dominates_perceptible(self, jmol_trace):
+        analyzer = LagAlyzer.from_traces([jmol_trace])
+        triggers = analyzer.trigger_summary(perceptible_only=True)
+        assert triggers.fraction(Trigger.OUTPUT) > 0.8
+
+    def test_jmol_one_pattern_dominates(self, jmol_trace):
+        analyzer = LagAlyzer.from_traces([jmol_trace])
+        perceptible = analyzer.pattern_table().perceptible_only()
+        top = perceptible.by_count()[0]
+        total = sum(
+            p.perceptible_count() for p in perceptible
+        )
+        assert top.perceptible_count() / total > 0.5
+
+    def test_euclide_sleep_dominates_causes(self, euclide_analyzer):
+        states = euclide_analyzer.threadstate_summary(perceptible_only=True)
+        assert states.sleeping_fraction > 0.25
+        assert states.sleeping_fraction > states.blocked_fraction
+        assert states.sleeping_fraction > states.waiting_fraction
+
+    def test_euclide_library_dominates_location(self, euclide_analyzer):
+        location = euclide_analyzer.location_summary(perceptible_only=True)
+        assert location.library_fraction > 0.6
+
+    def test_aggregate_hides_what_perceptible_reveals(self, euclide_analyzer):
+        # Figure 8's headline: over *all* episodes the sleep share is
+        # far smaller than over perceptible ones.
+        all_eps = euclide_analyzer.threadstate_summary()
+        perceptible = euclide_analyzer.threadstate_summary(
+            perceptible_only=True
+        )
+        assert perceptible.sleeping_fraction > 2 * all_eps.sleeping_fraction
+
+    def test_arabeske_gc_heavy(self):
+        trace = simulate_session("Arabeske", seed=SEED, scale=SCALE)
+        analyzer = LagAlyzer.from_traces([trace])
+        location = analyzer.location_summary(perceptible_only=True)
+        assert location.gc_fraction > 0.3
+        triggers = analyzer.trigger_summary(perceptible_only=True)
+        assert triggers.fraction(Trigger.UNSPECIFIED) > 0.3
+
+    def test_findbugs_concurrency_above_one(self):
+        trace = simulate_session("FindBugs", seed=SEED, scale=SCALE)
+        analyzer = LagAlyzer.from_traces([trace])
+        assert analyzer.concurrency_summary().mean_runnable > 1.1
+
+    def test_pareto_pattern_coverage(self):
+        # Figure 3: a small fraction of patterns covers most episodes.
+        traces = simulate_sessions("SwingSet", count=1, seed=SEED, scale=SCALE)
+        analyzer = LagAlyzer.from_traces(traces)
+        cdf = analyzer.pattern_table().cumulative_episode_distribution()
+        assert cdf[20] > 55.0  # top 20% of patterns >> 20% of episodes
+
+    def test_gc_blackout_visible_in_samples(self):
+        trace = simulate_session("Arabeske", seed=SEED, scale=SCALE)
+        gcs = trace.gc_intervals()
+        if not gcs:
+            pytest.skip("no GC at this scale")
+        for gc in gcs:
+            inside = [
+                s for s in trace.samples
+                if gc.start_ns <= s.timestamp_ns < gc.end_ns
+            ]
+            assert inside == []
+
+    def test_multi_session_analysis(self):
+        traces = simulate_sessions(
+            "CrosswordSage", count=2, seed=SEED, scale=SCALE
+        )
+        analyzer = LagAlyzer.from_traces(traces)
+        stats = analyzer.session_stats()
+        assert len(stats) == 2
+        # Cross-session integration: patterns are shared.
+        table = analyzer.pattern_table()
+        assert any(p.count > 2 for p in table)

@@ -1,0 +1,270 @@
+"""Unit tests for the interval model and the nesting invariant."""
+
+import pytest
+
+from repro.core.errors import NestingError
+from repro.core.intervals import (
+    Interval,
+    IntervalKind,
+    IntervalTreeBuilder,
+    merge_adjacent,
+    total_span_ns,
+)
+
+from helpers import dispatch, gc_iv, interval, listener_iv, ms, paint_iv
+
+
+class TestIntervalKind:
+    def test_six_kinds_match_table1(self):
+        names = {kind.value for kind in IntervalKind}
+        assert names == {
+            "dispatch", "listener", "paint", "native", "async", "gc",
+        }
+
+    def test_from_name_roundtrip(self):
+        for kind in IntervalKind:
+            assert IntervalKind.from_name(kind.value) is kind
+
+    def test_from_name_is_case_insensitive(self):
+        assert IntervalKind.from_name("PAINT") is IntervalKind.PAINT
+
+    def test_from_name_rejects_unknown(self):
+        with pytest.raises(ValueError, match="unknown interval kind"):
+            IntervalKind.from_name("render")
+
+    def test_gc_is_not_structural(self):
+        assert not IntervalKind.GC.is_structural
+        for kind in IntervalKind:
+            if kind is not IntervalKind.GC:
+                assert kind.is_structural
+
+
+class TestInterval:
+    def test_durations(self):
+        node = interval(IntervalKind.PAINT, "a.b", 10.0, 35.0)
+        assert node.duration_ns == ms(25.0)
+        assert node.duration_ms == pytest.approx(25.0)
+
+    def test_rejects_negative_duration(self):
+        with pytest.raises(NestingError, match="ends before it starts"):
+            Interval(IntervalKind.PAINT, "a.b", 100, 50)
+
+    def test_zero_length_is_legal(self):
+        node = Interval(IntervalKind.GC, "GC.minor", 100, 100)
+        assert node.duration_ns == 0
+
+    def test_contains_time_half_open(self):
+        node = interval(IntervalKind.NATIVE, "n", 10.0, 20.0)
+        assert node.contains_time(ms(10.0))
+        assert node.contains_time(ms(19.999))
+        assert not node.contains_time(ms(20.0))
+        assert not node.contains_time(ms(9.999))
+
+    def test_encloses_and_overlaps(self):
+        outer = interval(IntervalKind.DISPATCH, "d", 0.0, 100.0)
+        inner = interval(IntervalKind.PAINT, "p", 10.0, 20.0)
+        disjoint = interval(IntervalKind.PAINT, "p", 200.0, 210.0)
+        assert outer.encloses(inner)
+        assert not inner.encloses(outer)
+        assert outer.overlaps(inner)
+        assert not outer.overlaps(disjoint)
+
+    def test_children_get_parent_pointer(self):
+        child = paint_iv("p", 1.0, 2.0)
+        parent = dispatch(0.0, 10.0, [child])
+        assert child.parent is parent
+
+    def test_preorder_order(self):
+        #      d
+        #    a   b
+        #   a1
+        a1 = paint_iv("a1", 1.0, 2.0)
+        a = paint_iv("a", 0.5, 3.0, [a1])
+        b = paint_iv("b", 4.0, 5.0)
+        root = dispatch(0.0, 10.0, [a, b])
+        symbols = [node.symbol for node in root.preorder()]
+        assert symbols == ["EventQueue.dispatchEvent", "a", "a1", "b"]
+
+    def test_descendant_count_excluding_gc(self):
+        gc = gc_iv(1.0, 2.0)
+        a = paint_iv("a", 0.5, 3.0, [gc])
+        root = dispatch(0.0, 10.0, [a])
+        assert root.descendant_count() == 2
+        assert root.descendant_count(include_gc=False) == 1
+
+    def test_depth(self):
+        a1 = paint_iv("a1", 1.0, 2.0)
+        a = paint_iv("a", 0.5, 3.0, [a1])
+        root = dispatch(0.0, 10.0, [a])
+        assert root.depth() == 3
+        assert a1.depth() == 1
+
+    def test_depth_excluding_gc(self):
+        gc = gc_iv(1.0, 2.0)
+        a = paint_iv("a", 0.5, 3.0, [gc])
+        root = dispatch(0.0, 10.0, [a])
+        assert root.depth() == 3
+        assert root.depth(include_gc=False) == 2
+
+    def test_find_first_preorder_match(self):
+        early = paint_iv("early", 1.0, 2.0)
+        late = paint_iv("late", 3.0, 4.0)
+        root = dispatch(0.0, 10.0, [early, late])
+        found = root.find(lambda n: n.kind is IntervalKind.PAINT)
+        assert found is early
+
+    def test_find_returns_none(self):
+        root = dispatch(0.0, 10.0)
+        assert root.find(lambda n: n.kind is IntervalKind.GC) is None
+
+    def test_find_all(self):
+        a = paint_iv("a", 1.0, 2.0)
+        b = paint_iv("b", 3.0, 4.0)
+        root = dispatch(0.0, 10.0, [a, b])
+        assert root.find_all(lambda n: n.kind is IntervalKind.PAINT) == [a, b]
+
+    def test_self_time(self):
+        child = paint_iv("p", 2.0, 6.0)
+        root = dispatch(0.0, 10.0, [child])
+        assert root.self_time_ns() == ms(6.0)
+
+    def test_validate_accepts_proper_nesting(self):
+        inner = paint_iv("i", 2.0, 4.0)
+        a = paint_iv("a", 1.0, 5.0, [inner])
+        b = paint_iv("b", 5.0, 7.0)
+        dispatch(0.0, 10.0, [a, b]).validate()
+
+    def test_validate_rejects_escaping_child(self):
+        child = paint_iv("c", 5.0, 15.0)
+        root = dispatch(0.0, 10.0, [child])
+        with pytest.raises(NestingError, match="escapes parent"):
+            root.validate()
+
+    def test_validate_rejects_overlapping_siblings(self):
+        a = paint_iv("a", 1.0, 5.0)
+        b = paint_iv("b", 4.0, 7.0)
+        root = dispatch(0.0, 10.0, [a, b])
+        with pytest.raises(NestingError, match="siblings overlap"):
+            root.validate()
+
+    def test_repr_mentions_kind_and_symbol(self):
+        node = paint_iv("javax.swing.JFrame.paint", 0.0, 1.0)
+        assert "paint" in repr(node)
+        assert "JFrame" in repr(node)
+
+
+class TestIntervalTreeBuilder:
+    def test_builds_nested_tree(self):
+        builder = IntervalTreeBuilder()
+        builder.open(IntervalKind.DISPATCH, "d", 0)
+        builder.open(IntervalKind.LISTENER, "l", 10)
+        builder.close(50)
+        builder.close(60)
+        roots = builder.finish()
+        assert len(roots) == 1
+        assert roots[0].kind is IntervalKind.DISPATCH
+        assert roots[0].children[0].kind is IntervalKind.LISTENER
+        roots[0].validate()
+
+    def test_multiple_roots(self):
+        builder = IntervalTreeBuilder()
+        builder.open(IntervalKind.DISPATCH, "d1", 0)
+        builder.close(10)
+        builder.open(IntervalKind.DISPATCH, "d2", 20)
+        builder.close(30)
+        assert len(builder.finish()) == 2
+
+    def test_close_without_open(self):
+        with pytest.raises(NestingError, match="close without"):
+            IntervalTreeBuilder().close(10)
+
+    def test_open_before_parent_start(self):
+        builder = IntervalTreeBuilder()
+        builder.open(IntervalKind.DISPATCH, "d", 100)
+        with pytest.raises(NestingError, match="before its enclosing"):
+            builder.open(IntervalKind.PAINT, "p", 50)
+
+    def test_open_inside_previous_sibling(self):
+        builder = IntervalTreeBuilder()
+        builder.open(IntervalKind.DISPATCH, "d", 0)
+        builder.open(IntervalKind.PAINT, "a", 10)
+        builder.close(50)
+        with pytest.raises(NestingError, match="previous sibling"):
+            builder.open(IntervalKind.PAINT, "b", 40)
+
+    def test_root_overlapping_previous_root(self):
+        builder = IntervalTreeBuilder()
+        builder.open(IntervalKind.DISPATCH, "d1", 0)
+        builder.close(100)
+        with pytest.raises(NestingError, match="inside the previous root"):
+            builder.open(IntervalKind.DISPATCH, "d2", 50)
+
+    def test_close_before_last_child(self):
+        builder = IntervalTreeBuilder()
+        builder.open(IntervalKind.DISPATCH, "d", 0)
+        builder.open(IntervalKind.PAINT, "p", 10)
+        builder.close(80)
+        with pytest.raises(NestingError, match="before its last child"):
+            builder.close(70)
+
+    def test_finish_with_open_intervals(self):
+        builder = IntervalTreeBuilder()
+        builder.open(IntervalKind.DISPATCH, "d", 0)
+        with pytest.raises(NestingError, match="unclosed"):
+            builder.finish()
+
+    def test_add_complete_nests_into_open(self):
+        builder = IntervalTreeBuilder()
+        builder.open(IntervalKind.DISPATCH, "d", 0)
+        builder.add_complete(IntervalKind.GC, "GC.minor", 10, 30)
+        root = builder.close(100)
+        assert root.children[0].kind is IntervalKind.GC
+        root.validate()
+
+    def test_add_complete_as_root(self):
+        builder = IntervalTreeBuilder()
+        builder.add_complete(IntervalKind.GC, "GC.major", 5, 50)
+        roots = builder.finish()
+        assert roots[0].kind is IntervalKind.GC
+
+    def test_open_depth(self):
+        builder = IntervalTreeBuilder()
+        assert builder.open_depth == 0
+        builder.open(IntervalKind.DISPATCH, "d", 0)
+        builder.open(IntervalKind.PAINT, "p", 1)
+        assert builder.open_depth == 2
+
+
+class TestSpanHelpers:
+    def test_merge_adjacent_disjoint(self):
+        spans = merge_adjacent(
+            [paint_iv("a", 0.0, 1.0), paint_iv("b", 5.0, 6.0)]
+        )
+        assert spans == [(0, ms(1.0)), (ms(5.0), ms(6.0))]
+
+    def test_merge_adjacent_overlapping(self):
+        spans = merge_adjacent(
+            [paint_iv("a", 0.0, 5.0), paint_iv("b", 3.0, 8.0)]
+        )
+        assert spans == [(0, ms(8.0))]
+
+    def test_merge_adjacent_touching(self):
+        spans = merge_adjacent(
+            [paint_iv("a", 0.0, 5.0), paint_iv("b", 5.0, 8.0)]
+        )
+        assert spans == [(0, ms(8.0))]
+
+    def test_merge_adjacent_unsorted_input(self):
+        spans = merge_adjacent(
+            [paint_iv("b", 5.0, 6.0), paint_iv("a", 0.0, 1.0)]
+        )
+        assert spans[0][0] == 0
+
+    def test_merge_adjacent_empty(self):
+        assert merge_adjacent([]) == []
+
+    def test_total_span_counts_overlap_once(self):
+        total = total_span_ns(
+            [paint_iv("a", 0.0, 10.0), paint_iv("b", 5.0, 15.0)]
+        )
+        assert total == ms(15.0)

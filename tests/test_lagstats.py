@@ -1,0 +1,108 @@
+"""Tests for lag-distribution statistics."""
+
+import pytest
+
+from repro.core.lagstats import (
+    DurationBands,
+    duration_bands,
+    log_histogram,
+    percentile,
+    summarize_lags,
+)
+
+from helpers import simple_episode
+
+
+class TestPercentile:
+    def test_single_value(self):
+        assert percentile([42.0], 0.5) == 42.0
+
+    def test_median_even(self):
+        assert percentile([1.0, 2.0, 3.0, 4.0], 0.5) == pytest.approx(2.5)
+
+    def test_extremes(self):
+        values = [1.0, 5.0, 9.0]
+        assert percentile(values, 0.0) == 1.0
+        assert percentile(values, 1.0) == 9.0
+
+    def test_interpolation(self):
+        assert percentile([0.0, 10.0], 0.25) == pytest.approx(2.5)
+
+    def test_clamps_fraction(self):
+        assert percentile([1.0, 2.0], 2.0) == 2.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            percentile([], 0.5)
+
+
+class TestSummarizeLags:
+    def test_summary_fields(self):
+        episodes = [simple_episode(lag_ms=float(lag), index=i)
+                    for i, lag in enumerate((10, 20, 30, 40, 100))]
+        summary = summarize_lags(episodes)
+        assert summary.count == 5
+        assert summary.min_ms == pytest.approx(10.0)
+        assert summary.max_ms == pytest.approx(100.0)
+        assert summary.median_ms == pytest.approx(30.0)
+        assert summary.mean_ms == pytest.approx(40.0)
+        assert summary.total_ms == pytest.approx(200.0)
+        assert summary.p90_ms <= summary.p99_ms <= summary.max_ms
+
+    def test_empty_population(self):
+        summary = summarize_lags([])
+        assert summary.count == 0
+        assert summary.describe() == "no episodes"
+
+    def test_describe(self):
+        summary = summarize_lags([simple_episode(50.0)])
+        assert "n=1" in summary.describe()
+        assert "p90=50.0" in summary.describe()
+
+
+class TestLogHistogram:
+    def test_bins_cover_all_episodes(self):
+        episodes = [simple_episode(lag_ms=float(lag), index=i)
+                    for i, lag in enumerate((2, 5, 20, 90, 400))]
+        bins = log_histogram(episodes)
+        assert sum(count for _, _, count in bins) == 5
+
+    def test_bin_edges_monotone(self):
+        episodes = [simple_episode(lag_ms=float(lag), index=i)
+                    for i, lag in enumerate((2, 500))]
+        bins = log_histogram(episodes)
+        for low, high, _ in bins:
+            assert high > low
+        edges = [low for low, _, _ in bins]
+        assert edges == sorted(edges)
+
+    def test_floor_clamps_tiny_lags(self):
+        episodes = [simple_episode(lag_ms=0.01)]
+        bins = log_histogram(episodes, floor_ms=1.0)
+        assert bins[0][0] == pytest.approx(1.0)
+
+    def test_empty(self):
+        assert log_histogram([]) == []
+
+    def test_bad_bins_per_decade(self):
+        with pytest.raises(ValueError):
+            log_histogram([simple_episode()], bins_per_decade=0)
+
+
+class TestDurationBands:
+    def test_matches_table3_columns(self):
+        episodes = [
+            simple_episode(10.0, index=0),
+            simple_episode(50.0, index=1),
+            simple_episode(150.0, index=2),
+        ]
+        bands = duration_bands(episodes, filtered_count=1000)
+        assert bands.below_filter == 1000
+        assert bands.traced == 3
+        assert bands.traced_fast == 2
+        assert bands.perceptible == 1
+
+    def test_threshold_parameter(self):
+        episodes = [simple_episode(120.0)]
+        bands = duration_bands(episodes, 0, threshold_ms=150.0)
+        assert bands.perceptible == 0

@@ -1,0 +1,148 @@
+"""Tests for the binary trace format."""
+
+import pytest
+
+from repro.core.errors import TraceFormatError
+from repro.core.samples import ThreadState
+from repro.lila.binary import (
+    MAGIC,
+    read_trace_binary,
+    write_trace_binary,
+)
+from repro.lila.writer import write_trace
+
+from helpers import (
+    GUI,
+    dispatch,
+    gc_iv,
+    gui_sample,
+    listener_iv,
+    make_trace,
+    paint_iv,
+)
+
+
+def _rich_trace():
+    roots = [
+        dispatch(0.0, 50.0, [
+            listener_iv("a.Click.actionPerformed", 1.0, 49.0, [
+                paint_iv("javax.swing.JFrame.paint", 10.0, 40.0,
+                         [gc_iv(20.0, 30.0)]),
+            ]),
+        ]),
+        dispatch(100.0, 130.0),
+    ]
+    samples = [
+        gui_sample(5.0),
+        gui_sample(15.0, state=ThreadState.BLOCKED,
+                   extra_threads=[("worker", ThreadState.RUNNABLE)]),
+    ]
+    return make_trace(
+        roots, samples=samples, e2e_ms=200.0, short_count=42,
+        extra_threads={"worker": [gc_iv(20.0, 30.0)]},
+    )
+
+
+def _assert_same_tree(a, b):
+    assert (a.kind, a.symbol, a.start_ns, a.end_ns) == (
+        b.kind, b.symbol, b.start_ns, b.end_ns,
+    )
+    assert len(a.children) == len(b.children)
+    for child_a, child_b in zip(a.children, b.children):
+        _assert_same_tree(child_a, child_b)
+
+
+class TestBinaryRoundtrip:
+    def test_full_roundtrip(self, tmp_path):
+        original = _rich_trace()
+        path = write_trace_binary(original, tmp_path / "t.lilb")
+        loaded = read_trace_binary(path)
+
+        meta_a, meta_b = original.metadata, loaded.metadata
+        assert meta_a.application == meta_b.application
+        assert meta_a.session_id == meta_b.session_id
+        assert meta_a.end_ns == meta_b.end_ns
+        assert meta_a.filter_ms == meta_b.filter_ms
+        assert loaded.short_episode_count == 42
+
+        assert set(loaded.thread_roots) == set(original.thread_roots)
+        for thread in original.thread_roots:
+            for a, b in zip(
+                original.thread_roots[thread], loaded.thread_roots[thread]
+            ):
+                _assert_same_tree(a, b)
+
+        assert len(loaded.samples) == len(original.samples)
+        for a, b in zip(original.samples, loaded.samples):
+            assert a.timestamp_ns == b.timestamp_ns
+            for entry_a, entry_b in zip(a.threads, b.threads):
+                assert entry_a.thread_name == entry_b.thread_name
+                assert entry_a.state == entry_b.state
+                assert entry_a.stack == entry_b.stack
+
+    def test_simulated_trace_roundtrip(self, tmp_path):
+        from repro.apps.sessions import simulate_session
+
+        original = simulate_session("CrosswordSage", scale=0.05)
+        path = write_trace_binary(original, tmp_path / "s.lilb")
+        loaded = read_trace_binary(path)
+        assert len(loaded.episodes) == len(original.episodes)
+        assert loaded.short_episode_count == original.short_episode_count
+        assert [e.duration_ns for e in loaded.episodes] == [
+            e.duration_ns for e in original.episodes
+        ]
+
+    def test_binary_smaller_than_text(self, tmp_path):
+        from repro.apps.sessions import simulate_session
+
+        trace = simulate_session("CrosswordSage", scale=0.1)
+        text_path = write_trace(trace, tmp_path / "t.lila")
+        binary_path = write_trace_binary(trace, tmp_path / "t.lilb")
+        text_size = text_path.stat().st_size
+        binary_size = binary_path.stat().st_size
+        # Interning must win decisively on sample-heavy traces.
+        assert binary_size < text_size / 2
+
+    def test_deterministic_bytes(self, tmp_path):
+        trace = _rich_trace()
+        a = write_trace_binary(trace, tmp_path / "a.lilb").read_bytes()
+        b = write_trace_binary(trace, tmp_path / "b.lilb").read_bytes()
+        assert a == b
+
+
+class TestBinaryErrors:
+    def test_bad_magic(self, tmp_path):
+        path = tmp_path / "bad.lilb"
+        path.write_bytes(b"NOPE" + b"\x00" * 20)
+        with pytest.raises(TraceFormatError, match="bad magic"):
+            read_trace_binary(path)
+
+    def test_bad_version(self, tmp_path):
+        path = tmp_path / "bad.lilb"
+        path.write_bytes(MAGIC + b"\xff\xff")
+        with pytest.raises(TraceFormatError, match="unsupported"):
+            read_trace_binary(path)
+
+    def test_truncated_file(self, tmp_path):
+        full = write_trace_binary(_rich_trace(), tmp_path / "t.lilb")
+        data = full.read_bytes()
+        truncated = tmp_path / "trunc.lilb"
+        truncated.write_bytes(data[: len(data) // 2])
+        # Truncation is caught by the CRC footer (or, for a cut inside
+        # the header, by the truncation check itself).
+        with pytest.raises(TraceFormatError, match="corrupt|truncated"):
+            read_trace_binary(truncated)
+
+    def test_any_bit_flip_is_detected(self, tmp_path):
+        # The CRC footer catches corruption anywhere in the payload —
+        # even flips that land in numeric fields and would otherwise
+        # parse into a silently wrong trace.
+        full = write_trace_binary(_rich_trace(), tmp_path / "t.lilb")
+        data = bytearray(full.read_bytes())
+        for offset in (8, len(data) // 2, len(data) - 8):
+            corrupted = bytearray(data)
+            corrupted[offset] ^= 0x01
+            corrupt = tmp_path / "corrupt.lilb"
+            corrupt.write_bytes(bytes(corrupted))
+            with pytest.raises(TraceFormatError):
+                read_trace_binary(corrupt)

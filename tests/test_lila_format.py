@@ -1,0 +1,99 @@
+"""Unit tests for the LiLa format grammar (frames, stacks, header)."""
+
+import pytest
+
+from repro.core.errors import TraceFormatError
+from repro.core.samples import StackFrame, StackTrace
+from repro.lila.format import (
+    EMPTY_STACK_TOKEN,
+    FORMAT_VERSION,
+    MAGIC,
+    check_symbol,
+    decode_frame,
+    decode_stack,
+    encode_frame,
+    encode_stack,
+    header_line,
+    parse_header,
+)
+
+
+class TestSymbols:
+    def test_accepts_java_identifiers(self):
+        assert check_symbol("javax.swing.JFrame.paint") == (
+            "javax.swing.JFrame.paint"
+        )
+        assert check_symbol("com.x.Inner$1.run") == "com.x.Inner$1.run"
+
+    def test_rejects_empty(self):
+        with pytest.raises(TraceFormatError, match="empty"):
+            check_symbol("")
+
+    @pytest.mark.parametrize("bad", ["a b", "a\tb", "a\nb", "a;b"])
+    def test_rejects_separators(self, bad):
+        with pytest.raises(TraceFormatError, match="forbidden"):
+            check_symbol(bad)
+
+
+class TestFrames:
+    def test_roundtrip_java_frame(self):
+        frame = StackFrame("javax.swing.JFrame", "paint")
+        assert decode_frame(encode_frame(frame)) == frame
+
+    def test_roundtrip_native_frame(self):
+        frame = StackFrame("sun.java2d.loops.DrawLine", "DrawLine",
+                           is_native=True)
+        token = encode_frame(frame)
+        assert token.startswith("!")
+        assert decode_frame(token) == frame
+
+    def test_decode_rejects_malformed(self):
+        with pytest.raises(TraceFormatError, match="malformed stack frame"):
+            decode_frame("no-separator")
+
+    def test_decode_rejects_empty_parts(self):
+        with pytest.raises(TraceFormatError):
+            decode_frame("#method")
+        with pytest.raises(TraceFormatError):
+            decode_frame("class#")
+
+    def test_class_names_with_inner_classes(self):
+        frame = StackFrame("com.apple.laf.AquaComboBoxUI$1", "actionPerformed")
+        assert decode_frame(encode_frame(frame)) == frame
+
+
+class TestStacks:
+    def test_empty_stack_token(self):
+        assert encode_stack(StackTrace(())) == EMPTY_STACK_TOKEN
+        assert decode_stack(EMPTY_STACK_TOKEN) == StackTrace(())
+
+    def test_roundtrip_preserves_order(self):
+        stack = StackTrace(
+            [
+                StackFrame("a.Leaf", "m", is_native=True),
+                StackFrame("b.Mid", "n"),
+                StackFrame("c.Base", "run"),
+            ]
+        )
+        assert decode_stack(encode_stack(stack)) == stack
+
+
+class TestHeader:
+    def test_header_roundtrip(self):
+        assert parse_header(header_line()) == FORMAT_VERSION
+
+    def test_rejects_wrong_magic(self):
+        with pytest.raises(TraceFormatError, match="not a LiLa trace"):
+            parse_header("#%other 1")
+
+    def test_rejects_wrong_version(self):
+        with pytest.raises(TraceFormatError, match="unsupported"):
+            parse_header(f"{MAGIC} 99")
+
+    def test_rejects_garbage_version(self):
+        with pytest.raises(TraceFormatError, match="bad version"):
+            parse_header(f"{MAGIC} one")
+
+    def test_rejects_extra_tokens(self):
+        with pytest.raises(TraceFormatError):
+            parse_header(f"{MAGIC} 1 extra")

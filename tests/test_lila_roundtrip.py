@@ -1,0 +1,157 @@
+"""Round-trip tests: Trace -> LiLa text -> Trace."""
+
+import pytest
+
+from repro.core.errors import TraceFormatError
+from repro.core.intervals import IntervalKind
+from repro.core.samples import ThreadState
+from repro.lila.reader import read_trace, read_trace_lines
+from repro.lila.writer import trace_to_lines, write_trace
+
+from helpers import (
+    GUI,
+    dispatch,
+    gc_iv,
+    gui_sample,
+    listener_iv,
+    make_trace,
+    ms,
+    paint_iv,
+)
+
+
+def _rich_trace():
+    nested_gc = gc_iv(20.0, 30.0)
+    roots = [
+        dispatch(0.0, 50.0, [
+            listener_iv("a.Click.actionPerformed", 1.0, 49.0, [
+                paint_iv("javax.swing.JFrame.paint", 10.0, 40.0, [nested_gc]),
+            ]),
+        ]),
+        gc_iv(60.0, 80.0, symbol="GC.major"),
+        dispatch(100.0, 130.0),
+    ]
+    samples = [
+        gui_sample(5.0),
+        gui_sample(15.0, state=ThreadState.BLOCKED,
+                   extra_threads=[("worker", ThreadState.RUNNABLE)]),
+        gui_sample(45.0, frames=()),
+    ]
+    return make_trace(
+        roots,
+        samples=samples,
+        e2e_ms=200.0,
+        short_count=777,
+        extra_threads={"worker": [gc_iv(60.0, 80.0, symbol="GC.major")]},
+    )
+
+
+def _assert_same_tree(a, b):
+    assert a.kind == b.kind
+    assert a.symbol == b.symbol
+    assert a.start_ns == b.start_ns
+    assert a.end_ns == b.end_ns
+    assert len(a.children) == len(b.children)
+    for child_a, child_b in zip(a.children, b.children):
+        _assert_same_tree(child_a, child_b)
+
+
+class TestRoundTrip:
+    def test_metadata_survives(self):
+        original = _rich_trace()
+        loaded = read_trace_lines(trace_to_lines(original))
+        assert loaded.metadata.application == original.metadata.application
+        assert loaded.metadata.session_id == original.metadata.session_id
+        assert loaded.metadata.end_ns == original.metadata.end_ns
+        assert loaded.metadata.gui_thread == GUI
+        assert loaded.metadata.filter_ms == original.metadata.filter_ms
+        assert loaded.short_episode_count == 777
+
+    def test_interval_trees_survive(self):
+        original = _rich_trace()
+        loaded = read_trace_lines(trace_to_lines(original))
+        assert set(loaded.thread_roots) == set(original.thread_roots)
+        for thread in original.thread_roots:
+            assert len(loaded.thread_roots[thread]) == len(
+                original.thread_roots[thread]
+            )
+            for a, b in zip(
+                original.thread_roots[thread], loaded.thread_roots[thread]
+            ):
+                _assert_same_tree(a, b)
+
+    def test_samples_survive(self):
+        original = _rich_trace()
+        loaded = read_trace_lines(trace_to_lines(original))
+        assert len(loaded.samples) == len(original.samples)
+        for a, b in zip(original.samples, loaded.samples):
+            assert a.timestamp_ns == b.timestamp_ns
+            assert len(a.threads) == len(b.threads)
+            for ta, tb in zip(a.threads, b.threads):
+                assert ta.thread_name == tb.thread_name
+                assert ta.state == tb.state
+                assert ta.stack == tb.stack
+
+    def test_episodes_reconstructed(self):
+        loaded = read_trace_lines(trace_to_lines(_rich_trace()))
+        assert len(loaded.episodes) == 2
+        assert len(loaded.episodes[0].samples) == 3
+
+    def test_file_roundtrip(self, tmp_path):
+        path = write_trace(_rich_trace(), tmp_path / "trace.lila")
+        loaded = read_trace(path)
+        assert loaded.metadata.application == "TestApp"
+
+    def test_serialization_is_deterministic(self):
+        assert trace_to_lines(_rich_trace()) == trace_to_lines(_rich_trace())
+
+
+class TestReaderErrors:
+    def test_empty_input(self):
+        with pytest.raises(TraceFormatError, match="empty"):
+            read_trace_lines([])
+
+    def test_missing_metadata(self):
+        with pytest.raises(TraceFormatError, match="missing required"):
+            read_trace_lines(["#%lila 1", "F 0"])
+
+    def test_unknown_record(self):
+        lines = trace_to_lines(_rich_trace()) + ["Z bogus"]
+        with pytest.raises(TraceFormatError, match="unknown record"):
+            read_trace_lines(lines)
+
+    def test_interval_before_thread(self):
+        with pytest.raises(TraceFormatError, match="before any T"):
+            read_trace_lines(["#%lila 1", "O 0 dispatch d"])
+
+    def test_sample_entry_outside_tick(self):
+        with pytest.raises(TraceFormatError, match="outside a tick"):
+            read_trace_lines(["#%lila 1", "t gui runnable -"])
+
+    def test_bad_timestamp(self):
+        with pytest.raises(TraceFormatError, match="bad timestamp"):
+            read_trace_lines(["#%lila 1", "T gui", "O abc dispatch d"])
+
+    def test_comments_and_blanks_ignored(self):
+        lines = trace_to_lines(_rich_trace())
+        lines.insert(2, "# a comment")
+        lines.insert(3, "")
+        loaded = read_trace_lines(lines)
+        assert len(loaded.episodes) == 2
+
+    def test_nesting_violation_caught(self):
+        lines = [
+            "#%lila 1",
+            "M application App",
+            "M session_id s0",
+            "M start_ns 0",
+            "M end_ns 1000",
+            f"M gui_thread {GUI}",
+            f"T {GUI}",
+            "O 0 dispatch d",
+            "C 100",
+            "O 50 dispatch d2",  # overlaps previous root
+            "C 150",
+        ]
+        with pytest.raises(Exception):
+            read_trace_lines(lines)

@@ -1,0 +1,108 @@
+"""Tests for the trace linter."""
+
+import pytest
+
+from repro.core.trace import Trace, TraceMetadata
+from repro.lila.validation import (
+    Diagnostic,
+    Severity,
+    has_errors,
+    lint_trace,
+)
+
+from helpers import GUI, dispatch, gc_iv, gui_sample, listener_iv, make_trace, ms
+
+
+def _codes(diagnostics):
+    return {d.code for d in diagnostics}
+
+
+class TestCleanTrace:
+    def test_healthy_trace_is_clean(self):
+        trace = make_trace(
+            [dispatch(0.0, 50.0, [listener_iv("l", 0.0, 49.0)])],
+            samples=[gui_sample(10.0), gui_sample(20.0), gui_sample(30.0)],
+            e2e_ms=1000.0,
+            short_count=10,
+        )
+        diagnostics = lint_trace(trace)
+        assert not has_errors(diagnostics)
+        assert "EP001" not in _codes(diagnostics)
+
+
+class TestEpisodeChecks:
+    def test_sub_filter_episode_flagged(self):
+        trace = make_trace([dispatch(0.0, 1.0)], short_count=5)
+        assert "EP001" in _codes(lint_trace(trace))
+
+    def test_absurd_episode_flagged(self):
+        trace = make_trace(
+            [dispatch(0.0, 700_000.0)], e2e_ms=800_000.0
+        )
+        assert "EP002" in _codes(lint_trace(trace))
+
+
+class TestGcChecks:
+    def test_missing_gc_replication_flagged(self):
+        trace = make_trace(
+            [dispatch(0.0, 50.0, [listener_iv("l", 0.0, 49.0,
+                                              [gc_iv(10.0, 20.0)])])],
+            extra_threads={"worker": []},  # worker lacks the GC copy
+        )
+        diagnostics = lint_trace(trace)
+        assert "GC001" in _codes(diagnostics)
+
+    def test_replicated_gc_is_fine(self):
+        trace = make_trace(
+            [dispatch(0.0, 50.0, [listener_iv("l", 0.0, 49.0,
+                                              [gc_iv(10.0, 20.0)])])],
+            extra_threads={"worker": [gc_iv(10.0, 20.0)]},
+        )
+        assert "GC001" not in _codes(lint_trace(trace))
+
+
+class TestSampleChecks:
+    def test_no_samples_flagged(self):
+        trace = make_trace([dispatch(0.0, 50.0)])
+        assert "SM001" in _codes(lint_trace(trace))
+
+    def test_samples_inside_gc_are_an_error(self):
+        trace = make_trace(
+            [dispatch(0.0, 100.0, [gc_iv(20.0, 60.0)])],
+            samples=[gui_sample(30.0)],  # impossible under JVMTI
+        )
+        diagnostics = lint_trace(trace)
+        assert "SM002" in _codes(diagnostics)
+        assert has_errors(diagnostics)
+
+    def test_sample_rate_mismatch_flagged(self):
+        # Declared period 10 ms; actual spacing 50 ms.
+        samples = [gui_sample(float(t)) for t in range(0, 1000, 50)]
+        trace = make_trace([dispatch(0.0, 999.0)], samples=samples)
+        assert "SM004" in _codes(lint_trace(trace))
+
+
+class TestSessionChecks:
+    def test_empty_session_flagged(self):
+        trace = make_trace([], short_count=0)
+        assert "TR001" in _codes(lint_trace(trace))
+
+    def test_replay_like_session_noted(self):
+        trace = make_trace([dispatch(0.0, 990.0)], e2e_ms=1000.0)
+        assert "TR002" in _codes(lint_trace(trace))
+
+
+class TestOrdering:
+    def test_errors_sort_first(self):
+        trace = make_trace(
+            [dispatch(0.0, 100.0, [gc_iv(20.0, 60.0)])],
+            samples=[gui_sample(30.0)],
+        )
+        diagnostics = lint_trace(trace)
+        severities = [d.severity for d in diagnostics]
+        assert severities[0] is Severity.ERROR
+
+    def test_str_format(self):
+        diagnostic = Diagnostic(Severity.WARNING, "X001", "something")
+        assert "WARNING" in str(diagnostic)
+        assert "X001" in str(diagnostic)

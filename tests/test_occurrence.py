@@ -1,0 +1,102 @@
+"""Unit tests for the always/sometimes/once/never classification."""
+
+import pytest
+
+from repro.core.occurrence import (
+    Occurrence,
+    OccurrenceSummary,
+    classify_pattern,
+    patterns_by_occurrence,
+    summarize,
+)
+from repro.core.patterns import Pattern, PatternTable, pattern_key
+
+from helpers import simple_episode
+
+
+def _pattern(lags):
+    eps = [simple_episode(lag_ms=lag, index=i) for i, lag in enumerate(lags)]
+    return Pattern(pattern_key(eps[0]), eps)
+
+
+class TestClassifyPattern:
+    def test_always(self):
+        assert classify_pattern(_pattern([150.0, 200.0])) is Occurrence.ALWAYS
+
+    def test_never(self):
+        assert classify_pattern(_pattern([10.0, 20.0])) is Occurrence.NEVER
+
+    def test_once(self):
+        assert classify_pattern(
+            _pattern([150.0, 20.0, 30.0])
+        ) is Occurrence.ONCE
+
+    def test_sometimes(self):
+        assert classify_pattern(
+            _pattern([150.0, 160.0, 30.0])
+        ) is Occurrence.SOMETIMES
+
+    def test_singleton_perceptible_is_always(self):
+        # The paper's explicit rule for singletons.
+        assert classify_pattern(_pattern([150.0])) is Occurrence.ALWAYS
+
+    def test_singleton_fast_is_never(self):
+        assert classify_pattern(_pattern([15.0])) is Occurrence.NEVER
+
+    def test_custom_threshold(self):
+        pattern = _pattern([120.0, 130.0])
+        assert classify_pattern(pattern, threshold_ms=150.0) is Occurrence.NEVER
+
+
+class TestSummaries:
+    def _table(self):
+        episodes = []
+        index = 0
+        # always: 2 episodes both slow
+        for lag in (150.0, 160.0):
+            episodes.append(simple_episode(lag, symbol="a.A.m", index=index))
+            index += 1
+        # never: 3 fast
+        for lag in (10.0, 11.0, 12.0):
+            episodes.append(simple_episode(lag, symbol="b.B.m", index=index))
+            index += 1
+        # once
+        for lag in (150.0, 10.0):
+            episodes.append(simple_episode(lag, symbol="c.C.m", index=index))
+            index += 1
+        # sometimes
+        for lag in (150.0, 160.0, 10.0):
+            episodes.append(simple_episode(lag, symbol="d.D.m", index=index))
+            index += 1
+        return PatternTable.from_episodes(episodes)
+
+    def test_summarize_counts(self):
+        summary = summarize(self._table())
+        assert summary.counts[Occurrence.ALWAYS] == 1
+        assert summary.counts[Occurrence.NEVER] == 1
+        assert summary.counts[Occurrence.ONCE] == 1
+        assert summary.counts[Occurrence.SOMETIMES] == 1
+        assert summary.total == 4
+
+    def test_fractions(self):
+        summary = summarize(self._table())
+        assert summary.fraction(Occurrence.ALWAYS) == pytest.approx(0.25)
+        assert summary.consistent_fraction == pytest.approx(0.5)
+        assert summary.ever_perceptible_fraction == pytest.approx(0.75)
+
+    def test_percentages_sum_to_100(self):
+        summary = summarize(self._table())
+        assert sum(summary.percentages().values()) == pytest.approx(100.0)
+
+    def test_empty_summary(self):
+        summary = OccurrenceSummary({})
+        assert summary.total == 0
+        assert summary.fraction(Occurrence.ALWAYS) == 0.0
+        assert summary.consistent_fraction == 0.0
+        assert summary.ever_perceptible_fraction == 0.0
+
+    def test_patterns_by_occurrence(self):
+        table = self._table()
+        always = patterns_by_occurrence(table, Occurrence.ALWAYS)
+        assert len(always) == 1
+        assert always[0].count == 2

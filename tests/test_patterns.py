@@ -1,0 +1,204 @@
+"""Unit tests for pattern mining (keys, table, coverage)."""
+
+import pytest
+
+from repro.core.patterns import (
+    Pattern,
+    PatternTable,
+    key_depth,
+    key_descendant_count,
+    pattern_key,
+)
+
+from helpers import (
+    dispatch,
+    episode,
+    gc_iv,
+    listener_iv,
+    paint_iv,
+    simple_episode,
+)
+
+
+class TestPatternKey:
+    def test_same_structure_same_key(self):
+        a = simple_episode(lag_ms=10.0, start_ms=0.0)
+        b = simple_episode(lag_ms=900.0, start_ms=5000.0)
+        assert pattern_key(a) == pattern_key(b)
+
+    def test_different_symbol_different_key(self):
+        a = simple_episode(symbol="com.x.A.actionPerformed")
+        b = simple_episode(symbol="com.x.B.actionPerformed")
+        assert pattern_key(a) != pattern_key(b)
+
+    def test_different_kind_different_key(self):
+        a = episode(dispatch(0.0, 10.0, [listener_iv("s", 0.0, 10.0)]))
+        b = episode(dispatch(0.0, 10.0, [paint_iv("s", 0.0, 10.0)]))
+        assert pattern_key(a) != pattern_key(b)
+
+    def test_child_order_matters(self):
+        ab = episode(dispatch(0.0, 10.0, [
+            listener_iv("a", 0.0, 4.0), listener_iv("b", 5.0, 9.0)]))
+        ba = episode(dispatch(0.0, 10.0, [
+            listener_iv("b", 0.0, 4.0), listener_iv("a", 5.0, 9.0)]))
+        assert pattern_key(ab) != pattern_key(ba)
+
+    def test_nesting_matters(self):
+        nested = episode(dispatch(0.0, 10.0, [
+            listener_iv("a", 0.0, 9.0, [paint_iv("p", 1.0, 8.0)])]))
+        flat = episode(dispatch(0.0, 10.0, [
+            listener_iv("a", 0.0, 4.0), paint_iv("p", 5.0, 9.0)]))
+        assert pattern_key(nested) != pattern_key(flat)
+
+    def test_gc_blindness(self):
+        with_gc = episode(dispatch(0.0, 10.0, [
+            listener_iv("a", 0.0, 9.0, [gc_iv(1.0, 2.0)])]))
+        without_gc = episode(dispatch(0.0, 10.0, [listener_iv("a", 0.0, 9.0)]))
+        assert pattern_key(with_gc) == pattern_key(without_gc)
+        assert pattern_key(with_gc, include_gc=True) != pattern_key(without_gc)
+
+    def test_gc_only_episode_has_empty_key(self):
+        gc_only = episode(dispatch(0.0, 500.0, [gc_iv(10.0, 400.0)]))
+        assert pattern_key(gc_only) == ""
+        assert pattern_key(gc_only, include_gc=True) != ""
+
+    def test_key_metrics(self):
+        ep = episode(dispatch(0.0, 10.0, [
+            listener_iv("a", 0.0, 9.0, [paint_iv("p", 1.0, 8.0)])]))
+        key = pattern_key(ep)
+        assert key_descendant_count(key) == 2
+        assert key_depth(key) == 3
+
+    def test_empty_key_metrics(self):
+        assert key_descendant_count("") == 0
+        assert key_depth("") == 1
+
+
+class TestPattern:
+    def _pattern(self):
+        eps = [
+            simple_episode(lag_ms=10.0, index=0),
+            simple_episode(lag_ms=120.0, index=1),
+            simple_episode(lag_ms=50.0, index=2),
+        ]
+        return Pattern(pattern_key(eps[0]), eps)
+
+    def test_lag_statistics(self):
+        pattern = self._pattern()
+        assert pattern.count == 3
+        assert pattern.min_lag_ms == pytest.approx(10.0)
+        assert pattern.max_lag_ms == pytest.approx(120.0)
+        assert pattern.avg_lag_ms == pytest.approx(60.0)
+        assert pattern.total_lag_ms == pytest.approx(180.0)
+
+    def test_perceptible_counting(self):
+        pattern = self._pattern()
+        assert pattern.perceptible_count() == 1
+        assert pattern.has_perceptible()
+        assert not pattern.has_perceptible(threshold_ms=500.0)
+
+    def test_representative_is_first(self):
+        pattern = self._pattern()
+        assert pattern.representative.index == 0
+
+    def test_gc_episode_count(self):
+        with_gc = episode(
+            dispatch(0.0, 10.0, [listener_iv(
+                "com.example.ClickListener.actionPerformed", 0.0, 9.0,
+                [gc_iv(1.0, 2.0)])]),
+        )
+        pattern = Pattern(pattern_key(with_gc), [with_gc, simple_episode()])
+        assert pattern.gc_episode_count() == 1
+
+    def test_singleton(self):
+        assert Pattern("k", [simple_episode()]).is_singleton
+        assert not self._pattern().is_singleton
+
+
+class TestPatternTable:
+    def _episodes(self):
+        eps = []
+        for i in range(6):
+            eps.append(simple_episode(lag_ms=10.0 + i, symbol="a.A.m", index=i))
+        for i in range(3):
+            eps.append(
+                simple_episode(lag_ms=200.0, symbol="b.B.m", index=6 + i)
+            )
+        eps.append(episode(dispatch(0.0, 30.0), index=9))  # structureless
+        eps.append(simple_episode(lag_ms=40.0, symbol="c.C.m", index=10))
+        return eps
+
+    def test_mining_groups_by_key(self):
+        table = PatternTable.from_episodes(self._episodes())
+        assert table.distinct_count == 3
+        assert table.covered_episodes == 10
+        assert table.excluded_episodes == 1
+
+    def test_by_count_ordering(self):
+        table = PatternTable.from_episodes(self._episodes())
+        counts = [p.count for p in table.by_count()]
+        assert counts == [6, 3, 1]
+
+    def test_rows_ordered_by_total_lag(self):
+        table = PatternTable.from_episodes(self._episodes())
+        totals = [p.total_lag_ms for p in table.rows()]
+        assert totals == sorted(totals, reverse=True)
+
+    def test_perceptible_only_filter(self):
+        table = PatternTable.from_episodes(self._episodes())
+        filtered = table.perceptible_only()
+        assert filtered.distinct_count == 1
+        assert filtered.rows()[0].count == 3
+
+    def test_singleton_stats(self):
+        table = PatternTable.from_episodes(self._episodes())
+        assert table.singleton_count == 1
+        assert table.singleton_fraction == pytest.approx(1 / 3)
+        assert table.singleton_episode_fraction == pytest.approx(1 / 10)
+
+    def test_get_by_key(self):
+        table = PatternTable.from_episodes(self._episodes())
+        key = pattern_key(simple_episode(symbol="a.A.m"))
+        assert table.get(key).count == 6
+        assert table.get("nonexistent") is None
+
+    def test_mean_structure_metrics(self):
+        table = PatternTable.from_episodes(self._episodes())
+        assert table.mean_descendants == pytest.approx(1.0)
+        assert table.mean_depth == pytest.approx(2.0)
+
+    def test_empty_table(self):
+        table = PatternTable.from_episodes([])
+        assert table.distinct_count == 0
+        assert table.singleton_fraction == 0.0
+        assert table.mean_descendants == 0.0
+        assert table.cumulative_episode_distribution() == [0.0] * 101
+
+    def test_cdf_monotone_and_bounded(self):
+        table = PatternTable.from_episodes(self._episodes())
+        cdf = table.cumulative_episode_distribution()
+        assert len(cdf) == 101
+        assert cdf[0] == 0.0
+        assert cdf[-1] == pytest.approx(100.0)
+        assert all(b >= a for a, b in zip(cdf, cdf[1:]))
+
+    def test_cdf_skew(self):
+        # 6 of 10 covered episodes live in 1 of 3 patterns: the curve
+        # must be well above the diagonal early on.
+        table = PatternTable.from_episodes(self._episodes())
+        cdf = table.cumulative_episode_distribution()
+        assert cdf[34] >= 60.0  # top ~1/3 of patterns covers >= 60%
+
+    def test_iteration(self):
+        table = PatternTable.from_episodes(self._episodes())
+        assert len(list(table)) == len(table) == 3
+
+    def test_include_gc_changes_grouping(self):
+        with_gc = episode(
+            dispatch(0.0, 10.0, [listener_iv("a.A.m", 0.0, 9.0, [gc_iv(1.0, 2.0)])]),
+        )
+        plain = simple_episode(symbol="a.A.m")
+        blind = PatternTable.from_episodes([with_gc, plain])
+        aware = PatternTable.from_episodes([with_gc, plain], include_gc=True)
+        assert blind.distinct_count == 1
+        assert aware.distinct_count == 2

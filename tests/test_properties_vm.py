@@ -1,0 +1,143 @@
+"""Property-based tests on the simulator's invariants."""
+
+import string
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.intervals import IntervalKind, NS_PER_MS
+from repro.core.samples import ThreadState
+from repro.vm.behavior import (
+    Behavior,
+    Block,
+    Compute,
+    ExecutionContext,
+    NativeCall,
+    Sleep,
+    Wait,
+    java_stack,
+    listener,
+    native_stack,
+)
+from repro.vm.clock import VirtualClock
+from repro.vm.heap import Heap, HeapConfig
+from repro.vm.rng import RngStream
+from repro.vm.threads import ThreadTimeline
+from repro.vm.tracer import TraceCollector
+
+GUI = "AWT-EventQueue-0"
+
+
+@st.composite
+def _behaviors(draw):
+    """Random small behaviours with deterministic durations."""
+    def step(depth):
+        choice = draw(st.integers(min_value=0, max_value=5))
+        duration = draw(
+            st.floats(min_value=0.1, max_value=30.0, allow_nan=False)
+        )
+        stack = java_stack("org.app.X", "m")
+        if choice == 0:
+            return Compute(duration, stack, sigma=0.0,
+                           alloc_bytes_per_ms=draw(
+                               st.integers(min_value=0, max_value=200_000)))
+        if choice == 1:
+            return Sleep(duration, stack, sigma=0.0)
+        if choice == 2:
+            return Wait(duration, stack, sigma=0.0)
+        if choice == 3:
+            return Block(duration, stack, sigma=0.0)
+        if choice == 4:
+            return NativeCall(
+                "sun.x.Y.n", duration, native_stack("sun.x.Y", "n"),
+                sigma=0.0,
+            )
+        body = (
+            [step(depth + 1)]
+            if depth < 2 and draw(st.booleans())
+            else []
+        )
+        return listener(f"a.L{draw(st.integers(0, 5))}.run", body)
+
+    steps = [step(0) for _ in range(draw(st.integers(1, 5)))]
+    return Behavior(steps)
+
+
+def _run(behavior, young_mb=4):
+    clock = VirtualClock()
+    rng = RngStream(13)
+    heap = Heap(
+        HeapConfig(young_capacity_bytes=young_mb * 1024 * 1024,
+                   pause_jitter=0.0),
+        rng.fork("heap"),
+    )
+    tracer = TraceCollector(GUI, filter_ms=0.0, rng=rng.fork("tracer"))
+    timeline = ThreadTimeline(GUI)
+    ctx = ExecutionContext(clock, rng.fork("exec"), heap, tracer, timeline)
+    tracer.begin_episode(clock.now_ns)
+    behavior.execute(ctx)
+    root = tracer.end_episode(clock.now_ns)
+    return root, ctx
+
+
+@given(_behaviors())
+@settings(max_examples=50, deadline=None)
+def test_episode_tree_always_validates(behavior):
+    root, _ = _run(behavior)
+    root.validate()
+
+
+@given(_behaviors())
+@settings(max_examples=50, deadline=None)
+def test_timeline_covers_episode_minus_gc(behavior):
+    root, ctx = _run(behavior)
+    gc_ns = sum(
+        n.duration_ns for n in root.preorder()
+        if n.kind is IntervalKind.GC
+    )
+    # The EDT timeline accounts for every non-GC nanosecond of the
+    # episode (during GC all threads are stopped, nothing is recorded).
+    assert ctx.edt_timeline.busy_ns() == root.duration_ns - gc_ns
+
+
+@given(_behaviors())
+@settings(max_examples=50, deadline=None)
+def test_heap_never_left_over_capacity(behavior):
+    _, ctx = _run(behavior, young_mb=1)
+    # After execution, young occupancy never exceeds capacity plus one
+    # chunk's worth of allocation (the collection fires on crossing).
+    max_chunk_alloc = int(200_000 * ExecutionContext.CHUNK_MS)
+    assert ctx.heap.young_used <= (
+        ctx.heap.config.young_capacity_bytes + max_chunk_alloc
+    )
+
+
+@given(_behaviors())
+@settings(max_examples=50, deadline=None)
+def test_blackouts_cover_every_gc(behavior):
+    root, ctx = _run(behavior, young_mb=1)
+    blackouts = ctx.tracer.merged_blackouts()
+    for node in root.preorder():
+        if node.kind is not IntervalKind.GC:
+            continue
+        assert any(
+            start <= node.start_ns and node.end_ns <= end
+            for start, end in blackouts
+        )
+
+
+@given(st.integers(min_value=1, max_value=10_000_000),
+       st.lists(st.integers(min_value=0, max_value=500_000), max_size=40))
+@settings(max_examples=60)
+def test_heap_collection_counts(young, allocations):
+    heap = Heap(
+        HeapConfig(young_capacity_bytes=young, pause_jitter=0.0),
+        RngStream(3),
+    )
+    collections = 0
+    for nbytes in allocations:
+        request = heap.allocate(nbytes)
+        if request is not None:
+            heap.collected(request)
+            collections += 1
+    assert heap.minor_count + heap.major_count == collections
+    assert heap.young_used < young + 500_001

@@ -1,0 +1,110 @@
+"""Tests for the chainable episode query API."""
+
+import pytest
+
+from repro.core.intervals import IntervalKind
+from repro.core.queries import EpisodeQuery
+from repro.core.triggers import Trigger
+
+from helpers import (
+    dispatch,
+    episode,
+    gc_iv,
+    listener_iv,
+    paint_iv,
+    simple_episode,
+)
+
+
+@pytest.fixture()
+def population():
+    return [
+        simple_episode(10.0, symbol="a.Fast.m", start_ms=0.0, index=0),
+        simple_episode(200.0, symbol="b.Slow.m", start_ms=1000.0, index=1),
+        episode(
+            dispatch(5000.0, 5400.0, [
+                paint_iv("c.View.paint", 5000.0, 5300.0),
+                gc_iv(5310.0, 5390.0),
+            ]),
+            index=2,
+        ),
+        episode(dispatch(9000.0, 9050.0), index=3),  # structureless
+    ]
+
+
+class TestFilters:
+    def test_perceptible(self, population):
+        query = EpisodeQuery(population).perceptible()
+        assert query.count() == 2
+
+    def test_duration_filters(self, population):
+        assert EpisodeQuery(population).faster_than(100.0).count() == 2
+        assert EpisodeQuery(population).slower_than(300.0).count() == 1
+
+    def test_triggered_by(self, population):
+        assert EpisodeQuery(population).triggered_by(Trigger.INPUT).count() == 2
+        assert EpisodeQuery(population).triggered_by(
+            Trigger.OUTPUT
+        ).count() == 1
+        assert EpisodeQuery(population).triggered_by(
+            Trigger.UNSPECIFIED
+        ).count() == 1
+
+    def test_containing(self, population):
+        assert EpisodeQuery(population).containing(IntervalKind.GC).count() == 1
+        assert EpisodeQuery(population).not_containing(
+            IntervalKind.GC
+        ).count() == 3
+
+    def test_touching_symbol(self, population):
+        assert EpisodeQuery(population).touching_symbol("Slow").count() == 1
+
+    def test_between_seconds(self, population):
+        assert EpisodeQuery(population).between_seconds(0.5, 6.0).count() == 2
+
+    def test_with_structure(self, population):
+        assert EpisodeQuery(population).with_structure().count() == 3
+
+    def test_chaining(self, population):
+        query = (
+            EpisodeQuery(population)
+            .perceptible()
+            .triggered_by(Trigger.OUTPUT)
+            .containing(IntervalKind.GC)
+        )
+        assert query.count() == 1
+
+    def test_immutability(self, population):
+        base = EpisodeQuery(population)
+        base.perceptible()
+        assert base.count() == 4
+
+    def test_where_custom(self, population):
+        odd = EpisodeQuery(population).where(lambda ep: ep.index % 2 == 1)
+        assert odd.count() == 2
+
+
+class TestTerminals:
+    def test_worst(self, population):
+        worst = EpisodeQuery(population).worst(2)
+        assert [ep.index for ep in worst] == [2, 1]
+
+    def test_first(self, population):
+        assert EpisodeQuery(population).first().index == 0
+        assert EpisodeQuery([]).first() is None
+
+    def test_total_lag(self, population):
+        assert EpisodeQuery(population).total_lag_ms() == pytest.approx(
+            10.0 + 200.0 + 400.0 + 50.0
+        )
+
+    def test_iteration_and_len(self, population):
+        query = EpisodeQuery(population)
+        assert len(query) == 4
+        assert len(list(query)) == 4
+
+    def test_to_list_copy(self, population):
+        query = EpisodeQuery(population)
+        result = query.to_list()
+        result.clear()
+        assert query.count() == 4

@@ -1,0 +1,78 @@
+"""Fuzzing the text reader: corruption must fail loudly and typed.
+
+Whatever a single-line corruption does to a trace file, the reader must
+either still produce a valid trace (the corruption hit a comment, or
+produced an equivalent record) or raise ``LagAlyzerError`` — never an
+untyped exception like ``ValueError`` escaping from parsing internals,
+and never a silently half-parsed trace.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.errors import LagAlyzerError
+from repro.lila.reader import read_trace_lines
+from repro.lila.writer import trace_to_lines
+
+from helpers import dispatch, gc_iv, gui_sample, listener_iv, make_trace
+
+
+def _baseline_lines():
+    roots = [
+        dispatch(0.0, 50.0, [listener_iv("a.A.m", 0.0, 49.0,
+                                         [gc_iv(10.0, 20.0)])]),
+        dispatch(100.0, 130.0),
+    ]
+    samples = [gui_sample(5.0), gui_sample(15.0)]
+    trace = make_trace(roots, samples=samples, e2e_ms=200.0, short_count=3)
+    return trace_to_lines(trace)
+
+
+_LINES = _baseline_lines()
+
+
+@given(
+    line_index=st.integers(min_value=0, max_value=len(_LINES) - 1),
+    position=st.integers(min_value=0, max_value=200),
+    replacement=st.text(
+        alphabet="OCGPTMFt0123456789 abcxyz.#-!;", min_size=0, max_size=8
+    ),
+)
+@settings(max_examples=300, deadline=None)
+def test_single_line_corruption_is_typed(line_index, position, replacement):
+    lines = list(_LINES)
+    original = lines[line_index]
+    cut = min(position, len(original))
+    lines[line_index] = original[:cut] + replacement + original[cut:]
+    try:
+        trace = read_trace_lines(lines)
+    except LagAlyzerError:
+        return  # loud, typed failure: exactly what we want
+    # If it parsed, it must be a structurally valid trace.
+    trace.validate()
+
+
+@given(drop_index=st.integers(min_value=1, max_value=len(_LINES) - 1))
+@settings(max_examples=100, deadline=None)
+def test_dropped_line_is_typed(drop_index):
+    lines = list(_LINES)
+    del lines[drop_index]
+    try:
+        trace = read_trace_lines(lines)
+    except LagAlyzerError:
+        return
+    trace.validate()
+
+
+@given(
+    a=st.integers(min_value=1, max_value=len(_LINES) - 1),
+    b=st.integers(min_value=1, max_value=len(_LINES) - 1),
+)
+@settings(max_examples=100, deadline=None)
+def test_swapped_lines_are_typed(a, b):
+    lines = list(_LINES)
+    lines[a], lines[b] = lines[b], lines[a]
+    try:
+        trace = read_trace_lines(lines)
+    except LagAlyzerError:
+        return
+    trace.validate()

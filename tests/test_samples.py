@@ -1,0 +1,143 @@
+"""Unit tests for stack frames, stacks, thread states, and samples."""
+
+import pytest
+
+from repro.core.samples import (
+    DEFAULT_LIBRARY_PREFIXES,
+    EMPTY_STACK,
+    Sample,
+    StackFrame,
+    StackTrace,
+    ThreadSample,
+    ThreadState,
+    samples_in_range,
+)
+
+from helpers import GUI, gui_sample, ms
+
+
+class TestThreadState:
+    def test_four_states(self):
+        assert {s.value for s in ThreadState} == {
+            "runnable", "blocked", "waiting", "sleeping",
+        }
+
+    def test_from_name(self):
+        assert ThreadState.from_name("BLOCKED") is ThreadState.BLOCKED
+
+    def test_from_name_rejects_unknown(self):
+        with pytest.raises(ValueError, match="unknown thread state"):
+            ThreadState.from_name("parked")
+
+
+class TestStackFrame:
+    def test_qualified_name(self):
+        frame = StackFrame("javax.swing.JFrame", "paint")
+        assert frame.qualified_name == "javax.swing.JFrame.paint"
+
+    def test_library_classification(self):
+        assert StackFrame("javax.swing.JFrame", "paint").is_library()
+        assert StackFrame("sun.font.GlyphLayout", "layout").is_library()
+        assert StackFrame("com.apple.laf.AquaComboBoxUI", "x").is_library()
+        assert not StackFrame("org.jmol.Canvas", "render").is_library()
+
+    def test_library_custom_prefixes(self):
+        frame = StackFrame("org.jmol.Canvas", "render")
+        assert frame.is_library(prefixes=("org.jmol.",))
+
+    def test_equality_and_hash(self):
+        a = StackFrame("a.B", "m")
+        b = StackFrame("a.B", "m")
+        native = StackFrame("a.B", "m", is_native=True)
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != native
+
+    def test_equality_other_type(self):
+        assert StackFrame("a.B", "m") != "a.B.m"
+
+
+class TestStackTrace:
+    def test_leaf_is_first_frame(self):
+        leaf = StackFrame("a.Leaf", "m")
+        base = StackFrame("a.Base", "run")
+        stack = StackTrace([leaf, base])
+        assert stack.leaf is leaf
+        assert stack.depth == 2
+        assert len(stack) == 2
+        assert list(stack) == [leaf, base]
+
+    def test_empty_stack(self):
+        assert EMPTY_STACK.leaf is None
+        assert not EMPTY_STACK.in_native()
+        assert not EMPTY_STACK.in_library()
+
+    def test_in_native(self):
+        native_leaf = StackFrame("sun.x.Y", "n", is_native=True)
+        assert StackTrace([native_leaf]).in_native()
+        assert not StackTrace([StackFrame("a.B", "m")]).in_native()
+
+    def test_in_library_uses_leaf(self):
+        lib_over_app = StackTrace(
+            [StackFrame("java.util.HashMap", "get"),
+             StackFrame("org.app.Model", "update")]
+        )
+        app_over_lib = StackTrace(
+            [StackFrame("org.app.Model", "update"),
+             StackFrame("java.awt.EventQueue", "dispatch")]
+        )
+        assert lib_over_app.in_library()
+        assert not app_over_lib.in_library()
+
+    def test_equality_and_hash(self):
+        a = StackTrace([StackFrame("a.B", "m")])
+        b = StackTrace([StackFrame("a.B", "m")])
+        assert a == b
+        assert hash(a) == hash(b)
+
+
+class TestSample:
+    def test_thread_lookup(self):
+        sample = gui_sample(10.0, extra_threads=[("worker", ThreadState.RUNNABLE)])
+        assert sample.thread(GUI) is not None
+        assert sample.thread("worker").state is ThreadState.RUNNABLE
+        assert sample.thread("missing") is None
+
+    def test_runnable_count(self):
+        sample = gui_sample(
+            10.0,
+            state=ThreadState.BLOCKED,
+            extra_threads=[
+                ("w1", ThreadState.RUNNABLE),
+                ("w2", ThreadState.WAITING),
+                ("w3", ThreadState.RUNNABLE),
+            ],
+        )
+        assert sample.runnable_count() == 2
+
+    def test_states_by_thread(self):
+        sample = gui_sample(5.0, extra_threads=[("w", ThreadState.SLEEPING)])
+        states = sample.states_by_thread()
+        assert states[GUI] is ThreadState.RUNNABLE
+        assert states["w"] is ThreadState.SLEEPING
+
+
+class TestSamplesInRange:
+    def _samples(self):
+        return [gui_sample(t) for t in (0.0, 10.0, 20.0, 30.0, 40.0)]
+
+    def test_inclusive_start_exclusive_end(self):
+        picked = samples_in_range(self._samples(), ms(10.0), ms(30.0))
+        assert [s.timestamp_ns for s in picked] == [ms(10.0), ms(20.0)]
+
+    def test_empty_range(self):
+        assert samples_in_range(self._samples(), ms(11.0), ms(11.5)) == []
+
+    def test_full_range(self):
+        assert len(samples_in_range(self._samples(), 0, ms(41.0))) == 5
+
+    def test_range_beyond_samples(self):
+        assert samples_in_range(self._samples(), ms(100.0), ms(200.0)) == []
+
+    def test_empty_input(self):
+        assert samples_in_range([], 0, 100) == []

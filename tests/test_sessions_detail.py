@@ -1,0 +1,139 @@
+"""Detailed tests of session-script internals."""
+
+import pytest
+
+from repro.apps.catalog import get_spec
+from repro.apps.sessions import SessionScript, build_catalog
+from repro.core.intervals import NS_PER_S
+from repro.core.samples import ThreadState
+from repro.vm.jvm import MicroBurst, PostedEvent
+from repro.vm.rng import RngStream
+
+SCALE = 0.1
+SEED = 4242
+
+
+def make_script(app, session_index=0):
+    spec = get_spec(app)
+    catalog = build_catalog(spec, seed=SEED)
+    return SessionScript(spec, catalog, session_index, seed=SEED, scale=SCALE)
+
+
+class TestAnimationWindows:
+    def test_windows_inside_session(self):
+        script = make_script("JMol")
+        spec = script.spec
+        animation = spec.animations[0]
+        rng = RngStream(1)
+        windows = script._animation_windows(animation, rng)
+        assert windows
+        for start, end in windows:
+            assert 0.0 <= start < end <= script.duration_s + 1e-9
+
+    def test_windows_disjoint_and_sorted(self):
+        script = make_script("JMol")
+        animation = script.spec.animations[0]
+        windows = script._animation_windows(animation, RngStream(2))
+        for (s1, e1), (s2, e2) in zip(windows, windows[1:]):
+            assert e1 <= s2
+
+    def test_total_active_close_to_fraction(self):
+        script = make_script("JMol")
+        animation = script.spec.animations[0]
+        windows = script._animation_windows(animation, RngStream(3))
+        active = sum(end - start for start, end in windows)
+        target = script.duration_s * animation.active_fraction
+        assert active <= target * 1.01
+        assert active >= target * 0.5  # clipping can shorten, not double
+
+    def test_post_count_matches_period(self):
+        script = make_script("JMol")
+        animation = script.spec.animations[0]
+        posts = script._animation_events()
+        expected = (
+            script.duration_s * animation.active_fraction
+            / (animation.period_ms / 1000.0)
+        )
+        assert len(posts) == pytest.approx(expected, rel=0.2)
+
+
+class TestMicroBursts:
+    def test_counts_scale_with_rate(self):
+        script = make_script("Laoe")  # the paper's micro-episode monster
+        bursts = [e for e in script.events() if isinstance(e, MicroBurst)]
+        total = sum(b.count for b in bursts)
+        expected = script.spec.micro_per_min * script.duration_s / 60.0
+        assert total == pytest.approx(expected, rel=0.1)
+
+    def test_bursts_have_allocation(self):
+        script = make_script("Laoe")
+        bursts = [e for e in script.events() if isinstance(e, MicroBurst)]
+        assert all(b.alloc_bytes > 0 for b in bursts if b.count > 0)
+
+
+class TestWorkerTimelines:
+    def test_duty_cycle_respected(self):
+        script = make_script("FindBugs")
+        loader = next(
+            t for t in script.background_timelines()
+            if t.thread_name == "findbugs-analysis"
+        )
+        spec_worker = script.spec.background_threads[0]
+        window_ns = sum(
+            min(
+                (start + duration) * SCALE, script.duration_s
+            ) * NS_PER_S - start * SCALE * NS_PER_S
+            for start, duration in spec_worker.windows
+        )
+        busy_fraction = loader.busy_ns() / window_ns
+        assert busy_fraction == pytest.approx(
+            spec_worker.duty_cycle, abs=0.25
+        )
+
+    def test_worker_runnable_in_window(self):
+        script = make_script("FindBugs")
+        loader = next(
+            t for t in script.background_timelines()
+            if t.thread_name == "findbugs-analysis"
+        )
+        spec_worker = script.spec.background_threads[0]
+        start_s = spec_worker.windows[0][0] * SCALE
+        mid_ns = round((start_s + 1.0) * NS_PER_S)
+        state, stack = loader.at(mid_ns)
+        # With duty cycle 0.95 a point early in the window is almost
+        # surely runnable; accept waiting as the rare alternative.
+        assert state in (ThreadState.RUNNABLE, ThreadState.WAITING)
+        if state is ThreadState.RUNNABLE:
+            assert "ProjectLoader" in stack.leaf.class_name
+
+    def test_misc_worker_present(self):
+        script = make_script("SwingSet")
+        names = {t.thread_name for t in script.background_timelines()}
+        assert any("misc-worker" in name for name in names)
+
+
+class TestExplicitGcEvents:
+    def test_rate_matches_spec(self):
+        script = make_script("Arabeske")
+        from repro.vm.behavior import ExplicitGc
+
+        posted = [e for e in script.events() if isinstance(e, PostedEvent)]
+        gc_events = [
+            e for e in posted
+            if any(isinstance(s, ExplicitGc) for s in e.behavior.steps)
+        ]
+        expected = (
+            script.spec.explicit_gc_per_min * script.duration_s / 60.0
+        )
+        assert len(gc_events) == pytest.approx(expected, rel=0.6)
+
+    def test_absent_without_spec(self):
+        script = make_script("JEdit")
+        from repro.vm.behavior import ExplicitGc
+
+        posted = [e for e in script.events() if isinstance(e, PostedEvent)]
+        assert not any(
+            isinstance(s, ExplicitGc)
+            for e in posted
+            for s in e.behavior.steps
+        )

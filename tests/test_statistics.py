@@ -1,0 +1,83 @@
+"""Unit tests for Table III session statistics."""
+
+import pytest
+
+from repro.core.statistics import (
+    SessionStats,
+    average_stats,
+    mean_row,
+    session_stats,
+)
+
+from helpers import dispatch, listener_iv, make_trace
+
+
+def _trace():
+    # 3 episodes: 50ms, 150ms (perceptible), 20ms; one structureless;
+    # 1000 filtered micro-episodes; 60 s session.
+    roots = [
+        dispatch(0.0, 50.0, [listener_iv("a.A.m", 0.0, 49.0)]),
+        dispatch(100.0, 250.0, [listener_iv("b.B.m", 100.0, 249.0)]),
+        dispatch(300.0, 320.0, [listener_iv("a.A.m", 300.0, 319.0)]),
+        dispatch(400.0, 430.0),
+    ]
+    return make_trace(roots, e2e_ms=60_000.0, short_count=1000)
+
+
+class TestSessionStats:
+    def test_counts(self):
+        stats = session_stats(_trace())
+        assert stats.traced == 4
+        assert stats.perceptible == 1
+        assert stats.below_filter == 1000
+
+    def test_e2e_and_in_episode(self):
+        stats = session_stats(_trace())
+        assert stats.e2e_s == pytest.approx(60.0)
+        # 50 + 150 + 20 + 30 ms of 60 s.
+        assert stats.in_episode_pct == pytest.approx(0.25 / 60 * 100)
+
+    def test_long_per_min(self):
+        stats = session_stats(_trace())
+        in_episode_minutes = 0.25 / 60
+        assert stats.long_per_min == pytest.approx(1 / in_episode_minutes)
+
+    def test_pattern_block(self):
+        stats = session_stats(_trace())
+        assert stats.distinct_patterns == 2
+        assert stats.covered_episodes == 3
+        assert stats.singleton_pct == pytest.approx(50.0)
+
+    def test_custom_threshold(self):
+        stats = session_stats(_trace(), threshold_ms=30.0)
+        assert stats.perceptible == 3
+
+    def test_as_dict_excludes_application(self):
+        stats = session_stats(_trace())
+        data = stats.as_dict()
+        assert "application" not in data
+        assert data["traced"] == 4
+
+
+class TestAveraging:
+    def test_average_stats(self):
+        rows = [session_stats(_trace()), session_stats(_trace())]
+        mean = average_stats(rows, "TestApp")
+        assert mean.application == "TestApp"
+        assert mean.traced == pytest.approx(4.0)
+
+    def test_average_differs(self):
+        a = session_stats(_trace())
+        b = SessionStats(
+            application="TestApp",
+            **{**a.as_dict(), "traced": 8.0},
+        )
+        mean = average_stats([a, b], "TestApp")
+        assert mean.traced == pytest.approx(6.0)
+
+    def test_average_empty_raises(self):
+        with pytest.raises(ValueError):
+            average_stats([], "X")
+
+    def test_mean_row_label(self):
+        assert mean_row([session_stats(_trace())]).application == "Mean"

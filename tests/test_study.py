@@ -1,0 +1,136 @@
+"""Tests for the study harness (runner, tables, figures, report)."""
+
+import pytest
+
+from repro.study import figures, paper_data
+from repro.study.report import render_figures, write_experiments_md
+from repro.study.runner import StudyConfig, analyze_app, run_study
+from repro.study.tables import format_table1, format_table2, format_table3
+
+TINY = StudyConfig(
+    sessions=1,
+    scale=0.05,
+    applications=("CrosswordSage", "JFreeChart"),
+)
+
+
+@pytest.fixture(scope="module")
+def tiny_result():
+    return run_study(TINY)
+
+
+class TestRunner:
+    def test_result_shape(self, tiny_result):
+        assert set(tiny_result.apps) == {"CrosswordSage", "JFreeChart"}
+        ordered = tiny_result.ordered()
+        assert [a.name for a in ordered] == ["CrosswordSage", "JFreeChart"]
+
+    def test_app_result_fields(self, tiny_result):
+        app = tiny_result.apps["CrosswordSage"]
+        assert app.mean_stats.traced > 0
+        assert app.session_stats
+        assert len(app.pattern_cdf) == 101
+        assert app.triggers_all.total >= app.triggers_perceptible.total
+
+    def test_mean_stats_row(self, tiny_result):
+        assert tiny_result.mean_stats.application == "Mean"
+
+    def test_analyze_single_app(self):
+        result = analyze_app("CrosswordSage", TINY)
+        assert result.name == "CrosswordSage"
+
+
+class TestTables:
+    def test_table1_lists_six_kinds(self):
+        text = format_table1()
+        for name in ("Dispatch", "Listener", "Paint", "Native", "Async", "GC"):
+            assert name in text
+
+    def test_table2_lists_apps(self):
+        text = format_table2()
+        assert "NetBeans" in text
+        assert "45367" in text
+
+    def test_table3_formatting(self, tiny_result):
+        rows = [a.mean_stats for a in tiny_result.ordered()]
+        text = format_table3(rows, tiny_result.mean_stats)
+        assert "CrosswordSage" in text
+        assert "Mean" in text
+        assert "Long/min" in text
+
+
+class TestFigures:
+    def test_figure_data_shapes(self, tiny_result):
+        fig3 = figures.figure3_data(tiny_result)
+        assert set(fig3) == set(tiny_result.apps)
+        fig4 = figures.figure4_data(tiny_result)
+        assert set(fig4["CrosswordSage"]) == {
+            "always", "sometimes", "once", "never",
+        }
+        fig5 = figures.figure5_data(tiny_result)
+        assert sum(fig5["CrosswordSage"].values()) == pytest.approx(
+            100.0, abs=0.01
+        )
+        fig7 = figures.figure7_data(tiny_result, perceptible_only=False)
+        assert all(v >= 0 for v in fig7.values())
+        fig8 = figures.figure8_data(tiny_result)
+        assert set(fig8["JFreeChart"]) == {
+            "runnable", "blocked", "waiting", "sleeping",
+        }
+
+    def test_render_figures_writes_svgs(self, tiny_result, tmp_path):
+        paths = render_figures(tiny_result, tmp_path)
+        assert len(paths) == 10  # fig3, fig4, and 2 each of fig5-8
+        for path in paths:
+            assert path.exists()
+            assert path.read_text().startswith("<svg")
+
+
+class TestReport:
+    def test_experiments_md(self, tiny_result, tmp_path):
+        path = write_experiments_md(tiny_result, tmp_path / "EXPERIMENTS.md")
+        text = path.read_text()
+        assert "Table III" in text
+        assert "Figure 3" in text
+        assert "Figure 8" in text
+        assert "(paper)" in text
+        assert "CrosswordSage" in text
+
+
+class TestPaperData:
+    def test_table3_complete(self):
+        assert len(paper_data.TABLE3) == 14
+        for row in paper_data.TABLE3.values():
+            assert len(row) == 11
+
+    def test_columns_match_sessionstats(self):
+        from repro.core.statistics import SessionStats
+
+        assert paper_data.TABLE3_COLUMNS == SessionStats._NUMERIC_FIELDS
+
+class TestReportDeviations:
+    def test_known_deviations_section(self, tiny_result, tmp_path):
+        path = write_experiments_md(tiny_result, tmp_path / "E.md")
+        text = path.read_text()
+        assert "Known deviations" in text
+        assert "Descs/Depth" in text
+
+
+class TestColors:
+    def test_interval_colors_cover_all_kinds(self):
+        from repro.core.intervals import IntervalKind
+        from repro.viz.colors import INTERVAL_COLORS
+
+        assert set(INTERVAL_COLORS) == set(IntervalKind)
+
+    def test_state_colors_cover_all_states(self):
+        from repro.core.samples import ThreadState
+        from repro.viz.colors import STATE_COLORS
+
+        assert set(STATE_COLORS) == set(ThreadState)
+
+    def test_app_palette_distinct_for_14(self):
+        from repro.viz.colors import color_for_app
+
+        colors = {color_for_app(i) for i in range(14)}
+        assert len(colors) == 14

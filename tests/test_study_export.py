@@ -1,0 +1,59 @@
+"""Tests for the study CSV export."""
+
+import csv
+
+import pytest
+
+from repro.study.export import write_study_csvs
+from repro.study.runner import StudyConfig, run_study
+
+
+@pytest.fixture(scope="module")
+def tiny_result():
+    return run_study(
+        StudyConfig(
+            sessions=1, scale=0.05, applications=("CrosswordSage", "JMol")
+        )
+    )
+
+
+class TestStudyCsvs:
+    def test_all_files_written(self, tiny_result, tmp_path):
+        paths = write_study_csvs(tiny_result, tmp_path)
+        names = {p.name for p in paths}
+        assert names == {
+            "table3.csv", "fig3.csv", "fig4.csv", "fig5.csv",
+            "fig6.csv", "fig7.csv", "fig8.csv",
+        }
+        for path in paths:
+            assert path.exists()
+
+    def test_table3_shape(self, tiny_result, tmp_path):
+        write_study_csvs(tiny_result, tmp_path)
+        with (tmp_path / "table3.csv").open() as handle:
+            rows = list(csv.DictReader(handle))
+        assert len(rows) == 3  # two apps + mean
+        assert rows[-1]["application"] == "Mean"
+        assert float(rows[0]["traced"]) > 0
+
+    def test_fig3_curve_shape(self, tiny_result, tmp_path):
+        write_study_csvs(tiny_result, tmp_path)
+        with (tmp_path / "fig3.csv").open() as handle:
+            rows = list(csv.DictReader(handle))
+        assert len(rows) == 101
+        assert float(rows[-1]["JMol"]) > 99.0
+
+    def test_fig5_long_format(self, tiny_result, tmp_path):
+        write_study_csvs(tiny_result, tmp_path)
+        with (tmp_path / "fig5.csv").open() as handle:
+            rows = list(csv.DictReader(handle))
+        scopes = {row["scope"] for row in rows}
+        assert scopes == {"all", "perceptible"}
+        categories = {row["category"] for row in rows}
+        assert "input" in categories and "output" in categories
+
+    def test_fig7_values(self, tiny_result, tmp_path):
+        write_study_csvs(tiny_result, tmp_path)
+        with (tmp_path / "fig7.csv").open() as handle:
+            rows = list(csv.DictReader(handle))
+        assert all(float(row["mean_runnable"]) >= 0 for row in rows)

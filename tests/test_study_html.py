@@ -1,0 +1,43 @@
+"""Tests for the HTML study report."""
+
+import pytest
+
+from repro.study.html import render_html_report, write_html_report
+from repro.study.runner import StudyConfig, run_study
+
+
+@pytest.fixture(scope="module")
+def tiny_result():
+    return run_study(
+        StudyConfig(
+            sessions=1, scale=0.05, applications=("CrosswordSage", "JMol")
+        )
+    )
+
+
+class TestHtmlReport:
+    def test_is_complete_document(self, tiny_result):
+        html = render_html_report(tiny_result)
+        assert html.startswith("<!DOCTYPE html>")
+        assert html.endswith("</html>")
+
+    def test_embeds_all_figures_inline(self, tiny_result):
+        html = render_html_report(tiny_result)
+        # fig3 + fig4 + 2 each for figures 5-8 = 10 inline SVGs.
+        assert html.count("<svg") == 10
+        assert "src=" not in html  # nothing external
+
+    def test_contains_tables(self, tiny_result):
+        html = render_html_report(tiny_result)
+        assert "Table II" in html
+        assert "Table III" in html
+        assert "CrosswordSage" in html
+
+    def test_mentions_config(self, tiny_result):
+        html = render_html_report(tiny_result)
+        assert "scale 0.05" in html
+
+    def test_write(self, tiny_result, tmp_path):
+        path = write_html_report(tiny_result, tmp_path / "report.html")
+        assert path.exists()
+        assert path.read_text().startswith("<!DOCTYPE html>")

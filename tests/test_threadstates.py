@@ -1,0 +1,62 @@
+"""Unit tests for the GUI-thread state (cause) analysis."""
+
+import pytest
+
+from repro.core.samples import ThreadState
+from repro.core.threadstates import ThreadStateSummary, summarize
+
+from helpers import dispatch, episode, gui_sample
+
+
+class TestSummarize:
+    def _episode(self):
+        samples = [
+            gui_sample(10.0, state=ThreadState.RUNNABLE),
+            gui_sample(20.0, state=ThreadState.RUNNABLE),
+            gui_sample(30.0, state=ThreadState.BLOCKED),
+            gui_sample(40.0, state=ThreadState.WAITING),
+            gui_sample(50.0, state=ThreadState.SLEEPING),
+        ]
+        return episode(dispatch(0.0, 100.0), samples=samples)
+
+    def test_fractions(self):
+        summary = summarize([self._episode()])
+        assert summary.runnable_fraction == pytest.approx(0.4)
+        assert summary.blocked_fraction == pytest.approx(0.2)
+        assert summary.waiting_fraction == pytest.approx(0.2)
+        assert summary.sleeping_fraction == pytest.approx(0.2)
+
+    def test_synchronization_fraction(self):
+        summary = summarize([self._episode()])
+        assert summary.synchronization_fraction == pytest.approx(0.4)
+
+    def test_percentages_sum_to_100(self):
+        summary = summarize([self._episode()])
+        assert sum(summary.percentages().values()) == pytest.approx(100.0)
+
+    def test_only_gui_thread_counted(self):
+        samples = [
+            gui_sample(
+                10.0,
+                state=ThreadState.RUNNABLE,
+                extra_threads=[("worker", ThreadState.BLOCKED)],
+            )
+        ]
+        ep = episode(dispatch(0.0, 100.0), samples=samples)
+        summary = summarize([ep])
+        assert summary.blocked_fraction == 0.0
+        assert summary.runnable_fraction == pytest.approx(1.0)
+
+    def test_empty(self):
+        summary = ThreadStateSummary({})
+        assert summary.total == 0
+        assert summary.runnable_fraction == 0.0
+
+    def test_aggregates_over_episodes(self):
+        ep1 = episode(
+            dispatch(0.0, 50.0),
+            samples=[gui_sample(10.0, state=ThreadState.SLEEPING)],
+        )
+        ep2 = episode(dispatch(100.0, 150.0), samples=[gui_sample(110.0)])
+        summary = summarize([ep1, ep2])
+        assert summary.sleeping_fraction == pytest.approx(0.5)

@@ -1,0 +1,128 @@
+"""Unit tests for the session trace model."""
+
+import pytest
+
+from repro.core.errors import AnalysisError
+from repro.core.trace import Trace, TraceMetadata, merge_thread_names
+
+from helpers import (
+    GUI,
+    dispatch,
+    gc_iv,
+    gui_sample,
+    listener_iv,
+    make_trace,
+    ms,
+)
+
+
+class TestTraceMetadata:
+    def test_durations(self):
+        meta = TraceMetadata("App", "s0", start_ns=0, end_ns=ms(2000.0))
+        assert meta.duration_ns == ms(2000.0)
+        assert meta.duration_s == pytest.approx(2.0)
+
+    def test_rejects_negative_span(self):
+        with pytest.raises(AnalysisError):
+            TraceMetadata("App", "s0", start_ns=100, end_ns=50)
+
+    def test_extra_metadata_is_copied(self):
+        extra = {"seed": "42"}
+        meta = TraceMetadata("App", "s0", 0, 100, extra=extra)
+        extra["seed"] = "mutated"
+        assert meta.extra["seed"] == "42"
+
+
+class TestTrace:
+    def test_extracts_episodes_from_gui_thread(self):
+        trace = make_trace([dispatch(0.0, 50.0), dispatch(100.0, 160.0)])
+        assert len(trace.episodes) == 2
+        assert trace.episodes[1].index == 1
+
+    def test_gc_roots_are_not_episodes(self):
+        trace = make_trace([dispatch(0.0, 50.0), gc_iv(60.0, 90.0)])
+        assert len(trace.episodes) == 1
+
+    def test_samples_attached_to_episodes(self):
+        trace = make_trace(
+            [dispatch(0.0, 50.0)],
+            samples=[gui_sample(10.0), gui_sample(70.0)],
+        )
+        assert len(trace.episodes[0].samples) == 1
+
+    def test_samples_sorted_on_construction(self):
+        trace = make_trace(
+            [dispatch(0.0, 50.0)],
+            samples=[gui_sample(30.0), gui_sample(10.0)],
+        )
+        times = [s.timestamp_ns for s in trace.samples]
+        assert times == sorted(times)
+
+    def test_perceptible_episodes(self):
+        trace = make_trace([dispatch(0.0, 50.0), dispatch(100.0, 250.0)])
+        assert len(trace.perceptible_episodes()) == 1
+        assert len(trace.perceptible_episodes(threshold_ms=40.0)) == 2
+
+    def test_in_episode_fraction(self):
+        trace = make_trace(
+            [dispatch(0.0, 100.0), dispatch(200.0, 300.0)], e2e_ms=1000.0
+        )
+        assert trace.in_episode_fraction() == pytest.approx(0.2)
+
+    def test_in_episode_fraction_empty_session(self):
+        meta = TraceMetadata("App", "s0", 0, 0)
+        trace = Trace(meta, {GUI: []})
+        assert trace.in_episode_fraction() == 0.0
+
+    def test_gc_intervals_found_at_any_depth(self):
+        nested_gc = gc_iv(10.0, 20.0)
+        root_gc = gc_iv(200.0, 230.0)
+        trace = make_trace(
+            [
+                dispatch(0.0, 50.0, [listener_iv("l", 5.0, 40.0, [nested_gc])]),
+                root_gc,
+            ]
+        )
+        assert trace.gc_intervals() == [nested_gc, root_gc]
+
+    def test_thread_names_gui_first(self):
+        trace = make_trace(
+            [dispatch(0.0, 10.0)],
+            extra_threads={"a-worker": [], "z-worker": []},
+        )
+        assert trace.thread_names[0] == GUI
+        assert set(trace.thread_names) == {GUI, "a-worker", "z-worker"}
+
+    def test_validate_accepts_good_trace(self):
+        make_trace(
+            [dispatch(0.0, 50.0)], samples=[gui_sample(10.0)]
+        ).validate()
+
+    def test_validate_rejects_overlapping_roots(self):
+        # Bypass the builder to create a corrupt trace.
+        trace = make_trace([dispatch(0.0, 50.0)])
+        trace.thread_roots[GUI].append(dispatch(40.0, 90.0))
+        with pytest.raises(AnalysisError, match="overlap"):
+            trace.validate()
+
+    def test_validate_rejects_episode_outside_session(self):
+        trace = make_trace([dispatch(0.0, 50.0)], e2e_ms=40.0)
+        with pytest.raises(AnalysisError, match="outside the session"):
+            trace.validate()
+
+    def test_short_episode_count_carried(self):
+        trace = make_trace([dispatch(0.0, 50.0)], short_count=12345)
+        assert trace.short_episode_count == 12345
+
+    def test_repr(self):
+        trace = make_trace([dispatch(0.0, 50.0)], short_count=7)
+        assert "1 episodes" in repr(trace)
+        assert "7 filtered" in repr(trace)
+
+
+class TestMergeThreadNames:
+    def test_gui_threads_first(self):
+        t1 = make_trace([dispatch(0.0, 10.0)], extra_threads={"worker": []})
+        names = merge_thread_names([t1])
+        assert names[0] == GUI
+        assert "worker" in names

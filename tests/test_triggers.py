@@ -1,0 +1,116 @@
+"""Unit tests for the trigger classification (Section IV-C)."""
+
+import pytest
+
+from repro.core.intervals import IntervalKind
+from repro.core.triggers import (
+    Trigger,
+    TriggerSummary,
+    classify_episode,
+    episodes_by_trigger,
+    summarize,
+)
+
+from helpers import (
+    dispatch,
+    episode,
+    gc_iv,
+    interval,
+    listener_iv,
+    paint_iv,
+    simple_episode,
+)
+
+
+def _async_iv(symbol, start, end, children=None):
+    return interval(IntervalKind.ASYNC, symbol, start, end, children)
+
+
+class TestClassifyEpisode:
+    def test_listener_means_input(self):
+        assert classify_episode(simple_episode()) is Trigger.INPUT
+
+    def test_paint_means_output(self):
+        ep = episode(dispatch(0.0, 10.0, [paint_iv("p", 0.0, 9.0)]))
+        assert classify_episode(ep) is Trigger.OUTPUT
+
+    def test_plain_async(self):
+        ep = episode(dispatch(0.0, 10.0, [_async_iv("a", 0.0, 9.0)]))
+        assert classify_episode(ep) is Trigger.ASYNC
+
+    def test_first_interval_decides(self):
+        # Pre-order traversal: the paint comes first even though a
+        # listener also appears later.
+        ep = episode(dispatch(0.0, 20.0, [
+            paint_iv("p", 0.0, 9.0),
+            listener_iv("l", 10.0, 19.0),
+        ]))
+        assert classify_episode(ep) is Trigger.OUTPUT
+
+    def test_no_trigger_children_is_unspecified(self):
+        assert classify_episode(episode(dispatch(0.0, 10.0))) is (
+            Trigger.UNSPECIFIED
+        )
+
+    def test_gc_only_is_unspecified(self):
+        # Arabeske's System.gc() episodes.
+        ep = episode(dispatch(0.0, 500.0, [gc_iv(10.0, 450.0)]))
+        assert classify_episode(ep) is Trigger.UNSPECIFIED
+
+    def test_native_only_is_unspecified(self):
+        ep = episode(dispatch(0.0, 10.0, [
+            interval(IntervalKind.NATIVE, "n", 0.0, 9.0)]))
+        assert classify_episode(ep) is Trigger.UNSPECIFIED
+
+    def test_repaint_manager_reclassification(self):
+        # Footnote 3: an async interval containing a paint interval is
+        # the Swing repaint manager, not true background activity.
+        ep = episode(dispatch(0.0, 50.0, [
+            _async_iv("RepaintManager.paintDirtyRegions", 0.0, 49.0,
+                      [paint_iv("JFrame.paint", 1.0, 48.0)])]))
+        assert classify_episode(ep) is Trigger.OUTPUT
+
+    def test_async_with_deep_paint_reclassified(self):
+        inner_paint = paint_iv("deep", 3.0, 4.0)
+        wrapper = listener_iv("l", 2.0, 8.0, [inner_paint])
+        ep = episode(dispatch(0.0, 50.0, [
+            _async_iv("a", 0.0, 49.0, [wrapper])]))
+        assert classify_episode(ep) is Trigger.OUTPUT
+
+    def test_async_without_paint_stays_async(self):
+        ep = episode(dispatch(0.0, 50.0, [
+            _async_iv("a", 0.0, 49.0, [listener_iv("l", 1.0, 2.0)])]))
+        assert classify_episode(ep) is Trigger.ASYNC
+
+
+class TestSummaries:
+    def _episodes(self):
+        return [
+            simple_episode(index=0),
+            simple_episode(index=1),
+            episode(dispatch(0.0, 10.0, [paint_iv("p", 0.0, 9.0)]), index=2),
+            episode(dispatch(0.0, 10.0), index=3),
+        ]
+
+    def test_summarize(self):
+        summary = summarize(self._episodes())
+        assert summary.counts[Trigger.INPUT] == 2
+        assert summary.counts[Trigger.OUTPUT] == 1
+        assert summary.counts[Trigger.UNSPECIFIED] == 1
+        assert summary.total == 4
+
+    def test_percentages(self):
+        summary = summarize(self._episodes())
+        pct = summary.percentages()
+        assert pct[Trigger.INPUT] == pytest.approx(50.0)
+        assert sum(pct.values()) == pytest.approx(100.0)
+
+    def test_empty(self):
+        summary = TriggerSummary({})
+        assert summary.total == 0
+        assert summary.fraction(Trigger.INPUT) == 0.0
+
+    def test_episodes_by_trigger(self):
+        eps = self._episodes()
+        assert len(episodes_by_trigger(eps, Trigger.INPUT)) == 2
+        assert episodes_by_trigger(eps, Trigger.ASYNC) == []

@@ -1,0 +1,66 @@
+"""Tests for the text pattern browser."""
+
+import pytest
+
+from repro.core.patterns import PatternTable
+from repro.viz.browser import render_episode_list, render_pattern_browser
+
+from helpers import dispatch, episode, gc_iv, simple_episode
+
+
+def _table():
+    episodes = []
+    for i in range(5):
+        episodes.append(simple_episode(lag_ms=150.0, symbol="a.Slow.m", index=i))
+    for i in range(3):
+        episodes.append(
+            simple_episode(lag_ms=10.0, symbol="b.Fast.m", index=5 + i)
+        )
+    episodes.append(
+        episode(dispatch(0.0, 400.0, [gc_iv(10.0, 380.0)]), index=8)
+    )
+    return PatternTable.from_episodes(episodes)
+
+
+class TestPatternBrowser:
+    def test_shows_lag_columns(self):
+        text = render_pattern_browser(_table())
+        assert "Min[ms]" in text
+        assert "Total[ms]" in text
+        assert "Slow.m" in text
+
+    def test_worst_pattern_first(self):
+        lines = render_pattern_browser(_table()).splitlines()
+        first_row = lines[2]
+        assert "Slow" in first_row
+
+    def test_perceptible_only_filter(self):
+        text = render_pattern_browser(_table(), perceptible_only=True)
+        assert "Fast" not in text
+        assert "Slow" in text
+
+    def test_limit_with_footer(self):
+        text = render_pattern_browser(_table(), limit=1)
+        assert "more patterns" in text
+
+    def test_gc_only_pattern_labeled(self):
+        text = render_pattern_browser(_table())
+        assert "gc:" in text or "(gc only)" in text
+
+    def test_occurrence_column(self):
+        text = render_pattern_browser(_table())
+        assert "always" in text
+        assert "never" in text
+
+
+class TestEpisodeList:
+    def test_lists_lags(self):
+        pattern = _table().rows()[0]
+        text = render_episode_list(pattern)
+        assert "150.0" in text
+        assert "yes" in text
+
+    def test_limit_footer(self):
+        pattern = _table().rows()[0]
+        text = render_episode_list(pattern, limit=2)
+        assert "more episodes" in text

@@ -1,0 +1,84 @@
+"""Tests for the chart renderers."""
+
+import pytest
+
+from repro.viz.charts import (
+    render_cdf_chart,
+    render_dot_chart,
+    render_stacked_bars,
+)
+from repro.viz.colors import TRIGGER_COLORS
+
+
+class TestStackedBars:
+    def _data(self):
+        return {
+            "AppA": {"input": 50.0, "output": 30.0,
+                     "asynchronous": 10.0, "unspecified": 10.0},
+            "AppB": {"input": 10.0, "output": 80.0,
+                     "asynchronous": 5.0, "unspecified": 5.0},
+        }
+
+    def test_renders_rows_and_legend(self):
+        text = render_stacked_bars(
+            self._data(), TRIGGER_COLORS, "Triggers"
+        ).to_string()
+        assert "AppA" in text and "AppB" in text
+        for category in TRIGGER_COLORS:
+            assert category in text
+
+    def test_tooltips_contain_values(self):
+        text = render_stacked_bars(
+            self._data(), TRIGGER_COLORS, "Triggers"
+        ).to_string()
+        assert "AppA: input 50.0%" in text
+
+    def test_zero_segments_skipped(self):
+        data = {"App": {"input": 100.0, "output": 0.0,
+                        "asynchronous": 0.0, "unspecified": 0.0}}
+        text = render_stacked_bars(data, TRIGGER_COLORS, "t").to_string()
+        assert "App: output" not in text
+
+    def test_custom_axis_maximum(self):
+        text = render_stacked_bars(
+            self._data(), TRIGGER_COLORS, "t", x_max=60.0
+        ).to_string()
+        assert ">60<" in text  # the rightmost tick label
+
+
+class TestDotChart:
+    def test_values_and_reference_line(self):
+        data = {"AppA": 1.2, "AppB": 0.8}
+        text = render_dot_chart(data, "Concurrency").to_string()
+        assert "AppA: 1.20" in text
+        assert "stroke-dasharray" in text  # the reference guide at 1.0
+
+    def test_without_reference(self):
+        text = render_dot_chart(
+            {"A": 0.5}, "t", reference=None
+        ).to_string()
+        assert "stroke-dasharray" not in text
+
+    def test_values_clamped_to_max(self):
+        doc = render_dot_chart({"A": 99.0}, "t", x_max=2.0)
+        assert "A: 99.00" in doc.to_string()
+
+
+class TestCdfChart:
+    def test_renders_curves_and_legend(self):
+        curves = {
+            "AppA": [i for i in range(101)],
+            "AppB": [min(100, 2 * i) for i in range(101)],
+        }
+        text = render_cdf_chart(curves).to_string()
+        assert "AppA" in text and "AppB" in text
+        assert text.count("<polyline") == 2
+
+    def test_axis_labels(self):
+        text = render_cdf_chart({"A": [0.0] * 101}).to_string()
+        assert "Patterns [%]" in text
+        assert "Cumulative Episodes Count [%]" in text
+
+    def test_empty_curves(self):
+        text = render_cdf_chart({}).to_string()
+        assert "<svg" in text

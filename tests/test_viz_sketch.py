@@ -1,0 +1,80 @@
+"""Tests for the episode-sketch renderer."""
+
+import pytest
+
+from repro.core.samples import ThreadState
+from repro.viz.colors import INTERVAL_COLORS, STATE_COLORS
+from repro.core.intervals import IntervalKind
+from repro.viz.sketch import render_episode_sketch
+
+from helpers import (
+    dispatch,
+    episode,
+    gc_iv,
+    gui_sample,
+    listener_iv,
+    paint_iv,
+)
+
+
+def _figure1_like_episode():
+    gc = gc_iv(400.0, 800.0, symbol="GC.major")
+    native = paint_iv("javax.swing.JToolBar.paint", 300.0, 1300.0, [gc])
+    layered = paint_iv("javax.swing.JLayeredPane.paint", 150.0, 1500.0, [native])
+    frame = paint_iv("javax.swing.JFrame.paint", 100.0, 1600.0, [layered])
+    samples = [
+        gui_sample(150.0),
+        gui_sample(250.0, state=ThreadState.BLOCKED),
+        gui_sample(1400.0),
+    ]
+    return episode(dispatch(0.0, 1705.0, [frame]), samples=samples)
+
+
+class TestEpisodeSketch:
+    def test_renders_all_intervals(self):
+        doc = render_episode_sketch(_figure1_like_episode())
+        text = doc.to_string()
+        for symbol in ("JFrame.paint", "JLayeredPane.paint", "JToolBar.paint"):
+            assert symbol in text
+
+    def test_colors_by_kind(self):
+        text = render_episode_sketch(_figure1_like_episode()).to_string()
+        assert INTERVAL_COLORS[IntervalKind.PAINT] in text
+        assert INTERVAL_COLORS[IntervalKind.GC] in text
+        assert INTERVAL_COLORS[IntervalKind.DISPATCH] in text
+
+    def test_sample_dots_colored_by_state(self):
+        text = render_episode_sketch(_figure1_like_episode()).to_string()
+        assert STATE_COLORS[ThreadState.RUNNABLE] in text
+        assert STATE_COLORS[ThreadState.BLOCKED] in text
+
+    def test_sample_tooltip_contains_stack(self):
+        text = render_episode_sketch(_figure1_like_episode()).to_string()
+        assert "com.example.app.Editor.update" in text
+
+    def test_default_title_has_lag(self):
+        text = render_episode_sketch(_figure1_like_episode()).to_string()
+        assert "1705 ms" in text
+
+    def test_custom_title(self):
+        doc = render_episode_sketch(
+            _figure1_like_episode(), title="My episode"
+        )
+        assert "My episode" in doc.to_string()
+
+    def test_time_axis_labels(self):
+        text = render_episode_sketch(_figure1_like_episode()).to_string()
+        assert "0 ms" in text
+        assert "1705 ms" in text
+
+    def test_height_grows_with_depth(self):
+        shallow = episode(dispatch(0.0, 100.0))
+        deep = _figure1_like_episode()
+        assert render_episode_sketch(deep).height > (
+            render_episode_sketch(shallow).height
+        )
+
+    def test_episode_without_samples(self):
+        ep = episode(dispatch(0.0, 100.0, [listener_iv("l", 0.0, 99.0)]))
+        text = render_episode_sketch(ep).to_string()
+        assert "<svg" in text

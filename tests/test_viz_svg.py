@@ -1,0 +1,82 @@
+"""Unit tests for the SVG builder."""
+
+import pytest
+
+from repro.viz.svg import SvgDocument
+
+
+class TestSvgDocument:
+    def test_document_shell(self):
+        doc = SvgDocument(200, 100)
+        text = doc.to_string()
+        assert text.startswith("<svg ")
+        assert text.endswith("</svg>")
+        assert 'width="200"' in text
+        assert 'viewBox="0 0 200 100"' in text
+
+    def test_background_rect(self):
+        doc = SvgDocument(10, 10, background="#123456")
+        assert 'fill="#123456"' in doc.to_string()
+        assert len(doc) == 1
+
+    def test_no_background(self):
+        doc = SvgDocument(10, 10, background=None)
+        assert len(doc) == 0
+
+    def test_rect_with_title(self):
+        doc = SvgDocument(10, 10, background=None)
+        doc.rect(1, 2, 3, 4, fill="#fff", title="hover me")
+        assert "<title>hover me</title>" in doc.to_string()
+
+    def test_text_escaping(self):
+        doc = SvgDocument(10, 10, background=None)
+        doc.text(0, 0, "<evil> & 'friends'")
+        text = doc.to_string()
+        assert "<evil>" not in text
+        assert "&lt;evil&gt;" in text
+        assert "&amp;" in text
+
+    def test_attribute_escaping(self):
+        doc = SvgDocument(10, 10, background=None)
+        doc.rect(0, 0, 5, 5, title='quote " inside')
+        assert 'quote " inside' in doc.to_string().replace("&quot;", '"')
+
+    def test_negative_size_clamped(self):
+        doc = SvgDocument(10, 10, background=None)
+        doc.rect(0, 0, -5, -5)
+        assert 'width="0"' in doc.to_string()
+
+    def test_polyline_points(self):
+        doc = SvgDocument(10, 10, background=None)
+        doc.polyline([(0, 0), (5.5, 2.25)])
+        assert 'points="0,0 5.5,2.25"' in doc.to_string()
+
+    def test_rotated_text(self):
+        doc = SvgDocument(10, 10, background=None)
+        doc.text(5, 5, "vertical", rotate=-90.0)
+        assert "rotate(-90 5 5)" in doc.to_string()
+
+    def test_line_dash(self):
+        doc = SvgDocument(10, 10, background=None)
+        doc.line(0, 0, 10, 10, dash="4,3")
+        assert 'stroke-dasharray="4,3"' in doc.to_string()
+
+    def test_circle_title(self):
+        doc = SvgDocument(10, 10, background=None)
+        doc.circle(5, 5, 2, title="sample")
+        assert "<title>sample</title>" in doc.to_string()
+
+    def test_save(self, tmp_path):
+        doc = SvgDocument(10, 10)
+        path = doc.save(tmp_path / "sub" / "out.svg")
+        assert path.exists()
+        assert path.read_text().startswith("<svg")
+
+    def test_deterministic_output(self):
+        def build():
+            doc = SvgDocument(20, 20)
+            doc.rect(1, 1, 5, 5, fill="#abc")
+            doc.text(2, 2, "hi")
+            return doc.to_string()
+
+        assert build() == build()

@@ -1,0 +1,57 @@
+"""Tests for the session-timeline renderer."""
+
+import pytest
+
+from repro.viz.timeline import render_session_timeline
+
+from helpers import dispatch, gc_iv, listener_iv, make_trace
+
+
+def _trace():
+    roots = [
+        dispatch(100.0, 150.0, [listener_iv("a.A.m", 100.0, 149.0)]),
+        dispatch(2000.0, 2400.0, [listener_iv("b.B.m", 2000.0, 2399.0)]),
+        gc_iv(5000.0, 5300.0, symbol="GC.major"),
+        dispatch(8000.0, 8010.0, [listener_iv("a.A.m", 8000.0, 8009.0)]),
+    ]
+    return make_trace(roots, e2e_ms=10_000.0)
+
+
+class TestSessionTimeline:
+    def test_header_counts(self):
+        text = render_session_timeline(_trace()).to_string()
+        assert "3 episodes" in text
+        assert "1 perceptible" in text
+
+    def test_episode_tooltips(self):
+        text = render_session_timeline(_trace()).to_string()
+        assert "episode #1: 400.0 ms" in text
+
+    def test_perceptible_colored_differently(self):
+        text = render_session_timeline(_trace()).to_string()
+        assert "#c62828" in text  # perceptible
+        assert "#7f9fc4" in text  # fast
+
+    def test_threshold_guide(self):
+        text = render_session_timeline(_trace()).to_string()
+        assert "100 ms" in text
+        assert "stroke-dasharray" in text
+
+    def test_gc_marks(self):
+        text = render_session_timeline(_trace()).to_string()
+        assert "GC.major: 300 ms" in text
+
+    def test_custom_threshold_changes_counts(self):
+        text = render_session_timeline(
+            _trace(), threshold_ms=20.0
+        ).to_string()
+        assert "2 perceptible" in text
+
+    def test_empty_session(self):
+        trace = make_trace([], e2e_ms=1000.0)
+        text = render_session_timeline(trace).to_string()
+        assert "0 episodes" in text
+
+    def test_save(self, tmp_path):
+        path = render_session_timeline(_trace()).save(tmp_path / "t.svg")
+        assert path.exists()

@@ -1,0 +1,219 @@
+"""Unit tests for behaviour steps and the execution context."""
+
+import pytest
+
+from repro.core.intervals import IntervalKind, NS_PER_MS
+from repro.core.samples import ThreadState
+from repro.vm.behavior import (
+    Behavior,
+    Block,
+    Compute,
+    ExecutionContext,
+    ExplicitGc,
+    NativeCall,
+    Paint,
+    Sleep,
+    Wait,
+    async_dispatch,
+    edt_stack,
+    java_stack,
+    listener,
+    native_stack,
+)
+from repro.vm.clock import VirtualClock
+from repro.vm.components import Component
+from repro.vm.heap import Heap, HeapConfig
+from repro.vm.rng import RngStream
+from repro.vm.threads import ThreadTimeline
+from repro.vm.tracer import TraceCollector
+
+GUI = "AWT-EventQueue-0"
+
+
+def make_ctx(young_mb=1024, filter_ms=3.0):
+    clock = VirtualClock()
+    rng = RngStream(5)
+    heap = Heap(
+        HeapConfig(
+            young_capacity_bytes=young_mb * 1024 * 1024, pause_jitter=0.0
+        ),
+        rng.fork("heap"),
+    )
+    tracer = TraceCollector(GUI, filter_ms=filter_ms, rng=rng.fork("tracer"))
+    timeline = ThreadTimeline(GUI)
+    return ExecutionContext(clock, rng.fork("exec"), heap, tracer, timeline)
+
+
+def run_episode(ctx, behavior):
+    ctx.tracer.begin_episode(ctx.clock.now_ns)
+    behavior.execute(ctx)
+    return ctx.tracer.end_episode(ctx.clock.now_ns)
+
+
+class TestStacks:
+    def test_edt_stack_has_plumbing(self):
+        stack = java_stack("org.app.Model", "update")
+        assert stack.leaf.class_name == "org.app.Model"
+        assert stack.frames[-1].class_name == "java.awt.EventDispatchThread"
+
+    def test_native_stack_leaf_is_native(self):
+        assert native_stack("sun.x.Y", "n").in_native()
+
+
+class TestComputeAndStates:
+    def test_compute_advances_clock_and_records_runnable(self):
+        ctx = make_ctx()
+        stack = java_stack("org.app.A", "m")
+        root = run_episode(
+            ctx, Behavior([Compute(20.0, stack, sigma=0.0)])
+        )
+        assert root.duration_ms == pytest.approx(20.0)
+        state, seen = ctx.edt_timeline.at(10 * NS_PER_MS)
+        assert state is ThreadState.RUNNABLE
+        assert seen is stack
+
+    def test_sleep_wait_block_states(self):
+        for step_cls, expected in (
+            (Sleep, ThreadState.SLEEPING),
+            (Wait, ThreadState.WAITING),
+            (Block, ThreadState.BLOCKED),
+        ):
+            ctx = make_ctx()
+            stack = java_stack("org.app.A", "m")
+            run_episode(ctx, Behavior([step_cls(10.0, stack, sigma=0.0)]))
+            assert ctx.edt_timeline.at(5 * NS_PER_MS)[0] is expected
+
+    def test_zero_duration_compute(self):
+        # A zero-length episode is filtered by the tracer, so use a
+        # zero filter to observe it.
+        ctx = make_ctx(filter_ms=0.0)
+        root = run_episode(
+            ctx, Behavior([Compute(0.0, java_stack("a.B", "m"), sigma=0.0)])
+        )
+        assert root.duration_ns == 0
+
+
+class TestIntervalSteps:
+    def test_enclose_produces_listener_interval(self):
+        ctx = make_ctx()
+        body = [Compute(10.0, java_stack("a.B", "m"), sigma=0.0)]
+        root = run_episode(ctx, Behavior([listener("a.Click.run", body)]))
+        child = root.children[0]
+        assert child.kind is IntervalKind.LISTENER
+        assert child.symbol == "a.Click.run"
+        assert child.duration_ms == pytest.approx(10.0)
+
+    def test_async_dispatch_interval(self):
+        ctx = make_ctx(filter_ms=0.0)
+        root = run_episode(
+            ctx, Behavior([async_dispatch("a.Update.run", [])])
+        )
+        assert root.children[0].kind is IntervalKind.ASYNC
+
+    def test_native_call_interval_and_body(self):
+        ctx = make_ctx()
+        step = NativeCall(
+            "sun.x.Y.n", 5.0, native_stack("sun.x.Y", "n"), sigma=0.0,
+            body=[Compute(3.0, java_stack("a.B", "m"), sigma=0.0)],
+        )
+        root = run_episode(ctx, Behavior([step]))
+        native = root.children[0]
+        assert native.kind is IntervalKind.NATIVE
+        assert native.duration_ms == pytest.approx(8.0)
+
+    def test_paint_cascade_structure(self):
+        leaf = Component("org.app.Leaf", self_paint_ms=2.0)
+        window = Component("javax.swing.JFrame", [leaf], self_paint_ms=1.0)
+        ctx = make_ctx()
+        root = run_episode(ctx, Behavior([Paint(window, sigma=0.0)]))
+        frame_iv = root.children[0]
+        assert frame_iv.kind is IntervalKind.PAINT
+        assert frame_iv.symbol == "javax.swing.JFrame.paint"
+        assert frame_iv.children[0].symbol == "org.app.Leaf.paint"
+        root.validate()
+
+    def test_paint_max_depth_prunes(self):
+        leaf = Component("org.app.Leaf")
+        mid = Component("org.app.Mid", [leaf])
+        window = Component("javax.swing.JFrame", [mid])
+        ctx = make_ctx(filter_ms=0.0)
+        root = run_episode(
+            ctx, Behavior([Paint(window, sigma=0.0, max_depth=2)])
+        )
+        assert root.descendant_count() == 2  # frame + mid, leaf pruned
+
+    def test_paint_scale_multiplies_cost(self):
+        window = Component("javax.swing.JFrame", self_paint_ms=10.0)
+        ctx = make_ctx()
+        root = run_episode(ctx, Behavior([Paint(window, scale=3.0, sigma=0.0)]))
+        assert root.duration_ms == pytest.approx(30.0)
+
+    def test_paint_library_split_changes_sampled_stacks(self):
+        window = Component("org.app.Canvas", self_paint_ms=10.0)
+        ctx = make_ctx()
+        run_episode(ctx, Behavior([Paint(window, sigma=0.0, library_split=0.5)]))
+        own_stack = ctx.edt_timeline.at(2 * NS_PER_MS)[1]
+        toolkit_stack = ctx.edt_timeline.at(8 * NS_PER_MS)[1]
+        assert own_stack.leaf.class_name == "org.app.Canvas"
+        assert toolkit_stack.leaf.class_name == "sun.java2d.SunGraphics2D"
+
+
+class TestGcMechanics:
+    def test_allocation_triggers_gc_inside_open_interval(self):
+        # Young gen of 1 MB, allocating 100 KB/ms for 20 ms -> the GC
+        # must land inside the native interval that was open.
+        ctx = make_ctx(young_mb=1)
+        step = NativeCall(
+            "sun.x.Y.n", 20.0, native_stack("sun.x.Y", "n"), sigma=0.0,
+            alloc_bytes_per_ms=100 * 1024,
+        )
+        root = run_episode(ctx, Behavior([step]))
+        native = root.children[0]
+        gcs = [c for c in native.children if c.kind is IntervalKind.GC]
+        assert gcs, "expected a GC nested in the native call"
+        assert root.duration_ms > 20.0  # the pause extended the episode
+        root.validate()
+
+    def test_gc_creates_blackout(self):
+        ctx = make_ctx(young_mb=1)
+        run_episode(
+            ctx,
+            Behavior([
+                Compute(
+                    20.0, java_stack("a.B", "m"), sigma=0.0,
+                    alloc_bytes_per_ms=100 * 1024,
+                )
+            ]),
+        )
+        assert ctx.tracer.merged_blackouts()
+
+    def test_explicit_gc_step(self):
+        ctx = make_ctx()
+        root = run_episode(ctx, Behavior([ExplicitGc()]))
+        gcs = [c for c in root.children if c.kind is IntervalKind.GC]
+        assert len(gcs) == 1
+        assert gcs[0].symbol == "GC.major"
+        assert ctx.heap.major_count == 1
+
+    def test_no_allocation_no_gc(self):
+        ctx = make_ctx(young_mb=1)
+        run_episode(
+            ctx,
+            Behavior([Compute(50.0, java_stack("a.B", "m"), sigma=0.0,
+                              alloc_bytes_per_ms=0)]),
+        )
+        assert ctx.heap.minor_count == 0
+
+
+class TestDrawMs:
+    def test_sigma_zero_is_deterministic(self):
+        ctx = make_ctx()
+        assert ctx.draw_ms(25.0, 0.0) == 25.0
+
+    def test_nonpositive_median_is_zero(self):
+        ctx = make_ctx()
+        assert ctx.draw_ms(0.0, 0.5) == 0.0
+
+    def test_lognormal_positive(self):
+        ctx = make_ctx()
+        assert all(ctx.draw_ms(10.0, 0.6) > 0 for _ in range(100))

@@ -1,0 +1,102 @@
+"""Unit tests for the virtual clock and deterministic RNG streams."""
+
+import pytest
+
+from repro.core.errors import SimulationError
+from repro.vm.clock import VirtualClock
+from repro.vm.rng import RngStream
+
+
+class TestVirtualClock:
+    def test_starts_at_zero(self):
+        assert VirtualClock().now_ns == 0
+
+    def test_advance_ns(self):
+        clock = VirtualClock()
+        assert clock.advance_ns(1500) == 1500
+        assert clock.now_ns == 1500
+
+    def test_advance_ms(self):
+        clock = VirtualClock()
+        clock.advance_ms(2.5)
+        assert clock.now_ns == 2_500_000
+        assert clock.now_ms == pytest.approx(2.5)
+
+    def test_advance_to_future_only(self):
+        clock = VirtualClock(1000)
+        clock.advance_to(5000)
+        assert clock.now_ns == 5000
+        clock.advance_to(100)  # in the past: no-op
+        assert clock.now_ns == 5000
+
+    def test_rejects_backwards(self):
+        with pytest.raises(SimulationError):
+            VirtualClock().advance_ns(-1)
+
+
+class TestRngStream:
+    def test_same_seed_same_sequence(self):
+        a = RngStream(42)
+        b = RngStream(42)
+        assert [a.random() for _ in range(5)] == [b.random() for _ in range(5)]
+
+    def test_forks_are_independent_of_parent_consumption(self):
+        a = RngStream(42)
+        fork_before = a.fork("child")
+        a.random()  # consume from the parent
+        fork_after = RngStream(42).fork("child")
+        assert fork_before.random() == fork_after.random()
+
+    def test_sibling_forks_differ(self):
+        root = RngStream(42)
+        assert root.fork("a").random() != root.fork("b").random()
+
+    def test_lognormal_median(self):
+        rng = RngStream(7)
+        draws = sorted(rng.lognormal_ms(50.0, 0.5) for _ in range(2001))
+        assert draws[1000] == pytest.approx(50.0, rel=0.15)
+        assert all(d > 0 for d in draws)
+
+    def test_exponential_mean(self):
+        rng = RngStream(7)
+        draws = [rng.exponential_ms(20.0) for _ in range(5000)]
+        assert sum(draws) / len(draws) == pytest.approx(20.0, rel=0.1)
+
+    def test_exponential_zero_mean(self):
+        assert RngStream(1).exponential_ms(0.0) == 0.0
+
+    def test_poisson_small_mean(self):
+        rng = RngStream(7)
+        draws = [rng.poisson(3.0) for _ in range(5000)]
+        assert sum(draws) / len(draws) == pytest.approx(3.0, rel=0.1)
+
+    def test_poisson_large_mean_uses_normal_approx(self):
+        rng = RngStream(7)
+        draws = [rng.poisson(10_000.0) for _ in range(200)]
+        assert sum(draws) / len(draws) == pytest.approx(10_000.0, rel=0.05)
+        assert all(isinstance(d, int) and d >= 0 for d in draws)
+
+    def test_poisson_zero(self):
+        assert RngStream(1).poisson(0.0) == 0
+
+    def test_zipf_weights(self):
+        weights = RngStream(1).zipf_weights(5, exponent=1.0)
+        assert weights[0] == pytest.approx(1.0)
+        assert weights == sorted(weights, reverse=True)
+        assert weights[4] == pytest.approx(0.2)
+
+    def test_chance_extremes(self):
+        rng = RngStream(3)
+        assert not any(rng.chance(0.0) for _ in range(100))
+        assert all(rng.chance(1.0) for _ in range(100))
+
+    def test_weighted_choice_respects_weights(self):
+        rng = RngStream(3)
+        picks = [
+            rng.weighted_choice(("a", "b"), (0.99, 0.01)) for _ in range(500)
+        ]
+        assert picks.count("a") > 400
+
+    def test_jitter_ns_non_negative(self):
+        rng = RngStream(3)
+        assert all(rng.jitter_ns(100, 1.5) >= 0 for _ in range(200))

@@ -1,0 +1,79 @@
+"""Unit tests for the Swing-like component tree."""
+
+import pytest
+
+from repro.vm.components import Component, component_tree
+
+
+class TestComponent:
+    def test_paint_symbol(self):
+        assert Component("javax.swing.JFrame").paint_symbol == (
+            "javax.swing.JFrame.paint"
+        )
+
+    def test_walk_preorder(self):
+        leaf = Component("pkg.Leaf")
+        mid = Component("pkg.Mid", [leaf])
+        root = Component("pkg.Root", [mid])
+        assert [c.class_name for c in root.walk()] == [
+            "pkg.Root", "pkg.Mid", "pkg.Leaf",
+        ]
+
+    def test_size_and_depth(self):
+        leaf_a = Component("pkg.A")
+        leaf_b = Component("pkg.B")
+        root = Component("pkg.Root", [Component("pkg.Mid", [leaf_a]), leaf_b])
+        assert root.size() == 4
+        assert root.depth() == 3
+        assert leaf_a.depth() == 1
+
+    def test_total_paint_ms(self):
+        root = Component(
+            "pkg.Root",
+            [Component("pkg.A", self_paint_ms=2.0)],
+            self_paint_ms=1.0,
+        )
+        assert root.total_paint_ms() == pytest.approx(3.0)
+
+
+class TestComponentTree:
+    def test_swing_chrome_wraps_content(self):
+        window = component_tree("org.app", ("Canvas",), depth=1, fanout=1)
+        names = [c.class_name for c in window.walk()]
+        assert names[:3] == [
+            "javax.swing.JFrame",
+            "javax.swing.JRootPane",
+            "javax.swing.JLayeredPane",
+        ]
+        assert names[3] == "org.app.Canvas"
+
+    def test_depth_and_fanout(self):
+        window = component_tree("org.app", ("A", "B"), depth=2, fanout=2)
+        # chrome(3) + content 1 + 2 = 6
+        assert window.size() == 6
+        assert window.depth() == 5
+
+    def test_fanout_levels_limits_blowup(self):
+        window = component_tree(
+            "org.app", ("A",), depth=8, fanout=2, fanout_levels=2
+        )
+        # Content: 1 + 2 + 4 nodes at levels 1-3, then 4 chains of 5.
+        assert window.size() == 3 + 1 + 2 + 4 + 4 * 5
+        assert window.depth() == 3 + 8
+
+    def test_content_classes_cycle(self):
+        window = component_tree("org.app", ("A", "B"), depth=1, fanout=1)
+        content = [
+            c.class_name for c in window.walk()
+            if c.class_name.startswith("org.app.")
+        ]
+        assert content == ["org.app.A"]
+
+    def test_paint_cost_propagated(self):
+        window = component_tree(
+            "org.app", ("A",), depth=1, fanout=1, self_paint_ms=7.0
+        )
+        content = [
+            c for c in window.walk() if c.class_name.startswith("org.app.")
+        ]
+        assert all(c.self_paint_ms == 7.0 for c in content)

@@ -1,0 +1,94 @@
+"""Unit tests for the allocation-driven GC model."""
+
+import pytest
+
+from repro.core.errors import SimulationError
+from repro.vm.heap import GcRequest, Heap, HeapConfig
+from repro.vm.rng import RngStream
+
+
+def _heap(young=1000, old=10_000, promote=0.1, jitter=0.0):
+    config = HeapConfig(
+        young_capacity_bytes=young,
+        old_capacity_bytes=old,
+        promotion_fraction=promote,
+        pause_jitter=jitter,
+    )
+    return Heap(config, RngStream(1))
+
+
+class TestHeapConfig:
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(SimulationError):
+            HeapConfig(young_capacity_bytes=0).validate()
+
+    def test_rejects_bad_promotion(self):
+        with pytest.raises(SimulationError):
+            HeapConfig(promotion_fraction=1.5).validate()
+
+
+class TestHeap:
+    def test_no_gc_under_capacity(self):
+        heap = _heap()
+        assert heap.allocate(999) is None
+
+    def test_minor_gc_when_young_fills(self):
+        heap = _heap()
+        request = heap.allocate(1000)
+        assert request is not None
+        assert not request.major
+        assert request.symbol == "GC.minor"
+
+    def test_collected_resets_young_and_promotes(self):
+        heap = _heap()
+        request = heap.allocate(1000)
+        heap.collected(request)
+        assert heap.young_used == 0
+        assert heap.old_used == 100  # 10% of 1000 promoted
+        assert heap.minor_count == 1
+
+    def test_major_gc_when_old_fills(self):
+        heap = _heap(young=1000, old=250, promote=1.0)
+        heap.collected(heap.allocate(1000))  # promotes 1000 -> old full
+        request = heap.allocate(1)
+        assert request is not None and request.major
+
+    def test_major_collect_resets_everything(self):
+        heap = _heap(young=1000, old=250, promote=1.0)
+        heap.collected(heap.allocate(1000))
+        request = heap.allocate(1)
+        heap.collected(request)
+        assert heap.old_used == 0
+        assert heap.young_used == 0
+        assert heap.major_count == 1
+
+    def test_explicit_gc_is_major(self):
+        request = _heap().explicit_gc()
+        assert request.major
+        assert request.symbol == "GC.major"
+
+    def test_pause_durations(self):
+        heap = _heap()
+        minor = heap.allocate(1000)
+        assert minor.pause_ms == pytest.approx(heap.config.minor_pause_ms)
+        major = heap.explicit_gc()
+        assert major.pause_ms == pytest.approx(heap.config.major_pause_ms)
+
+    def test_pause_jitter_spread(self):
+        config = HeapConfig(pause_jitter=0.5)
+        heap = Heap(config, RngStream(1))
+        pauses = {heap.explicit_gc().pause_ms for _ in range(20)}
+        assert len(pauses) > 1
+        base = config.major_pause_ms
+        assert all(0.5 * base <= p <= 1.5 * base for p in pauses)
+
+    def test_rejects_negative_allocation(self):
+        with pytest.raises(SimulationError):
+            _heap().allocate(-1)
+
+    def test_allocation_accumulates(self):
+        heap = _heap()
+        heap.allocate(400)
+        heap.allocate(400)
+        assert heap.young_used == 800
+        assert heap.allocate(400) is not None

@@ -1,0 +1,145 @@
+"""Integration tests for the simulated JVM."""
+
+import pytest
+
+from repro.core.errors import SimulationError
+from repro.core.intervals import IntervalKind, NS_PER_MS, NS_PER_S
+from repro.core.samples import ThreadState
+from repro.vm.behavior import Behavior, Compute, java_stack, listener
+from repro.vm.heap import HeapConfig
+from repro.vm.jvm import (
+    DEFAULT_DAEMONS,
+    MicroBurst,
+    PostedEvent,
+    SessionConfig,
+    SimulatedJVM,
+)
+from repro.vm.threads import ThreadTimeline
+
+
+def make_config(duration_s=2.0, **kwargs):
+    return SessionConfig(
+        application="TestApp",
+        session_id="s0",
+        seed=77,
+        duration_s=duration_s,
+        **kwargs,
+    )
+
+
+def click_behavior(duration_ms=20.0):
+    return Behavior(
+        [
+            listener(
+                "app.Click.actionPerformed",
+                [Compute(duration_ms, java_stack("app.Model", "update"),
+                         sigma=0.0)],
+            )
+        ]
+    )
+
+
+class TestSessionConfig:
+    def test_rejects_bad_duration(self):
+        with pytest.raises(SimulationError):
+            make_config(duration_s=0.0).validate()
+
+    def test_rejects_negative_filter(self):
+        with pytest.raises(SimulationError):
+            make_config(filter_ms=-1.0).validate()
+
+
+class TestSimulatedJVM:
+    def test_events_become_episodes(self):
+        jvm = SimulatedJVM(make_config())
+        trace = jvm.run([
+            PostedEvent(0, click_behavior()),
+            PostedEvent(NS_PER_S, click_behavior()),
+        ])
+        assert len(trace.episodes) == 2
+        trace.validate()
+
+    def test_busy_edt_delays_next_event(self):
+        jvm = SimulatedJVM(make_config())
+        trace = jvm.run([
+            PostedEvent(0, click_behavior(duration_ms=100.0)),
+            PostedEvent(10 * NS_PER_MS, click_behavior()),
+        ])
+        first, second = trace.episodes
+        assert second.start_ns >= first.end_ns
+
+    def test_events_after_session_end_dropped(self):
+        jvm = SimulatedJVM(make_config(duration_s=1.0))
+        trace = jvm.run([
+            PostedEvent(0, click_behavior()),
+            PostedEvent(5 * NS_PER_S, click_behavior()),
+        ])
+        assert len(trace.episodes) == 1
+
+    def test_micro_bursts_counted_not_materialized(self):
+        jvm = SimulatedJVM(make_config())
+        trace = jvm.run([MicroBurst(0, count=1234, alloc_bytes=0)])
+        assert trace.short_episode_count == 1234
+        assert trace.episodes == []
+
+    def test_micro_burst_allocation_can_trigger_root_gc(self):
+        config = make_config(
+            heap=HeapConfig(
+                young_capacity_bytes=1024, pause_jitter=0.0
+            ),
+        )
+        jvm = SimulatedJVM(config)
+        trace = jvm.run([MicroBurst(0, count=10, alloc_bytes=4096)])
+        gui_roots = trace.thread_roots[trace.gui_thread]
+        assert any(r.kind is IntervalKind.GC for r in gui_roots)
+
+    def test_default_daemons_present(self):
+        jvm = SimulatedJVM(make_config())
+        trace = jvm.run([PostedEvent(0, click_behavior())])
+        for daemon in DEFAULT_DAEMONS:
+            assert daemon in trace.thread_roots
+
+    def test_background_timeline_sampled(self):
+        jvm = SimulatedJVM(make_config())
+        worker = ThreadTimeline("worker")
+        worker.record(
+            0, 2 * NS_PER_S, ThreadState.RUNNABLE,
+            java_stack("app.Loader", "run"),
+        )
+        jvm.add_background_timeline(worker)
+        trace = jvm.run([PostedEvent(0, click_behavior(duration_ms=100.0))])
+        sample = trace.episodes[0].samples[0]
+        assert sample.thread("worker").state is ThreadState.RUNNABLE
+
+    def test_cannot_add_gui_timeline(self):
+        jvm = SimulatedJVM(make_config())
+        with pytest.raises(SimulationError):
+            jvm.add_background_timeline(ThreadTimeline("AWT-EventQueue-0"))
+
+    def test_metadata_and_determinism(self):
+        def run():
+            jvm = SimulatedJVM(make_config())
+            return jvm.run([PostedEvent(0, click_behavior(50.0))])
+
+        a, b = run(), run()
+        assert a.metadata.application == "TestApp"
+        assert a.metadata.extra["seed"] == "77"
+        assert a.metadata.end_ns == b.metadata.end_ns
+        assert len(a.samples) == len(b.samples)
+        assert [s.timestamp_ns for s in a.samples] == [
+            s.timestamp_ns for s in b.samples
+        ]
+
+    def test_session_duration_respected(self):
+        jvm = SimulatedJVM(make_config(duration_s=3.0))
+        trace = jvm.run([])
+        assert trace.metadata.duration_s == pytest.approx(3.0)
+
+    def test_unsorted_events_processed_in_time_order(self):
+        jvm = SimulatedJVM(make_config())
+        trace = jvm.run([
+            PostedEvent(NS_PER_S, click_behavior(30.0)),
+            PostedEvent(0, click_behavior(20.0)),
+        ])
+        assert trace.episodes[0].start_ns < trace.episodes[1].start_ns
+        assert trace.episodes[0].duration_ms == pytest.approx(20.0)

@@ -1,0 +1,91 @@
+"""Unit tests for the JVMTI-like sampler."""
+
+import pytest
+
+from repro.core.intervals import NS_PER_MS
+from repro.core.samples import StackFrame, StackTrace, ThreadState
+from repro.vm.rng import RngStream
+from repro.vm.sampler import Sampler
+from repro.vm.threads import ThreadTimeline
+
+
+def t(ms_value):
+    return round(ms_value * NS_PER_MS)
+
+
+def make_timeline(name="gui"):
+    timeline = ThreadTimeline(name)
+    timeline.record(
+        t(0), t(10_000), ThreadState.RUNNABLE,
+        StackTrace([StackFrame("a.B", "m")]),
+    )
+    return timeline
+
+
+class TestSampler:
+    def test_samples_within_spans_only(self):
+        sampler = Sampler(t(10), RngStream(3), jitter_fraction=0.0)
+        samples = sampler.run([(t(100), t(200))], [make_timeline()])
+        assert samples
+        assert all(t(100) <= s.timestamp_ns < t(200) for s in samples)
+
+    def test_sample_count_close_to_period(self):
+        sampler = Sampler(t(10), RngStream(3), jitter_fraction=0.0)
+        samples = sampler.run([(t(0), t(1000))], [make_timeline()])
+        assert 90 <= len(samples) <= 101
+
+    def test_all_threads_sampled(self):
+        sampler = Sampler(t(10), RngStream(3))
+        timelines = [make_timeline("gui"), make_timeline("worker")]
+        samples = sampler.run([(t(0), t(100))], timelines)
+        for sample in samples:
+            assert {entry.thread_name for entry in sample.threads} == {
+                "gui", "worker",
+            }
+
+    def test_blackout_skips_samples(self):
+        sampler = Sampler(t(10), RngStream(3), jitter_fraction=0.0)
+        blackout = (t(400), t(600))
+        samples = sampler.run(
+            [(t(0), t(1000))], [make_timeline()], blackouts=[blackout]
+        )
+        assert samples
+        assert not any(
+            blackout[0] <= s.timestamp_ns < blackout[1] for s in samples
+        )
+
+    def test_multiple_blackouts(self):
+        sampler = Sampler(t(10), RngStream(3), jitter_fraction=0.0)
+        blackouts = [(t(100), t(200)), (t(500), t(700))]
+        samples = sampler.run(
+            [(t(0), t(1000))], [make_timeline()], blackouts=blackouts
+        )
+        for start, end in blackouts:
+            assert not any(start <= s.timestamp_ns < end for s in samples)
+
+    def test_timeline_state_captured(self):
+        timeline = ThreadTimeline("gui")
+        timeline.record(t(0), t(50), ThreadState.BLOCKED, StackTrace(()))
+        sampler = Sampler(t(10), RngStream(3), jitter_fraction=0.0)
+        samples = sampler.run([(t(0), t(50))], [timeline])
+        assert all(
+            s.thread("gui").state is ThreadState.BLOCKED for s in samples
+        )
+
+    def test_deterministic_given_seed(self):
+        def run():
+            sampler = Sampler(t(10), RngStream(3))
+            return [
+                s.timestamp_ns
+                for s in sampler.run([(t(0), t(500))], [make_timeline()])
+            ]
+
+        assert run() == run()
+
+    def test_rejects_nonpositive_period(self):
+        with pytest.raises(ValueError):
+            Sampler(0, RngStream(1))
+
+    def test_empty_spans(self):
+        sampler = Sampler(t(10), RngStream(3))
+        assert sampler.run([], [make_timeline()]) == []

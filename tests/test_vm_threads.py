@@ -1,0 +1,73 @@
+"""Unit tests for thread timelines."""
+
+import pytest
+
+from repro.core.errors import SimulationError
+from repro.core.samples import StackFrame, StackTrace, ThreadState
+from repro.vm.threads import ThreadTimeline
+
+STACK = StackTrace([StackFrame("a.B", "m")])
+
+
+class TestThreadTimeline:
+    def test_idle_by_default(self):
+        timeline = ThreadTimeline("worker")
+        state, stack = timeline.at(12345)
+        assert state is ThreadState.WAITING
+        assert stack.leaf is None
+
+    def test_recorded_segment_lookup(self):
+        timeline = ThreadTimeline("worker")
+        timeline.record(100, 200, ThreadState.RUNNABLE, STACK)
+        state, stack = timeline.at(150)
+        assert state is ThreadState.RUNNABLE
+        assert stack is STACK
+
+    def test_half_open_bounds(self):
+        timeline = ThreadTimeline("worker")
+        timeline.record(100, 200, ThreadState.RUNNABLE, STACK)
+        assert timeline.at(100)[0] is ThreadState.RUNNABLE
+        assert timeline.at(200)[0] is ThreadState.WAITING
+
+    def test_gap_between_segments_is_idle(self):
+        timeline = ThreadTimeline("worker")
+        timeline.record(0, 100, ThreadState.RUNNABLE, STACK)
+        timeline.record(200, 300, ThreadState.BLOCKED, STACK)
+        assert timeline.at(150)[0] is ThreadState.WAITING
+        assert timeline.at(250)[0] is ThreadState.BLOCKED
+
+    def test_zero_length_segments_dropped(self):
+        timeline = ThreadTimeline("worker")
+        timeline.record(100, 100, ThreadState.RUNNABLE, STACK)
+        assert timeline.segments == ()
+
+    def test_rejects_overlap(self):
+        timeline = ThreadTimeline("worker")
+        timeline.record(0, 100, ThreadState.RUNNABLE, STACK)
+        with pytest.raises(SimulationError, match="overlaps"):
+            timeline.record(50, 150, ThreadState.RUNNABLE, STACK)
+
+    def test_touching_segments_allowed(self):
+        timeline = ThreadTimeline("worker")
+        timeline.record(0, 100, ThreadState.RUNNABLE, STACK)
+        timeline.record(100, 200, ThreadState.SLEEPING, STACK)
+        assert timeline.at(100)[0] is ThreadState.SLEEPING
+
+    def test_busy_ns(self):
+        timeline = ThreadTimeline("worker")
+        timeline.record(0, 100, ThreadState.RUNNABLE, STACK)
+        timeline.record(200, 250, ThreadState.RUNNABLE, STACK)
+        assert timeline.busy_ns() == 150
+
+    def test_custom_idle(self):
+        timeline = ThreadTimeline(
+            "worker", idle_state=ThreadState.SLEEPING, idle_stack=STACK
+        )
+        state, stack = timeline.at(0)
+        assert state is ThreadState.SLEEPING
+        assert stack is STACK
+
+    def test_before_first_segment_is_idle(self):
+        timeline = ThreadTimeline("worker")
+        timeline.record(100, 200, ThreadState.RUNNABLE, STACK)
+        assert timeline.at(50)[0] is ThreadState.WAITING

@@ -1,0 +1,122 @@
+"""Unit tests for the trace collector."""
+
+import pytest
+
+from repro.core.errors import SimulationError
+from repro.core.intervals import IntervalKind, NS_PER_MS
+from repro.vm.rng import RngStream
+from repro.vm.tracer import TraceCollector
+
+GUI = "AWT-EventQueue-0"
+
+
+def make_tracer(filter_ms=3.0):
+    return TraceCollector(GUI, filter_ms=filter_ms, rng=RngStream(9))
+
+
+def t(ms_value):
+    return round(ms_value * NS_PER_MS)
+
+
+class TestEpisodeLifecycle:
+    def test_retained_episode(self):
+        tracer = make_tracer()
+        tracer.begin_episode(t(0))
+        tracer.open_interval(IntervalKind.LISTENER, "l", t(1))
+        tracer.close_interval(t(9))
+        root = tracer.end_episode(t(10))
+        assert root is not None
+        assert tracer.thread_roots[GUI] == [root]
+
+    def test_short_episode_filtered(self):
+        tracer = make_tracer()
+        tracer.begin_episode(t(0))
+        assert tracer.end_episode(t(2)) is None
+        assert tracer.short_episode_count == 1
+        assert tracer.thread_roots[GUI] == []
+
+    def test_filtered_episode_keeps_gc_as_root(self):
+        # A collection's record must not vanish with the episode that
+        # happened to contain it.
+        tracer = make_tracer(filter_ms=1000.0)
+        tracer.begin_episode(t(0))
+        tracer.record_gc(t(1), t(5), "GC.minor")
+        tracer.end_episode(t(10))
+        roots = tracer.thread_roots[GUI]
+        assert len(roots) == 1
+        assert roots[0].kind is IntervalKind.GC
+
+    def test_nested_episode_rejected(self):
+        tracer = make_tracer()
+        tracer.begin_episode(t(0))
+        with pytest.raises(SimulationError, match="already in progress"):
+            tracer.begin_episode(t(1))
+
+    def test_end_without_begin(self):
+        with pytest.raises(SimulationError):
+            make_tracer().end_episode(t(10))
+
+    def test_end_with_open_intervals(self):
+        tracer = make_tracer()
+        tracer.begin_episode(t(0))
+        tracer.open_interval(IntervalKind.PAINT, "p", t(1))
+        with pytest.raises(SimulationError, match="still open"):
+            tracer.end_episode(t(10))
+
+    def test_interval_outside_episode(self):
+        with pytest.raises(SimulationError, match="outside an episode"):
+            make_tracer().open_interval(IntervalKind.PAINT, "p", t(1))
+
+    def test_count_filtered(self):
+        tracer = make_tracer()
+        tracer.count_filtered(500)
+        assert tracer.short_episode_count == 500
+        with pytest.raises(SimulationError):
+            tracer.count_filtered(-1)
+
+
+class TestGcRecording:
+    def test_gc_inside_episode(self):
+        tracer = make_tracer()
+        tracer.begin_episode(t(0))
+        tracer.record_gc(t(2), t(8), "GC.minor")
+        root = tracer.end_episode(t(20))
+        assert root.children[0].kind is IntervalKind.GC
+
+    def test_gc_between_episodes_is_root(self):
+        tracer = make_tracer()
+        tracer.record_gc(t(2), t(8), "GC.major")
+        roots = tracer.thread_roots[GUI]
+        assert roots[0].kind is IntervalKind.GC
+
+    def test_gc_copied_to_all_threads(self):
+        tracer = make_tracer()
+        tracer.register_thread("worker")
+        tracer.register_thread("timer")
+        tracer.record_gc(t(2), t(8), "GC.minor")
+        for thread in ("worker", "timer"):
+            roots = tracer.thread_roots[thread]
+            assert len(roots) == 1
+            assert roots[0].kind is IntervalKind.GC
+
+    def test_blackout_covers_pause_with_margins(self):
+        tracer = make_tracer()
+        tracer.record_gc(t(100), t(150), "GC.minor")
+        (start, end), = tracer.merged_blackouts()
+        assert start <= t(100)
+        assert end >= t(150)
+
+    def test_blackouts_merge(self):
+        tracer = make_tracer()
+        tracer.record_gc(t(100), t(150), "GC.minor")
+        tracer.record_gc(t(150), t(200), "GC.minor")
+        assert len(tracer.merged_blackouts()) == 1
+
+    def test_episode_spans(self):
+        tracer = make_tracer()
+        tracer.begin_episode(t(0))
+        tracer.end_episode(t(10))
+        tracer.record_gc(t(15), t(18), "GC.minor")
+        tracer.begin_episode(t(20))
+        tracer.end_episode(t(40))
+        assert tracer.episode_spans() == [(t(0), t(10)), (t(20), t(40))]
