@@ -12,7 +12,10 @@ Subcommands:
 - ``compare``   — diff the pattern tables of two trace sets
   (regression hunting);
 - ``study``     — run the full characterization study, write Table III,
-  all figure SVGs, and EXPERIMENTS.md.
+  all figure SVGs, and EXPERIMENTS.md (``--workers`` fans applications
+  out across processes; results are cached on disk);
+- ``engine``    — inspect and manage the analysis engine
+  (``engine cache stats`` / ``engine cache clear``).
 """
 
 from __future__ import annotations
@@ -50,7 +53,7 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     from repro.viz.browser import render_pattern_browser
 
     config = AnalysisConfig(perceptible_threshold_ms=args.threshold)
-    analyzer = LagAlyzer.load(args.traces, config=config)
+    analyzer = LagAlyzer.load(args.traces, config=config, workers=args.workers)
     stats = analyzer.mean_session_stats()
     print(f"Application: {analyzer.application}")
     print(f"Sessions: {len(analyzer.traces)}")
@@ -219,9 +222,16 @@ def _cmd_study(args: argparse.Namespace) -> int:
     )
     print(
         f"running study: {len(config.applications)} applications x "
-        f"{config.sessions} sessions (scale {config.scale}) ..."
+        f"{config.sessions} sessions (scale {config.scale}, "
+        f"workers {args.workers}) ..."
     )
-    result = run_study(config, progress=True)
+    result = run_study(
+        config,
+        progress=True,
+        workers=args.workers,
+        cache_dir=args.cache_dir,
+        use_cache=not args.no_cache,
+    )
     outdir = Path(args.output)
     outdir.mkdir(parents=True, exist_ok=True)
     table3 = format_table3(
@@ -240,6 +250,29 @@ def _cmd_study(args: argparse.Namespace) -> int:
         f"wrote {len(figure_paths)} figures, {report_path}, and "
         f"{html_path} to {outdir}/"
     )
+    return 0
+
+
+def _cmd_engine_cache(args: argparse.Namespace) -> int:
+    from repro.engine.cache import CODE_VERSION, ResultCache
+
+    cache = ResultCache(args.cache_dir)
+    if args.action == "clear":
+        removed = cache.clear()
+        print(f"cleared {removed} cached entries from {cache.root}")
+        return 0
+    stats = cache.persisted_stats()
+    entries = cache.entry_count()
+    total = stats.hits + stats.misses
+    hit_pct = 100.0 * stats.hits / total if total else 0.0
+    print(f"cache dir:    {cache.root}")
+    print(f"code version: {CODE_VERSION}")
+    print(f"entries:      {entries} ({cache.total_bytes()} bytes)")
+    print(f"hits:         {stats.hits}")
+    print(f"misses:       {stats.misses}")
+    print(f"stores:       {stats.stores}")
+    print(f"discarded:    {stats.discarded} (failed integrity check)")
+    print(f"hit rate:     {hit_pct:.1f}%")
     return 0
 
 
@@ -262,8 +295,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_sim.set_defaults(func=_cmd_simulate)
 
     p_an = sub.add_parser("analyze", help="analyze trace files")
-    p_an.add_argument("traces", nargs="+")
+    p_an.add_argument("traces", nargs="+",
+                      help="trace files, directories, or glob patterns")
     p_an.add_argument("--threshold", type=float, default=100.0)
+    p_an.add_argument("--workers", type=int, default=1,
+                      help="processes for parallel trace loading "
+                      "(0 = one per CPU)")
     p_an.add_argument("--limit", type=int, default=20)
     p_an.add_argument("--perceptible-only", action="store_true")
     p_an.add_argument("--inspect", type=int, default=None,
@@ -322,7 +359,24 @@ def build_parser() -> argparse.ArgumentParser:
     p_st.add_argument("--sessions", type=int, default=4)
     p_st.add_argument("--scale", type=float, default=1.0)
     p_st.add_argument("--output", "-o", default="study-output")
+    p_st.add_argument("--workers", type=int, default=1,
+                      help="processes to fan applications out across "
+                      "(0 = one per CPU)")
+    p_st.add_argument("--cache-dir", default=None,
+                      help="result-cache root (default ~/.cache/lagalyzer)")
+    p_st.add_argument("--no-cache", action="store_true",
+                      help="recompute everything, bypassing the cache")
     p_st.set_defaults(func=_cmd_study)
+
+    p_en = sub.add_parser(
+        "engine", help="inspect and manage the analysis engine"
+    )
+    en_sub = p_en.add_subparsers(dest="engine_command", required=True)
+    p_ec = en_sub.add_parser("cache", help="result-cache maintenance")
+    p_ec.add_argument("action", choices=("stats", "clear"))
+    p_ec.add_argument("--cache-dir", default=None,
+                      help="result-cache root (default ~/.cache/lagalyzer)")
+    p_ec.set_defaults(func=_cmd_engine_cache)
     return parser
 
 

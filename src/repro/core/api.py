@@ -9,15 +9,12 @@ query episodes, patterns, and the four characterization axes.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, replace
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
-from repro.core import concurrency as concurrency_mod
-from repro.core import location as location_mod
-from repro.core import occurrence as occurrence_mod
-from repro.core import threadstates as threadstates_mod
-from repro.core import triggers as triggers_mod
+from repro.core import analyses as analyses_mod
 from repro.core.concurrency import ConcurrencySummary
 from repro.core.episodes import DEFAULT_PERCEPTIBLE_MS, Episode
 from repro.core.errors import AnalysisError
@@ -25,11 +22,7 @@ from repro.core.location import LocationSummary
 from repro.core.occurrence import Occurrence, OccurrenceSummary
 from repro.core.patterns import Pattern, PatternTable
 from repro.core.samples import DEFAULT_LIBRARY_PREFIXES
-from repro.core.statistics import (
-    SessionStats,
-    average_stats,
-    session_stats,
-)
+from repro.core.statistics import SessionStats, average_stats
 from repro.core.threadstates import ThreadStateSummary
 from repro.core.trace import Trace
 from repro.core.triggers import Trigger, TriggerSummary
@@ -58,9 +51,34 @@ class AnalysisConfig:
     primary GUI thread. The paper's study has one GUI thread; the tool
     supports multiple (Section V)."""
 
+    def __post_init__(self) -> None:
+        threshold = self.perceptible_threshold_ms
+        if not isinstance(threshold, (int, float)) or math.isnan(threshold):
+            raise AnalysisError(
+                f"perceptible_threshold_ms must be a number, got {threshold!r}"
+            )
+        if threshold < 0:
+            raise AnalysisError(
+                "perceptible_threshold_ms must be >= 0, got "
+                f"{threshold!r} (a negative cut would mark every episode "
+                "perceptible)"
+            )
+        # Normalize to a tuple so configs hash/fingerprint stably no
+        # matter what sequence type the caller passed.
+        if not isinstance(self.library_prefixes, tuple):
+            object.__setattr__(
+                self, "library_prefixes", tuple(self.library_prefixes)
+            )
+
     def with_threshold(self, threshold_ms: float) -> "AnalysisConfig":
         """A copy of this config with a different perceptibility cut."""
         return replace(self, perceptible_threshold_ms=threshold_ms)
+
+    def fingerprint(self) -> str:
+        """Stable content hash of this config (engine cache key part)."""
+        from repro.engine.cache import config_fingerprint
+
+        return config_fingerprint(self)
 
 
 class LagAlyzer:
@@ -86,6 +104,7 @@ class LagAlyzer:
         self.traces: List[Trace] = list(traces)
         self.config = config or AnalysisConfig()
         self._pattern_table: Optional[PatternTable] = None
+        self._episodes: Optional[List[Episode]] = None
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -103,17 +122,24 @@ class LagAlyzer:
     @classmethod
     def load(
         cls,
-        paths: Sequence[Union[str, Path]],
+        paths: Union[str, Path, Sequence[Union[str, Path]]],
         config: Optional[AnalysisConfig] = None,
+        workers: Optional[int] = 1,
     ) -> "LagAlyzer":
         """Build an analyzer by reading LiLa-style trace files.
 
-        Both the text and the binary encodings are accepted; the format
-        is detected per file.
+        ``paths`` may be explicit file paths, directories (all
+        ``*.lila``/``*.lilb`` files inside), glob patterns, or a mix —
+        a single path or a sequence. Both the text and the binary
+        encodings are accepted; the format is detected per file. With
+        ``workers > 1`` files are parsed in parallel processes via the
+        engine (``0`` means one worker per CPU).
         """
-        from repro.lila.autodetect import load_trace
+        from repro.engine.engine import AnalysisEngine
+        from repro.lila.autodetect import expand_trace_paths
 
-        traces = [load_trace(path) for path in paths]
+        engine = AnalysisEngine(workers=workers, use_cache=False)
+        traces = engine.load_traces(expand_trace_paths(paths))
         return cls(traces, config=config)
 
     # ------------------------------------------------------------------
@@ -126,14 +152,17 @@ class LagAlyzer:
 
     @property
     def episodes(self) -> List[Episode]:
-        """All episodes of all sessions, session order then time order."""
-        result: List[Episode] = []
-        for trace in self.traces:
-            if self.config.all_dispatch_threads:
-                result.extend(trace.all_episodes())
-            else:
-                result.extend(trace.episodes)
-        return result
+        """All episodes of all sessions, session order then time order.
+
+        Built once on first access and reused by every summary call;
+        traces are immutable, so the cache never needs invalidation.
+        """
+        if self._episodes is None:
+            result: List[Episode] = []
+            for trace in self.traces:
+                result.extend(analyses_mod.trace_episodes(trace, self.config))
+            self._episodes = result
+        return self._episodes
 
     def perceptible_episodes(self) -> List[Episode]:
         """Episodes beyond the configured perceptibility threshold."""
@@ -168,45 +197,58 @@ class LagAlyzer:
     # Characterization analyses (Section IV)
     # ------------------------------------------------------------------
 
+    def summary(
+        self,
+        name: str,
+        perceptible_only: bool = False,
+        engine: Optional[Any] = None,
+    ) -> Any:
+        """Run any registered analysis by name.
+
+        ``name`` is a key of :data:`repro.core.analyses.REGISTRY`
+        (``"occurrence"``, ``"triggers"``, ``"location"``,
+        ``"concurrency"``, ``"threadstates"``, ``"statistics"``,
+        ``"patterns"``, or anything registered downstream). With an
+        :class:`~repro.engine.AnalysisEngine` the per-trace map work
+        runs through its worker pool and result cache; without one it
+        is the plain serial composition. Both paths produce identical
+        summaries.
+
+        Raises:
+            AnalysisError: unknown name, or ``perceptible_only=True``
+                for an analysis without that variant.
+        """
+        if engine is not None:
+            return engine.summarize(
+                name, self.traces, self.config, perceptible_only=perceptible_only
+            )
+        return analyses_mod.get_analysis(name).summarize(
+            self.traces, self.config, perceptible_only=perceptible_only
+        )
+
     def occurrence_summary(self) -> OccurrenceSummary:
         """Always/sometimes/once/never distribution over patterns (Fig 4)."""
-        return occurrence_mod.summarize(
-            self.pattern_table(), self.config.perceptible_threshold_ms
-        )
+        return self.summary("occurrence")
 
     def trigger_summary(self, perceptible_only: bool = False) -> TriggerSummary:
         """Input/output/async/unspecified episode counts (Fig 5)."""
-        episodes = (
-            self.perceptible_episodes() if perceptible_only else self.episodes
-        )
-        return triggers_mod.summarize(episodes)
+        return self.summary("triggers", perceptible_only=perceptible_only)
 
     def location_summary(self, perceptible_only: bool = False) -> LocationSummary:
         """App/library and GC/native time breakdown (Fig 6)."""
-        episodes = (
-            self.perceptible_episodes() if perceptible_only else self.episodes
-        )
-        return location_mod.summarize(
-            episodes, library_prefixes=self.config.library_prefixes
-        )
+        return self.summary("location", perceptible_only=perceptible_only)
 
     def concurrency_summary(
         self, perceptible_only: bool = False
     ) -> ConcurrencySummary:
         """Mean runnable threads during episodes (Fig 7)."""
-        episodes = (
-            self.perceptible_episodes() if perceptible_only else self.episodes
-        )
-        return concurrency_mod.summarize(episodes)
+        return self.summary("concurrency", perceptible_only=perceptible_only)
 
     def threadstate_summary(
         self, perceptible_only: bool = False
     ) -> ThreadStateSummary:
         """GUI-thread blocked/wait/sleep/runnable split (Fig 8)."""
-        episodes = (
-            self.perceptible_episodes() if perceptible_only else self.episodes
-        )
-        return threadstates_mod.summarize(episodes)
+        return self.summary("threadstates", perceptible_only=perceptible_only)
 
     # ------------------------------------------------------------------
     # Session statistics (Table III)
@@ -214,8 +256,7 @@ class LagAlyzer:
 
     def session_stats(self) -> List[SessionStats]:
         """One Table III row per session."""
-        threshold = self.config.perceptible_threshold_ms
-        return [session_stats(trace, threshold) for trace in self.traces]
+        return list(self.summary("statistics").rows)
 
     def mean_session_stats(self) -> SessionStats:
         """Table III row averaged over this application's sessions."""

@@ -174,6 +174,37 @@ class Pattern:
         )
 
 
+def cumulative_distribution_from_counts(
+    counts: Sequence[int], points: int = 100
+) -> List[float]:
+    """The Figure 3 curve from per-pattern episode counts alone.
+
+    The curve depends only on the multiset of counts (patterns are
+    ranked most-frequent first; ties contribute identical values), so
+    it can be computed from merged per-trace tallies without ever
+    materializing Pattern objects.
+    """
+    ranked = sorted(counts, reverse=True)
+    total = sum(ranked)
+    if total == 0 or not ranked:
+        return [0.0] * (points + 1)
+    cumulative = []
+    running = 0
+    for count in ranked:
+        running += count
+        cumulative.append(running)
+    result = []
+    n = len(ranked)
+    for i in range(points + 1):
+        # Number of patterns included at this x-axis position.
+        k = round(i * n / points)
+        if k <= 0:
+            result.append(0.0)
+        else:
+            result.append(100.0 * cumulative[min(k, n) - 1] / total)
+    return result
+
+
 class PatternTable:
     """The pattern browser's table: all patterns mined from episodes.
 
@@ -308,26 +339,9 @@ class PatternTable:
         of patterns. With Pareto-like data, entry at 20% of patterns is
         near 80% of episodes.
         """
-        ranked = self.by_count()
-        total = self.covered_episodes
-        if total == 0 or not ranked:
-            return [0.0] * (points + 1)
-        counts = [p.count for p in ranked]
-        cumulative = []
-        running = 0
-        for count in counts:
-            running += count
-            cumulative.append(running)
-        result = []
-        n = len(counts)
-        for i in range(points + 1):
-            # Number of patterns included at this x-axis position.
-            k = round(i * n / points)
-            if k <= 0:
-                result.append(0.0)
-            else:
-                result.append(100.0 * cumulative[min(k, n) - 1] / total)
-        return result
+        return cumulative_distribution_from_counts(
+            [p.count for p in self._patterns], points=points
+        )
 
     def __iter__(self) -> Iterator[Pattern]:
         return iter(self._patterns)

@@ -1,0 +1,42 @@
+"""The parallel map–reduce analysis engine with on-disk result caching.
+
+LagAlyzer's analyses decompose into per-trace ``map_trace`` partials
+merged by a ``reduce`` (see :mod:`repro.core.analyses`). This package
+executes that decomposition at scale:
+
+- :class:`~repro.engine.engine.AnalysisEngine` — fan ``map_trace`` out
+  across worker processes and satisfy repeats from a content-addressed
+  cache, with results bit-identical to the serial path.
+- :class:`~repro.engine.cache.ResultCache` — the on-disk store, keyed
+  by (trace digest, config fingerprint, analysis name, code version).
+- :mod:`~repro.engine.scheduler` — process-pool plumbing with a serial
+  fallback for restricted environments.
+
+Every later scaling layer (sharding, streaming aggregation,
+multi-backend execution) builds on this package.
+"""
+
+from repro.engine.cache import (
+    CACHE_SCHEMA,
+    CODE_VERSION,
+    MISS,
+    CacheStats,
+    ResultCache,
+    config_fingerprint,
+    default_cache_dir,
+)
+from repro.engine.engine import AnalysisEngine
+from repro.engine.scheduler import parallel_map, resolve_workers
+
+__all__ = [
+    "AnalysisEngine",
+    "CACHE_SCHEMA",
+    "CODE_VERSION",
+    "CacheStats",
+    "MISS",
+    "ResultCache",
+    "config_fingerprint",
+    "default_cache_dir",
+    "parallel_map",
+    "resolve_workers",
+]

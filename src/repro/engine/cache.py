@@ -1,0 +1,284 @@
+"""Content-addressed on-disk cache for analysis partials.
+
+Analyses re-run over unchanged traces dominate LagAlyzer's offline cost
+(the paper's full study is 7.5 hours of sessions). The cache stores the
+result of every ``map_trace`` keyed by everything that could change it:
+
+- the **trace digest** (:func:`repro.lila.digest.trace_digest`) — the
+  content hash of the session trace;
+- the **config fingerprint** — a stable hash of the
+  :class:`~repro.core.api.AnalysisConfig` in effect;
+- the **analysis name** — the registry key of the analysis;
+- the **code version** — bumped whenever an analysis implementation
+  changes shape, invalidating all prior entries at once.
+
+Entries are self-checking: each file carries a magic header and a
+checksum of its pickled payload, so truncated or corrupted entries are
+detected, discarded, and transparently recomputed — a damaged cache can
+slow a run down but never change its results.
+
+Layout under the cache directory (default ``~/.cache/lagalyzer``,
+overridable with ``cache_dir=`` or the ``LAGALYZER_CACHE_DIR``
+environment variable)::
+
+    objects/<kk>/<key>.pkl   one entry per (digest, config, analysis)
+    stats.json               cumulative hit/miss/store counters
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, Iterator, Optional, Union
+
+import repro
+
+#: Bump when the shape of cached partials changes incompatibly; stale
+#: entries then simply never match and age out via ``cache clear``.
+CACHE_SCHEMA = 1
+
+#: The code-version component of every cache key.
+CODE_VERSION = f"{repro.__version__}/s{CACHE_SCHEMA}"
+
+#: Sentinel returned by :meth:`ResultCache.get` on a miss, so ``None``
+#: stays a cacheable value.
+MISS = object()
+
+_MAGIC = b"LAGCACHE"
+_CHECKSUM_BYTES = 16
+_ENTRY_SUFFIX = ".pkl"
+
+
+def default_cache_dir() -> Path:
+    """The cache root honoring ``LAGALYZER_CACHE_DIR``."""
+    env = os.environ.get("LAGALYZER_CACHE_DIR")
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "lagalyzer"
+
+
+def config_fingerprint(config: Any) -> str:
+    """Stable hex fingerprint of an analysis configuration.
+
+    Relies on the config having a deterministic ``repr`` (true for the
+    frozen :class:`~repro.core.api.AnalysisConfig` dataclass); the type
+    name is folded in so two config classes never collide.
+    """
+    text = f"{type(config).__module__}.{type(config).__qualname__}:{config!r}"
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+@dataclass
+class CacheStats:
+    """Counters for one cache (this process plus the persisted totals)."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    discarded: int = 0
+    """Entries dropped because they failed the integrity check."""
+
+    def merge(self, other: "CacheStats") -> "CacheStats":
+        return CacheStats(
+            hits=self.hits + other.hits,
+            misses=self.misses + other.misses,
+            stores=self.stores + other.stores,
+            discarded=self.discarded + other.discarded,
+        )
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "discarded": self.discarded,
+        }
+
+
+class ResultCache:
+    """A content-addressed pickle store with integrity checking.
+
+    Thread/process safety model: entries are immutable once written
+    (writes go through a temp file + atomic rename), so concurrent
+    readers and writers can only race benignly — at worst the same
+    entry is computed twice. The persisted counters are merged with a
+    read-modify-write on :meth:`flush_stats`; counts lost to a rare
+    concurrent flush are cosmetic.
+    """
+
+    def __init__(self, cache_dir: Optional[Union[str, Path]] = None) -> None:
+        self.root = Path(cache_dir) if cache_dir is not None else default_cache_dir()
+        self.stats = CacheStats()
+
+    # ------------------------------------------------------------------
+    # Keys and paths
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def entry_key(
+        trace_digest: str,
+        config_fingerprint: str,
+        analysis: str,
+        code_version: str = CODE_VERSION,
+    ) -> str:
+        """The content address of one ``map_trace`` result."""
+        text = "\n".join((trace_digest, config_fingerprint, analysis, code_version))
+        return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+    def _objects_dir(self) -> Path:
+        return self.root / "objects"
+
+    def _path_for(self, key: str) -> Path:
+        return self._objects_dir() / key[:2] / (key + _ENTRY_SUFFIX)
+
+    def _stats_path(self) -> Path:
+        return self.root / "stats.json"
+
+    # ------------------------------------------------------------------
+    # Get / put
+    # ------------------------------------------------------------------
+
+    def get(self, key: str) -> Any:
+        """The cached value for ``key``, or :data:`MISS`.
+
+        Unreadable, truncated, or checksum-failing entries are deleted
+        and reported as misses — corruption is never fatal.
+        """
+        path = self._path_for(key)
+        try:
+            blob = path.read_bytes()
+        except OSError:
+            self.stats.misses += 1
+            return MISS
+        value = self._decode(blob)
+        if value is MISS:
+            self.stats.discarded += 1
+            self.stats.misses += 1
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return MISS
+        self.stats.hits += 1
+        return value[0]
+
+    def put(self, key: str, value: Any) -> None:
+        """Store ``value`` under ``key`` atomically."""
+        path = self._path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+        checksum = hashlib.sha256(payload).digest()[:_CHECKSUM_BYTES]
+        blob = _MAGIC + checksum + payload
+        fd, tmp_name = tempfile.mkstemp(
+            dir=str(path.parent), prefix=".tmp-", suffix=_ENTRY_SUFFIX
+        )
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(blob)
+            os.replace(tmp_name, path)
+        except OSError:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        self.stats.stores += 1
+
+    @staticmethod
+    def _decode(blob: bytes) -> Any:
+        """``(value,)`` on success, :data:`MISS` on any corruption."""
+        header = len(_MAGIC) + _CHECKSUM_BYTES
+        if len(blob) < header or not blob.startswith(_MAGIC):
+            return MISS
+        checksum = blob[len(_MAGIC) : header]
+        payload = blob[header:]
+        if hashlib.sha256(payload).digest()[:_CHECKSUM_BYTES] != checksum:
+            return MISS
+        try:
+            return (pickle.loads(payload),)
+        except Exception:
+            return MISS
+
+    # ------------------------------------------------------------------
+    # Maintenance and introspection
+    # ------------------------------------------------------------------
+
+    def _entries(self) -> Iterator[Path]:
+        objects = self._objects_dir()
+        if not objects.is_dir():
+            return
+        for shard in sorted(objects.iterdir()):
+            if not shard.is_dir():
+                continue
+            for entry in sorted(shard.iterdir()):
+                if entry.suffix == _ENTRY_SUFFIX and not entry.name.startswith("."):
+                    yield entry
+
+    def entry_count(self) -> int:
+        return sum(1 for _ in self._entries())
+
+    def total_bytes(self) -> int:
+        total = 0
+        for entry in self._entries():
+            try:
+                total += entry.stat().st_size
+            except OSError:
+                pass
+        return total
+
+    def clear(self) -> int:
+        """Delete every entry (and the counters). Returns entries removed."""
+        removed = 0
+        for entry in list(self._entries()):
+            try:
+                entry.unlink()
+                removed += 1
+            except OSError:
+                pass
+        try:
+            self._stats_path().unlink()
+        except OSError:
+            pass
+        return removed
+
+    # ------------------------------------------------------------------
+    # Persistent counters
+    # ------------------------------------------------------------------
+
+    def flush_stats(self) -> CacheStats:
+        """Merge this process's counters into ``stats.json``.
+
+        Returns the merged cumulative totals; in-process counters reset
+        so repeated flushes don't double count.
+        """
+        current = self.stats
+        if not any(current.as_dict().values()):
+            return self.persisted_stats()
+        self.stats = CacheStats()
+        total = self.persisted_stats().merge(current)
+        self.root.mkdir(parents=True, exist_ok=True)
+        tmp = self._stats_path().with_suffix(".json.tmp")
+        tmp.write_text(json.dumps(total.as_dict()), encoding="utf-8")
+        os.replace(tmp, self._stats_path())
+        return total
+
+    def persisted_stats(self) -> CacheStats:
+        """The cumulative counters previously flushed to disk."""
+        try:
+            raw = json.loads(self._stats_path().read_text(encoding="utf-8"))
+            return CacheStats(
+                hits=int(raw.get("hits", 0)),
+                misses=int(raw.get("misses", 0)),
+                stores=int(raw.get("stores", 0)),
+                discarded=int(raw.get("discarded", 0)),
+            )
+        except (OSError, ValueError):
+            return CacheStats()
+
+    def __repr__(self) -> str:
+        return f"ResultCache({str(self.root)!r}, {self.stats})"

@@ -1,0 +1,206 @@
+"""The parallel, cache-aware analysis engine.
+
+:class:`AnalysisEngine` is the execution layer under the
+:class:`~repro.core.api.LagAlyzer` facade and the study runner. It
+knows three tricks, all behind the uniform
+:class:`~repro.core.analyses.Analysis` protocol:
+
+1. **Map–reduce execution** — per-trace ``map_trace`` partials are
+   computed independently, then merged with the analysis's ``reduce``;
+   the result is bit-identical to the serial ``summarize``.
+2. **Process-pool fan-out** — with ``workers > 1`` the partials for
+   different traces are computed in parallel processes (serial
+   fallback when a pool is unavailable; see
+   :mod:`repro.engine.scheduler`).
+3. **Content-addressed caching** — each partial is stored on disk
+   keyed by (trace digest, config fingerprint, analysis name, code
+   version), so re-analyzing unchanged traces skips the map work
+   entirely (see :mod:`repro.engine.cache`).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.core.analyses import REGISTRY, get_analysis
+from repro.core.trace import Trace
+from repro.engine.cache import MISS, ResultCache, config_fingerprint
+from repro.engine.scheduler import parallel_map, resolve_workers
+from repro.lila.digest import trace_digest
+
+
+def _map_task(task: Tuple[Trace, Tuple[str, ...], Any]) -> List[Any]:
+    """Worker: the missing partials of one trace (module-level for pickling)."""
+    trace, names, config = task
+    return [get_analysis(name).map_trace(trace, config) for name in names]
+
+
+def _load_task(path: str) -> Trace:
+    """Worker: load one trace file."""
+    from repro.lila.autodetect import load_trace
+
+    return load_trace(path)
+
+
+class AnalysisEngine:
+    """Runs registered analyses over traces, in parallel, through a cache.
+
+    Args:
+        workers: process count for fan-out; ``1`` (the default) runs
+            everything serially in-process, ``0``/``None`` means one
+            worker per CPU.
+        cache_dir: root of the on-disk result cache; defaults to
+            ``~/.cache/lagalyzer`` (or ``LAGALYZER_CACHE_DIR``).
+        use_cache: disable the cache entirely with ``False``.
+    """
+
+    def __init__(
+        self,
+        workers: Optional[int] = 1,
+        cache_dir: Optional[Union[str, Path]] = None,
+        use_cache: bool = True,
+        cache: Optional[ResultCache] = None,
+    ) -> None:
+        self.workers = workers
+        if cache is not None:
+            self.cache: Optional[ResultCache] = cache
+        elif use_cache:
+            self.cache = ResultCache(cache_dir)
+        else:
+            self.cache = None
+
+    # ------------------------------------------------------------------
+    # Mapping (with cache)
+    # ------------------------------------------------------------------
+
+    def _entry_key(self, analysis_name: str, trace: Trace, config: Any) -> str:
+        return ResultCache.entry_key(
+            trace_digest(trace), config_fingerprint(config), analysis_name
+        )
+
+    def map_trace(self, analysis_name: str, trace: Trace, config: Any) -> Any:
+        """One analysis partial for one trace, via the cache."""
+        analysis = get_analysis(analysis_name)
+        if self.cache is None:
+            return analysis.map_trace(trace, config)
+        key = self._entry_key(analysis_name, trace, config)
+        value = self.cache.get(key)
+        if value is not MISS:
+            return value
+        value = analysis.map_trace(trace, config)
+        self.cache.put(key, value)
+        return value
+
+    def map_traces(
+        self,
+        analysis_names: Sequence[str],
+        traces: Sequence[Trace],
+        config: Any,
+    ) -> Dict[str, List[Any]]:
+        """Partials for every (analysis, trace) pair, in trace order.
+
+        Cache hits are satisfied up front; only the missing partials are
+        fanned out to worker processes, grouped by trace so each trace
+        is pickled to a worker at most once.
+        """
+        for name in analysis_names:
+            get_analysis(name)
+        results: Dict[str, List[Any]] = {
+            name: [None] * len(traces) for name in analysis_names
+        }
+        fingerprint = config_fingerprint(config) if self.cache else ""
+        missing: List[Tuple[int, List[str]]] = []
+        for index, trace in enumerate(traces):
+            names_missing: List[str] = []
+            for name in analysis_names:
+                if self.cache is None:
+                    names_missing.append(name)
+                    continue
+                key = ResultCache.entry_key(
+                    trace_digest(trace), fingerprint, name
+                )
+                value = self.cache.get(key)
+                if value is MISS:
+                    names_missing.append(name)
+                else:
+                    results[name][index] = value
+            if names_missing:
+                missing.append((index, names_missing))
+        if missing:
+            tasks = [
+                (traces[index], tuple(names), config)
+                for index, names in missing
+            ]
+            computed = parallel_map(_map_task, tasks, workers=self.workers)
+            for (index, names), partials in zip(missing, computed):
+                for name, partial in zip(names, partials):
+                    results[name][index] = partial
+                    if self.cache is not None:
+                        key = ResultCache.entry_key(
+                            trace_digest(traces[index]), fingerprint, name
+                        )
+                        self.cache.put(key, partial)
+        return results
+
+    # ------------------------------------------------------------------
+    # Summaries
+    # ------------------------------------------------------------------
+
+    def summarize(
+        self,
+        analysis_name: str,
+        traces: Sequence[Trace],
+        config: Any,
+        perceptible_only: bool = False,
+    ) -> Any:
+        """The full summary of one analysis over ``traces``."""
+        partials = self.map_traces([analysis_name], traces, config)[analysis_name]
+        return get_analysis(analysis_name).reduce(
+            partials, perceptible_only=perceptible_only
+        )
+
+    def summarize_all(
+        self,
+        analysis_names: Sequence[str],
+        traces: Sequence[Trace],
+        config: Any,
+    ) -> Dict[str, Any]:
+        """Summaries of several analyses, sharing one map fan-out."""
+        partial_lists = self.map_traces(analysis_names, traces, config)
+        return {
+            name: get_analysis(name).reduce(partial_lists[name])
+            for name in analysis_names
+        }
+
+    # ------------------------------------------------------------------
+    # Parallel trace loading
+    # ------------------------------------------------------------------
+
+    def load_traces(
+        self, paths: Sequence[Union[str, Path]]
+    ) -> List[Trace]:
+        """Load trace files, fanning the parsing out across workers."""
+        return parallel_map(
+            _load_task, [str(path) for path in paths], workers=self.workers
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def effective_workers(self) -> int:
+        return resolve_workers(self.workers)
+
+    def flush_cache_stats(self) -> None:
+        """Persist this process's cache counters (no-op without a cache)."""
+        if self.cache is not None:
+            self.cache.flush_stats()
+
+    def __repr__(self) -> str:
+        cache = self.cache.root if self.cache is not None else None
+        return (
+            f"AnalysisEngine(workers={self.workers!r}, cache={str(cache)!r}, "
+            f"analyses={sorted(REGISTRY)})"
+        )

@@ -1,0 +1,76 @@
+"""Process-pool scheduling with a guaranteed serial fallback.
+
+The engine parallelizes *embarrassingly parallel* units — one
+``map_trace`` per session trace, one application per study task — with
+a :class:`~concurrent.futures.ProcessPoolExecutor`. Everything here
+degrades to the serial path whenever a pool is not worth it
+(``workers=1``, a single item) or not available (restricted
+environments without working process spawning or shared semaphores), so
+callers never need a fallback of their own and results are identical
+either way.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Iterable, List, Optional, Sequence, TypeVar
+
+from repro.core.errors import AnalysisError
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+def resolve_workers(workers: Optional[int]) -> int:
+    """Normalize a worker-count knob.
+
+    ``None`` or ``0`` means "one per CPU"; anything below zero is a
+    configuration error.
+    """
+    if workers is None or workers == 0:
+        return os.cpu_count() or 1
+    if workers < 0:
+        raise AnalysisError(f"workers must be >= 0, got {workers}")
+    return workers
+
+
+def parallel_map(
+    func: Callable[[T], R],
+    items: Iterable[T],
+    workers: Optional[int] = 1,
+    chunksize: int = 1,
+) -> List[R]:
+    """``[func(x) for x in items]``, fanned out over processes.
+
+    ``func`` and every item must be picklable (``func`` a module-level
+    callable or a :func:`functools.partial` of one). Result order
+    matches item order. Exceptions raised by ``func`` propagate; only
+    *pool infrastructure* failures (no process support, broken worker
+    transport) trigger the serial fallback.
+    """
+    items = list(items)
+    workers = min(resolve_workers(workers), len(items))
+    if workers <= 1 or len(items) <= 1:
+        return [func(item) for item in items]
+    pool = _make_pool(workers)
+    if pool is None:
+        return [func(item) for item in items]
+    from concurrent.futures.process import BrokenProcessPool
+
+    try:
+        with pool:
+            return list(pool.map(func, items, chunksize=chunksize))
+    except BrokenProcessPool:
+        # A worker died without raising (e.g. the platform kills
+        # subprocesses); redo the whole batch serially.
+        return [func(item) for item in items]
+
+
+def _make_pool(workers: int):
+    """A process pool, or None when the platform can't provide one."""
+    try:
+        from concurrent.futures import ProcessPoolExecutor
+
+        return ProcessPoolExecutor(max_workers=workers)
+    except (ImportError, NotImplementedError, OSError, PermissionError):
+        return None

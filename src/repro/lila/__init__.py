@@ -8,8 +8,9 @@ samples, and the count of episodes filtered at trace time — plus a
 writer and reader with a round-trip guarantee.
 """
 
-from repro.lila.autodetect import detect_format, load_trace
+from repro.lila.autodetect import detect_format, expand_trace_paths, load_trace
 from repro.lila.binary import read_trace_binary, write_trace_binary
+from repro.lila.digest import file_digest, trace_digest
 from repro.lila.format import FORMAT_VERSION, MAGIC
 from repro.lila.reader import read_trace, read_trace_lines
 from repro.lila.validation import lint_trace
@@ -19,7 +20,10 @@ __all__ = [
     "FORMAT_VERSION",
     "MAGIC",
     "detect_format",
+    "expand_trace_paths",
+    "file_digest",
     "lint_trace",
+    "trace_digest",
     "load_trace",
     "read_trace",
     "read_trace_binary",

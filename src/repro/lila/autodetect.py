@@ -7,14 +7,21 @@ the first bytes and dispatches.
 
 from __future__ import annotations
 
+import glob as glob_mod
 from pathlib import Path
-from typing import Union
+from typing import List, Sequence, Union
 
 from repro.core.errors import TraceFormatError
 from repro.core.trace import Trace
 from repro.lila import binary as binary_format
 from repro.lila import format as text_format
 from repro.lila.reader import read_trace
+
+#: File suffixes picked up when a directory is given to
+#: :func:`expand_trace_paths` (text and binary encodings).
+TRACE_SUFFIXES = (".lila", ".lilb")
+
+_GLOB_CHARS = frozenset("*?[")
 
 
 def detect_format(path: Union[str, Path]) -> str:
@@ -34,6 +41,49 @@ def detect_format(path: Union[str, Path]) -> str:
         f"{path}: not a LiLa trace in either encoding "
         f"(first bytes: {head!r})"
     )
+
+
+def expand_trace_paths(
+    paths: Union[str, Path, Sequence[Union[str, Path]]],
+) -> List[Path]:
+    """Resolve files, directories, and glob patterns to trace files.
+
+    Each entry may be an explicit file path, a directory (all
+    ``*.lila`` / ``*.lilb`` files inside, sorted), or a glob pattern
+    (matches sorted). Order is preserved across entries so session
+    order stays under the caller's control.
+
+    Raises:
+        TraceFormatError: when an entry matches no file at all.
+    """
+    if isinstance(paths, (str, Path)):
+        paths = [paths]
+    resolved: List[Path] = []
+    for entry in paths:
+        text = str(entry)
+        path = Path(entry)
+        if path.is_dir():
+            matches = sorted(
+                child
+                for child in path.iterdir()
+                if child.is_file() and child.suffix in TRACE_SUFFIXES
+            )
+            if not matches:
+                raise TraceFormatError(
+                    f"{path}: directory contains no trace files "
+                    f"({'/'.join(TRACE_SUFFIXES)})"
+                )
+            resolved.extend(matches)
+        elif _GLOB_CHARS.intersection(text):
+            matches = sorted(Path(m) for m in glob_mod.glob(text))
+            if not matches:
+                raise TraceFormatError(f"{text}: glob matched no trace files")
+            resolved.extend(m for m in matches if m.is_file())
+        else:
+            resolved.append(path)
+    if not resolved:
+        raise TraceFormatError("no trace paths given")
+    return resolved
 
 
 def load_trace(path: Union[str, Path]) -> Trace:

@@ -1,0 +1,58 @@
+"""Stable content digests of session traces.
+
+The engine's on-disk result cache (:mod:`repro.engine.cache`) is
+content-addressed: a cached analysis partial is valid exactly as long
+as the trace bytes it was computed from are unchanged. This module
+provides the digest both for in-memory traces (hashing the canonical
+text serialization, so a trace digests identically no matter whether it
+was simulated, loaded from text, or loaded from binary) and for trace
+files (hashing raw bytes, cheaper when the file is already on disk).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from pathlib import Path
+from typing import Union
+
+from repro.core.trace import Trace
+
+#: Attribute used to memoize a trace's digest. Traces are immutable
+#: once built, so the digest never needs invalidation.
+_MEMO_ATTR = "_content_digest"
+
+_CHUNK = 1 << 20
+
+
+def trace_digest(trace: Trace) -> str:
+    """Hex digest of a trace's canonical (text-format) content.
+
+    The digest is computed once per Trace object and memoized; it is
+    stable across processes and runs because the text serialization is
+    fully deterministic (sorted metadata, ordered threads, sorted
+    samples).
+    """
+    memo = getattr(trace, _MEMO_ATTR, None)
+    if memo is not None:
+        return memo
+    from repro.lila.writer import trace_to_lines
+
+    digest = hashlib.sha256()
+    for line in trace_to_lines(trace):
+        digest.update(line.encode("utf-8"))
+        digest.update(b"\n")
+    value = digest.hexdigest()
+    setattr(trace, _MEMO_ATTR, value)
+    return value
+
+
+def file_digest(path: Union[str, Path]) -> str:
+    """Hex digest of a trace file's raw bytes (streamed)."""
+    digest = hashlib.sha256()
+    with Path(path).open("rb") as handle:
+        while True:
+            chunk = handle.read(_CHUNK)
+            if not chunk:
+                break
+            digest.update(chunk)
+    return digest.hexdigest()

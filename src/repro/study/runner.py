@@ -4,25 +4,42 @@ The paper's methodology: four interactive sessions per application,
 each analyzed offline by LagAlyzer; Table III reports per-application
 averages over the sessions, and Figures 3-8 characterize patterns,
 triggers, locations, and causes. :func:`run_study` reproduces that
-pipeline, one application at a time (like the paper's tool, which loads
-one session's trace into memory at a time, we keep only analysis
-summaries, not traces).
+pipeline — and, through :mod:`repro.engine`, scales it: applications
+fan out across worker processes (``workers=``) and every per-trace
+analysis partial is served from the content-addressed result cache when
+the trace is unchanged, so re-running a study is mostly cache reads.
+Parallel and cached runs produce results identical to the serial path.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+import functools
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
 
-from repro.core.api import AnalysisConfig, LagAlyzer
+from repro.core.api import AnalysisConfig
 from repro.core.concurrency import ConcurrencySummary
 from repro.core.location import LocationSummary
 from repro.core.occurrence import OccurrenceSummary
-from repro.core.statistics import SessionStats, average_stats, mean_row
+from repro.core.statistics import SessionStats, mean_row
 from repro.core.threadstates import ThreadStateSummary
 from repro.core.triggers import TriggerSummary
+from repro.engine.engine import AnalysisEngine
+from repro.engine.scheduler import parallel_map
 from repro.apps.catalog import APPLICATION_NAMES
 from repro.apps.sessions import simulate_sessions
+
+#: The analyses every AppResult is assembled from, in map order.
+_APP_ANALYSES = (
+    "statistics",
+    "occurrence",
+    "triggers",
+    "location",
+    "concurrency",
+    "threadstates",
+    "patterns",
+)
 
 
 @dataclass(frozen=True)
@@ -79,38 +96,74 @@ class StudyResult:
 
 
 def analyze_app(
-    name: str, config: StudyConfig
+    name: str,
+    config: StudyConfig,
+    engine: Optional[AnalysisEngine] = None,
 ) -> AppResult:
-    """Simulate and analyze one application's sessions."""
+    """Simulate and analyze one application's sessions.
+
+    With an engine, every per-trace analysis partial goes through its
+    result cache — a re-run over unchanged traces does no map work.
+    """
     traces = simulate_sessions(
         name, count=config.sessions, seed=config.seed, scale=config.scale
     )
-    analyzer = LagAlyzer.from_traces(traces, config=config.analysis_config())
-    per_session = analyzer.session_stats()
+    analysis_config = config.analysis_config()
+    if engine is None:
+        engine = AnalysisEngine(workers=1, use_cache=False)
+    partials = engine.map_traces(_APP_ANALYSES, traces, analysis_config)
+
+    def reduce(analysis: str, perceptible_only: bool = False):
+        from repro.core.analyses import get_analysis
+
+        return get_analysis(analysis).reduce(
+            partials[analysis], perceptible_only=perceptible_only
+        )
+
+    stats = reduce("statistics")
     return AppResult(
-        name=analyzer.application,
-        session_stats=per_session,
-        mean_stats=average_stats(per_session, analyzer.application),
-        occurrence=analyzer.occurrence_summary(),
-        triggers_all=analyzer.trigger_summary(),
-        triggers_perceptible=analyzer.trigger_summary(perceptible_only=True),
-        location_all=analyzer.location_summary(),
-        location_perceptible=analyzer.location_summary(perceptible_only=True),
-        concurrency_all=analyzer.concurrency_summary(),
-        concurrency_perceptible=analyzer.concurrency_summary(
-            perceptible_only=True
+        name=stats.mean.application,
+        session_stats=list(stats.rows),
+        mean_stats=stats.mean,
+        occurrence=reduce("occurrence"),
+        triggers_all=reduce("triggers"),
+        triggers_perceptible=reduce("triggers", perceptible_only=True),
+        location_all=reduce("location"),
+        location_perceptible=reduce("location", perceptible_only=True),
+        concurrency_all=reduce("concurrency"),
+        concurrency_perceptible=reduce("concurrency", perceptible_only=True),
+        threadstates_all=reduce("threadstates"),
+        threadstates_perceptible=reduce(
+            "threadstates", perceptible_only=True
         ),
-        threadstates_all=analyzer.threadstate_summary(),
-        threadstates_perceptible=analyzer.threadstate_summary(
-            perceptible_only=True
-        ),
-        pattern_cdf=analyzer.pattern_table().cumulative_episode_distribution(),
+        pattern_cdf=list(reduce("patterns").cdf),
     )
+
+
+def _analyze_app_task(
+    name: str,
+    config: StudyConfig,
+    cache_dir: Optional[str],
+    use_cache: bool,
+) -> AppResult:
+    """Worker: one application end to end (module-level for pickling).
+
+    Cache counters accumulated in the worker are flushed to the shared
+    ``stats.json`` before returning, so ``engine cache stats`` sees the
+    whole study no matter how it was scheduled.
+    """
+    engine = AnalysisEngine(workers=1, cache_dir=cache_dir, use_cache=use_cache)
+    result = analyze_app(name, config, engine=engine)
+    engine.flush_cache_stats()
+    return result
 
 
 def run_study(
     config: Optional[StudyConfig] = None,
     progress: bool = False,
+    workers: Optional[int] = 1,
+    cache_dir: Optional[Union[str, Path]] = None,
+    use_cache: bool = True,
 ) -> StudyResult:
     """Run the full characterization study.
 
@@ -118,11 +171,22 @@ def run_study(
         config: study parameters; defaults to the paper's setup (four
             full-length sessions per application, 100 ms threshold).
         progress: print one line per application as it completes.
+        workers: worker processes to fan applications out across
+            (``1`` = serial, ``0`` = one per CPU). Results are
+            identical for every worker count.
+        cache_dir: result-cache root (default ``~/.cache/lagalyzer``).
+        use_cache: set ``False`` to recompute everything.
     """
     config = config or StudyConfig()
+    task = functools.partial(
+        _analyze_app_task,
+        config=config,
+        cache_dir=str(cache_dir) if cache_dir is not None else None,
+        use_cache=use_cache,
+    )
+    app_results = parallel_map(task, config.applications, workers=workers)
     results: Dict[str, AppResult] = {}
-    for name in config.applications:
-        result = analyze_app(name, config)
+    for result in app_results:
         results[result.name] = result
         if progress:
             stats = result.mean_stats

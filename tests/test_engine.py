@@ -1,0 +1,279 @@
+"""Tests for the parallel map-reduce engine and its result cache.
+
+The load-bearing property: for every analysis, every worker count, and
+every cache temperature, the produced summary is byte-identical
+(``pickle.dumps`` equal) to the serial uncached ``summarize()``.
+"""
+
+import pickle
+
+import pytest
+
+from repro.apps.sessions import simulate_sessions
+from repro.core.analyses import REGISTRY, get_analysis
+from repro.core.api import AnalysisConfig, LagAlyzer
+from repro.core.errors import AnalysisError
+from repro.engine import AnalysisEngine, MISS, ResultCache, parallel_map
+from repro.engine.cache import config_fingerprint
+from repro.lila.digest import file_digest, trace_digest
+
+from helpers import dispatch, listener_iv, make_trace
+
+ANALYSES = sorted(REGISTRY)
+WORKER_COUNTS = (1, 2, 4)
+SEEDS = (11, 42)
+
+
+@pytest.fixture(scope="module")
+def trace_sets():
+    """Per-seed simulated session pairs (small but structurally rich)."""
+    return {
+        seed: simulate_sessions(
+            "CrosswordSage", count=2, seed=seed, scale=0.04
+        )
+        for seed in SEEDS
+    }
+
+
+def _serial(analysis_name, traces, config, perceptible_only=False):
+    return get_analysis(analysis_name).summarize(
+        traces, config, perceptible_only=perceptible_only
+    )
+
+
+class TestParallelSerialEquivalence:
+    @pytest.mark.parametrize("analysis_name", ANALYSES)
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    def test_summary_identical_across_workers(
+        self, trace_sets, analysis_name, workers
+    ):
+        config = AnalysisConfig()
+        for seed, traces in trace_sets.items():
+            expected = _serial(analysis_name, traces, config)
+            engine = AnalysisEngine(workers=workers, use_cache=False)
+            got = engine.summarize(analysis_name, traces, config)
+            assert pickle.dumps(got) == pickle.dumps(expected), (
+                f"{analysis_name} differs at workers={workers}, seed={seed}"
+            )
+
+    @pytest.mark.parametrize(
+        "analysis_name", ["triggers", "location", "concurrency", "threadstates"]
+    )
+    def test_perceptible_only_identical(self, trace_sets, analysis_name):
+        config = AnalysisConfig()
+        traces = trace_sets[SEEDS[0]]
+        expected = _serial(analysis_name, traces, config, perceptible_only=True)
+        engine = AnalysisEngine(workers=2, use_cache=False)
+        got = engine.summarize(
+            analysis_name, traces, config, perceptible_only=True
+        )
+        assert pickle.dumps(got) == pickle.dumps(expected)
+
+    def test_reduce_is_order_sensitive_like_serial(self, trace_sets):
+        """Partials merged in trace order reproduce pattern tie-breaks."""
+        config = AnalysisConfig()
+        traces = trace_sets[SEEDS[0]]
+        analysis = get_analysis("patterns")
+        partials = [analysis.map_trace(t, config) for t in traces]
+        merged = analysis.reduce(partials)
+        analyzer = LagAlyzer.from_traces(traces, config=config)
+        table = analyzer.pattern_table()
+        assert merged.distinct_patterns == table.distinct_count
+        assert merged.covered_episodes == table.covered_episodes
+        assert list(merged.cdf) == table.cumulative_episode_distribution()
+
+
+class TestCachedEquivalence:
+    @pytest.mark.parametrize("analysis_name", ANALYSES)
+    def test_cached_summary_identical(
+        self, trace_sets, analysis_name, tmp_path
+    ):
+        config = AnalysisConfig()
+        traces = trace_sets[SEEDS[0]]
+        expected = _serial(analysis_name, traces, config)
+        cold = AnalysisEngine(workers=1, cache_dir=tmp_path)
+        got_cold = cold.summarize(analysis_name, traces, config)
+        assert cold.cache.stats.hits == 0
+        assert cold.cache.stats.stores == len(traces)
+        warm = AnalysisEngine(workers=1, cache_dir=tmp_path)
+        got_warm = warm.summarize(analysis_name, traces, config)
+        assert warm.cache.stats.hits == len(traces)
+        assert warm.cache.stats.misses == 0
+        assert pickle.dumps(got_cold) == pickle.dumps(expected)
+        assert pickle.dumps(got_warm) == pickle.dumps(expected)
+
+    def test_warm_cache_skips_all_map_work(self, trace_sets, tmp_path):
+        config = AnalysisConfig()
+        traces = trace_sets[SEEDS[1]]
+        names = list(REGISTRY)
+        AnalysisEngine(cache_dir=tmp_path).map_traces(names, traces, config)
+        warm = AnalysisEngine(cache_dir=tmp_path)
+        warm.map_traces(names, traces, config)
+        assert warm.cache.stats.misses == 0
+        assert warm.cache.stats.hits == len(names) * len(traces)
+
+    def test_config_change_invalidates(self, trace_sets, tmp_path):
+        traces = trace_sets[SEEDS[0]]
+        engine = AnalysisEngine(cache_dir=tmp_path)
+        engine.summarize("triggers", traces, AnalysisConfig())
+        engine.summarize(
+            "triggers", traces, AnalysisConfig(perceptible_threshold_ms=150.0)
+        )
+        assert engine.cache.stats.hits == 0
+        assert engine.cache.stats.misses == 2 * len(traces)
+
+
+class TestCacheRobustness:
+    def _one_entry(self, tmp_path):
+        trace = make_trace(
+            [dispatch(0.0, 50.0, [listener_iv("a.A.m", 0.0, 49.0)])]
+        )
+        config = AnalysisConfig()
+        engine = AnalysisEngine(cache_dir=tmp_path)
+        expected = engine.summarize("triggers", [trace], config)
+        entries = list(engine.cache._entries())
+        assert len(entries) == 1
+        return trace, config, entries[0], expected
+
+    def test_truncated_entry_discarded(self, tmp_path):
+        trace, config, entry, expected = self._one_entry(tmp_path)
+        blob = entry.read_bytes()
+        entry.write_bytes(blob[: len(blob) // 2])
+        engine = AnalysisEngine(cache_dir=tmp_path)
+        got = engine.summarize("triggers", [trace], config)
+        assert pickle.dumps(got) == pickle.dumps(expected)
+        assert engine.cache.stats.discarded == 1
+        assert engine.cache.stats.hits == 0
+
+    def test_garbage_entry_discarded(self, tmp_path):
+        trace, config, entry, expected = self._one_entry(tmp_path)
+        entry.write_bytes(b"this is not a cache entry at all")
+        engine = AnalysisEngine(cache_dir=tmp_path)
+        got = engine.summarize("triggers", [trace], config)
+        assert pickle.dumps(got) == pickle.dumps(expected)
+        assert engine.cache.stats.discarded == 1
+
+    def test_checksum_mismatch_discarded(self, tmp_path):
+        trace, config, entry, expected = self._one_entry(tmp_path)
+        blob = bytearray(entry.read_bytes())
+        blob[-1] ^= 0xFF  # flip one payload bit
+        entry.write_bytes(bytes(blob))
+        engine = AnalysisEngine(cache_dir=tmp_path)
+        got = engine.summarize("triggers", [trace], config)
+        assert pickle.dumps(got) == pickle.dumps(expected)
+        assert engine.cache.stats.discarded == 1
+
+    def test_discarded_entry_is_rewritten(self, tmp_path):
+        trace, config, entry, _ = self._one_entry(tmp_path)
+        entry.write_bytes(b"garbage")
+        engine = AnalysisEngine(cache_dir=tmp_path)
+        engine.summarize("triggers", [trace], config)
+        warm = AnalysisEngine(cache_dir=tmp_path)
+        warm.summarize("triggers", [trace], config)
+        assert warm.cache.stats.hits == 1
+
+    def test_clear_and_stats(self, tmp_path):
+        trace, config, entry, _ = self._one_entry(tmp_path)
+        cache = ResultCache(tmp_path)
+        assert cache.entry_count() == 1
+        assert cache.total_bytes() > 0
+        assert cache.clear() == 1
+        assert cache.entry_count() == 0
+        assert cache.get("0" * 64) is MISS
+
+    def test_stats_flush_accumulates(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.stats.hits = 3
+        cache.stats.misses = 1
+        cache.flush_stats()
+        cache.stats.hits = 2
+        total = cache.flush_stats()
+        assert total.hits == 5
+        assert total.misses == 1
+        assert ResultCache(tmp_path).persisted_stats().hits == 5
+
+
+class TestDigests:
+    def test_trace_digest_stable_and_memoized(self, trace_sets):
+        trace = trace_sets[SEEDS[0]][0]
+        first = trace_digest(trace)
+        assert first == trace_digest(trace)
+        assert len(first) == 64
+
+    def test_digest_distinguishes_sessions(self, trace_sets):
+        a, b = trace_sets[SEEDS[0]]
+        assert trace_digest(a) != trace_digest(b)
+
+    def test_file_digest_tracks_content(self, tmp_path):
+        path = tmp_path / "t.bin"
+        path.write_bytes(b"abc")
+        first = file_digest(path)
+        path.write_bytes(b"abcd")
+        assert file_digest(path) != first
+
+    def test_config_fingerprint_sensitivity(self):
+        base = AnalysisConfig()
+        assert config_fingerprint(base) == config_fingerprint(AnalysisConfig())
+        assert config_fingerprint(base) != config_fingerprint(
+            AnalysisConfig(perceptible_threshold_ms=150.0)
+        )
+        assert config_fingerprint(base) != config_fingerprint(
+            AnalysisConfig(include_gc_in_patterns=True)
+        )
+
+
+class TestScheduler:
+    def test_parallel_map_preserves_order(self):
+        assert parallel_map(abs, [-3, 2, -1], workers=2) == [3, 2, 1]
+
+    def test_serial_fallback_for_single_item(self):
+        assert parallel_map(abs, [-7], workers=8) == [7]
+
+    def test_task_errors_propagate(self):
+        with pytest.raises(ZeroDivisionError):
+            parallel_map((1).__truediv__, [1, 0], workers=1)
+
+    def test_negative_workers_rejected(self):
+        with pytest.raises(AnalysisError):
+            parallel_map(abs, [1, 2], workers=-2)
+
+
+class TestStudyParallelism:
+    @staticmethod
+    def _tiny_config():
+        from repro.study.runner import StudyConfig
+
+        return StudyConfig(
+            sessions=2, scale=0.04, applications=("CrosswordSage", "JFreeChart")
+        )
+
+    def test_run_study_workers_and_cache_identical(self, tmp_path):
+        from repro.study.runner import run_study
+
+        config = self._tiny_config()
+        baseline = run_study(config, workers=1, use_cache=False)
+        variants = {
+            "workers=2": run_study(config, workers=2, use_cache=False),
+            "cold cache": run_study(config, workers=1, cache_dir=tmp_path),
+            "warm cache": run_study(config, workers=2, cache_dir=tmp_path),
+        }
+        for name in baseline.apps:
+            expected = pickle.dumps(baseline.apps[name])
+            for label, result in variants.items():
+                assert pickle.dumps(result.apps[name]) == expected, (
+                    f"{name} differs under {label}"
+                )
+
+    def test_warm_study_run_does_no_map_work(self, tmp_path):
+        from repro.study.runner import StudyConfig, analyze_app
+
+        config = StudyConfig(
+            sessions=1, scale=0.04, applications=("CrosswordSage",)
+        )
+        cold = AnalysisEngine(cache_dir=tmp_path)
+        analyze_app("CrosswordSage", config, engine=cold)
+        assert cold.cache.stats.stores > 0
+        warm = AnalysisEngine(cache_dir=tmp_path)
+        analyze_app("CrosswordSage", config, engine=warm)
+        assert warm.cache.stats.misses == 0
+        assert warm.cache.stats.hits == cold.cache.stats.stores
