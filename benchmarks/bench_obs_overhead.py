@@ -1,0 +1,96 @@
+"""Disabled-mode observability overhead — must stay under 2%.
+
+Every instrumented hot path goes through the guarded helpers in
+:mod:`repro.obs.runtime`; with no observer installed each call is one
+global read and one comparison. This bench proves that budget is held
+on a medium study: it times the same study twice — once through the
+real guards, once with the helpers swapped for the cheapest possible
+stubs (the "no instrumentation at all" floor) — interleaved, best of N,
+and asserts the guarded run is within 2% of the floor.
+
+Runs standalone (``python benchmarks/bench_obs_overhead.py``) or under
+pytest as the CI smoke step; no pytest-benchmark needed.
+Environment knobs: ``OBS_BENCH_SCALE`` (default 0.15),
+``OBS_BENCH_REPEATS`` (default 7), ``OBS_BENCH_LIMIT_PCT`` (default 2),
+``OBS_BENCH_NOISE_MS`` (default 15 — absolute allowance for scheduler
+and timer jitter, well below what any real per-episode regression
+would cost on this workload).
+"""
+
+import os
+import time
+
+from repro.obs import runtime as obs_runtime
+from repro.obs.spans import NULL_SPAN
+from repro.study.runner import StudyConfig, run_study
+
+SCALE = float(os.environ.get("OBS_BENCH_SCALE", "0.15"))
+REPEATS = int(os.environ.get("OBS_BENCH_REPEATS", "7"))
+LIMIT_PCT = float(os.environ.get("OBS_BENCH_LIMIT_PCT", "2.0"))
+NOISE_S = float(os.environ.get("OBS_BENCH_NOISE_MS", "15")) / 1e3
+
+#: The guarded helpers and their do-nothing floor equivalents.
+_STUBS = {
+    "maybe_span": lambda name, metric=None, **attrs: NULL_SPAN,
+    "count": lambda name, n=1: None,
+    "observe": lambda name, value: None,
+    "set_gauge": lambda name, value: None,
+    "profiled": lambda key: NULL_SPAN,
+    "current": lambda: None,
+}
+
+
+def _workload() -> None:
+    config = StudyConfig(
+        sessions=1,
+        scale=SCALE,
+        applications=("Arabeske", "Euclide"),
+    )
+    run_study(config, workers=1, use_cache=False)
+
+
+def _timed() -> float:
+    start = time.perf_counter()
+    _workload()
+    return time.perf_counter() - start
+
+
+def measure_overhead(repeats: int = REPEATS):
+    """``(guarded_s, floor_s)`` — best-of-N, interleaved A/B."""
+    assert obs_runtime.current() is None, "bench requires disabled mode"
+    originals = {name: getattr(obs_runtime, name) for name in _STUBS}
+    _workload()  # warm caches, imports, and the code paths themselves
+    guarded = floor = float("inf")
+    try:
+        for _ in range(repeats):
+            guarded = min(guarded, _timed())
+            for name, stub in _STUBS.items():
+                setattr(obs_runtime, name, stub)
+            try:
+                floor = min(floor, _timed())
+            finally:
+                for name, original in originals.items():
+                    setattr(obs_runtime, name, original)
+    finally:
+        for name, original in originals.items():
+            setattr(obs_runtime, name, original)
+    return guarded, floor
+
+
+def test_disabled_mode_overhead_under_limit():
+    guarded, floor = measure_overhead()
+    overhead_pct = 100.0 * (guarded - floor) / floor
+    print(
+        f"\n[obs overhead] guarded={guarded * 1e3:.1f}ms "
+        f"floor={floor * 1e3:.1f}ms overhead={overhead_pct:+.2f}% "
+        f"(limit {LIMIT_PCT:.1f}%, scale {SCALE}, best of {REPEATS})"
+    )
+    assert guarded <= floor * (1.0 + LIMIT_PCT / 100.0) + NOISE_S, (
+        f"disabled-mode observability overhead {overhead_pct:.2f}% exceeds "
+        f"{LIMIT_PCT:.1f}% (guarded {guarded:.3f}s vs floor {floor:.3f}s)"
+    )
+
+
+if __name__ == "__main__":
+    test_disabled_mode_overhead_under_limit()
+    print("ok")

@@ -15,7 +15,10 @@ Subcommands:
   all figure SVGs, and EXPERIMENTS.md (``--workers`` fans applications
   out across processes; results are cached on disk);
 - ``engine``    — inspect and manage the analysis engine
-  (``engine cache stats`` / ``engine cache clear``).
+  (``engine cache stats`` / ``engine cache clear``);
+- ``obs``       — inspect and export the pipeline's own observability
+  bundles written by ``study --obs`` (``obs report`` / ``obs export
+  --format chrome|jsonl|prom`` / ``obs timeline``).
 """
 
 from __future__ import annotations
@@ -214,12 +217,35 @@ def _cmd_lint(args: argparse.Namespace) -> int:
 
 def _cmd_study(args: argparse.Namespace) -> int:
     from repro.study.report import render_figures, write_experiments_md
-    from repro.study.runner import StudyConfig, run_study
+    from repro.study.runner import (
+        APPLICATION_NAMES,
+        StudyConfig,
+        run_study,
+    )
     from repro.study.tables import format_table3
 
+    applications = tuple(APPLICATION_NAMES)
+    if args.apps:
+        unknown = [name for name in args.apps if name not in APPLICATION_NAMES]
+        if unknown:
+            print(
+                f"unknown application(s): {', '.join(unknown)} "
+                f"(choose from {', '.join(APPLICATION_NAMES)})",
+                file=sys.stderr,
+            )
+            return 1
+        applications = tuple(args.apps)
     config = StudyConfig(
-        seed=args.seed, sessions=args.sessions, scale=args.scale
+        seed=args.seed,
+        sessions=args.sessions,
+        scale=args.scale,
+        applications=applications,
     )
+    obs = None
+    if args.obs is not None or args.profile:
+        from repro.obs import Observer
+
+        obs = Observer(profile=args.profile)
     print(
         f"running study: {len(config.applications)} applications x "
         f"{config.sessions} sessions (scale {config.scale}, "
@@ -231,6 +257,7 @@ def _cmd_study(args: argparse.Namespace) -> int:
         workers=args.workers,
         cache_dir=args.cache_dir,
         use_cache=not args.no_cache,
+        obs=obs,
     )
     outdir = Path(args.output)
     outdir.mkdir(parents=True, exist_ok=True)
@@ -250,6 +277,16 @@ def _cmd_study(args: argparse.Namespace) -> int:
         f"wrote {len(figure_paths)} figures, {report_path}, and "
         f"{html_path} to {outdir}/"
     )
+    if obs is not None:
+        if args.obs is not None:
+            obs_dir = Path(args.obs)
+            obs.save(obs_dir)
+            print(f"wrote observability bundle to {obs_dir}/")
+        if args.profile:
+            report = obs.profiler.format_report(top=5)
+            if report:
+                print(report)
+        print(obs.summary_line())
     return 0
 
 
@@ -261,7 +298,27 @@ def _cmd_engine_cache(args: argparse.Namespace) -> int:
         removed = cache.clear()
         print(f"cleared {removed} cached entries from {cache.root}")
         return 0
-    stats = cache.persisted_stats()
+    stats, status = cache.persisted_stats_status()
+    if status == "missing":
+        print(f"cache dir:    {cache.root}")
+        if not cache.root.is_dir():
+            print("no cache yet (directory does not exist; run a study "
+                  "with caching enabled to create it)")
+        else:
+            print("no recorded statistics yet (cache directory exists but "
+                  "no run has persisted stats.json)")
+            entries = cache.entry_count()
+            if entries:
+                print(f"entries:      {entries} ({cache.total_bytes()} bytes)")
+        return 0
+    if status == "corrupt":
+        print(
+            f"error: cache statistics at {cache.root / 'stats.json'} are "
+            f"unreadable (corrupt or wrong format); run "
+            f"'engine cache clear' to reset",
+            file=sys.stderr,
+        )
+        return 2
     entries = cache.entry_count()
     total = stats.hits + stats.misses
     hit_pct = 100.0 * stats.hits / total if total else 0.0
@@ -272,7 +329,101 @@ def _cmd_engine_cache(args: argparse.Namespace) -> int:
     print(f"misses:       {stats.misses}")
     print(f"stores:       {stats.stores}")
     print(f"discarded:    {stats.discarded} (failed integrity check)")
+    print(f"write errors: {stats.write_errors}")
     print(f"hit rate:     {hit_pct:.1f}%")
+    return 0
+
+
+def _cmd_obs(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs.observer import load_bundle
+
+    try:
+        bundle = load_bundle(args.directory)
+    except FileNotFoundError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    spans = bundle["spans"]
+    metrics = bundle["metrics"]
+
+    if args.obs_command == "report":
+        from repro.obs.spans import span_depth
+
+        print(f"bundle:       {args.directory}")
+        pids = sorted({span.pid for span in spans})
+        print(f"spans:        {len(spans)} across {len(pids)} process(es)")
+        print(f"span depth:   {span_depth(spans)}")
+        counters = metrics.get("counters", {})
+        if counters:
+            print("counters:")
+            for name in sorted(counters):
+                print(f"  {name:<28} {counters[name]}")
+        gauges = metrics.get("gauges", {})
+        if gauges:
+            print("gauges:")
+            for name in sorted(gauges):
+                print(f"  {name:<28} {gauges[name]}")
+        histograms = metrics.get("histograms", {})
+        if histograms:
+            print("latencies (ms):")
+            for name in sorted(histograms):
+                hist = histograms[name]
+                count = hist.get("count", 0)
+                mean = hist.get("sum", 0.0) / count if count else 0.0
+                print(f"  {name:<28} n={count} mean={mean:.2f}")
+        slowest = sorted(
+            spans, key=lambda span: span.duration_ns, reverse=True
+        )[: args.limit]
+        if slowest:
+            print(f"slowest spans (top {len(slowest)}):")
+            for span in slowest:
+                print(
+                    f"  {span.duration_ms:>10.2f} ms  {span.name}"
+                    f"  (pid {span.pid})"
+                )
+        profile = bundle.get("profile")
+        if profile:
+            from repro.obs.profiling import ProfileAggregator
+
+            aggregator = ProfileAggregator()
+            aggregator.merge(profile)
+            report = aggregator.format_report(top=args.limit)
+            if report:
+                print(report)
+        return 0
+
+    if args.obs_command == "timeline":
+        from repro.viz.obstimeline import save_span_timeline
+
+        path = save_span_timeline(spans, args.output)
+        print(f"wrote {path} ({len(spans)} spans)")
+        return 0
+
+    # export
+    if args.format == "chrome":
+        from repro.obs.export import spans_to_chrome
+
+        text = json.dumps(spans_to_chrome(spans), indent=2)
+        default_name = "trace.chrome.json"
+    elif args.format == "jsonl":
+        from repro.obs.export import spans_to_jsonl
+
+        text = spans_to_jsonl(spans)
+        default_name = "spans.export.jsonl"
+    else:
+        from repro.obs.export import metrics_to_prometheus
+
+        text = metrics_to_prometheus(metrics)
+        default_name = "metrics.prom"
+    if args.output == "-":
+        print(text)
+        return 0
+    out = Path(args.output) if args.output else Path(default_name)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(text + ("\n" if not text.endswith("\n") else ""),
+                   encoding="utf-8")
+    print(f"wrote {out} ({args.format})")
     return 0
 
 
@@ -366,6 +517,15 @@ def build_parser() -> argparse.ArgumentParser:
                       help="result-cache root (default ~/.cache/lagalyzer)")
     p_st.add_argument("--no-cache", action="store_true",
                       help="recompute everything, bypassing the cache")
+    p_st.add_argument("--apps", nargs="+", default=None, metavar="APP",
+                      help="restrict the study to these applications "
+                      "(default: all of Table II)")
+    p_st.add_argument("--obs", default=None, metavar="DIR",
+                      help="trace the pipeline itself; write the "
+                      "spans/metrics bundle to DIR")
+    p_st.add_argument("--profile", action="store_true",
+                      help="profile analysis map calls with cProfile "
+                      "and report the top hotspots")
     p_st.set_defaults(func=_cmd_study)
 
     p_en = sub.add_parser(
@@ -377,6 +537,33 @@ def build_parser() -> argparse.ArgumentParser:
     p_ec.add_argument("--cache-dir", default=None,
                       help="result-cache root (default ~/.cache/lagalyzer)")
     p_ec.set_defaults(func=_cmd_engine_cache)
+
+    p_ob = sub.add_parser(
+        "obs", help="inspect and export pipeline observability bundles"
+    )
+    ob_sub = p_ob.add_subparsers(dest="obs_command", required=True)
+    p_or = ob_sub.add_parser("report", help="summarize a bundle")
+    p_or.add_argument("directory", help="bundle written by study --obs")
+    p_or.add_argument("--limit", type=int, default=10,
+                      help="rows in the slowest-spans / hotspot tables")
+    p_or.set_defaults(func=_cmd_obs)
+    p_oe = ob_sub.add_parser("export", help="convert a bundle for other tools")
+    p_oe.add_argument("directory", help="bundle written by study --obs")
+    p_oe.add_argument("--format", choices=("chrome", "jsonl", "prom"),
+                      default="chrome",
+                      help="chrome = trace-event JSON (chrome://tracing, "
+                      "Perfetto); jsonl = raw spans; prom = Prometheus "
+                      "text exposition of the metrics")
+    p_oe.add_argument("--output", "-o", default=None,
+                      help="output file ('-' for stdout; default depends "
+                      "on the format)")
+    p_oe.set_defaults(func=_cmd_obs)
+    p_ot = ob_sub.add_parser(
+        "timeline", help="render the spans as an SVG timeline"
+    )
+    p_ot.add_argument("directory", help="bundle written by study --obs")
+    p_ot.add_argument("--output", "-o", default="obs-timeline.svg")
+    p_ot.set_defaults(func=_cmd_obs)
     return parser
 
 

@@ -26,6 +26,7 @@ from repro.core.statistics import SessionStats, average_stats
 from repro.core.threadstates import ThreadStateSummary
 from repro.core.trace import Trace
 from repro.core.triggers import Trigger, TriggerSummary
+from repro.obs import runtime as obs_runtime
 
 
 @dataclass(frozen=True)
@@ -92,6 +93,7 @@ class LagAlyzer:
         self,
         traces: Sequence[Trace],
         config: Optional[AnalysisConfig] = None,
+        obs: Optional[Any] = None,
     ) -> None:
         if not traces:
             raise AnalysisError("LagAlyzer needs at least one trace")
@@ -103,6 +105,9 @@ class LagAlyzer:
             )
         self.traces: List[Trace] = list(traces)
         self.config = config or AnalysisConfig()
+        self.obs = obs
+        """Optional :class:`repro.obs.Observer` this analyzer reports
+        into (falls back to the ambiently installed observer)."""
         self._pattern_table: Optional[PatternTable] = None
         self._episodes: Optional[List[Episode]] = None
 
@@ -115,9 +120,10 @@ class LagAlyzer:
         cls,
         traces: Sequence[Trace],
         config: Optional[AnalysisConfig] = None,
+        obs: Optional[Any] = None,
     ) -> "LagAlyzer":
         """Build an analyzer from already-loaded traces."""
-        return cls(traces, config=config)
+        return cls(traces, config=config, obs=obs)
 
     @classmethod
     def load(
@@ -125,6 +131,7 @@ class LagAlyzer:
         paths: Union[str, Path, Sequence[Union[str, Path]]],
         config: Optional[AnalysisConfig] = None,
         workers: Optional[int] = 1,
+        obs: Optional[Any] = None,
     ) -> "LagAlyzer":
         """Build an analyzer by reading LiLa-style trace files.
 
@@ -138,9 +145,9 @@ class LagAlyzer:
         from repro.engine.engine import AnalysisEngine
         from repro.lila.autodetect import expand_trace_paths
 
-        engine = AnalysisEngine(workers=workers, use_cache=False)
+        engine = AnalysisEngine(workers=workers, use_cache=False, obs=obs)
         traces = engine.load_traces(expand_trace_paths(paths))
-        return cls(traces, config=config)
+        return cls(traces, config=config, obs=obs)
 
     # ------------------------------------------------------------------
     # Episode access
@@ -158,9 +165,15 @@ class LagAlyzer:
         traces are immutable, so the cache never needs invalidation.
         """
         if self._episodes is None:
-            result: List[Episode] = []
-            for trace in self.traces:
-                result.extend(analyses_mod.trace_episodes(trace, self.config))
+            with obs_runtime.installed(self.obs):
+                with obs_runtime.maybe_span(
+                    "api.episodes", traces=len(self.traces)
+                ):
+                    result: List[Episode] = []
+                    for trace in self.traces:
+                        result.extend(
+                            analyses_mod.trace_episodes(trace, self.config)
+                        )
             self._episodes = result
         return self._episodes
 
@@ -176,10 +189,15 @@ class LagAlyzer:
     def pattern_table(self) -> PatternTable:
         """The mined pattern table, integrating all sessions."""
         if self._pattern_table is None:
-            self._pattern_table = PatternTable.from_episodes(
-                self.episodes,
-                include_gc=self.config.include_gc_in_patterns,
-            )
+            episodes = self.episodes
+            with obs_runtime.installed(self.obs):
+                with obs_runtime.maybe_span(
+                    "api.pattern_table", episodes=len(episodes)
+                ):
+                    self._pattern_table = PatternTable.from_episodes(
+                        episodes,
+                        include_gc=self.config.include_gc_in_patterns,
+                    )
         return self._pattern_table
 
     def pattern_of(self, episode: Episode) -> Optional[Pattern]:
@@ -222,9 +240,13 @@ class LagAlyzer:
             return engine.summarize(
                 name, self.traces, self.config, perceptible_only=perceptible_only
             )
-        return analyses_mod.get_analysis(name).summarize(
-            self.traces, self.config, perceptible_only=perceptible_only
-        )
+        with obs_runtime.installed(self.obs):
+            with obs_runtime.maybe_span(
+                "api.summary", analysis=name, perceptible_only=perceptible_only
+            ):
+                return analyses_mod.get_analysis(name).summarize(
+                    self.traces, self.config, perceptible_only=perceptible_only
+                )
 
     def occurrence_summary(self) -> OccurrenceSummary:
         """Always/sometimes/once/never distribution over patterns (Fig 4)."""

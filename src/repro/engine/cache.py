@@ -32,11 +32,13 @@ import json
 import os
 import pickle
 import tempfile
+import warnings
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Dict, Iterator, Optional, Union
+from typing import Any, Dict, Iterator, Optional, Tuple, Union
 
 import repro
+from repro.obs import runtime as obs_runtime
 
 #: Bump when the shape of cached partials changes incompatibly; stale
 #: entries then simply never match and age out via ``cache clear``.
@@ -82,6 +84,8 @@ class CacheStats:
     stores: int = 0
     discarded: int = 0
     """Entries dropped because they failed the integrity check."""
+    write_errors: int = 0
+    """Stores that failed (disk full, permissions) and were skipped."""
 
     def merge(self, other: "CacheStats") -> "CacheStats":
         return CacheStats(
@@ -89,6 +93,7 @@ class CacheStats:
             misses=self.misses + other.misses,
             stores=self.stores + other.stores,
             discarded=self.discarded + other.discarded,
+            write_errors=self.write_errors + other.write_errors,
         )
 
     def as_dict(self) -> Dict[str, int]:
@@ -97,6 +102,7 @@ class CacheStats:
             "misses": self.misses,
             "stores": self.stores,
             "discarded": self.discarded,
+            "write_errors": self.write_errors,
         }
 
 
@@ -154,21 +160,49 @@ class ResultCache:
             blob = path.read_bytes()
         except OSError:
             self.stats.misses += 1
+            obs_runtime.count("cache.misses")
             return MISS
         value = self._decode(blob)
         if value is MISS:
             self.stats.discarded += 1
             self.stats.misses += 1
+            obs_runtime.count("cache.discarded")
+            obs_runtime.count("cache.misses")
             try:
                 path.unlink()
             except OSError:
                 pass
             return MISS
         self.stats.hits += 1
+        obs_runtime.count("cache.hits")
         return value[0]
 
     def put(self, key: str, value: Any) -> None:
-        """Store ``value`` under ``key`` atomically."""
+        """Store ``value`` under ``key`` atomically.
+
+        Write failures (disk full, permission denied, a file squatting
+        on the shard directory path) never propagate: the cache is an
+        optimization, so a failed store warns, bumps the
+        ``cache.write_errors`` obs counter, and lets the run continue
+        uncached.
+        """
+        with obs_runtime.maybe_span("cache.put"):
+            try:
+                self._put(key, value)
+            except OSError as error:
+                self.stats.write_errors += 1
+                obs_runtime.count("cache.write_errors")
+                warnings.warn(
+                    f"result cache write failed for {key[:12]}… under "
+                    f"{self.root}: {error} — continuing uncached",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                return
+        self.stats.stores += 1
+        obs_runtime.count("cache.stores")
+
+    def _put(self, key: str, value: Any) -> None:
         path = self._path_for(key)
         path.parent.mkdir(parents=True, exist_ok=True)
         payload = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
@@ -187,7 +221,6 @@ class ResultCache:
             except OSError:
                 pass
             raise
-        self.stats.stores += 1
 
     @staticmethod
     def _decode(blob: bytes) -> Any:
@@ -254,31 +287,66 @@ class ResultCache:
         """Merge this process's counters into ``stats.json``.
 
         Returns the merged cumulative totals; in-process counters reset
-        so repeated flushes don't double count.
+        so repeated flushes don't double count. Like :meth:`put`, a
+        write failure warns and continues — losing a counter flush must
+        not kill the analysis that produced the counters.
         """
         current = self.stats
         if not any(current.as_dict().values()):
             return self.persisted_stats()
         self.stats = CacheStats()
         total = self.persisted_stats().merge(current)
-        self.root.mkdir(parents=True, exist_ok=True)
-        tmp = self._stats_path().with_suffix(".json.tmp")
-        tmp.write_text(json.dumps(total.as_dict()), encoding="utf-8")
-        os.replace(tmp, self._stats_path())
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+            tmp = self._stats_path().with_suffix(".json.tmp")
+            tmp.write_text(json.dumps(total.as_dict()), encoding="utf-8")
+            os.replace(tmp, self._stats_path())
+        except OSError as error:
+            self.stats.merge(current)  # keep counters for a later flush
+            obs_runtime.count("cache.write_errors")
+            warnings.warn(
+                f"cache stats flush failed under {self.root}: {error} — "
+                f"continuing",
+                RuntimeWarning,
+                stacklevel=2,
+            )
         return total
 
     def persisted_stats(self) -> CacheStats:
-        """The cumulative counters previously flushed to disk."""
+        """The cumulative counters previously flushed to disk.
+
+        Lenient: a missing or corrupt ``stats.json`` reads as all
+        zeros. Callers that must distinguish those cases (the CLI's
+        ``engine cache stats``) use :meth:`persisted_stats_status`.
+        """
+        return self.persisted_stats_status()[0]
+
+    def persisted_stats_status(self) -> Tuple[CacheStats, str]:
+        """``(stats, status)`` — status is ``"ok"``, ``"missing"``
+        (no ``stats.json`` yet), or ``"corrupt"`` (file exists but is
+        unreadable or not a counter mapping; stats read as zeros)."""
         try:
-            raw = json.loads(self._stats_path().read_text(encoding="utf-8"))
-            return CacheStats(
-                hits=int(raw.get("hits", 0)),
-                misses=int(raw.get("misses", 0)),
-                stores=int(raw.get("stores", 0)),
-                discarded=int(raw.get("discarded", 0)),
+            text = self._stats_path().read_text(encoding="utf-8")
+        except FileNotFoundError:
+            return CacheStats(), "missing"
+        except OSError:
+            return CacheStats(), "corrupt"
+        try:
+            raw = json.loads(text)
+            if not isinstance(raw, dict):
+                raise ValueError(f"expected a JSON object, got {type(raw).__name__}")
+            return (
+                CacheStats(
+                    hits=int(raw.get("hits", 0)),
+                    misses=int(raw.get("misses", 0)),
+                    stores=int(raw.get("stores", 0)),
+                    discarded=int(raw.get("discarded", 0)),
+                    write_errors=int(raw.get("write_errors", 0)),
+                ),
+                "ok",
             )
-        except (OSError, ValueError):
-            return CacheStats()
+        except (TypeError, ValueError):
+            return CacheStats(), "corrupt"
 
     def __repr__(self) -> str:
         return f"ResultCache({str(self.root)!r}, {self.stats})"

@@ -28,12 +28,45 @@ from repro.core.trace import Trace
 from repro.engine.cache import MISS, ResultCache, config_fingerprint
 from repro.engine.scheduler import parallel_map, resolve_workers
 from repro.lila.digest import trace_digest
+from repro.obs import Observer
+from repro.obs import runtime as obs_runtime
+
+
+def _run_map(name: str, trace: Trace, config: Any) -> Any:
+    """One ``map_trace`` call, spanned/profiled under the ambient observer."""
+    with obs_runtime.maybe_span(
+        "analysis.map", metric="engine.map_ms", analysis=name
+    ):
+        with obs_runtime.profiled(name):
+            return get_analysis(name).map_trace(trace, config)
 
 
 def _map_task(task: Tuple[Trace, Tuple[str, ...], Any]) -> List[Any]:
     """Worker: the missing partials of one trace (module-level for pickling)."""
     trace, names, config = task
-    return [get_analysis(name).map_trace(trace, config) for name in names]
+    return [_run_map(name, trace, config) for name in names]
+
+
+def _obs_map_task(
+    task: Tuple[Trace, Tuple[str, ...], Any, bool]
+) -> Tuple[List[Any], Optional[dict]]:
+    """Worker: ``_map_task`` plus this process's observability snapshot.
+
+    In a fresh worker process a local observer is installed for the
+    task and its snapshot shipped back for re-parented merging; when an
+    ambient observer already exists (serial fallback in the dispatching
+    process) spans land there directly and no snapshot is returned.
+    """
+    trace, names, config, profile = task
+    if obs_runtime.current() is not None:
+        return _map_task((trace, names, config)), None
+    worker = Observer(profile=profile)
+    with obs_runtime.installed(worker):
+        with worker.span(
+            "engine.worker_task", analyses=len(names), application=trace.application
+        ):
+            partials = _map_task((trace, names, config))
+    return partials, worker.snapshot()
 
 
 def _load_task(path: str) -> Trace:
@@ -41,6 +74,17 @@ def _load_task(path: str) -> Trace:
     from repro.lila.autodetect import load_trace
 
     return load_trace(path)
+
+
+def _obs_load_task(task: Tuple[str, bool]) -> Tuple[Trace, Optional[dict]]:
+    """Worker: ``_load_task`` plus the worker's observability snapshot."""
+    path, profile = task
+    if obs_runtime.current() is not None:
+        return _load_task(path), None
+    worker = Observer(profile=profile)
+    with obs_runtime.installed(worker):
+        trace = _load_task(path)
+    return trace, worker.snapshot()
 
 
 class AnalysisEngine:
@@ -53,6 +97,9 @@ class AnalysisEngine:
         cache_dir: root of the on-disk result cache; defaults to
             ``~/.cache/lagalyzer`` (or ``LAGALYZER_CACHE_DIR``).
         use_cache: disable the cache entirely with ``False``.
+        obs: an :class:`~repro.obs.Observer` to record this engine's
+            spans and metrics into; defaults to whatever observer is
+            ambiently installed (none = observation disabled).
     """
 
     def __init__(
@@ -61,8 +108,10 @@ class AnalysisEngine:
         cache_dir: Optional[Union[str, Path]] = None,
         use_cache: bool = True,
         cache: Optional[ResultCache] = None,
+        obs: Optional[Observer] = None,
     ) -> None:
         self.workers = workers
+        self.obs = obs
         if cache is not None:
             self.cache: Optional[ResultCache] = cache
         elif use_cache:
@@ -81,16 +130,17 @@ class AnalysisEngine:
 
     def map_trace(self, analysis_name: str, trace: Trace, config: Any) -> Any:
         """One analysis partial for one trace, via the cache."""
-        analysis = get_analysis(analysis_name)
-        if self.cache is None:
-            return analysis.map_trace(trace, config)
-        key = self._entry_key(analysis_name, trace, config)
-        value = self.cache.get(key)
-        if value is not MISS:
+        get_analysis(analysis_name)
+        with obs_runtime.installed(self.obs):
+            if self.cache is None:
+                return _run_map(analysis_name, trace, config)
+            key = self._entry_key(analysis_name, trace, config)
+            value = self.cache.get(key)
+            if value is not MISS:
+                return value
+            value = _run_map(analysis_name, trace, config)
+            self.cache.put(key, value)
             return value
-        value = analysis.map_trace(trace, config)
-        self.cache.put(key, value)
-        return value
 
     def map_traces(
         self,
@@ -106,41 +156,80 @@ class AnalysisEngine:
         """
         for name in analysis_names:
             get_analysis(name)
+        with obs_runtime.installed(self.obs):
+            return self._map_traces(analysis_names, traces, config)
+
+    def _map_traces(
+        self,
+        analysis_names: Sequence[str],
+        traces: Sequence[Trace],
+        config: Any,
+    ) -> Dict[str, List[Any]]:
+        obs = obs_runtime.current()
         results: Dict[str, List[Any]] = {
             name: [None] * len(traces) for name in analysis_names
         }
         fingerprint = config_fingerprint(config) if self.cache else ""
-        missing: List[Tuple[int, List[str]]] = []
-        for index, trace in enumerate(traces):
-            names_missing: List[str] = []
-            for name in analysis_names:
-                if self.cache is None:
-                    names_missing.append(name)
-                    continue
-                key = ResultCache.entry_key(
-                    trace_digest(trace), fingerprint, name
-                )
-                value = self.cache.get(key)
-                if value is MISS:
-                    names_missing.append(name)
-                else:
-                    results[name][index] = value
-            if names_missing:
-                missing.append((index, names_missing))
-        if missing:
-            tasks = [
-                (traces[index], tuple(names), config)
-                for index, names in missing
-            ]
-            computed = parallel_map(_map_task, tasks, workers=self.workers)
-            for (index, names), partials in zip(missing, computed):
-                for name, partial in zip(names, partials):
-                    results[name][index] = partial
-                    if self.cache is not None:
+        with obs_runtime.maybe_span(
+            "engine.map_traces",
+            analyses=len(analysis_names),
+            traces=len(traces),
+            workers=self.effective_workers,
+        ) as dispatch_span:
+            missing: List[Tuple[int, List[str]]] = []
+            with obs_runtime.maybe_span("engine.cache.probe"):
+                for index, trace in enumerate(traces):
+                    names_missing: List[str] = []
+                    for name in analysis_names:
+                        if self.cache is None:
+                            names_missing.append(name)
+                            continue
                         key = ResultCache.entry_key(
-                            trace_digest(traces[index]), fingerprint, name
+                            trace_digest(trace), fingerprint, name
                         )
-                        self.cache.put(key, partial)
+                        value = self.cache.get(key)
+                        if value is MISS:
+                            names_missing.append(name)
+                        else:
+                            results[name][index] = value
+                    if names_missing:
+                        missing.append((index, names_missing))
+            if missing:
+                if obs is not None:
+                    obs.metrics.inc("engine.tasks", len(missing))
+                    profile = obs.profiler is not None
+                    obs_tasks = [
+                        (traces[index], tuple(names), config, profile)
+                        for index, names in missing
+                    ]
+                    parent_id = (
+                        dispatch_span.span_id
+                        if dispatch_span is not None
+                        else None
+                    )
+                    outcomes = parallel_map(
+                        _obs_map_task, obs_tasks, workers=self.workers
+                    )
+                    computed = []
+                    for partials, snapshot in outcomes:
+                        obs.absorb(snapshot, parent_id=parent_id)
+                        computed.append(partials)
+                else:
+                    tasks = [
+                        (traces[index], tuple(names), config)
+                        for index, names in missing
+                    ]
+                    computed = parallel_map(
+                        _map_task, tasks, workers=self.workers
+                    )
+                for (index, names), partials in zip(missing, computed):
+                    for name, partial in zip(names, partials):
+                        results[name][index] = partial
+                        if self.cache is not None:
+                            key = ResultCache.entry_key(
+                                trace_digest(traces[index]), fingerprint, name
+                            )
+                            self.cache.put(key, partial)
         return results
 
     # ------------------------------------------------------------------
@@ -156,9 +245,13 @@ class AnalysisEngine:
     ) -> Any:
         """The full summary of one analysis over ``traces``."""
         partials = self.map_traces([analysis_name], traces, config)[analysis_name]
-        return get_analysis(analysis_name).reduce(
-            partials, perceptible_only=perceptible_only
-        )
+        with obs_runtime.installed(self.obs):
+            with obs_runtime.maybe_span(
+                "engine.reduce", metric="engine.reduce_ms", analysis=analysis_name
+            ):
+                return get_analysis(analysis_name).reduce(
+                    partials, perceptible_only=perceptible_only
+                )
 
     def summarize_all(
         self,
@@ -168,10 +261,16 @@ class AnalysisEngine:
     ) -> Dict[str, Any]:
         """Summaries of several analyses, sharing one map fan-out."""
         partial_lists = self.map_traces(analysis_names, traces, config)
-        return {
-            name: get_analysis(name).reduce(partial_lists[name])
-            for name in analysis_names
-        }
+        with obs_runtime.installed(self.obs):
+            summaries: Dict[str, Any] = {}
+            for name in analysis_names:
+                with obs_runtime.maybe_span(
+                    "engine.reduce", metric="engine.reduce_ms", analysis=name
+                ):
+                    summaries[name] = get_analysis(name).reduce(
+                        partial_lists[name]
+                    )
+            return summaries
 
     # ------------------------------------------------------------------
     # Parallel trace loading
@@ -181,9 +280,31 @@ class AnalysisEngine:
         self, paths: Sequence[Union[str, Path]]
     ) -> List[Trace]:
         """Load trace files, fanning the parsing out across workers."""
-        return parallel_map(
-            _load_task, [str(path) for path in paths], workers=self.workers
-        )
+        with obs_runtime.installed(self.obs):
+            obs = obs_runtime.current()
+            with obs_runtime.maybe_span(
+                "engine.load_traces", files=len(paths)
+            ) as load_span:
+                if obs is None:
+                    return parallel_map(
+                        _load_task,
+                        [str(path) for path in paths],
+                        workers=self.workers,
+                    )
+                profile = obs.profiler is not None
+                outcomes = parallel_map(
+                    _obs_load_task,
+                    [(str(path), profile) for path in paths],
+                    workers=self.workers,
+                )
+                parent_id = (
+                    load_span.span_id if load_span is not None else None
+                )
+                traces = []
+                for trace, snapshot in outcomes:
+                    obs.absorb(snapshot, parent_id=parent_id)
+                    traces.append(trace)
+                return traces
 
     # ------------------------------------------------------------------
     # Introspection

@@ -16,6 +16,7 @@ import os
 from typing import Callable, Iterable, List, Optional, Sequence, TypeVar
 
 from repro.core.errors import AnalysisError
+from repro.obs import runtime as obs_runtime
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -52,18 +53,24 @@ def parallel_map(
     workers = min(resolve_workers(workers), len(items))
     if workers <= 1 or len(items) <= 1:
         return [func(item) for item in items]
+    obs_runtime.set_gauge("engine.workers", workers)
     pool = _make_pool(workers)
     if pool is None:
+        obs_runtime.count("engine.pool_fallbacks")
         return [func(item) for item in items]
     from concurrent.futures.process import BrokenProcessPool
 
-    try:
-        with pool:
-            return list(pool.map(func, items, chunksize=chunksize))
-    except BrokenProcessPool:
-        # A worker died without raising (e.g. the platform kills
-        # subprocesses); redo the whole batch serially.
-        return [func(item) for item in items]
+    with obs_runtime.maybe_span(
+        "engine.parallel_map", items=len(items), workers=workers
+    ):
+        try:
+            with pool:
+                return list(pool.map(func, items, chunksize=chunksize))
+        except BrokenProcessPool:
+            # A worker died without raising (e.g. the platform kills
+            # subprocesses); redo the whole batch serially.
+            obs_runtime.count("engine.pool_fallbacks")
+            return [func(item) for item in items]
 
 
 def _make_pool(workers: int):

@@ -88,6 +88,23 @@ def expand_trace_paths(
 
 def load_trace(path: Union[str, Path]) -> Trace:
     """Read a trace file in whichever encoding it uses."""
+    from repro.obs import runtime as obs_runtime
+
     if detect_format(path) == "binary":
-        return binary_format.read_trace_binary(path)
+        with obs_runtime.maybe_span(
+            "lila.read_trace",
+            metric="lila.parse_ms",
+            path=Path(path).name,
+            format="binary",
+        ):
+            trace = binary_format.read_trace_binary(path)
+        if obs_runtime.current() is not None:
+            obs_runtime.count("lila.traces_parsed")
+            try:
+                obs_runtime.count(
+                    "lila.bytes_read", Path(path).stat().st_size
+                )
+            except OSError:
+                pass
+        return trace
     return read_trace(path)

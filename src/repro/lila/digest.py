@@ -36,12 +36,16 @@ def trace_digest(trace: Trace) -> str:
     if memo is not None:
         return memo
     from repro.lila.writer import trace_to_lines
+    from repro.obs import runtime as obs_runtime
 
-    digest = hashlib.sha256()
-    for line in trace_to_lines(trace):
-        digest.update(line.encode("utf-8"))
-        digest.update(b"\n")
-    value = digest.hexdigest()
+    with obs_runtime.maybe_span(
+        "lila.trace_digest", metric="lila.digest_ms"
+    ):
+        digest = hashlib.sha256()
+        for line in trace_to_lines(trace):
+            digest.update(line.encode("utf-8"))
+            digest.update(b"\n")
+        value = digest.hexdigest()
     setattr(trace, _MEMO_ATTR, value)
     return value
 

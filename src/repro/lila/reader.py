@@ -10,6 +10,7 @@ from repro.core.intervals import Interval, IntervalKind, IntervalTreeBuilder
 from repro.core.samples import Sample, ThreadSample, ThreadState
 from repro.core.trace import Trace, TraceMetadata
 from repro.lila.format import decode_stack, parse_header
+from repro.obs import runtime as obs_runtime
 
 _REQUIRED_META = (
     "application",
@@ -185,5 +186,15 @@ def read_trace_lines(lines: Iterable[str]) -> Trace:
 def read_trace(path: Union[str, Path]) -> Trace:
     """Read and validate a LiLa-format trace file."""
     path = Path(path)
-    with path.open("r", encoding="utf-8") as handle:
-        return read_trace_lines(handle)
+    with obs_runtime.maybe_span(
+        "lila.read_trace", metric="lila.parse_ms", path=path.name, format="text"
+    ):
+        with path.open("r", encoding="utf-8") as handle:
+            trace = read_trace_lines(handle)
+    if obs_runtime.current() is not None:
+        obs_runtime.count("lila.traces_parsed")
+        try:
+            obs_runtime.count("lila.bytes_read", path.stat().st_size)
+        except OSError:
+            pass
+    return trace

@@ -97,6 +97,8 @@ def iter_episodes(
         gui_thread: dispatch thread to stream (defaults to the trace's
             ``gui_thread`` metadata).
     """
+    from repro.obs import runtime as obs_runtime
+
     path = Path(path)
     meta = _read_metadata(path)
     if gui_thread is None:
@@ -163,6 +165,7 @@ def iter_episodes(
                             ),
                         )
                         index += 1
+                        obs_runtime.count("lila.episodes_streamed")
                         yield episode
         if builder is not None and builder.open_depth:
             raise TraceFormatError("unclosed intervals at end of trace")

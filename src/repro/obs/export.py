@@ -1,0 +1,192 @@
+"""Exporters: spans as JSONL and Chrome trace events, metrics as
+JSON and Prometheus text.
+
+The Chrome format (the `trace-event format`_) is loadable in
+``chrome://tracing`` and `Perfetto <https://ui.perfetto.dev>`_: every
+span becomes a complete (``"ph": "X"``) event on its process/thread
+track, so a study run renders as one timeline per worker process —
+LagAlyzer's own medicine applied to itself.
+
+.. _trace-event format:
+   https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from typing import Any, Dict, Iterable, List, Mapping, Sequence, Tuple
+
+from repro.obs.spans import Span
+
+#: Prefix for every exported Prometheus metric name.
+PROM_PREFIX = "lagalyzer"
+
+_PROM_NAME_RE = re.compile(r"[^a-zA-Z0-9_]")
+
+
+# ----------------------------------------------------------------------
+# Spans
+# ----------------------------------------------------------------------
+
+
+def spans_to_jsonl(spans: Sequence[Span]) -> str:
+    """One compact JSON object per line, collection order."""
+    return "".join(
+        json.dumps(span.to_dict(), sort_keys=True) + "\n" for span in spans
+    )
+
+
+def spans_from_jsonl(text: str) -> List[Span]:
+    return [
+        Span.from_dict(json.loads(line))
+        for line in text.splitlines()
+        if line.strip()
+    ]
+
+
+def spans_to_chrome(spans: Sequence[Span]) -> Dict[str, Any]:
+    """The Chrome trace-event document for ``spans``.
+
+    Emits ``process_name``/``thread_name`` metadata so each worker
+    process gets a labeled track, then one complete event per span with
+    microsecond timestamps relative to the earliest span (Chrome's UI
+    prefers small ``ts`` values over epoch nanoseconds).
+    """
+    events: List[Dict[str, Any]] = []
+    threads: Dict[Tuple[int, int], str] = {}
+    pids: Dict[int, None] = {}
+    for span in spans:
+        pids.setdefault(span.pid, None)
+        threads.setdefault((span.pid, span.tid), span.thread)
+    for pid in sorted(pids):
+        events.append(
+            {
+                "ph": "M",
+                "name": "process_name",
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": f"lagalyzer pid {pid}"},
+            }
+        )
+    for (pid, tid), thread_name in sorted(threads.items()):
+        events.append(
+            {
+                "ph": "M",
+                "name": "thread_name",
+                "pid": pid,
+                "tid": tid,
+                "args": {"name": thread_name},
+            }
+        )
+    origin_ns = min((span.start_ns for span in spans), default=0)
+    for span in spans:
+        args = dict(span.attrs)
+        args["span_id"] = span.span_id
+        if span.parent_id is not None:
+            args["parent_id"] = span.parent_id
+        args["cpu_ms"] = round(span.cpu_ns / 1e6, 3)
+        events.append(
+            {
+                "ph": "X",
+                "name": span.name,
+                "cat": "obs",
+                "pid": span.pid,
+                "tid": span.tid,
+                "ts": (span.start_ns - origin_ns) / 1e3,
+                "dur": span.duration_ns / 1e3,
+                "args": args,
+            }
+        )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def validate_chrome_trace(document: Any) -> None:
+    """Raise ``ValueError`` unless ``document`` is a well-formed
+    Chrome trace-event JSON object (the schema the CI smoke asserts).
+    """
+    if not isinstance(document, dict):
+        raise ValueError("chrome trace must be a JSON object")
+    events = document.get("traceEvents")
+    if not isinstance(events, list):
+        raise ValueError("chrome trace must have a traceEvents array")
+    for i, event in enumerate(events):
+        if not isinstance(event, dict):
+            raise ValueError(f"traceEvents[{i}] is not an object")
+        phase = event.get("ph")
+        if phase not in ("X", "M", "B", "E", "i", "C"):
+            raise ValueError(f"traceEvents[{i}]: unknown phase {phase!r}")
+        for field in ("pid", "tid"):
+            if not isinstance(event.get(field), int):
+                raise ValueError(f"traceEvents[{i}]: missing integer {field}")
+        if not isinstance(event.get("name"), str) or not event["name"]:
+            raise ValueError(f"traceEvents[{i}]: missing name")
+        if phase == "X":
+            for field in ("ts", "dur"):
+                value = event.get(field)
+                if not isinstance(value, (int, float)) or value < 0:
+                    raise ValueError(
+                        f"traceEvents[{i}]: bad {field} {value!r}"
+                    )
+
+
+# ----------------------------------------------------------------------
+# Metrics
+# ----------------------------------------------------------------------
+
+
+def _prom_name(name: str) -> str:
+    return f"{PROM_PREFIX}_{_PROM_NAME_RE.sub('_', name)}"
+
+
+def _prom_number(value: float) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def metrics_to_prometheus(snapshot: Mapping[str, Any]) -> str:
+    """Prometheus text exposition of a registry ``as_dict`` snapshot."""
+    lines: List[str] = []
+    for name, value in snapshot.get("counters", {}).items():
+        prom = _prom_name(name) + "_total"
+        lines.append(f"# TYPE {prom} counter")
+        lines.append(f"{prom} {_prom_number(value)}")
+    for name, value in snapshot.get("gauges", {}).items():
+        prom = _prom_name(name)
+        lines.append(f"# TYPE {prom} gauge")
+        lines.append(f"{prom} {_prom_number(value)}")
+    for name, hist in snapshot.get("histograms", {}).items():
+        prom = _prom_name(name)
+        lines.append(f"# TYPE {prom} histogram")
+        cumulative = 0
+        bounds = list(hist.get("buckets", [])) + [float("inf")]
+        for bound, cell in zip(bounds, hist.get("counts", [])):
+            cumulative += int(cell)
+            lines.append(
+                f'{prom}_bucket{{le="{_prom_number(bound)}"}} {cumulative}'
+            )
+        lines.append(f"{prom}_sum {_prom_number(hist.get('sum', 0.0))}")
+        lines.append(f"{prom}_count {int(hist.get('count', 0))}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def parse_prometheus(text: str) -> Dict[str, float]:
+    """Parse exposition text back to ``{name or name{labels}: value}``.
+
+    A deliberately small parser used by tests and the report command to
+    prove the export round-trips; not a general Prometheus client.
+    """
+    values: Dict[str, float] = {}
+    for line_no, line in enumerate(text.splitlines(), start=1):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        try:
+            key, raw = line.rsplit(None, 1)
+            values[key] = float(raw.replace("+Inf", "inf"))
+        except ValueError as error:
+            raise ValueError(f"line {line_no}: unparseable {line!r}") from error
+    return values

@@ -1,0 +1,213 @@
+"""Process-safe counters, gauges, and fixed-bucket histograms.
+
+The registry is the metrics pillar of :mod:`repro.obs`: cheap to
+update, picklable as a plain dict snapshot, and *mergeable* — worker
+processes ship their registry snapshot back with their results and the
+dispatching process folds it in. Merging is associative, commutative,
+and deterministic (counters and histograms add; gauges keep the
+maximum), so the final numbers are identical no matter how the work was
+scheduled or in which order workers finished.
+
+Exports: :meth:`MetricsRegistry.as_dict` (JSON) and
+:func:`repro.obs.export.metrics_to_prometheus` (Prometheus text).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+#: Default latency buckets, in milliseconds (upper bounds; +Inf implied).
+DEFAULT_MS_BUCKETS: Tuple[float, ...] = (
+    1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0,
+    250.0, 500.0, 1000.0, 2500.0, 5000.0, 10000.0,
+)
+
+
+class Counter:
+    """A monotonically increasing integer."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: int = 0) -> None:
+        self.value = value
+
+    def inc(self, n: int = 1) -> None:
+        self.value += n
+
+
+class Gauge:
+    """A point-in-time value; merges keep the maximum observed."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: float = 0.0) -> None:
+        self.value = value
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def set_max(self, value: float) -> None:
+        if value > self.value:
+            self.value = value
+
+
+class Histogram:
+    """Fixed-bucket histogram (bucket bounds are upper bounds, +Inf last)."""
+
+    __slots__ = ("buckets", "counts", "total", "count")
+
+    def __init__(self, buckets: Sequence[float] = DEFAULT_MS_BUCKETS) -> None:
+        self.buckets: Tuple[float, ...] = tuple(buckets)
+        self.counts: List[int] = [0] * (len(self.buckets) + 1)
+        self.total = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        index = len(self.buckets)
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                index = i
+                break
+        self.counts[index] += 1
+        self.total += value
+        self.count += 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+
+class MetricsRegistry:
+    """A named collection of counters, gauges, and histograms.
+
+    All mutation goes through one lock, so threads in one process share
+    a registry safely; cross-process accumulation goes through
+    :meth:`snapshot` + :meth:`merge` instead of shared memory.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    # ------------------------------------------------------------------
+    # Instrument access (get-or-create)
+    # ------------------------------------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        with self._lock:
+            instrument = self._counters.get(name)
+            if instrument is None:
+                instrument = self._counters[name] = Counter()
+            return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        with self._lock:
+            instrument = self._gauges.get(name)
+            if instrument is None:
+                instrument = self._gauges[name] = Gauge()
+            return instrument
+
+    def histogram(
+        self, name: str, buckets: Sequence[float] = DEFAULT_MS_BUCKETS
+    ) -> Histogram:
+        with self._lock:
+            instrument = self._histograms.get(name)
+            if instrument is None:
+                instrument = self._histograms[name] = Histogram(buckets)
+            return instrument
+
+    # ------------------------------------------------------------------
+    # Convenience mutators
+    # ------------------------------------------------------------------
+
+    def inc(self, name: str, n: int = 1) -> None:
+        self.counter(name).inc(n)
+
+    def set_gauge(self, name: str, value: float) -> None:
+        self.gauge(name).set(value)
+
+    def observe(
+        self,
+        name: str,
+        value: float,
+        buckets: Sequence[float] = DEFAULT_MS_BUCKETS,
+    ) -> None:
+        self.histogram(name, buckets).observe(value)
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+
+    def counter_value(self, name: str) -> int:
+        with self._lock:
+            instrument = self._counters.get(name)
+            return instrument.value if instrument else 0
+
+    def as_dict(self) -> Dict[str, Any]:
+        """A picklable / JSON-serializable snapshot (sorted names)."""
+        with self._lock:
+            return {
+                "counters": {
+                    name: self._counters[name].value
+                    for name in sorted(self._counters)
+                },
+                "gauges": {
+                    name: self._gauges[name].value
+                    for name in sorted(self._gauges)
+                },
+                "histograms": {
+                    name: {
+                        "buckets": list(hist.buckets),
+                        "counts": list(hist.counts),
+                        "sum": hist.total,
+                        "count": hist.count,
+                    }
+                    for name, hist in sorted(self._histograms.items())
+                },
+            }
+
+    snapshot = as_dict
+
+    # ------------------------------------------------------------------
+    # Merging
+    # ------------------------------------------------------------------
+
+    def merge(self, snapshot: Mapping[str, Any]) -> None:
+        """Fold another registry's :meth:`as_dict` snapshot into this one.
+
+        Counters and histogram cells add; gauges keep the maximum. The
+        operation is associative and commutative, so any merge order
+        over any partition of the work produces the same registry.
+        """
+        for name, value in snapshot.get("counters", {}).items():
+            self.counter(name).inc(int(value))
+        for name, value in snapshot.get("gauges", {}).items():
+            self.gauge(name).set_max(float(value))
+        for name, raw in snapshot.get("histograms", {}).items():
+            hist = self.histogram(name, raw.get("buckets", DEFAULT_MS_BUCKETS))
+            counts = raw.get("counts", [])
+            if tuple(raw.get("buckets", ())) != hist.buckets or len(
+                counts
+            ) != len(hist.counts):
+                # Bucket layouts disagree: fold the foreign histogram's
+                # mass into this one's shape via its mean (lossy but
+                # never silently dropped).
+                count = int(raw.get("count", 0))
+                if count:
+                    mean = float(raw.get("sum", 0.0)) / count
+                    for _ in range(count):
+                        hist.observe(mean)
+                continue
+            for i, cell in enumerate(counts):
+                hist.counts[i] += int(cell)
+            hist.total += float(raw.get("sum", 0.0))
+            hist.count += int(raw.get("count", 0))
+
+    @classmethod
+    def from_dict(cls, snapshot: Mapping[str, Any]) -> "MetricsRegistry":
+        registry = cls()
+        registry.merge(snapshot)
+        return registry

@@ -1,0 +1,122 @@
+"""Opt-in ``cProfile`` hooks: aggregated hotspots per analysis.
+
+With profiling enabled (``Observer(profile=True)`` / the CLI's
+``--profile``), the engine wraps every ``map_trace`` call in a
+:class:`cProfile.Profile` and feeds the rows here. The aggregator keeps
+one table per *key* (the analysis name), summing call counts and timings
+across traces, threads, and — via the picklable :meth:`as_dict`
+snapshot — worker processes, then reports the top-N functions by
+cumulative time.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import pstats
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, List, Mapping, Tuple
+
+#: func label -> [primitive calls, total (own) time s, cumulative time s]
+_Rows = Dict[str, List[float]]
+
+
+def _func_label(func: Tuple[str, int, str]) -> str:
+    filename, lineno, name = func
+    if filename == "~":  # builtins have no file
+        return name
+    return f"{filename}:{lineno}:{name}"
+
+
+class ProfileAggregator:
+    """Accumulates per-key cProfile tables; picklable via ``as_dict``."""
+
+    def __init__(self, top_n: int = 15) -> None:
+        self.top_n = top_n
+        self._tables: Dict[str, _Rows] = {}
+
+    @contextmanager
+    def profiled(self, key: str) -> Iterator[None]:
+        """Profile the body and fold its stats into ``key``'s table.
+
+        If another profiler is already active on this thread (nested
+        ``profiled`` calls), the body runs unprofiled rather than
+        erroring — profiling is best-effort observability.
+        """
+        profile = cProfile.Profile()
+        try:
+            profile.enable()
+        except ValueError:  # another profiler already active
+            yield
+            return
+        try:
+            yield
+        finally:
+            profile.disable()
+            self._add(key, profile)
+
+    def _add(self, key: str, profile: cProfile.Profile) -> None:
+        stats = pstats.Stats(profile)
+        table = self._tables.setdefault(key, {})
+        for func, (cc, _nc, tt, ct, _callers) in stats.stats.items():
+            label = _func_label(func)
+            row = table.get(label)
+            if row is None:
+                table[label] = [float(cc), tt, ct]
+            else:
+                row[0] += cc
+                row[1] += tt
+                row[2] += ct
+
+    # ------------------------------------------------------------------
+    # Aggregation and reporting
+    # ------------------------------------------------------------------
+
+    def merge(self, snapshot: Mapping[str, Mapping[str, List[float]]]) -> None:
+        """Fold another aggregator's ``as_dict`` snapshot into this one."""
+        for key, rows in snapshot.items():
+            table = self._tables.setdefault(key, {})
+            for label, (calls, tottime, cumtime) in rows.items():
+                row = table.get(label)
+                if row is None:
+                    table[label] = [float(calls), float(tottime), float(cumtime)]
+                else:
+                    row[0] += calls
+                    row[1] += tottime
+                    row[2] += cumtime
+
+    def top(self, key: str, n: int = 0) -> List[Tuple[str, int, float, float]]:
+        """``(func, calls, tottime_s, cumtime_s)`` rows, worst first."""
+        n = n or self.top_n
+        rows = [
+            (label, int(calls), tottime, cumtime)
+            for label, (calls, tottime, cumtime) in self._tables.get(
+                key, {}
+            ).items()
+        ]
+        rows.sort(key=lambda row: (-row[3], -row[2], row[0]))
+        return rows[:n]
+
+    def keys(self) -> List[str]:
+        return sorted(self._tables)
+
+    def as_dict(self) -> Dict[str, Any]:
+        """Top-N rows per key (bounded so snapshots stay small)."""
+        return {
+            key: {
+                label: [calls, tottime, cumtime]
+                for label, calls, tottime, cumtime in self.top(key)
+            }
+            for key in self.keys()
+        }
+
+    def format_report(self, top: int = 5) -> str:
+        """A human-readable hotspot report, one block per key."""
+        lines: List[str] = []
+        for key in self.keys():
+            lines.append(f"{key}:")
+            for label, calls, tottime, cumtime in self.top(key, top):
+                lines.append(
+                    f"  {cumtime * 1e3:9.1f} ms cum  {tottime * 1e3:9.1f} ms own"
+                    f"  {calls:8d} calls  {label}"
+                )
+        return "\n".join(lines) if lines else "(no profile data)"

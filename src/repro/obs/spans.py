@@ -1,0 +1,243 @@
+"""Structured tracing spans for the pipeline's own execution.
+
+A *span* is one timed operation — a study run, one trace parse, one
+``map_trace`` call, one cache write — with a stable id, a parent link,
+wall and CPU durations, and free-form attributes. Spans form a tree:
+within a thread, entering a span pushes it on a thread-local stack and
+any span opened underneath becomes its child; across threads and
+processes, parents are wired explicitly (worker snapshots are
+re-parented under the dispatching span when they are absorbed, see
+:meth:`repro.obs.observer.Observer.absorb`).
+
+Everything here is dependency-free and picklable so spans survive the
+``ProcessPoolExecutor`` round-trip the engine and study runner use.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+_id_counter = itertools.count(1)
+
+
+def next_span_id() -> str:
+    """A process-unique span id (pid-prefixed so merges never collide)."""
+    return f"{os.getpid():x}-{next(_id_counter):x}"
+
+
+@dataclass
+class Span:
+    """One finished (or in-flight) timed operation."""
+
+    name: str
+    span_id: str
+    parent_id: Optional[str]
+    pid: int
+    thread: str
+    tid: int
+    start_ns: int
+    """Wall-clock start, epoch nanoseconds (comparable across processes)."""
+    end_ns: int = 0
+    cpu_ns: int = 0
+    """CPU time consumed by the owning thread while the span was open."""
+    attrs: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def duration_ns(self) -> int:
+        return max(self.end_ns - self.start_ns, 0)
+
+    @property
+    def duration_ms(self) -> float:
+        return self.duration_ns / 1e6
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "pid": self.pid,
+            "thread": self.thread,
+            "tid": self.tid,
+            "start_ns": self.start_ns,
+            "end_ns": self.end_ns,
+            "cpu_ns": self.cpu_ns,
+            "attrs": self.attrs,
+        }
+
+    @classmethod
+    def from_dict(cls, raw: Dict[str, Any]) -> "Span":
+        return cls(
+            name=str(raw["name"]),
+            span_id=str(raw["span_id"]),
+            parent_id=raw.get("parent_id"),
+            pid=int(raw.get("pid", 0)),
+            thread=str(raw.get("thread", "?")),
+            tid=int(raw.get("tid", 0)),
+            start_ns=int(raw.get("start_ns", 0)),
+            end_ns=int(raw.get("end_ns", 0)),
+            cpu_ns=int(raw.get("cpu_ns", 0)),
+            attrs=dict(raw.get("attrs", {})),
+        )
+
+
+class SpanCollector:
+    """Thread-safe store of finished spans plus per-thread open stacks."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._finished: List[Span] = []
+        self._local = threading.local()
+
+    # ------------------------------------------------------------------
+    # Per-thread span stack
+    # ------------------------------------------------------------------
+
+    def _stack(self) -> List[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    def current(self) -> Optional[Span]:
+        """The innermost open span of the calling thread, if any."""
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    def push(self, span: Span) -> None:
+        self._stack().append(span)
+
+    def pop(self, span: Span) -> None:
+        stack = self._stack()
+        if stack and stack[-1] is span:
+            stack.pop()
+
+    # ------------------------------------------------------------------
+    # Finished spans
+    # ------------------------------------------------------------------
+
+    def add(self, span: Span) -> None:
+        with self._lock:
+            self._finished.append(span)
+
+    def extend(self, spans: List[Span]) -> None:
+        with self._lock:
+            self._finished.extend(spans)
+
+    def finished(self) -> List[Span]:
+        """A snapshot copy of all finished spans (collection order)."""
+        with self._lock:
+            return list(self._finished)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._finished)
+
+
+class SpanContext:
+    """The context manager returned by ``Observer.span()``.
+
+    On exit the span is finalized and handed to the collector; an
+    escaping exception is recorded as the ``error`` attribute without
+    being swallowed. The open span object is yielded so callers can
+    attach attributes mid-flight (``with obs.span("x") as sp: sp.attrs[...]``).
+    """
+
+    __slots__ = ("_collector", "span", "_metric", "_metrics", "_cpu_start")
+
+    def __init__(
+        self,
+        collector: SpanCollector,
+        name: str,
+        parent_id: Optional[str],
+        attrs: Dict[str, Any],
+        metrics=None,
+        metric: Optional[str] = None,
+    ) -> None:
+        self._collector = collector
+        self._metrics = metrics
+        self._metric = metric
+        self._cpu_start = 0
+        if parent_id is None:
+            parent = collector.current()
+            if parent is not None:
+                parent_id = parent.span_id
+        thread = threading.current_thread()
+        self.span = Span(
+            name=name,
+            span_id=next_span_id(),
+            parent_id=parent_id,
+            pid=os.getpid(),
+            thread=thread.name,
+            tid=threading.get_ident(),
+            start_ns=0,
+            attrs=attrs,
+        )
+
+    def __enter__(self) -> Span:
+        self.span.start_ns = time.time_ns()
+        self._cpu_start = time.thread_time_ns()
+        self._collector.push(self.span)
+        return self.span
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        span = self.span
+        span.cpu_ns = time.thread_time_ns() - self._cpu_start
+        span.end_ns = span.start_ns + max(
+            time.time_ns() - span.start_ns, 0
+        )
+        if exc_type is not None:
+            span.attrs["error"] = exc_type.__name__
+        self._collector.pop(span)
+        self._collector.add(span)
+        if self._metric is not None and self._metrics is not None:
+            self._metrics.observe(self._metric, span.duration_ms)
+        return False
+
+
+class _NullSpanContext:
+    """The shared no-op context used whenever observation is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return None
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+    def __call__(self, *args, **kwargs) -> "_NullSpanContext":
+        return self
+
+
+#: Reusable (stateless, re-entrant) disabled-mode context manager.
+NULL_SPAN = _NullSpanContext()
+
+
+def span_depth(spans: List[Span]) -> int:
+    """The deepest parent chain over ``spans`` (1 = roots only)."""
+    by_id = {span.span_id: span for span in spans}
+    depths: Dict[str, int] = {}
+
+    def depth_of(span: Span) -> int:
+        cached = depths.get(span.span_id)
+        if cached is not None:
+            return cached
+        seen = set()
+        depth = 1
+        node = span
+        while node.parent_id is not None and node.parent_id in by_id:
+            if node.span_id in seen:  # defensive: broken cycle
+                break
+            seen.add(node.span_id)
+            node = by_id[node.parent_id]
+            depth += 1
+        depths[span.span_id] = depth
+        return depth
+
+    return max((depth_of(span) for span in spans), default=0)

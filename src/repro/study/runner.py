@@ -19,6 +19,8 @@ from pathlib import Path
 from typing import Dict, List, Optional, Tuple, Union
 
 from repro.core.api import AnalysisConfig
+from repro.obs import Observer
+from repro.obs import runtime as obs_runtime
 from repro.core.concurrency import ConcurrencySummary
 from repro.core.location import LocationSummary
 from repro.core.occurrence import OccurrenceSummary
@@ -26,7 +28,7 @@ from repro.core.statistics import SessionStats, mean_row
 from repro.core.threadstates import ThreadStateSummary
 from repro.core.triggers import TriggerSummary
 from repro.engine.engine import AnalysisEngine
-from repro.engine.scheduler import parallel_map
+from repro.engine.scheduler import parallel_map, resolve_workers
 from repro.apps.catalog import APPLICATION_NAMES
 from repro.apps.sessions import simulate_sessions
 
@@ -105,9 +107,12 @@ def analyze_app(
     With an engine, every per-trace analysis partial goes through its
     result cache — a re-run over unchanged traces does no map work.
     """
-    traces = simulate_sessions(
-        name, count=config.sessions, seed=config.seed, scale=config.scale
-    )
+    with obs_runtime.maybe_span(
+        "study.simulate", application=name, sessions=config.sessions
+    ):
+        traces = simulate_sessions(
+            name, count=config.sessions, seed=config.seed, scale=config.scale
+        )
     analysis_config = config.analysis_config()
     if engine is None:
         engine = AnalysisEngine(workers=1, use_cache=False)
@@ -116,9 +121,12 @@ def analyze_app(
     def reduce(analysis: str, perceptible_only: bool = False):
         from repro.core.analyses import get_analysis
 
-        return get_analysis(analysis).reduce(
-            partials[analysis], perceptible_only=perceptible_only
-        )
+        with obs_runtime.maybe_span(
+            "engine.reduce", metric="engine.reduce_ms", analysis=analysis
+        ):
+            return get_analysis(analysis).reduce(
+                partials[analysis], perceptible_only=perceptible_only
+            )
 
     stats = reduce("statistics")
     return AppResult(
@@ -145,17 +153,30 @@ def _analyze_app_task(
     config: StudyConfig,
     cache_dir: Optional[str],
     use_cache: bool,
-) -> AppResult:
+    obs_profile: Optional[bool] = None,
+) -> Tuple[AppResult, Optional[dict]]:
     """Worker: one application end to end (module-level for pickling).
 
     Cache counters accumulated in the worker are flushed to the shared
     ``stats.json`` before returning, so ``engine cache stats`` sees the
-    whole study no matter how it was scheduled.
+    whole study no matter how it was scheduled. With ``obs_profile``
+    set (observed study) a fresh-process worker also returns its
+    observability snapshot; in the dispatching process (serial path or
+    pool fallback) spans land on the ambient observer and the snapshot
+    is None.
     """
-    engine = AnalysisEngine(workers=1, cache_dir=cache_dir, use_cache=use_cache)
-    result = analyze_app(name, config, engine=engine)
-    engine.flush_cache_stats()
-    return result
+    worker_obs: Optional[Observer] = None
+    if obs_profile is not None and obs_runtime.current() is None:
+        worker_obs = Observer(profile=obs_profile)
+    with obs_runtime.installed(worker_obs):
+        with obs_runtime.maybe_span("study.app", application=name):
+            engine = AnalysisEngine(
+                workers=1, cache_dir=cache_dir, use_cache=use_cache
+            )
+            result = analyze_app(name, config, engine=engine)
+            engine.flush_cache_stats()
+    snapshot = worker_obs.snapshot() if worker_obs is not None else None
+    return result, snapshot
 
 
 def run_study(
@@ -164,6 +185,7 @@ def run_study(
     workers: Optional[int] = 1,
     cache_dir: Optional[Union[str, Path]] = None,
     use_cache: bool = True,
+    obs: Optional[Observer] = None,
 ) -> StudyResult:
     """Run the full characterization study.
 
@@ -176,23 +198,47 @@ def run_study(
             identical for every worker count.
         cache_dir: result-cache root (default ``~/.cache/lagalyzer``).
         use_cache: set ``False`` to recompute everything.
+        obs: an :class:`~repro.obs.Observer`; when given, the study is
+            traced end to end (installed ambiently for the duration,
+            worker snapshots merged back and re-parented under the
+            ``study.run`` root span). Results are identical either way.
     """
     config = config or StudyConfig()
-    task = functools.partial(
-        _analyze_app_task,
-        config=config,
-        cache_dir=str(cache_dir) if cache_dir is not None else None,
-        use_cache=use_cache,
-    )
-    app_results = parallel_map(task, config.applications, workers=workers)
-    results: Dict[str, AppResult] = {}
-    for result in app_results:
-        results[result.name] = result
-        if progress:
-            stats = result.mean_stats
-            print(
-                f"  {result.name:<14s} traced={stats.traced:7.0f} "
-                f"perceptible={stats.perceptible:6.0f} "
-                f"patterns={stats.distinct_patterns:6.0f}"
+    if obs is None:
+        obs = obs_runtime.current()
+    with obs_runtime.installed(
+        obs if obs is not obs_runtime.current() else None
+    ):
+        with obs_runtime.maybe_span(
+            "study.run",
+            applications=len(config.applications),
+            sessions=config.sessions,
+            scale=config.scale,
+            workers=resolve_workers(workers),
+        ) as root_span:
+            task = functools.partial(
+                _analyze_app_task,
+                config=config,
+                cache_dir=str(cache_dir) if cache_dir is not None else None,
+                use_cache=use_cache,
+                obs_profile=(
+                    (obs.profiler is not None) if obs is not None else None
+                ),
             )
+            outcomes = parallel_map(
+                task, config.applications, workers=workers
+            )
+            root_id = root_span.span_id if root_span is not None else None
+            results: Dict[str, AppResult] = {}
+            for result, snapshot in outcomes:
+                if obs is not None:
+                    obs.absorb(snapshot, parent_id=root_id)
+                results[result.name] = result
+                if progress:
+                    stats = result.mean_stats
+                    print(
+                        f"  {result.name:<14s} traced={stats.traced:7.0f} "
+                        f"perceptible={stats.perceptible:6.0f} "
+                        f"patterns={stats.distinct_patterns:6.0f}"
+                    )
     return StudyResult(config=config, apps=results)

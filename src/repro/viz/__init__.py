@@ -22,6 +22,7 @@ from repro.viz.charts import (
     render_stacked_bars,
 )
 from repro.viz.browser import render_pattern_browser
+from repro.viz.obstimeline import render_span_timeline, save_span_timeline
 
 __all__ = [
     "APP_PALETTE",
@@ -34,5 +35,7 @@ __all__ = [
     "render_episode_sketch",
     "render_pattern_browser",
     "render_session_timeline",
+    "render_span_timeline",
     "render_stacked_bars",
+    "save_span_timeline",
 ]

@@ -1,0 +1,204 @@
+"""Span timeline: the observability pipeline rendered with our own viz.
+
+The paper's whole thesis is that latency profiles deserve a temporal
+visualization; ``repro.obs`` traces the analysis pipeline itself, so it
+would be odd to ship those spans only as Chrome-trace JSON. This module
+dogfoods :class:`~repro.viz.svg.SvgDocument`: one lane per
+(process, thread), spans drawn as nested bars over a shared wall-clock
+axis — the same visual grammar as the session timeline, aimed at the
+tool instead of the traced application.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.obs.spans import Span
+from repro.viz.svg import SvgDocument
+
+#: Fill colors cycled by top-level span name so the same stage gets the
+#: same hue across lanes and runs (dict order = assignment order).
+_SPAN_PALETTE = (
+    "#4878cf",  # blue
+    "#6acc65",  # green
+    "#d65f5f",  # red
+    "#b47cc7",  # purple
+    "#c4ad66",  # ochre
+    "#77bedb",  # light blue
+    "#ee854a",  # orange
+    "#8c613c",  # brown
+)
+
+_LANE_HEIGHT = 18
+_LANE_GAP = 6
+_LABEL_WIDTH = 170
+_MARGIN = 12
+_AXIS_HEIGHT = 26
+_MIN_BAR_PX = 1.5
+
+
+def _lane_key(span: Span) -> Tuple[int, str]:
+    return (span.pid, span.thread)
+
+
+def _depths(spans: Sequence[Span]) -> Dict[str, int]:
+    """Depth of every span (roots at 0), tolerant of absent parents."""
+    by_id = {span.span_id: span for span in spans}
+    depths: Dict[str, int] = {}
+
+    def depth_of(span: Span) -> int:
+        cached = depths.get(span.span_id)
+        if cached is not None:
+            return cached
+        seen = set()
+        depth = 0
+        current = span
+        while current.parent_id and current.parent_id in by_id:
+            if current.span_id in seen:
+                break
+            seen.add(current.span_id)
+            current = by_id[current.parent_id]
+            depth += 1
+        depths[span.span_id] = depth
+        return depth
+
+    for span in spans:
+        depth_of(span)
+    return depths
+
+
+def render_span_timeline(
+    spans: Sequence[Span],
+    width: int = 960,
+    title: Optional[str] = "pipeline spans",
+) -> SvgDocument:
+    """Render collected spans as a per-process/thread lane timeline.
+
+    Args:
+        spans: finished spans (e.g. from ``Observer.spans()`` or
+            :func:`repro.obs.observer.load_bundle`).
+        width: document width in pixels.
+        title: heading text, or None to omit.
+
+    Raises:
+        ValueError: when ``spans`` is empty.
+    """
+    spans = [span for span in spans if span.end_ns > 0]
+    if not spans:
+        raise ValueError("no finished spans to render")
+
+    origin_ns = min(span.start_ns for span in spans)
+    horizon_ns = max(span.end_ns for span in spans)
+    total_ns = max(horizon_ns - origin_ns, 1)
+
+    lanes: List[Tuple[int, str]] = []
+    lane_rows: Dict[Tuple[int, str], List[Span]] = {}
+    for span in sorted(spans, key=lambda s: (s.pid, s.thread, s.start_ns)):
+        key = _lane_key(span)
+        if key not in lane_rows:
+            lane_rows[key] = []
+            lanes.append(key)
+        lane_rows[key].append(span)
+
+    depths = _depths(spans)
+    lane_levels = {
+        key: max(depths[s.span_id] for s in rows) + 1
+        for key, rows in lane_rows.items()
+    }
+
+    colors: Dict[str, str] = {}
+
+    def color_for(name: str) -> str:
+        stage = name.split(".", 1)[0]
+        if stage not in colors:
+            colors[stage] = _SPAN_PALETTE[len(colors) % len(_SPAN_PALETTE)]
+        return colors[stage]
+
+    top = _MARGIN + (18 if title else 0)
+    lane_tops: Dict[Tuple[int, str], int] = {}
+    y = top
+    for key in lanes:
+        lane_tops[key] = y
+        y += lane_levels[key] * _LANE_HEIGHT + _LANE_GAP
+    height = y + _AXIS_HEIGHT
+
+    doc = SvgDocument(width, height)
+    plot_x = _LABEL_WIDTH
+    plot_w = width - _LABEL_WIDTH - _MARGIN
+
+    def x_of(t_ns: int) -> float:
+        return plot_x + plot_w * (t_ns - origin_ns) / total_ns
+
+    if title:
+        doc.text(_MARGIN, _MARGIN + 4, title, size=13, fill="#111111")
+
+    for key in lanes:
+        pid, thread = key
+        lane_y = lane_tops[key]
+        lane_h = lane_levels[key] * _LANE_HEIGHT
+        doc.rect(
+            plot_x, lane_y, plot_w, lane_h, fill="#f7f7f7", stroke="#dddddd"
+        )
+        doc.text(
+            _MARGIN,
+            lane_y + lane_h / 2 + 4,
+            f"pid {pid} / {thread}"[: _LABEL_WIDTH // 6],
+            size=10,
+            fill="#444444",
+        )
+        for span in lane_rows[key]:
+            bar_x = x_of(span.start_ns)
+            bar_w = max(
+                plot_w * span.duration_ns / total_ns, _MIN_BAR_PX
+            )
+            bar_y = lane_y + depths[span.span_id] * _LANE_HEIGHT + 1
+            label = (
+                f"{span.name} — {span.duration_ns / 1e6:.2f} ms"
+                f" (cpu {span.cpu_ns / 1e6:.2f} ms)"
+            )
+            doc.rect(
+                bar_x,
+                bar_y,
+                bar_w,
+                _LANE_HEIGHT - 2,
+                fill=color_for(span.name),
+                stroke="#ffffff",
+                stroke_width=0.5,
+                title=label,
+                rx=1.5,
+            )
+            if bar_w > 60:
+                doc.text(
+                    bar_x + 3,
+                    bar_y + _LANE_HEIGHT - 6,
+                    span.name,
+                    size=9,
+                    fill="#ffffff",
+                )
+
+    axis_y = height - _AXIS_HEIGHT + 8
+    doc.line(plot_x, axis_y, plot_x + plot_w, axis_y, stroke="#888888")
+    for i in range(5):
+        t_ns = origin_ns + total_ns * i // 4
+        x = x_of(t_ns)
+        doc.line(x, axis_y, x, axis_y + 4, stroke="#888888")
+        doc.text(
+            x,
+            axis_y + 16,
+            f"{(t_ns - origin_ns) / 1e6:.1f} ms",
+            size=9,
+            fill="#555555",
+            anchor="middle",
+        )
+    return doc
+
+
+def save_span_timeline(
+    spans: Sequence[Span],
+    path: Union[str, Path],
+    width: int = 960,
+    title: Optional[str] = "pipeline spans",
+) -> Path:
+    """Render and write the span timeline SVG; returns the path."""
+    return render_span_timeline(spans, width=width, title=title).save(path)

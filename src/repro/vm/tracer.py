@@ -20,6 +20,7 @@ from repro.core.intervals import (
     IntervalTreeBuilder,
     NS_PER_MS,
 )
+from repro.obs import runtime as obs_runtime
 
 
 class TraceCollector:
@@ -95,12 +96,14 @@ class TraceCollector:
         self._episode_builder = None
         if root.duration_ns < self.filter_ns:
             self.short_episode_count += 1
+            obs_runtime.count("vm.episodes_filtered")
             for child in root.children:
                 if child.kind is IntervalKind.GC:
                     child.parent = None
                     self.thread_roots[self.gui_thread].append(child)
             return None
         self.thread_roots[self.gui_thread].append(root)
+        obs_runtime.count("vm.episodes_built")
         return root
 
     def count_filtered(self, count: int) -> None:
@@ -108,6 +111,8 @@ class TraceCollector:
         if count < 0:
             raise SimulationError(f"negative filtered count ({count})")
         self.short_episode_count += count
+        if count:
+            obs_runtime.count("vm.episodes_filtered", count)
 
     # ------------------------------------------------------------------
     # Garbage collections
