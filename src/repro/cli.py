@@ -13,9 +13,12 @@ Subcommands:
   (regression hunting);
 - ``study``     — run the full characterization study, write Table III,
   all figure SVGs, and EXPERIMENTS.md (``--workers`` fans applications
-  out across processes; results are cached on disk);
+  out across processes; results are cached on disk; ``--faults
+  plan.json`` runs the study under a deterministic fault-injection
+  plan);
 - ``engine``    — inspect and manage the analysis engine
-  (``engine cache stats`` / ``engine cache clear``);
+  (``engine cache stats`` / ``engine cache clear`` / ``engine faults
+  demo``);
 - ``obs``       — inspect and export the pipeline's own observability
   bundles written by ``study --obs`` (``obs report`` / ``obs export
   --format chrome|jsonl|prom`` / ``obs timeline``).
@@ -246,6 +249,21 @@ def _cmd_study(args: argparse.Namespace) -> int:
         from repro.obs import Observer
 
         obs = Observer(profile=args.profile)
+    injector = None
+    if args.faults is not None:
+        from repro.core.errors import LagAlyzerError
+        from repro.faults import FaultInjector, FaultPlan
+
+        try:
+            plan = FaultPlan.load(args.faults)
+        except (OSError, LagAlyzerError) as error:
+            print(f"error: cannot load fault plan: {error}", file=sys.stderr)
+            return 1
+        injector = FaultInjector(plan)
+        print(
+            f"fault injection: {len(plan.rules)} rule(s), "
+            f"seed {plan.seed} ({args.faults})"
+        )
     print(
         f"running study: {len(config.applications)} applications x "
         f"{config.sessions} sessions (scale {config.scale}, "
@@ -258,6 +276,7 @@ def _cmd_study(args: argparse.Namespace) -> int:
         cache_dir=args.cache_dir,
         use_cache=not args.no_cache,
         obs=obs,
+        faults=injector,
     )
     outdir = Path(args.output)
     outdir.mkdir(parents=True, exist_ok=True)
@@ -277,6 +296,16 @@ def _cmd_study(args: argparse.Namespace) -> int:
         f"wrote {len(figure_paths)} figures, {report_path}, and "
         f"{html_path} to {outdir}/"
     )
+    if injector is not None:
+        quarantined = result.quarantined
+        total = sum(len(entries) for entries in quarantined.values())
+        print(
+            f"fault injection: {len(injector.events)} fault(s) fired in "
+            f"this process, {total} session(s) quarantined"
+        )
+        for entries in quarantined.values():
+            for entry in entries:
+                print(f"  quarantined {entry.describe()}")
     if obs is not None:
         if args.obs is not None:
             obs_dir = Path(args.obs)
@@ -330,8 +359,97 @@ def _cmd_engine_cache(args: argparse.Namespace) -> int:
     print(f"stores:       {stats.stores}")
     print(f"discarded:    {stats.discarded} (failed integrity check)")
     print(f"write errors: {stats.write_errors}")
+    print(f"read errors:  {stats.read_errors}")
     print(f"hit rate:     {hit_pct:.1f}%")
     return 0
+
+
+def _cmd_engine_faults(args: argparse.Namespace) -> int:
+    """``engine faults demo``: a self-contained chaos run, twice.
+
+    Builds a small deterministic fault plan (one injected worker crash,
+    universal cache corruption, one truncated trace), runs a miniature
+    study cold and then warm against a throwaway cache, and shows that
+    the pipeline completes, quarantines exactly the damaged session,
+    and fires the same fault schedule both times.
+    """
+    import tempfile
+    from collections import Counter
+
+    from repro.faults import FaultInjector, FaultPlan, FaultRule
+    from repro.obs import Observer
+    from repro.study.runner import StudyConfig, run_study
+
+    apps = ("CrosswordSage", "FreeMind")
+    plan = FaultPlan(
+        seed=args.seed,
+        rules=(
+            FaultRule(kind="worker_crash", at=("1",), mode="raise"),
+            FaultRule(kind="cache_corrupt", probability=1.0),
+            FaultRule(
+                kind="trace_truncated",
+                site="trace.map",
+                at=(f"{apps[1]}/session-1",),
+            ),
+        ),
+    )
+    if args.plan_out:
+        path = plan.save(args.plan_out)
+        print(f"wrote demo plan to {path}")
+    config = StudyConfig(sessions=2, scale=0.05, applications=apps)
+    print(
+        f"demo plan: {len(plan.rules)} rules, seed {plan.seed}; "
+        f"running {len(apps)} applications x {config.sessions} sessions "
+        f"twice (cold, then warm cache) ..."
+    )
+    schedules = []
+    with tempfile.TemporaryDirectory() as cache_dir:
+        for label in ("cold", "warm", "warm again"):
+            injector = FaultInjector(plan)
+            obs = Observer()
+            result = run_study(
+                config,
+                workers=1,
+                cache_dir=cache_dir,
+                use_cache=True,
+                obs=obs,
+                faults=injector,
+            )
+            schedules.append(injector.schedule())
+            fired = Counter(event.kind for event in injector.events)
+            fired_text = (
+                ", ".join(
+                    f"{kind} x{count}" for kind, count in sorted(fired.items())
+                )
+                or "none"
+            )
+            print(f"{label} run: completed; faults fired: {fired_text}")
+            counters = obs.metrics.as_dict().get("counters", {})
+            for name in (
+                "engine.retries",
+                "engine.quarantined",
+                "cache.read_errors",
+                "faults.injected",
+            ):
+                if name in counters:
+                    print(f"  {name:<20} {counters[name]}")
+            for entries in result.quarantined.values():
+                for entry in entries:
+                    print(f"  quarantined {entry.describe()}")
+    crash_keys = [
+        event["key"]
+        for event in schedules[0]
+        if event["kind"] == "worker_crash"
+    ]
+    # Cold and warm runs fire different cache faults (reads only exist
+    # warm); reproducibility means identical state -> identical schedule.
+    reproducible = schedules[1] == schedules[2]
+    print(
+        "schedule reproducible across identical runs: "
+        f"{'yes' if reproducible else 'NO'} "
+        f"(crash at task index {', '.join(sorted(set(crash_keys)))})"
+    )
+    return 0 if reproducible else 1
 
 
 def _cmd_obs(args: argparse.Namespace) -> int:
@@ -526,6 +644,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_st.add_argument("--profile", action="store_true",
                       help="profile analysis map calls with cProfile "
                       "and report the top hotspots")
+    p_st.add_argument("--faults", default=None, metavar="PLAN.json",
+                      help="run the study under this deterministic "
+                      "fault-injection plan (see docs/fault_injection.md)")
     p_st.set_defaults(func=_cmd_study)
 
     p_en = sub.add_parser(
@@ -537,6 +658,15 @@ def build_parser() -> argparse.ArgumentParser:
     p_ec.add_argument("--cache-dir", default=None,
                       help="result-cache root (default ~/.cache/lagalyzer)")
     p_ec.set_defaults(func=_cmd_engine_cache)
+    p_ef = en_sub.add_parser(
+        "faults", help="fault-injection tooling (see docs/fault_injection.md)"
+    )
+    p_ef.add_argument("action", choices=("demo",))
+    p_ef.add_argument("--seed", type=int, default=7,
+                      help="fault-plan seed for the demo run")
+    p_ef.add_argument("--plan-out", default=None, metavar="PLAN.json",
+                      help="also write the demo plan to this file")
+    p_ef.set_defaults(func=_cmd_engine_faults)
 
     p_ob = sub.add_parser(
         "obs", help="inspect and export pipeline observability bundles"

@@ -25,8 +25,18 @@ from repro.engine.cache import (
     config_fingerprint,
     default_cache_dir,
 )
-from repro.engine.engine import AnalysisEngine
-from repro.engine.scheduler import parallel_map, resolve_workers
+from repro.engine.engine import (
+    QUARANTINE_ERRORS,
+    AnalysisEngine,
+    QuarantinedTrace,
+)
+from repro.engine.scheduler import (
+    RetryPolicy,
+    TaskOutcome,
+    parallel_map,
+    resolve_workers,
+    run_tasks,
+)
 
 __all__ = [
     "AnalysisEngine",
@@ -34,9 +44,14 @@ __all__ = [
     "CODE_VERSION",
     "CacheStats",
     "MISS",
+    "QUARANTINE_ERRORS",
+    "QuarantinedTrace",
     "ResultCache",
+    "RetryPolicy",
+    "TaskOutcome",
     "config_fingerprint",
     "default_cache_dir",
     "parallel_map",
     "resolve_workers",
+    "run_tasks",
 ]

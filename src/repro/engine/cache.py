@@ -38,6 +38,7 @@ from pathlib import Path
 from typing import Any, Dict, Iterator, Optional, Tuple, Union
 
 import repro
+from repro.faults import runtime as faults_runtime
 from repro.obs import runtime as obs_runtime
 
 #: Bump when the shape of cached partials changes incompatibly; stale
@@ -86,6 +87,9 @@ class CacheStats:
     """Entries dropped because they failed the integrity check."""
     write_errors: int = 0
     """Stores that failed (disk full, permissions) and were skipped."""
+    read_errors: int = 0
+    """Reads that failed below the integrity check (IO errors, entries
+    that passed their checksum but would not unpickle)."""
 
     def merge(self, other: "CacheStats") -> "CacheStats":
         return CacheStats(
@@ -94,6 +98,7 @@ class CacheStats:
             stores=self.stores + other.stores,
             discarded=self.discarded + other.discarded,
             write_errors=self.write_errors + other.write_errors,
+            read_errors=self.read_errors + other.read_errors,
         )
 
     def as_dict(self) -> Dict[str, int]:
@@ -103,6 +108,7 @@ class CacheStats:
             "stores": self.stores,
             "discarded": self.discarded,
             "write_errors": self.write_errors,
+            "read_errors": self.read_errors,
         }
 
 
@@ -153,16 +159,34 @@ class ResultCache:
         """The cached value for ``key``, or :data:`MISS`.
 
         Unreadable, truncated, or checksum-failing entries are deleted
-        and reported as misses — corruption is never fatal.
+        and reported as misses — corruption is never fatal. An absent
+        entry is an ordinary miss; an entry that *exists* but cannot be
+        read (IO error) additionally counts ``cache.read_errors`` and
+        warns, because that usually means failing storage, not a cold
+        cache.
         """
         path = self._path_for(key)
         try:
+            faults_runtime.check("cache.read", key=key)
             blob = path.read_bytes()
-        except OSError:
+        except FileNotFoundError:
             self.stats.misses += 1
             obs_runtime.count("cache.misses")
             return MISS
-        value = self._decode(blob)
+        except OSError as error:
+            self.stats.read_errors += 1
+            self.stats.misses += 1
+            obs_runtime.count("cache.read_errors")
+            obs_runtime.count("cache.misses")
+            warnings.warn(
+                f"result cache read failed for {key[:12]}… under "
+                f"{self.root}: {error} — treating as a miss",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return MISS
+        blob = faults_runtime.filter_bytes("cache.read", key, blob)
+        value = self._decode(blob, key)
         if value is MISS:
             self.stats.discarded += 1
             self.stats.misses += 1
@@ -203,6 +227,7 @@ class ResultCache:
         obs_runtime.count("cache.stores")
 
     def _put(self, key: str, value: Any) -> None:
+        faults_runtime.check("cache.write", key=key)
         path = self._path_for(key)
         path.parent.mkdir(parents=True, exist_ok=True)
         payload = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
@@ -222,9 +247,16 @@ class ResultCache:
                 pass
             raise
 
-    @staticmethod
-    def _decode(blob: bytes) -> Any:
-        """``(value,)`` on success, :data:`MISS` on any corruption."""
+    def _decode(self, blob: bytes, key: str = "") -> Any:
+        """``(value,)`` on success, :data:`MISS` on corruption.
+
+        An entry that passes its checksum but still fails to unpickle
+        (schema drift, an unimportable class) is *not* silently
+        swallowed: it warns, counts ``cache.read_errors``, and reads as
+        a miss. Interpreter-level failures — ``KeyboardInterrupt``,
+        ``SystemExit``, ``MemoryError``, ``RecursionError`` — re-raise:
+        they signal the process, not the entry.
+        """
         header = len(_MAGIC) + _CHECKSUM_BYTES
         if len(blob) < header or not blob.startswith(_MAGIC):
             return MISS
@@ -234,7 +266,17 @@ class ResultCache:
             return MISS
         try:
             return (pickle.loads(payload),)
-        except Exception:
+        except (KeyboardInterrupt, SystemExit, MemoryError, RecursionError):
+            raise
+        except Exception as error:
+            self.stats.read_errors += 1
+            obs_runtime.count("cache.read_errors")
+            warnings.warn(
+                f"cache entry {key[:12]}… passed its checksum but failed "
+                f"to unpickle ({error!r}) — discarding and recomputing",
+                RuntimeWarning,
+                stacklevel=3,
+            )
             return MISS
 
     # ------------------------------------------------------------------
@@ -342,6 +384,7 @@ class ResultCache:
                     stores=int(raw.get("stores", 0)),
                     discarded=int(raw.get("discarded", 0)),
                     write_errors=int(raw.get("write_errors", 0)),
+                    read_errors=int(raw.get("read_errors", 0)),
                 ),
                 "ok",
             )

@@ -20,16 +20,39 @@ knows three tricks, all behind the uniform
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.core.analyses import REGISTRY, get_analysis
+from repro.core.errors import AnalysisError, NestingError, TraceFormatError
 from repro.core.trace import Trace
 from repro.engine.cache import MISS, ResultCache, config_fingerprint
-from repro.engine.scheduler import parallel_map, resolve_workers
+from repro.engine.scheduler import RetryPolicy, resolve_workers, run_tasks
+from repro.faults import runtime as faults_runtime
 from repro.lila.digest import trace_digest
 from repro.obs import Observer
 from repro.obs import runtime as obs_runtime
+
+#: Exception types that mark a trace as *deterministically* damaged:
+#: retrying cannot help, so the engine quarantines the trace instead of
+#: aborting the whole batch.
+QUARANTINE_ERRORS: Tuple[type, ...] = (TraceFormatError, NestingError)
+
+
+@dataclass(frozen=True)
+class QuarantinedTrace:
+    """One trace the engine gave up on (and why)."""
+
+    index: int
+    """Position of the trace in the batch it was submitted with."""
+    application: str
+    session_id: str
+    error: str
+    """``repr`` of the terminal exception (picklable by construction)."""
+
+    def describe(self) -> str:
+        return f"{self.application}/{self.session_id}: {self.error}"
 
 
 def _run_map(name: str, trace: Trace, config: Any) -> Any:
@@ -44,6 +67,9 @@ def _run_map(name: str, trace: Trace, config: Any) -> Any:
 def _map_task(task: Tuple[Trace, Tuple[str, ...], Any]) -> List[Any]:
     """Worker: the missing partials of one trace (module-level for pickling)."""
     trace, names, config = task
+    faults_runtime.check(
+        "trace.map", key=f"{trace.application}/{trace.metadata.session_id}"
+    )
     return [_run_map(name, trace, config) for name in names]
 
 
@@ -100,6 +126,18 @@ class AnalysisEngine:
         obs: an :class:`~repro.obs.Observer` to record this engine's
             spans and metrics into; defaults to whatever observer is
             ambiently installed (none = observation disabled).
+        retry: transient-failure policy for map tasks; defaults to
+            3 attempts with exponential backoff and deterministic
+            jitter (see :class:`~repro.engine.scheduler.RetryPolicy`).
+        task_timeout: per-task result wait in seconds when fanning out
+            to a pool; a hung worker trips this, the pool is torn
+            down, and unfinished tasks re-run serially.
+
+    Traces whose map fails *deterministically* (typed trace damage,
+    or a transient error that survived every retry) are dropped from
+    the batch and recorded on :attr:`quarantined` instead of aborting
+    the run; the obs counters ``engine.retries`` / ``engine.timeouts``
+    / ``engine.quarantined`` record how hard the engine had to fight.
     """
 
     def __init__(
@@ -109,9 +147,15 @@ class AnalysisEngine:
         use_cache: bool = True,
         cache: Optional[ResultCache] = None,
         obs: Optional[Observer] = None,
+        retry: Optional[RetryPolicy] = None,
+        task_timeout: Optional[float] = None,
     ) -> None:
         self.workers = workers
         self.obs = obs
+        self.retry = retry
+        self.task_timeout = task_timeout
+        #: Traces dropped by the most recent map/load call.
+        self.quarantined: List[QuarantinedTrace] = []
         if cache is not None:
             self.cache: Optional[ResultCache] = cache
         elif use_cache:
@@ -166,6 +210,7 @@ class AnalysisEngine:
         config: Any,
     ) -> Dict[str, List[Any]]:
         obs = obs_runtime.current()
+        self.quarantined = []
         results: Dict[str, List[Any]] = {
             name: [None] * len(traces) for name in analysis_names
         }
@@ -198,31 +243,47 @@ class AnalysisEngine:
                 if obs is not None:
                     obs.metrics.inc("engine.tasks", len(missing))
                     profile = obs.profiler is not None
-                    obs_tasks = [
+                    tasks: List[Any] = [
                         (traces[index], tuple(names), config, profile)
                         for index, names in missing
                     ]
+                    task_func: Any = _obs_map_task
                     parent_id = (
                         dispatch_span.span_id
                         if dispatch_span is not None
                         else None
                     )
-                    outcomes = parallel_map(
-                        _obs_map_task, obs_tasks, workers=self.workers
-                    )
-                    computed = []
-                    for partials, snapshot in outcomes:
-                        obs.absorb(snapshot, parent_id=parent_id)
-                        computed.append(partials)
                 else:
                     tasks = [
                         (traces[index], tuple(names), config)
                         for index, names in missing
                     ]
-                    computed = parallel_map(
-                        _map_task, tasks, workers=self.workers
-                    )
-                for (index, names), partials in zip(missing, computed):
+                    task_func = _map_task
+                outcomes = run_tasks(
+                    task_func,
+                    tasks,
+                    workers=self.workers,
+                    timeout=self.task_timeout,
+                    retry=self.retry,
+                    quarantine_types=QUARANTINE_ERRORS,
+                )
+                for (index, names), outcome in zip(missing, outcomes):
+                    if outcome.quarantined:
+                        trace = traces[index]
+                        self.quarantined.append(
+                            QuarantinedTrace(
+                                index=index,
+                                application=trace.application,
+                                session_id=trace.metadata.session_id,
+                                error=repr(outcome.error),
+                            )
+                        )
+                        continue
+                    if obs is not None:
+                        partials, snapshot = outcome.value
+                        obs.absorb(snapshot, parent_id=parent_id)
+                    else:
+                        partials = outcome.value
                     for name, partial in zip(names, partials):
                         results[name][index] = partial
                         if self.cache is not None:
@@ -230,6 +291,16 @@ class AnalysisEngine:
                                 trace_digest(traces[index]), fingerprint, name
                             )
                             self.cache.put(key, partial)
+            if self.quarantined:
+                # A quarantined trace contributes nothing, not even
+                # partials another run left in the cache.
+                dead = {entry.index for entry in self.quarantined}
+                for name in analysis_names:
+                    results[name] = [
+                        partial
+                        for index, partial in enumerate(results[name])
+                        if index not in dead
+                    ]
         return results
 
     # ------------------------------------------------------------------
@@ -277,33 +348,65 @@ class AnalysisEngine:
     # ------------------------------------------------------------------
 
     def load_traces(
-        self, paths: Sequence[Union[str, Path]]
+        self,
+        paths: Sequence[Union[str, Path]],
+        on_error: str = "raise",
     ) -> List[Trace]:
-        """Load trace files, fanning the parsing out across workers."""
+        """Load trace files, fanning the parsing out across workers.
+
+        Args:
+            on_error: ``"raise"`` (default) propagates the first parse
+                failure; ``"quarantine"`` skips unreadable/damaged
+                files, records them on :attr:`quarantined`, and returns
+                the traces that loaded.
+        """
+        if on_error not in ("raise", "quarantine"):
+            raise AnalysisError(
+                f"on_error must be 'raise' or 'quarantine', got {on_error!r}"
+            )
+        quarantine = QUARANTINE_ERRORS if on_error == "quarantine" else ()
         with obs_runtime.installed(self.obs):
             obs = obs_runtime.current()
+            self.quarantined = []
             with obs_runtime.maybe_span(
                 "engine.load_traces", files=len(paths)
             ) as load_span:
                 if obs is None:
-                    return parallel_map(
-                        _load_task,
-                        [str(path) for path in paths],
-                        workers=self.workers,
-                    )
-                profile = obs.profiler is not None
-                outcomes = parallel_map(
-                    _obs_load_task,
-                    [(str(path), profile) for path in paths],
+                    task_func: Any = _load_task
+                    tasks: List[Any] = [str(path) for path in paths]
+                else:
+                    profile = obs.profiler is not None
+                    task_func = _obs_load_task
+                    tasks = [(str(path), profile) for path in paths]
+                outcomes = run_tasks(
+                    task_func,
+                    tasks,
                     workers=self.workers,
+                    timeout=self.task_timeout,
+                    retry=self.retry,
+                    quarantine_types=quarantine,
                 )
                 parent_id = (
                     load_span.span_id if load_span is not None else None
                 )
                 traces = []
-                for trace, snapshot in outcomes:
-                    obs.absorb(snapshot, parent_id=parent_id)
-                    traces.append(trace)
+                for index, outcome in enumerate(outcomes):
+                    if outcome.quarantined:
+                        self.quarantined.append(
+                            QuarantinedTrace(
+                                index=index,
+                                application="",
+                                session_id=Path(paths[index]).name,
+                                error=repr(outcome.error),
+                            )
+                        )
+                        continue
+                    if obs is None:
+                        traces.append(outcome.value)
+                    else:
+                        trace, snapshot = outcome.value
+                        obs.absorb(snapshot, parent_id=parent_id)
+                        traces.append(trace)
                 return traces
 
     # ------------------------------------------------------------------

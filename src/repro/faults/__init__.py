@@ -1,0 +1,58 @@
+"""``repro.faults`` — deterministic fault injection for the pipeline.
+
+LagAlyzer is an offline analyzer: its value rests on never losing or
+silently corrupting a study when a worker dies, a cache disk fills, or
+a trace is truncated. This package makes those failure classes
+*first-class, reproducible inputs*:
+
+- :class:`~repro.faults.plan.FaultPlan` / :class:`~repro.faults.plan.FaultRule`
+  — a seedable, JSON round-trippable schedule of faults (worker
+  crashes, hangs, pool breaks, cache IO errors and silent byte
+  corruption, disk-full, truncated/garbled trace records), fired at
+  exact task indices or at probabilities derived from a named hash —
+  never from wall-clock time or ``random`` state.
+- :class:`~repro.faults.injector.FaultInjector` — evaluates the plan at
+  the pipeline's injection sites and records every fired event.
+- :mod:`~repro.faults.runtime` — the ambient per-process installation
+  the hot paths consult with one-branch disabled guards (the same
+  pattern as :mod:`repro.obs.runtime`).
+
+The engine side of the story — retries with backoff, per-task
+timeouts, serial re-execution after pool breaks, and the quarantine
+list — lives in :mod:`repro.engine.scheduler` and
+:mod:`repro.engine.engine`; ``docs/fault_injection.md`` documents the
+plan format and the reproduction workflow
+(``lagalyzer study --faults plan.json``).
+"""
+
+from repro.faults.injector import (
+    FaultEvent,
+    FaultInjector,
+    InjectedCrash,
+    InjectedFault,
+    TransientFault,
+)
+from repro.faults.plan import (
+    KIND_SITES,
+    SITES,
+    FaultClock,
+    FaultPlan,
+    FaultPlanError,
+    FaultRule,
+    hash_unit,
+)
+
+__all__ = [
+    "FaultClock",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultPlanError",
+    "FaultRule",
+    "InjectedCrash",
+    "InjectedFault",
+    "KIND_SITES",
+    "SITES",
+    "TransientFault",
+    "hash_unit",
+]

@@ -1,0 +1,254 @@
+"""The execution half of fault injection: deciding and firing faults.
+
+A :class:`FaultInjector` owns a :class:`~repro.faults.plan.FaultPlan`
+and is consulted by the pipeline's injection sites through
+:mod:`repro.faults.runtime`. Every decision is a pure function of
+``(plan seed, rule index, site, key)`` plus the task's attempt number,
+so a given plan fires at the same coordinates on every run. Fired
+events are recorded in :attr:`FaultInjector.events` (and counted in the
+ambient obs metrics as ``faults.injected``) for reproduction reports.
+"""
+
+from __future__ import annotations
+
+import errno
+import os
+import time
+from dataclasses import dataclass
+from typing import Any, Iterable, List, Optional, Union
+
+from repro.core.errors import TraceFormatError
+from repro.faults.plan import FaultClock, FaultPlan, FaultRule, hash_unit
+from repro.obs import runtime as obs_runtime
+
+
+class TransientFault(Exception):
+    """Base of retryable injected failures (the retry policy's cue)."""
+
+
+class InjectedCrash(TransientFault):
+    """An injected worker crash (``worker_crash`` in raise mode)."""
+
+
+class InjectedFault(TransientFault):
+    """A generic injected task failure (``task_error``)."""
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One fault that actually fired."""
+
+    site: str
+    key: str
+    kind: str
+    attempt: int
+
+    def as_dict(self) -> dict:
+        return {
+            "site": self.site,
+            "key": self.key,
+            "kind": self.kind,
+            "attempt": self.attempt,
+        }
+
+
+def _in_worker_process() -> bool:
+    """True in a multiprocessing child (safe to hard-exit)."""
+    try:
+        import multiprocessing
+
+        return multiprocessing.parent_process() is not None
+    except Exception:
+        return False
+
+
+class FaultInjector:
+    """Evaluates a plan at the pipeline's injection sites.
+
+    One injector is installed ambiently per process (see
+    :mod:`repro.faults.runtime`); worker processes get a fresh injector
+    rebuilt from the plan dict shipped with their task, so decisions —
+    which are stateless in the plan coordinates — agree everywhere.
+    """
+
+    def __init__(self, plan: Union[FaultPlan, dict, None]) -> None:
+        if plan is None:
+            plan = FaultPlan()
+        elif isinstance(plan, dict):
+            plan = FaultPlan.from_dict(plan)
+        self.plan = plan
+        self.clock = FaultClock()
+        self.events: List[FaultEvent] = []
+
+    # ------------------------------------------------------------------
+    # Decision core
+    # ------------------------------------------------------------------
+
+    def _matches(
+        self, rule_index: int, rule: FaultRule, site: str, key: str,
+        attempt: int,
+    ) -> bool:
+        if rule.times is not None and attempt >= rule.times:
+            return False
+        if rule.at:
+            return key in rule.at
+        return hash_unit(
+            self.plan.seed, rule_index, rule.kind, site, key
+        ) < rule.probability
+
+    def _fired(
+        self, site: str, key: str, attempt: int,
+    ) -> Iterable[tuple]:
+        for rule_index, rule in self.plan.rules_for(site):
+            if self._matches(rule_index, rule, site, key, attempt):
+                yield rule_index, rule
+
+    def _record(self, site: str, key: str, kind: str, attempt: int) -> None:
+        self.events.append(FaultEvent(site, key, kind, attempt))
+        obs_runtime.count("faults.injected")
+
+    # ------------------------------------------------------------------
+    # Site API (called via repro.faults.runtime)
+    # ------------------------------------------------------------------
+
+    def check(
+        self, site: str, key: Optional[Any] = None, attempt: int = 0
+    ) -> None:
+        """Fire any matching *raising* fault at ``site``.
+
+        Raises the fault's exception (or stalls, for ``worker_hang``);
+        returns normally when no rule fires.
+        """
+        if not self.plan.rules:
+            return
+        if key is None:
+            key = self.clock.tick(site)
+        key = str(key)
+        for rule_index, rule in self._fired(site, key, attempt):
+            if self._is_filter_kind(rule.kind, site):
+                continue  # applied by filter_bytes/filter_lines instead
+            self._record(site, key, rule.kind, attempt)
+            self._trigger(rule, site, key)
+
+    @staticmethod
+    def _is_filter_kind(kind: str, site: str) -> bool:
+        """Kinds that damage data in-stream rather than raising.
+
+        ``cache_corrupt`` only ever flips bytes; trace damage is
+        in-stream at the reader (``lila.read``) but raises the typed
+        parse error directly at in-memory sites (``trace.map``).
+        """
+        if kind == "cache_corrupt":
+            return True
+        return (
+            kind in ("trace_truncated", "trace_garbled")
+            and site == "lila.read"
+        )
+
+    def _trigger(self, rule: FaultRule, site: str, key: str) -> None:
+        kind = rule.kind
+        if kind == "worker_crash":
+            if rule.mode == "exit" and _in_worker_process():
+                os._exit(3)
+            raise InjectedCrash(
+                f"injected worker crash at {site} key={key}"
+            )
+        if kind == "worker_hang":
+            time.sleep(rule.seconds)
+            return
+        if kind == "task_error":
+            raise InjectedFault(f"injected task error at {site} key={key}")
+        if kind == "broken_pool":
+            from concurrent.futures.process import BrokenProcessPool
+
+            raise BrokenProcessPool(f"injected pool break (dispatch {key})")
+        if kind == "cache_read_error":
+            raise OSError(
+                errno.EIO, f"injected cache read error for {key[:12]}"
+            )
+        if kind in ("cache_write_error", "disk_full"):
+            code = errno.ENOSPC if kind == "disk_full" else errno.EIO
+            raise OSError(
+                code, f"injected cache write failure for {key[:12]}"
+            )
+        if kind in ("trace_truncated", "trace_garbled"):
+            # At a non-reader site (trace.map) the damaged trace
+            # surfaces as the typed, deterministic parse failure the
+            # engine quarantines on.
+            raise TraceFormatError(
+                f"injected {kind.replace('_', ' ')} for trace {key}"
+            )
+        raise AssertionError(f"unhandled fault kind {kind!r}")
+
+    def filter_bytes(
+        self, site: str, key: str, data: bytes, attempt: int = 0
+    ) -> bytes:
+        """Apply byte-corruption faults (``cache_corrupt``) to ``data``."""
+        if not self.plan.rules or not data:
+            return data
+        key = str(key)
+        for rule_index, rule in self._fired(site, key, attempt):
+            if rule.kind != "cache_corrupt":
+                continue
+            self._record(site, key, rule.kind, attempt)
+            position = int(
+                hash_unit(self.plan.seed, rule_index, "byte", key)
+                * len(data)
+            )
+            corrupted = bytearray(data)
+            corrupted[position] ^= 0xFF
+            return bytes(corrupted)
+        return data
+
+    def filter_lines(
+        self, site: str, key: str, lines: Iterable[str], attempt: int = 0
+    ) -> Iterable[str]:
+        """Apply record-level trace damage (truncation / garbling).
+
+        Returns ``lines`` untouched (lazily, without materializing)
+        when no rule fires.
+        """
+        if not self.plan.rules:
+            return lines
+        key = str(key)
+        fired = [
+            (rule_index, rule)
+            for rule_index, rule in self._fired(site, key, attempt)
+            if rule.kind in ("trace_truncated", "trace_garbled")
+        ]
+        if not fired:
+            return lines
+        damaged = list(lines)
+        for rule_index, rule in fired:
+            self._record(site, key, rule.kind, attempt)
+            if len(damaged) < 3:
+                continue
+            if rule.kind == "trace_truncated":
+                fraction = 0.25 + 0.5 * hash_unit(
+                    self.plan.seed, rule_index, "cut", key
+                )
+                keep = max(2, int(len(damaged) * fraction))
+                damaged = damaged[:keep]
+            else:  # trace_garbled: cut one record line down to its tag
+                body = max(1, len(damaged) - 1)
+                line_index = 1 + int(
+                    hash_unit(self.plan.seed, rule_index, "line", key)
+                    * body
+                )
+                line_index = min(line_index, len(damaged) - 1)
+                damaged[line_index] = damaged[line_index][:1]
+        return damaged
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def schedule(self) -> List[dict]:
+        """The fired events so far, as JSON-ready dicts (this process)."""
+        return [event.as_dict() for event in self.events]
+
+    def __repr__(self) -> str:
+        return (
+            f"FaultInjector(seed={self.plan.seed}, "
+            f"rules={len(self.plan.rules)}, fired={len(self.events)})"
+        )

@@ -1,0 +1,261 @@
+"""Declarative, seedable fault plans.
+
+A :class:`FaultPlan` is the *schedule* half of the fault-injection
+layer: a seed plus an ordered list of :class:`FaultRule` entries, each
+naming a fault ``kind``, the injection ``site`` it applies to, and
+*when* it fires — at exact keys (task indices, cache keys, session
+ids), or with a probability derived from a named hash of
+``(seed, rule, site, key)``. Because every decision is a pure function
+of those coordinates, a plan reproduces the identical fault schedule on
+every run, independent of wall-clock time, worker scheduling, or
+process boundaries — the property the chaos suite and the
+``study --faults plan.json`` reproduction workflow rely on.
+
+The execution half lives in :mod:`repro.faults.injector`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Iterable, Mapping, Optional, Tuple, Union
+
+from repro.core.errors import LagAlyzerError
+
+
+class FaultPlanError(LagAlyzerError):
+    """A fault plan is malformed or internally inconsistent."""
+
+
+#: Injection sites the pipeline exposes (rule sites must be one of these).
+SITES = (
+    "engine.task",   # one scheduled task (key = task index in the batch)
+    "engine.pool",   # process-pool dispatch (key = dispatch count)
+    "trace.map",     # per-trace analysis map (key = "App/session-id")
+    "cache.read",    # result-cache read (key = cache entry key)
+    "cache.write",   # result-cache write (key = cache entry key)
+    "lila.read",     # trace-file parse (key = file name)
+)
+
+#: Fault kinds and the site each defaults to.
+KIND_SITES: Dict[str, str] = {
+    "worker_crash": "engine.task",      # task dies (raise, or hard exit)
+    "worker_hang": "engine.task",       # task stalls for `seconds`
+    "task_error": "engine.task",        # task raises a transient error
+    "broken_pool": "engine.pool",       # the whole pool breaks
+    "cache_read_error": "cache.read",   # entry read raises an IO error
+    "cache_corrupt": "cache.read",      # entry bytes silently flipped
+    "cache_write_error": "cache.write", # entry write raises an IO error
+    "disk_full": "cache.write",         # entry write raises ENOSPC
+    "trace_truncated": "lila.read",     # trace records cut off mid-file
+    "trace_garbled": "lila.read",       # one trace record garbled
+}
+
+#: Kinds that model *transient* failures: they default to firing on the
+#: first attempt only (``times=1``) so a retry succeeds.
+TRANSIENT_KINDS = frozenset(
+    (
+        "worker_crash",
+        "worker_hang",
+        "task_error",
+        "broken_pool",
+        "cache_read_error",
+        "cache_write_error",
+        "disk_full",
+    )
+)
+
+
+def hash_unit(seed: int, *parts: Any) -> float:
+    """A deterministic uniform draw in ``[0, 1)`` named by its parts.
+
+    The injection layer's replacement for ``random.random()``: the same
+    ``(seed, *parts)`` coordinates always produce the same value, in
+    any process, in any order.
+    """
+    text = "/".join([str(seed), *(str(part) for part in parts)])
+    digest = hashlib.sha256(text.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") / 2.0**64
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """One fault: what to inject, where, and when.
+
+    Args:
+        kind: one of :data:`KIND_SITES`.
+        site: injection site; defaults to the kind's natural site.
+        at: exact keys to fire on (task indices are matched as strings).
+        probability: chance of firing per (site, key), decided by
+            :func:`hash_unit` — deterministic, not sampled.
+        times: fire on attempts ``0 .. times-1`` of a task only;
+            ``None`` means every attempt. Defaults to 1 for transient
+            kinds (so retries recover) and ``None`` for deterministic
+            corruption kinds (so retries keep failing).
+        seconds: stall duration for ``worker_hang``.
+        mode: ``worker_crash`` only — ``"raise"`` raises a retryable
+            :class:`~repro.faults.injector.InjectedCrash`; ``"exit"``
+            hard-kills the worker process (a real ``BrokenProcessPool``).
+    """
+
+    kind: str
+    site: str = ""
+    at: Tuple[str, ...] = ()
+    probability: float = 0.0
+    times: Optional[int] = -1  # -1 = "use the kind's default"
+    seconds: float = 0.25
+    mode: str = "raise"
+
+    def __post_init__(self) -> None:
+        if self.kind not in KIND_SITES:
+            raise FaultPlanError(
+                f"unknown fault kind {self.kind!r} "
+                f"(choose from {', '.join(sorted(KIND_SITES))})"
+            )
+        if not self.site:
+            object.__setattr__(self, "site", KIND_SITES[self.kind])
+        if self.site not in SITES:
+            raise FaultPlanError(
+                f"unknown injection site {self.site!r} "
+                f"(choose from {', '.join(SITES)})"
+            )
+        object.__setattr__(
+            self, "at", tuple(str(key) for key in self.at)
+        )
+        if not self.at and not self.probability:
+            raise FaultPlanError(
+                f"rule {self.kind!r} needs 'at' keys or a 'probability'"
+            )
+        if not 0.0 <= self.probability <= 1.0:
+            raise FaultPlanError(
+                f"rule {self.kind!r}: probability {self.probability} "
+                f"outside [0, 1]"
+            )
+        if self.times == -1:
+            object.__setattr__(
+                self, "times", 1 if self.kind in TRANSIENT_KINDS else None
+            )
+        if self.times is not None and self.times < 1:
+            raise FaultPlanError(
+                f"rule {self.kind!r}: times must be >= 1 or null"
+            )
+        if self.mode not in ("raise", "exit"):
+            raise FaultPlanError(
+                f"rule {self.kind!r}: mode must be 'raise' or 'exit'"
+            )
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "site": self.site,
+            "at": list(self.at),
+            "probability": self.probability,
+            "times": self.times,
+            "seconds": self.seconds,
+            "mode": self.mode,
+        }
+
+    @classmethod
+    def from_dict(cls, raw: Mapping[str, Any]) -> "FaultRule":
+        if not isinstance(raw, Mapping):
+            raise FaultPlanError(f"rule must be an object, got {raw!r}")
+        unknown = set(raw) - {
+            "kind", "site", "at", "probability", "times", "seconds", "mode"
+        }
+        if unknown:
+            raise FaultPlanError(
+                f"rule has unknown field(s): {', '.join(sorted(unknown))}"
+            )
+        if "kind" not in raw:
+            raise FaultPlanError("rule is missing 'kind'")
+        return cls(
+            kind=str(raw["kind"]),
+            site=str(raw.get("site", "")),
+            at=tuple(raw.get("at", ())),
+            probability=float(raw.get("probability", 0.0)),
+            times=raw.get("times", -1) if raw.get("times", -1) is not None
+            else None,
+            seconds=float(raw.get("seconds", 0.25)),
+            mode=str(raw.get("mode", "raise")),
+        )
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seed plus the rules it drives. JSON round-trippable."""
+
+    seed: int = 0
+    rules: Tuple[FaultRule, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "rules", tuple(self.rules))
+
+    def rules_for(self, site: str) -> Iterable[Tuple[int, FaultRule]]:
+        """``(rule_index, rule)`` pairs registered at ``site``."""
+        for index, rule in enumerate(self.rules):
+            if rule.site == site:
+                yield index, rule
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "seed": self.seed,
+            "rules": [rule.as_dict() for rule in self.rules],
+        }
+
+    @classmethod
+    def from_dict(cls, raw: Mapping[str, Any]) -> "FaultPlan":
+        if not isinstance(raw, Mapping):
+            raise FaultPlanError(f"fault plan must be an object, got {raw!r}")
+        rules = raw.get("rules", [])
+        if not isinstance(rules, (list, tuple)):
+            raise FaultPlanError("'rules' must be a list")
+        return cls(
+            seed=int(raw.get("seed", 0)),
+            rules=tuple(FaultRule.from_dict(rule) for rule in rules),
+        )
+
+    def save(self, path: Union[str, Path]) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(
+            json.dumps(self.as_dict(), indent=2) + "\n", encoding="utf-8"
+        )
+        return path
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "FaultPlan":
+        try:
+            text = Path(path).read_text(encoding="utf-8")
+        except OSError as error:
+            raise FaultPlanError(f"cannot read fault plan {path}: {error}")
+        try:
+            raw = json.loads(text)
+        except ValueError as error:
+            raise FaultPlanError(
+                f"fault plan {path} is not valid JSON: {error}"
+            ) from None
+        return cls.from_dict(raw)
+
+
+class FaultClock:
+    """Deterministic logical time: per-site invocation counters.
+
+    The injection layer never consults the wall clock. Sites without a
+    naturally stable key (pool dispatches) are keyed by their
+    invocation index from this clock instead, so a serial re-run
+    replays the identical sequence.
+    """
+
+    def __init__(self) -> None:
+        self._ticks: Dict[str, int] = {}
+
+    def tick(self, site: str) -> int:
+        """The invocation index of this call at ``site`` (0-based)."""
+        count = self._ticks.get(site, 0)
+        self._ticks[site] = count + 1
+        return count
+
+    def reset(self) -> None:
+        self._ticks.clear()

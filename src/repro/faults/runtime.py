@@ -1,0 +1,159 @@
+"""The ambient fault injector: process-global, one-branch no-op guards.
+
+Mirrors :mod:`repro.obs.runtime`: injection sites deep in the pipeline
+(the cache, the reader, the scheduler's task wrapper) cannot have an
+``injector=`` parameter threaded through every signature, so one
+injector is *installed* per process and sites consult it through the
+helpers here. Every helper starts with ``if _current is None: return``,
+so production runs without a fault plan pay one global read per site.
+
+Worker processes never share the parent's injector object: the
+scheduler ships the plan dict inside each task payload and
+:class:`task_scope` rebuilds a fresh injector in the worker (decisions
+are stateless in the plan coordinates, so parent and workers agree).
+A fork-inherited injector is ignored via the owning-pid check, exactly
+like the obs runtime.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Iterable, Optional
+
+from repro.faults.injector import FaultInjector
+
+#: The installed injector, or None (fault injection disabled).
+_current: Optional[FaultInjector] = None
+#: Pid that installed it; a forked child sees a mismatch and ignores it.
+_owner_pid: int = -1
+#: Ambient attempt number of the task being executed (set by the
+#: scheduler's task wrapper; 0 outside any scheduled task).
+_attempt: int = 0
+#: Ambient index of the task being executed within its batch.
+_task_index: int = 0
+
+
+def install(injector: FaultInjector) -> None:
+    """Make ``injector`` the ambient injector for this process."""
+    global _current, _owner_pid
+    _current = injector
+    _owner_pid = os.getpid()
+
+
+def uninstall() -> None:
+    """Disable ambient fault injection."""
+    global _current
+    _current = None
+
+
+def current() -> Optional[FaultInjector]:
+    """The ambient injector, or None when injection is disabled."""
+    if _current is None or _owner_pid != os.getpid():
+        return None
+    return _current
+
+
+class installed:
+    """Context manager: install an injector, restore the previous one.
+
+    A no-op when ``injector`` is None, so call sites don't branch.
+    """
+
+    __slots__ = ("_injector", "_previous", "_previous_pid")
+
+    def __init__(self, injector: Optional[FaultInjector]) -> None:
+        self._injector = injector
+        self._previous: Optional[FaultInjector] = None
+        self._previous_pid: int = -1
+
+    def __enter__(self) -> Optional[FaultInjector]:
+        if self._injector is not None:
+            self._previous = _current
+            self._previous_pid = _owner_pid
+            install(self._injector)
+        return self._injector
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if self._injector is not None:
+            global _current, _owner_pid
+            _current = self._previous
+            _owner_pid = self._previous_pid
+        return False
+
+
+class task_scope:
+    """Per-task injection context used by the scheduler's task wrapper.
+
+    Sets the ambient (attempt, task index) for the duration of one task
+    execution, and — in a fresh worker process where no injector is
+    installed — rebuilds one from the plan dict shipped with the task.
+    """
+
+    __slots__ = ("_plan_dict", "_index", "_attempt", "_installed", "_saved")
+
+    def __init__(
+        self, plan_dict: Optional[dict], index: int, attempt: int
+    ) -> None:
+        self._plan_dict = plan_dict
+        self._index = index
+        self._attempt = attempt
+        self._installed: Optional[installed] = None
+        self._saved = (0, 0)
+
+    def __enter__(self) -> None:
+        global _attempt, _task_index
+        if self._plan_dict is not None and current() is None:
+            self._installed = installed(FaultInjector(self._plan_dict))
+            self._installed.__enter__()
+        self._saved = (_attempt, _task_index)
+        _attempt = self._attempt
+        _task_index = self._index
+        return None
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        global _attempt, _task_index
+        _attempt, _task_index = self._saved
+        if self._installed is not None:
+            self._installed.__exit__(exc_type, exc, tb)
+            self._installed = None
+        return False
+
+
+# ----------------------------------------------------------------------
+# One-branch guarded site helpers
+# ----------------------------------------------------------------------
+
+
+def check(site: str, key: Optional[Any] = None) -> None:
+    """Fire any matching raising fault at ``site`` (no-op when disabled)."""
+    if _current is None:
+        return
+    if _owner_pid != os.getpid():
+        return
+    _current.check(site, key=key, attempt=_attempt)
+
+
+def filter_bytes(site: str, key: Any, data: bytes) -> bytes:
+    """Pass ``data`` through byte-corruption faults (identity when disabled)."""
+    if _current is None:
+        return data
+    if _owner_pid != os.getpid():
+        return data
+    return _current.filter_bytes(site, str(key), data, attempt=_attempt)
+
+
+def filter_lines(site: str, key: Any, lines: Iterable[str]) -> Iterable[str]:
+    """Pass trace lines through damage faults (identity when disabled)."""
+    if _current is None:
+        return lines
+    if _owner_pid != os.getpid():
+        return lines
+    return _current.filter_lines(site, str(key), lines, attempt=_attempt)
+
+
+def plan_snapshot() -> Optional[dict]:
+    """The ambient plan as a picklable dict (to ship into workers)."""
+    injector = current()
+    if injector is None or not injector.plan.rules:
+        return None
+    return injector.plan.as_dict()

@@ -5,10 +5,11 @@ from __future__ import annotations
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Union
 
-from repro.core.errors import TraceFormatError
+from repro.core.errors import LagAlyzerError, TraceFormatError
 from repro.core.intervals import Interval, IntervalKind, IntervalTreeBuilder
 from repro.core.samples import Sample, ThreadSample, ThreadState
 from repro.core.trace import Trace, TraceMetadata
+from repro.faults import runtime as faults_runtime
 from repro.lila.format import decode_stack, parse_header
 from repro.obs import runtime as obs_runtime
 
@@ -131,6 +132,12 @@ def _parse_ns(token: str, line_no: int) -> int:
 def read_trace_lines(lines: Iterable[str]) -> Trace:
     """Parse format lines into a validated :class:`Trace`.
 
+    Every failure mode of a damaged file — malformed records, nesting
+    violations, intervals left open by truncation, structurally
+    impossible traces — surfaces as :class:`TraceFormatError` (with the
+    offending line number for record-level damage), never as an
+    untyped exception and never as a silently half-parsed trace.
+
     Raises:
         TraceFormatError: on any malformed record, missing metadata, or
             nesting violation.
@@ -147,7 +154,14 @@ def read_trace_lines(lines: Iterable[str]) -> Trace:
         line = raw.rstrip("\n")
         if not line or line.startswith("#"):
             continue
-        _parse_line(state, line_no, line)
+        try:
+            _parse_line(state, line_no, line)
+        except TraceFormatError:
+            raise
+        except LagAlyzerError as error:
+            # Nesting violations from the interval builder carry no
+            # position; re-typing them here pins the damage to a line.
+            raise TraceFormatError(f"line {line_no}: {error}") from None
     state.flush_sample()
 
     for key in _REQUIRED_META:
@@ -169,17 +183,25 @@ def read_trace_lines(lines: Iterable[str]) -> Trace:
         )
     except ValueError as error:
         raise TraceFormatError(f"bad metadata value: {error}") from None
-    thread_roots = {
-        thread: builder.finish()
-        for thread, builder in state.builders.items()
-    }
-    trace = Trace(
-        metadata,
-        thread_roots,
-        samples=state.samples,
-        short_episode_count=state.short_count,
-    )
-    trace.validate()
+    try:
+        thread_roots = {
+            thread: builder.finish()
+            for thread, builder in state.builders.items()
+        }
+        trace = Trace(
+            metadata,
+            thread_roots,
+            samples=state.samples,
+            short_episode_count=state.short_count,
+        )
+        trace.validate()
+    except TraceFormatError:
+        raise
+    except LagAlyzerError as error:
+        # Intervals left open by a truncated file (or an impossible
+        # structure) surface at finish/validate time; same contract:
+        # damage always raises the typed parse error.
+        raise TraceFormatError(str(error)) from None
     return trace
 
 
@@ -189,8 +211,10 @@ def read_trace(path: Union[str, Path]) -> Trace:
     with obs_runtime.maybe_span(
         "lila.read_trace", metric="lila.parse_ms", path=path.name, format="text"
     ):
+        faults_runtime.check("lila.read", key=path.name)
         with path.open("r", encoding="utf-8") as handle:
-            trace = read_trace_lines(handle)
+            lines = faults_runtime.filter_lines("lila.read", path.name, handle)
+            trace = read_trace_lines(lines)
     if obs_runtime.current() is not None:
         obs_runtime.count("lila.traces_parsed")
         try:

@@ -7,7 +7,13 @@ charts. :mod:`repro.study.paper_data` carries the numbers the paper
 reports so the harness can print paper-vs-measured for every statistic.
 """
 
-from repro.study.runner import StudyConfig, StudyResult, run_study
+from repro.study.runner import (
+    AppResult,
+    StudyConfig,
+    StudyResult,
+    analyze_app,
+    run_study,
+)
 from repro.study.tables import format_table1, format_table2, format_table3
 from repro.study.figures import (
     figure3_data,
@@ -19,8 +25,10 @@ from repro.study.figures import (
 )
 
 __all__ = [
+    "AppResult",
     "StudyConfig",
     "StudyResult",
+    "analyze_app",
     "figure3_data",
     "figure4_data",
     "figure5_data",

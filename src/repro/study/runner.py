@@ -14,11 +14,13 @@ Parallel and cached runs produce results identical to the serial path.
 from __future__ import annotations
 
 import functools
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, List, Optional, Tuple, Union
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.core.api import AnalysisConfig
+from repro.core.errors import AnalysisError
+from repro.core.trace import Trace
 from repro.obs import Observer
 from repro.obs import runtime as obs_runtime
 from repro.core.concurrency import ConcurrencySummary
@@ -27,8 +29,11 @@ from repro.core.occurrence import OccurrenceSummary
 from repro.core.statistics import SessionStats, mean_row
 from repro.core.threadstates import ThreadStateSummary
 from repro.core.triggers import TriggerSummary
-from repro.engine.engine import AnalysisEngine
-from repro.engine.scheduler import parallel_map, resolve_workers
+from repro.engine.engine import AnalysisEngine, QuarantinedTrace
+from repro.engine.scheduler import RetryPolicy, resolve_workers, run_tasks
+from repro.faults import runtime as faults_runtime
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan
 from repro.apps.catalog import APPLICATION_NAMES
 from repro.apps.sessions import simulate_sessions
 
@@ -79,6 +84,9 @@ class AppResult:
     pattern_cdf: List[float]
     """Figure 3 curve: cumulative episode % by pattern % (101 points)."""
 
+    quarantined: List[QuarantinedTrace] = field(default_factory=list)
+    """Sessions excluded from every summary above (damaged traces)."""
+
 
 @dataclass
 class StudyResult:
@@ -92,6 +100,15 @@ class StudyResult:
         """The "Mean" row at the bottom of Table III."""
         return mean_row([result.mean_stats for result in self.apps.values()])
 
+    @property
+    def quarantined(self) -> Dict[str, List[QuarantinedTrace]]:
+        """Damaged sessions per application (apps with none are omitted)."""
+        return {
+            name: result.quarantined
+            for name, result in self.apps.items()
+            if result.quarantined
+        }
+
     def ordered(self) -> List[AppResult]:
         """Results in Table II order."""
         return [self.apps[name] for name in self.config.applications]
@@ -101,22 +118,41 @@ def analyze_app(
     name: str,
     config: StudyConfig,
     engine: Optional[AnalysisEngine] = None,
+    traces: Optional[Sequence[Trace]] = None,
 ) -> AppResult:
     """Simulate and analyze one application's sessions.
 
     With an engine, every per-trace analysis partial goes through its
     result cache — a re-run over unchanged traces does no map work.
+    Sessions whose traces fail with deterministic damage are
+    quarantined (listed in :attr:`AppResult.quarantined`, excluded from
+    every summary); only an application with *no* analyzable session
+    raises.
+
+    Args:
+        traces: pre-loaded session traces; when omitted, the paper's
+            sessions are simulated from ``config``.
     """
-    with obs_runtime.maybe_span(
-        "study.simulate", application=name, sessions=config.sessions
-    ):
-        traces = simulate_sessions(
-            name, count=config.sessions, seed=config.seed, scale=config.scale
-        )
+    if traces is None:
+        with obs_runtime.maybe_span(
+            "study.simulate", application=name, sessions=config.sessions
+        ):
+            traces = simulate_sessions(
+                name,
+                count=config.sessions,
+                seed=config.seed,
+                scale=config.scale,
+            )
     analysis_config = config.analysis_config()
     if engine is None:
         engine = AnalysisEngine(workers=1, use_cache=False)
     partials = engine.map_traces(_APP_ANALYSES, traces, analysis_config)
+    quarantined = list(engine.quarantined)
+    if len(quarantined) == len(traces):
+        raise AnalysisError(
+            f"every session of {name} was quarantined: "
+            + "; ".join(entry.describe() for entry in quarantined)
+        )
 
     def reduce(analysis: str, perceptible_only: bool = False):
         from repro.core.analyses import get_analysis
@@ -145,6 +181,7 @@ def analyze_app(
             "threadstates", perceptible_only=True
         ),
         pattern_cdf=list(reduce("patterns").cdf),
+        quarantined=quarantined,
     )
 
 
@@ -154,6 +191,8 @@ def _analyze_app_task(
     cache_dir: Optional[str],
     use_cache: bool,
     obs_profile: Optional[bool] = None,
+    retry: Optional[RetryPolicy] = None,
+    task_timeout: Optional[float] = None,
 ) -> Tuple[AppResult, Optional[dict]]:
     """Worker: one application end to end (module-level for pickling).
 
@@ -171,12 +210,27 @@ def _analyze_app_task(
     with obs_runtime.installed(worker_obs):
         with obs_runtime.maybe_span("study.app", application=name):
             engine = AnalysisEngine(
-                workers=1, cache_dir=cache_dir, use_cache=use_cache
+                workers=1,
+                cache_dir=cache_dir,
+                use_cache=use_cache,
+                retry=retry,
+                task_timeout=task_timeout,
             )
             result = analyze_app(name, config, engine=engine)
             engine.flush_cache_stats()
     snapshot = worker_obs.snapshot() if worker_obs is not None else None
     return result, snapshot
+
+
+def _resolve_injector(
+    faults: Union[FaultPlan, FaultInjector, dict, None],
+) -> Optional[FaultInjector]:
+    """Normalize the ``faults=`` knob to an injector (or None)."""
+    if faults is None:
+        return None
+    if isinstance(faults, FaultInjector):
+        return faults
+    return FaultInjector(faults)
 
 
 def run_study(
@@ -186,6 +240,9 @@ def run_study(
     cache_dir: Optional[Union[str, Path]] = None,
     use_cache: bool = True,
     obs: Optional[Observer] = None,
+    faults: Union[FaultPlan, FaultInjector, dict, None] = None,
+    retry: Optional[RetryPolicy] = None,
+    task_timeout: Optional[float] = None,
 ) -> StudyResult:
     """Run the full characterization study.
 
@@ -202,43 +259,73 @@ def run_study(
             traced end to end (installed ambiently for the duration,
             worker snapshots merged back and re-parented under the
             ``study.run`` root span). Results are identical either way.
+        faults: a :class:`~repro.faults.FaultPlan` (or injector, or
+            plan dict) to run the study under — installed ambiently for
+            the duration and shipped into workers. Damaged sessions are
+            quarantined per application (see
+            :attr:`StudyResult.quarantined`); transient faults are
+            absorbed by the retry policy. Surviving sessions produce
+            results identical to a fault-free run.
+        retry: transient-failure policy for both the application
+            fan-out and each engine's per-trace tasks (default: three
+            attempts with exponential backoff).
+        task_timeout: per-task result wait in seconds on pooled paths;
+            a hung worker trips it and the work re-runs serially.
     """
     config = config or StudyConfig()
     if obs is None:
         obs = obs_runtime.current()
-    with obs_runtime.installed(
-        obs if obs is not obs_runtime.current() else None
+    injector = _resolve_injector(faults)
+    with faults_runtime.installed(
+        injector if injector is not faults_runtime.current() else None
     ):
-        with obs_runtime.maybe_span(
-            "study.run",
-            applications=len(config.applications),
-            sessions=config.sessions,
-            scale=config.scale,
-            workers=resolve_workers(workers),
-        ) as root_span:
-            task = functools.partial(
-                _analyze_app_task,
-                config=config,
-                cache_dir=str(cache_dir) if cache_dir is not None else None,
-                use_cache=use_cache,
-                obs_profile=(
-                    (obs.profiler is not None) if obs is not None else None
-                ),
-            )
-            outcomes = parallel_map(
-                task, config.applications, workers=workers
-            )
-            root_id = root_span.span_id if root_span is not None else None
-            results: Dict[str, AppResult] = {}
-            for result, snapshot in outcomes:
-                if obs is not None:
-                    obs.absorb(snapshot, parent_id=root_id)
-                results[result.name] = result
-                if progress:
-                    stats = result.mean_stats
-                    print(
-                        f"  {result.name:<14s} traced={stats.traced:7.0f} "
-                        f"perceptible={stats.perceptible:6.0f} "
-                        f"patterns={stats.distinct_patterns:6.0f}"
-                    )
+        with obs_runtime.installed(
+            obs if obs is not obs_runtime.current() else None
+        ):
+            with obs_runtime.maybe_span(
+                "study.run",
+                applications=len(config.applications),
+                sessions=config.sessions,
+                scale=config.scale,
+                workers=resolve_workers(workers),
+            ) as root_span:
+                task = functools.partial(
+                    _analyze_app_task,
+                    config=config,
+                    cache_dir=(
+                        str(cache_dir) if cache_dir is not None else None
+                    ),
+                    use_cache=use_cache,
+                    obs_profile=(
+                        (obs.profiler is not None) if obs is not None
+                        else None
+                    ),
+                    retry=retry,
+                    task_timeout=task_timeout,
+                )
+                outcomes = run_tasks(
+                    task,
+                    config.applications,
+                    workers=workers,
+                    timeout=task_timeout,
+                    retry=retry,
+                )
+                root_id = root_span.span_id if root_span is not None else None
+                results: Dict[str, AppResult] = {}
+                for outcome in outcomes:
+                    result, snapshot = outcome.value
+                    if obs is not None:
+                        obs.absorb(snapshot, parent_id=root_id)
+                    results[result.name] = result
+                    if progress:
+                        stats = result.mean_stats
+                        print(
+                            f"  {result.name:<14s} "
+                            f"traced={stats.traced:7.0f} "
+                            f"perceptible={stats.perceptible:6.0f} "
+                            f"patterns={stats.distinct_patterns:6.0f}"
+                        )
+                    if progress and result.quarantined:
+                        for entry in result.quarantined:
+                            print(f"    quarantined: {entry.describe()}")
     return StudyResult(config=config, apps=results)

@@ -1,0 +1,471 @@
+"""Chaos suite: the pipeline under deterministic fault injection.
+
+Every test drives the real study pipeline (or the real engine) under a
+seeded :class:`~repro.faults.FaultPlan` and asserts three things the
+fault layer guarantees:
+
+1. the run *completes* — transient faults are absorbed by retries,
+   deterministic damage is quarantined instead of aborting;
+2. surviving results are byte-identical to a fault-free serial run;
+3. the fault schedule itself is reproducible: the same seed + plan
+   fires at the same coordinates on every run.
+
+``FAULTS_WORKERS`` selects the fan-out (default serial); CI runs the
+suite at 0 (per-CPU) and 2. ``FAULTS_RECORD=path.json`` writes the
+canonical fault schedule and result digests for cross-run flake
+detection.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+
+import pytest
+
+from repro.core.errors import AnalysisError, TraceFormatError
+from repro.engine import AnalysisEngine, RetryPolicy, run_tasks
+from repro.engine.cache import ResultCache
+from repro.faults import (
+    FaultInjector,
+    FaultPlan,
+    FaultPlanError,
+    FaultRule,
+    hash_unit,
+)
+from repro.faults import runtime as faults_runtime
+from repro.faults.injector import InjectedFault
+from repro.lila.writer import write_trace
+from repro.obs import Observer
+from repro.obs import runtime as obs_runtime
+from repro.study import StudyConfig, run_study
+from repro.apps.sessions import simulate_sessions
+
+#: Fan-out used by the study-level chaos tests (CI runs 0 and 2).
+WORKERS = int(os.environ.get("FAULTS_WORKERS", "1"))
+
+APPS = ("CrosswordSage", "FreeMind")
+CONFIG = StudyConfig(sessions=2, scale=0.05, applications=APPS)
+
+
+@pytest.fixture(scope="module")
+def clean_study():
+    """The fault-free serial reference run every test compares against."""
+    return run_study(CONFIG, workers=1, use_cache=False)
+
+
+def app_digest(app):
+    """A byte-exact fingerprint of one application's results."""
+    return pickle.dumps(
+        (
+            app.session_stats,
+            app.mean_stats,
+            app.occurrence,
+            app.triggers_all,
+            app.triggers_perceptible,
+            app.location_all,
+            app.concurrency_all,
+            app.threadstates_all,
+            app.pattern_cdf,
+        )
+    )
+
+
+def session_rows_digest(app, drop_sessions=()):
+    """Fingerprint of the per-session rows, minus quarantined sessions.
+
+    Dropping a session changes every cross-session aggregate, so a
+    faulted application is compared to the clean reference on its
+    surviving per-session rows (simulated sessions are ``session-N``
+    in trace order).
+    """
+    kept = [
+        row
+        for index, row in enumerate(app.session_stats)
+        if f"session-{index}" not in drop_sessions
+    ]
+    return pickle.dumps(kept)
+
+
+def run_faulted(plan, workers=WORKERS, cache_dir=None, **kwargs):
+    """One study run under ``plan``; returns (injector, observer, result)."""
+    injector = FaultInjector(plan)
+    obs = Observer()
+    result = run_study(
+        CONFIG,
+        workers=workers,
+        cache_dir=cache_dir,
+        use_cache=cache_dir is not None,
+        obs=obs,
+        faults=injector,
+        **kwargs,
+    )
+    return injector, obs, result
+
+
+def counter(obs, name):
+    return obs.metrics.as_dict().get("counters", {}).get(name, 0)
+
+
+# ----------------------------------------------------------------------
+# The plan layer
+# ----------------------------------------------------------------------
+
+
+def test_plan_json_round_trip(tmp_path):
+    plan = FaultPlan(
+        seed=42,
+        rules=(
+            FaultRule(kind="worker_crash", at=(3, "7"), mode="exit"),
+            FaultRule(kind="cache_corrupt", probability=0.25),
+            FaultRule(kind="worker_hang", probability=0.1, seconds=1.5),
+        ),
+    )
+    path = plan.save(tmp_path / "plan.json")
+    loaded = FaultPlan.load(path)
+    assert loaded == plan
+    assert loaded.rules[0].at == ("3", "7")  # keys normalized to strings
+    # Defaults resolved: transient kinds fire on the first attempt only.
+    assert loaded.rules[0].times == 1
+    assert loaded.rules[1].times is None
+
+
+@pytest.mark.parametrize(
+    "bad",
+    [
+        dict(kind="meteor_strike", probability=1.0),
+        dict(kind="worker_crash", site="engine.magic", probability=1.0),
+        dict(kind="worker_crash"),  # no at, no probability
+        dict(kind="worker_crash", probability=1.5),
+        dict(kind="worker_crash", probability=1.0, times=0),
+        dict(kind="worker_crash", probability=1.0, mode="explode"),
+    ],
+)
+def test_plan_validation_rejects(bad):
+    with pytest.raises(FaultPlanError):
+        FaultRule(**bad)
+
+
+def test_plan_rejects_unknown_fields_and_bad_json(tmp_path):
+    with pytest.raises(FaultPlanError):
+        FaultRule.from_dict({"kind": "worker_crash", "when": "later"})
+    path = tmp_path / "broken.json"
+    path.write_text("{not json", encoding="utf-8")
+    with pytest.raises(FaultPlanError):
+        FaultPlan.load(path)
+
+
+def test_hash_unit_is_deterministic_and_seed_sensitive():
+    assert hash_unit(1, "a", 2) == hash_unit(1, "a", 2)
+    assert 0.0 <= hash_unit(1, "a", 2) < 1.0
+    assert hash_unit(1, "x") != hash_unit(2, "x")
+    draws = [hash_unit(0, "key", i) for i in range(200)]
+    assert 0.3 < sum(draws) / len(draws) < 0.7  # roughly uniform
+
+
+# ----------------------------------------------------------------------
+# Schedule determinism
+# ----------------------------------------------------------------------
+
+#: One of everything the ISSUE's acceptance scenario names: a worker
+#: crash, universal cache corruption, and one truncated trace.
+COMBO_PLAN = FaultPlan(
+    seed=7,
+    rules=(
+        FaultRule(kind="worker_crash", at=("1",), mode="raise"),
+        FaultRule(kind="cache_corrupt", probability=1.0),
+        FaultRule(
+            kind="trace_truncated",
+            site="trace.map",
+            at=(f"{APPS[1]}/session-1",),
+        ),
+    ),
+)
+
+
+def test_same_seed_same_plan_reproduces_schedule():
+    """Re-running an identical plan fires at identical coordinates."""
+    schedules = []
+    for _ in range(2):
+        injector, _, _ = run_faulted(COMBO_PLAN, workers=1)
+        assert injector.events, "the plan must actually fire"
+        schedules.append(injector.schedule())
+    assert schedules[0] == schedules[1]
+
+
+def test_probability_rules_decide_per_key_not_per_call():
+    plan = FaultPlan(
+        seed=3, rules=(FaultRule(kind="task_error", probability=0.5),)
+    )
+    injector = FaultInjector(plan)
+    fired = set()
+    for key in range(20):
+        try:
+            injector.check("engine.task", key=key)
+        except InjectedFault:
+            fired.add(str(key))
+    # The decision is the documented pure hash of the coordinates.
+    expected = {
+        str(key)
+        for key in range(20)
+        if hash_unit(3, 0, "task_error", "engine.task", str(key)) < 0.5
+    }
+    assert fired == expected
+    assert 0 < len(fired) < 20  # p=0.5 over 20 keys hits some, not all
+
+
+# ----------------------------------------------------------------------
+# Transient faults: retries absorb them, results stay identical
+# ----------------------------------------------------------------------
+
+
+def test_worker_crash_is_retried_and_results_identical(clean_study):
+    plan = FaultPlan(
+        seed=1,
+        rules=(FaultRule(kind="worker_crash", at=("0", "1"), mode="raise"),),
+    )
+    injector, obs, result = run_faulted(plan)
+    assert not result.quarantined
+    assert counter(obs, "engine.retries") >= 1
+    assert counter(obs, "faults.injected") >= 1
+    for name in APPS:
+        assert app_digest(result.apps[name]) == app_digest(
+            clean_study.apps[name]
+        )
+
+
+def test_hard_worker_exit_breaks_pool_and_recovers(clean_study):
+    """mode="exit" kills the worker process: a real BrokenProcessPool."""
+    plan = FaultPlan(
+        seed=2, rules=(FaultRule(kind="worker_crash", at=("0",), mode="exit"),)
+    )
+    injector, obs, result = run_faulted(plan, workers=2)
+    assert not result.quarantined
+    for name in APPS:
+        assert app_digest(result.apps[name]) == app_digest(
+            clean_study.apps[name]
+        )
+
+
+def test_injected_broken_pool_degrades_to_serial(clean_study):
+    plan = FaultPlan(seed=4, rules=(FaultRule(kind="broken_pool", at=("0",)),))
+    injector, obs, result = run_faulted(plan, workers=2)
+    assert not result.quarantined
+    assert counter(obs, "engine.pool_breaks") >= 1
+    for name in APPS:
+        assert app_digest(result.apps[name]) == app_digest(
+            clean_study.apps[name]
+        )
+
+
+def test_worker_hang_trips_timeout_and_reruns():
+    plan = FaultPlan(
+        seed=5,
+        rules=(FaultRule(kind="worker_hang", at=("0",), seconds=2.0),),
+    )
+    obs = Observer()
+    with obs_runtime.installed(obs):
+        with faults_runtime.installed(FaultInjector(plan)):
+            outcomes = run_tasks(
+                _identity, ["a", "b", "c"], workers=2, timeout=0.4
+            )
+    assert [outcome.value for outcome in outcomes] == ["a", "b", "c"]
+    assert obs.metrics.counter_value("engine.timeouts") >= 1
+
+
+# ----------------------------------------------------------------------
+# Cache faults: the cache never changes answers, only costs
+# ----------------------------------------------------------------------
+
+
+def test_cache_corruption_is_detected_and_recomputed(clean_study, tmp_path):
+    plan = FaultPlan(
+        seed=6, rules=(FaultRule(kind="cache_corrupt", probability=1.0),)
+    )
+    cache_dir = tmp_path / "cache"
+    run_faulted(plan, cache_dir=cache_dir)  # cold: populate
+    injector, obs, warm = run_faulted(plan, cache_dir=cache_dir)
+    if WORKERS == 1:
+        # Serially the parent injector sees the warm reads itself; in
+        # pooled runs they fire in workers and show up in the shared
+        # cache stats below instead.
+        assert any(e.kind == "cache_corrupt" for e in injector.events)
+    stats = ResultCache(cache_dir).persisted_stats()
+    assert stats.discarded + stats.read_errors > 0
+    for name in APPS:
+        assert app_digest(warm.apps[name]) == app_digest(
+            clean_study.apps[name]
+        )
+
+
+def test_cache_io_errors_and_disk_full_tolerated(clean_study, tmp_path):
+    plan = FaultPlan(
+        seed=8,
+        rules=(
+            FaultRule(kind="cache_read_error", probability=1.0, times=None),
+            FaultRule(kind="disk_full", probability=1.0, times=None),
+        ),
+    )
+    cache_dir = tmp_path / "cache"
+    injector, obs, result = run_faulted(plan, cache_dir=cache_dir)
+    assert not result.quarantined
+    stats = ResultCache(cache_dir).persisted_stats()
+    assert stats.write_errors > 0
+    assert stats.read_errors > 0
+    for name in APPS:
+        assert app_digest(result.apps[name]) == app_digest(
+            clean_study.apps[name]
+        )
+
+
+# ----------------------------------------------------------------------
+# Deterministic damage: quarantine, never abort
+# ----------------------------------------------------------------------
+
+
+def test_truncated_trace_is_quarantined_not_fatal(clean_study):
+    plan = FaultPlan(
+        seed=9,
+        rules=(
+            FaultRule(
+                kind="trace_truncated",
+                site="trace.map",
+                at=(f"{APPS[1]}/session-1",),
+            ),
+        ),
+    )
+    injector, obs, result = run_faulted(plan)
+    assert counter(obs, "engine.quarantined") >= 1
+    assert list(result.quarantined) == [APPS[1]]
+    (entry,) = result.quarantined[APPS[1]]
+    assert entry.session_id == "session-1"
+    assert "TraceFormatError" in entry.error
+    # The undamaged application is untouched ...
+    assert app_digest(result.apps[APPS[0]]) == app_digest(
+        clean_study.apps[APPS[0]]
+    )
+    # ... and the damaged one keeps its surviving session, byte-identical.
+    assert session_rows_digest(result.apps[APPS[1]]) == session_rows_digest(
+        clean_study.apps[APPS[1]], drop_sessions={"session-1"}
+    )
+
+
+def test_all_sessions_quarantined_raises_typed_error():
+    plan = FaultPlan(
+        seed=10,
+        rules=(
+            FaultRule(
+                kind="trace_truncated", site="trace.map", probability=1.0
+            ),
+        ),
+    )
+    with pytest.raises(AnalysisError, match="quarantined"):
+        run_faulted(plan)
+
+
+def test_reader_level_truncation_quarantines_file(tmp_path):
+    traces = simulate_sessions(APPS[0], count=3, seed=1, scale=0.05)
+    paths = [
+        write_trace(trace, tmp_path / f"s{index}.lila")
+        for index, trace in enumerate(traces)
+    ]
+    plan = FaultPlan(
+        seed=11,
+        rules=(FaultRule(kind="trace_truncated", at=(paths[1].name,)),),
+    )
+    engine = AnalysisEngine(workers=1, use_cache=False)
+    with faults_runtime.installed(FaultInjector(plan)):
+        loaded = engine.load_traces(paths, on_error="quarantine")
+    assert len(loaded) == 2
+    (entry,) = engine.quarantined
+    assert entry.session_id == paths[1].name
+    assert "TraceFormatError" in entry.error
+    # The same damage aborts loudly when quarantine was not requested.
+    with faults_runtime.installed(FaultInjector(plan)):
+        with pytest.raises(TraceFormatError):
+            engine.load_traces(paths, on_error="raise")
+
+
+def test_exhausted_retries_quarantine_when_allowed():
+    """A 'transient' fault that never stops firing ends in quarantine."""
+
+    plan = FaultPlan(
+        seed=12,
+        rules=(FaultRule(kind="task_error", at=("1",), times=None),),
+    )
+    with faults_runtime.installed(FaultInjector(plan)):
+        outcomes = run_tasks(
+            _identity,
+            ["a", "b", "c"],
+            workers=1,
+            retry=RetryPolicy(max_attempts=2, base_delay_s=0.0),
+            quarantine_types=(TraceFormatError,),
+        )
+    assert [outcome.ok for outcome in outcomes] == [True, False, True]
+    assert outcomes[1].quarantined
+    assert outcomes[1].attempts == 2
+
+
+def _identity(value):
+    return value
+
+
+# ----------------------------------------------------------------------
+# The ISSUE acceptance scenario, end to end
+# ----------------------------------------------------------------------
+
+
+def test_acceptance_crash_corruption_truncation_combo(clean_study, tmp_path):
+    """Crash + corrupted cache entry + truncated trace, in one study.
+
+    The study must complete without aborting, quarantine exactly the
+    truncated trace, and produce summaries byte-identical to a clean
+    serial run on every surviving trace — cold and warm.
+    """
+    cache_dir = tmp_path / "cache"
+    cold_injector, cold_obs, cold = run_faulted(
+        COMBO_PLAN, cache_dir=cache_dir
+    )
+    warm_injector, warm_obs, warm = run_faulted(
+        COMBO_PLAN, cache_dir=cache_dir
+    )
+
+    for obs, result in ((cold_obs, cold), (warm_obs, warm)):
+        assert list(result.quarantined) == [APPS[1]]
+        (entry,) = result.quarantined[APPS[1]]
+        assert entry.session_id == "session-1"
+        assert counter(obs, "engine.quarantined") >= 1
+        assert app_digest(result.apps[APPS[0]]) == app_digest(
+            clean_study.apps[APPS[0]]
+        )
+        assert session_rows_digest(
+            result.apps[APPS[1]]
+        ) == session_rows_digest(
+            clean_study.apps[APPS[1]], drop_sessions={"session-1"}
+        )
+    assert counter(cold_obs, "engine.retries") >= 1  # the crash
+    # Warm cache reads passed through the corruptor and recovered
+    # (visible on the parent injector only when running serially).
+    if WORKERS == 1:
+        assert any(e.kind == "cache_corrupt" for e in warm_injector.events)
+    # Identical state -> identical schedule (cold==cold is covered by
+    # test_same_seed_same_plan_reproduces_schedule; here warm==warm).
+    again_injector, _, _ = run_faulted(COMBO_PLAN, cache_dir=cache_dir)
+    assert again_injector.schedule() == warm_injector.schedule()
+
+    record_path = os.environ.get("FAULTS_RECORD")
+    if record_path:
+        record = {
+            "workers": WORKERS,
+            "cold_schedule": cold_injector.schedule(),
+            "warm_schedule": warm_injector.schedule(),
+            "digests": {
+                name: hashlib.sha256(app_digest(cold.apps[name])).hexdigest()
+                for name in APPS
+            },
+        }
+        with open(record_path, "w", encoding="utf-8") as handle:
+            json.dump(record, handle, indent=2, sort_keys=True)
+            handle.write("\n")

@@ -5,11 +5,21 @@ either still produce a valid trace (the corruption hit a comment, or
 produced an equivalent record) or raise ``LagAlyzerError`` — never an
 untyped exception like ``ValueError`` escaping from parsing internals,
 and never a silently half-parsed trace.
+
+The seeded mutation fuzzer at the bottom is stricter: for damage that
+is *guaranteed* malformed (a record cut down to its tag, swapped
+fields, an unknown record type, a bad version line) the reader must
+raise :class:`TraceFormatError` specifically — and, for record-level
+damage, name the damaged line.
 """
 
+import random
+import re
+
+import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.core.errors import LagAlyzerError
+from repro.core.errors import LagAlyzerError, TraceFormatError
 from repro.lila.reader import read_trace_lines
 from repro.lila.writer import trace_to_lines
 
@@ -76,3 +86,76 @@ def test_swapped_lines_are_typed(a, b):
     except LagAlyzerError:
         return
     trace.validate()
+
+
+# ----------------------------------------------------------------------
+# Seeded record-level mutation fuzzer: guaranteed damage, typed error,
+# line number named.
+# ----------------------------------------------------------------------
+
+#: Line indices (0-based) of actual records: not the header, not blank,
+#: not comments. Truncating any of these to its record tag, swapping
+#: its fields, or changing its tag cannot parse.
+_RECORD_INDICES = [
+    index
+    for index, line in enumerate(_LINES)
+    if index > 0 and line.strip() and not line.startswith("#")
+]
+
+
+def _truncate_record(lines, rng):
+    """Cut one record down to its bare tag (mid-record file damage)."""
+    index = rng.choice(_RECORD_INDICES)
+    lines[index] = lines[index][:1]
+    return index
+
+
+def _swap_fields(lines, rng):
+    """Swap the first two fields of a timestamped record."""
+    candidates = [
+        index
+        for index in _RECORD_INDICES
+        if lines[index][0] in "Ot" and len(lines[index].split(" ")) >= 3
+    ]
+    index = rng.choice(candidates)
+    tag, first, second, *rest = lines[index].split(" ")
+    lines[index] = " ".join([tag, second, first, *rest])
+    return index
+
+
+def _unknown_record(lines, rng):
+    """Change one record's tag to a type the format does not define."""
+    index = rng.choice(_RECORD_INDICES)
+    lines[index] = "Z" + lines[index][1:]
+    return index
+
+
+@pytest.mark.parametrize("seed", range(25))
+@pytest.mark.parametrize(
+    "mutate", [_truncate_record, _swap_fields, _unknown_record]
+)
+def test_record_mutation_raises_typed_error_with_line_number(mutate, seed):
+    lines = list(_LINES)
+    index = mutate(lines, random.Random(f"{mutate.__name__}/{seed}"))
+    with pytest.raises(TraceFormatError) as excinfo:
+        read_trace_lines(lines)
+    message = str(excinfo.value)
+    match = re.search(r"line (\d+)", message)
+    assert match, f"error does not name a line: {message!r}"
+    # Line numbers are 1-based with the version header as line 1.
+    assert int(match.group(1)) == index + 1, message
+
+
+@pytest.mark.parametrize(
+    "header",
+    ["", "LILA 999", "LILA", "NOTLILA 1", "LILA one", "\x00\x01\x02"],
+)
+def test_bad_version_line_raises_typed_error(header):
+    lines = [header, *list(_LINES)[1:]]
+    with pytest.raises(TraceFormatError):
+        read_trace_lines(lines)
+
+
+def test_empty_input_raises_typed_error():
+    with pytest.raises(TraceFormatError, match="empty"):
+        read_trace_lines([])
