@@ -7,7 +7,6 @@ size reduction and the parse/serialize speed difference against the
 text format on the same simulated session.
 """
 
-import os
 
 import pytest
 

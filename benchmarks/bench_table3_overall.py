@@ -5,12 +5,9 @@ mean row) from the simulated study and benchmarks the per-session
 statistics computation that produces a row.
 """
 
-import pytest
 
 from repro.core.statistics import session_stats
-from repro.study import paper_data
 from repro.study.tables import format_table3
-from repro.study.runner import StudyConfig
 
 
 def test_table3_regeneration(study_result):

@@ -16,7 +16,6 @@ import os
 import pytest
 
 from repro.core.api import LagAlyzer
-from repro.apps.catalog import APPLICATION_NAMES
 from repro.apps.sessions import simulate_sessions
 from repro.study.runner import StudyConfig, run_study
 

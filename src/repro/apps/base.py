@@ -25,7 +25,6 @@ from repro.vm.behavior import (
     Behavior,
     Block,
     Compute,
-    ExplicitGc,
     NativeCall,
     Paint,
     Sleep,

@@ -11,7 +11,7 @@ background threads' timelines, and runs them on a
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Tuple
 
 from repro.core.intervals import NS_PER_MS, NS_PER_S
 from repro.core.samples import StackFrame, StackTrace, ThreadState

@@ -1,0 +1,59 @@
+"""The ``lagalyzer`` command-line interface.
+
+One module per command group (``repro.cli.trace``, ``.study``,
+``.engine``, ``.obs``; shared argument helpers in ``._shared``), all
+registered on one parser here. Subcommands:
+
+- ``simulate``  — run one simulated session, write a LiLa trace file;
+- ``analyze``   — load trace file(s), print stats and the pattern browser;
+- ``sketch``    — render an episode sketch SVG from a trace;
+- ``browse``    — write an HTML pattern browser with inline sketches;
+- ``timeline``  — render a whole-session timeline SVG;
+- ``lint``      — check trace files for anomalies a profiler can cause;
+- ``export``    — write analysis results as JSON or the patterns as CSV;
+- ``compare``   — diff the pattern tables of two trace sets
+  (regression hunting);
+- ``study``     — run the full characterization study, write Table III,
+  all figure SVGs, and EXPERIMENTS.md (``--workers`` fans applications
+  out across processes; results are cached on disk; ``--faults
+  plan.json`` runs the study under a deterministic fault-injection
+  plan);
+- ``engine``    — inspect and manage the analysis engine
+  (``engine cache stats`` / ``engine cache clear`` / ``engine faults
+  demo``);
+- ``obs``       — inspect and export the pipeline's own observability
+  bundles written by ``study --obs`` (``obs report`` / ``obs export
+  --format chrome|jsonl|prom`` / ``obs timeline``).
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import List, Optional
+
+from repro.cli import engine as engine_commands
+from repro.cli import obs as obs_commands
+from repro.cli import study as study_commands
+from repro.cli import trace as trace_commands
+
+__all__ = ["build_parser", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="lagalyzer",
+        description="Latency profile analysis and visualization "
+        "(ISPASS 2010 reproduction).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    trace_commands.register(sub)
+    study_commands.register(sub)
+    engine_commands.register(sub)
+    obs_commands.register(sub)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)

@@ -1,0 +1,47 @@
+"""Argument helpers shared by the CLI command modules.
+
+Each helper adds one recurring option with its canonical spelling,
+type, and default, so every subcommand that takes e.g. ``--threshold``
+means exactly the same thing by it.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Optional
+
+#: The default perceptibility cut (ms), mirrored from the analyses.
+DEFAULT_THRESHOLD_MS = 100.0
+
+
+def add_traces(
+    parser: argparse.ArgumentParser, help: Optional[str] = None
+) -> None:
+    """The positional trace-file list (files, dirs, or glob patterns)."""
+    if help is not None:
+        parser.add_argument("traces", nargs="+", help=help)
+    else:
+        parser.add_argument("traces", nargs="+")
+
+
+def add_threshold(
+    parser: argparse.ArgumentParser, default: float = DEFAULT_THRESHOLD_MS
+) -> None:
+    """The perceptibility threshold in milliseconds."""
+    parser.add_argument("--threshold", type=float, default=default)
+
+
+def add_output(parser: argparse.ArgumentParser, default: str) -> None:
+    """The ``--output``/``-o`` destination with a command-specific default."""
+    parser.add_argument("--output", "-o", default=default)
+
+
+def add_workers(parser: argparse.ArgumentParser, help: str) -> None:
+    """The process-pool size knob (0 = one worker per CPU)."""
+    parser.add_argument("--workers", type=int, default=1, help=help)
+
+
+def add_cache_dir(parser: argparse.ArgumentParser) -> None:
+    """The engine result-cache root."""
+    parser.add_argument("--cache-dir", default=None,
+                        help="result-cache root (default ~/.cache/lagalyzer)")

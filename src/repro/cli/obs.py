@@ -1,0 +1,132 @@
+"""The ``obs`` command group: inspect and export observability bundles."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.cli._shared import add_output
+
+
+def _cmd_obs(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs.observer import load_bundle
+
+    try:
+        bundle = load_bundle(args.directory)
+    except FileNotFoundError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    spans = bundle["spans"]
+    metrics = bundle["metrics"]
+
+    if args.obs_command == "report":
+        from repro.obs.spans import span_depth
+
+        print(f"bundle:       {args.directory}")
+        pids = sorted({span.pid for span in spans})
+        print(f"spans:        {len(spans)} across {len(pids)} process(es)")
+        print(f"span depth:   {span_depth(spans)}")
+        counters = metrics.get("counters", {})
+        if counters:
+            print("counters:")
+            for name in sorted(counters):
+                print(f"  {name:<28} {counters[name]}")
+        gauges = metrics.get("gauges", {})
+        if gauges:
+            print("gauges:")
+            for name in sorted(gauges):
+                print(f"  {name:<28} {gauges[name]}")
+        histograms = metrics.get("histograms", {})
+        if histograms:
+            print("latencies (ms):")
+            for name in sorted(histograms):
+                hist = histograms[name]
+                count = hist.get("count", 0)
+                mean = hist.get("sum", 0.0) / count if count else 0.0
+                print(f"  {name:<28} n={count} mean={mean:.2f}")
+        slowest = sorted(
+            spans, key=lambda span: span.duration_ns, reverse=True
+        )[: args.limit]
+        if slowest:
+            print(f"slowest spans (top {len(slowest)}):")
+            for span in slowest:
+                print(
+                    f"  {span.duration_ms:>10.2f} ms  {span.name}"
+                    f"  (pid {span.pid})"
+                )
+        profile = bundle.get("profile")
+        if profile:
+            from repro.obs.profiling import ProfileAggregator
+
+            aggregator = ProfileAggregator()
+            aggregator.merge(profile)
+            report = aggregator.format_report(top=args.limit)
+            if report:
+                print(report)
+        return 0
+
+    if args.obs_command == "timeline":
+        from repro.viz.obstimeline import save_span_timeline
+
+        path = save_span_timeline(spans, args.output)
+        print(f"wrote {path} ({len(spans)} spans)")
+        return 0
+
+    # export
+    if args.format == "chrome":
+        from repro.obs.export import spans_to_chrome
+
+        text = json.dumps(spans_to_chrome(spans), indent=2)
+        default_name = "trace.chrome.json"
+    elif args.format == "jsonl":
+        from repro.obs.export import spans_to_jsonl
+
+        text = spans_to_jsonl(spans)
+        default_name = "spans.export.jsonl"
+    else:
+        from repro.obs.export import metrics_to_prometheus
+
+        text = metrics_to_prometheus(metrics)
+        default_name = "metrics.prom"
+    if args.output == "-":
+        print(text)
+        return 0
+    out = Path(args.output) if args.output else Path(default_name)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(text + ("\n" if not text.endswith("\n") else ""),
+                   encoding="utf-8")
+    print(f"wrote {out} ({args.format})")
+    return 0
+
+
+def register(sub: argparse._SubParsersAction) -> None:
+    """Add the ``obs`` subcommand group."""
+    p_ob = sub.add_parser(
+        "obs", help="inspect and export pipeline observability bundles"
+    )
+    ob_sub = p_ob.add_subparsers(dest="obs_command", required=True)
+    p_or = ob_sub.add_parser("report", help="summarize a bundle")
+    p_or.add_argument("directory", help="bundle written by study --obs")
+    p_or.add_argument("--limit", type=int, default=10,
+                      help="rows in the slowest-spans / hotspot tables")
+    p_or.set_defaults(func=_cmd_obs)
+    p_oe = ob_sub.add_parser("export", help="convert a bundle for other tools")
+    p_oe.add_argument("directory", help="bundle written by study --obs")
+    p_oe.add_argument("--format", choices=("chrome", "jsonl", "prom"),
+                      default="chrome",
+                      help="chrome = trace-event JSON (chrome://tracing, "
+                      "Perfetto); jsonl = raw spans; prom = Prometheus "
+                      "text exposition of the metrics")
+    p_oe.add_argument("--output", "-o", default=None,
+                      help="output file ('-' for stdout; default depends "
+                      "on the format)")
+    p_oe.set_defaults(func=_cmd_obs)
+    p_ot = ob_sub.add_parser(
+        "timeline", help="render the spans as an SVG timeline"
+    )
+    p_ot.add_argument("directory", help="bundle written by study --obs")
+    add_output(p_ot, "obs-timeline.svg")
+    p_ot.set_defaults(func=_cmd_obs)

@@ -1,0 +1,137 @@
+"""The ``study`` command: the full characterization study."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.cli._shared import add_cache_dir, add_output, add_workers
+
+
+def _cmd_study(args: argparse.Namespace) -> int:
+    from repro.study.report import render_figures, write_experiments_md
+    from repro.study.runner import (
+        APPLICATION_NAMES,
+        StudyConfig,
+        run_study,
+    )
+    from repro.study.tables import format_table3
+
+    applications = tuple(APPLICATION_NAMES)
+    if args.apps:
+        unknown = [name for name in args.apps if name not in APPLICATION_NAMES]
+        if unknown:
+            print(
+                f"unknown application(s): {', '.join(unknown)} "
+                f"(choose from {', '.join(APPLICATION_NAMES)})",
+                file=sys.stderr,
+            )
+            return 1
+        applications = tuple(args.apps)
+    config = StudyConfig(
+        seed=args.seed,
+        sessions=args.sessions,
+        scale=args.scale,
+        applications=applications,
+    )
+    obs = None
+    if args.obs is not None or args.profile:
+        from repro.obs import Observer
+
+        obs = Observer(profile=args.profile)
+    injector = None
+    if args.faults is not None:
+        from repro.core.errors import LagAlyzerError
+        from repro.faults import FaultInjector, FaultPlan
+
+        try:
+            plan = FaultPlan.load(args.faults)
+        except (OSError, LagAlyzerError) as error:
+            print(f"error: cannot load fault plan: {error}", file=sys.stderr)
+            return 1
+        injector = FaultInjector(plan)
+        print(
+            f"fault injection: {len(plan.rules)} rule(s), "
+            f"seed {plan.seed} ({args.faults})"
+        )
+    print(
+        f"running study: {len(config.applications)} applications x "
+        f"{config.sessions} sessions (scale {config.scale}, "
+        f"workers {args.workers}) ..."
+    )
+    result = run_study(
+        config,
+        progress=True,
+        workers=args.workers,
+        cache_dir=args.cache_dir,
+        use_cache=not args.no_cache,
+        obs=obs,
+        faults=injector,
+    )
+    outdir = Path(args.output)
+    outdir.mkdir(parents=True, exist_ok=True)
+    table3 = format_table3(
+        [app.mean_stats for app in result.ordered()], result.mean_stats
+    )
+    (outdir / "table3.txt").write_text(table3 + "\n", encoding="utf-8")
+    figure_paths = render_figures(result, outdir)
+    report_path = write_experiments_md(result, outdir / "EXPERIMENTS.md")
+    from repro.study.export import write_study_csvs
+    from repro.study.html import write_html_report
+
+    write_study_csvs(result, outdir / "csv")
+    html_path = write_html_report(result, outdir / "report.html")
+    print(table3)
+    print(
+        f"wrote {len(figure_paths)} figures, {report_path}, and "
+        f"{html_path} to {outdir}/"
+    )
+    if injector is not None:
+        quarantined = result.quarantined
+        total = sum(len(entries) for entries in quarantined.values())
+        print(
+            f"fault injection: {len(injector.events)} fault(s) fired in "
+            f"this process, {total} session(s) quarantined"
+        )
+        for entries in quarantined.values():
+            for entry in entries:
+                print(f"  quarantined {entry.describe()}")
+    if obs is not None:
+        if args.obs is not None:
+            obs_dir = Path(args.obs)
+            obs.save(obs_dir)
+            print(f"wrote observability bundle to {obs_dir}/")
+        if args.profile:
+            report = obs.profiler.format_report(top=5)
+            if report:
+                print(report)
+        print(obs.summary_line())
+    return 0
+
+
+def register(sub: argparse._SubParsersAction) -> None:
+    """Add the ``study`` subcommand."""
+    p_st = sub.add_parser("study", help="run the full characterization study")
+    p_st.add_argument("--seed", type=int, default=20100401)
+    p_st.add_argument("--sessions", type=int, default=4)
+    p_st.add_argument("--scale", type=float, default=1.0)
+    add_output(p_st, "study-output")
+    add_workers(p_st, help="processes to fan applications out across "
+                "(0 = one per CPU)")
+    add_cache_dir(p_st)
+    p_st.add_argument("--no-cache", action="store_true",
+                      help="recompute everything, bypassing the cache")
+    p_st.add_argument("--apps", nargs="+", default=None, metavar="APP",
+                      help="restrict the study to these applications "
+                      "(default: all of Table II)")
+    p_st.add_argument("--obs", default=None, metavar="DIR",
+                      help="trace the pipeline itself; write the "
+                      "spans/metrics bundle to DIR")
+    p_st.add_argument("--profile", action="store_true",
+                      help="profile analysis map calls with cProfile "
+                      "and report the top hotspots")
+    p_st.add_argument("--faults", default=None, metavar="PLAN.json",
+                      help="run the study under this deterministic "
+                      "fault-injection plan (see docs/fault_injection.md)")
+    p_st.set_defaults(func=_cmd_study)

@@ -36,9 +36,7 @@ from dataclasses import dataclass
 from typing import (
     Any,
     Dict,
-    Iterable,
     List,
-    Optional,
     Protocol,
     Sequence,
     Tuple,
@@ -50,7 +48,10 @@ from repro.core import location as location_mod
 from repro.core import threadstates as threadstates_mod
 from repro.core import triggers as triggers_mod
 from repro.core.concurrency import ConcurrencySummary
-from repro.core.episodes import Episode
+from repro.core.episodes import (
+    split_episodes as _split_episodes,
+    trace_episodes,
+)
 from repro.core.errors import AnalysisError
 from repro.core.location import LocationSummary
 from repro.core.occurrence import Occurrence, OccurrenceSummary
@@ -66,20 +67,16 @@ from repro.core.trace import Trace
 from repro.core.triggers import TriggerSummary
 
 
-def trace_episodes(trace: Trace, config: Any) -> List[Episode]:
-    """The episode population one trace contributes under ``config``."""
-    if config.all_dispatch_threads:
-        return trace.all_episodes()
-    return trace.episodes
+def _columnar_store(trace: Trace, config: Any):
+    """The trace's columnar store, when the analysis can run on columns.
 
-
-def _split_episodes(
-    trace: Trace, config: Any
-) -> Tuple[List[Episode], List[Episode]]:
-    """(all episodes, perceptible episodes) of one trace."""
-    episodes = trace_episodes(trace, config)
-    threshold = config.perceptible_threshold_ms
-    return episodes, [ep for ep in episodes if ep.is_perceptible(threshold)]
+    Column-backed traces (anything loaded through a
+    :class:`~repro.lila.source.TraceSource`) expose a ``columnar``
+    attribute; per-episode analyses then read the parallel arrays
+    directly and never materialize the object facade. Returns ``None``
+    for plain object-graph traces, which keep the classic path.
+    """
+    return getattr(trace, "columnar", None)
 
 
 @runtime_checkable
@@ -170,6 +167,13 @@ class TriggerAnalysis(MapReduceAnalysis):
     supports_perceptible_only = True
 
     def map_trace(self, trace: Trace, config: Any) -> DualPartial:
+        store = _columnar_store(trace, config)
+        if store is not None:
+            rows, perceptible_rows = store.split_episode_rows(config)
+            return DualPartial(
+                all=store.trigger_summary(rows),
+                perceptible=store.trigger_summary(perceptible_rows),
+            )
         episodes, perceptible = _split_episodes(trace, config)
         return DualPartial(
             all=triggers_mod.summarize(episodes),
@@ -194,6 +198,13 @@ class ThreadStateAnalysis(MapReduceAnalysis):
     supports_perceptible_only = True
 
     def map_trace(self, trace: Trace, config: Any) -> DualPartial:
+        store = _columnar_store(trace, config)
+        if store is not None:
+            rows, perceptible_rows = store.split_episode_rows(config)
+            return DualPartial(
+                all=store.threadstate_summary(rows),
+                perceptible=store.threadstate_summary(perceptible_rows),
+            )
         episodes, perceptible = _split_episodes(trace, config)
         return DualPartial(
             all=threadstates_mod.summarize(episodes),
@@ -218,6 +229,13 @@ class ConcurrencyAnalysis(MapReduceAnalysis):
     supports_perceptible_only = True
 
     def map_trace(self, trace: Trace, config: Any) -> DualPartial:
+        store = _columnar_store(trace, config)
+        if store is not None:
+            rows, perceptible_rows = store.split_episode_rows(config)
+            return DualPartial(
+                all=store.concurrency_summary(rows),
+                perceptible=store.concurrency_summary(perceptible_rows),
+            )
         episodes, perceptible = _split_episodes(trace, config)
         return DualPartial(
             all=concurrency_mod.summarize(episodes),
@@ -242,8 +260,15 @@ class LocationAnalysis(MapReduceAnalysis):
     supports_perceptible_only = True
 
     def map_trace(self, trace: Trace, config: Any) -> DualPartial:
-        episodes, perceptible = _split_episodes(trace, config)
         prefixes = config.library_prefixes
+        store = _columnar_store(trace, config)
+        if store is not None:
+            rows, perceptible_rows = store.split_episode_rows(config)
+            return DualPartial(
+                all=store.location_summary(rows, prefixes),
+                perceptible=store.location_summary(perceptible_rows, prefixes),
+            )
+        episodes, perceptible = _split_episodes(trace, config)
         return DualPartial(
             all=location_mod.summarize(episodes, library_prefixes=prefixes),
             perceptible=location_mod.summarize(
@@ -287,6 +312,14 @@ class PatternCountsPartial:
 
 
 def _mine_counts(trace: Trace, config: Any) -> PatternCountsPartial:
+    store = _columnar_store(trace, config)
+    if store is not None:
+        counts, excluded = store.pattern_counts(
+            threshold_ms=config.perceptible_threshold_ms,
+            include_gc=config.include_gc_in_patterns,
+            all_dispatch_threads=config.all_dispatch_threads,
+        )
+        return PatternCountsPartial(counts=counts, excluded=excluded)
     counts: Dict[str, Tuple[int, int]] = {}
     excluded = 0
     threshold = config.perceptible_threshold_ms

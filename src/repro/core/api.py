@@ -12,20 +12,20 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, replace
 from pathlib import Path
-from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+from typing import Any, List, Optional, Sequence, Tuple, Union
 
 from repro.core import analyses as analyses_mod
 from repro.core.concurrency import ConcurrencySummary
 from repro.core.episodes import DEFAULT_PERCEPTIBLE_MS, Episode
 from repro.core.errors import AnalysisError
 from repro.core.location import LocationSummary
-from repro.core.occurrence import Occurrence, OccurrenceSummary
+from repro.core.occurrence import OccurrenceSummary
 from repro.core.patterns import Pattern, PatternTable
 from repro.core.samples import DEFAULT_LIBRARY_PREFIXES
 from repro.core.statistics import SessionStats, average_stats
 from repro.core.threadstates import ThreadStateSummary
 from repro.core.trace import Trace
-from repro.core.triggers import Trigger, TriggerSummary
+from repro.core.triggers import TriggerSummary
 from repro.obs import runtime as obs_runtime
 
 
@@ -128,25 +128,35 @@ class LagAlyzer:
     @classmethod
     def load(
         cls,
-        paths: Union[str, Path, Sequence[Union[str, Path]]],
+        paths: Union[str, Path, Sequence[Any]],
         config: Optional[AnalysisConfig] = None,
         workers: Optional[int] = 1,
         obs: Optional[Any] = None,
     ) -> "LagAlyzer":
-        """Build an analyzer by reading LiLa-style trace files.
+        """Build an analyzer by reading LiLa-style traces.
 
         ``paths`` may be explicit file paths, directories (all
-        ``*.lila``/``*.lilb`` files inside), glob patterns, or a mix —
-        a single path or a sequence. Both the text and the binary
+        ``*.lila``/``*.lilb`` files inside), glob patterns, open
+        :class:`~repro.lila.source.TraceSource` objects, or a mix —
+        a single entry or a sequence. Both the text and the binary
         encodings are accepted; the format is detected per file. With
         ``workers > 1`` files are parsed in parallel processes via the
         engine (``0`` means one worker per CPU).
         """
         from repro.engine.engine import AnalysisEngine
         from repro.lila.autodetect import expand_trace_paths
+        from repro.lila.source import TraceSource
 
+        if isinstance(paths, (str, Path, TraceSource)):
+            paths = [paths]
+        entries: List[Any] = []
+        for item in paths:
+            if isinstance(item, TraceSource):
+                entries.append(item)
+            else:
+                entries.extend(expand_trace_paths(item))
         engine = AnalysisEngine(workers=workers, use_cache=False, obs=obs)
-        traces = engine.load_traces(expand_trace_paths(paths))
+        traces = engine.load_traces(entries)
         return cls(traces, config=config, obs=obs)
 
     # ------------------------------------------------------------------

@@ -9,10 +9,10 @@ the GUI thread plus the call-stack samples taken while it ran.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 from repro.core.errors import AnalysisError
-from repro.core.intervals import Interval, IntervalKind, NS_PER_MS
+from repro.core.intervals import Interval, IntervalKind
 from repro.core.samples import Sample, ThreadSample, samples_in_range
 
 #: The perceptibility threshold the paper uses throughout (Shneiderman's
@@ -187,3 +187,27 @@ def longest(episodes: Sequence[Episode]) -> Optional[Episode]:
 def lag_ms(episodes: Sequence[Episode]) -> List[float]:
     """The lags of ``episodes`` in milliseconds, preserving order."""
     return [ep.duration_ms for ep in episodes]
+
+
+def trace_episodes(trace, config) -> List[Episode]:
+    """The episode population one trace contributes under ``config``.
+
+    ``config`` is any object with an ``all_dispatch_threads`` attribute
+    (in practice an :class:`~repro.study.config.AnalysisConfig`); when
+    set, episodes of every dispatch-capable thread are merged in time
+    order instead of only the GUI thread's.
+    """
+    if config.all_dispatch_threads:
+        return trace.all_episodes()
+    return trace.episodes
+
+
+def split_episodes(trace, config) -> Tuple[List[Episode], List[Episode]]:
+    """(all episodes, perceptible episodes) of one trace.
+
+    The split every per-episode analysis shares: the full population and
+    the subsequence meeting ``config.perceptible_threshold_ms``.
+    """
+    episodes = trace_episodes(trace, config)
+    threshold = config.perceptible_threshold_ms
+    return episodes, [ep for ep in episodes if ep.is_perceptible(threshold)]

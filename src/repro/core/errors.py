@@ -19,7 +19,39 @@ class NestingError(LagAlyzerError):
 
 
 class TraceFormatError(LagAlyzerError):
-    """A trace file is malformed or uses an unsupported version."""
+    """A trace file is malformed or uses an unsupported version.
+
+    Ingestion errors carry their provenance as attributes so callers can
+    pinpoint the damage without parsing the message: ``path`` is the
+    trace file (None for in-memory input), ``line`` the 1-based line
+    number for text input, and ``offset`` the byte offset for binary
+    input. Either position may be None when the error is not tied to a
+    single record (e.g. missing metadata discovered at end of input).
+    """
+
+    def __init__(
+        self,
+        message: str = "",
+        *,
+        path=None,
+        line=None,
+        offset=None,
+    ) -> None:
+        super().__init__(message)
+        self.path = path
+        self.line = line
+        self.offset = offset
+
+    def locate(self) -> str:
+        """Human-readable provenance, e.g. ``"t.lila:12"`` (may be ``""``)."""
+        parts = []
+        if self.path is not None:
+            parts.append(str(self.path))
+        if self.line is not None:
+            parts.append(f"{self.line}")
+        elif self.offset is not None:
+            parts.append(f"@{self.offset}")
+        return ":".join(parts)
 
 
 class AnalysisError(LagAlyzerError):

@@ -17,7 +17,7 @@ independent axes:
 
 from __future__ import annotations
 
-from typing import Iterable, List, Sequence, Tuple
+from typing import Iterable, Sequence, Tuple
 
 from repro.core.episodes import Episode
 from repro.core.intervals import Interval, IntervalKind, merge_adjacent

@@ -12,7 +12,7 @@ classified "always".
 from __future__ import annotations
 
 import enum
-from typing import Dict, Iterable, List
+from typing import Dict, List
 
 from repro.core.episodes import DEFAULT_PERCEPTIBLE_MS
 from repro.core.patterns import Pattern, PatternTable

@@ -10,8 +10,8 @@ singleton fraction, mean tree size and depth).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, fields
-from typing import Dict, Iterable, List, Sequence
+from dataclasses import dataclass
+from typing import Dict, Sequence
 
 from repro.core.episodes import DEFAULT_PERCEPTIBLE_MS
 from repro.core.patterns import PatternTable
@@ -71,6 +71,9 @@ def session_stats(
     trace: Trace, threshold_ms: float = DEFAULT_PERCEPTIBLE_MS
 ) -> SessionStats:
     """Compute the Table III row for one session trace."""
+    store = getattr(trace, "columnar", None)
+    if store is not None:
+        return store.session_stats_row(threshold_ms)
     episodes = trace.episodes
     perceptible_eps = trace.perceptible_episodes(threshold_ms)
     in_episode_ns = trace.in_episode_ns()

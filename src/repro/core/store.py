@@ -1,0 +1,1115 @@
+"""The columnar trace store: one-pass ingestion, array-backed analysis.
+
+The object model (:class:`~repro.core.trace.Trace` holding one
+:class:`~repro.core.intervals.Interval` per traced interval and one
+object per sample entry) is pleasant to program against but expensive to
+build: parsing a large session allocates millions of small objects
+before the first analysis runs. This module stores the same information
+as parallel arrays instead:
+
+- per thread, six columns over interval *rows* in open order (which is
+  pre-order): ``start``/``end`` (ns, int64), ``kind`` (int8 code),
+  ``symbol`` (interned string id), ``parent`` (thread-local row index,
+  ``-1`` for roots) and ``size`` (rows in the subtree including the row
+  itself, so a subtree is the contiguous slice ``[row, row + size)``);
+- one global string intern pool shared by symbols and thread names;
+- samples as a flat entry table (thread id, state code, stack id) with
+  per-tick offsets, plus interned :class:`~repro.core.samples.StackTrace`
+  objects (stacks repeat constantly, so each distinct stack is one
+  shared object).
+
+:class:`ColumnarBuilder` builds the store incrementally from the record
+stream of a :class:`~repro.lila.source.TraceSource`, enforcing exactly
+the invariants (and error messages) of
+:class:`~repro.core.intervals.IntervalTreeBuilder` — damage fails while
+streaming, never after. :class:`FacadeTrace` keeps the existing
+``Trace``/``Episode``/``Interval`` API alive as a lazy view: the object
+graph is materialized only when something actually asks for it, while
+the hot analysis paths (episode splitting, pattern mining, lag
+statistics, location, triggers, thread states, concurrency) run
+directly on the columns and produce bit-identical summaries.
+"""
+
+from __future__ import annotations
+
+from array import array
+from bisect import bisect_left
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.errors import AnalysisError, NestingError, TraceFormatError
+from repro.core.intervals import Interval, IntervalKind, NS_PER_MS
+from repro.core.samples import (
+    Sample,
+    StackTrace,
+    ThreadSample,
+    ThreadState,
+)
+from repro.core.trace import Trace, TraceMetadata
+
+# ----------------------------------------------------------------------
+# The record vocabulary every TraceSource yields.
+# ----------------------------------------------------------------------
+
+REC_META = 0
+"""``(REC_META, key, value, is_extra)`` — one metadata entry."""
+REC_FILTERED = 1
+"""``(REC_FILTERED, count)`` — episodes filtered at trace time."""
+REC_THREAD = 2
+"""``(REC_THREAD, name)`` — start (or resumption) of a thread section."""
+REC_OPEN = 3
+"""``(REC_OPEN, start_ns, kind, symbol)`` — open an interval."""
+REC_CLOSE = 4
+"""``(REC_CLOSE, end_ns)`` — close the innermost open interval."""
+REC_GC = 5
+"""``(REC_GC, start_ns, end_ns, symbol)`` — a complete GC interval."""
+REC_TICK = 6
+"""``(REC_TICK, ns)`` — a sampling tick."""
+REC_ENTRY = 7
+"""``(REC_ENTRY, thread_name, state, stack)`` — one thread's tick entry."""
+
+_REQUIRED_META = (
+    "application",
+    "session_id",
+    "start_ns",
+    "end_ns",
+    "gui_thread",
+)
+
+#: Stable integer codes for the enum vocabularies (enumeration order,
+#: identical to the binary encoding's codes).
+_KIND_CODES: Dict[IntervalKind, int] = {
+    kind: index for index, kind in enumerate(IntervalKind)
+}
+_KINDS: List[IntervalKind] = list(IntervalKind)
+_KIND_VALUES: List[str] = [kind.value for kind in IntervalKind]
+_STATE_CODES: Dict[ThreadState, int] = {
+    state: index for index, state in enumerate(ThreadState)
+}
+_STATES: List[ThreadState] = list(ThreadState)
+
+_DISPATCH_CODE = _KIND_CODES[IntervalKind.DISPATCH]
+_GC_CODE = _KIND_CODES[IntervalKind.GC]
+_NATIVE_CODE = _KIND_CODES[IntervalKind.NATIVE]
+_LISTENER_CODE = _KIND_CODES[IntervalKind.LISTENER]
+_PAINT_CODE = _KIND_CODES[IntervalKind.PAINT]
+_ASYNC_CODE = _KIND_CODES[IntervalKind.ASYNC]
+_TRIGGER_CODES = (_LISTENER_CODE, _PAINT_CODE, _ASYNC_CODE)
+_RUNNABLE_CODE = _STATE_CODES[ThreadState.RUNNABLE]
+
+
+class _ThreadColumns:
+    """One thread's interval rows as parallel arrays (rows in pre-order)."""
+
+    __slots__ = ("name", "start", "end", "kind", "symbol", "parent", "size",
+                 "root_rows")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.start = array("q")
+        self.end = array("q")
+        self.kind = array("b")
+        self.symbol = array("i")
+        self.parent = array("i")
+        self.size = array("i")
+        self.root_rows = array("i")
+
+    def __len__(self) -> int:
+        return len(self.start)
+
+    @property
+    def nbytes(self) -> int:
+        return sum(
+            len(column) * column.itemsize
+            for column in (self.start, self.end, self.kind, self.symbol,
+                           self.parent, self.size, self.root_rows)
+        )
+
+
+class ColumnarTrace:
+    """One session trace stored as columns (see the module docstring).
+
+    Instances are immutable once built (like :class:`Trace`); every
+    accessor is safe to call from any number of analyses, and caches on
+    the instance never need invalidation.
+    """
+
+    def __init__(
+        self,
+        metadata: TraceMetadata,
+        strings: List[str],
+        strings_map: Dict[str, int],
+        threads: List[_ThreadColumns],
+        thread_map: Dict[str, int],
+        sample_ts: "array[int]",
+        sample_offsets: "array[int]",
+        entry_thread: "array[int]",
+        entry_state: "array[int]",
+        entry_stack: "array[int]",
+        sample_runnable: "array[int]",
+        stacks: List[StackTrace],
+        short_episode_count: int = 0,
+    ) -> None:
+        self.metadata = metadata
+        self.strings = strings
+        self._strings_map = strings_map
+        self.threads = threads
+        self._thread_map = thread_map
+        self.sample_ts = sample_ts
+        self.sample_offsets = sample_offsets
+        self.entry_thread = entry_thread
+        self.entry_state = entry_state
+        self.entry_stack = entry_stack
+        self.sample_runnable = sample_runnable
+        self.stacks = stacks
+        self.short_episode_count = short_episode_count
+        self._episode_rows_cache: Dict[bool, List[Tuple[int, int, int, int, int]]] = {}
+        self._key_cache: Dict[Tuple[int, int, bool], str] = {}
+
+    # -- pickling: drop derived caches, ship only the columns ----------
+
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        state["_episode_rows_cache"] = {}
+        state["_key_cache"] = {}
+        return state
+
+    # ------------------------------------------------------------------
+    # Size accounting
+    # ------------------------------------------------------------------
+
+    @property
+    def interval_count(self) -> int:
+        return sum(len(columns) for columns in self.threads)
+
+    @property
+    def sample_count(self) -> int:
+        return len(self.sample_ts)
+
+    @property
+    def thread_order(self) -> List[str]:
+        """Thread names in first-appearance (T record) order."""
+        return [columns.name for columns in self.threads]
+
+    @property
+    def nbytes(self) -> int:
+        """Approximate resident size of the columns (not the facade)."""
+        total = sum(columns.nbytes for columns in self.threads)
+        for arr in (self.sample_ts, self.sample_offsets, self.entry_thread,
+                    self.entry_state, self.entry_stack, self.sample_runnable):
+            total += len(arr) * arr.itemsize
+        total += sum(len(text) for text in self.strings)
+        return total
+
+    # ------------------------------------------------------------------
+    # Episode enumeration (columnar twin of Trace episode splitting)
+    # ------------------------------------------------------------------
+
+    def episode_rows(
+        self, all_dispatch_threads: bool = False
+    ) -> List[Tuple[int, int, int, int, int]]:
+        """Episode descriptors ``(thread_idx, row, index, start, end)``.
+
+        With ``all_dispatch_threads`` False, only the GUI thread's
+        episodes; otherwise every dispatch thread's, merged in time
+        order with the same (stable) sort the object model uses.
+        """
+        cached = self._episode_rows_cache.get(all_dispatch_threads)
+        if cached is not None:
+            return cached
+        gui = self.metadata.gui_thread
+        merged: List[Tuple[int, int, int, int, int]] = []
+        for thread_idx, columns in enumerate(self.threads):
+            if not all_dispatch_threads and columns.name != gui:
+                continue
+            index = 0
+            kind = columns.kind
+            start = columns.start
+            end = columns.end
+            for row in columns.root_rows:
+                if kind[row] != _DISPATCH_CODE:
+                    continue
+                merged.append((thread_idx, row, index, start[row], end[row]))
+                index += 1
+        if all_dispatch_threads:
+            merged.sort(key=lambda item: item[3])
+        self._episode_rows_cache[all_dispatch_threads] = merged
+        return merged
+
+    def split_episode_rows(self, config: Any) -> Tuple[list, list]:
+        """(all episode rows, perceptible episode rows) under ``config``."""
+        rows = self.episode_rows(
+            all_dispatch_threads=config.all_dispatch_threads
+        )
+        threshold = config.perceptible_threshold_ms
+        perceptible = [
+            item for item in rows
+            if (item[4] - item[3]) / NS_PER_MS >= threshold
+        ]
+        return rows, perceptible
+
+    def _tick_range(self, start_ns: int, end_ns: int) -> Tuple[int, int]:
+        """Sample tick indices in ``[start_ns, end_ns)``."""
+        lo = bisect_left(self.sample_ts, start_ns)
+        hi = bisect_left(self.sample_ts, end_ns, lo)
+        return lo, hi
+
+    def _gui_entry(self, tick: int, gui_id: int) -> int:
+        """Entry index of the GUI thread in one tick, or -1."""
+        entry_thread = self.entry_thread
+        for entry in range(self.sample_offsets[tick],
+                           self.sample_offsets[tick + 1]):
+            if entry_thread[entry] == gui_id:
+                return entry
+        return -1
+
+    # ------------------------------------------------------------------
+    # Pattern mining on columns
+    # ------------------------------------------------------------------
+
+    def pattern_key_of(
+        self, thread_idx: int, row: int, include_gc: bool = False
+    ) -> str:
+        """Canonical pattern key of the episode rooted at ``row``.
+
+        Identical to :func:`repro.core.patterns.pattern_key` over the
+        materialized tree: the dispatch root is implicit, GC subtrees
+        are elided unless ``include_gc``.
+        """
+        cache_key = (thread_idx, row, include_gc)
+        cached = self._key_cache.get(cache_key)
+        if cached is not None:
+            return cached
+        columns = self.threads[thread_idx]
+        kind = columns.kind
+        symbol = columns.symbol
+        size = columns.size
+        strings = self.strings
+        parts: List[str] = []
+        closes: List[int] = []
+        i = row + 1
+        stop = row + size[row]
+        while i < stop:
+            while closes and i >= closes[-1]:
+                parts.append(")")
+                closes.pop()
+            code = kind[i]
+            if code == _GC_CODE and not include_gc:
+                i += size[i]
+                continue
+            parts.append("(")
+            parts.append(_KIND_VALUES[code])
+            parts.append("|")
+            parts.append(strings[symbol[i]])
+            closes.append(i + size[i])
+            i += 1
+        while closes:
+            parts.append(")")
+            closes.pop()
+        key = "".join(parts)
+        self._key_cache[cache_key] = key
+        return key
+
+    def pattern_counts(
+        self,
+        threshold_ms: float,
+        include_gc: bool = False,
+        all_dispatch_threads: bool = False,
+    ) -> Tuple[Dict[str, Tuple[int, int]], int]:
+        """Per-pattern ``key -> (count, perceptible)`` tallies plus the
+        count of structure-less episodes, in first-appearance key order
+        (the order that makes merged tables bit-identical to serial
+        mining)."""
+        counts: Dict[str, Tuple[int, int]] = {}
+        excluded = 0
+        for thread_idx, row, _index, start, end in self.episode_rows(
+            all_dispatch_threads=all_dispatch_threads
+        ):
+            if self.threads[thread_idx].size[row] <= 1:
+                excluded += 1
+                continue
+            key = self.pattern_key_of(thread_idx, row, include_gc=include_gc)
+            count, perceptible = counts.get(key, (0, 0))
+            is_perceptible = (end - start) / NS_PER_MS >= threshold_ms
+            counts[key] = (
+                count + 1,
+                perceptible + (1 if is_perceptible else 0),
+            )
+        return counts, excluded
+
+    # ------------------------------------------------------------------
+    # Characterization analyses on columns
+    # ------------------------------------------------------------------
+
+    def trigger_summary(self, episode_rows: Sequence[Tuple[int, int, int, int, int]]):
+        """Columnar twin of :func:`repro.core.triggers.summarize`."""
+        from repro.core.triggers import Trigger, TriggerSummary
+
+        counts: Dict[Any, int] = {}
+        for thread_idx, row, _index, _start, _end in episode_rows:
+            columns = self.threads[thread_idx]
+            kind = columns.kind
+            size = columns.size
+            trigger = Trigger.UNSPECIFIED
+            stop = row + size[row]
+            i = row + 1
+            while i < stop:
+                code = kind[i]
+                if code == _LISTENER_CODE:
+                    trigger = Trigger.INPUT
+                    break
+                if code == _PAINT_CODE:
+                    trigger = Trigger.OUTPUT
+                    break
+                if code == _ASYNC_CODE:
+                    trigger = Trigger.ASYNC
+                    for j in range(i + 1, i + size[i]):
+                        if kind[j] == _PAINT_CODE:
+                            trigger = Trigger.OUTPUT
+                            break
+                    break
+                i += 1
+            counts[trigger] = counts.get(trigger, 0) + 1
+        return TriggerSummary(counts)
+
+    def threadstate_summary(self, episode_rows: Sequence[Tuple[int, int, int, int, int]]):
+        """Columnar twin of :func:`repro.core.threadstates.summarize`."""
+        from repro.core.threadstates import ThreadStateSummary
+
+        gui_id = self._strings_map.get(self.metadata.gui_thread, -1)
+        tallies = [0] * len(_STATES)
+        entry_state = self.entry_state
+        for _thread_idx, _row, _index, start, end in episode_rows:
+            lo, hi = self._tick_range(start, end)
+            for tick in range(lo, hi):
+                entry = self._gui_entry(tick, gui_id)
+                if entry >= 0:
+                    tallies[entry_state[entry]] += 1
+        counts = {
+            state: tallies[code]
+            for code, state in enumerate(_STATES)
+            if tallies[code]
+        }
+        return ThreadStateSummary(counts)
+
+    def concurrency_summary(self, episode_rows: Sequence[Tuple[int, int, int, int, int]]):
+        """Columnar twin of :func:`repro.core.concurrency.summarize`."""
+        from repro.core.concurrency import ConcurrencySummary
+
+        runnable_total = 0
+        sample_count = 0
+        sample_runnable = self.sample_runnable
+        for _thread_idx, _row, _index, start, end in episode_rows:
+            lo, hi = self._tick_range(start, end)
+            sample_count += hi - lo
+            for tick in range(lo, hi):
+                runnable_total += sample_runnable[tick]
+        return ConcurrencySummary(
+            runnable_total=runnable_total, sample_count=sample_count
+        )
+
+    def _merged_spans(
+        self, columns: _ThreadColumns, row: int, code: int
+    ) -> List[Tuple[int, int]]:
+        """Merged (start, end) spans of ``code`` intervals under ``row``."""
+        kind = columns.kind
+        start = columns.start
+        end = columns.end
+        spans = [
+            (start[i], end[i])
+            for i in range(row + 1, row + columns.size[row])
+            if kind[i] == code
+        ]
+        if not spans:
+            return []
+        spans.sort()
+        merged = [spans[0]]
+        for span_start, span_end in spans[1:]:
+            last_start, last_end = merged[-1]
+            if span_start <= last_end:
+                merged[-1] = (last_start, max(last_end, span_end))
+            else:
+                merged.append((span_start, span_end))
+        return merged
+
+    def location_summary(
+        self,
+        episode_rows: Sequence[Tuple[int, int, int, int, int]],
+        library_prefixes: Sequence[str],
+    ):
+        """Columnar twin of :func:`repro.core.location.summarize`."""
+        from repro.core.location import LocationSummary
+
+        gui_id = self._strings_map.get(self.metadata.gui_thread, -1)
+        app_samples = 0
+        library_samples = 0
+        gc_ns = 0
+        native_ns = 0
+        episode_ns = 0
+        # 0 = excluded (empty or native leaf), 1 = library, 2 = app.
+        classes: Dict[int, int] = {}
+        stacks = self.stacks
+        entry_stack = self.entry_stack
+        for thread_idx, row, _index, start, end in episode_rows:
+            episode_ns += end - start
+            columns = self.threads[thread_idx]
+            gc_spans = self._merged_spans(columns, row, _GC_CODE)
+            native_spans = self._merged_spans(columns, row, _NATIVE_CODE)
+            ep_gc = 0
+            for span_start, span_end in gc_spans:
+                lo = max(span_start, start)
+                hi = min(span_end, end)
+                if hi > lo:
+                    ep_gc += hi - lo
+            ep_native = 0
+            for span_start, span_end in native_spans:
+                lo = max(span_start, start)
+                hi = min(span_end, end)
+                if hi > lo:
+                    ep_native += hi - lo
+            overlap = 0
+            for n_start, n_end in native_spans:
+                for g_start, g_end in gc_spans:
+                    lo = max(n_start, g_start)
+                    hi = min(n_end, g_end)
+                    if hi > lo:
+                        overlap += hi - lo
+            gc_ns += ep_gc
+            native_ns += ep_native - overlap
+            lo, hi = self._tick_range(start, end)
+            for tick in range(lo, hi):
+                entry = self._gui_entry(tick, gui_id)
+                if entry < 0:
+                    continue
+                stack_id = entry_stack[entry]
+                verdict = classes.get(stack_id)
+                if verdict is None:
+                    stack = stacks[stack_id]
+                    leaf = stack.leaf
+                    if leaf is None or leaf.is_native:
+                        verdict = 0
+                    elif leaf.is_library(library_prefixes):
+                        verdict = 1
+                    else:
+                        verdict = 2
+                    classes[stack_id] = verdict
+                if verdict == 1:
+                    library_samples += 1
+                elif verdict == 2:
+                    app_samples += 1
+        return LocationSummary(
+            app_samples=app_samples,
+            library_samples=library_samples,
+            gc_ns=gc_ns,
+            native_ns=native_ns,
+            episode_ns=episode_ns,
+        )
+
+    def session_stats_row(self, threshold_ms: float):
+        """Columnar twin of :func:`repro.core.statistics.session_stats`.
+
+        Works over the GUI thread's episodes (the Table III population),
+        reproducing the reference implementation's arithmetic expression
+        by expression so rows compare equal to the object path.
+        """
+        from repro.core.patterns import key_depth, key_descendant_count
+        from repro.core.statistics import SECONDS_PER_MINUTE, SessionStats
+
+        episodes = self.episode_rows(all_dispatch_threads=False)
+        perceptible_count = 0
+        in_episode_ns = 0
+        for _thread_idx, _row, _index, start, end in episodes:
+            in_episode_ns += end - start
+            if (end - start) / NS_PER_MS >= threshold_ms:
+                perceptible_count += 1
+        in_episode_minutes = in_episode_ns / 1e9 / SECONDS_PER_MINUTE
+        if in_episode_minutes > 0:
+            long_per_min = perceptible_count / in_episode_minutes
+        else:
+            long_per_min = 0.0
+        counts, _excluded = self.pattern_counts(
+            threshold_ms=threshold_ms, include_gc=False
+        )
+        distinct = len(counts)
+        covered = sum(count for count, _perceptible in counts.values())
+        singletons = sum(
+            1 for count, _perceptible in counts.values() if count == 1
+        )
+        if distinct:
+            singleton_fraction = singletons / distinct
+            mean_descendants = (
+                sum(key_descendant_count(key) for key in counts) / distinct
+            )
+            mean_depth = sum(key_depth(key) for key in counts) / distinct
+        else:
+            singleton_fraction = 0.0
+            mean_descendants = 0.0
+            mean_depth = 0.0
+        e2e = self.metadata.duration_ns
+        if e2e == 0:
+            in_episode_fraction = 0.0
+        else:
+            in_episode_fraction = in_episode_ns / e2e
+        return SessionStats(
+            application=self.metadata.application,
+            e2e_s=self.metadata.duration_s,
+            in_episode_pct=100.0 * in_episode_fraction,
+            below_filter=float(self.short_episode_count),
+            traced=float(len(episodes)),
+            perceptible=float(perceptible_count),
+            long_per_min=long_per_min,
+            distinct_patterns=float(distinct),
+            covered_episodes=float(covered),
+            singleton_pct=100.0 * singleton_fraction,
+            mean_descendants=mean_descendants,
+            mean_depth=mean_depth,
+        )
+
+    # ------------------------------------------------------------------
+    # Canonical serialization (digest) without materializing objects
+    # ------------------------------------------------------------------
+
+    def canonical_lines(self) -> List[str]:
+        """The canonical text serialization, byte-identical to
+        :func:`repro.lila.writer.trace_to_lines` over the materialized
+        trace — computed straight from the columns."""
+        from repro.lila.format import check_symbol, encode_stack, header_line
+
+        meta = self.metadata
+        lines = [header_line()]
+        lines.append(
+            f"M application {check_symbol(meta.application, 'application')}"
+        )
+        lines.append(
+            f"M session_id {check_symbol(meta.session_id, 'session id')}"
+        )
+        lines.append(f"M start_ns {meta.start_ns}")
+        lines.append(f"M end_ns {meta.end_ns}")
+        lines.append(
+            f"M gui_thread {check_symbol(meta.gui_thread, 'thread name')}"
+        )
+        lines.append(f"M sample_period_ns {meta.sample_period_ns}")
+        lines.append(f"M filter_ms {meta.filter_ms!r}")
+        for key in sorted(meta.extra):
+            lines.append(
+                f"M x.{check_symbol(key, 'metadata key')} "
+                f"{check_symbol(meta.extra[key], 'metadata value')}"
+            )
+        lines.append(f"F {self.short_episode_count}")
+
+        names = sorted(self._thread_map)
+        gui = meta.gui_thread
+        if gui in names:
+            names.remove(gui)
+            names.insert(0, gui)
+        checked: Dict[int, str] = {}
+        strings = self.strings
+
+        def symbol_text(symbol_id: int) -> str:
+            text = checked.get(symbol_id)
+            if text is None:
+                text = check_symbol(strings[symbol_id])
+                checked[symbol_id] = text
+            return text
+
+        for name in names:
+            columns = self.threads[self._thread_map[name]]
+            lines.append(f"T {check_symbol(name, 'thread name')}")
+            kind = columns.kind
+            start = columns.start
+            end = columns.end
+            symbol = columns.symbol
+            size = columns.size
+            closes: List[Tuple[int, int]] = []
+            for row in range(len(columns)):
+                while closes and row >= closes[-1][0]:
+                    lines.append(f"C {closes.pop()[1]}")
+                if kind[row] == _GC_CODE and size[row] == 1:
+                    lines.append(
+                        f"G {start[row]} {end[row]} {symbol_text(symbol[row])}"
+                    )
+                else:
+                    lines.append(
+                        f"O {start[row]} {_KIND_VALUES[kind[row]]} "
+                        f"{symbol_text(symbol[row])}"
+                    )
+                    closes.append((row + size[row], end[row]))
+            while closes:
+                lines.append(f"C {closes.pop()[1]}")
+
+        encoded_stacks: Dict[int, str] = {}
+        entry_thread = self.entry_thread
+        entry_state = self.entry_state
+        entry_stack = self.entry_stack
+        for tick in range(len(self.sample_ts)):
+            lines.append(f"P {self.sample_ts[tick]}")
+            for entry in range(self.sample_offsets[tick],
+                               self.sample_offsets[tick + 1]):
+                stack_id = entry_stack[entry]
+                encoded = encoded_stacks.get(stack_id)
+                if encoded is None:
+                    encoded = encode_stack(self.stacks[stack_id])
+                    encoded_stacks[stack_id] = encoded
+                lines.append(
+                    f"t {check_symbol(strings[entry_thread[entry]], 'thread name')} "
+                    f"{_STATES[entry_state[entry]].value} {encoded}"
+                )
+        return lines
+
+    # ------------------------------------------------------------------
+    # Materialization (the facade's backing)
+    # ------------------------------------------------------------------
+
+    def to_trace(self) -> Trace:
+        """Materialize the classic object model from the columns.
+
+        The result is exactly what the pre-columnar reader produced:
+        same tree shapes, same thread order, same samples.
+        """
+        thread_roots: Dict[str, List[Interval]] = {}
+        for columns in self.threads:
+            nodes: List[Interval] = []
+            roots: List[Interval] = []
+            kind = columns.kind
+            start = columns.start
+            end = columns.end
+            symbol = columns.symbol
+            parent = columns.parent
+            strings = self.strings
+            for row in range(len(columns)):
+                node = Interval(
+                    _KINDS[kind[row]],
+                    strings[symbol[row]],
+                    start[row],
+                    end[row],
+                )
+                nodes.append(node)
+                parent_row = parent[row]
+                if parent_row < 0:
+                    roots.append(node)
+                else:
+                    parent_node = nodes[parent_row]
+                    parent_node.children.append(node)
+                    node.parent = parent_node
+            thread_roots[columns.name] = roots
+
+        samples: List[Sample] = []
+        strings = self.strings
+        stacks = self.stacks
+        for tick in range(len(self.sample_ts)):
+            entries = [
+                ThreadSample(
+                    strings[self.entry_thread[entry]],
+                    _STATES[self.entry_state[entry]],
+                    stacks[self.entry_stack[entry]],
+                )
+                for entry in range(self.sample_offsets[tick],
+                                   self.sample_offsets[tick + 1])
+            ]
+            samples.append(Sample(self.sample_ts[tick], entries))
+
+        return Trace(
+            self.metadata,
+            thread_roots,
+            samples=samples,
+            short_episode_count=self.short_episode_count,
+        )
+
+    @classmethod
+    def from_trace(cls, trace: Trace) -> "ColumnarTrace":
+        """Columnarize an existing object-model trace.
+
+        Threads keep the ``thread_roots`` iteration order and samples
+        their sorted order, so ``to_trace`` round-trips and
+        ``canonical_lines`` matches ``trace_to_lines(trace)`` exactly.
+        """
+        builder = ColumnarBuilder()
+        meta = trace.metadata
+        feed = builder.feed
+        feed((REC_META, "application", meta.application, False))
+        feed((REC_META, "session_id", meta.session_id, False))
+        feed((REC_META, "start_ns", meta.start_ns, False))
+        feed((REC_META, "end_ns", meta.end_ns, False))
+        feed((REC_META, "gui_thread", meta.gui_thread, False))
+        feed((REC_META, "sample_period_ns", meta.sample_period_ns, False))
+        feed((REC_META, "filter_ms", meta.filter_ms, False))
+        for key, value in meta.extra.items():
+            feed((REC_META, key, value, True))
+        feed((REC_FILTERED, trace.short_episode_count))
+
+        def emit(interval: Interval) -> None:
+            feed((REC_OPEN, interval.start_ns, interval.kind, interval.symbol))
+            for child in interval.children:
+                emit(child)
+            feed((REC_CLOSE, interval.end_ns))
+
+        for name, roots in trace.thread_roots.items():
+            feed((REC_THREAD, name))
+            for root in roots:
+                emit(root)
+
+        for sample in trace.samples:
+            feed((REC_TICK, sample.timestamp_ns))
+            for entry in sample.threads:
+                feed((REC_ENTRY, entry.thread_name, entry.state, entry.stack))
+
+        builder.flush_samples()
+        builder.check_required_meta()
+        return builder.finish(builder.build_metadata())
+
+    def __repr__(self) -> str:
+        return (
+            f"ColumnarTrace({self.metadata.application!r}, "
+            f"{self.interval_count} intervals, {self.sample_count} samples, "
+            f"{len(self.strings)} strings)"
+        )
+
+
+class ColumnarBuilder:
+    """Streams :class:`TraceSource` records into a :class:`ColumnarTrace`.
+
+    The builder enforces the proper-nesting invariant while streaming,
+    with exactly the error messages of
+    :class:`~repro.core.intervals.IntervalTreeBuilder` (nesting damage)
+    and the classic reader (structural damage), so swapping it in is
+    invisible to everything that matches on messages.
+    """
+
+    def __init__(self) -> None:
+        self.meta: Dict[str, Any] = {}
+        self.extra: Dict[str, Any] = {}
+        self.short_count = 0
+        self.record_count = 0
+        self._strings: List[str] = []
+        self._strings_map: Dict[str, int] = {}
+        self._threads: List[_ThreadColumns] = []
+        self._thread_map: Dict[str, int] = {}
+        # Per thread: a stack of [row, kind, symbol, start_ns, children_end]
+        # frames for the currently open intervals.
+        self._open: List[List[list]] = []
+        self._last_root_end: List[Optional[int]] = []
+        self._current: Optional[int] = None
+        # Bound per REC_THREAD so the per-interval hot path does no
+        # list indexing: the current thread's columns and open frames.
+        self._cur_columns: Optional[_ThreadColumns] = None
+        self._cur_frames: Optional[List[list]] = None
+        self._ticks: List[Tuple[int, List[Tuple[int, int, int]]]] = []
+        self._pending_tick: Optional[int] = None
+        self._pending_entries: List[Tuple[int, int, int]] = []
+        self._stacks: List[StackTrace] = []
+        self._stacks_map: Dict[StackTrace, int] = {}
+
+    # -- interning -----------------------------------------------------
+
+    def _intern(self, text: str) -> int:
+        index = self._strings_map.get(text)
+        if index is None:
+            index = len(self._strings)
+            self._strings_map[text] = index
+            self._strings.append(text)
+        return index
+
+    def _intern_stack(self, stack: StackTrace) -> int:
+        index = self._stacks_map.get(stack)
+        if index is None:
+            index = len(self._stacks)
+            self._stacks_map[stack] = index
+            self._stacks.append(stack)
+        return index
+
+    # -- record intake -------------------------------------------------
+
+    def feed(self, record: tuple) -> None:
+        """Apply one source record to the store under construction."""
+        self.record_count += 1
+        tag = record[0]
+        if tag == REC_OPEN:
+            _, start_ns, kind, symbol = record
+            self._open_interval(kind, symbol, start_ns)
+        elif tag == REC_CLOSE:
+            self._close_interval(record[1])
+        elif tag == REC_GC:
+            _, start_ns, end_ns, symbol = record
+            self._open_interval(IntervalKind.GC, symbol, start_ns)
+            self._close_interval(end_ns)
+        elif tag == REC_ENTRY:
+            if self._pending_tick is None:
+                raise TraceFormatError("t record outside a tick")
+            _, thread_name, state, stack = record
+            self._pending_entries.append(
+                (
+                    self._intern(thread_name),
+                    _STATE_CODES[state],
+                    self._intern_stack(stack),
+                )
+            )
+        elif tag == REC_TICK:
+            self.flush_samples()
+            self._pending_tick = record[1]
+        elif tag == REC_THREAD:
+            self.flush_samples()
+            name = record[1]
+            index = self._thread_map.get(name)
+            if index is None:
+                index = len(self._threads)
+                self._thread_map[name] = index
+                self._threads.append(_ThreadColumns(name))
+                self._open.append([])
+                self._last_root_end.append(None)
+                self._intern(name)
+            self._current = index
+            self._cur_columns = self._threads[index]
+            self._cur_frames = self._open[index]
+        elif tag == REC_META:
+            _, key, value, is_extra = record
+            if is_extra:
+                self.extra[key] = value
+            else:
+                self.meta[key] = value
+        elif tag == REC_FILTERED:
+            self.short_count = record[1]
+        else:
+            raise TraceFormatError(f"unknown source record tag {tag!r}")
+
+    def _open_interval(
+        self, kind: IntervalKind, symbol: str, start_ns: int
+    ) -> None:
+        frames = self._cur_frames
+        if frames is None:
+            raise TraceFormatError("interval record before any T record")
+        if frames:
+            top = frames[-1]
+            if start_ns < top[3]:
+                raise NestingError(
+                    f"interval {kind.value}:{symbol} starts at {start_ns}, "
+                    f"before its enclosing interval ({top[3]})"
+                )
+            if top[4] is not None and start_ns < top[4]:
+                raise NestingError(
+                    f"interval {kind.value}:{symbol} starts at {start_ns}, "
+                    f"inside the previous sibling"
+                )
+            parent_row = top[0]
+        else:
+            last_end = self._last_root_end[self._current]
+            if last_end is not None and start_ns < last_end:
+                raise NestingError(
+                    f"root interval {kind.value}:{symbol} starts at "
+                    f"{start_ns}, inside the previous root"
+                )
+            parent_row = -1
+        columns = self._cur_columns
+        row = len(columns.start)
+        columns.start.append(start_ns)
+        columns.end.append(0)
+        columns.kind.append(_KIND_CODES[kind])
+        columns.symbol.append(self._intern(symbol))
+        columns.parent.append(parent_row)
+        columns.size.append(0)
+        frames.append([row, kind, symbol, start_ns, None])
+
+    def _close_interval(self, end_ns: int) -> None:
+        frames = self._cur_frames
+        if frames is None:
+            raise TraceFormatError("interval record before any T record")
+        if not frames:
+            raise NestingError("close without a matching open")
+        row, kind, symbol, start_ns, children_end = frames.pop()
+        if children_end is not None and end_ns < children_end:
+            raise NestingError(
+                f"interval {kind.value}:{symbol} closes at "
+                f"{end_ns}, before its last child ends"
+            )
+        if end_ns < start_ns:
+            raise NestingError(
+                f"interval {kind.value}:{symbol} ends before it starts "
+                f"({end_ns} < {start_ns})"
+            )
+        columns = self._cur_columns
+        columns.end[row] = end_ns
+        columns.size[row] = len(columns.start) - row
+        if frames:
+            frames[-1][4] = end_ns
+        else:
+            self._last_root_end[self._current] = end_ns
+            columns.root_rows.append(row)
+
+    # -- finishing -----------------------------------------------------
+
+    def flush_samples(self) -> None:
+        """Seal the pending sampling tick, if any."""
+        if self._pending_tick is not None:
+            self._ticks.append((self._pending_tick, self._pending_entries))
+            self._pending_tick = None
+            self._pending_entries = []
+
+    def check_required_meta(self) -> None:
+        """Raise for metadata the format requires but the stream lacked."""
+        for key in _REQUIRED_META:
+            if key not in self.meta:
+                raise TraceFormatError(f"missing required metadata {key!r}")
+
+    def build_metadata(self) -> TraceMetadata:
+        """Construct the validated :class:`TraceMetadata`."""
+        try:
+            return TraceMetadata(
+                application=self.meta["application"],
+                session_id=self.meta["session_id"],
+                start_ns=int(self.meta["start_ns"]),
+                end_ns=int(self.meta["end_ns"]),
+                gui_thread=self.meta["gui_thread"],
+                sample_period_ns=int(
+                    self.meta.get("sample_period_ns", 10_000_000)
+                ),
+                filter_ms=float(self.meta.get("filter_ms", 3.0)),
+                extra=self.extra,
+            )
+        except ValueError as error:
+            raise TraceFormatError(f"bad metadata value: {error}") from None
+
+    def finish(self, metadata: TraceMetadata) -> ColumnarTrace:
+        """Seal the store: closure, ordering, and bounds invariants.
+
+        Raises:
+            NestingError: intervals left open at end of stream.
+            AnalysisError: episodes outside the session bounds.
+        """
+        for frames in self._open:
+            if frames:
+                open_names = ", ".join(
+                    f"{frame[1].value}:{frame[2]}" for frame in frames
+                )
+                raise NestingError(
+                    f"unclosed intervals at end of trace: {open_names}"
+                )
+
+        self._ticks.sort(key=lambda tick: tick[0])
+        sample_ts = array("q")
+        sample_offsets = array("i", [0])
+        entry_thread = array("i")
+        entry_state = array("b")
+        entry_stack = array("i")
+        sample_runnable = array("i")
+        for ts, entries in self._ticks:
+            sample_ts.append(ts)
+            runnable = 0
+            for thread_id, state_code, stack_id in entries:
+                entry_thread.append(thread_id)
+                entry_state.append(state_code)
+                entry_stack.append(stack_id)
+                if state_code == _RUNNABLE_CODE:
+                    runnable += 1
+            sample_runnable.append(runnable)
+            sample_offsets.append(len(entry_thread))
+
+        gui_index = self._thread_map.get(metadata.gui_thread)
+        if gui_index is not None:
+            columns = self._threads[gui_index]
+            episode_index = 0
+            for row in columns.root_rows:
+                if columns.kind[row] != _DISPATCH_CODE:
+                    continue
+                if columns.start[row] < metadata.start_ns or (
+                    columns.end[row] > metadata.end_ns
+                ):
+                    raise AnalysisError(
+                        f"episode #{episode_index} "
+                        f"[{columns.start[row]}, {columns.end[row]}) lies "
+                        f"outside the session bounds"
+                    )
+                episode_index += 1
+
+        return ColumnarTrace(
+            metadata=metadata,
+            strings=self._strings,
+            strings_map=self._strings_map,
+            threads=self._threads,
+            thread_map=self._thread_map,
+            sample_ts=sample_ts,
+            sample_offsets=sample_offsets,
+            entry_thread=entry_thread,
+            entry_state=entry_state,
+            entry_stack=entry_stack,
+            sample_runnable=sample_runnable,
+            stacks=self._stacks,
+            short_episode_count=self.short_count,
+        )
+
+
+class FacadeTrace(Trace):
+    """A :class:`Trace` whose object graph is built only on demand.
+
+    Construction stores just the columnar store and the metadata; the
+    first access to ``thread_roots``, ``samples``, ``episodes``, or the
+    per-thread episode table materializes the classic object model via
+    :meth:`ColumnarTrace.to_trace` and caches it on the instance.
+    Analyses that understand the columnar store (everything in
+    :mod:`repro.core.analyses`) never trigger materialization.
+    """
+
+    _LAZY = frozenset(
+        ("thread_roots", "samples", "episodes", "_episodes_by_thread")
+    )
+
+    def __init__(self, store: ColumnarTrace) -> None:
+        # Deliberately not calling Trace.__init__: the whole point is
+        # to defer building interval/sample objects.
+        self.columnar = store
+        self.metadata = store.metadata
+        self.short_episode_count = store.short_episode_count
+
+    def __getattr__(self, name: str):
+        if name in FacadeTrace._LAZY:
+            materialized = self.columnar.to_trace()
+            self.__dict__["thread_roots"] = materialized.thread_roots
+            self.__dict__["samples"] = materialized.samples
+            self.__dict__["episodes"] = materialized.episodes
+            self.__dict__["_episodes_by_thread"] = (
+                materialized._episodes_by_thread
+            )
+            return self.__dict__[name]
+        raise AttributeError(
+            f"{type(self).__name__!r} object has no attribute {name!r}"
+        )
+
+    @property
+    def is_materialized(self) -> bool:
+        """True once the object graph has been built."""
+        return "thread_roots" in self.__dict__
+
+    def __reduce__(self):
+        return (
+            _restore_facade,
+            (self.columnar, getattr(self, "_content_digest", None)),
+        )
+
+    def __repr__(self) -> str:
+        state = "materialized" if self.is_materialized else "columnar"
+        return (
+            f"FacadeTrace({self.metadata.application!r}, "
+            f"{self.columnar.interval_count} intervals, {state})"
+        )
+
+
+def _restore_facade(
+    store: ColumnarTrace, digest: Optional[str]
+) -> FacadeTrace:
+    trace = FacadeTrace(store)
+    if digest is not None:
+        trace._content_digest = digest
+    return trace
+
+
+def as_columnar(trace: Trace) -> Trace:
+    """``trace`` as a columnar-backed facade (no-op when it already is).
+
+    Used by the study runner so simulated traces ship to workers as
+    compact columns, with the memoized content digest carried over.
+    """
+    if getattr(trace, "columnar", None) is not None:
+        return trace
+    store = ColumnarTrace.from_trace(trace)
+    facade = FacadeTrace(store)
+    digest = getattr(trace, "_content_digest", None)
+    if digest is not None:
+        facade._content_digest = digest
+    return facade

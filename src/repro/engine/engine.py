@@ -95,22 +95,34 @@ def _obs_map_task(
     return partials, worker.snapshot()
 
 
-def _load_task(path: str) -> Trace:
-    """Worker: load one trace file."""
+def _load_task(entry: Any) -> Trace:
+    """Worker: load one trace from a file path or an open trace source."""
     from repro.lila.autodetect import load_trace
+    from repro.lila.source import TraceSource, build_trace
 
-    return load_trace(path)
+    if isinstance(entry, TraceSource):
+        return build_trace(entry)
+    return load_trace(entry)
 
 
-def _obs_load_task(task: Tuple[str, bool]) -> Tuple[Trace, Optional[dict]]:
+def _obs_load_task(task: Tuple[Any, bool]) -> Tuple[Trace, Optional[dict]]:
     """Worker: ``_load_task`` plus the worker's observability snapshot."""
-    path, profile = task
+    entry, profile = task
     if obs_runtime.current() is not None:
-        return _load_task(path), None
+        return _load_task(entry), None
     worker = Observer(profile=profile)
     with obs_runtime.installed(worker):
-        trace = _load_task(path)
+        trace = _load_task(entry)
     return trace, worker.snapshot()
+
+
+def _entry_label(entry: Any) -> str:
+    """Quarantine label of one ``load_traces`` entry."""
+    from repro.lila.source import TraceSource
+
+    if isinstance(entry, TraceSource):
+        return entry.label()
+    return Path(entry).name
 
 
 class AnalysisEngine:
@@ -349,17 +361,22 @@ class AnalysisEngine:
 
     def load_traces(
         self,
-        paths: Sequence[Union[str, Path]],
+        paths: Sequence[Any],
         on_error: str = "raise",
     ) -> List[Trace]:
-        """Load trace files, fanning the parsing out across workers.
+        """Load traces, fanning the parsing out across workers.
 
         Args:
+            paths: trace file paths and/or open
+                :class:`~repro.lila.source.TraceSource` objects, freely
+                mixed; each source streams straight into a columnar
+                store without re-materializing an object tree.
             on_error: ``"raise"`` (default) propagates the first parse
                 failure; ``"quarantine"`` skips unreadable/damaged
                 files, records them on :attr:`quarantined`, and returns
                 the traces that loaded.
         """
+        from repro.lila.source import TraceSource
         if on_error not in ("raise", "quarantine"):
             raise AnalysisError(
                 f"on_error must be 'raise' or 'quarantine', got {on_error!r}"
@@ -371,13 +388,17 @@ class AnalysisEngine:
             with obs_runtime.maybe_span(
                 "engine.load_traces", files=len(paths)
             ) as load_span:
+                entries: List[Any] = [
+                    path if isinstance(path, TraceSource) else str(path)
+                    for path in paths
+                ]
                 if obs is None:
                     task_func: Any = _load_task
-                    tasks: List[Any] = [str(path) for path in paths]
+                    tasks: List[Any] = entries
                 else:
                     profile = obs.profiler is not None
                     task_func = _obs_load_task
-                    tasks = [(str(path), profile) for path in paths]
+                    tasks = [(entry, profile) for entry in entries]
                 outcomes = run_tasks(
                     task_func,
                     tasks,
@@ -396,7 +417,7 @@ class AnalysisEngine:
                             QuarantinedTrace(
                                 index=index,
                                 application="",
-                                session_id=Path(paths[index]).name,
+                                session_id=_entry_label(paths[index]),
                                 error=repr(outcome.error),
                             )
                         )

@@ -13,16 +13,32 @@ from repro.lila.binary import read_trace_binary, write_trace_binary
 from repro.lila.digest import file_digest, trace_digest
 from repro.lila.format import FORMAT_VERSION, MAGIC
 from repro.lila.reader import read_trace, read_trace_lines
+from repro.lila.source import (
+    BinaryTraceSource,
+    LinesTraceSource,
+    TextTraceSource,
+    TraceSource,
+    build_store,
+    build_trace,
+    open_source,
+)
 from repro.lila.validation import lint_trace
 from repro.lila.writer import write_trace, trace_to_lines
 
 __all__ = [
+    "BinaryTraceSource",
     "FORMAT_VERSION",
+    "LinesTraceSource",
     "MAGIC",
+    "TextTraceSource",
+    "TraceSource",
+    "build_store",
+    "build_trace",
     "detect_format",
     "expand_trace_paths",
     "file_digest",
     "lint_trace",
+    "open_source",
     "trace_digest",
     "load_trace",
     "read_trace",

@@ -43,16 +43,9 @@ import zlib
 from pathlib import Path
 from typing import BinaryIO, Dict, List, Tuple, Union
 
-from repro.core.errors import TraceFormatError
-from repro.core.intervals import Interval, IntervalKind, IntervalTreeBuilder
-from repro.core.samples import (
-    Sample,
-    StackFrame,
-    StackTrace,
-    ThreadSample,
-    ThreadState,
-)
-from repro.core.trace import Trace, TraceMetadata
+from repro.core.intervals import Interval, IntervalKind
+from repro.core.samples import StackFrame, StackTrace, ThreadState
+from repro.core.trace import Trace
 
 MAGIC = b"LILB"
 VERSION = 1
@@ -226,160 +219,6 @@ class _Writer:
             handle.write(blob)
 
 
-class _Reader:
-    def __init__(self, handle: BinaryIO) -> None:
-        self._handle = handle
-
-    def _read(self, n: int) -> bytes:
-        data = self._handle.read(n)
-        if len(data) != n:
-            raise TraceFormatError(
-                f"truncated binary trace (wanted {n} bytes, got {len(data)})"
-            )
-        return data
-
-    def _u8(self) -> int:
-        return _U8.unpack(self._read(1))[0]
-
-    def _u16(self) -> int:
-        return _U16.unpack(self._read(2))[0]
-
-    def _u32(self) -> int:
-        return _U32.unpack(self._read(4))[0]
-
-    def _u64(self) -> int:
-        return _U64.unpack(self._read(8))[0]
-
-    def _f64(self) -> float:
-        return _F64.unpack(self._read(8))[0]
-
-    def read(self) -> Trace:
-        if self._read(4) != MAGIC:
-            raise TraceFormatError("not a binary LiLa trace (bad magic)")
-        version = self._u16()
-        if version != VERSION:
-            raise TraceFormatError(
-                f"unsupported binary trace version {version}"
-            )
-        # Everything between the header and the 4-byte CRC footer is
-        # payload; verify integrity before trusting a single field.
-        import io
-
-        rest = self._handle.read()
-        if len(rest) < 4:
-            raise TraceFormatError("truncated binary trace (missing CRC)")
-        data, (expected,) = rest[:-4], _U32.unpack(rest[-4:])
-        actual = zlib.crc32(data) & 0xFFFFFFFF
-        if actual != expected:
-            raise TraceFormatError(
-                f"binary trace is corrupt (CRC {actual:#010x}, "
-                f"expected {expected:#010x})"
-            )
-        self._handle = io.BytesIO(data)
-
-        strings = [
-            self._read(self._u32()).decode("utf-8")
-            for _ in range(self._u32())
-        ]
-
-        def string(index: int) -> str:
-            try:
-                return strings[index]
-            except IndexError:
-                raise TraceFormatError(
-                    f"string id {index} out of range"
-                ) from None
-
-        frames: List[StackFrame] = []
-        for _ in range(self._u32()):
-            class_id, method_id = self._u32(), self._u32()
-            native = self._u8() == 1
-            frames.append(
-                StackFrame(string(class_id), string(method_id), native)
-            )
-
-        stacks: List[StackTrace] = []
-        for _ in range(self._u32()):
-            depth = self._u16()
-            stacks.append(
-                StackTrace(frames[self._u32()] for _ in range(depth))
-            )
-
-        application = string(self._u32())
-        session_id = string(self._u32())
-        gui_thread = string(self._u32())
-        start_ns = self._u64()
-        end_ns = self._u64()
-        sample_period_ns = self._u64()
-        filter_ms = self._f64()
-        short_count = self._u64()
-        extra = {}
-        for _ in range(self._u32()):
-            key_id, value_id = self._u32(), self._u32()
-            extra[string(key_id)] = string(value_id)
-
-        thread_roots: Dict[str, List[Interval]] = {}
-        for _ in range(self._u32()):
-            name = string(self._u32())
-            builder = IntervalTreeBuilder()
-            for _ in range(self._u32()):
-                tag = self._u8()
-                if tag == _TAG_OPEN:
-                    t = self._u64()
-                    kind = _KINDS_BY_CODE.get(self._u8())
-                    if kind is None:
-                        raise TraceFormatError("unknown interval kind code")
-                    builder.open(kind, string(self._u32()), t)
-                elif tag == _TAG_CLOSE:
-                    builder.close(self._u64())
-                elif tag == _TAG_GC:
-                    t0, t1 = self._u64(), self._u64()
-                    builder.add_complete(
-                        IntervalKind.GC, string(self._u32()), t0, t1
-                    )
-                else:
-                    raise TraceFormatError(f"unknown event tag {tag}")
-            thread_roots[name] = builder.finish()
-
-        samples: List[Sample] = []
-        for _ in range(self._u32()):
-            t = self._u64()
-            entries = []
-            for _ in range(self._u16()):
-                thread_id = self._u32()
-                state = _STATES_BY_CODE.get(self._u8())
-                if state is None:
-                    raise TraceFormatError("unknown thread state code")
-                stack_id = self._u32()
-                try:
-                    stack = stacks[stack_id]
-                except IndexError:
-                    raise TraceFormatError(
-                        f"stack id {stack_id} out of range"
-                    ) from None
-                entries.append(ThreadSample(string(thread_id), state, stack))
-            samples.append(Sample(t, entries))
-
-        metadata = TraceMetadata(
-            application=application,
-            session_id=session_id,
-            start_ns=start_ns,
-            end_ns=end_ns,
-            gui_thread=gui_thread,
-            sample_period_ns=sample_period_ns,
-            filter_ms=filter_ms,
-            extra=extra,
-        )
-        trace = Trace(
-            metadata,
-            thread_roots,
-            samples=samples,
-            short_episode_count=short_count,
-        )
-        trace.validate()
-        return trace
-
-
 def write_trace_binary(trace: Trace, path: Union[str, Path]) -> Path:
     """Write ``trace`` to ``path`` in the binary format."""
     path = Path(path)
@@ -390,7 +229,16 @@ def write_trace_binary(trace: Trace, path: Union[str, Path]) -> Path:
 
 
 def read_trace_binary(path: Union[str, Path]) -> Trace:
-    """Read and validate a binary trace file."""
-    path = Path(path)
-    with path.open("rb") as handle:
-        return _Reader(handle).read()
+    """Read and validate a binary trace file.
+
+    The decode is one streaming pass through
+    :class:`~repro.lila.source.BinaryTraceSource` into a columnar
+    store; the result is a :class:`~repro.core.store.FacadeTrace` that
+    reconstructs exactly the same :class:`Trace` the eager reader
+    produced. Structural damage raises :class:`TraceFormatError`
+    stamped with the byte offset; nesting and bounds violations
+    propagate raw, as they always did for the binary path.
+    """
+    from repro.lila.source import BinaryTraceSource, build_trace
+
+    return build_trace(BinaryTraceSource(path))

@@ -35,14 +35,22 @@ def trace_digest(trace: Trace) -> str:
     memo = getattr(trace, _MEMO_ATTR, None)
     if memo is not None:
         return memo
-    from repro.lila.writer import trace_to_lines
     from repro.obs import runtime as obs_runtime
 
     with obs_runtime.maybe_span(
         "lila.trace_digest", metric="lila.digest_ms"
     ):
+        # Columnar-backed traces serialize straight from the columns;
+        # both paths produce the identical canonical byte stream.
+        store = getattr(trace, "columnar", None)
+        if store is not None:
+            lines = store.canonical_lines()
+        else:
+            from repro.lila.writer import trace_to_lines
+
+            lines = trace_to_lines(trace)
         digest = hashlib.sha256()
-        for line in trace_to_lines(trace):
+        for line in lines:
             digest.update(line.encode("utf-8"))
             digest.update(b"\n")
         value = digest.hexdigest()

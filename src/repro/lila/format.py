@@ -22,7 +22,6 @@ stack is the single token ``-``.
 
 from __future__ import annotations
 
-from typing import Iterable, List
 
 from repro.core.errors import TraceFormatError
 from repro.core.samples import StackFrame, StackTrace

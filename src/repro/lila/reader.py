@@ -1,132 +1,23 @@
-"""Parsing LiLa-format trace files back into :class:`Trace` objects."""
+"""Parsing LiLa-format trace files back into :class:`Trace` objects.
+
+Since the columnar refactor this module is a thin shim: the actual
+parse is one streaming pass through
+:class:`~repro.lila.source.TextTraceSource` into a columnar store (see
+:mod:`repro.core.store`), and the returned trace is a
+:class:`~repro.core.store.FacadeTrace` — the classic ``Trace`` API,
+materialized lazily. Error behavior is unchanged message for message;
+every :class:`TraceFormatError` now additionally carries ``path`` and
+``line`` attributes.
+"""
 
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional, Union
+from typing import Iterable, Union
 
-from repro.core.errors import LagAlyzerError, TraceFormatError
-from repro.core.intervals import Interval, IntervalKind, IntervalTreeBuilder
-from repro.core.samples import Sample, ThreadSample, ThreadState
-from repro.core.trace import Trace, TraceMetadata
-from repro.faults import runtime as faults_runtime
-from repro.lila.format import decode_stack, parse_header
+from repro.core.trace import Trace
+from repro.lila.source import LinesTraceSource, TextTraceSource, build_trace
 from repro.obs import runtime as obs_runtime
-
-_REQUIRED_META = (
-    "application",
-    "session_id",
-    "start_ns",
-    "end_ns",
-    "gui_thread",
-)
-
-
-class _ParserState:
-    """Mutable state threaded through the line-by-line parse."""
-
-    def __init__(self) -> None:
-        self.meta: Dict[str, str] = {}
-        self.extra: Dict[str, str] = {}
-        self.short_count = 0
-        self.builders: Dict[str, IntervalTreeBuilder] = {}
-        self.thread_order: List[str] = []
-        self.current_thread: Optional[str] = None
-        self.samples: List[Sample] = []
-        self.pending_tick_ns: Optional[int] = None
-        self.pending_entries: List[ThreadSample] = []
-
-    def builder(self) -> IntervalTreeBuilder:
-        if self.current_thread is None:
-            raise TraceFormatError("interval record before any T record")
-        return self.builders[self.current_thread]
-
-    def flush_sample(self) -> None:
-        if self.pending_tick_ns is not None:
-            self.samples.append(
-                Sample(self.pending_tick_ns, self.pending_entries)
-            )
-            self.pending_tick_ns = None
-            self.pending_entries = []
-
-
-def _parse_line(state: _ParserState, line_no: int, line: str) -> None:
-    record, _, rest = line.partition(" ")
-    if record == "M":
-        key, _, value = rest.partition(" ")
-        if not key or not value:
-            raise TraceFormatError(f"line {line_no}: malformed M record")
-        if key.startswith("x."):
-            state.extra[key[2:]] = value
-        else:
-            state.meta[key] = value
-    elif record == "F":
-        try:
-            state.short_count = int(rest)
-        except ValueError:
-            raise TraceFormatError(
-                f"line {line_no}: bad filtered-episode count {rest!r}"
-            ) from None
-    elif record == "T":
-        state.flush_sample()
-        thread = rest.strip()
-        if not thread:
-            raise TraceFormatError(f"line {line_no}: empty thread name")
-        if thread not in state.builders:
-            state.builders[thread] = IntervalTreeBuilder()
-            state.thread_order.append(thread)
-        state.current_thread = thread
-    elif record == "O":
-        parts = rest.split(" ", 2)
-        if len(parts) != 3:
-            raise TraceFormatError(f"line {line_no}: malformed O record")
-        start_ns = _parse_ns(parts[0], line_no)
-        try:
-            kind = IntervalKind.from_name(parts[1])
-        except ValueError as error:
-            raise TraceFormatError(f"line {line_no}: {error}") from None
-        state.builder().open(kind, parts[2], start_ns)
-    elif record == "C":
-        state.builder().close(_parse_ns(rest, line_no))
-    elif record == "G":
-        parts = rest.split(" ", 2)
-        if len(parts) != 3:
-            raise TraceFormatError(f"line {line_no}: malformed G record")
-        state.builder().add_complete(
-            IntervalKind.GC,
-            parts[2],
-            _parse_ns(parts[0], line_no),
-            _parse_ns(parts[1], line_no),
-        )
-    elif record == "P":
-        state.flush_sample()
-        state.pending_tick_ns = _parse_ns(rest, line_no)
-    elif record == "t":
-        if state.pending_tick_ns is None:
-            raise TraceFormatError(f"line {line_no}: t record outside a tick")
-        parts = rest.split(" ", 2)
-        if len(parts) != 3:
-            raise TraceFormatError(f"line {line_no}: malformed t record")
-        try:
-            thread_state = ThreadState.from_name(parts[1])
-        except ValueError as error:
-            raise TraceFormatError(f"line {line_no}: {error}") from None
-        state.pending_entries.append(
-            ThreadSample(parts[0], thread_state, decode_stack(parts[2]))
-        )
-    else:
-        raise TraceFormatError(
-            f"line {line_no}: unknown record type {record!r}"
-        )
-
-
-def _parse_ns(token: str, line_no: int) -> int:
-    try:
-        return int(token)
-    except ValueError:
-        raise TraceFormatError(
-            f"line {line_no}: bad timestamp {token!r}"
-        ) from None
 
 
 def read_trace_lines(lines: Iterable[str]) -> Trace:
@@ -142,67 +33,7 @@ def read_trace_lines(lines: Iterable[str]) -> Trace:
         TraceFormatError: on any malformed record, missing metadata, or
             nesting violation.
     """
-    iterator = iter(lines)
-    try:
-        first = next(iterator)
-    except StopIteration:
-        raise TraceFormatError("empty trace input") from None
-    parse_header(first.rstrip("\n"))
-
-    state = _ParserState()
-    for line_no, raw in enumerate(iterator, start=2):
-        line = raw.rstrip("\n")
-        if not line or line.startswith("#"):
-            continue
-        try:
-            _parse_line(state, line_no, line)
-        except TraceFormatError:
-            raise
-        except LagAlyzerError as error:
-            # Nesting violations from the interval builder carry no
-            # position; re-typing them here pins the damage to a line.
-            raise TraceFormatError(f"line {line_no}: {error}") from None
-    state.flush_sample()
-
-    for key in _REQUIRED_META:
-        if key not in state.meta:
-            raise TraceFormatError(f"missing required metadata {key!r}")
-
-    try:
-        metadata = TraceMetadata(
-            application=state.meta["application"],
-            session_id=state.meta["session_id"],
-            start_ns=int(state.meta["start_ns"]),
-            end_ns=int(state.meta["end_ns"]),
-            gui_thread=state.meta["gui_thread"],
-            sample_period_ns=int(
-                state.meta.get("sample_period_ns", 10_000_000)
-            ),
-            filter_ms=float(state.meta.get("filter_ms", 3.0)),
-            extra=state.extra,
-        )
-    except ValueError as error:
-        raise TraceFormatError(f"bad metadata value: {error}") from None
-    try:
-        thread_roots = {
-            thread: builder.finish()
-            for thread, builder in state.builders.items()
-        }
-        trace = Trace(
-            metadata,
-            thread_roots,
-            samples=state.samples,
-            short_episode_count=state.short_count,
-        )
-        trace.validate()
-    except TraceFormatError:
-        raise
-    except LagAlyzerError as error:
-        # Intervals left open by a truncated file (or an impossible
-        # structure) surface at finish/validate time; same contract:
-        # damage always raises the typed parse error.
-        raise TraceFormatError(str(error)) from None
-    return trace
+    return build_trace(LinesTraceSource(lines))
 
 
 def read_trace(path: Union[str, Path]) -> Trace:
@@ -211,10 +42,7 @@ def read_trace(path: Union[str, Path]) -> Trace:
     with obs_runtime.maybe_span(
         "lila.read_trace", metric="lila.parse_ms", path=path.name, format="text"
     ):
-        faults_runtime.check("lila.read", key=path.name)
-        with path.open("r", encoding="utf-8") as handle:
-            lines = faults_runtime.filter_lines("lila.read", path.name, handle)
-            trace = read_trace_lines(lines)
+        trace = build_trace(TextTraceSource(path, faults=True))
     if obs_runtime.current() is not None:
         obs_runtime.count("lila.traces_parsed")
         try:

@@ -1,0 +1,535 @@
+"""One streaming ingestion abstraction over every trace encoding.
+
+A :class:`TraceSource` turns a trace — text file, binary file, or an
+in-memory iterable of format lines — into a single validated stream of
+records (the ``REC_*`` vocabulary of :mod:`repro.core.store`). Record
+syntax is checked as each record is produced, so damage surfaces while
+streaming with its position attached: text sources stamp the 1-based
+line number, the binary source the byte offset, and both the file path,
+onto every :class:`~repro.core.errors.TraceFormatError`.
+
+:func:`build_trace` is the one ingestion driver: it feeds any source
+into a :class:`~repro.core.store.ColumnarBuilder` and returns a
+:class:`~repro.core.store.FacadeTrace` — the classic ``Trace`` API over
+a columnar store, built in one pass without materializing an object per
+interval. The legacy entry points (``read_trace``, ``read_trace_lines``,
+``read_trace_binary``, ``load_trace``) are thin wrappers over this
+module and raise exactly the errors they always did.
+"""
+
+from __future__ import annotations
+
+import zlib
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, Optional, Union
+
+from repro.core.errors import LagAlyzerError, TraceFormatError
+from repro.core.intervals import IntervalKind
+from repro.core.samples import StackFrame, StackTrace, ThreadState
+from repro.core.store import (
+    REC_CLOSE,
+    REC_ENTRY,
+    REC_FILTERED,
+    REC_GC,
+    REC_META,
+    REC_OPEN,
+    REC_THREAD,
+    REC_TICK,
+    ColumnarBuilder,
+    ColumnarTrace,
+    FacadeTrace,
+)
+from repro.faults import runtime as faults_runtime
+from repro.lila import binary as binary_format
+from repro.lila.format import decode_stack, parse_header
+
+
+class TraceSource:
+    """A one-pass, validated record stream over one trace.
+
+    Attributes:
+        path: the backing file, or None for in-memory input.
+        encoding: ``"text"``, ``"binary"``, or ``"lines"``.
+        line: 1-based line number of the record last produced (text).
+        offset: byte offset of the field last read (binary).
+        wrap_errors: whether the ingestion driver should re-type
+            nesting/analysis errors as position-carrying
+            :class:`TraceFormatError` (the text readers' contract) or
+            let them propagate raw (the binary reader's contract).
+    """
+
+    encoding = "unknown"
+    wrap_errors = True
+    path: Optional[Path] = None
+    line: Optional[int] = None
+    offset: Optional[int] = None
+
+    def records(self) -> Iterator[tuple]:
+        """Yield validated ``REC_*`` records in stream order."""
+        raise NotImplementedError
+
+    def annotate(self, error: TraceFormatError) -> TraceFormatError:
+        """Stamp this source's position onto ``error`` (idempotent)."""
+        if error.path is None:
+            error.path = self.path
+        if error.line is None and error.offset is None:
+            error.line = self.line
+            error.offset = self.offset
+        return error
+
+    def label(self) -> str:
+        """Short human-readable identity for logs and quarantine."""
+        return self.path.name if self.path is not None else f"<{self.encoding}>"
+
+
+def _parse_ns(token: str, line_no: int, path: Optional[Path]) -> int:
+    try:
+        return int(token)
+    except ValueError:
+        raise TraceFormatError(
+            f"line {line_no}: bad timestamp {token!r}",
+            path=path,
+            line=line_no,
+        ) from None
+
+
+#: Successful kind/state token lookups, memoized process-wide: the
+#: token vocabulary is tiny and hot (one lookup per O and per t record).
+_KINDS_BY_TOKEN: Dict[str, IntervalKind] = {}
+_STATES_BY_TOKEN: Dict[str, ThreadState] = {}
+
+
+def _text_records(
+    source: "TraceSource", lines: Iterable[str]
+) -> Iterator[tuple]:
+    """The shared text-format record generator (strict, line-stamped)."""
+    iterator = iter(lines)
+    try:
+        first = next(iterator)
+    except StopIteration:
+        raise TraceFormatError("empty trace input", path=source.path) from None
+    source.line = 1
+    try:
+        parse_header(first.rstrip("\n"))
+    except TraceFormatError as error:
+        raise source.annotate(error)
+
+    path = source.path
+    stack_cache = source._stack_cache
+    in_tick = False
+    for line_no, raw in enumerate(iterator, start=2):
+        source.line = line_no
+        line = raw.rstrip("\n")
+        if not line or line.startswith("#"):
+            continue
+        record, _, rest = line.partition(" ")
+        if record == "t":
+            if not in_tick:
+                raise TraceFormatError(
+                    f"line {line_no}: t record outside a tick",
+                    path=path,
+                    line=line_no,
+                )
+            parts = rest.split(" ", 2)
+            if len(parts) != 3:
+                raise TraceFormatError(
+                    f"line {line_no}: malformed t record",
+                    path=path,
+                    line=line_no,
+                )
+            state = _STATES_BY_TOKEN.get(parts[1])
+            if state is None:
+                try:
+                    state = ThreadState.from_name(parts[1])
+                except ValueError as error:
+                    raise TraceFormatError(
+                        f"line {line_no}: {error}", path=path, line=line_no
+                    ) from None
+                _STATES_BY_TOKEN[parts[1]] = state
+            token = parts[2]
+            stack = stack_cache.get(token)
+            if stack is None:
+                try:
+                    stack = decode_stack(token)
+                except TraceFormatError as error:
+                    raise source.annotate(error)
+                stack_cache[token] = stack
+            yield (REC_ENTRY, parts[0], state, stack)
+        elif record == "O":
+            parts = rest.split(" ", 2)
+            if len(parts) != 3:
+                raise TraceFormatError(
+                    f"line {line_no}: malformed O record",
+                    path=path,
+                    line=line_no,
+                )
+            start_ns = _parse_ns(parts[0], line_no, path)
+            kind = _KINDS_BY_TOKEN.get(parts[1])
+            if kind is None:
+                try:
+                    kind = IntervalKind.from_name(parts[1])
+                except ValueError as error:
+                    raise TraceFormatError(
+                        f"line {line_no}: {error}", path=path, line=line_no
+                    ) from None
+                _KINDS_BY_TOKEN[parts[1]] = kind
+            yield (REC_OPEN, start_ns, kind, parts[2])
+        elif record == "C":
+            yield (REC_CLOSE, _parse_ns(rest, line_no, path))
+        elif record == "P":
+            in_tick = True
+            yield (REC_TICK, _parse_ns(rest, line_no, path))
+        elif record == "G":
+            parts = rest.split(" ", 2)
+            if len(parts) != 3:
+                raise TraceFormatError(
+                    f"line {line_no}: malformed G record",
+                    path=path,
+                    line=line_no,
+                )
+            yield (
+                REC_GC,
+                _parse_ns(parts[0], line_no, path),
+                _parse_ns(parts[1], line_no, path),
+                parts[2],
+            )
+        elif record == "T":
+            thread = rest.strip()
+            if not thread:
+                raise TraceFormatError(
+                    f"line {line_no}: empty thread name",
+                    path=path,
+                    line=line_no,
+                )
+            in_tick = False
+            yield (REC_THREAD, thread)
+        elif record == "M":
+            key, _, value = rest.partition(" ")
+            if not key or not value:
+                raise TraceFormatError(
+                    f"line {line_no}: malformed M record",
+                    path=path,
+                    line=line_no,
+                )
+            if key.startswith("x."):
+                yield (REC_META, key[2:], value, True)
+            else:
+                yield (REC_META, key, value, False)
+        elif record == "F":
+            try:
+                count = int(rest)
+            except ValueError:
+                raise TraceFormatError(
+                    f"line {line_no}: bad filtered-episode count {rest!r}",
+                    path=path,
+                    line=line_no,
+                ) from None
+            yield (REC_FILTERED, count)
+        else:
+            raise TraceFormatError(
+                f"line {line_no}: unknown record type {record!r}",
+                path=path,
+                line=line_no,
+            )
+
+
+class TextTraceSource(TraceSource):
+    """Record stream over a text-format (``.lila``) trace file.
+
+    With ``faults=True`` the ``lila.read`` fault-injection site is armed
+    exactly as the classic reader armed it: a pre-read check plus the
+    line filter, so injected damage surfaces as line-stamped
+    :class:`TraceFormatError` from this source's validation.
+    """
+
+    encoding = "text"
+    wrap_errors = True
+
+    def __init__(self, path: Union[str, Path], faults: bool = False) -> None:
+        self.path = Path(path)
+        self.line = None
+        self.offset = None
+        self._faults = faults
+        self._stack_cache: dict = {}
+
+    def records(self) -> Iterator[tuple]:
+        if self._faults:
+            faults_runtime.check("lila.read", key=self.path.name)
+        with self.path.open("r", encoding="utf-8") as handle:
+            lines: Iterable[str] = handle
+            if self._faults:
+                lines = faults_runtime.filter_lines(
+                    "lila.read", self.path.name, handle
+                )
+            yield from _text_records(self, lines)
+
+
+class LinesTraceSource(TraceSource):
+    """Record stream over an in-memory iterable of format lines."""
+
+    encoding = "lines"
+    wrap_errors = True
+
+    def __init__(self, lines: Iterable[str]) -> None:
+        self.path = None
+        self.line = None
+        self.offset = None
+        self._lines = lines
+        self._stack_cache: dict = {}
+
+    def records(self) -> Iterator[tuple]:
+        return _text_records(self, self._lines)
+
+
+class _Cursor:
+    """Position-tracked reads over binary payload bytes."""
+
+    __slots__ = ("source", "data", "pos", "base")
+
+    def __init__(
+        self, source: "BinaryTraceSource", data: bytes, base: int = 0
+    ) -> None:
+        self.source = source
+        self.data = data
+        self.pos = 0
+        self.base = base
+
+    def read(self, n: int) -> bytes:
+        self.source.offset = self.base + self.pos
+        end = self.pos + n
+        data = self.data[self.pos:end]
+        if len(data) != n:
+            raise TraceFormatError(
+                f"truncated binary trace (wanted {n} bytes, got {len(data)})",
+                path=self.source.path,
+                offset=self.source.offset,
+            )
+        self.pos = end
+        return data
+
+    def u8(self) -> int:
+        return binary_format._U8.unpack(self.read(1))[0]
+
+    def u16(self) -> int:
+        return binary_format._U16.unpack(self.read(2))[0]
+
+    def u32(self) -> int:
+        return binary_format._U32.unpack(self.read(4))[0]
+
+    def u64(self) -> int:
+        return binary_format._U64.unpack(self.read(8))[0]
+
+    def f64(self) -> float:
+        return binary_format._F64.unpack(self.read(8))[0]
+
+
+class BinaryTraceSource(TraceSource):
+    """Record stream over a binary (``.lilb``) trace file.
+
+    The CRC footer is verified before any field is trusted, exactly as
+    the classic binary reader did; structural damage that survives the
+    CRC (out-of-range ids, unknown codes) raises offset-stamped
+    :class:`TraceFormatError`. Nesting and bounds violations propagate
+    raw (``wrap_errors`` is False), preserving the binary reader's
+    historical error contract.
+    """
+
+    encoding = "binary"
+    wrap_errors = False
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        self.line = None
+        self.offset = 0
+
+    def _fail(self, message: str) -> TraceFormatError:
+        return TraceFormatError(message, path=self.path, offset=self.offset)
+
+    def records(self) -> Iterator[tuple]:
+        data = self.path.read_bytes()
+        cursor = _Cursor(self, data)
+        if cursor.read(4) != binary_format.MAGIC:
+            raise self._fail("not a binary LiLa trace (bad magic)")
+        version = cursor.u16()
+        if version != binary_format.VERSION:
+            raise self._fail(f"unsupported binary trace version {version}")
+        rest = data[6:]
+        if len(rest) < 4:
+            raise self._fail("truncated binary trace (missing CRC)")
+        payload, (expected,) = rest[:-4], binary_format._U32.unpack(rest[-4:])
+        actual = zlib.crc32(payload) & 0xFFFFFFFF
+        if actual != expected:
+            raise self._fail(
+                f"binary trace is corrupt (CRC {actual:#010x}, "
+                f"expected {expected:#010x})"
+            )
+        cursor = _Cursor(self, payload, base=6)
+
+        strings = [
+            cursor.read(cursor.u32()).decode("utf-8")
+            for _ in range(cursor.u32())
+        ]
+
+        def string(index: int) -> str:
+            try:
+                return strings[index]
+            except IndexError:
+                raise self._fail(f"string id {index} out of range") from None
+
+        frames = []
+        for _ in range(cursor.u32()):
+            class_id, method_id = cursor.u32(), cursor.u32()
+            native = cursor.u8() == 1
+            frames.append(
+                StackFrame(string(class_id), string(method_id), native)
+            )
+
+        stacks = []
+        for _ in range(cursor.u32()):
+            depth = cursor.u16()
+            stacks.append(
+                StackTrace(frames[cursor.u32()] for _ in range(depth))
+            )
+
+        application = string(cursor.u32())
+        session_id = string(cursor.u32())
+        gui_thread = string(cursor.u32())
+        start_ns = cursor.u64()
+        end_ns = cursor.u64()
+        sample_period_ns = cursor.u64()
+        filter_ms = cursor.f64()
+        short_count = cursor.u64()
+        extras = []
+        for _ in range(cursor.u32()):
+            key_id, value_id = cursor.u32(), cursor.u32()
+            extras.append((string(key_id), string(value_id)))
+
+        yield (REC_META, "application", application, False)
+        yield (REC_META, "session_id", session_id, False)
+        yield (REC_META, "start_ns", start_ns, False)
+        yield (REC_META, "end_ns", end_ns, False)
+        yield (REC_META, "gui_thread", gui_thread, False)
+        yield (REC_META, "sample_period_ns", sample_period_ns, False)
+        yield (REC_META, "filter_ms", filter_ms, False)
+        for key, value in extras:
+            yield (REC_META, key, value, True)
+        yield (REC_FILTERED, short_count)
+
+        for _ in range(cursor.u32()):
+            name = string(cursor.u32())
+            event_count = cursor.u32()
+            yield (REC_THREAD, name)
+            for _ in range(event_count):
+                tag = cursor.u8()
+                if tag == binary_format._TAG_OPEN:
+                    t = cursor.u64()
+                    kind = binary_format._KINDS_BY_CODE.get(cursor.u8())
+                    if kind is None:
+                        raise self._fail("unknown interval kind code")
+                    yield (REC_OPEN, t, kind, string(cursor.u32()))
+                elif tag == binary_format._TAG_CLOSE:
+                    yield (REC_CLOSE, cursor.u64())
+                elif tag == binary_format._TAG_GC:
+                    t0, t1 = cursor.u64(), cursor.u64()
+                    yield (REC_GC, t0, t1, string(cursor.u32()))
+                else:
+                    raise self._fail(f"unknown event tag {tag}")
+
+        for _ in range(cursor.u32()):
+            t = cursor.u64()
+            entry_count = cursor.u16()
+            yield (REC_TICK, t)
+            for _ in range(entry_count):
+                thread_id = cursor.u32()
+                state = binary_format._STATES_BY_CODE.get(cursor.u8())
+                if state is None:
+                    raise self._fail("unknown thread state code")
+                stack_id = cursor.u32()
+                try:
+                    stack = stacks[stack_id]
+                except IndexError:
+                    raise self._fail(
+                        f"stack id {stack_id} out of range"
+                    ) from None
+                yield (REC_ENTRY, string(thread_id), state, stack)
+
+
+def open_source(
+    path: Union[str, Path], faults: bool = False
+) -> TraceSource:
+    """A :class:`TraceSource` over ``path``, encoding autodetected.
+
+    Raises:
+        TraceFormatError: when neither encoding's magic matches.
+    """
+    from repro.lila.autodetect import detect_format
+
+    path = Path(path)
+    if detect_format(path) == "binary":
+        return BinaryTraceSource(path)
+    return TextTraceSource(path, faults=faults)
+
+
+def build_store(source: TraceSource) -> ColumnarTrace:
+    """Stream ``source`` into a sealed :class:`ColumnarTrace`.
+
+    This is the single ingestion driver behind every reader. Error
+    contract (identical to the pre-columnar readers, message for
+    message):
+
+    - record-level damage raises :class:`TraceFormatError` stamped with
+      the source's position;
+    - for ``wrap_errors`` sources (text), nesting violations raised
+      mid-stream are re-typed as line-prefixed ``TraceFormatError``, and
+      end-of-stream violations (unclosed intervals, bad bounds) as
+      unprefixed ``TraceFormatError``;
+    - for binary sources, nesting/bounds errors propagate raw.
+    """
+    builder = ColumnarBuilder()
+    feed = builder.feed
+    wrap = source.wrap_errors
+    for record in source.records():
+        try:
+            feed(record)
+        except TraceFormatError as error:
+            raise source.annotate(error)
+        except LagAlyzerError as error:
+            if not wrap:
+                raise
+            # Nesting violations from the columnar builder carry no
+            # position; re-typing them here pins the damage to a line.
+            raise TraceFormatError(
+                f"line {source.line}: {error}",
+                path=source.path,
+                line=source.line,
+            ) from None
+    builder.flush_samples()
+
+    try:
+        builder.check_required_meta()
+        metadata = builder.build_metadata()
+    except TraceFormatError as error:
+        raise source.annotate(error)
+    try:
+        store = builder.finish(metadata)
+    except TraceFormatError as error:
+        raise source.annotate(error)
+    except LagAlyzerError as error:
+        if not wrap:
+            raise
+        # Intervals left open by a truncated file (or an impossible
+        # structure) surface at finish time; same contract: damage
+        # always raises the typed parse error.
+        raise TraceFormatError(str(error), path=source.path) from None
+
+    from repro.obs import runtime as obs_runtime
+
+    if obs_runtime.current() is not None:
+        obs_runtime.count("lila.records_streamed", builder.record_count)
+        obs_runtime.set_gauge("store.bytes", store.nbytes)
+    return store
+
+
+def build_trace(source: TraceSource) -> FacadeTrace:
+    """Stream ``source`` into a columnar-backed :class:`FacadeTrace`."""
+    return FacadeTrace(build_store(source))

@@ -7,79 +7,66 @@ sessions short. This module lifts that constraint for the text format:
 :func:`iter_episodes` yields one fully formed
 :class:`~repro.core.episodes.Episode` at a time — interval tree plus
 its slice of call-stack samples — holding only the *current* episode in
-memory, using two cursors over the same file (one for interval events,
-one for the sample section). :func:`stream_session_stats` computes a
-Table III row over an arbitrarily long trace in O(1) memory.
+memory, using two :class:`~repro.lila.source.TextTraceSource` cursors
+over the same file (one for interval records, one for the sample
+section). :func:`stream_session_stats` computes a Table III row over an
+arbitrarily long trace in O(1) memory.
 """
 
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Dict, Iterator, List, Optional, Tuple, Union
+from typing import Dict, Iterator, List, Optional, Union
 
 from repro.core.episodes import DEFAULT_PERCEPTIBLE_MS, Episode
 from repro.core.errors import TraceFormatError
-from repro.core.intervals import IntervalKind, IntervalTreeBuilder, NS_PER_S
-from repro.core.samples import Sample, ThreadSample, ThreadState
+from repro.core.intervals import IntervalKind, IntervalTreeBuilder
+from repro.core.samples import Sample, ThreadSample
 from repro.core.statistics import SECONDS_PER_MINUTE, SessionStats
 from repro.core.patterns import pattern_key
-from repro.lila.format import decode_stack, parse_header
+from repro.core.store import (
+    REC_CLOSE,
+    REC_ENTRY,
+    REC_FILTERED,
+    REC_GC,
+    REC_META,
+    REC_OPEN,
+    REC_THREAD,
+    REC_TICK,
+)
+from repro.lila.source import TextTraceSource
 
 
-def _read_metadata(path: Path) -> Dict[str, str]:
+def _read_metadata(path: Path) -> Dict[str, object]:
     """First pass: header + M/F records (cheap, stops at first T)."""
-    meta: Dict[str, str] = {}
-    with path.open("r", encoding="utf-8") as handle:
-        first = handle.readline()
-        if not first:
-            raise TraceFormatError("empty trace input")
-        parse_header(first.rstrip("\n"))
-        for raw in handle:
-            line = raw.rstrip("\n")
-            if not line or line.startswith("#"):
-                continue
-            record, _, rest = line.partition(" ")
-            if record == "M":
-                key, _, value = rest.partition(" ")
-                meta[key] = value
-            elif record == "F":
-                meta["__filtered__"] = rest
-            elif record == "T":
-                break
+    meta: Dict[str, object] = {}
+    for record in TextTraceSource(path).records():
+        tag = record[0]
+        if tag == REC_META:
+            if not record[3]:
+                meta[record[1]] = record[2]
+        elif tag == REC_FILTERED:
+            meta["__filtered__"] = record[1]
+        elif tag == REC_THREAD:
+            break
     return meta
 
 
 def _iter_samples(path: Path) -> Iterator[Sample]:
     """Yield sampling ticks in file order (they are time-sorted)."""
-    with path.open("r", encoding="utf-8") as handle:
-        handle.readline()  # header (validated by the metadata pass)
-        tick_ns: Optional[int] = None
-        entries: List[ThreadSample] = []
-        for raw in handle:
-            line = raw.rstrip("\n")
-            if not line or line.startswith("#"):
-                continue
-            record, _, rest = line.partition(" ")
-            if record == "P":
-                if tick_ns is not None:
-                    yield Sample(tick_ns, entries)
-                tick_ns = int(rest)
-                entries = []
-            elif record == "t":
-                if tick_ns is None:
-                    raise TraceFormatError("t record outside a tick")
-                parts = rest.split(" ", 2)
-                if len(parts) != 3:
-                    raise TraceFormatError("malformed t record")
-                entries.append(
-                    ThreadSample(
-                        parts[0],
-                        ThreadState.from_name(parts[1]),
-                        decode_stack(parts[2]),
-                    )
-                )
-        if tick_ns is not None:
-            yield Sample(tick_ns, entries)
+    tick_ns: Optional[int] = None
+    entries: List[ThreadSample] = []
+    for record in TextTraceSource(path).records():
+        tag = record[0]
+        if tag == REC_TICK:
+            if tick_ns is not None:
+                yield Sample(tick_ns, entries)
+            tick_ns = record[1]
+            entries = []
+        elif tag == REC_ENTRY:
+            entries.append(ThreadSample(record[1], record[2], record[3]))
+    if tick_ns is not None:
+        yield Sample(tick_ns, entries)
 
 
 def iter_episodes(
@@ -102,9 +89,9 @@ def iter_episodes(
     path = Path(path)
     meta = _read_metadata(path)
     if gui_thread is None:
-        gui_thread = meta.get("gui_thread", "")
+        gui_thread = str(meta.get("gui_thread", ""))
         if not gui_thread:
-            raise TraceFormatError("missing gui_thread metadata")
+            raise TraceFormatError("missing gui_thread metadata", path=path)
 
     samples = _iter_samples(path)
     pending_sample: Optional[Sample] = None
@@ -126,49 +113,40 @@ def iter_episodes(
             collected.append(pending_sample)
             pending_sample = None
 
-    with path.open("r", encoding="utf-8") as handle:
-        handle.readline()  # header
-        builder: Optional[IntervalTreeBuilder] = None
-        in_gui_section = False
-        for raw in handle:
-            line = raw.rstrip("\n")
-            if not line or line.startswith("#"):
-                continue
-            record, _, rest = line.partition(" ")
-            if record == "T":
-                in_gui_section = rest.strip() == gui_thread
-                if in_gui_section and builder is None:
-                    builder = IntervalTreeBuilder()
-                continue
-            if not in_gui_section or record in ("M", "F", "P", "t"):
-                continue
-            if record == "O":
-                parts = rest.split(" ", 2)
-                builder.open(
-                    IntervalKind.from_name(parts[1]), parts[2], int(parts[0])
-                )
-            elif record == "G":
-                parts = rest.split(" ", 2)
-                builder.add_complete(
-                    IntervalKind.GC, parts[2], int(parts[0]), int(parts[1])
-                )
-            elif record == "C":
-                root = builder.close(int(rest))
-                if builder.open_depth == 0:
-                    if root.kind is IntervalKind.DISPATCH:
-                        episode = Episode(
-                            root,
-                            index=index,
-                            gui_thread=gui_thread,
-                            samples=collect_samples(
-                                root.start_ns, root.end_ns
-                            ),
-                        )
-                        index += 1
-                        obs_runtime.count("lila.episodes_streamed")
-                        yield episode
-        if builder is not None and builder.open_depth:
-            raise TraceFormatError("unclosed intervals at end of trace")
+    builder: Optional[IntervalTreeBuilder] = None
+    in_gui_section = False
+    for record in TextTraceSource(path).records():
+        tag = record[0]
+        if tag == REC_THREAD:
+            in_gui_section = record[1] == gui_thread
+            if in_gui_section and builder is None:
+                builder = IntervalTreeBuilder()
+            continue
+        if not in_gui_section:
+            continue
+        if tag == REC_OPEN:
+            builder.open(record[2], record[3], record[1])
+        elif tag == REC_GC:
+            builder.add_complete(
+                IntervalKind.GC, record[3], record[1], record[2]
+            )
+        elif tag == REC_CLOSE:
+            root = builder.close(record[1])
+            if builder.open_depth == 0:
+                if root.kind is IntervalKind.DISPATCH:
+                    episode = Episode(
+                        root,
+                        index=index,
+                        gui_thread=gui_thread,
+                        samples=collect_samples(
+                            root.start_ns, root.end_ns
+                        ),
+                    )
+                    index += 1
+                    obs_runtime.count("lila.episodes_streamed")
+                    yield episode
+    if builder is not None and builder.open_depth:
+        raise TraceFormatError("unclosed intervals at end of trace", path=path)
 
 
 def stream_session_stats(
@@ -189,7 +167,7 @@ def stream_session_stats(
     perceptible = 0
     in_episode_ns = 0
     key_stats: Dict[str, int] = {}
-    key_descs: Dict[str, Tuple[int, int]] = {}
+    key_descs: Dict[str, tuple] = {}
     covered = 0
 
     for episode in iter_episodes(path):
@@ -211,7 +189,7 @@ def stream_session_stats(
     singletons = sum(1 for count in key_stats.values() if count == 1)
     in_episode_minutes = in_episode_ns / 1e9 / SECONDS_PER_MINUTE
     return SessionStats(
-        application=meta.get("application", "?"),
+        application=str(meta.get("application", "?")),
         e2e_s=e2e_ns / 1e9,
         in_episode_pct=(
             100.0 * in_episode_ns / e2e_ns if e2e_ns else 0.0

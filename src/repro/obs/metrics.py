@@ -15,7 +15,7 @@ Exports: :meth:`MetricsRegistry.as_dict` (JSON) and
 from __future__ import annotations
 
 import threading
-from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Mapping, Sequence, Tuple
 
 #: Default latency buckets, in milliseconds (upper bounds; +Inf implied).
 DEFAULT_MS_BUCKETS: Tuple[float, ...] = (

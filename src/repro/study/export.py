@@ -12,7 +12,6 @@ import csv
 from pathlib import Path
 from typing import List, Union
 
-from repro.core.statistics import SessionStats
 from repro.study import figures
 from repro.study.paper_data import TABLE3_COLUMNS
 from repro.study.runner import StudyResult

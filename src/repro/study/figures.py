@@ -7,11 +7,8 @@ layer (:mod:`repro.viz`) renders them, and the benchmarks print them.
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, List
 
-from repro.core.occurrence import Occurrence
-from repro.core.samples import ThreadState
-from repro.core.triggers import Trigger
 from repro.study.runner import StudyResult
 
 

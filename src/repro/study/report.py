@@ -9,7 +9,7 @@ from repro.core.samples import ThreadState
 from repro.core.triggers import Trigger
 from repro.study import figures, paper_data
 from repro.study.runner import StudyResult
-from repro.study.tables import format_table3, format_table3_row
+from repro.study.tables import format_table3_row
 from repro.viz.charts import (
     render_cdf_chart,
     render_dot_chart,

@@ -20,6 +20,7 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.core.api import AnalysisConfig
 from repro.core.errors import AnalysisError
+from repro.core.store import as_columnar
 from repro.core.trace import Trace
 from repro.obs import Observer
 from repro.obs import runtime as obs_runtime
@@ -143,6 +144,10 @@ def analyze_app(
                 seed=config.seed,
                 scale=config.scale,
             )
+    # Ship columns, not object trees: columnar-backed traces pickle
+    # smaller to map workers and analyses read the arrays directly.
+    # Content digests are unchanged, so cache keys stay stable.
+    traces = [as_columnar(trace) for trace in traces]
     analysis_config = config.analysis_config()
     if engine is None:
         engine = AnalysisEngine(workers=1, use_cache=False)

@@ -10,7 +10,7 @@ terminals and reports.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List
 
 from repro.core.episodes import DEFAULT_PERCEPTIBLE_MS
 from repro.core.occurrence import classify_pattern

@@ -11,7 +11,7 @@ Three chart families cover every figure of Section IV:
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Optional, Sequence
+from typing import Mapping, Optional, Sequence
 
 from repro.viz.colors import color_for_app
 from repro.viz.svg import SvgDocument

@@ -14,7 +14,7 @@ An episode sketch has three parts (Section II-B):
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import List, Optional
 
 from repro.core.episodes import Episode
 from repro.core.intervals import Interval, NS_PER_MS

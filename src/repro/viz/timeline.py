@@ -14,7 +14,7 @@ from __future__ import annotations
 import math
 from typing import Optional
 
-from repro.core.intervals import IntervalKind, NS_PER_MS, NS_PER_S
+from repro.core.intervals import IntervalKind, NS_PER_S
 from repro.core.trace import Trace
 from repro.viz.colors import INTERVAL_COLORS
 from repro.viz.svg import SvgDocument

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from typing import List, Optional, Sequence
 
-from repro.core.intervals import NS_PER_MS, IntervalKind
+from repro.core.intervals import IntervalKind
 from repro.core.samples import StackFrame, StackTrace, ThreadState
 from repro.vm.components import Component
 

@@ -11,7 +11,7 @@ single-threaded by design, as the paper notes), producing one
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Union
+from typing import List, Sequence, Union
 
 from repro.core.errors import SimulationError
 from repro.core.intervals import NS_PER_MS, NS_PER_S

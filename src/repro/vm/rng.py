@@ -11,7 +11,7 @@ from __future__ import annotations
 import hashlib
 import math
 import random
-from typing import List, Optional, Sequence, TypeVar
+from typing import List, Sequence, TypeVar
 
 T = TypeVar("T")
 

@@ -15,7 +15,7 @@ episodes; analyses never consult samples outside episodes.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
 from repro.core.samples import Sample, ThreadSample
 from repro.vm.threads import ThreadTimeline

@@ -11,7 +11,7 @@ by their activity models.
 from __future__ import annotations
 
 import bisect
-from typing import List, Optional, Tuple
+from typing import List, Tuple
 
 from repro.core.errors import SimulationError
 from repro.core.samples import EMPTY_STACK, StackTrace, ThreadState

@@ -7,7 +7,7 @@ from repro.core.errors import AnalysisError
 from repro.core.occurrence import OccurrenceSummary
 from repro.core.triggers import Trigger
 
-from helpers import dispatch, listener_iv, make_trace, simple_episode
+from helpers import dispatch, listener_iv, make_trace
 
 
 def _trace(application="TestApp"):

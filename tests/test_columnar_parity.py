@@ -1,0 +1,103 @@
+"""Text <-> binary ingestion parity over the golden corpus.
+
+Every golden trace is read through both encodings — the text file as
+checked in, and a binary round-trip of it — and the two paths must be
+indistinguishable: identical columnar content (canonical lines, hence
+content digest) and identical results from every registered analysis
+under several configurations. A third leg compares the columnar fast
+path against the materialized object path, so a drift in either the
+column kernels or the object algorithms breaks the bond here.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.core.api import AnalysisConfig, LagAlyzer
+from repro.core.export import analysis_to_dict
+from repro.lila.binary import write_trace_binary
+from repro.lila.digest import trace_digest
+from repro.lila.source import (
+    BinaryTraceSource,
+    TextTraceSource,
+    build_trace,
+)
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+GOLDEN_TRACES = sorted(GOLDEN_DIR.glob("*.lila"))
+
+CONFIGS = {
+    "default": AnalysisConfig(perceptible_threshold_ms=100.0),
+    "all-threads": AnalysisConfig(
+        perceptible_threshold_ms=100.0, all_dispatch_threads=True
+    ),
+    "with-gc": AnalysisConfig(
+        perceptible_threshold_ms=100.0, include_gc_in_patterns=True
+    ),
+    "low-threshold": AnalysisConfig(perceptible_threshold_ms=5.0),
+}
+
+
+def text_facade(path: Path):
+    return build_trace(TextTraceSource(path))
+
+
+def binary_facade(path: Path, tmp_path: Path):
+    """The same trace after a lossless detour through ``.lilb``."""
+    trace = text_facade(path)
+    binary_path = write_trace_binary(trace, tmp_path / (path.stem + ".lilb"))
+    return build_trace(BinaryTraceSource(binary_path))
+
+
+@pytest.fixture(params=GOLDEN_TRACES, ids=lambda path: path.stem)
+def golden_path(request):
+    return request.param
+
+
+def test_corpus_is_present():
+    assert GOLDEN_TRACES, "tests/golden holds no .lila traces"
+
+
+def test_binary_round_trip_is_columnar_identical(golden_path, tmp_path):
+    text = text_facade(golden_path)
+    binary = binary_facade(golden_path, tmp_path)
+    assert text.columnar.interval_count == binary.columnar.interval_count
+    assert text.columnar.sample_count == binary.columnar.sample_count
+    assert text.columnar.thread_order == binary.columnar.thread_order
+    assert text.columnar.canonical_lines() == binary.columnar.canonical_lines()
+    assert trace_digest(text) == trace_digest(binary)
+    # Parity was established without ever building the object graph.
+    assert text.is_materialized is False
+    assert binary.is_materialized is False
+
+
+def summary_of(trace, config) -> dict:
+    """Every analysis result of one trace, as comparable plain data."""
+    return analysis_to_dict(LagAlyzer.from_traces([trace], config=config))
+
+
+@pytest.mark.parametrize("config_name", sorted(CONFIGS))
+def test_all_analyses_agree_across_encodings(
+    golden_path, tmp_path, config_name
+):
+    config = CONFIGS[config_name]
+    text = text_facade(golden_path)
+    binary = binary_facade(golden_path, tmp_path)
+    assert summary_of(text, config) == summary_of(binary, config), (
+        f"analysis summaries drifted between encodings ({config_name})"
+    )
+
+
+@pytest.mark.parametrize("config_name", sorted(CONFIGS))
+def test_columnar_path_matches_object_path(golden_path, config_name):
+    """The column kernels and the object algorithms are one semantics."""
+    config = CONFIGS[config_name]
+    fast = text_facade(golden_path)
+    slow = text_facade(golden_path)
+    slow.thread_roots  # force materialization...
+    slow.columnar = None  # ...then hide the store from the dispatchers
+    assert summary_of(fast, config) == summary_of(slow, config), (
+        f"columnar and object analysis paths disagree ({config_name})"
+    )

@@ -2,11 +2,7 @@
 
 import pytest
 
-from repro.core.compare import (
-    ComparisonReport,
-    Verdict,
-    compare_tables,
-)
+from repro.core.compare import Verdict, compare_tables
 from repro.core.patterns import PatternTable
 
 from helpers import simple_episode

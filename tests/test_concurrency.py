@@ -2,11 +2,7 @@
 
 import pytest
 
-from repro.core.concurrency import (
-    ConcurrencySummary,
-    per_episode_means,
-    summarize,
-)
+from repro.core.concurrency import per_episode_means, summarize
 from repro.core.samples import ThreadState
 
 from helpers import dispatch, episode, gui_sample

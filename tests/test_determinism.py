@@ -9,7 +9,6 @@ caught immediately.
 
 import hashlib
 
-import pytest
 
 from repro import LagAlyzer, simulate_session
 from repro.core.patterns import pattern_key

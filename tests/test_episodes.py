@@ -19,7 +19,6 @@ from helpers import (
     episode,
     gc_iv,
     gui_sample,
-    listener_iv,
     ms,
     paint_iv,
     simple_episode,

@@ -9,7 +9,6 @@ import pytest
 
 from repro import LagAlyzer, simulate_session
 from repro.apps.sessions import simulate_sessions
-from repro.core.samples import ThreadState
 from repro.core.triggers import Trigger
 from repro.lila.reader import read_trace
 from repro.lila.writer import write_trace

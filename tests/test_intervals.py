@@ -11,7 +11,7 @@ from repro.core.intervals import (
     total_span_ns,
 )
 
-from helpers import dispatch, gc_iv, interval, listener_iv, ms, paint_iv
+from helpers import dispatch, gc_iv, interval, ms, paint_iv
 
 
 class TestIntervalKind:

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.core.lagstats import (
-    DurationBands,
     duration_bands,
     log_histogram,
     percentile,

@@ -12,7 +12,6 @@ from repro.lila.binary import (
 from repro.lila.writer import write_trace
 
 from helpers import (
-    GUI,
     dispatch,
     gc_iv,
     gui_sample,

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.core.errors import TraceFormatError
-from repro.core.intervals import IntervalKind
 from repro.core.samples import ThreadState
 from repro.lila.reader import read_trace, read_trace_lines
 from repro.lila.writer import trace_to_lines, write_trace
@@ -15,7 +14,6 @@ from helpers import (
     gui_sample,
     listener_iv,
     make_trace,
-    ms,
     paint_iv,
 )
 

@@ -1,8 +1,6 @@
 """Tests for the trace linter."""
 
-import pytest
 
-from repro.core.trace import Trace, TraceMetadata
 from repro.lila.validation import (
     Diagnostic,
     Severity,
@@ -10,7 +8,7 @@ from repro.lila.validation import (
     lint_trace,
 )
 
-from helpers import GUI, dispatch, gc_iv, gui_sample, listener_iv, make_trace, ms
+from helpers import dispatch, gc_iv, gui_sample, listener_iv, make_trace
 
 
 def _codes(diagnostics):

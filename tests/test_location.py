@@ -3,12 +3,7 @@
 import pytest
 
 from repro.core.intervals import IntervalKind
-from repro.core.location import (
-    LocationSummary,
-    episode_gc_native_ns,
-    summarize,
-)
-from repro.core.samples import StackFrame, ThreadState
+from repro.core.location import episode_gc_native_ns, summarize
 
 from helpers import (
     APP_FRAME,

@@ -6,7 +6,6 @@ an episode is the interval from the point where *a given thread* starts
 handling a GUI event until that thread finishes handling it.
 """
 
-import pytest
 
 from repro.core.api import AnalysisConfig, LagAlyzer
 from repro.core.trace import Trace, TraceMetadata

@@ -1,11 +1,9 @@
 """Property-based tests on the simulator's invariants."""
 
-import string
 
 from hypothesis import given, settings, strategies as st
 
-from repro.core.intervals import IntervalKind, NS_PER_MS
-from repro.core.samples import ThreadState
+from repro.core.intervals import IntervalKind
 from repro.vm.behavior import (
     Behavior,
     Block,

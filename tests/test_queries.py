@@ -6,14 +6,7 @@ from repro.core.intervals import IntervalKind
 from repro.core.queries import EpisodeQuery
 from repro.core.triggers import Trigger
 
-from helpers import (
-    dispatch,
-    episode,
-    gc_iv,
-    listener_iv,
-    paint_iv,
-    simple_episode,
-)
+from helpers import dispatch, episode, gc_iv, paint_iv, simple_episode
 
 
 @pytest.fixture()

@@ -3,12 +3,9 @@
 import pytest
 
 from repro.core.samples import (
-    DEFAULT_LIBRARY_PREFIXES,
     EMPTY_STACK,
-    Sample,
     StackFrame,
     StackTrace,
-    ThreadSample,
     ThreadState,
     samples_in_range,
 )

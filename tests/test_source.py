@@ -1,0 +1,241 @@
+"""The :mod:`repro.lila.source` streaming layer: records and errors.
+
+Covers the record-stream contract shared by every reader — text file,
+in-memory lines, and binary — plus the provenance contract: every
+ingestion failure surfaces as :class:`TraceFormatError` stamped with
+the source's path and line (text) or byte offset (binary).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import TraceFormatError
+from repro.core.intervals import IntervalKind
+from repro.core.samples import ThreadState
+from repro.core.store import (
+    REC_CLOSE,
+    REC_ENTRY,
+    REC_FILTERED,
+    REC_GC,
+    REC_META,
+    REC_OPEN,
+    REC_THREAD,
+    REC_TICK,
+)
+from repro.faults import runtime as faults_runtime
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan, FaultRule
+from repro.lila.binary import write_trace_binary
+from repro.lila.source import (
+    BinaryTraceSource,
+    LinesTraceSource,
+    TextTraceSource,
+    build_store,
+    build_trace,
+    open_source,
+)
+from repro.obs import runtime as obs_runtime
+from repro.obs.observer import Observer
+
+from helpers import dispatch, listener_iv, make_trace
+
+TINY = """\
+#%lila 1
+M application App
+M session_id s0
+M start_ns 0
+M end_ns 100000000
+M gui_thread gui
+M x.build nightly
+F 2
+T gui
+O 1000000 dispatch java.awt.EventQueue#dispatchEvent
+O 2000000 listener app.Editor#run
+C 5000000
+C 10000000
+G 12000000 13000000 gc.Coll#minor
+P 3000000
+t gui runnable app.Editor#run;java.awt.EventQueue#dispatchEvent
+"""
+
+
+def tiny_lines():
+    return TINY.splitlines()
+
+
+# ----------------------------------------------------------------------
+# Record stream shape
+# ----------------------------------------------------------------------
+
+
+class TestRecordStream:
+    def test_lines_source_yields_expected_records(self):
+        records = list(LinesTraceSource(tiny_lines()).records())
+        tags = [record[0] for record in records]
+        assert tags == [
+            REC_META, REC_META, REC_META, REC_META, REC_META, REC_META,
+            REC_FILTERED, REC_THREAD, REC_OPEN, REC_OPEN, REC_CLOSE,
+            REC_CLOSE, REC_GC, REC_TICK, REC_ENTRY,
+        ]
+        assert records[0] == (REC_META, "application", "App", False)
+        assert records[5] == (REC_META, "build", "nightly", True)
+        assert records[6] == (REC_FILTERED, 2)
+        assert records[7] == (REC_THREAD, "gui")
+        tag, start_ns, kind, symbol = records[8]
+        assert (start_ns, kind) == (1_000_000, IntervalKind.DISPATCH)
+        assert symbol == "java.awt.EventQueue#dispatchEvent"
+        assert records[10] == (REC_CLOSE, 5_000_000)
+        tag, t0, t1, gc_symbol = records[12]
+        assert (t0, t1) == (12_000_000, 13_000_000)
+        assert records[13] == (REC_TICK, 3_000_000)
+        tag, thread, state, stack = records[14]
+        assert (thread, state) == ("gui", ThreadState.RUNNABLE)
+        assert [frame.method_name for frame in stack.frames] == [
+            "run", "dispatchEvent"
+        ]
+
+    def test_text_file_matches_lines_source(self, tmp_path):
+        path = tmp_path / "t.lila"
+        path.write_text(TINY, encoding="utf-8")
+        from_file = list(TextTraceSource(path).records())
+        from_lines = list(LinesTraceSource(tiny_lines()).records())
+        assert from_file == from_lines
+
+    def test_binary_source_streams_equivalent_records(self, tmp_path):
+        trace = make_trace(
+            [dispatch(0, 50, [listener_iv("a.B#c", 0, 40)])]
+        )
+        path = write_trace_binary(trace, tmp_path / "t.lilb")
+        store = build_store(BinaryTraceSource(path))
+        assert store.interval_count == 2
+        rebuilt = store.to_trace().metadata
+        assert rebuilt.application == trace.metadata.application
+        assert rebuilt.session_id == trace.metadata.session_id
+        assert (rebuilt.start_ns, rebuilt.end_ns) == (
+            trace.metadata.start_ns, trace.metadata.end_ns
+        )
+
+    def test_open_source_autodetects_encoding(self, tmp_path):
+        text_path = tmp_path / "t.lila"
+        text_path.write_text(TINY, encoding="utf-8")
+        trace = make_trace([dispatch(0, 50)])
+        binary_path = write_trace_binary(trace, tmp_path / "t.lilb")
+        assert isinstance(open_source(text_path), TextTraceSource)
+        assert isinstance(open_source(binary_path), BinaryTraceSource)
+
+    def test_labels(self, tmp_path):
+        path = tmp_path / "session.lila"
+        path.write_text(TINY, encoding="utf-8")
+        assert TextTraceSource(path).label() == "session.lila"
+        assert LinesTraceSource([]).label() == "<lines>"
+
+
+# ----------------------------------------------------------------------
+# Error provenance
+# ----------------------------------------------------------------------
+
+
+class TestErrorProvenance:
+    def damage(self, line_index, replacement):
+        lines = tiny_lines()
+        lines[line_index] = replacement
+        return lines
+
+    def test_text_error_carries_path_and_line(self, tmp_path):
+        path = tmp_path / "bad.lila"
+        path.write_text(
+            "\n".join(self.damage(9, "O nonsense dispatch a#b")) + "\n",
+            encoding="utf-8",
+        )
+        with pytest.raises(TraceFormatError) as info:
+            build_store(TextTraceSource(path))
+        error = info.value
+        assert error.path == path
+        assert error.line == 10
+        assert error.locate() == f"{path}:10"
+        assert "line 10" in str(error)
+
+    def test_lines_error_has_no_path(self):
+        with pytest.raises(TraceFormatError) as info:
+            build_store(
+                LinesTraceSource(self.damage(10, "O 2000000 bogus a#b"))
+            )
+        error = info.value
+        assert error.path is None
+        assert error.line == 11
+        assert "unknown interval kind" in str(error)
+
+    def test_unknown_thread_state_is_line_stamped(self):
+        with pytest.raises(TraceFormatError) as info:
+            build_store(
+                LinesTraceSource(self.damage(15, "t gui R a.B#c"))
+            )
+        assert info.value.line == 16
+        assert "unknown thread state" in str(info.value)
+
+    def test_nesting_violation_is_line_stamped(self):
+        # A close with no matching open is a nesting violation raised by
+        # the builder; text sources re-type it with the line it hit.
+        lines = tiny_lines()
+        lines.insert(9, "C 500000")
+        with pytest.raises(TraceFormatError) as info:
+            build_store(LinesTraceSource(lines))
+        assert info.value.line == 10
+
+    def test_truncated_file_fails_without_line(self):
+        # Damage only discoverable at end of stream (an unclosed
+        # interval) is typed but not pinned to a line.
+        lines = tiny_lines()[:10]
+        with pytest.raises(TraceFormatError) as info:
+            build_store(LinesTraceSource(lines))
+        assert info.value.line is None
+
+    def test_binary_error_carries_offset(self, tmp_path):
+        trace = make_trace([dispatch(0, 50)])
+        path = write_trace_binary(trace, tmp_path / "t.lilb")
+        data = path.read_bytes()
+        truncated = tmp_path / "cut.lilb"
+        truncated.write_bytes(data[: len(data) - 6])
+        with pytest.raises(TraceFormatError) as info:
+            build_store(BinaryTraceSource(truncated))
+        error = info.value
+        assert error.path == truncated
+        assert error.offset is not None
+        assert error.locate() == f"{truncated}:@{error.offset}"
+
+    def test_fault_injected_damage_surfaces_as_format_error(self, tmp_path):
+        path = tmp_path / "s.lila"
+        path.write_text(TINY, encoding="utf-8")
+        plan = FaultPlan(
+            seed=1,
+            rules=(
+                FaultRule(kind="trace_garbled", at=(path.name,)),
+            ),
+        )
+        with faults_runtime.installed(FaultInjector(plan)):
+            with pytest.raises(TraceFormatError) as info:
+                build_store(TextTraceSource(path, faults=True))
+        assert info.value.line is not None
+
+
+# ----------------------------------------------------------------------
+# The driver
+# ----------------------------------------------------------------------
+
+
+class TestBuildStore:
+    def test_build_trace_returns_lazy_facade(self):
+        trace = build_trace(LinesTraceSource(tiny_lines()))
+        assert trace.is_materialized is False
+        assert trace.metadata.application == "App"
+        assert trace.short_episode_count == 2
+
+    def test_obs_metrics_record_stream_and_store_size(self):
+        observer = Observer()
+        with obs_runtime.installed(observer):
+            store = build_store(LinesTraceSource(tiny_lines()))
+        registry = observer.metrics
+        assert registry.counter_value("lila.records_streamed") == 15
+        assert registry.gauge("store.bytes").value == store.nbytes
+        assert store.nbytes > 0

@@ -1,6 +1,5 @@
 """Tests for the text pattern browser."""
 
-import pytest
 
 from repro.core.patterns import PatternTable
 from repro.viz.browser import render_episode_list, render_pattern_browser

@@ -1,6 +1,5 @@
 """Tests for the chart renderers."""
 
-import pytest
 
 from repro.viz.charts import (
     render_cdf_chart,

@@ -1,6 +1,5 @@
 """Tests for the episode-sketch renderer."""
 
-import pytest
 
 from repro.core.samples import ThreadState
 from repro.viz.colors import INTERVAL_COLORS, STATE_COLORS

@@ -1,6 +1,5 @@
 """Unit tests for the SVG builder."""
 
-import pytest
 
 from repro.viz.svg import SvgDocument
 

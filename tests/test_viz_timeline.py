@@ -1,6 +1,5 @@
 """Tests for the session-timeline renderer."""
 
-import pytest
 
 from repro.viz.timeline import render_session_timeline
 

@@ -15,7 +15,6 @@ from repro.vm.behavior import (
     Sleep,
     Wait,
     async_dispatch,
-    edt_stack,
     java_stack,
     listener,
     native_stack,

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core.errors import SimulationError
-from repro.vm.heap import GcRequest, Heap, HeapConfig
+from repro.vm.heap import Heap, HeapConfig
 from repro.vm.rng import RngStream
 
 
