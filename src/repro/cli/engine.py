@@ -38,18 +38,69 @@ def _cmd_engine_cache(args: argparse.Namespace) -> int:
         )
         return 2
     entries = cache.entry_count()
+    bundles = cache.bundle_count()
     total = stats.hits + stats.misses
     hit_pct = 100.0 * stats.hits / total if total else 0.0
+    bundle_total = stats.bundle_hits + stats.bundle_misses
+    bundle_hit_pct = (
+        100.0 * stats.bundle_hits / bundle_total if bundle_total else 0.0
+    )
     print(f"cache dir:    {cache.root}")
     print(f"code version: {CODE_VERSION}")
-    print(f"entries:      {entries} ({cache.total_bytes()} bytes)")
-    print(f"hits:         {stats.hits}")
-    print(f"misses:       {stats.misses}")
-    print(f"stores:       {stats.stores}")
+    # Fused bundles and legacy per-analysis entries are different
+    # granularities (one bundle holds a whole plan's partials for one
+    # trace), so they are reported separately, never lumped.
+    print(f"entries:      {entries} per-analysis ({cache.total_bytes()} bytes)"
+          f" + {bundles} fused bundles ({cache.bundle_bytes()} bytes)")
+    print("per-analysis entries:")
+    print(f"  hits:         {stats.hits}")
+    print(f"  misses:       {stats.misses}")
+    print(f"  stores:       {stats.stores}")
+    print(f"  hit rate:     {hit_pct:.1f}%")
+    print("fused bundles:")
+    print(f"  hits:         {stats.bundle_hits}")
+    print(f"  misses:       {stats.bundle_misses}")
+    print(f"  stores:       {stats.bundle_stores}")
+    print(f"  hit rate:     {bundle_hit_pct:.1f}%")
     print(f"discarded:    {stats.discarded} (failed integrity check)")
     print(f"write errors: {stats.write_errors}")
     print(f"read errors:  {stats.read_errors}")
-    print(f"hit rate:     {hit_pct:.1f}%")
+    return 0
+
+
+def _cmd_engine_plan(args: argparse.Namespace) -> int:
+    """``engine plan explain``: print the fused plan for an analysis set.
+
+    Shows the operators in execution order, which shared stages each
+    one requests (stages marked ``*`` are requested by two or more
+    operators and therefore computed once per trace instead of once
+    per analysis), and the plan fingerprint that keys the fused-bundle
+    cache entries.
+    """
+    from repro.core.analyses import REGISTRY
+    from repro.core.errors import AnalysisError
+    from repro.core.plan import build_plan
+
+    if args.analyses:
+        names = []
+        for chunk in args.analyses:
+            names.extend(
+                part.strip() for part in chunk.split(",") if part.strip()
+            )
+    else:
+        names = list(REGISTRY)
+    try:
+        plan = build_plan(names)
+    except AnalysisError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    for line in plan.describe():
+        print(line)
+    print(f"plan fingerprint: {plan.fingerprint()}")
+    print(
+        "bundle cache key: sha256(bundle, trace digest, config "
+        "fingerprint, plan fingerprint, code version)"
+    )
     return 0
 
 
@@ -151,6 +202,19 @@ def register(sub: argparse._SubParsersAction) -> None:
     p_ec.add_argument("action", choices=("stats", "clear"))
     add_cache_dir(p_ec)
     p_ec.set_defaults(func=_cmd_engine_cache)
+    p_ep = en_sub.add_parser(
+        "plan", help="inspect fused analysis plans"
+    )
+    p_ep.add_argument("action", choices=("explain",))
+    p_ep.add_argument(
+        "--analyses",
+        nargs="+",
+        default=None,
+        metavar="NAME",
+        help="analysis names (space- or comma-separated); default: all "
+             "registered analyses",
+    )
+    p_ep.set_defaults(func=_cmd_engine_plan)
     p_ef = en_sub.add_parser(
         "faults", help="fault-injection tooling (see docs/fault_injection.md)"
     )

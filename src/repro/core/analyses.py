@@ -23,6 +23,16 @@ Analyses that distinguish the perceptible-only episode population
 cached map serves ``perceptible_only=True`` and ``False`` alike; the
 flag is applied at reduce time.
 
+Since the fused-plan refactor every analysis implements its map as
+``map_context(ctx)`` over a :class:`~repro.core.plan.StageContext`, and
+``map_trace`` merely delegates through a fresh single-use context.
+Shared prefixes — the episode split, the pattern-key tally — are
+requested from the context, so when several analyses run as one
+:class:`~repro.core.plan.AnalysisPlan` each prefix is computed exactly
+once per trace and reused; run alone, the same code computes the same
+stages into a private context. Fused and per-analysis partials are
+therefore byte-identical by construction.
+
 The :data:`REGISTRY` maps stable analysis names to their instances;
 :meth:`~repro.core.api.LagAlyzer.summary` and the engine look analyses
 up by name. Downstream users add their own axis with :func:`register`.
@@ -48,10 +58,7 @@ from repro.core import location as location_mod
 from repro.core import threadstates as threadstates_mod
 from repro.core import triggers as triggers_mod
 from repro.core.concurrency import ConcurrencySummary
-from repro.core.episodes import (
-    split_episodes as _split_episodes,
-    trace_episodes,
-)
+from repro.core.episodes import trace_episodes  # noqa: F401  (re-exported; api.py uses it)
 from repro.core.errors import AnalysisError
 from repro.core.location import LocationSummary
 from repro.core.occurrence import Occurrence, OccurrenceSummary
@@ -61,22 +68,12 @@ from repro.core.patterns import (
     key_descendant_count,
     pattern_key,
 )
+from repro.core.plan import StageContext
 from repro.core.statistics import SessionStats, average_stats, session_stats
+from repro.core.store import kernels as store_kernels
 from repro.core.threadstates import ThreadStateSummary
 from repro.core.trace import Trace
 from repro.core.triggers import TriggerSummary
-
-
-def _columnar_store(trace: Trace, config: Any):
-    """The trace's columnar store, when the analysis can run on columns.
-
-    Column-backed traces (anything loaded through a
-    :class:`~repro.lila.source.TraceSource`) expose a ``columnar``
-    attribute; per-episode analyses then read the parallel arrays
-    directly and never materialize the object facade. Returns ``None``
-    for plain object-graph traces, which keep the classic path.
-    """
-    return getattr(trace, "columnar", None)
 
 
 @runtime_checkable
@@ -91,6 +88,9 @@ class Analysis(Protocol):
 
     name: str
     supports_perceptible_only: bool
+
+    def map_context(self, ctx: StageContext) -> Any:
+        ...
 
     def map_trace(self, trace: Trace, config: Any) -> Any:
         ...
@@ -108,13 +108,29 @@ class Analysis(Protocol):
 
 
 class MapReduceAnalysis:
-    """Base class: ``summarize`` as the serial map–reduce composition."""
+    """Base class: ``summarize`` as the serial map–reduce composition.
+
+    Subclasses implement :meth:`map_context` as their *only* map code;
+    :meth:`map_trace` wraps the trace in a fresh single-use
+    :class:`~repro.core.plan.StageContext`, which makes the classic
+    per-analysis path a degenerate fused plan of size one — the fused
+    executor runs literally the same code, just through a shared
+    context.
+    """
 
     name: str = ""
     supports_perceptible_only: bool = False
+    #: Names of the shared stages this analysis's map requests from its
+    #: context (informational: surfaced by ``engine plan explain`` and
+    #: folded into plan descriptions; execution shares via the context
+    #: memo regardless).
+    shared_stages: Tuple[str, ...] = ()
+
+    def map_context(self, ctx: StageContext) -> Any:
+        raise NotImplementedError
 
     def map_trace(self, trace: Trace, config: Any) -> Any:
-        raise NotImplementedError
+        return self.map_context(StageContext(trace, config))
 
     def reduce(self, partials: Sequence[Any], perceptible_only: bool = False) -> Any:
         raise NotImplementedError
@@ -165,18 +181,17 @@ class TriggerAnalysis(MapReduceAnalysis):
 
     name = "triggers"
     supports_perceptible_only = True
+    shared_stages = ("episode_split",)
 
-    def map_trace(self, trace: Trace, config: Any) -> DualPartial:
-        store = _columnar_store(trace, config)
-        if store is not None:
-            rows, perceptible_rows = store.split_episode_rows(config)
+    def map_context(self, ctx: StageContext) -> DualPartial:
+        population, perceptible = ctx.episode_split()
+        if ctx.store is not None:
             return DualPartial(
-                all=store.trigger_summary(rows),
-                perceptible=store.trigger_summary(perceptible_rows),
+                all=ctx.store.trigger_summary(population),
+                perceptible=ctx.store.trigger_summary(perceptible),
             )
-        episodes, perceptible = _split_episodes(trace, config)
         return DualPartial(
-            all=triggers_mod.summarize(episodes),
+            all=triggers_mod.summarize(population),
             perceptible=triggers_mod.summarize(perceptible),
         )
 
@@ -196,18 +211,17 @@ class ThreadStateAnalysis(MapReduceAnalysis):
 
     name = "threadstates"
     supports_perceptible_only = True
+    shared_stages = ("episode_split",)
 
-    def map_trace(self, trace: Trace, config: Any) -> DualPartial:
-        store = _columnar_store(trace, config)
-        if store is not None:
-            rows, perceptible_rows = store.split_episode_rows(config)
+    def map_context(self, ctx: StageContext) -> DualPartial:
+        population, perceptible = ctx.episode_split()
+        if ctx.store is not None:
             return DualPartial(
-                all=store.threadstate_summary(rows),
-                perceptible=store.threadstate_summary(perceptible_rows),
+                all=ctx.store.threadstate_summary(population),
+                perceptible=ctx.store.threadstate_summary(perceptible),
             )
-        episodes, perceptible = _split_episodes(trace, config)
         return DualPartial(
-            all=threadstates_mod.summarize(episodes),
+            all=threadstates_mod.summarize(population),
             perceptible=threadstates_mod.summarize(perceptible),
         )
 
@@ -227,18 +241,17 @@ class ConcurrencyAnalysis(MapReduceAnalysis):
 
     name = "concurrency"
     supports_perceptible_only = True
+    shared_stages = ("episode_split",)
 
-    def map_trace(self, trace: Trace, config: Any) -> DualPartial:
-        store = _columnar_store(trace, config)
-        if store is not None:
-            rows, perceptible_rows = store.split_episode_rows(config)
+    def map_context(self, ctx: StageContext) -> DualPartial:
+        population, perceptible = ctx.episode_split()
+        if ctx.store is not None:
             return DualPartial(
-                all=store.concurrency_summary(rows),
-                perceptible=store.concurrency_summary(perceptible_rows),
+                all=ctx.store.concurrency_summary(population),
+                perceptible=ctx.store.concurrency_summary(perceptible),
             )
-        episodes, perceptible = _split_episodes(trace, config)
         return DualPartial(
-            all=concurrency_mod.summarize(episodes),
+            all=concurrency_mod.summarize(population),
             perceptible=concurrency_mod.summarize(perceptible),
         )
 
@@ -258,19 +271,18 @@ class LocationAnalysis(MapReduceAnalysis):
 
     name = "location"
     supports_perceptible_only = True
+    shared_stages = ("episode_split",)
 
-    def map_trace(self, trace: Trace, config: Any) -> DualPartial:
-        prefixes = config.library_prefixes
-        store = _columnar_store(trace, config)
-        if store is not None:
-            rows, perceptible_rows = store.split_episode_rows(config)
+    def map_context(self, ctx: StageContext) -> DualPartial:
+        prefixes = ctx.config.library_prefixes
+        population, perceptible = ctx.episode_split()
+        if ctx.store is not None:
             return DualPartial(
-                all=store.location_summary(rows, prefixes),
-                perceptible=store.location_summary(perceptible_rows, prefixes),
+                all=ctx.store.location_summary(population, prefixes),
+                perceptible=ctx.store.location_summary(perceptible, prefixes),
             )
-        episodes, perceptible = _split_episodes(trace, config)
         return DualPartial(
-            all=location_mod.summarize(episodes, library_prefixes=prefixes),
+            all=location_mod.summarize(population, library_prefixes=prefixes),
             perceptible=location_mod.summarize(
                 perceptible, library_prefixes=prefixes
             ),
@@ -311,20 +323,27 @@ class PatternCountsPartial:
     excluded: int
 
 
-def _mine_counts(trace: Trace, config: Any) -> PatternCountsPartial:
-    store = _columnar_store(trace, config)
-    if store is not None:
-        counts, excluded = store.pattern_counts(
-            threshold_ms=config.perceptible_threshold_ms,
-            include_gc=config.include_gc_in_patterns,
-            all_dispatch_threads=config.all_dispatch_threads,
+def _mine_counts(ctx: StageContext) -> PatternCountsPartial:
+    """Pattern tallies of one trace, via the context's shared stages.
+
+    Columnar traces share one :meth:`~repro.core.plan.StageContext.pattern_counts`
+    tally keyed by the mining parameters; object traces share the
+    episode split and walk the episode list exactly as before.
+    """
+    config = ctx.config
+    if ctx.store is not None:
+        counts, excluded = ctx.pattern_counts(
+            config.perceptible_threshold_ms,
+            config.include_gc_in_patterns,
+            config.all_dispatch_threads,
         )
         return PatternCountsPartial(counts=counts, excluded=excluded)
     counts: Dict[str, Tuple[int, int]] = {}
     excluded = 0
     threshold = config.perceptible_threshold_ms
     include_gc = config.include_gc_in_patterns
-    for episode in trace_episodes(trace, config):
+    episodes, _perceptible = ctx.episode_split()
+    for episode in episodes:
         if not episode.has_structure:
             excluded += 1
             continue
@@ -360,9 +379,10 @@ class OccurrenceAnalysis(MapReduceAnalysis):
 
     name = "occurrence"
     supports_perceptible_only = False
+    shared_stages = ("pattern_counts", "episode_split")
 
-    def map_trace(self, trace: Trace, config: Any) -> PatternCountsPartial:
-        return _mine_counts(trace, config)
+    def map_context(self, ctx: StageContext) -> PatternCountsPartial:
+        return _mine_counts(ctx)
 
     def reduce(
         self,
@@ -414,9 +434,10 @@ class PatternStatsAnalysis(MapReduceAnalysis):
 
     name = "patterns"
     supports_perceptible_only = False
+    shared_stages = ("pattern_counts", "episode_split")
 
-    def map_trace(self, trace: Trace, config: Any) -> PatternCountsPartial:
-        return _mine_counts(trace, config)
+    def map_context(self, ctx: StageContext) -> PatternCountsPartial:
+        return _mine_counts(ctx)
 
     def reduce(
         self,
@@ -466,9 +487,20 @@ class StatisticsAnalysis(MapReduceAnalysis):
 
     name = "statistics"
     supports_perceptible_only = False
+    shared_stages = ("pattern_counts",)
 
-    def map_trace(self, trace: Trace, config: Any) -> SessionStats:
-        return session_stats(trace, config.perceptible_threshold_ms)
+    def map_context(self, ctx: StageContext) -> SessionStats:
+        threshold = ctx.config.perceptible_threshold_ms
+        if ctx.store is not None:
+            # The Table III row always mines the GUI thread with GC
+            # elided; request that tally through the context so one
+            # pass serves statistics, occurrence, and pattern mining
+            # whenever the config matches those defaults.
+            counts = ctx.pattern_counts(threshold, False, False)
+            return store_kernels.session_stats_row(
+                ctx.store, threshold, precomputed_counts=counts
+            )
+        return session_stats(ctx.trace, threshold)
 
     def reduce(
         self,

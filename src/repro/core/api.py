@@ -258,6 +258,49 @@ class LagAlyzer:
                     self.traces, self.config, perceptible_only=perceptible_only
                 )
 
+    def summaries(
+        self,
+        names: Optional[Sequence[str]] = None,
+        engine: Optional[Any] = None,
+    ) -> dict:
+        """Summaries of several analyses from **one fused pass per trace**.
+
+        The requested ``names`` (default: every registered analysis, in
+        registration order) are compiled into one
+        :class:`~repro.core.plan.AnalysisPlan`; each trace is then
+        mapped once, with shared stages (the episode split, pattern
+        tallies) computed a single time and reused by every analysis
+        that needs them. Results are byte-identical to calling
+        :meth:`summary` once per name — just without re-scanning each
+        trace N times.
+
+        With an :class:`~repro.engine.AnalysisEngine` the fused passes
+        additionally run through its worker pool and bundle cache
+        (``engine.summarize_all``); without one they run serially
+        in-process.
+        """
+        if names is None:
+            names = tuple(analyses_mod.REGISTRY)
+        if engine is not None:
+            return engine.summarize_all(names, self.traces, self.config)
+        from repro.core.plan import build_plan
+
+        plan = build_plan(names)
+        with obs_runtime.installed(self.obs):
+            with obs_runtime.maybe_span(
+                "api.summaries", analyses=len(plan.operators),
+                traces=len(self.traces),
+            ):
+                per_trace = [
+                    plan.execute(trace, self.config) for trace in self.traces
+                ]
+                return {
+                    name: analyses_mod.get_analysis(name).reduce(
+                        [partials[name] for partials in per_trace]
+                    )
+                    for name in plan.names
+                }
+
     def occurrence_summary(self) -> OccurrenceSummary:
         """Always/sometimes/once/never distribution over patterns (Fig 4)."""
         return self.summary("occurrence")

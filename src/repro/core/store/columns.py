@@ -1,0 +1,320 @@
+"""Column containers: the record vocabulary and the parallel arrays.
+
+This module holds the *data* half of the columnar store — the
+``REC_*`` record vocabulary every :class:`~repro.lila.source.TraceSource`
+yields, the stable integer codes for the enum vocabularies, the
+per-thread :class:`_ThreadColumns` arrays, and :class:`ColumnarTrace`
+itself (construction, pickling, size accounting, and episode
+enumeration). The analysis kernels that *read* the columns live in
+:mod:`repro.core.store.kernels`; the lazy ``Trace`` facade in
+:mod:`repro.core.store.facade`; the streaming builder in
+:mod:`repro.core.store.build`.
+"""
+
+from __future__ import annotations
+
+from array import array
+from bisect import bisect_left
+from typing import Any, Dict, List, Tuple
+
+from repro.core.intervals import IntervalKind, NS_PER_MS
+from repro.core.samples import StackTrace, ThreadState
+from repro.core.trace import Trace, TraceMetadata
+
+# ----------------------------------------------------------------------
+# The record vocabulary every TraceSource yields.
+# ----------------------------------------------------------------------
+
+REC_META = 0
+"""``(REC_META, key, value, is_extra)`` — one metadata entry."""
+REC_FILTERED = 1
+"""``(REC_FILTERED, count)`` — episodes filtered at trace time."""
+REC_THREAD = 2
+"""``(REC_THREAD, name)`` — start (or resumption) of a thread section."""
+REC_OPEN = 3
+"""``(REC_OPEN, start_ns, kind, symbol)`` — open an interval."""
+REC_CLOSE = 4
+"""``(REC_CLOSE, end_ns)`` — close the innermost open interval."""
+REC_GC = 5
+"""``(REC_GC, start_ns, end_ns, symbol)`` — a complete GC interval."""
+REC_TICK = 6
+"""``(REC_TICK, ns)`` — a sampling tick."""
+REC_ENTRY = 7
+"""``(REC_ENTRY, thread_name, state, stack)`` — one thread's tick entry."""
+
+_REQUIRED_META = (
+    "application",
+    "session_id",
+    "start_ns",
+    "end_ns",
+    "gui_thread",
+)
+
+#: Stable integer codes for the enum vocabularies (enumeration order,
+#: identical to the binary encoding's codes).
+_KIND_CODES: Dict[IntervalKind, int] = {
+    kind: index for index, kind in enumerate(IntervalKind)
+}
+_KINDS: List[IntervalKind] = list(IntervalKind)
+_KIND_VALUES: List[str] = [kind.value for kind in IntervalKind]
+_STATE_CODES: Dict[ThreadState, int] = {
+    state: index for index, state in enumerate(ThreadState)
+}
+_STATES: List[ThreadState] = list(ThreadState)
+
+_DISPATCH_CODE = _KIND_CODES[IntervalKind.DISPATCH]
+_GC_CODE = _KIND_CODES[IntervalKind.GC]
+_NATIVE_CODE = _KIND_CODES[IntervalKind.NATIVE]
+_LISTENER_CODE = _KIND_CODES[IntervalKind.LISTENER]
+_PAINT_CODE = _KIND_CODES[IntervalKind.PAINT]
+_ASYNC_CODE = _KIND_CODES[IntervalKind.ASYNC]
+_TRIGGER_CODES = (_LISTENER_CODE, _PAINT_CODE, _ASYNC_CODE)
+_RUNNABLE_CODE = _STATE_CODES[ThreadState.RUNNABLE]
+
+
+class _ThreadColumns:
+    """One thread's interval rows as parallel arrays (rows in pre-order)."""
+
+    __slots__ = ("name", "start", "end", "kind", "symbol", "parent", "size",
+                 "root_rows")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.start = array("q")
+        self.end = array("q")
+        self.kind = array("b")
+        self.symbol = array("i")
+        self.parent = array("i")
+        self.size = array("i")
+        self.root_rows = array("i")
+
+    def __len__(self) -> int:
+        return len(self.start)
+
+    @property
+    def nbytes(self) -> int:
+        return sum(
+            len(column) * column.itemsize
+            for column in (self.start, self.end, self.kind, self.symbol,
+                           self.parent, self.size, self.root_rows)
+        )
+
+
+class ColumnarTrace:
+    """One session trace stored as columns (see the package docstring).
+
+    Instances are immutable once built (like :class:`Trace`); every
+    accessor is safe to call from any number of analyses, and caches on
+    the instance never need invalidation. The analysis kernels
+    (pattern mining, triggers, thread states, concurrency, location,
+    session statistics) are implemented as functions over the columns in
+    :mod:`repro.core.store.kernels`; the methods here are thin
+    delegations kept for API stability.
+    """
+
+    def __init__(
+        self,
+        metadata: TraceMetadata,
+        strings: List[str],
+        strings_map: Dict[str, int],
+        threads: List[_ThreadColumns],
+        thread_map: Dict[str, int],
+        sample_ts: "array[int]",
+        sample_offsets: "array[int]",
+        entry_thread: "array[int]",
+        entry_state: "array[int]",
+        entry_stack: "array[int]",
+        sample_runnable: "array[int]",
+        stacks: List[StackTrace],
+        short_episode_count: int = 0,
+    ) -> None:
+        self.metadata = metadata
+        self.strings = strings
+        self._strings_map = strings_map
+        self.threads = threads
+        self._thread_map = thread_map
+        self.sample_ts = sample_ts
+        self.sample_offsets = sample_offsets
+        self.entry_thread = entry_thread
+        self.entry_state = entry_state
+        self.entry_stack = entry_stack
+        self.sample_runnable = sample_runnable
+        self.stacks = stacks
+        self.short_episode_count = short_episode_count
+        self._episode_rows_cache: Dict[bool, List[Tuple[int, int, int, int, int]]] = {}
+        self._key_cache: Dict[Tuple[int, int, bool], str] = {}
+
+    # -- pickling: drop derived caches, ship only the columns ----------
+
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        state["_episode_rows_cache"] = {}
+        state["_key_cache"] = {}
+        return state
+
+    # ------------------------------------------------------------------
+    # Size accounting
+    # ------------------------------------------------------------------
+
+    @property
+    def interval_count(self) -> int:
+        return sum(len(columns) for columns in self.threads)
+
+    @property
+    def sample_count(self) -> int:
+        return len(self.sample_ts)
+
+    @property
+    def thread_order(self) -> List[str]:
+        """Thread names in first-appearance (T record) order."""
+        return [columns.name for columns in self.threads]
+
+    @property
+    def nbytes(self) -> int:
+        """Approximate resident size of the columns (not the facade)."""
+        total = sum(columns.nbytes for columns in self.threads)
+        for arr in (self.sample_ts, self.sample_offsets, self.entry_thread,
+                    self.entry_state, self.entry_stack, self.sample_runnable):
+            total += len(arr) * arr.itemsize
+        total += sum(len(text) for text in self.strings)
+        return total
+
+    # ------------------------------------------------------------------
+    # Episode enumeration (columnar twin of Trace episode splitting)
+    # ------------------------------------------------------------------
+
+    def episode_rows(
+        self, all_dispatch_threads: bool = False
+    ) -> List[Tuple[int, int, int, int, int]]:
+        """Episode descriptors ``(thread_idx, row, index, start, end)``.
+
+        With ``all_dispatch_threads`` False, only the GUI thread's
+        episodes; otherwise every dispatch thread's, merged in time
+        order with the same (stable) sort the object model uses.
+        """
+        cached = self._episode_rows_cache.get(all_dispatch_threads)
+        if cached is not None:
+            return cached
+        gui = self.metadata.gui_thread
+        merged: List[Tuple[int, int, int, int, int]] = []
+        for thread_idx, columns in enumerate(self.threads):
+            if not all_dispatch_threads and columns.name != gui:
+                continue
+            index = 0
+            kind = columns.kind
+            start = columns.start
+            end = columns.end
+            for row in columns.root_rows:
+                if kind[row] != _DISPATCH_CODE:
+                    continue
+                merged.append((thread_idx, row, index, start[row], end[row]))
+                index += 1
+        if all_dispatch_threads:
+            merged.sort(key=lambda item: item[3])
+        self._episode_rows_cache[all_dispatch_threads] = merged
+        return merged
+
+    def split_episode_rows(self, config: Any) -> Tuple[list, list]:
+        """(all episode rows, perceptible episode rows) under ``config``."""
+        rows = self.episode_rows(
+            all_dispatch_threads=config.all_dispatch_threads
+        )
+        threshold = config.perceptible_threshold_ms
+        perceptible = [
+            item for item in rows
+            if (item[4] - item[3]) / NS_PER_MS >= threshold
+        ]
+        return rows, perceptible
+
+    def _tick_range(self, start_ns: int, end_ns: int) -> Tuple[int, int]:
+        """Sample tick indices in ``[start_ns, end_ns)``."""
+        lo = bisect_left(self.sample_ts, start_ns)
+        hi = bisect_left(self.sample_ts, end_ns, lo)
+        return lo, hi
+
+    def _gui_entry(self, tick: int, gui_id: int) -> int:
+        """Entry index of the GUI thread in one tick, or -1."""
+        entry_thread = self.entry_thread
+        for entry in range(self.sample_offsets[tick],
+                           self.sample_offsets[tick + 1]):
+            if entry_thread[entry] == gui_id:
+                return entry
+        return -1
+
+    # ------------------------------------------------------------------
+    # Analysis kernels (delegations; implementations in .kernels)
+    # ------------------------------------------------------------------
+
+    def pattern_key_of(
+        self, thread_idx: int, row: int, include_gc: bool = False
+    ) -> str:
+        return _kernels.pattern_key_of(self, thread_idx, row, include_gc)
+
+    def pattern_counts(
+        self,
+        threshold_ms: float,
+        include_gc: bool = False,
+        all_dispatch_threads: bool = False,
+    ) -> Tuple[Dict[str, Tuple[int, int]], int]:
+        return _kernels.pattern_counts(
+            self, threshold_ms, include_gc, all_dispatch_threads
+        )
+
+    def trigger_summary(
+        self, episode_rows: List[Tuple[int, int, int, int, int]]
+    ) -> Any:
+        return _kernels.trigger_summary(self, episode_rows)
+
+    def threadstate_summary(
+        self, episode_rows: List[Tuple[int, int, int, int, int]]
+    ) -> Any:
+        return _kernels.threadstate_summary(self, episode_rows)
+
+    def concurrency_summary(
+        self, episode_rows: List[Tuple[int, int, int, int, int]]
+    ) -> Any:
+        return _kernels.concurrency_summary(self, episode_rows)
+
+    def location_summary(
+        self,
+        episode_rows: List[Tuple[int, int, int, int, int]],
+        library_prefixes: Tuple[str, ...],
+    ) -> Any:
+        return _kernels.location_summary(self, episode_rows, library_prefixes)
+
+    def session_stats_row(self, threshold_ms: float) -> Any:
+        return _kernels.session_stats_row(self, threshold_ms)
+
+    # ------------------------------------------------------------------
+    # Serialization and materialization (implementations in .facade)
+    # ------------------------------------------------------------------
+
+    def canonical_lines(self) -> List[str]:
+        from repro.core.store import facade
+
+        return facade.canonical_lines(self)
+
+    def to_trace(self) -> Trace:
+        from repro.core.store import facade
+
+        return facade.to_trace(self)
+
+    @classmethod
+    def from_trace(cls, trace: Trace) -> "ColumnarTrace":
+        from repro.core.store import build
+
+        return build.columnarize(trace)
+
+    def __repr__(self) -> str:
+        return (
+            f"ColumnarTrace({self.metadata.application!r}, "
+            f"{self.interval_count} intervals, {self.sample_count} samples, "
+            f"{len(self.strings)} strings)"
+        )
+
+
+# Bound after the class definitions so the kernels module (which imports
+# the code tables above) can resolve this module from sys.modules; the
+# delegation methods then pay one attribute lookup, not an import, per
+# call.
+from repro.core.store import kernels as _kernels  # noqa: E402

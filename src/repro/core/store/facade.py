@@ -1,0 +1,256 @@
+"""The lazy Trace facade and column↔object materialization.
+
+:class:`FacadeTrace` keeps the classic ``Trace``/``Episode``/``Interval``
+API alive over a :class:`~repro.core.store.columns.ColumnarTrace`
+without building the object graph up front; :func:`to_trace` and
+:func:`canonical_lines` are the materialization and serialization halves
+that back it (both bit-identical to the pre-columnar reader/writer).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.core.intervals import Interval
+from repro.core.samples import Sample, ThreadSample
+from repro.core.store.columns import (
+    ColumnarTrace,
+    _GC_CODE,
+    _KINDS,
+    _KIND_VALUES,
+    _STATES,
+)
+from repro.core.trace import Trace
+
+# ----------------------------------------------------------------------
+# Canonical serialization (digest) without materializing objects
+# ----------------------------------------------------------------------
+
+
+def canonical_lines(store: ColumnarTrace) -> List[str]:
+    """The canonical text serialization, byte-identical to
+    :func:`repro.lila.writer.trace_to_lines` over the materialized
+    trace — computed straight from the columns."""
+    from repro.lila.format import check_symbol, encode_stack, header_line
+
+    meta = store.metadata
+    lines = [header_line()]
+    lines.append(
+        f"M application {check_symbol(meta.application, 'application')}"
+    )
+    lines.append(
+        f"M session_id {check_symbol(meta.session_id, 'session id')}"
+    )
+    lines.append(f"M start_ns {meta.start_ns}")
+    lines.append(f"M end_ns {meta.end_ns}")
+    lines.append(
+        f"M gui_thread {check_symbol(meta.gui_thread, 'thread name')}"
+    )
+    lines.append(f"M sample_period_ns {meta.sample_period_ns}")
+    lines.append(f"M filter_ms {meta.filter_ms!r}")
+    for key in sorted(meta.extra):
+        lines.append(
+            f"M x.{check_symbol(key, 'metadata key')} "
+            f"{check_symbol(meta.extra[key], 'metadata value')}"
+        )
+    lines.append(f"F {store.short_episode_count}")
+
+    names = sorted(store._thread_map)
+    gui = meta.gui_thread
+    if gui in names:
+        names.remove(gui)
+        names.insert(0, gui)
+    checked: Dict[int, str] = {}
+    strings = store.strings
+
+    def symbol_text(symbol_id: int) -> str:
+        text = checked.get(symbol_id)
+        if text is None:
+            text = check_symbol(strings[symbol_id])
+            checked[symbol_id] = text
+        return text
+
+    for name in names:
+        columns = store.threads[store._thread_map[name]]
+        lines.append(f"T {check_symbol(name, 'thread name')}")
+        kind = columns.kind
+        start = columns.start
+        end = columns.end
+        symbol = columns.symbol
+        size = columns.size
+        closes: List[Tuple[int, int]] = []
+        for row in range(len(columns)):
+            while closes and row >= closes[-1][0]:
+                lines.append(f"C {closes.pop()[1]}")
+            if kind[row] == _GC_CODE and size[row] == 1:
+                lines.append(
+                    f"G {start[row]} {end[row]} {symbol_text(symbol[row])}"
+                )
+            else:
+                lines.append(
+                    f"O {start[row]} {_KIND_VALUES[kind[row]]} "
+                    f"{symbol_text(symbol[row])}"
+                )
+                closes.append((row + size[row], end[row]))
+        while closes:
+            lines.append(f"C {closes.pop()[1]}")
+
+    encoded_stacks: Dict[int, str] = {}
+    entry_thread = store.entry_thread
+    entry_state = store.entry_state
+    entry_stack = store.entry_stack
+    for tick in range(len(store.sample_ts)):
+        lines.append(f"P {store.sample_ts[tick]}")
+        for entry in range(store.sample_offsets[tick],
+                           store.sample_offsets[tick + 1]):
+            stack_id = entry_stack[entry]
+            encoded = encoded_stacks.get(stack_id)
+            if encoded is None:
+                encoded = encode_stack(store.stacks[stack_id])
+                encoded_stacks[stack_id] = encoded
+            lines.append(
+                f"t {check_symbol(strings[entry_thread[entry]], 'thread name')} "
+                f"{_STATES[entry_state[entry]].value} {encoded}"
+            )
+    return lines
+
+
+# ----------------------------------------------------------------------
+# Materialization (the facade's backing)
+# ----------------------------------------------------------------------
+
+
+def to_trace(store: ColumnarTrace) -> Trace:
+    """Materialize the classic object model from the columns.
+
+    The result is exactly what the pre-columnar reader produced:
+    same tree shapes, same thread order, same samples.
+    """
+    thread_roots: Dict[str, List[Interval]] = {}
+    for columns in store.threads:
+        nodes: List[Interval] = []
+        roots: List[Interval] = []
+        kind = columns.kind
+        start = columns.start
+        end = columns.end
+        symbol = columns.symbol
+        parent = columns.parent
+        strings = store.strings
+        for row in range(len(columns)):
+            node = Interval(
+                _KINDS[kind[row]],
+                strings[symbol[row]],
+                start[row],
+                end[row],
+            )
+            nodes.append(node)
+            parent_row = parent[row]
+            if parent_row < 0:
+                roots.append(node)
+            else:
+                parent_node = nodes[parent_row]
+                parent_node.children.append(node)
+                node.parent = parent_node
+        thread_roots[columns.name] = roots
+
+    samples: List[Sample] = []
+    strings = store.strings
+    stacks = store.stacks
+    for tick in range(len(store.sample_ts)):
+        entries = [
+            ThreadSample(
+                strings[store.entry_thread[entry]],
+                _STATES[store.entry_state[entry]],
+                stacks[store.entry_stack[entry]],
+            )
+            for entry in range(store.sample_offsets[tick],
+                               store.sample_offsets[tick + 1])
+        ]
+        samples.append(Sample(store.sample_ts[tick], entries))
+
+    return Trace(
+        store.metadata,
+        thread_roots,
+        samples=samples,
+        short_episode_count=store.short_episode_count,
+    )
+
+
+class FacadeTrace(Trace):
+    """A :class:`Trace` whose object graph is built only on demand.
+
+    Construction stores just the columnar store and the metadata; the
+    first access to ``thread_roots``, ``samples``, ``episodes``, or the
+    per-thread episode table materializes the classic object model via
+    :meth:`ColumnarTrace.to_trace` and caches it on the instance.
+    Analyses that understand the columnar store (everything in
+    :mod:`repro.core.analyses`) never trigger materialization.
+    """
+
+    _LAZY = frozenset(
+        ("thread_roots", "samples", "episodes", "_episodes_by_thread")
+    )
+
+    def __init__(self, store: ColumnarTrace) -> None:
+        # Deliberately not calling Trace.__init__: the whole point is
+        # to defer building interval/sample objects.
+        self.columnar = store
+        self.metadata = store.metadata
+        self.short_episode_count = store.short_episode_count
+
+    def __getattr__(self, name: str) -> Any:
+        if name in FacadeTrace._LAZY:
+            materialized = self.columnar.to_trace()
+            self.__dict__["thread_roots"] = materialized.thread_roots
+            self.__dict__["samples"] = materialized.samples
+            self.__dict__["episodes"] = materialized.episodes
+            self.__dict__["_episodes_by_thread"] = (
+                materialized._episodes_by_thread
+            )
+            return self.__dict__[name]
+        raise AttributeError(
+            f"{type(self).__name__!r} object has no attribute {name!r}"
+        )
+
+    @property
+    def is_materialized(self) -> bool:
+        """True once the object graph has been built."""
+        return "thread_roots" in self.__dict__
+
+    def __reduce__(self) -> tuple:
+        return (
+            _restore_facade,
+            (self.columnar, getattr(self, "_content_digest", None)),
+        )
+
+    def __repr__(self) -> str:
+        state = "materialized" if self.is_materialized else "columnar"
+        return (
+            f"FacadeTrace({self.metadata.application!r}, "
+            f"{self.columnar.interval_count} intervals, {state})"
+        )
+
+
+def _restore_facade(
+    store: ColumnarTrace, digest: Optional[str]
+) -> FacadeTrace:
+    trace = FacadeTrace(store)
+    if digest is not None:
+        trace._content_digest = digest
+    return trace
+
+
+def as_columnar(trace: Trace) -> Trace:
+    """``trace`` as a columnar-backed facade (no-op when it already is).
+
+    Used by the study runner so simulated traces ship to workers as
+    compact columns, with the memoized content digest carried over.
+    """
+    if getattr(trace, "columnar", None) is not None:
+        return trace
+    store = ColumnarTrace.from_trace(trace)
+    facade = FacadeTrace(store)
+    digest = getattr(trace, "_content_digest", None)
+    if digest is not None:
+        facade._content_digest = digest
+    return facade

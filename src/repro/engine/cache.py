@@ -17,11 +17,21 @@ checksum of its pickled payload, so truncated or corrupted entries are
 detected, discarded, and transparently recomputed — a damaged cache can
 slow a run down but never change its results.
 
+Since the fused-plan refactor the cache also stores whole **bundles**:
+one entry per (trace digest, config fingerprint, *plan* fingerprint)
+holding every partial a fused pass produced for that trace, so a
+multi-analysis study is served in one read per trace. Legacy
+per-analysis entries are still written alongside and still serve
+lookups of any subset, so old caches and single-analysis callers keep
+working unchanged. Bundle traffic is counted separately
+(``bundle_hits`` / ``bundle_misses`` / ``bundle_stores``).
+
 Layout under the cache directory (default ``~/.cache/lagalyzer``,
 overridable with ``cache_dir=`` or the ``LAGALYZER_CACHE_DIR``
 environment variable)::
 
     objects/<kk>/<key>.pkl   one entry per (digest, config, analysis)
+    bundles/<kk>/<key>.pkl   one fused bundle per (digest, config, plan)
     stats.json               cumulative hit/miss/store counters
 """
 
@@ -90,6 +100,12 @@ class CacheStats:
     read_errors: int = 0
     """Reads that failed below the integrity check (IO errors, entries
     that passed their checksum but would not unpickle)."""
+    bundle_hits: int = 0
+    """Fused-bundle probes served from ``bundles/``."""
+    bundle_misses: int = 0
+    """Fused-bundle probes that fell back to per-analysis entries."""
+    bundle_stores: int = 0
+    """Fused bundles written after a bundle probe missed."""
 
     def merge(self, other: "CacheStats") -> "CacheStats":
         return CacheStats(
@@ -99,6 +115,9 @@ class CacheStats:
             discarded=self.discarded + other.discarded,
             write_errors=self.write_errors + other.write_errors,
             read_errors=self.read_errors + other.read_errors,
+            bundle_hits=self.bundle_hits + other.bundle_hits,
+            bundle_misses=self.bundle_misses + other.bundle_misses,
+            bundle_stores=self.bundle_stores + other.bundle_stores,
         )
 
     def as_dict(self) -> Dict[str, int]:
@@ -109,6 +128,9 @@ class CacheStats:
             "discarded": self.discarded,
             "write_errors": self.write_errors,
             "read_errors": self.read_errors,
+            "bundle_hits": self.bundle_hits,
+            "bundle_misses": self.bundle_misses,
+            "bundle_stores": self.bundle_stores,
         }
 
 
@@ -142,11 +164,37 @@ class ResultCache:
         text = "\n".join((trace_digest, config_fingerprint, analysis, code_version))
         return hashlib.sha256(text.encode("utf-8")).hexdigest()
 
+    @staticmethod
+    def bundle_key(
+        trace_digest: str,
+        config_fingerprint: str,
+        plan_fingerprint: str,
+        code_version: str = CODE_VERSION,
+    ) -> str:
+        """The content address of one fused pass's partial bundle.
+
+        Keyed by the **plan** fingerprint (the deduplicated analysis
+        set, see :func:`repro.core.plan.plan_fingerprint`) instead of a
+        single analysis name; the ``bundle`` marker keeps the key space
+        disjoint from per-analysis entries even under hash truncation.
+        """
+        text = "\n".join(
+            ("bundle", trace_digest, config_fingerprint, plan_fingerprint,
+             code_version)
+        )
+        return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
     def _objects_dir(self) -> Path:
         return self.root / "objects"
 
+    def _bundles_dir(self) -> Path:
+        return self.root / "bundles"
+
     def _path_for(self, key: str) -> Path:
         return self._objects_dir() / key[:2] / (key + _ENTRY_SUFFIX)
+
+    def _bundle_path_for(self, key: str) -> Path:
+        return self._bundles_dir() / key[:2] / (key + _ENTRY_SUFFIX)
 
     def _stats_path(self) -> Path:
         return self.root / "stats.json"
@@ -226,9 +274,76 @@ class ResultCache:
         self.stats.stores += 1
         obs_runtime.count("cache.stores")
 
+    def get_bundle(self, key: str) -> Any:
+        """The cached fused-partial bundle for ``key``, or :data:`MISS`.
+
+        Same integrity/robustness model as :meth:`get`, counted under
+        the ``bundle_*`` statistics instead — ``engine cache stats``
+        reports the two entry populations separately.
+        """
+        path = self._bundle_path_for(key)
+        try:
+            faults_runtime.check("cache.read", key=key)
+            blob = path.read_bytes()
+        except FileNotFoundError:
+            self.stats.bundle_misses += 1
+            obs_runtime.count("cache.bundle_misses")
+            return MISS
+        except OSError as error:
+            self.stats.read_errors += 1
+            self.stats.bundle_misses += 1
+            obs_runtime.count("cache.read_errors")
+            obs_runtime.count("cache.bundle_misses")
+            warnings.warn(
+                f"bundle cache read failed for {key[:12]}… under "
+                f"{self.root}: {error} — treating as a miss",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return MISS
+        blob = faults_runtime.filter_bytes("cache.read", key, blob)
+        value = self._decode(blob, key)
+        if value is MISS:
+            self.stats.discarded += 1
+            self.stats.bundle_misses += 1
+            obs_runtime.count("cache.discarded")
+            obs_runtime.count("cache.bundle_misses")
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return MISS
+        self.stats.bundle_hits += 1
+        obs_runtime.count("cache.bundle_hits")
+        return value[0]
+
+    def put_bundle(self, key: str, value: Any) -> None:
+        """Store a fused-partial bundle under ``key`` atomically.
+
+        Like :meth:`put`, a write failure warns, counts
+        ``cache.write_errors``, and lets the run continue uncached.
+        """
+        with obs_runtime.maybe_span("cache.put_bundle"):
+            try:
+                self._write_entry(self._bundle_path_for(key), key, value)
+            except OSError as error:
+                self.stats.write_errors += 1
+                obs_runtime.count("cache.write_errors")
+                warnings.warn(
+                    f"bundle cache write failed for {key[:12]}… under "
+                    f"{self.root}: {error} — continuing uncached",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                return
+        self.stats.bundle_stores += 1
+        obs_runtime.count("cache.bundle_stores")
+
     def _put(self, key: str, value: Any) -> None:
+        self._write_entry(self._path_for(key), key, value)
+
+    def _write_entry(self, path: Path, key: str, value: Any) -> None:
         faults_runtime.check("cache.write", key=key)
-        path = self._path_for(key)
         path.parent.mkdir(parents=True, exist_ok=True)
         payload = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
         checksum = hashlib.sha256(payload).digest()[:_CHECKSUM_BYTES]
@@ -283,33 +398,54 @@ class ResultCache:
     # Maintenance and introspection
     # ------------------------------------------------------------------
 
-    def _entries(self) -> Iterator[Path]:
-        objects = self._objects_dir()
-        if not objects.is_dir():
+    @staticmethod
+    def _entries_under(root: Path) -> Iterator[Path]:
+        if not root.is_dir():
             return
-        for shard in sorted(objects.iterdir()):
+        for shard in sorted(root.iterdir()):
             if not shard.is_dir():
                 continue
             for entry in sorted(shard.iterdir()):
                 if entry.suffix == _ENTRY_SUFFIX and not entry.name.startswith("."):
                     yield entry
 
+    def _entries(self) -> Iterator[Path]:
+        return self._entries_under(self._objects_dir())
+
+    def _bundle_entries(self) -> Iterator[Path]:
+        return self._entries_under(self._bundles_dir())
+
     def entry_count(self) -> int:
+        """Legacy per-analysis entries (``objects/``), bundles excluded."""
         return sum(1 for _ in self._entries())
 
-    def total_bytes(self) -> int:
+    def bundle_count(self) -> int:
+        """Fused-bundle entries (``bundles/``)."""
+        return sum(1 for _ in self._bundle_entries())
+
+    @staticmethod
+    def _bytes_of(entries: Iterator[Path]) -> int:
         total = 0
-        for entry in self._entries():
+        for entry in entries:
             try:
                 total += entry.stat().st_size
             except OSError:
                 pass
         return total
 
+    def total_bytes(self) -> int:
+        """Bytes held by legacy per-analysis entries, bundles excluded."""
+        return self._bytes_of(self._entries())
+
+    def bundle_bytes(self) -> int:
+        """Bytes held by fused-bundle entries."""
+        return self._bytes_of(self._bundle_entries())
+
     def clear(self) -> int:
-        """Delete every entry (and the counters). Returns entries removed."""
+        """Delete every entry — per-analysis and bundle alike — plus the
+        counters. Returns entries removed."""
         removed = 0
-        for entry in list(self._entries()):
+        for entry in list(self._entries()) + list(self._bundle_entries()):
             try:
                 entry.unlink()
                 removed += 1
@@ -344,7 +480,7 @@ class ResultCache:
             tmp.write_text(json.dumps(total.as_dict()), encoding="utf-8")
             os.replace(tmp, self._stats_path())
         except OSError as error:
-            self.stats.merge(current)  # keep counters for a later flush
+            self.stats = self.stats.merge(current)  # keep counters for a later flush
             obs_runtime.count("cache.write_errors")
             warnings.warn(
                 f"cache stats flush failed under {self.root}: {error} — "
@@ -385,6 +521,9 @@ class ResultCache:
                     discarded=int(raw.get("discarded", 0)),
                     write_errors=int(raw.get("write_errors", 0)),
                     read_errors=int(raw.get("read_errors", 0)),
+                    bundle_hits=int(raw.get("bundle_hits", 0)),
+                    bundle_misses=int(raw.get("bundle_misses", 0)),
+                    bundle_stores=int(raw.get("bundle_stores", 0)),
                 ),
                 "ok",
             )

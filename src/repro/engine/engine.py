@@ -5,17 +5,23 @@
 knows three tricks, all behind the uniform
 :class:`~repro.core.analyses.Analysis` protocol:
 
-1. **Map–reduce execution** — per-trace ``map_trace`` partials are
-   computed independently, then merged with the analysis's ``reduce``;
-   the result is bit-identical to the serial ``summarize``.
-2. **Process-pool fan-out** — with ``workers > 1`` the partials for
-   different traces are computed in parallel processes (serial
+1. **Fused map–reduce execution** — the requested analyses are
+   compiled into one :class:`~repro.core.plan.AnalysisPlan` and every
+   trace is mapped in **one fused pass** through a shared
+   :class:`~repro.core.plan.StageContext` (episode split, pattern
+   tallies computed once per trace, not once per analysis); the
+   per-analysis partials are then merged with each analysis's
+   ``reduce``, bit-identical to the serial ``summarize``.
+2. **Process-pool fan-out** — with ``workers > 1`` the fused passes for
+   different traces run in parallel processes, one task per *trace*
+   (columns pickled to a worker once, not once per analysis; serial
    fallback when a pool is unavailable; see
    :mod:`repro.engine.scheduler`).
-3. **Content-addressed caching** — each partial is stored on disk
-   keyed by (trace digest, config fingerprint, analysis name, code
-   version), so re-analyzing unchanged traces skips the map work
-   entirely (see :mod:`repro.engine.cache`).
+3. **Content-addressed caching** — the fused pass's whole partial
+   bundle is stored keyed by (trace digest, config fingerprint, plan
+   fingerprint, code version), alongside legacy per-analysis entries
+   that keep serving lookups of any subset, so re-analyzing unchanged
+   traces skips the map work entirely (see :mod:`repro.engine.cache`).
 """
 
 from __future__ import annotations
@@ -26,6 +32,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.core.analyses import REGISTRY, get_analysis
 from repro.core.errors import AnalysisError, NestingError, TraceFormatError
+from repro.core.plan import AnalysisPlan, build_plan
 from repro.core.trace import Trace
 from repro.engine.cache import MISS, ResultCache, config_fingerprint
 from repro.engine.scheduler import RetryPolicy, resolve_workers, run_tasks
@@ -65,12 +72,20 @@ def _run_map(name: str, trace: Trace, config: Any) -> Any:
 
 
 def _map_task(task: Tuple[Trace, Tuple[str, ...], Any]) -> List[Any]:
-    """Worker: the missing partials of one trace (module-level for pickling)."""
+    """Worker: the missing partials of one trace (module-level for pickling).
+
+    Executes one **fused pass**: the names are compiled into an
+    :class:`~repro.core.plan.AnalysisPlan` whose operators all map
+    through one shared :class:`~repro.core.plan.StageContext`, so the
+    episode split and pattern tallies are computed once for the whole
+    task instead of once per analysis.
+    """
     trace, names, config = task
     faults_runtime.check(
         "trace.map", key=f"{trace.application}/{trace.metadata.session_id}"
     )
-    return [_run_map(name, trace, config) for name in names]
+    partials = build_plan(names).execute(trace, config)
+    return [partials[name] for name in names]
 
 
 def _obs_map_task(
@@ -227,6 +242,14 @@ class AnalysisEngine:
             name: [None] * len(traces) for name in analysis_names
         }
         fingerprint = config_fingerprint(config) if self.cache else ""
+        # Fused-bundle caching only pays off for multi-operator plans;
+        # single-analysis calls keep their legacy per-entry behavior.
+        plan: AnalysisPlan = build_plan(analysis_names)
+        plan_fp = (
+            plan.fingerprint()
+            if self.cache is not None and len(plan.operators) > 1
+            else ""
+        )
         with obs_runtime.maybe_span(
             "engine.map_traces",
             analyses=len(analysis_names),
@@ -234,16 +257,27 @@ class AnalysisEngine:
             workers=self.effective_workers,
         ) as dispatch_span:
             missing: List[Tuple[int, List[str]]] = []
+            bundle_missed: List[int] = []
             with obs_runtime.maybe_span("engine.cache.probe"):
                 for index, trace in enumerate(traces):
+                    digest = trace_digest(trace) if self.cache else ""
+                    if plan_fp:
+                        bundle = self.cache.get_bundle(
+                            ResultCache.bundle_key(digest, fingerprint, plan_fp)
+                        )
+                        if bundle is not MISS and all(
+                            name in bundle for name in analysis_names
+                        ):
+                            for name in analysis_names:
+                                results[name][index] = bundle[name]
+                            continue
+                        bundle_missed.append(index)
                     names_missing: List[str] = []
                     for name in analysis_names:
                         if self.cache is None:
                             names_missing.append(name)
                             continue
-                        key = ResultCache.entry_key(
-                            trace_digest(trace), fingerprint, name
-                        )
+                        key = ResultCache.entry_key(digest, fingerprint, name)
                         value = self.cache.get(key)
                         if value is MISS:
                             names_missing.append(name)
@@ -303,6 +337,24 @@ class AnalysisEngine:
                                 trace_digest(traces[index]), fingerprint, name
                             )
                             self.cache.put(key, partial)
+            if plan_fp:
+                # Wherever the bundle probe missed, store the complete
+                # bundle (legacy cache hits plus freshly computed
+                # partials) so the next multi-analysis run over this
+                # trace is served in one read.
+                dead = {entry.index for entry in self.quarantined}
+                for index in bundle_missed:
+                    if index in dead:
+                        continue
+                    bundle_value = {
+                        name: results[name][index] for name in analysis_names
+                    }
+                    self.cache.put_bundle(
+                        ResultCache.bundle_key(
+                            trace_digest(traces[index]), fingerprint, plan_fp
+                        ),
+                        bundle_value,
+                    )
             if self.quarantined:
                 # A quarantined trace contributes nothing, not even
                 # partials another run left in the cache.

@@ -8,7 +8,11 @@ pipeline — and, through :mod:`repro.engine`, scales it: applications
 fan out across worker processes (``workers=``) and every per-trace
 analysis partial is served from the content-addressed result cache when
 the trace is unchanged, so re-running a study is mostly cache reads.
-Parallel and cached runs produce results identical to the serial path.
+Each application's analyses are compiled into one fused
+:class:`~repro.core.plan.AnalysisPlan`, so every session trace is
+scanned once per study run (not once per analysis) and a warm re-run is
+one fused-bundle read per trace. Parallel, cached, and fused runs all
+produce results identical to the serial path.
 """
 
 from __future__ import annotations

@@ -106,11 +106,58 @@ class TestCachedEquivalence:
         config = AnalysisConfig()
         traces = trace_sets[SEEDS[1]]
         names = list(REGISTRY)
-        AnalysisEngine(cache_dir=tmp_path).map_traces(names, traces, config)
+        cold = AnalysisEngine(cache_dir=tmp_path)
+        cold.map_traces(names, traces, config)
+        # Cold: every legacy entry misses and is stored, plus one fused
+        # bundle per trace.
+        assert cold.cache.stats.misses == len(names) * len(traces)
+        assert cold.cache.stats.stores == len(names) * len(traces)
+        assert cold.cache.stats.bundle_misses == len(traces)
+        assert cold.cache.stats.bundle_stores == len(traces)
         warm = AnalysisEngine(cache_dir=tmp_path)
         warm.map_traces(names, traces, config)
+        # Warm: the whole multi-analysis request is served from one
+        # bundle read per trace; the legacy entries are never touched.
         assert warm.cache.stats.misses == 0
-        assert warm.cache.stats.hits == len(names) * len(traces)
+        assert warm.cache.stats.bundle_misses == 0
+        assert warm.cache.stats.hits == 0
+        assert warm.cache.stats.bundle_hits == len(traces)
+
+    def test_legacy_entries_serve_single_analysis_after_fused_run(
+        self, trace_sets, tmp_path
+    ):
+        """Per-analysis lookups still hit after a fused multi-analysis run."""
+        config = AnalysisConfig()
+        traces = trace_sets[SEEDS[1]]
+        AnalysisEngine(cache_dir=tmp_path).map_traces(
+            list(REGISTRY), traces, config
+        )
+        warm = AnalysisEngine(cache_dir=tmp_path)
+        warm.summarize("triggers", traces, config)
+        assert warm.cache.stats.hits == len(traces)
+        assert warm.cache.stats.misses == 0
+
+    def test_fused_subset_plan_reuses_legacy_entries(
+        self, trace_sets, tmp_path
+    ):
+        """A different analysis subset (new plan fingerprint) misses its
+        bundle but is still served from the legacy per-analysis entries."""
+        config = AnalysisConfig()
+        traces = trace_sets[SEEDS[1]]
+        AnalysisEngine(cache_dir=tmp_path).map_traces(
+            list(REGISTRY), traces, config
+        )
+        warm = AnalysisEngine(cache_dir=tmp_path)
+        warm.map_traces(["triggers", "location"], traces, config)
+        assert warm.cache.stats.bundle_misses == len(traces)
+        assert warm.cache.stats.hits == 2 * len(traces)
+        assert warm.cache.stats.misses == 0
+        # The subset bundle was backfilled; a third run reads it directly.
+        assert warm.cache.stats.bundle_stores == len(traces)
+        third = AnalysisEngine(cache_dir=tmp_path)
+        third.map_traces(["triggers", "location"], traces, config)
+        assert third.cache.stats.bundle_hits == len(traces)
+        assert third.cache.stats.hits == 0
 
     def test_config_change_invalidates(self, trace_sets, tmp_path):
         traces = trace_sets[SEEDS[0]]
@@ -273,7 +320,12 @@ class TestStudyParallelism:
         cold = AnalysisEngine(cache_dir=tmp_path)
         analyze_app("CrosswordSage", config, engine=cold)
         assert cold.cache.stats.stores > 0
+        assert cold.cache.stats.bundle_stores == config.sessions
         warm = AnalysisEngine(cache_dir=tmp_path)
         analyze_app("CrosswordSage", config, engine=warm)
+        # The warm study is served entirely from fused bundles: no
+        # legacy probes, no misses, one bundle hit per session.
         assert warm.cache.stats.misses == 0
-        assert warm.cache.stats.hits == cold.cache.stats.stores
+        assert warm.cache.stats.bundle_misses == 0
+        assert warm.cache.stats.hits == 0
+        assert warm.cache.stats.bundle_hits == cold.cache.stats.bundle_stores
