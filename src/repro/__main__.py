@@ -1,0 +1,11 @@
+"""Entry point for ``python -m repro`` — the unified CLI.
+
+With no arguments, prints the command overview and exits 0.
+"""
+
+import sys
+
+from repro.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -23,7 +23,14 @@ registered on one parser here. Subcommands:
   demo``);
 - ``obs``       — inspect and export the pipeline's own observability
   bundles written by ``study --obs`` (``obs report`` / ``obs export
-  --format chrome|jsonl|prom`` / ``obs timeline``).
+  --format chrome|jsonl|prom`` / ``obs timeline``);
+- ``ingest``    — live trace ingestion (``ingest serve`` runs the
+  collector daemon, ``ingest replay`` replays trace files as
+  concurrent client sessions, ``ingest tail`` follows a spool with the
+  rolling incremental analysis).
+
+Invoking with no arguments (``python -m repro``) prints this help and
+exits 0.
 """
 
 from __future__ import annotations
@@ -32,6 +39,7 @@ import argparse
 from typing import List, Optional
 
 from repro.cli import engine as engine_commands
+from repro.cli import ingest as ingest_commands
 from repro.cli import obs as obs_commands
 from repro.cli import study as study_commands
 from repro.cli import trace as trace_commands
@@ -45,15 +53,19 @@ def build_parser() -> argparse.ArgumentParser:
         description="Latency profile analysis and visualization "
         "(ISPASS 2010 reproduction).",
     )
-    sub = parser.add_subparsers(dest="command", required=True)
+    sub = parser.add_subparsers(dest="command")
     trace_commands.register(sub)
     study_commands.register(sub)
     engine_commands.register(sub)
     obs_commands.register(sub)
+    ingest_commands.register(sub)
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    if args.command is None:
+        parser.print_help()
+        return 0
     return args.func(args)

@@ -45,3 +45,17 @@ def add_cache_dir(parser: argparse.ArgumentParser) -> None:
     """The engine result-cache root."""
     parser.add_argument("--cache-dir", default=None,
                         help="result-cache root (default ~/.cache/lagalyzer)")
+
+
+def add_obs(parser: argparse.ArgumentParser) -> None:
+    """The observability-bundle destination (enables observation)."""
+    parser.add_argument("--obs", default=None, metavar="DIR",
+                        help="trace the pipeline itself; write the "
+                        "spans/metrics bundle to DIR")
+
+
+def add_faults(parser: argparse.ArgumentParser) -> None:
+    """The deterministic fault-injection plan file."""
+    parser.add_argument("--faults", default=None, metavar="PLAN.json",
+                        help="run under this deterministic fault-injection "
+                        "plan (see docs/fault_injection.md)")

@@ -1,0 +1,276 @@
+"""The ``ingest`` command group: serve, replay, tail.
+
+- ``ingest serve``  — run the collector daemon until interrupted;
+- ``ingest replay`` — replay existing trace files through the framed
+  protocol as concurrent client sessions (load generator and the
+  easiest way to exercise a daemon end to end);
+- ``ingest tail``   — incremental analysis of a (possibly still
+  growing) spool file: rolling episode/pattern summaries without
+  waiting for the session to end.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro.cli._shared import add_faults, add_obs, add_threshold, add_workers
+
+
+def _load_injector(args: argparse.Namespace):
+    """The ambient-installable injector for ``--faults``, or None."""
+    if getattr(args, "faults", None) is None:
+        return None
+    from repro.core.errors import LagAlyzerError
+    from repro.faults import FaultInjector, FaultPlan
+
+    try:
+        plan = FaultPlan.load(args.faults)
+    except (OSError, LagAlyzerError) as error:
+        print(f"error: cannot load fault plan: {error}", file=sys.stderr)
+        raise SystemExit(1)
+    print(
+        f"fault injection: {len(plan.rules)} rule(s), "
+        f"seed {plan.seed} ({args.faults})"
+    )
+    return FaultInjector(plan)
+
+
+def _make_observer(args: argparse.Namespace):
+    if getattr(args, "obs", None) is None:
+        return None
+    from repro.obs import Observer
+
+    return Observer()
+
+
+def _finish_observer(obs, args: argparse.Namespace) -> None:
+    if obs is None:
+        return
+    obs_dir = Path(args.obs)
+    obs.save(obs_dir)
+    print(f"wrote observability bundle to {obs_dir}/")
+    print(obs.summary_line())
+
+
+def _analysis_config(args: argparse.Namespace):
+    from repro.core.analyzer import AnalysisConfig
+
+    return AnalysisConfig(perceptible_threshold_ms=args.threshold)
+
+
+# ----------------------------------------------------------------------
+# serve
+# ----------------------------------------------------------------------
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.faults import runtime as faults_runtime
+    from repro.ingest.server import IngestServer
+    from repro.obs import runtime as obs_runtime
+
+    obs = _make_observer(args)
+    injector = _load_injector(args)
+    with obs_runtime.installed(obs), faults_runtime.installed(injector):
+        server = IngestServer(
+            spool_dir=args.spool_dir,
+            host=args.host,
+            port=args.port,
+            queue_limit=args.queue_limit,
+            incremental=args.incremental,
+            config=_analysis_config(args) if args.incremental else None,
+        )
+        server.start()
+        host, port = server.address
+        print(f"ingest daemon listening on {host}:{port} "
+              f"(spools -> {args.spool_dir}/)")
+        try:
+            while True:
+                time.sleep(args.summary_interval)
+                if args.incremental:
+                    for summary in server.rolling_summaries().values():
+                        print(json.dumps(summary, sort_keys=True))
+        except KeyboardInterrupt:
+            pass
+        finally:
+            server.stop()
+            stats = server.stats()
+            print(json.dumps(stats, sort_keys=True))
+    _finish_observer(obs, args)
+    return 0
+
+
+# ----------------------------------------------------------------------
+# replay
+# ----------------------------------------------------------------------
+
+
+def _replay_one(args, address, index: int, path: Path) -> dict:
+    from repro.ingest.client import TraceClient
+
+    lines = path.read_text(encoding="utf-8").splitlines()
+    session = f"{args.session_prefix}{index}"
+    client = TraceClient(
+        address,
+        session=session,
+        application=path.stem,
+        batch_records=args.batch_records,
+    )
+    with client:
+        client.extend(lines)
+    return {
+        "session": session,
+        "trace": str(path),
+        "records_sent": client.records_sent,
+        "nacks": client.nacks_received,
+        "retries": client.retries,
+        "dropped_records": client.dropped_records,
+    }
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    from concurrent.futures import ThreadPoolExecutor
+
+    from repro.faults import runtime as faults_runtime
+    from repro.lila.autodetect import expand_trace_paths
+    from repro.obs import runtime as obs_runtime
+
+    host, _, port = args.address.rpartition(":")
+    if not host:
+        print(f"error: --address must be HOST:PORT, got {args.address!r}",
+              file=sys.stderr)
+        return 1
+    address = (host, int(port))
+    paths = []
+    for item in args.traces:
+        paths.extend(expand_trace_paths(item))
+    if not paths:
+        print("error: no trace files matched", file=sys.stderr)
+        return 1
+    obs = _make_observer(args)
+    injector = _load_injector(args)
+    workers = args.workers if args.workers > 0 else len(paths)
+    results = []
+    with obs_runtime.installed(obs), faults_runtime.installed(injector):
+        with ThreadPoolExecutor(max_workers=min(workers, len(paths))) as pool:
+            futures = [
+                pool.submit(_replay_one, args, address, index, Path(path))
+                for index, path in enumerate(paths)
+            ]
+            for future in futures:
+                results.append(future.result())
+    for result in results:
+        print(json.dumps(result, sort_keys=True))
+    total = sum(r["records_sent"] for r in results)
+    dropped = sum(r["dropped_records"] for r in results)
+    print(f"replayed {len(results)} session(s): {total} records sent, "
+          f"{dropped} dropped")
+    _finish_observer(obs, args)
+    return 0 if dropped == 0 else 1
+
+
+# ----------------------------------------------------------------------
+# tail
+# ----------------------------------------------------------------------
+
+
+def _cmd_tail(args: argparse.Namespace) -> int:
+    from repro.core.errors import LagAlyzerError
+    from repro.ingest.incremental import IncrementalSessionAnalyzer
+
+    path = Path(args.spool)
+    if not path.exists():
+        print(f"error: no such spool: {path}", file=sys.stderr)
+        return 1
+    analyzer = IncrementalSessionAnalyzer(
+        label=str(path), config=_analysis_config(args)
+    )
+    consumed = 0
+    try:
+        while True:
+            text = path.read_text(encoding="utf-8")
+            lines = text.splitlines()
+            fresh = lines[consumed:]
+            # A spool flush is line-atomic, but guard against reading
+            # mid-write: an unterminated final line waits for the next
+            # poll.
+            if fresh and not text.endswith("\n"):
+                fresh = fresh[:-1]
+            if fresh:
+                try:
+                    analyzer.push_lines(fresh)
+                except LagAlyzerError as error:
+                    print(f"error: {error}", file=sys.stderr)
+                    return 1
+                consumed += len(fresh)
+                print(json.dumps(analyzer.rolling_summary(), sort_keys=True))
+            if not args.follow:
+                break
+            time.sleep(args.interval)
+    except KeyboardInterrupt:
+        pass
+    if consumed == 0:
+        print(json.dumps(analyzer.rolling_summary(), sort_keys=True))
+    return 0
+
+
+# ----------------------------------------------------------------------
+# registration
+# ----------------------------------------------------------------------
+
+
+def register(sub: argparse._SubParsersAction) -> None:
+    """Add the ``ingest`` subcommand group."""
+    p_in = sub.add_parser(
+        "ingest", help="live trace ingestion (daemon, replay, tail)"
+    )
+    in_sub = p_in.add_subparsers(dest="ingest_command", required=True)
+
+    p_sv = in_sub.add_parser("serve", help="run the collector daemon")
+    p_sv.add_argument("--host", default="127.0.0.1")
+    p_sv.add_argument("--port", type=int, default=4271)
+    p_sv.add_argument("--spool-dir", default="spools",
+                      help="directory session spools are written to")
+    p_sv.add_argument("--queue-limit", type=int, default=8,
+                      help="unflushed batches per session before "
+                      "backpressure nacks")
+    p_sv.add_argument("--incremental", action="store_true",
+                      help="run the rolling per-episode analysis and "
+                      "print summaries")
+    p_sv.add_argument("--summary-interval", type=float, default=5.0,
+                      help="seconds between rolling-summary prints")
+    add_threshold(p_sv)
+    add_obs(p_sv)
+    add_faults(p_sv)
+    p_sv.set_defaults(func=_cmd_serve)
+
+    p_rp = in_sub.add_parser(
+        "replay", help="replay trace files as live client sessions"
+    )
+    p_rp.add_argument("traces", nargs="+",
+                      help="trace files, directories, or glob patterns")
+    p_rp.add_argument("--address", default="127.0.0.1:4271",
+                      metavar="HOST:PORT", help="daemon to replay into")
+    p_rp.add_argument("--session-prefix", default="replay-",
+                      help="session ids become PREFIX0, PREFIX1, ...")
+    p_rp.add_argument("--batch-records", type=int, default=256,
+                      help="record lines per client batch")
+    add_workers(p_rp, help="concurrent replay sessions "
+                "(0 = all sessions at once)")
+    add_obs(p_rp)
+    add_faults(p_rp)
+    p_rp.set_defaults(func=_cmd_replay)
+
+    p_tl = in_sub.add_parser(
+        "tail", help="rolling analysis of a (growing) spool file"
+    )
+    p_tl.add_argument("spool", help="spool .lila file to analyze")
+    p_tl.add_argument("--follow", "-f", action="store_true",
+                      help="keep polling for appended records")
+    p_tl.add_argument("--interval", type=float, default=0.5,
+                      help="poll interval with --follow (seconds)")
+    add_threshold(p_tl)
+    p_tl.set_defaults(func=_cmd_tail)

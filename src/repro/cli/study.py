@@ -6,7 +6,13 @@ import argparse
 import sys
 from pathlib import Path
 
-from repro.cli._shared import add_cache_dir, add_output, add_workers
+from repro.cli._shared import (
+    add_cache_dir,
+    add_faults,
+    add_obs,
+    add_output,
+    add_workers,
+)
 
 
 def _cmd_study(args: argparse.Namespace) -> int:
@@ -125,13 +131,9 @@ def register(sub: argparse._SubParsersAction) -> None:
     p_st.add_argument("--apps", nargs="+", default=None, metavar="APP",
                       help="restrict the study to these applications "
                       "(default: all of Table II)")
-    p_st.add_argument("--obs", default=None, metavar="DIR",
-                      help="trace the pipeline itself; write the "
-                      "spans/metrics bundle to DIR")
+    add_obs(p_st)
     p_st.add_argument("--profile", action="store_true",
                       help="profile analysis map calls with cProfile "
                       "and report the top hotspots")
-    p_st.add_argument("--faults", default=None, metavar="PLAN.json",
-                      help="run the study under this deterministic "
-                      "fault-injection plan (see docs/fault_injection.md)")
+    add_faults(p_st)
     p_st.set_defaults(func=_cmd_study)

@@ -12,7 +12,7 @@ from repro.cli._shared import (
     add_traces,
     add_workers,
 )
-from repro.core.api import AnalysisConfig, LagAlyzer
+from repro.core.analyzer import AnalysisConfig, LagAlyzer
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:

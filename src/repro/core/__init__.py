@@ -7,7 +7,7 @@ top of it (pattern mining, occurrence/trigger/location/cause
 characterization).
 """
 
-from repro.core.api import AnalysisConfig, LagAlyzer
+from repro.core.analyzer import AnalysisConfig, LagAlyzer
 from repro.core.compare import ComparisonReport, Verdict, compare_tables
 from repro.core.episodes import Episode
 from repro.core.export import write_analysis_json, write_patterns_csv

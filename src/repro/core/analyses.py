@@ -34,7 +34,7 @@ stages into a private context. Fused and per-analysis partials are
 therefore byte-identical by construction.
 
 The :data:`REGISTRY` maps stable analysis names to their instances;
-:meth:`~repro.core.api.LagAlyzer.summary` and the engine look analyses
+:meth:`~repro.core.analyzer.LagAlyzer.summary` and the engine look analyses
 up by name. Downstream users add their own axis with :func:`register`.
 """
 

@@ -15,7 +15,7 @@ import json
 from pathlib import Path
 from typing import Any, Dict, Union
 
-from repro.core.api import LagAlyzer
+from repro.core.analyzer import LagAlyzer
 from repro.core.occurrence import classify_pattern
 
 

@@ -7,7 +7,7 @@ result of every ``map_trace`` keyed by everything that could change it:
 - the **trace digest** (:func:`repro.lila.digest.trace_digest`) — the
   content hash of the session trace;
 - the **config fingerprint** — a stable hash of the
-  :class:`~repro.core.api.AnalysisConfig` in effect;
+  :class:`~repro.core.analyzer.AnalysisConfig` in effect;
 - the **analysis name** — the registry key of the analysis;
 - the **code version** — bumped whenever an analysis implementation
   changes shape, invalidating all prior entries at once.
@@ -79,7 +79,7 @@ def config_fingerprint(config: Any) -> str:
     """Stable hex fingerprint of an analysis configuration.
 
     Relies on the config having a deterministic ``repr`` (true for the
-    frozen :class:`~repro.core.api.AnalysisConfig` dataclass); the type
+    frozen :class:`~repro.core.analyzer.AnalysisConfig` dataclass); the type
     name is folded in so two config classes never collide.
     """
     text = f"{type(config).__module__}.{type(config).__qualname__}:{config!r}"

@@ -1,7 +1,7 @@
 """The parallel, cache-aware analysis engine.
 
 :class:`AnalysisEngine` is the execution layer under the
-:class:`~repro.core.api.LagAlyzer` facade and the study runner. It
+:class:`~repro.core.analyzer.LagAlyzer` facade and the study runner. It
 knows three tricks, all behind the uniform
 :class:`~repro.core.analyses.Analysis` protocol:
 

@@ -37,6 +37,8 @@ SITES = (
     "cache.read",    # result-cache read (key = cache entry key)
     "cache.write",   # result-cache write (key = cache entry key)
     "lila.read",     # trace-file parse (key = file name)
+    "ingest.frame",  # ingest-daemon frame intake (key = "session/seq")
+    "ingest.flush",  # ingest-daemon spool flush (key = session id)
 )
 
 #: Fault kinds and the site each defaults to.

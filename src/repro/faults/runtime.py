@@ -124,13 +124,24 @@ class task_scope:
 # ----------------------------------------------------------------------
 
 
-def check(site: str, key: Optional[Any] = None) -> None:
-    """Fire any matching raising fault at ``site`` (no-op when disabled)."""
+def check(
+    site: str, key: Optional[Any] = None, attempt: Optional[int] = None
+) -> None:
+    """Fire any matching raising fault at ``site`` (no-op when disabled).
+
+    ``attempt`` overrides the ambient scheduler-set attempt number —
+    sites that manage their own retries (the ingest daemon's frame
+    intake and flush loop) pass their local retry count so transient
+    rules (``times=1``) recover on redelivery exactly as they do under
+    the engine scheduler.
+    """
     if _current is None:
         return
     if _owner_pid != os.getpid():
         return
-    _current.check(site, key=key, attempt=_attempt)
+    _current.check(
+        site, key=key, attempt=_attempt if attempt is None else attempt
+    )
 
 
 def filter_bytes(site: str, key: Any, data: bytes) -> bytes:

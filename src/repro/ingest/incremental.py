@@ -1,0 +1,212 @@
+"""Incremental analysis over a live ingest session.
+
+One-shot analysis waits for a complete trace file, builds the store,
+then splits episodes and mines patterns. A live session never hands
+over a complete file — records arrive a batch at a time, and the
+interesting questions ("how many perceptible episodes so far?", "which
+pattern keeps recurring?") want answers *between* batches.
+
+:class:`IncrementalSessionAnalyzer` is the per-session pipeline the
+daemon advances after every flush:
+
+- :class:`~repro.lila.source.RecordFeed` parses each text line into a
+  validated source record (same validation, same error messages as the
+  file reader);
+- :class:`~repro.core.store.incremental.IncrementalColumnarBuilder`
+  appends it to the columnar store under construction and reports each
+  root interval the line completed;
+- :class:`~repro.core.episodes.IncrementalEpisodeSplitter` turns the
+  completed dispatch roots of the event dispatch thread into episodes,
+  and per-episode pattern tallies advance immediately.
+
+:meth:`rolling_summary` publishes the running totals at any moment.
+When the session ends, :meth:`finalize` seals the very same builder a
+one-shot :func:`~repro.lila.source.build_store` would have used —
+``flush_samples``, required-meta check, ``finish`` — so
+:meth:`summaries` over the sealed trace is **byte-identical** to a
+one-shot analysis of the same records (the parity test pickles both).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Counter as CounterType, Dict, List, Optional, Sequence
+from collections import Counter
+
+from repro.core.analyzer import AnalysisConfig, LagAlyzer
+from repro.core.episodes import Episode, IncrementalEpisodeSplitter
+from repro.core.errors import AnalysisError
+from repro.core.patterns import pattern_key
+from repro.core.store.facade import FacadeTrace
+from repro.core.store.incremental import IncrementalColumnarBuilder
+from repro.lila.source import RecordFeed
+
+
+class IncrementalSessionAnalyzer:
+    """Rolling episode/pattern analysis for one in-flight session."""
+
+    def __init__(
+        self,
+        label: Optional[str] = None,
+        config: Optional[AnalysisConfig] = None,
+    ) -> None:
+        self.config = config or AnalysisConfig()
+        self._feed = RecordFeed(label)
+        self._builder = IncrementalColumnarBuilder()
+        self._splitter: Optional[IncrementalEpisodeSplitter] = None
+        #: Structural pattern tallies over episodes completed so far
+        #: (episodes without structure are excluded, exactly as
+        #: :meth:`PatternTable.from_episodes` excludes them).
+        self.pattern_counts: CounterType[str] = Counter()
+        self.unstructured_episodes = 0
+        self.lines_fed = 0
+        self._sealed: Optional[FacadeTrace] = None
+
+    # ------------------------------------------------------------------
+    # Intake
+    # ------------------------------------------------------------------
+
+    @property
+    def gui_thread(self) -> Optional[str]:
+        """The event dispatch thread, once the metadata announced it."""
+        name = self._builder.meta.get("gui_thread")
+        return name if isinstance(name, str) else None
+
+    def push_line(self, line: str) -> List[Episode]:
+        """Feed one record line; the episodes it completed (often none).
+
+        Raises:
+            TraceFormatError: the line (or the structure it implies) is
+                invalid — stamped with the line number, identical to
+                the file reader's message for the same damage.
+        """
+        if self._sealed is not None:
+            raise AnalysisError("session already finalized")
+        self.lines_fed += 1
+        record = self._feed.feed(line)
+        if record is None:
+            return []
+        self._builder.feed(record)
+        completed = self._builder.take_completed_roots()
+        if not completed:
+            return []
+        return self._advance(completed)
+
+    def push_lines(self, lines: Sequence[str]) -> List[Episode]:
+        """Feed a batch of lines; all episodes the batch completed."""
+        episodes: List[Episode] = []
+        for line in lines:
+            episodes.extend(self.push_line(line))
+        return episodes
+
+    def _advance(self, completed: List) -> List[Episode]:
+        gui_thread = self.gui_thread
+        if gui_thread is None:
+            # Roots before the gui_thread meta record can't be episodes
+            # we recognize; well-formed streams put metadata first.
+            return []
+        if self._splitter is None:
+            self._splitter = IncrementalEpisodeSplitter(
+                gui_thread,
+                threshold_ms=self.config.perceptible_threshold_ms,
+            )
+        episodes: List[Episode] = []
+        for thread_index, row in completed:
+            name = self._builder.thread_name(thread_index)
+            if name != gui_thread and not self.config.all_dispatch_threads:
+                continue
+            root = self._builder.materialize_root(thread_index, row)
+            episode = self._splitter.push_root(root)
+            if episode is None:
+                continue
+            if episode.has_structure:
+                key = pattern_key(
+                    episode,
+                    include_gc=self.config.include_gc_in_patterns,
+                )
+                self.pattern_counts[key] += 1
+            else:
+                self.unstructured_episodes += 1
+            episodes.append(episode)
+        return episodes
+
+    # ------------------------------------------------------------------
+    # Rolling output
+    # ------------------------------------------------------------------
+
+    @property
+    def episodes(self) -> List[Episode]:
+        """Episodes completed so far, in completion order."""
+        if self._splitter is None:
+            return []
+        return list(self._splitter.episodes)
+
+    @property
+    def perceptible_episodes(self) -> List[Episode]:
+        """The perceptible subsequence of :attr:`episodes`."""
+        if self._splitter is None:
+            return []
+        return list(self._splitter.perceptible)
+
+    def rolling_summary(self) -> Dict[str, Any]:
+        """Running totals over everything fed so far.
+
+        A plain dict (JSON-friendly) the daemon republishes after every
+        flush: episode and perceptible counts, distinct/covered pattern
+        tallies, and the worst lag seen.
+        """
+        episodes = self.episodes
+        perceptible = self.perceptible_episodes
+        return {
+            "session": self._builder.meta.get("session_id"),
+            "application": self._builder.meta.get("application"),
+            "lines": self.lines_fed,
+            "records": self._builder.record_count,
+            "episodes": len(episodes),
+            "perceptible_episodes": len(perceptible),
+            "threshold_ms": self.config.perceptible_threshold_ms,
+            "distinct_patterns": len(self.pattern_counts),
+            "covered_episodes": sum(self.pattern_counts.values()),
+            "unstructured_episodes": self.unstructured_episodes,
+            "longest_lag_ms": max(
+                (ep.duration_ms for ep in episodes), default=0.0
+            ),
+        }
+
+    # ------------------------------------------------------------------
+    # Sealing
+    # ------------------------------------------------------------------
+
+    def finalize(self) -> FacadeTrace:
+        """Seal the builder into the trace a one-shot build would make.
+
+        Safe to call once, after the last line; the same closure and
+        bounds invariants a one-shot :func:`build_store` enforces apply
+        (a stream that left intervals open raises here).
+        """
+        if self._sealed is None:
+            builder = self._builder
+            builder.flush_samples()
+            builder.check_required_meta()
+            metadata = builder.build_metadata()
+            self._sealed = FacadeTrace(builder.finish(metadata))
+        return self._sealed
+
+    def summaries(
+        self, names: Optional[Sequence[str]] = None
+    ) -> Dict[str, Any]:
+        """Final analysis summaries over the sealed trace.
+
+        Runs the ordinary fused-plan path over :meth:`finalize`'s
+        trace, so the result is byte-identical to a one-shot analysis
+        of the same records.
+        """
+        trace = self.finalize()
+        return LagAlyzer([trace], config=self.config).summaries(names)
+
+    def __repr__(self) -> str:
+        state = "sealed" if self._sealed is not None else "live"
+        return (
+            f"IncrementalSessionAnalyzer({self._feed.label()!r}, "
+            f"{self.lines_fed} lines, "
+            f"{len(self.episodes)} episodes, {state})"
+        )

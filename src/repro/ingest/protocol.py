@@ -1,0 +1,248 @@
+"""The ingest wire protocol: length-prefixed frames, compressed batches.
+
+One frame is a fixed 10-byte header followed by a payload::
+
+    version  u8   — :data:`PROTOCOL_VERSION`; anything else is rejected
+    type     u8   — one of the ``T_*`` codes below
+    seq      u32  — sender's frame sequence number (acks echo it)
+    length   u32  — payload byte count
+    payload  ...  — ``length`` bytes
+
+All integers are big-endian. The sequence number lives in the *header*
+so a receiver can nack a frame it refuses to read the payload of (an
+oversized batch is drained and nacked without ever being buffered).
+
+Frame types:
+
+- ``T_HELLO`` — opens a session; payload is a JSON object with
+  ``session`` (required) and ``application``.
+- ``T_BATCH`` — one batch of LiLa text records; payload is a ``u32``
+  record count followed by the gzip-compressed UTF-8 lines joined by
+  ``"\\n"``. Batches are acked (accepted, durable once flushed) or
+  nacked (redeliver later — the 429 of this protocol).
+- ``T_END`` — closes the session; acked only after the session's spool
+  is fully flushed, so a client that saw the ack knows nothing it sent
+  can be lost.
+- ``T_ACK`` — empty payload; ``seq`` echoes the frame being acked.
+- ``T_NACK`` — ``u32`` retry-after hint in milliseconds plus a UTF-8
+  reason; ``seq`` echoes the refused frame.
+- ``T_ERROR`` — UTF-8 reason; the connection is dead after this.
+
+Damage — a short read mid-frame, a bad version byte, an undecodable
+batch — raises :class:`ProtocolError`; a clean EOF between frames is
+``None`` from :func:`read_frame`, not an error.
+"""
+
+from __future__ import annotations
+
+import gzip
+import json
+import struct
+import zlib
+from dataclasses import dataclass
+from typing import BinaryIO, List, Optional, Sequence, Tuple
+
+from repro.core.errors import LagAlyzerError
+
+#: Wire protocol version; bumped on any incompatible frame change.
+PROTOCOL_VERSION = 1
+
+#: Frame type codes.
+T_HELLO = 1
+T_BATCH = 2
+T_END = 3
+T_ACK = 4
+T_NACK = 5
+T_ERROR = 6
+
+_FRAME_NAMES = {
+    T_HELLO: "HELLO",
+    T_BATCH: "BATCH",
+    T_END: "END",
+    T_ACK: "ACK",
+    T_NACK: "NACK",
+    T_ERROR: "ERROR",
+}
+
+_HEADER = struct.Struct("!BBII")
+_U32 = struct.Struct("!I")
+
+#: Hard per-frame payload ceiling a reader enforces even when the
+#: caller's limit is higher (memory-bomb guard).
+ABSOLUTE_MAX_PAYLOAD = 64 * 1024 * 1024
+
+#: Default per-batch payload ceiling (servers reject above this).
+DEFAULT_MAX_PAYLOAD = 4 * 1024 * 1024
+
+
+class ProtocolError(LagAlyzerError):
+    """A frame violated the wire protocol (truncation, bad version...)."""
+
+
+class FrameTooLarge(ProtocolError):
+    """A frame's declared payload exceeded the receiver's limit.
+
+    The payload has been drained from the stream when this is raised,
+    so the connection stays usable — the receiver can nack ``seq`` and
+    keep reading.
+    """
+
+    def __init__(self, frame_type: int, seq: int, length: int, limit: int) -> None:
+        super().__init__(
+            f"{frame_name(frame_type)} frame payload of {length} bytes "
+            f"exceeds the {limit}-byte limit"
+        )
+        self.frame_type = frame_type
+        self.seq = seq
+        self.length = length
+        self.limit = limit
+
+
+@dataclass(frozen=True)
+class Frame:
+    """One decoded frame."""
+
+    type: int
+    seq: int
+    payload: bytes
+
+    @property
+    def name(self) -> str:
+        return frame_name(self.type)
+
+
+def frame_name(frame_type: int) -> str:
+    """Human-readable name of a frame type code."""
+    return _FRAME_NAMES.get(frame_type, f"type-{frame_type}")
+
+
+def write_frame(
+    writer: BinaryIO, frame_type: int, seq: int, payload: bytes = b""
+) -> None:
+    """Write one frame and flush the writer."""
+    writer.write(
+        _HEADER.pack(PROTOCOL_VERSION, frame_type, seq, len(payload))
+    )
+    if payload:
+        writer.write(payload)
+    writer.flush()
+
+
+def _read_exactly(reader: BinaryIO, count: int, what: str) -> bytes:
+    data = reader.read(count)
+    if len(data) != count:
+        raise ProtocolError(
+            f"truncated frame: wanted {count} {what} bytes, "
+            f"got {len(data)}"
+        )
+    return data
+
+
+def read_frame(
+    reader: BinaryIO, max_payload: Optional[int] = None
+) -> Optional[Frame]:
+    """Read one frame; ``None`` on a clean EOF between frames.
+
+    Raises:
+        ProtocolError: a short read mid-frame, or a version byte this
+            implementation doesn't speak.
+        FrameTooLarge: declared payload above ``max_payload`` (or the
+            absolute ceiling); the payload is drained first, so the
+            caller can nack and continue reading.
+    """
+    header = reader.read(_HEADER.size)
+    if not header:
+        return None
+    if len(header) != _HEADER.size:
+        raise ProtocolError(
+            f"truncated frame header: wanted {_HEADER.size} bytes, "
+            f"got {len(header)}"
+        )
+    version, frame_type, seq, length = _HEADER.unpack(header)
+    if version != PROTOCOL_VERSION:
+        raise ProtocolError(
+            f"unsupported protocol version {version} "
+            f"(this end speaks {PROTOCOL_VERSION})"
+        )
+    limit = ABSOLUTE_MAX_PAYLOAD if max_payload is None else max_payload
+    if length > limit:
+        remaining = length
+        while remaining > 0:
+            chunk = reader.read(min(remaining, 65536))
+            if not chunk:
+                raise ProtocolError(
+                    "truncated frame: oversized payload ended early"
+                )
+            remaining -= len(chunk)
+        raise FrameTooLarge(frame_type, seq, length, limit)
+    payload = _read_exactly(reader, length, "payload") if length else b""
+    return Frame(frame_type, seq, payload)
+
+
+# ----------------------------------------------------------------------
+# Payload codecs
+# ----------------------------------------------------------------------
+
+
+def encode_hello(session: str, application: str = "") -> bytes:
+    """HELLO payload for ``session`` (sorted keys — byte-stable)."""
+    return json.dumps(
+        {"application": application, "session": session}, sort_keys=True
+    ).encode("utf-8")
+
+
+def decode_hello(payload: bytes) -> Tuple[str, str]:
+    """``(session, application)`` from a HELLO payload."""
+    try:
+        raw = json.loads(payload.decode("utf-8"))
+        session = raw["session"]
+    except (ValueError, KeyError, UnicodeDecodeError) as error:
+        raise ProtocolError(f"malformed HELLO payload: {error}") from None
+    if not isinstance(session, str) or not session:
+        raise ProtocolError("HELLO 'session' must be a non-empty string")
+    application = raw.get("application", "")
+    if not isinstance(application, str):
+        raise ProtocolError("HELLO 'application' must be a string")
+    return session, application
+
+
+def encode_batch(lines: Sequence[str]) -> bytes:
+    """BATCH payload: record count + gzip-compressed joined lines.
+
+    ``mtime=0`` keeps the gzip member byte-stable for identical input
+    (no wall-clock timestamp in the stream).
+    """
+    body = "\n".join(lines).encode("utf-8")
+    return _U32.pack(len(lines)) + gzip.compress(body, mtime=0)
+
+
+def decode_batch(payload: bytes) -> List[str]:
+    """The record lines of a BATCH payload."""
+    if len(payload) < _U32.size:
+        raise ProtocolError("batch payload shorter than its record count")
+    (count,) = _U32.unpack(payload[: _U32.size])
+    try:
+        body = gzip.decompress(payload[_U32.size:]).decode("utf-8")
+    except (OSError, EOFError, zlib.error, UnicodeDecodeError) as error:
+        raise ProtocolError(
+            f"batch payload is not valid gzip text: {error}"
+        ) from None
+    lines = body.split("\n") if body else []
+    if len(lines) != count:
+        raise ProtocolError(
+            f"batch declared {count} records but carries {len(lines)}"
+        )
+    return lines
+
+
+def encode_nack(retry_after_ms: int, reason: str) -> bytes:
+    """NACK payload: retry-after hint (ms) + reason."""
+    return _U32.pack(max(0, int(retry_after_ms))) + reason.encode("utf-8")
+
+
+def decode_nack(payload: bytes) -> Tuple[int, str]:
+    """``(retry_after_ms, reason)`` from a NACK payload."""
+    if len(payload) < _U32.size:
+        raise ProtocolError("truncated NACK payload")
+    (retry_after_ms,) = _U32.unpack(payload[: _U32.size])
+    return retry_after_ms, payload[_U32.size:].decode("utf-8", "replace")

@@ -16,6 +16,7 @@ from repro.lila.reader import read_trace, read_trace_lines
 from repro.lila.source import (
     BinaryTraceSource,
     LinesTraceSource,
+    RecordFeed,
     TextTraceSource,
     TraceSource,
     build_store,
@@ -30,6 +31,7 @@ __all__ = [
     "FORMAT_VERSION",
     "LinesTraceSource",
     "MAGIC",
+    "RecordFeed",
     "TextTraceSource",
     "TraceSource",
     "build_store",

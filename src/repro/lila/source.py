@@ -99,6 +99,139 @@ _KINDS_BY_TOKEN: Dict[str, IntervalKind] = {}
 _STATES_BY_TOKEN: Dict[str, ThreadState] = {}
 
 
+class _ParseState:
+    """Cross-line parser state shared by pull and push text parsing."""
+
+    __slots__ = ("in_tick",)
+
+    def __init__(self) -> None:
+        self.in_tick = False
+
+
+def _parse_body_line(
+    source: "TraceSource", line_no: int, line: str, state: _ParseState
+) -> Optional[tuple]:
+    """Parse one non-header format line into a validated record.
+
+    Returns ``None`` for blank/comment lines; raises line-stamped
+    :class:`TraceFormatError` for any damage — exactly the classic text
+    reader's contract, shared by the streaming sources and the push-mode
+    :class:`RecordFeed` the ingest daemon drives.
+    """
+    if not line or line.startswith("#"):
+        return None
+    path = source.path
+    stack_cache = source._stack_cache
+    in_tick = state.in_tick
+    record, _, rest = line.partition(" ")
+    if record == "t":
+        if not in_tick:
+            raise TraceFormatError(
+                f"line {line_no}: t record outside a tick",
+                path=path,
+                line=line_no,
+            )
+        parts = rest.split(" ", 2)
+        if len(parts) != 3:
+            raise TraceFormatError(
+                f"line {line_no}: malformed t record",
+                path=path,
+                line=line_no,
+            )
+        thread_state = _STATES_BY_TOKEN.get(parts[1])
+        if thread_state is None:
+            try:
+                thread_state = ThreadState.from_name(parts[1])
+            except ValueError as error:
+                raise TraceFormatError(
+                    f"line {line_no}: {error}", path=path, line=line_no
+                ) from None
+            _STATES_BY_TOKEN[parts[1]] = thread_state
+        token = parts[2]
+        stack = stack_cache.get(token)
+        if stack is None:
+            try:
+                stack = decode_stack(token)
+            except TraceFormatError as error:
+                raise source.annotate(error)
+            stack_cache[token] = stack
+        return (REC_ENTRY, parts[0], thread_state, stack)
+    elif record == "O":
+        parts = rest.split(" ", 2)
+        if len(parts) != 3:
+            raise TraceFormatError(
+                f"line {line_no}: malformed O record",
+                path=path,
+                line=line_no,
+            )
+        start_ns = _parse_ns(parts[0], line_no, path)
+        kind = _KINDS_BY_TOKEN.get(parts[1])
+        if kind is None:
+            try:
+                kind = IntervalKind.from_name(parts[1])
+            except ValueError as error:
+                raise TraceFormatError(
+                    f"line {line_no}: {error}", path=path, line=line_no
+                ) from None
+            _KINDS_BY_TOKEN[parts[1]] = kind
+        return (REC_OPEN, start_ns, kind, parts[2])
+    elif record == "C":
+        return (REC_CLOSE, _parse_ns(rest, line_no, path))
+    elif record == "P":
+        state.in_tick = True
+        return (REC_TICK, _parse_ns(rest, line_no, path))
+    elif record == "G":
+        parts = rest.split(" ", 2)
+        if len(parts) != 3:
+            raise TraceFormatError(
+                f"line {line_no}: malformed G record",
+                path=path,
+                line=line_no,
+            )
+        return (
+            REC_GC,
+            _parse_ns(parts[0], line_no, path),
+            _parse_ns(parts[1], line_no, path),
+            parts[2],
+        )
+    elif record == "T":
+        thread = rest.strip()
+        if not thread:
+            raise TraceFormatError(
+                f"line {line_no}: empty thread name",
+                path=path,
+                line=line_no,
+            )
+        state.in_tick = False
+        return (REC_THREAD, thread)
+    elif record == "M":
+        key, _, value = rest.partition(" ")
+        if not key or not value:
+            raise TraceFormatError(
+                f"line {line_no}: malformed M record",
+                path=path,
+                line=line_no,
+            )
+        if key.startswith("x."):
+            return (REC_META, key[2:], value, True)
+        return (REC_META, key, value, False)
+    elif record == "F":
+        try:
+            count = int(rest)
+        except ValueError:
+            raise TraceFormatError(
+                f"line {line_no}: bad filtered-episode count {rest!r}",
+                path=path,
+                line=line_no,
+            ) from None
+        return (REC_FILTERED, count)
+    raise TraceFormatError(
+        f"line {line_no}: unknown record type {record!r}",
+        path=path,
+        line=line_no,
+    )
+
+
 def _text_records(
     source: "TraceSource", lines: Iterable[str]
 ) -> Iterator[tuple]:
@@ -114,123 +247,55 @@ def _text_records(
     except TraceFormatError as error:
         raise source.annotate(error)
 
-    path = source.path
-    stack_cache = source._stack_cache
-    in_tick = False
+    state = _ParseState()
     for line_no, raw in enumerate(iterator, start=2):
         source.line = line_no
+        record = _parse_body_line(source, line_no, raw.rstrip("\n"), state)
+        if record is not None:
+            yield record
+
+
+class RecordFeed(TraceSource):
+    """Push-mode text-format parser: feed lines, receive records.
+
+    The pull sources above wrap an iterable that must be complete before
+    parsing starts; the ingest daemon instead receives lines a batch at
+    a time from a live client and needs records *as they arrive*.
+    :meth:`feed` accepts one format line (the first must be the header)
+    and returns the validated record it encodes, or ``None`` for the
+    header and for blank/comment lines. Validation, error messages, and
+    line stamping are identical to :class:`TextTraceSource` — both run
+    :func:`_parse_body_line`.
+    """
+
+    encoding = "push"
+    wrap_errors = True
+
+    def __init__(self, label: Optional[str] = None) -> None:
+        self.path = None
+        self.line = None
+        self.offset = None
+        self._label = label
+        self._stack_cache: dict = {}
+        self._state = _ParseState()
+        self._line_no = 0
+
+    def label(self) -> str:
+        return self._label if self._label is not None else "<push>"
+
+    def feed(self, raw: str) -> Optional[tuple]:
+        """Parse the next format line; return its record (or ``None``)."""
+        self._line_no += 1
+        line_no = self._line_no
+        self.line = line_no
         line = raw.rstrip("\n")
-        if not line or line.startswith("#"):
-            continue
-        record, _, rest = line.partition(" ")
-        if record == "t":
-            if not in_tick:
-                raise TraceFormatError(
-                    f"line {line_no}: t record outside a tick",
-                    path=path,
-                    line=line_no,
-                )
-            parts = rest.split(" ", 2)
-            if len(parts) != 3:
-                raise TraceFormatError(
-                    f"line {line_no}: malformed t record",
-                    path=path,
-                    line=line_no,
-                )
-            state = _STATES_BY_TOKEN.get(parts[1])
-            if state is None:
-                try:
-                    state = ThreadState.from_name(parts[1])
-                except ValueError as error:
-                    raise TraceFormatError(
-                        f"line {line_no}: {error}", path=path, line=line_no
-                    ) from None
-                _STATES_BY_TOKEN[parts[1]] = state
-            token = parts[2]
-            stack = stack_cache.get(token)
-            if stack is None:
-                try:
-                    stack = decode_stack(token)
-                except TraceFormatError as error:
-                    raise source.annotate(error)
-                stack_cache[token] = stack
-            yield (REC_ENTRY, parts[0], state, stack)
-        elif record == "O":
-            parts = rest.split(" ", 2)
-            if len(parts) != 3:
-                raise TraceFormatError(
-                    f"line {line_no}: malformed O record",
-                    path=path,
-                    line=line_no,
-                )
-            start_ns = _parse_ns(parts[0], line_no, path)
-            kind = _KINDS_BY_TOKEN.get(parts[1])
-            if kind is None:
-                try:
-                    kind = IntervalKind.from_name(parts[1])
-                except ValueError as error:
-                    raise TraceFormatError(
-                        f"line {line_no}: {error}", path=path, line=line_no
-                    ) from None
-                _KINDS_BY_TOKEN[parts[1]] = kind
-            yield (REC_OPEN, start_ns, kind, parts[2])
-        elif record == "C":
-            yield (REC_CLOSE, _parse_ns(rest, line_no, path))
-        elif record == "P":
-            in_tick = True
-            yield (REC_TICK, _parse_ns(rest, line_no, path))
-        elif record == "G":
-            parts = rest.split(" ", 2)
-            if len(parts) != 3:
-                raise TraceFormatError(
-                    f"line {line_no}: malformed G record",
-                    path=path,
-                    line=line_no,
-                )
-            yield (
-                REC_GC,
-                _parse_ns(parts[0], line_no, path),
-                _parse_ns(parts[1], line_no, path),
-                parts[2],
-            )
-        elif record == "T":
-            thread = rest.strip()
-            if not thread:
-                raise TraceFormatError(
-                    f"line {line_no}: empty thread name",
-                    path=path,
-                    line=line_no,
-                )
-            in_tick = False
-            yield (REC_THREAD, thread)
-        elif record == "M":
-            key, _, value = rest.partition(" ")
-            if not key or not value:
-                raise TraceFormatError(
-                    f"line {line_no}: malformed M record",
-                    path=path,
-                    line=line_no,
-                )
-            if key.startswith("x."):
-                yield (REC_META, key[2:], value, True)
-            else:
-                yield (REC_META, key, value, False)
-        elif record == "F":
+        if line_no == 1:
             try:
-                count = int(rest)
-            except ValueError:
-                raise TraceFormatError(
-                    f"line {line_no}: bad filtered-episode count {rest!r}",
-                    path=path,
-                    line=line_no,
-                ) from None
-            yield (REC_FILTERED, count)
-        else:
-            raise TraceFormatError(
-                f"line {line_no}: unknown record type {record!r}",
-                path=path,
-                line=line_no,
-            )
+                parse_header(line)
+            except TraceFormatError as error:
+                raise self.annotate(error)
+            return None
+        return _parse_body_line(self, line_no, line, self._state)
 
 
 class TextTraceSource(TraceSource):

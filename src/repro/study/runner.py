@@ -22,7 +22,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
-from repro.core.api import AnalysisConfig
+from repro.core.analyzer import AnalysisConfig
 from repro.core.errors import AnalysisError
 from repro.core.store import as_columnar
 from repro.core.trace import Trace

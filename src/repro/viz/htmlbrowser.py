@@ -17,7 +17,7 @@ from html import escape
 from pathlib import Path
 from typing import List, Optional, Union
 
-from repro.core.api import LagAlyzer
+from repro.core.analyzer import LagAlyzer
 from repro.core.drilldown import drill_down_pattern, format_drilldown
 from repro.core.occurrence import classify_pattern
 from repro.core.patterns import Pattern

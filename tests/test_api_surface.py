@@ -1,0 +1,119 @@
+"""The stable top-level API surface.
+
+``repro.__all__`` is the compatibility contract introduced in PR 6:
+every name must resolve (the heavy ones lazily), be documented in
+``docs/api.md``, and the pre-existing deep-import paths must keep
+working through deprecation shims.
+"""
+
+import pathlib
+import pickle
+import warnings
+
+import pytest
+
+import repro
+
+DOCS_API = pathlib.Path(__file__).resolve().parent.parent / "docs" / "api.md"
+
+
+class TestTopLevelSurface:
+    def test_all_is_sorted_and_unique(self):
+        assert list(repro.__all__) == sorted(set(repro.__all__))
+
+    def test_every_name_resolves(self):
+        for name in repro.__all__:
+            value = getattr(repro, name)
+            assert value is not None, name
+
+    def test_lazy_names_cached_after_first_access(self):
+        # First access resolves via module __getattr__; afterwards the
+        # object lives in the module dict like any eager attribute.
+        assert repro.TraceClient is repro.__dict__["TraceClient"]
+        assert repro.run_study is repro.__dict__["run_study"]
+
+    def test_api_version_is_int(self):
+        assert isinstance(repro.API_VERSION, int)
+        assert repro.API_VERSION == 1
+
+    def test_version_is_string(self):
+        assert isinstance(repro.__version__, str)
+        assert repro.__version__
+
+    def test_dir_includes_all(self):
+        listed = dir(repro)
+        for name in repro.__all__:
+            assert name in listed
+
+    def test_unknown_attribute_raises(self):
+        with pytest.raises(AttributeError):
+            repro.no_such_name
+
+    def test_facade_names_are_the_canonical_objects(self):
+        from repro.core.analyzer import AnalysisConfig, LagAlyzer
+        from repro.engine.engine import AnalysisEngine
+        from repro.ingest.client import TraceClient
+        from repro.ingest.server import IngestServer
+        from repro.lila.source import build_store, open_source
+        from repro.study.runner import StudyConfig, run_study
+
+        assert repro.LagAlyzer is LagAlyzer
+        assert repro.AnalysisConfig is AnalysisConfig
+        assert repro.AnalysisEngine is AnalysisEngine
+        assert repro.TraceClient is TraceClient
+        assert repro.IngestServer is IngestServer
+        assert repro.open_source is open_source
+        assert repro.build_store is build_store
+        assert repro.run_study is run_study
+        assert repro.StudyConfig is StudyConfig
+
+
+class TestDocsStayInSync:
+    def test_every_public_name_is_documented(self):
+        text = DOCS_API.read_text(encoding="utf-8")
+        missing = [name for name in repro.__all__ if name not in text]
+        assert not missing, f"docs/api.md does not mention: {missing}"
+
+    def test_docs_state_current_api_version(self):
+        text = DOCS_API.read_text(encoding="utf-8")
+        assert f"`{repro.API_VERSION}`" in text
+
+
+class TestDeprecatedPaths:
+    def test_core_api_names_resolve_with_warning(self):
+        import repro.core.api as legacy
+
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            lagalyzer = legacy.LagAlyzer
+            config_cls = legacy.AnalysisConfig
+        assert lagalyzer is repro.LagAlyzer
+        assert config_cls is repro.AnalysisConfig
+        messages = [str(w.message) for w in caught
+                    if issubclass(w.category, DeprecationWarning)]
+        assert any("repro.core.api.LagAlyzer is deprecated" in m
+                   for m in messages), messages
+
+    def test_from_import_still_works(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            from repro.core.api import AnalysisConfig
+        assert AnalysisConfig is repro.AnalysisConfig
+
+    def test_dunder_access_does_not_warn(self):
+        import repro.core.api as legacy
+
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            with pytest.raises(AttributeError):
+                legacy.__not_a_real_dunder__
+        assert not [w for w in caught
+                    if issubclass(w.category, DeprecationWarning)]
+
+    def test_legacy_objects_pickle_identically(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            from repro.core.api import AnalysisConfig as LegacyConfig
+        new = repro.AnalysisConfig(perceptible_threshold_ms=120.0)
+        old = LegacyConfig(perceptible_threshold_ms=120.0)
+        assert pickle.dumps(new) == pickle.dumps(old)

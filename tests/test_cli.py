@@ -6,9 +6,14 @@ from repro.cli import build_parser, main
 
 
 class TestParser:
-    def test_requires_subcommand(self):
-        with pytest.raises(SystemExit):
-            build_parser().parse_args([])
+    def test_no_subcommand_prints_help_and_succeeds(self, capsys):
+        # Since PR 6, a bare invocation is a help screen, not an error.
+        args = build_parser().parse_args([])
+        assert args.command is None
+        assert main([]) == 0
+        out = capsys.readouterr().out
+        assert "usage:" in out
+        assert "ingest" in out
 
     def test_simulate_defaults(self):
         args = build_parser().parse_args(["simulate", "--app", "JMol"])

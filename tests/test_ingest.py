@@ -1,0 +1,482 @@
+"""The ingest service: protocol, daemon, client, incremental parity.
+
+Covers the wire-level failure modes (truncated frames, bad version
+bytes, oversized batches), the flow-control contract (backpressure
+nacks, idempotent redelivery, zero loss through END), durability on
+mid-stream disconnects, the chaos behaviour under ``ingest.*`` fault
+sites, and the acceptance-critical property that incremental-mode
+summaries are byte-identical to a one-shot analysis of the same
+records.
+"""
+
+from __future__ import annotations
+
+import io
+import pickle
+import socket
+import struct
+import time
+
+import pytest
+
+from helpers import dispatch, gui_sample, listener_iv, make_trace
+from repro.core.analyzer import AnalysisConfig, LagAlyzer
+from repro.core.store.facade import FacadeTrace
+from repro.faults import FaultInjector, FaultPlan, FaultRule
+from repro.faults import runtime as faults_runtime
+from repro.ingest import (
+    IncrementalSessionAnalyzer,
+    IngestServer,
+    SessionSpool,
+    TraceClient,
+)
+from repro.ingest import protocol
+from repro.lila.source import build_store, open_source
+from repro.lila.writer import trace_to_lines
+
+
+def sample_lines(offset_ms: float = 0.0, session: str = "s0"):
+    """A small, fully-featured trace as LiLa text lines."""
+    roots = [
+        dispatch(offset_ms + 0, offset_ms + 150,
+                 [listener_iv("com.example.A.run", offset_ms + 0,
+                              offset_ms + 140)]),
+        dispatch(offset_ms + 200, offset_ms + 250,
+                 [listener_iv("com.example.B.run", offset_ms + 200,
+                              offset_ms + 240)]),
+        dispatch(offset_ms + 300, offset_ms + 320),
+    ]
+    samples = [gui_sample(offset_ms + 50.0), gui_sample(offset_ms + 210.0)]
+    trace = make_trace(roots, samples=samples)
+    trace.metadata.session_id = session
+    return trace_to_lines(trace)
+
+
+def wait_until(predicate, timeout_s: float = 5.0) -> bool:
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.01)
+    return predicate()
+
+
+class RawConnection:
+    """A hand-driven protocol connection for wire-level tests."""
+
+    def __init__(self, address):
+        self.sock = socket.create_connection(address, timeout=5.0)
+        self.rfile = self.sock.makefile("rb")
+        self.wfile = self.sock.makefile("wb")
+
+    def hello(self, session="raw", application="RawApp"):
+        protocol.write_frame(
+            self.wfile, protocol.T_HELLO, 0,
+            protocol.encode_hello(session, application),
+        )
+        return protocol.read_frame(self.rfile)
+
+    def send(self, frame_type, seq, payload=b""):
+        protocol.write_frame(self.wfile, frame_type, seq, payload)
+        return protocol.read_frame(self.rfile)
+
+    def close(self):
+        for closer in (self.rfile, self.wfile, self.sock):
+            try:
+                closer.close()
+            except OSError:
+                pass
+
+
+@pytest.fixture
+def server(tmp_path):
+    with IngestServer(spool_dir=tmp_path / "spools") as srv:
+        yield srv
+
+
+# ----------------------------------------------------------------------
+# Protocol codecs
+# ----------------------------------------------------------------------
+
+
+class TestProtocol:
+    def test_frame_round_trip(self):
+        buffer = io.BytesIO()
+        protocol.write_frame(buffer, protocol.T_BATCH, 7, b"payload")
+        buffer.seek(0)
+        frame = protocol.read_frame(buffer)
+        assert (frame.type, frame.seq, frame.payload) == (
+            protocol.T_BATCH, 7, b"payload",
+        )
+        assert protocol.read_frame(buffer) is None  # clean EOF
+
+    def test_truncated_header_raises(self):
+        buffer = io.BytesIO(b"\x01\x02")
+        with pytest.raises(protocol.ProtocolError, match="truncated frame header"):
+            protocol.read_frame(buffer)
+
+    def test_truncated_payload_raises(self):
+        buffer = io.BytesIO()
+        protocol.write_frame(buffer, protocol.T_BATCH, 1, b"full payload")
+        data = buffer.getvalue()[:-4]
+        with pytest.raises(protocol.ProtocolError, match="truncated frame"):
+            protocol.read_frame(io.BytesIO(data))
+
+    def test_bad_version_byte_raises(self):
+        header = struct.pack("!BBII", 99, protocol.T_BATCH, 1, 0)
+        with pytest.raises(
+            protocol.ProtocolError, match="unsupported protocol version 99"
+        ):
+            protocol.read_frame(io.BytesIO(header))
+
+    def test_oversized_frame_drained_and_connection_usable(self):
+        buffer = io.BytesIO()
+        protocol.write_frame(buffer, protocol.T_BATCH, 3, b"x" * 2048)
+        protocol.write_frame(buffer, protocol.T_END, 4)
+        buffer.seek(0)
+        with pytest.raises(protocol.FrameTooLarge) as excinfo:
+            protocol.read_frame(buffer, max_payload=1024)
+        assert excinfo.value.seq == 3
+        follower = protocol.read_frame(buffer, max_payload=1024)
+        assert (follower.type, follower.seq) == (protocol.T_END, 4)
+
+    def test_batch_codec_round_trip(self):
+        lines = ["#%lila", "M application App", "T AWT-EventQueue-0"]
+        assert protocol.decode_batch(protocol.encode_batch(lines)) == lines
+        assert protocol.decode_batch(protocol.encode_batch([])) == []
+
+    def test_batch_codec_rejects_damage(self):
+        payload = protocol.encode_batch(["a", "b"])
+        with pytest.raises(protocol.ProtocolError, match="not valid gzip"):
+            protocol.decode_batch(payload[:4] + b"garbage")
+        wrong_count = struct.pack("!I", 9) + payload[4:]
+        with pytest.raises(protocol.ProtocolError, match="declared 9"):
+            protocol.decode_batch(wrong_count)
+
+    def test_hello_and_nack_codecs(self):
+        assert protocol.decode_hello(
+            protocol.encode_hello("s-1", "App")
+        ) == ("s-1", "App")
+        with pytest.raises(protocol.ProtocolError, match="non-empty"):
+            protocol.decode_hello(protocol.encode_hello(""))
+        assert protocol.decode_nack(
+            protocol.encode_nack(250, "backpressure: full")
+        ) == (250, "backpressure: full")
+
+
+# ----------------------------------------------------------------------
+# Daemon wire behaviour
+# ----------------------------------------------------------------------
+
+
+class TestServerWire:
+    def test_bad_version_byte_answered_with_error(self, server):
+        conn = RawConnection(server.address)
+        try:
+            conn.wfile.write(struct.pack("!BBII", 9, protocol.T_HELLO, 0, 0))
+            conn.wfile.flush()
+            reply = protocol.read_frame(conn.rfile)
+            assert reply is not None and reply.type == protocol.T_ERROR
+            assert b"unsupported protocol version" in reply.payload
+        finally:
+            conn.close()
+
+    def test_truncated_frame_answered_with_error(self, server):
+        conn = RawConnection(server.address)
+        try:
+            assert conn.hello().type == protocol.T_ACK
+            conn.wfile.write(b"\x01\x02\x03")  # half a header, then EOF
+            conn.wfile.flush()
+            conn.sock.shutdown(socket.SHUT_WR)
+            reply = protocol.read_frame(conn.rfile)
+            assert reply is not None and reply.type == protocol.T_ERROR
+            assert b"truncated" in reply.payload
+        finally:
+            conn.close()
+
+    def test_first_frame_must_be_hello(self, server):
+        conn = RawConnection(server.address)
+        try:
+            reply = conn.send(protocol.T_BATCH, 1, protocol.encode_batch(["x"]))
+            assert reply.type == protocol.T_ERROR
+            assert b"HELLO" in reply.payload
+        finally:
+            conn.close()
+
+    def test_oversized_batch_nacked_connection_survives(self, tmp_path):
+        with IngestServer(
+            spool_dir=tmp_path / "spools", max_payload=1024
+        ) as srv:
+            conn = RawConnection(srv.address)
+            try:
+                assert conn.hello(session="big").type == protocol.T_ACK
+                reply = conn.send(protocol.T_BATCH, 1, b"z" * 4096)
+                assert reply.type == protocol.T_NACK
+                _, reason = protocol.decode_nack(reply.payload)
+                assert reason.startswith("oversized")
+                # The same connection still accepts a well-sized batch.
+                lines = sample_lines(session="big")
+                reply = conn.send(
+                    protocol.T_BATCH, 2, protocol.encode_batch(lines)
+                )
+                assert reply.type == protocol.T_ACK
+                assert conn.send(protocol.T_END, 3).type == protocol.T_ACK
+                state = srv.sessions()[0]
+                assert state.records_flushed == len(lines)
+            finally:
+                conn.close()
+
+    def test_duplicate_seq_acked_but_spooled_once(self, server):
+        lines = sample_lines(session="dup")
+        conn = RawConnection(server.address)
+        try:
+            assert conn.hello(session="dup").type == protocol.T_ACK
+            payload = protocol.encode_batch(lines)
+            assert conn.send(protocol.T_BATCH, 1, payload).type == protocol.T_ACK
+            # Redelivery of an accepted seq: acked again, not re-spooled.
+            assert conn.send(protocol.T_BATCH, 1, payload).type == protocol.T_ACK
+            assert conn.send(protocol.T_END, 2).type == protocol.T_ACK
+        finally:
+            conn.close()
+        state = server.sessions()[0]
+        assert state.records_flushed == len(lines)
+        assert state.spool.path.read_text().splitlines() == lines
+
+    def test_undecodable_batch_nacked_permanently(self, server):
+        conn = RawConnection(server.address)
+        try:
+            assert conn.hello(session="bad").type == protocol.T_ACK
+            reply = conn.send(protocol.T_BATCH, 1, b"\x00\x00\x00\x02junk")
+            assert reply.type == protocol.T_NACK
+            _, reason = protocol.decode_nack(reply.payload)
+            assert reason.startswith("bad-batch")
+        finally:
+            conn.close()
+
+
+# ----------------------------------------------------------------------
+# Durability and flow control
+# ----------------------------------------------------------------------
+
+
+class TestDurability:
+    def test_mid_stream_disconnect_leaves_spool_readable(self, server):
+        lines = sample_lines(session="gone")
+        conn = RawConnection(server.address)
+        assert conn.hello(session="gone", application="App").type == protocol.T_ACK
+        reply = conn.send(
+            protocol.T_BATCH, 1, protocol.encode_batch(lines)
+        )
+        assert reply.type == protocol.T_ACK
+        conn.close()  # vanish without END
+        state = server.sessions()[0]
+        assert wait_until(lambda: state.records_flushed == len(lines))
+        store = build_store(open_source(state.spool.path))
+        assert store.metadata.session_id == "gone"
+        assert state.spool.path.read_text().splitlines() == lines
+
+    def test_client_round_trip_zero_loss(self, server):
+        lines = sample_lines(session="c0")
+        with TraceClient(
+            server.address, session="c0", application="App", batch_records=5
+        ) as client:
+            client.extend(lines)
+        assert client.records_sent == len(lines)
+        assert client.dropped_records == 0
+        state = server.sessions()[0]
+        assert state.ended
+        assert state.spool.path.read_text().splitlines() == lines
+
+    def test_concurrent_sessions_zero_loss(self, tmp_path):
+        import threading
+
+        with IngestServer(
+            spool_dir=tmp_path / "spools", queue_limit=2
+        ) as srv:
+            per_session = {}
+
+            def ship(index: int) -> None:
+                session = f"s{index}"
+                lines = sample_lines(session=session)
+                per_session[session] = lines
+                with TraceClient(
+                    srv.address, session=session, batch_records=3
+                ) as client:
+                    client.extend(lines)
+
+            threads = [
+                threading.Thread(target=ship, args=(i,)) for i in range(12)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            states = {s.session: s for s in srv.sessions()}
+            assert len(states) == 12
+            for session, lines in per_session.items():
+                assert states[session].ended
+                spooled = states[session].spool.path.read_text().splitlines()
+                assert spooled == lines
+
+    def test_client_drop_mode_counts_overflow(self, tmp_path):
+        # A plan that nacks every delivery of every frame: with
+        # max_retries bounded and overflow="drop", the client sheds
+        # load gracefully and counts every shed record.
+        plan = FaultPlan(seed=3, rules=(
+            FaultRule(kind="task_error", site="ingest.frame",
+                      probability=1.0, times=None),
+        ))
+        lines = sample_lines(session="shed")
+        with faults_runtime.installed(FaultInjector(plan)):
+            with IngestServer(spool_dir=tmp_path / "spools") as srv:
+                client = TraceClient(
+                    srv.address, session="shed", batch_records=4,
+                    max_pending_batches=2, overflow="drop", max_retries=2,
+                )
+                client.extend(lines)
+                client.close()
+        assert client.records_sent == 0
+        assert client.dropped_records == len(lines)
+        assert client.dropped_batches > 0
+        assert client.nacks_received > 0
+
+
+# ----------------------------------------------------------------------
+# Chaos: the ingest.* fault sites
+# ----------------------------------------------------------------------
+
+
+class TestIngestChaos:
+    def test_transient_frame_fault_recovers_on_redelivery(self, tmp_path):
+        # times=1 (the transient default): the first delivery of seq 1
+        # is nacked, the client's redelivery is accepted. Zero loss.
+        plan = FaultPlan(seed=11, rules=(
+            FaultRule(kind="task_error", site="ingest.frame",
+                      at=("chaos/1", "chaos/3")),
+        ))
+        lines = sample_lines(session="chaos")
+        with faults_runtime.installed(FaultInjector(plan)):
+            with IngestServer(spool_dir=tmp_path / "spools") as srv:
+                with TraceClient(
+                    srv.address, session="chaos", batch_records=5
+                ) as client:
+                    client.extend(lines)
+                state = srv.sessions()[0]
+                assert state.ended
+                spooled = state.spool.path.read_text().splitlines()
+        assert spooled == lines
+        assert client.nacks_received >= 2
+        assert client.records_sent == len(lines)
+        assert client.dropped_records == 0
+
+    def test_transient_flush_fault_retried_next_cycle(self, tmp_path):
+        plan = FaultPlan(seed=5, rules=(
+            FaultRule(kind="task_error", site="ingest.flush",
+                      probability=1.0),  # times=1: first flush fails
+        ))
+        lines = sample_lines(session="fl")
+        with faults_runtime.installed(FaultInjector(plan)):
+            with IngestServer(spool_dir=tmp_path / "spools") as srv:
+                with TraceClient(
+                    srv.address, session="fl", batch_records=50
+                ) as client:
+                    client.extend(lines)
+                state = srv.sessions()[0]
+                assert state.flush_attempts >= 1  # the injected failure
+                assert state.ended                # ...and full recovery
+                assert state.spool.path.read_text().splitlines() == lines
+        assert client.dropped_records == 0
+
+
+# ----------------------------------------------------------------------
+# Incremental analysis parity
+# ----------------------------------------------------------------------
+
+
+class TestIncrementalParity:
+    def test_rolling_summary_advances_per_episode(self):
+        analyzer = IncrementalSessionAnalyzer(config=AnalysisConfig())
+        lines = sample_lines(session="inc")
+        seen = []
+        for line in lines:
+            for _episode in analyzer.push_line(line):
+                seen.append(analyzer.rolling_summary()["episodes"])
+        assert seen == [1, 2, 3]
+        summary = analyzer.rolling_summary()
+        assert summary["perceptible_episodes"] == 1
+        assert summary["distinct_patterns"] == 2
+        assert summary["covered_episodes"] == 2
+        assert summary["unstructured_episodes"] == 1
+
+    def test_summaries_byte_identical_to_one_shot(self, tmp_path):
+        lines = sample_lines(session="parity")
+        config = AnalysisConfig()
+
+        analyzer = IncrementalSessionAnalyzer(config=config)
+        analyzer.push_lines(lines)
+        incremental = analyzer.summaries()
+
+        path = tmp_path / "parity.lila"
+        path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+        one_shot = LagAlyzer(
+            [FacadeTrace(build_store(open_source(path)))], config=config
+        ).summaries()
+
+        assert pickle.dumps(incremental) == pickle.dumps(one_shot)
+
+    def test_daemon_incremental_mode_matches_one_shot(self, tmp_path):
+        lines = sample_lines(session="live")
+        with IngestServer(
+            spool_dir=tmp_path / "spools", incremental=True
+        ) as srv:
+            with TraceClient(
+                srv.address, session="live", batch_records=4
+            ) as client:
+                client.extend(lines)
+            state = srv.sessions()[0]
+            rolling = srv.rolling_summaries()["live"]
+            assert rolling["episodes"] == 3
+            incremental = state.analyzer.summaries()
+            spool_path = state.spool.path
+        one_shot = LagAlyzer(
+            [FacadeTrace(build_store(open_source(spool_path)))]
+        ).summaries()
+        assert pickle.dumps(incremental) == pickle.dumps(one_shot)
+
+    def test_damaged_record_stops_analyzer_not_spool(self, tmp_path):
+        lines = sample_lines(session="dmg")
+        lines.insert(len(lines) - 1, "Z bogus record")
+        with IngestServer(
+            spool_dir=tmp_path / "spools", incremental=True
+        ) as srv:
+            with TraceClient(srv.address, session="dmg") as client:
+                client.extend(lines)
+            state = srv.sessions()[0]
+            assert state.ended
+            assert state.analyzer is None
+            assert "unknown record type" in (state.analyzer_error or "") or (
+                state.analyzer_error
+            )
+            # The spool still holds every acked record verbatim.
+            assert state.spool.path.read_text().splitlines() == lines
+
+
+# ----------------------------------------------------------------------
+# Spool
+# ----------------------------------------------------------------------
+
+
+class TestSpool:
+    def test_hostile_session_id_cannot_escape_directory(self, tmp_path):
+        spool = SessionSpool(tmp_path, "../../etc/passwd", "Evil App")
+        assert spool.path.parent == tmp_path
+        assert spool.path.name == "Evil_App-etc_passwd.lila"
+        assert "/" not in spool.path.name and ".." not in spool.path.name
+
+    def test_append_is_durable_and_counted(self, tmp_path):
+        spool = SessionSpool(tmp_path, "s1", "App")
+        with spool:
+            assert spool.append(["#%lila", "M application App"]) == 2
+            assert spool.append([]) == 0
+        assert spool.lines_written == 2
+        assert spool.path.read_text() == "#%lila\nM application App\n"
