@@ -20,11 +20,15 @@ The script reports and gates on:
 CI runs it as a smoke gate in the ``ingest-bench`` job::
 
     python benchmarks/bench_ingest_service.py --sessions 200 --records 120
+
+``--json-out BENCH_ingest.json`` additionally appends this run's
+numbers to the tracked trajectory file (ROADMAP item 2).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import tempfile
 import time
@@ -132,6 +136,9 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="required fleet-wide acknowledged throughput")
     parser.add_argument("--max-p99-ms", type=float, default=1000.0,
                         help="p99 bound for per-batch send-to-ack latency")
+    parser.add_argument("--json-out", default=None, metavar="FILE",
+                        help="append this run's numbers to a "
+                             "BENCH_ingest.json trajectory")
     args = parser.parse_args(argv)
 
     fleets = [session_lines(i, args.records) for i in range(args.sessions)]
@@ -196,10 +203,44 @@ def main(argv: Optional[List[str]] = None) -> int:
               f"{args.max_p99_ms:.0f} ms bound", file=sys.stderr)
         failed = True
     tmpdir.cleanup()
+    if args.json_out:
+        append_trajectory(Path(args.json_out), {
+            "generated": time.strftime(
+                "%Y-%m-%dT%H:%M:%SZ", time.gmtime()
+            ),
+            "workload": {
+                "sessions": args.sessions,
+                "records": args.records,
+                "batch_records": args.batch_records,
+                "queue_limit": args.queue_limit,
+            },
+            "elapsed_s": round(elapsed, 6),
+            "records_total": total_lines,
+            "records_per_sec": round(rate, 1),
+            "p99_send_to_ack_ms": p99,
+            "nacks": nacks,
+            "retries": retries,
+            "lost_records": lost + dropped,
+            "passed": not failed,
+        })
+        print(f"trajectory entry appended to {args.json_out}")
     if not failed:
         print(f"PASS: {args.sessions} concurrent sessions, zero loss "
               "under backpressure")
     return 1 if failed else 0
+
+
+def append_trajectory(path: Path, entry: dict) -> None:
+    """Append ``entry`` to the trajectory file (created if missing)."""
+    if path.exists():
+        data = json.loads(path.read_text(encoding="utf-8"))
+    else:
+        data = {"benchmark": "ingest_service", "trajectory": []}
+    data["trajectory"].append(entry)
+    path.write_text(
+        json.dumps(data, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
 
 
 if __name__ == "__main__":

@@ -63,6 +63,11 @@ _LAZY = {
     "TraceClient": ("repro.ingest.client", "TraceClient"),
     "IngestServer": ("repro.ingest.server", "IngestServer"),
     "AnalysisEngine": ("repro.engine.engine", "AnalysisEngine"),
+    "TraceContext": ("repro.obs.context", "TraceContext"),
+    "Warehouse": ("repro.obs.warehouse", "Warehouse"),
+    "TelemetryPublisher": ("repro.obs.publisher", "TelemetryPublisher"),
+    "SloPolicy": ("repro.obs.slo", "SloPolicy"),
+    "SloThreshold": ("repro.obs.slo", "SloThreshold"),
 }
 
 __all__ = [
@@ -79,13 +84,18 @@ __all__ = [
     "Pattern",
     "PatternTable",
     "Sample",
+    "SloPolicy",
+    "SloThreshold",
     "StackFrame",
     "StackTrace",
     "StudyConfig",
+    "TelemetryPublisher",
     "ThreadState",
     "Trace",
     "TraceClient",
+    "TraceContext",
     "TraceMetadata",
+    "Warehouse",
     "__version__",
     "build_store",
     "open_source",

@@ -68,13 +68,32 @@ def _analysis_config(args: argparse.Namespace):
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.core.errors import LagAlyzerError
     from repro.faults import runtime as faults_runtime
     from repro.ingest.server import IngestServer
     from repro.obs import runtime as obs_runtime
 
     obs = _make_observer(args)
+    ambient = obs
+    if ambient is None and (
+        args.warehouse is not None or args.health_port is not None
+    ):
+        # Telemetry needs an observer even without --obs; this one is
+        # never saved as a bundle.
+        from repro.obs import Observer
+
+        ambient = Observer()
+    slo = None
+    if args.slo is not None:
+        from repro.obs.slo import SloPolicy
+
+        try:
+            slo = SloPolicy.load(args.slo)
+        except LagAlyzerError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
     injector = _load_injector(args)
-    with obs_runtime.installed(obs), faults_runtime.installed(injector):
+    with obs_runtime.installed(ambient), faults_runtime.installed(injector):
         server = IngestServer(
             spool_dir=args.spool_dir,
             host=args.host,
@@ -82,11 +101,23 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             queue_limit=args.queue_limit,
             incremental=args.incremental,
             config=_analysis_config(args) if args.incremental else None,
+            health_port=args.health_port,
+            slo=slo,
+            warehouse=args.warehouse,
+            publish_interval_s=args.publish_interval,
+            run_id=args.run_id,
         )
         server.start()
         host, port = server.address
         print(f"ingest daemon listening on {host}:{port} "
               f"(spools -> {args.spool_dir}/)")
+        if server.health is not None:
+            h_host, h_port = server.health.address
+            print(f"health endpoints on http://{h_host}:{h_port} "
+                  f"(/healthz /metrics /sessions)")
+        if server.warehouse is not None:
+            print(f"telemetry warehouse -> {server.warehouse.path} "
+                  f"(run {server.run_id})")
         try:
             while True:
                 time.sleep(args.summary_interval)
@@ -151,10 +182,15 @@ def _cmd_replay(args: argparse.Namespace) -> int:
         print("error: no trace files matched", file=sys.stderr)
         return 1
     obs = _make_observer(args)
+    ambient = obs
+    if ambient is None and args.warehouse is not None:
+        from repro.obs import Observer
+
+        ambient = Observer()
     injector = _load_injector(args)
     workers = args.workers if args.workers > 0 else len(paths)
     results = []
-    with obs_runtime.installed(obs), faults_runtime.installed(injector):
+    with obs_runtime.installed(ambient), faults_runtime.installed(injector):
         with ThreadPoolExecutor(max_workers=min(workers, len(paths))) as pool:
             futures = [
                 pool.submit(_replay_one, args, address, index, Path(path))
@@ -162,6 +198,8 @@ def _cmd_replay(args: argparse.Namespace) -> int:
             ]
             for future in futures:
                 results.append(future.result())
+        if args.warehouse is not None:
+            _publish_replay_telemetry(ambient, args)
     for result in results:
         print(json.dumps(result, sort_keys=True))
     total = sum(r["records_sent"] for r in results)
@@ -170,6 +208,30 @@ def _cmd_replay(args: argparse.Namespace) -> int:
           f"{dropped} dropped")
     _finish_observer(obs, args)
     return 0 if dropped == 0 else 1
+
+
+def _publish_replay_telemetry(obs, args: argparse.Namespace) -> None:
+    """One-shot warehouse flush of a replay's client-side telemetry.
+
+    This is where send-to-ack latency (``ingest.client.flush_ms``)
+    enters the warehouse — it is measured by the sending side, so the
+    daemon's own publisher never sees it.
+    """
+    import os
+
+    from repro.obs.publisher import TelemetryPublisher
+    from repro.obs.warehouse import Warehouse
+
+    run_id = args.run_id or f"replay-{os.getpid()}"
+    publisher = TelemetryPublisher(
+        obs, Warehouse(args.warehouse), run_id, interval_s=3600.0
+    )
+    if publisher.publish_once():
+        print(f"published replay telemetry -> {args.warehouse} "
+              f"(run {run_id})")
+    else:
+        print(f"warning: could not publish telemetry to {args.warehouse}",
+              file=sys.stderr)
 
 
 # ----------------------------------------------------------------------
@@ -242,6 +304,21 @@ def register(sub: argparse._SubParsersAction) -> None:
                       "print summaries")
     p_sv.add_argument("--summary-interval", type=float, default=5.0,
                       help="seconds between rolling-summary prints")
+    p_sv.add_argument("--health-port", type=int, default=None,
+                      metavar="PORT",
+                      help="serve /healthz /metrics /sessions on this "
+                      "port (0 = pick a free one)")
+    p_sv.add_argument("--slo", default=None, metavar="FILE",
+                      help="SLO policy JSON behind /healthz (default: "
+                      "the built-in ingest policy)")
+    p_sv.add_argument("--warehouse", default=None, metavar="FILE",
+                      help="flush periodic telemetry into this metrics "
+                      "warehouse (queried with 'obs query')")
+    p_sv.add_argument("--publish-interval", type=float, default=2.0,
+                      help="seconds between warehouse flushes")
+    p_sv.add_argument("--run-id", default=None,
+                      help="warehouse partition key for this daemon run "
+                      "(default ingest-<pid>)")
     add_threshold(p_sv)
     add_obs(p_sv)
     add_faults(p_sv)
@@ -258,6 +335,12 @@ def register(sub: argparse._SubParsersAction) -> None:
                       help="session ids become PREFIX0, PREFIX1, ...")
     p_rp.add_argument("--batch-records", type=int, default=256,
                       help="record lines per client batch")
+    p_rp.add_argument("--warehouse", default=None, metavar="FILE",
+                      help="publish the replay's client-side telemetry "
+                      "(send-to-ack latency...) into this warehouse")
+    p_rp.add_argument("--run-id", default=None,
+                      help="warehouse partition key for this replay "
+                      "(default replay-<pid>)")
     add_workers(p_rp, help="concurrent replay sessions "
                 "(0 = all sessions at once)")
     add_obs(p_rp)

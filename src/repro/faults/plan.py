@@ -39,6 +39,7 @@ SITES = (
     "lila.read",     # trace-file parse (key = file name)
     "ingest.frame",  # ingest-daemon frame intake (key = "session/seq")
     "ingest.flush",  # ingest-daemon spool flush (key = session id)
+    "obs.publish",   # telemetry-warehouse flush (key = run id)
 )
 
 #: Fault kinds and the site each defaults to.

@@ -37,6 +37,7 @@ from repro.core.errors import LagAlyzerError
 from repro.engine.scheduler import RetryPolicy
 from repro.ingest import protocol
 from repro.obs import runtime as obs_runtime
+from repro.obs.context import TraceContext, carrier_span
 
 #: Backoff curve for nacked deliveries (deterministic jitter).
 DEFAULT_RETRY = RetryPolicy(
@@ -50,13 +51,20 @@ class IngestClientError(LagAlyzerError):
 
 
 class _Batch:
-    __slots__ = ("seq", "payload", "records", "attempts")
+    __slots__ = ("seq", "payload", "records", "attempts", "context")
 
-    def __init__(self, seq: int, payload: bytes, records: int) -> None:
+    def __init__(
+        self,
+        seq: int,
+        payload: bytes,
+        records: int,
+        context: Optional[TraceContext] = None,
+    ) -> None:
         self.seq = seq
         self.payload = payload
         self.records = records
         self.attempts = 0
+        self.context = context
 
 
 _END = object()
@@ -77,6 +85,14 @@ class TraceClient:
             ``None`` retries forever (lossless under backpressure).
         retry: backoff policy for nacked deliveries.
         timeout_s: socket timeout for connects, sends, and ack waits.
+        propagate: carry a trace context in HELLO/BATCH frames so the
+            daemon's spans parent under this client's send spans
+            (effective only while an observer is installed).
+        sample_rate: fraction of sessions whose batches carry context —
+            a **deterministic** decision derived from
+            ``(sample_seed, session)``, not a random draw, so repeated
+            runs sample identically.
+        sample_seed: seed for the sampling decision and the trace id.
     """
 
     def __init__(
@@ -90,6 +106,9 @@ class TraceClient:
         max_retries: Optional[int] = None,
         retry: RetryPolicy = DEFAULT_RETRY,
         timeout_s: float = 10.0,
+        propagate: bool = True,
+        sample_rate: float = 1.0,
+        sample_seed: int = 0,
     ) -> None:
         if overflow not in ("block", "drop"):
             raise IngestClientError(
@@ -104,6 +123,10 @@ class TraceClient:
         self.max_retries = max_retries
         self.retry = retry
         self.timeout_s = timeout_s
+        self.propagate = bool(propagate)
+        self.trace_context = TraceContext.mint(
+            session, seed=sample_seed, sample_rate=sample_rate
+        )
 
         self._cond = threading.Condition()
         self._pending: Deque[object] = deque()
@@ -158,12 +181,25 @@ class TraceClient:
                 f"client failed: {self._failure}"
             ) from self._failure
 
+    def _propagating(self) -> bool:
+        """Whether batches sealed now should carry a trace context."""
+        return (
+            self.propagate
+            and self.trace_context.sampled
+            and obs_runtime.current() is not None
+        )
+
     def _seal(self) -> None:
         lines = self._current
         self._current = []
         self._seq += 1
-        payload = protocol.encode_batch(lines)
-        batch = _Batch(self._seq, payload, len(lines))
+        context = (
+            self.trace_context.child() if self._propagating() else None
+        )
+        payload = protocol.encode_batch(
+            lines, context=context.to_dict() if context else None
+        )
+        batch = _Batch(self._seq, payload, len(lines), context=context)
         with self._cond:
             while (
                 self.overflow == "block"
@@ -257,9 +293,14 @@ class TraceClient:
         self._sock = sock
         self._rfile = sock.makefile("rb")
         self._wfile = sock.makefile("wb")
+        hello_context = (
+            self.trace_context.to_dict() if self._propagating() else None
+        )
         protocol.write_frame(
             self._wfile, protocol.T_HELLO, 0,
-            protocol.encode_hello(self.session, self.application),
+            protocol.encode_hello(
+                self.session, self.application, context=hello_context
+            ),
         )
         reply = protocol.read_frame(self._rfile)
         if reply is None or reply.type != protocol.T_ACK:
@@ -317,7 +358,20 @@ class TraceClient:
         obs_runtime.count("ingest.client.dropped_records", batch.records)
 
     def _deliver(self, batch: _Batch) -> None:
-        """Deliver one batch: retries, backoff, reconnects, drops."""
+        """Deliver one batch: retries, backoff, reconnects, drops.
+
+        Under a sampled trace context the whole delivery — including
+        retries — is one ``ingest.client.send`` span whose id *is* the
+        propagated ``span_id``, so the daemon's frame/flush spans
+        attach to it once observers merge.
+        """
+        with carrier_span(
+            "ingest.client.send", batch.context,
+            session=self.session, seq=batch.seq, records=batch.records,
+        ):
+            self._deliver_inner(batch)
+
+    def _deliver_inner(self, batch: _Batch) -> None:
         while True:
             if (
                 self.max_retries is not None

@@ -40,12 +40,19 @@ import json
 import struct
 import zlib
 from dataclasses import dataclass
-from typing import BinaryIO, List, Optional, Sequence, Tuple
+from typing import Any, BinaryIO, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.errors import LagAlyzerError
 
 #: Wire protocol version; bumped on any incompatible frame change.
 PROTOCOL_VERSION = 1
+
+#: Minor revision within version 1: optional trace-context fields in
+#: HELLO (a ``"trace"`` JSON key) and BATCH (a flagged count word, see
+#: :func:`encode_batch`). Frames without them are byte-identical to
+#: minor 0, and decoders ignore what they don't carry — the version
+#: byte does not change.
+PROTOCOL_MINOR = 1
 
 #: Frame type codes.
 T_HELLO = 1
@@ -184,15 +191,27 @@ def read_frame(
 # ----------------------------------------------------------------------
 
 
-def encode_hello(session: str, application: str = "") -> bytes:
-    """HELLO payload for ``session`` (sorted keys — byte-stable)."""
-    return json.dumps(
-        {"application": application, "session": session}, sort_keys=True
-    ).encode("utf-8")
+def encode_hello(
+    session: str,
+    application: str = "",
+    context: Optional[Mapping[str, Any]] = None,
+) -> bytes:
+    """HELLO payload for ``session`` (sorted keys — byte-stable).
+
+    ``context`` (a :meth:`TraceContext.to_dict` mapping) rides in the
+    JSON attribute space under the ``"trace"`` key; receivers that
+    predate it ignore unknown keys, so the frame stays version-1.
+    """
+    raw: Dict[str, Any] = {"application": application, "session": session}
+    if context is not None:
+        raw["trace"] = dict(context)
+    return json.dumps(raw, sort_keys=True).encode("utf-8")
 
 
-def decode_hello(payload: bytes) -> Tuple[str, str]:
-    """``(session, application)`` from a HELLO payload."""
+def decode_hello_context(
+    payload: bytes,
+) -> Tuple[str, str, Optional[Dict[str, Any]]]:
+    """``(session, application, trace context or None)`` from a HELLO."""
     try:
         raw = json.loads(payload.decode("utf-8"))
         session = raw["session"]
@@ -203,26 +222,75 @@ def decode_hello(payload: bytes) -> Tuple[str, str]:
     application = raw.get("application", "")
     if not isinstance(application, str):
         raise ProtocolError("HELLO 'application' must be a string")
+    context = raw.get("trace")
+    if not isinstance(context, dict):
+        context = None  # telemetry is best-effort, never fatal
+    return session, application, context
+
+
+def decode_hello(payload: bytes) -> Tuple[str, str]:
+    """``(session, application)`` from a HELLO payload."""
+    session, application, _ = decode_hello_context(payload)
     return session, application
 
 
-def encode_batch(lines: Sequence[str]) -> bytes:
+#: High bit of the BATCH count word: a trace-context block follows.
+_CTX_FLAG = 0x80000000
+_U16 = struct.Struct("!H")
+
+
+def encode_batch(
+    lines: Sequence[str],
+    context: Optional[Mapping[str, Any]] = None,
+) -> bytes:
     """BATCH payload: record count + gzip-compressed joined lines.
 
     ``mtime=0`` keeps the gzip member byte-stable for identical input
-    (no wall-clock timestamp in the stream).
+    (no wall-clock timestamp in the stream). With ``context`` (the
+    protocol-minor-1 optional field) the count word sets its high bit
+    and a ``u16`` length plus that many bytes of context JSON precede
+    the gzip member; without it the payload is byte-identical to
+    minor 0.
     """
-    body = "\n".join(lines).encode("utf-8")
-    return _U32.pack(len(lines)) + gzip.compress(body, mtime=0)
+    body = gzip.compress("\n".join(lines).encode("utf-8"), mtime=0)
+    if context is None:
+        return _U32.pack(len(lines)) + body
+    blob = json.dumps(dict(context), sort_keys=True).encode("utf-8")
+    return (
+        _U32.pack(len(lines) | _CTX_FLAG)
+        + _U16.pack(len(blob))
+        + blob
+        + body
+    )
 
 
-def decode_batch(payload: bytes) -> List[str]:
-    """The record lines of a BATCH payload."""
+def decode_batch_context(
+    payload: bytes,
+) -> Tuple[List[str], Optional[Dict[str, Any]]]:
+    """``(record lines, trace context or None)`` from a BATCH payload."""
     if len(payload) < _U32.size:
         raise ProtocolError("batch payload shorter than its record count")
     (count,) = _U32.unpack(payload[: _U32.size])
+    offset = _U32.size
+    context: Optional[Dict[str, Any]] = None
+    if count & _CTX_FLAG:
+        count &= ~_CTX_FLAG
+        if len(payload) < offset + _U16.size:
+            raise ProtocolError("batch context block truncated")
+        (blob_len,) = _U16.unpack(payload[offset:offset + _U16.size])
+        offset += _U16.size
+        blob = payload[offset:offset + blob_len]
+        if len(blob) != blob_len:
+            raise ProtocolError("batch context block truncated")
+        offset += blob_len
+        try:
+            decoded = json.loads(blob.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError):
+            decoded = None  # damaged telemetry never fails the batch
+        if isinstance(decoded, dict):
+            context = decoded
     try:
-        body = gzip.decompress(payload[_U32.size:]).decode("utf-8")
+        body = gzip.decompress(payload[offset:]).decode("utf-8")
     except (OSError, EOFError, zlib.error, UnicodeDecodeError) as error:
         raise ProtocolError(
             f"batch payload is not valid gzip text: {error}"
@@ -232,7 +300,12 @@ def decode_batch(payload: bytes) -> List[str]:
         raise ProtocolError(
             f"batch declared {count} records but carries {len(lines)}"
         )
-    return lines
+    return lines, context
+
+
+def decode_batch(payload: bytes) -> List[str]:
+    """The record lines of a BATCH payload (context, if any, dropped)."""
+    return decode_batch_context(payload)[0]
 
 
 def encode_nack(retry_after_ms: int, reason: str) -> bytes:

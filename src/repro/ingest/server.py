@@ -33,6 +33,7 @@ like scheduler retries.
 
 from __future__ import annotations
 
+import os
 import socketserver
 import threading
 import time
@@ -46,6 +47,11 @@ from repro.ingest import protocol
 from repro.ingest.incremental import IncrementalSessionAnalyzer
 from repro.ingest.spool import SessionSpool
 from repro.obs import runtime as obs_runtime
+from repro.obs.context import TraceContext, adopted_span
+from repro.obs.http import HealthServer
+from repro.obs.publisher import TelemetryPublisher
+from repro.obs.slo import SloPolicy, ingest_stats_for_slo
+from repro.obs.warehouse import Warehouse
 
 #: Default bound on accepted-but-unflushed batches per session.
 DEFAULT_QUEUE_LIMIT = 8
@@ -72,7 +78,11 @@ class SessionState:
         self.analyzer = analyzer
         self.analyzer_error: Optional[str] = None
         self.queue_limit = queue_limit
-        self.queue: Deque[Tuple[int, List[str]]] = deque()
+        self.queue: Deque[
+            Tuple[int, List[str], Optional[TraceContext]]
+        ] = deque()
+        #: Trace id propagated in the session's HELLO, if any.
+        self.trace_id: Optional[str] = None
         self.lock = threading.Lock()
         # Serializes flushing (the background thread vs an END handler).
         self.flush_lock = threading.Lock()
@@ -95,14 +105,19 @@ class SessionState:
         with self.lock:
             return len(self.queue)
 
-    def try_accept(self, seq: int, lines: List[str]) -> str:
+    def try_accept(
+        self,
+        seq: int,
+        lines: List[str],
+        context: Optional[TraceContext] = None,
+    ) -> str:
         """Accept one delivered batch; ``"ack"``, ``"dup"`` or ``"full"``."""
         with self.lock:
             if seq <= self.last_seq:
                 return "dup"
             if len(self.queue) >= self.queue_limit:
                 return "full"
-            self.queue.append((seq, lines))
+            self.queue.append((seq, lines, context))
             self.last_seq = seq
             self.records_accepted += len(lines)
             self.frame_attempts.pop(seq, None)
@@ -121,19 +136,23 @@ class SessionState:
                 with self.lock:
                     if not self.queue:
                         break
-                    seq, lines = self.queue[0]
+                    seq, lines, context = self.queue[0]
                 started = time.perf_counter()
-                try:
-                    faults_runtime.check(
-                        "ingest.flush",
-                        key=self.session,
-                        attempt=self.flush_attempts,
-                    )
-                    self.spool.append(lines)
-                except Exception:
-                    self.flush_attempts += 1
-                    obs_runtime.count("ingest.server.flush_faults")
-                    raise
+                with adopted_span(
+                    "ingest.server.flush", context,
+                    session=self.session, seq=seq, records=len(lines),
+                ):
+                    try:
+                        faults_runtime.check(
+                            "ingest.flush",
+                            key=self.session,
+                            attempt=self.flush_attempts,
+                        )
+                        self.spool.append(lines)
+                    except Exception:
+                        self.flush_attempts += 1
+                        obs_runtime.count("ingest.server.flush_faults")
+                        raise
                 obs_runtime.observe(
                     "ingest.server.flush_ms",
                     (time.perf_counter() - started) * 1000.0,
@@ -183,11 +202,16 @@ class _IngestHandler(socketserver.StreamRequestHandler):
             self._error(frame.seq, "first frame must be HELLO")
             return
         try:
-            session_id, application = protocol.decode_hello(frame.payload)
+            session_id, application, hello_ctx = (
+                protocol.decode_hello_context(frame.payload)
+            )
         except protocol.ProtocolError as error:
             self._error(frame.seq, str(error))
             return
         state = server.session(session_id, application)
+        hello_context = TraceContext.from_dict(hello_ctx)
+        if hello_context is not None and hello_context.sampled:
+            state.trace_id = hello_context.trace_id
         self._ack(frame.seq)
         obs_runtime.count("ingest.server.connections")
 
@@ -240,19 +264,26 @@ class _IngestHandler(socketserver.StreamRequestHandler):
             )
             return True
         try:
-            lines = protocol.decode_batch(frame.payload)
+            lines, raw_context = protocol.decode_batch_context(
+                frame.payload
+            )
         except protocol.ProtocolError as error:
             # Undecodable payloads never become decodable: permanent.
             self._nack(frame.seq, 0, f"bad-batch: {error}", state)
             return True
-        verdict = state.try_accept(frame.seq, lines)
-        if verdict == "full":
-            self._nack(
-                frame.seq, server.retry_after_ms,
-                "backpressure: session queue full", state,
-            )
-            return True
-        self._ack(frame.seq)
+        context = TraceContext.from_dict(raw_context)
+        with adopted_span(
+            "ingest.server.frame", context,
+            session=state.session, seq=frame.seq, records=len(lines),
+        ):
+            verdict = state.try_accept(frame.seq, lines, context)
+            if verdict == "full":
+                self._nack(
+                    frame.seq, server.retry_after_ms,
+                    "backpressure: session queue full", state,
+                )
+                return True
+            self._ack(frame.seq)
         if verdict == "ack":
             server.wake_flusher()
         return True
@@ -329,6 +360,21 @@ class IngestServer:
         config: analysis config for incremental mode.
         flush_interval_s: background flush cadence (the flusher also
             wakes immediately whenever a batch is accepted).
+        health_port: also serve ``/metrics`` / ``/healthz`` /
+            ``/sessions`` on this port (0 picks a free one; ``None``
+            disables the health surface).
+        health_host: bind address for the health surface.
+        slo: policy behind ``/healthz``; defaults to
+            :data:`~repro.obs.slo.DEFAULT_INGEST_SLO`.
+        warehouse: a :class:`~repro.obs.warehouse.Warehouse` (or its
+            file path) that a background
+            :class:`~repro.obs.publisher.TelemetryPublisher` flushes
+            into while the daemon runs. Requires an ambiently installed
+            observer (see :func:`repro.obs.runtime.install`) — without
+            one there is nothing to publish and the option is inert.
+        publish_interval_s: warehouse flush cadence.
+        run_id: warehouse partition key; defaults to
+            ``ingest-<pid>``.
     """
 
     def __init__(
@@ -342,6 +388,12 @@ class IngestServer:
         incremental: bool = False,
         config: Optional[Any] = None,
         flush_interval_s: float = 0.02,
+        health_port: Optional[int] = None,
+        health_host: str = "127.0.0.1",
+        slo: Optional[SloPolicy] = None,
+        warehouse: Optional[Union[str, Path, Warehouse]] = None,
+        publish_interval_s: float = 2.0,
+        run_id: Optional[str] = None,
     ) -> None:
         self.spool_dir = Path(spool_dir)
         self.queue_limit = max(1, int(queue_limit))
@@ -358,6 +410,19 @@ class IngestServer:
         self._flush_thread: Optional[threading.Thread] = None
         self._flush_wake = threading.Event()
         self._stopping = threading.Event()
+
+        self._health_port = health_port
+        self._health_host = health_host
+        self._slo = slo
+        #: The live health surface, running between start() and stop().
+        self.health: Optional[HealthServer] = None
+        if warehouse is not None and not isinstance(warehouse, Warehouse):
+            warehouse = Warehouse(warehouse)
+        self.warehouse: Optional[Warehouse] = warehouse
+        self._publish_interval_s = publish_interval_s
+        self.run_id = run_id or f"ingest-{os.getpid()}"
+        #: The warehouse publisher, running between start() and stop().
+        self.publisher: Optional[TelemetryPublisher] = None
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -380,12 +445,32 @@ class IngestServer:
         )
         self._serve_thread.start()
         self._flush_thread.start()
+        observer = obs_runtime.current()
+        if self.warehouse is not None and observer is not None:
+            self.publisher = TelemetryPublisher(
+                observer,
+                self.warehouse,
+                self.run_id,
+                interval_s=self._publish_interval_s,
+            ).start()
+        if self._health_port is not None:
+            self.health = HealthServer(
+                stats_fn=self.health_stats,
+                metrics_fn=self._metrics_text,
+                sessions_fn=self.session_summaries,
+                slo=self._slo,
+                host=self._health_host,
+                port=self._health_port,
+            ).start()
         return self
 
     def stop(self) -> None:
         """Shut down: stop accepting, final-flush every session."""
         self._stopping.set()
         self._flush_wake.set()
+        if self.health is not None:
+            self.health.stop()
+            self.health = None
         self._server.shutdown()
         self._server.server_close()
         if self._serve_thread is not None:
@@ -398,6 +483,9 @@ class IngestServer:
             except Exception:
                 pass
             state.spool.close()
+        if self.publisher is not None:
+            self.publisher.stop()
+            self.publisher = None
 
     def __enter__(self) -> "IngestServer":
         return self.start()
@@ -452,6 +540,49 @@ class IngestServer:
             "nacks_sent": sum(s.nacks_sent for s in sessions),
             "ended_sessions": sum(1 for s in sessions if s.ended),
         }
+
+    def health_stats(self) -> Dict[str, float]:
+        """The stat mapping ``/healthz`` evaluates the SLO against."""
+        return ingest_stats_for_slo(
+            self.stats(),
+            analyzer_errors=sum(
+                1 for s in self.sessions() if s.analyzer_error is not None
+            ),
+            telemetry_lost=(
+                self.publisher.lost_flushes
+                if self.publisher is not None
+                else 0
+            ),
+        )
+
+    def session_summaries(self) -> List[Dict[str, Any]]:
+        """Per-session JSON rows for the ``/sessions`` endpoint."""
+        rows = []
+        for state in sorted(self.sessions(), key=lambda s: s.session):
+            rows.append(
+                {
+                    "session": state.session,
+                    "application": state.application,
+                    "records_accepted": state.records_accepted,
+                    "records_flushed": state.records_flushed,
+                    "pending_batches": state.pending_batches(),
+                    "nacks_sent": state.nacks_sent,
+                    "ended": state.ended,
+                    "trace_id": state.trace_id,
+                    "analyzer_error": state.analyzer_error,
+                }
+            )
+        return rows
+
+    @staticmethod
+    def _metrics_text() -> str:
+        """Prometheus text of the ambient observer's registry."""
+        from repro.obs.export import metrics_to_prometheus
+
+        observer = obs_runtime.current()
+        if observer is None:
+            return "# observation disabled (no ambient observer)\n"
+        return metrics_to_prometheus(observer.metrics.as_dict())
 
     def rolling_summaries(self) -> Dict[str, Dict[str, Any]]:
         """Per-session rolling summaries (incremental mode only)."""

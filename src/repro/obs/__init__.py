@@ -13,6 +13,17 @@ LagAlyzer's. Three dependency-free pillars:
   wrapping of engine map calls, aggregated into top-N hotspots per
   analysis.
 
+Version 2 adds the *operational* layer for the live system:
+
+- **propagation** (:mod:`repro.obs.context`) — trace contexts carried
+  across the ingest wire so client and daemon spans form one tree;
+- **warehouse** (:mod:`repro.obs.warehouse` /
+  :mod:`repro.obs.publisher`) — a persistent SQLite metrics store fed
+  by a background publisher, queryable across runs;
+- **health** (:mod:`repro.obs.http` / :mod:`repro.obs.slo`) — live
+  ``/metrics`` / ``/healthz`` / ``/sessions`` endpoints driven by
+  declarative SLO policies.
+
 Enable by constructing an :class:`Observer` and passing it to
 ``run_study(obs=...)`` / ``LagAlyzer(obs=...)``, or from the CLI::
 
@@ -25,9 +36,19 @@ single ``is None`` branch (see :mod:`repro.obs.runtime` and
 ``benchmarks/bench_obs_overhead.py``).
 """
 
+from repro.obs.context import TraceContext
+from repro.obs.http import HealthServer
 from repro.obs.metrics import DEFAULT_MS_BUCKETS, MetricsRegistry
 from repro.obs.observer import Observer, load_bundle
 from repro.obs.profiling import ProfileAggregator
+from repro.obs.publisher import TelemetryPublisher
+from repro.obs.slo import (
+    DEFAULT_INGEST_SLO,
+    SloPolicy,
+    SloReport,
+    SloThreshold,
+)
+from repro.obs.warehouse import Warehouse
 from repro.obs.runtime import (
     count,
     current,
@@ -42,13 +63,21 @@ from repro.obs.runtime import (
 from repro.obs.spans import NULL_SPAN, Span, SpanCollector, span_depth
 
 __all__ = [
+    "DEFAULT_INGEST_SLO",
     "DEFAULT_MS_BUCKETS",
+    "HealthServer",
     "MetricsRegistry",
     "NULL_SPAN",
     "Observer",
     "ProfileAggregator",
+    "SloPolicy",
+    "SloReport",
+    "SloThreshold",
     "Span",
     "SpanCollector",
+    "TelemetryPublisher",
+    "TraceContext",
+    "Warehouse",
     "count",
     "current",
     "install",

@@ -1,0 +1,163 @@
+"""Cross-process trace context: propagate span parentage over the wire.
+
+Spans nest automatically inside one process (a thread-local stack) and
+merge across engine workers (snapshots re-parented on ``absorb``), but
+the live ingest path crosses a *protocol* boundary: the client's send
+span and the daemon's frame/flush spans live in different processes
+connected only by frames. A :class:`TraceContext` is the piece of span
+identity small enough to ride inside a frame — a trace id, the sending
+span's id, and a sampling decision — so the daemon's spans can adopt
+the client's span as their parent and ``Observer.absorb`` renders one
+end-to-end send→ack→flush tree per batch.
+
+Sampling is **deterministic and seed-derived** (no RNG): whether a
+session's batches carry context is a pure function of
+``(seed, session)``, exactly like fault-plan decisions, so two runs of
+the same fleet sample the same sessions and the overhead bound is
+reproducible.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Any, Dict, Mapping, Optional
+
+from repro.obs import runtime as obs_runtime
+from repro.obs.spans import NULL_SPAN, SpanContext, next_span_id
+
+#: Payload key the context rides under in HELLO / BATCH frames.
+CONTEXT_KEY = "trace"
+
+
+def hash_fraction(seed: int, *parts: Any) -> float:
+    """A deterministic uniform draw in ``[0, 1)`` named by its parts.
+
+    Same contract as ``repro.faults.plan.hash_unit`` (kept separate so
+    ``repro.obs`` stays dependency-free of the faults package): the
+    same ``(seed, *parts)`` always produce the same value, in any
+    process, in any order.
+    """
+    text = "/".join([str(seed), *(str(part) for part in parts)])
+    digest = hashlib.sha256(text.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") / 2.0**64
+
+
+def sample_decision(seed: int, key: str, rate: float) -> bool:
+    """Deterministically decide whether ``key`` is sampled at ``rate``."""
+    if rate >= 1.0:
+        return True
+    if rate <= 0.0:
+        return False
+    return hash_fraction(seed, "obs.sample", key) < rate
+
+
+def trace_id_for(key: str, seed: int = 0) -> str:
+    """The deterministic trace id for a propagation key (session id)."""
+    digest = hashlib.sha256(f"{seed}/{key}".encode("utf-8")).hexdigest()
+    return digest[:16]
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """The propagated identity of one in-flight operation.
+
+    ``trace_id`` names the whole logical flow (one ingest session),
+    ``span_id`` the specific span the receiver should adopt as parent,
+    and ``sampled`` whether this flow records spans at all (an
+    unsampled context is still minted — the decision must travel so
+    both ends agree).
+    """
+
+    trace_id: str
+    span_id: str
+    sampled: bool = True
+
+    @classmethod
+    def mint(
+        cls, key: str, seed: int = 0, sample_rate: float = 1.0
+    ) -> "TraceContext":
+        """A fresh root context for ``key`` (deterministic sampling)."""
+        return cls(
+            trace_id=trace_id_for(key, seed),
+            span_id=next_span_id(),
+            sampled=sample_decision(seed, key, sample_rate),
+        )
+
+    def child(self) -> "TraceContext":
+        """A context for one operation under this flow (new span id)."""
+        return TraceContext(
+            trace_id=self.trace_id,
+            span_id=next_span_id(),
+            sampled=self.sampled,
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The wire form (plain JSON-able dict, sorted-stable keys)."""
+        return {
+            "sampled": self.sampled,
+            "span_id": self.span_id,
+            "trace_id": self.trace_id,
+        }
+
+    @classmethod
+    def from_dict(
+        cls, raw: Optional[Mapping[str, Any]]
+    ) -> Optional["TraceContext"]:
+        """Rebuild a context from its wire form; ``None`` passes through.
+
+        A malformed mapping (telemetry, not payload) degrades to
+        ``None`` rather than raising — propagation must never make a
+        decodable batch undecodable.
+        """
+        if raw is None:
+            return None
+        trace_id = raw.get("trace_id")
+        span_id = raw.get("span_id")
+        if not isinstance(trace_id, str) or not isinstance(span_id, str):
+            return None
+        if not trace_id or not span_id:
+            return None
+        return cls(
+            trace_id=trace_id,
+            span_id=span_id,
+            sampled=bool(raw.get("sampled", True)),
+        )
+
+
+def carrier_span(
+    name: str, context: Optional[TraceContext], **attrs: Any
+) -> Any:
+    """A span that *is* ``context`` on the sending side.
+
+    The returned span adopts ``context.span_id`` as its own id, so
+    receiver-side spans parented on the propagated id attach to a span
+    that really exists once snapshots merge. No-op when observation is
+    disabled or the context is unsampled.
+    """
+    observer = obs_runtime.current()
+    if observer is None or context is None or not context.sampled:
+        return NULL_SPAN
+    span_context: SpanContext = observer.span(name, **attrs)
+    span_context.span.span_id = context.span_id
+    span_context.span.attrs["trace_id"] = context.trace_id
+    return span_context
+
+
+def adopted_span(
+    name: str, context: Optional[TraceContext], **attrs: Any
+) -> Any:
+    """A span parented under a propagated context on the receiving side.
+
+    No-op when observation is disabled or no sampled context arrived —
+    un-propagated traffic (an old client, an unsampled session) costs
+    the receiver one branch, not a span.
+    """
+    observer = obs_runtime.current()
+    if observer is None or context is None or not context.sampled:
+        return NULL_SPAN
+    span_context: SpanContext = observer.span(
+        name, parent_id=context.span_id, **attrs
+    )
+    span_context.span.attrs["trace_id"] = context.trace_id
+    return span_context

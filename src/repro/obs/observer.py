@@ -92,7 +92,7 @@ class Observer:
     # Profiling
     # ------------------------------------------------------------------
 
-    def profiled(self, key: str):
+    def profiled(self, key: str) -> Any:
         """cProfile context for ``key`` (no-op unless profiling is on)."""
         if self.profiler is None:
             return NULL_SPAN

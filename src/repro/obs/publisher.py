@@ -1,0 +1,215 @@
+"""The telemetry publisher: periodic Observer deltas into the warehouse.
+
+A :class:`TelemetryPublisher` is a background thread that, every
+``interval_s``, diffs the observer's current state against the last
+flush — counter increments, gauge values, per-cell histogram deltas,
+and rollups of the spans that finished since — and records the delta
+via :meth:`Warehouse.record_delta`.
+
+Telemetry is **best-effort by construction**:
+
+- a failed flush (the warehouse file deleted mid-run, disk full, an
+  injected ``obs.publish`` fault) is *counted* in the
+  ``obs.publisher.lost_flushes`` counter and retried whole next cycle
+  — the un-flushed delta stays in the baseline diff, so nothing is
+  dropped unless the run ends while the warehouse stays unreachable;
+- no exception ever escapes the publisher thread into the host
+  process; the ingest daemon keeps serving with telemetry dark.
+
+The ``obs.publish`` fault site makes that promise testable: a chaos
+plan can fail every flush of a run and the ingest path must not notice.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+from typing import Any, Dict, Mapping, Optional
+
+from repro.faults import runtime as faults_runtime
+from repro.obs.observer import Observer
+from repro.obs.warehouse import Warehouse
+
+#: Counter bumped once per failed warehouse flush.
+LOST_FLUSHES = "obs.publisher.lost_flushes"
+#: Counter bumped once per successful warehouse flush.
+FLUSHES = "obs.publisher.flushes"
+
+
+def snapshot_delta(
+    current: Mapping[str, Any], previous: Mapping[str, Any]
+) -> Dict[str, Any]:
+    """The metrics delta between two ``MetricsRegistry.as_dict`` states.
+
+    Counters and histogram cells subtract (never below zero — a
+    restarted registry just re-publishes from scratch); gauges report
+    their current value.
+    """
+    counters: Dict[str, float] = {}
+    for name, value in current.get("counters", {}).items():
+        change = value - previous.get("counters", {}).get(name, 0)
+        if change > 0:
+            counters[name] = change
+    gauges = dict(current.get("gauges", {}))
+    histograms: Dict[str, Any] = {}
+    for name, raw in current.get("histograms", {}).items():
+        old = previous.get("histograms", {}).get(name)
+        counts = [int(cell) for cell in raw.get("counts", ())]
+        total = float(raw.get("sum", 0.0))
+        count = int(raw.get("count", 0))
+        if old is not None and list(old.get("buckets", ())) == list(
+            raw.get("buckets", ())
+        ):
+            old_counts = [int(cell) for cell in old.get("counts", ())]
+            if len(old_counts) == len(counts):
+                counts = [
+                    max(0, a - b) for a, b in zip(counts, old_counts)
+                ]
+                total = max(0.0, total - float(old.get("sum", 0.0)))
+                count = max(0, count - int(old.get("count", 0)))
+        if count > 0:
+            histograms[name] = {
+                "buckets": list(raw.get("buckets", ())),
+                "counts": counts,
+                "sum": total,
+                "count": count,
+            }
+    return {"counters": counters, "gauges": gauges,
+            "histograms": histograms}
+
+
+class TelemetryPublisher:
+    """Flushes one observer's telemetry into a warehouse periodically.
+
+    Args:
+        observer: the observer whose metrics and spans are published.
+        warehouse: destination store.
+        run_id: the warehouse partition key for this process's run.
+        interval_s: flush cadence; :meth:`stop` always flushes once
+            more, so short-lived runs publish even with a long interval.
+        host: recorded with the run; defaults to this machine's
+            hostname.
+    """
+
+    def __init__(
+        self,
+        observer: Observer,
+        warehouse: Warehouse,
+        run_id: str,
+        interval_s: float = 2.0,
+        host: Optional[str] = None,
+    ) -> None:
+        self.observer = observer
+        self.warehouse = warehouse
+        self.run_id = run_id
+        self.interval_s = max(0.05, float(interval_s))
+        self.host = socket.gethostname() if host is None else host
+        self.flushes = 0
+        self.lost_flushes = 0
+        self._previous: Dict[str, Any] = {}
+        self._spans_seen = 0
+        self._thread: Optional[threading.Thread] = None
+        self._stop = threading.Event()
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self) -> "TelemetryPublisher":
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._loop,
+            name=f"obs-publisher-{self.run_id}",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def stop(self, timeout_s: float = 5.0) -> None:
+        """Stop the thread and flush one final delta."""
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=timeout_s)
+            self._thread = None
+        self.publish_once()
+
+    def __enter__(self) -> "TelemetryPublisher":
+        return self.start()
+
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> bool:
+        self.stop()
+        return False
+
+    def _loop(self) -> None:
+        while not self._stop.wait(timeout=self.interval_s):
+            self.publish_once()
+
+    # ------------------------------------------------------------------
+    # Publishing
+    # ------------------------------------------------------------------
+
+    def publish_once(self) -> bool:
+        """Diff, flush, advance the baseline; True when the flush stuck.
+
+        Never raises: a failed flush bumps :data:`LOST_FLUSHES` (and
+        :attr:`lost_flushes`) and leaves the baseline unchanged, so the
+        same delta rides along with the next attempt.
+        """
+        with self._lock:
+            current = self.observer.metrics.as_dict()
+            spans = self.observer.spans()
+            new_spans = spans[self._spans_seen:]
+            delta = snapshot_delta(current, self._previous)
+            delta["spans"] = self._rollup(new_spans)
+            if not (
+                delta["counters"] or delta["gauges"]
+                or delta["histograms"] or delta["spans"]
+            ):
+                return True  # nothing to say is a successful flush
+            try:
+                faults_runtime.check(
+                    "obs.publish",
+                    key=self.run_id,
+                    attempt=self.lost_flushes,
+                )
+                self.warehouse.record_delta(
+                    self.run_id, delta, host=self.host
+                )
+            except Exception:
+                # Telemetry loss is counted, never fatal; the baseline
+                # stays put so the delta retries next cycle.
+                self.lost_flushes += 1
+                self.observer.metrics.inc(LOST_FLUSHES)
+                return False
+            self.flushes += 1
+            self.observer.metrics.inc(FLUSHES)
+            self._previous = current
+            self._spans_seen = len(spans)
+            return True
+
+    @staticmethod
+    def _rollup(spans: Any) -> Dict[str, Dict[str, float]]:
+        """Aggregate finished spans by name: count / total_ms / max_ms."""
+        rollup: Dict[str, Dict[str, float]] = {}
+        for span in spans:
+            entry = rollup.get(span.name)
+            duration = span.duration_ms
+            if entry is None:
+                rollup[span.name] = {
+                    "count": 1,
+                    "total_ms": duration,
+                    "max_ms": duration,
+                }
+            else:
+                entry["count"] += 1
+                entry["total_ms"] += duration
+                entry["max_ms"] = max(entry["max_ms"], duration)
+        return rollup
+
+    def __repr__(self) -> str:
+        return (
+            f"TelemetryPublisher({self.run_id!r} -> {self.warehouse.path},"
+            f" {self.flushes} flushes, {self.lost_flushes} lost)"
+        )

@@ -77,7 +77,7 @@ class installed:
             install(self._observer)
         return self._observer
 
-    def __exit__(self, exc_type, exc, tb) -> bool:
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> bool:
         if self._observer is not None:
             global _current, _owner_pid
             _current = self._previous
@@ -90,7 +90,7 @@ class installed:
 # ----------------------------------------------------------------------
 
 
-def maybe_span(name: str, metric: Optional[str] = None, **attrs: Any):
+def maybe_span(name: str, metric: Optional[str] = None, **attrs: Any) -> Any:
     """A span context under the ambient observer, or the shared no-op."""
     if _current is None:
         return NULL_SPAN
@@ -126,7 +126,7 @@ def set_gauge(name: str, value: float) -> None:
     _current.metrics.set_gauge(name, value)
 
 
-def profiled(key: str):
+def profiled(key: str) -> Any:
     """A cProfile context under the ambient observer (no-op unless
     the observer was built with ``profile=True``)."""
     if _current is None:

@@ -156,7 +156,7 @@ class SpanContext:
         name: str,
         parent_id: Optional[str],
         attrs: Dict[str, Any],
-        metrics=None,
+        metrics: Any = None,
         metric: Optional[str] = None,
     ) -> None:
         self._collector = collector
@@ -185,7 +185,7 @@ class SpanContext:
         self._collector.push(self.span)
         return self.span
 
-    def __exit__(self, exc_type, exc, tb) -> bool:
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> bool:
         span = self.span
         span.cpu_ns = time.thread_time_ns() - self._cpu_start
         span.end_ns = span.start_ns + max(
@@ -205,13 +205,13 @@ class _NullSpanContext:
 
     __slots__ = ()
 
-    def __enter__(self):
+    def __enter__(self) -> None:
         return None
 
-    def __exit__(self, exc_type, exc, tb) -> bool:
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> bool:
         return False
 
-    def __call__(self, *args, **kwargs) -> "_NullSpanContext":
+    def __call__(self, *args: Any, **kwargs: Any) -> "_NullSpanContext":
         return self
 
 

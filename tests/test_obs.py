@@ -555,7 +555,24 @@ class TestObsCli:
         assert "statistics" in out  # profile section
 
     def test_report_missing_bundle(self, tmp_path, capsys):
-        assert main(["obs", "report", str(tmp_path / "none")]) == 1
+        # Exit code 2 = "no such input", distinct from 1, no traceback.
+        assert main(["obs", "report", str(tmp_path / "none")]) == 2
+        err = capsys.readouterr().err
+        assert err.count("\n") == 1  # one actionable line
+        assert "no observability bundle" in err
+        assert "--obs" in err  # tells the user how to produce one
+
+    def test_report_empty_bundle_dir(self, tmp_path, capsys):
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        assert main(["obs", "report", str(empty)]) == 2
+        assert "no observability bundle" in capsys.readouterr().err
+
+    def test_export_missing_bundle(self, tmp_path, capsys):
+        code = main(
+            ["obs", "export", str(tmp_path / "none"), "--format", "prom"]
+        )
+        assert code == 2
         assert "no observability bundle" in capsys.readouterr().err
 
     def test_export_chrome(self, bundle_dir, tmp_path, capsys):
