@@ -26,6 +26,8 @@ The package is organized as:
   (Table III and Figures 3-8).
 - :mod:`repro.obs` / :mod:`repro.faults` — observability and
   deterministic fault injection for the whole pipeline.
+- :mod:`repro.warehouse` — the persistent cross-session study
+  warehouse (SQLite) and its query API.
 
 Quickstart::
 
@@ -68,12 +70,17 @@ _LAZY = {
     "TelemetryPublisher": ("repro.obs.publisher", "TelemetryPublisher"),
     "SloPolicy": ("repro.obs.slo", "SloPolicy"),
     "SloThreshold": ("repro.obs.slo", "SloThreshold"),
+    "StudyWarehouse": ("repro.warehouse.store", "StudyWarehouse"),
+    "AppAggregate": ("repro.warehouse.types", "AppAggregate"),
+    "PatternAggregate": ("repro.warehouse.types", "PatternAggregate"),
+    "RegressionReport": ("repro.warehouse.types", "RegressionReport"),
 }
 
 __all__ = [
     "API_VERSION",
     "AnalysisConfig",
     "AnalysisEngine",
+    "AppAggregate",
     "Episode",
     "FaultPlan",
     "IngestServer",
@@ -82,13 +89,16 @@ __all__ = [
     "LagAlyzer",
     "Observer",
     "Pattern",
+    "PatternAggregate",
     "PatternTable",
+    "RegressionReport",
     "Sample",
     "SloPolicy",
     "SloThreshold",
     "StackFrame",
     "StackTrace",
     "StudyConfig",
+    "StudyWarehouse",
     "TelemetryPublisher",
     "ThreadState",
     "Trace",

@@ -106,6 +106,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             warehouse=args.warehouse,
             publish_interval_s=args.publish_interval,
             run_id=args.run_id,
+            study_warehouse=args.study_warehouse,
         )
         server.start()
         host, port = server.address
@@ -118,6 +119,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         if server.warehouse is not None:
             print(f"telemetry warehouse -> {server.warehouse.path} "
                   f"(run {server.run_id})")
+        if server.study_warehouse is not None:
+            print(f"study warehouse -> {server.study_warehouse.path} "
+                  f"(run {server.run_id}, compacted on shutdown)")
         try:
             while True:
                 time.sleep(args.summary_interval)
@@ -319,6 +323,11 @@ def register(sub: argparse._SubParsersAction) -> None:
     p_sv.add_argument("--run-id", default=None,
                       help="warehouse partition key for this daemon run "
                       "(default ingest-<pid>)")
+    p_sv.add_argument("--study-warehouse", default=None, metavar="FILE",
+                      help="compact flushed session spools into this "
+                      "study warehouse on shutdown (queried with "
+                      "'study query'); distinct from --warehouse, "
+                      "which stores operational telemetry")
     add_threshold(p_sv)
     add_obs(p_sv)
     add_faults(p_sv)

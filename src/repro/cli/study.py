@@ -1,8 +1,18 @@
-"""The ``study`` command: the full characterization study."""
+"""The ``study`` command: run the characterization study, query the warehouse.
+
+``study`` (no subcommand) runs the full study; ``study query
+{runs|aggregate|top|series|regressions}`` reads a study warehouse built
+with ``study --warehouse`` or ``ingest serve --study-warehouse``.
+
+Exit-code contract for ``study query``: 0 on success, 1 when
+``regressions`` finds a regression, 2 when the warehouse file does not
+exist.
+"""
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 
@@ -13,6 +23,15 @@ from repro.cli._shared import (
     add_output,
     add_workers,
 )
+
+#: ``study query`` against a warehouse file that does not exist.
+EXIT_NO_WAREHOUSE = 2
+
+#: ``study query regressions`` found at least one regression.
+EXIT_REGRESSED = 1
+
+#: Default warehouse file for ``study query`` / ``study --warehouse``.
+DEFAULT_WAREHOUSE = "study-warehouse.sqlite"
 
 
 def _cmd_study(args: argparse.Namespace) -> int:
@@ -74,6 +93,8 @@ def _cmd_study(args: argparse.Namespace) -> int:
         use_cache=not args.no_cache,
         obs=obs,
         faults=injector,
+        warehouse=args.warehouse,
+        warehouse_run_id=args.warehouse_run_id,
     )
     outdir = Path(args.output)
     outdir.mkdir(parents=True, exist_ok=True)
@@ -116,9 +137,190 @@ def _cmd_study(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_study_entry(args: argparse.Namespace) -> int:
+    """Dispatch ``study`` vs ``study query ...``.
+
+    The query subcommands bind their handler to ``query_func`` (not
+    ``func``) because argparse applies the parent parser's ``func``
+    default before a subparser runs, so a child ``func`` default would
+    never take effect.
+    """
+    query_func = getattr(args, "query_func", None)
+    if query_func is not None:
+        return query_func(args)
+    return _cmd_study(args)
+
+
+def _open_warehouse(args: argparse.Namespace):
+    """The warehouse behind ``args.warehouse``, or ``None`` (missing)."""
+    from repro.warehouse import StudyWarehouse
+
+    path = Path(args.warehouse)
+    if not path.exists():
+        print(
+            f"error: no study warehouse at {path} "
+            f"(build one with `study --warehouse` or "
+            f"`ingest serve --study-warehouse`)",
+            file=sys.stderr,
+        )
+        return None
+    return StudyWarehouse(path)
+
+
+def _cmd_query_runs(args: argparse.Namespace) -> int:
+    store = _open_warehouse(args)
+    if store is None:
+        return EXIT_NO_WAREHOUSE
+    records = store.runs()
+    if args.json:
+        print(json.dumps([r.as_dict() for r in records], indent=2))
+        return 0
+    if not records:
+        print("no runs recorded")
+        return 0
+    print(f"{'RUN':<28s} {'SOURCE':<8s} {'SESSIONS':>8s}  LABEL")
+    for record in records:
+        print(
+            f"{record.run_id:<28s} {record.source:<8s} "
+            f"{record.sessions:>8d}  {record.label}"
+        )
+    return 0
+
+
+def _cmd_query_aggregate(args: argparse.Namespace) -> int:
+    store = _open_warehouse(args)
+    if store is None:
+        return EXIT_NO_WAREHOUSE
+    rows = store.aggregate(
+        apps=args.apps, run_ids=args.runs, since_ts=args.since
+    )
+    if args.json:
+        print(json.dumps([r.as_dict() for r in rows], indent=2))
+        return 0
+    if not rows:
+        print("no sessions match")
+        return 0
+    print(
+        f"{'APP':<16s} {'SESSIONS':>8s} {'TRACED':>8s} "
+        f"{'PERCEPT':>8s} {'RATE':>7s} {'LONG/MIN':>9s}"
+    )
+    for row in rows:
+        print(
+            f"{row.application:<16s} {row.sessions:>8d} "
+            f"{row.traced_episodes:>8d} {row.perceptible_episodes:>8d} "
+            f"{row.perceptible_rate:>7.3f} {row.mean_long_per_min:>9.2f}"
+        )
+    return 0
+
+
+def _cmd_query_top(args: argparse.Namespace) -> int:
+    store = _open_warehouse(args)
+    if store is None:
+        return EXIT_NO_WAREHOUSE
+    rows = store.top_patterns(
+        n=args.limit, metric=args.analyses, apps=args.apps, run_ids=args.runs
+    )
+    if args.json:
+        print(json.dumps([r.as_dict() for r in rows], indent=2))
+        return 0
+    if not rows:
+        print("no patterns match")
+        return 0
+    print(
+        f"{'APP':<16s} {'OCCUR':>6s} {'PERCEPT':>8s} {'SESSIONS':>8s}  "
+        f"PATTERN"
+    )
+    for row in rows:
+        print(
+            f"{row.application:<16s} {row.occurrences:>6d} "
+            f"{row.perceptible:>8d} {row.sessions:>8d}  {row.pattern_key}"
+        )
+    return 0
+
+
+def _cmd_query_series(args: argparse.Namespace) -> int:
+    store = _open_warehouse(args)
+    if store is None:
+        return EXIT_NO_WAREHOUSE
+    points = store.series(
+        metric=args.metric,
+        bucket=args.bucket,
+        apps=args.apps,
+        run_ids=args.runs,
+        since_ts=args.since,
+    )
+    if args.json:
+        print(json.dumps([p.as_dict() for p in points], indent=2))
+        return 0
+    if not points:
+        print("no sessions match")
+        return 0
+    print(f"{'APP':<16s} {'BUCKET':>12s} {'SESSIONS':>8s} {'VALUE':>10s}")
+    for point in points:
+        print(
+            f"{point.application:<16s} {point.bucket_ts:>12.0f} "
+            f"{point.sessions:>8d} {point.value:>10.4f}"
+        )
+    return 0
+
+
+def _cmd_query_regressions(args: argparse.Namespace) -> int:
+    store = _open_warehouse(args)
+    if store is None:
+        return EXIT_NO_WAREHOUSE
+    report = store.regression(
+        baseline_runs=args.baseline,
+        candidate_runs=args.candidate,
+        metric=args.metric,
+        min_delta=args.min_delta,
+    )
+    if args.json:
+        print(json.dumps(report.as_dict(), indent=2))
+        return EXIT_REGRESSED if report.regressed else 0
+    print(
+        f"{args.metric}: baseline {', '.join(args.baseline)} vs "
+        f"candidate {', '.join(args.candidate)} "
+        f"(min delta {args.min_delta})"
+    )
+    print(
+        f"{'APP':<16s} {'BASELINE':>10s} {'CANDIDATE':>10s} "
+        f"{'DELTA':>10s}  VERDICT"
+    )
+    for entry in report.entries:
+        verdict = "REGRESSED" if entry.regressed else "ok"
+        print(
+            f"{entry.application:<16s} {entry.baseline_value:>10.4f} "
+            f"{entry.candidate_value:>10.4f} {entry.delta:>+10.4f}  "
+            f"{verdict}"
+        )
+    if report.regressed:
+        count = len(report.regressions)
+        print(f"{count} application(s) regressed")
+        return EXIT_REGRESSED
+    print("no regressions")
+    return 0
+
+
+def _add_query_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--warehouse", default=DEFAULT_WAREHOUSE, metavar="FILE",
+        help=f"study warehouse file (default: {DEFAULT_WAREHOUSE})",
+    )
+    parser.add_argument("--apps", nargs="+", default=None, metavar="APP",
+                        help="restrict to these applications")
+    parser.add_argument("--runs", nargs="+", default=None, metavar="RUN",
+                        help="restrict to these run ids")
+    parser.add_argument("--json", action="store_true",
+                        help="emit JSON instead of a table")
+
+
 def register(sub: argparse._SubParsersAction) -> None:
-    """Add the ``study`` subcommand."""
-    p_st = sub.add_parser("study", help="run the full characterization study")
+    """Add the ``study`` subcommand (run + warehouse queries)."""
+    p_st = sub.add_parser(
+        "study",
+        help="run the full characterization study / query the "
+        "study warehouse",
+    )
     p_st.add_argument("--seed", type=int, default=20100401)
     p_st.add_argument("--sessions", type=int, default=4)
     p_st.add_argument("--scale", type=float, default=1.0)
@@ -136,4 +338,80 @@ def register(sub: argparse._SubParsersAction) -> None:
                       help="profile analysis map calls with cProfile "
                       "and report the top hotspots")
     add_faults(p_st)
-    p_st.set_defaults(func=_cmd_study)
+    p_st.add_argument("--warehouse", default=None, metavar="FILE",
+                      help="compact this run's results into a study "
+                      "warehouse file after the study")
+    p_st.add_argument("--warehouse-run-id", default=None, metavar="RUN",
+                      help="run id warehouse rows are filed under "
+                      "(default: study-<seed>-<config-fp>)")
+    p_st.set_defaults(func=_cmd_study_entry)
+
+    # ``study query ...`` rides on an *optional* subparser level so the
+    # bare ``study --apps ...`` invocation keeps working unchanged.
+    study_sub = p_st.add_subparsers(dest="study_command", metavar="")
+
+    p_q = study_sub.add_parser(
+        "query", help="query a study warehouse built by --warehouse"
+    )
+    query_sub = p_q.add_subparsers(dest="query_command", required=True)
+
+    p_runs = query_sub.add_parser("runs", help="list recorded runs")
+    p_runs.add_argument(
+        "--warehouse", default=DEFAULT_WAREHOUSE, metavar="FILE",
+        help=f"study warehouse file (default: {DEFAULT_WAREHOUSE})",
+    )
+    p_runs.add_argument("--json", action="store_true",
+                        help="emit JSON instead of a table")
+    p_runs.set_defaults(query_func=_cmd_query_runs)
+
+    p_agg = query_sub.add_parser(
+        "aggregate", help="cross-session totals per application"
+    )
+    _add_query_common(p_agg)
+    p_agg.add_argument("--since", type=float, default=None, metavar="TS",
+                       help="only sessions ingested at/after this "
+                       "unix timestamp")
+    p_agg.set_defaults(query_func=_cmd_query_aggregate)
+
+    p_top = query_sub.add_parser(
+        "top", help="the N worst patterns fleet-wide"
+    )
+    _add_query_common(p_top)
+    p_top.add_argument(
+        "--analyses", default="perceptible_lag",
+        choices=("perceptible_lag", "occurrences"),
+        help="ranking metric (default: perceptible_lag)",
+    )
+    p_top.add_argument("-n", "--limit", type=int, default=10,
+                       help="patterns to list (default: 10)")
+    p_top.set_defaults(query_func=_cmd_query_top)
+
+    p_ser = query_sub.add_parser(
+        "series", help="per-app time series over ingest time"
+    )
+    _add_query_common(p_ser)
+    p_ser.add_argument("--metric", default="perceptible_rate",
+                       help="series metric (default: perceptible_rate)")
+    p_ser.add_argument("--bucket", default="hour",
+                       choices=("minute", "hour", "day"),
+                       help="bucket width (default: hour)")
+    p_ser.add_argument("--since", type=float, default=None, metavar="TS",
+                       help="only sessions ingested at/after this "
+                       "unix timestamp")
+    p_ser.set_defaults(query_func=_cmd_query_series)
+
+    p_reg = query_sub.add_parser(
+        "regressions", help="before/after diff between two run sets"
+    )
+    _add_query_common(p_reg)
+    p_reg.add_argument("--baseline", nargs="+", required=True,
+                       metavar="RUN", help="baseline run id(s)")
+    p_reg.add_argument("--candidate", nargs="+", required=True,
+                       metavar="RUN", help="candidate run id(s)")
+    p_reg.add_argument("--metric", default="perceptible_rate",
+                       help="comparison metric (default: "
+                       "perceptible_rate)")
+    p_reg.add_argument("--min-delta", type=float, default=0.0,
+                       help="regression threshold on the metric delta "
+                       "(default: 0.0)")
+    p_reg.set_defaults(query_func=_cmd_query_regressions)

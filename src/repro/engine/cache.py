@@ -53,7 +53,11 @@ from repro.obs import runtime as obs_runtime
 
 #: Bump when the shape of cached partials changes incompatibly; stale
 #: entries then simply never match and age out via ``cache clear``.
-CACHE_SCHEMA = 1
+#: Schema 2: bundles carry a ``{"meta": ..., "partials": ...}`` envelope
+#: recording trace provenance (application, session, digest, config and
+#: plan fingerprints) so the study warehouse can compact a cache without
+#: re-reading any trace.
+CACHE_SCHEMA = 2
 
 #: The code-version component of every cache key.
 CODE_VERSION = f"{repro.__version__}/s{CACHE_SCHEMA}"
@@ -65,6 +69,51 @@ MISS = object()
 _MAGIC = b"LAGCACHE"
 _CHECKSUM_BYTES = 16
 _ENTRY_SUFFIX = ".pkl"
+
+_ENVELOPE_KEYS = frozenset({"meta", "partials"})
+
+
+def bundle_envelope(
+    partials: Dict[str, Any], meta: Optional[Dict[str, Any]] = None
+) -> Dict[str, Any]:
+    """Wrap fused-pass ``partials`` with provenance ``meta`` for storage.
+
+    ``meta`` records where the bundle came from (application, session
+    id, trace digest, config/plan fingerprints, analysis names) so the
+    study warehouse can compact a cache directory into queryable rows
+    without touching the original traces.
+    """
+    return {"meta": dict(meta or {}), "partials": partials}
+
+
+def bundle_parts(
+    value: Any,
+) -> Tuple[Optional[Dict[str, Any]], Optional[Dict[str, Any]]]:
+    """``(meta, partials)`` from a stored bundle value.
+
+    Schema-2 envelopes yield their recorded meta; a pre-envelope raw
+    ``{analysis: partial}`` dict (only reachable through hand-rolled
+    keys — schema-1 keys no longer match) yields ``(None, value)``. A
+    value that is not a bundle at all yields ``(None, None)``.
+    """
+    if not isinstance(value, dict):
+        return None, None
+    if set(value) == _ENVELOPE_KEYS and isinstance(value["partials"], dict):
+        meta = value["meta"]
+        return (meta if isinstance(meta, dict) else None), value["partials"]
+    return None, value
+
+
+@dataclass(frozen=True)
+class BundleRecord:
+    """One stored fused bundle, as yielded by :meth:`ResultCache.iter_bundles`."""
+
+    key: str
+    """The content-address (filename stem) of the bundle entry."""
+    meta: Optional[Dict[str, Any]]
+    """Provenance envelope, or ``None`` for pre-envelope bundles."""
+    partials: Dict[str, Any]
+    """The fused pass's ``{analysis_name: partial}`` payload."""
 
 
 def default_cache_dir() -> Path:
@@ -414,6 +463,52 @@ class ResultCache:
 
     def _bundle_entries(self) -> Iterator[Path]:
         return self._entries_under(self._bundles_dir())
+
+    def iter_bundles(self) -> Iterator[BundleRecord]:
+        """Every stored fused bundle, in deterministic key order.
+
+        This is the supported iteration surface for consumers like the
+        study warehouse compactor — the shard layout under ``bundles/``
+        is an implementation detail. Entries are yielded sorted by key
+        (ascending hex, which matches the sorted shard/file walk), so
+        two sweeps of the same cache always see the same sequence.
+
+        Robustness matches :meth:`get_bundle`: unreadable, corrupt, or
+        non-bundle entries are discarded (counted, unlinked where
+        possible) and skipped, never fatal.
+        """
+        for path in self._bundle_entries():
+            key = path.stem
+            try:
+                faults_runtime.check("cache.read", key=key)
+                blob = path.read_bytes()
+            except OSError as error:
+                if not isinstance(error, FileNotFoundError):
+                    self.stats.read_errors += 1
+                    obs_runtime.count("cache.read_errors")
+                    warnings.warn(
+                        f"bundle sweep read failed for {key[:12]}… under "
+                        f"{self.root}: {error} — skipping",
+                        RuntimeWarning,
+                        stacklevel=2,
+                    )
+                continue
+            blob = faults_runtime.filter_bytes("cache.read", key, blob)
+            value = self._decode(blob, key)
+            if value is MISS:
+                self.stats.discarded += 1
+                obs_runtime.count("cache.discarded")
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
+                continue
+            meta, partials = bundle_parts(value[0])
+            if partials is None:
+                self.stats.discarded += 1
+                obs_runtime.count("cache.discarded")
+                continue
+            yield BundleRecord(key=key, meta=meta, partials=partials)
 
     def entry_count(self) -> int:
         """Legacy per-analysis entries (``objects/``), bundles excluded."""

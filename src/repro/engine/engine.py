@@ -34,7 +34,13 @@ from repro.core.analyses import REGISTRY, get_analysis
 from repro.core.errors import AnalysisError, NestingError, TraceFormatError
 from repro.core.plan import AnalysisPlan, build_plan
 from repro.core.trace import Trace
-from repro.engine.cache import MISS, ResultCache, config_fingerprint
+from repro.engine.cache import (
+    MISS,
+    ResultCache,
+    bundle_envelope,
+    bundle_parts,
+    config_fingerprint,
+)
 from repro.engine.scheduler import RetryPolicy, resolve_workers, run_tasks
 from repro.faults import runtime as faults_runtime
 from repro.lila.digest import trace_digest
@@ -262,10 +268,13 @@ class AnalysisEngine:
                 for index, trace in enumerate(traces):
                     digest = trace_digest(trace) if self.cache else ""
                     if plan_fp:
-                        bundle = self.cache.get_bundle(
+                        stored = self.cache.get_bundle(
                             ResultCache.bundle_key(digest, fingerprint, plan_fp)
                         )
-                        if bundle is not MISS and all(
+                        bundle = (
+                            bundle_parts(stored)[1] if stored is not MISS else None
+                        )
+                        if bundle is not None and all(
                             name in bundle for name in analysis_names
                         ):
                             for name in analysis_names:
@@ -346,14 +355,25 @@ class AnalysisEngine:
                 for index in bundle_missed:
                     if index in dead:
                         continue
-                    bundle_value = {
-                        name: results[name][index] for name in analysis_names
+                    trace = traces[index]
+                    digest = trace_digest(trace)
+                    meta = {
+                        "application": trace.application,
+                        "session_id": trace.metadata.session_id,
+                        "trace_digest": digest,
+                        "config_fingerprint": fingerprint,
+                        "plan_fingerprint": plan_fp,
+                        "analyses": sorted(analysis_names),
+                        "threshold_ms": getattr(
+                            config, "perceptible_threshold_ms", None
+                        ),
                     }
                     self.cache.put_bundle(
-                        ResultCache.bundle_key(
-                            trace_digest(traces[index]), fingerprint, plan_fp
+                        ResultCache.bundle_key(digest, fingerprint, plan_fp),
+                        bundle_envelope(
+                            {name: results[name][index] for name in analysis_names},
+                            meta,
                         ),
-                        bundle_value,
                     )
             if self.quarantined:
                 # A quarantined trace contributes nothing, not even

@@ -171,6 +171,10 @@ class FaultInjector:
             raise OSError(
                 code, f"injected cache write failure for {key[:12]}"
             )
+        if kind == "warehouse_write_error":
+            raise OSError(
+                errno.EIO, f"injected warehouse write failure for {key}"
+            )
         if kind in ("trace_truncated", "trace_garbled"):
             # At a non-reader site (trace.map) the damaged trace
             # surfaces as the typed, deterministic parse failure the

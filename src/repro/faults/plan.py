@@ -40,6 +40,7 @@ SITES = (
     "ingest.frame",  # ingest-daemon frame intake (key = "session/seq")
     "ingest.flush",  # ingest-daemon spool flush (key = session id)
     "obs.publish",   # telemetry-warehouse flush (key = run id)
+    "warehouse.write",  # study-warehouse session write (key = "app/session")
 )
 
 #: Fault kinds and the site each defaults to.
@@ -54,6 +55,7 @@ KIND_SITES: Dict[str, str] = {
     "disk_full": "cache.write",         # entry write raises ENOSPC
     "trace_truncated": "lila.read",     # trace records cut off mid-file
     "trace_garbled": "lila.read",       # one trace record garbled
+    "warehouse_write_error": "warehouse.write",  # study row write raises IO
 }
 
 #: Kinds that model *transient* failures: they default to firing on the
@@ -67,6 +69,7 @@ TRANSIENT_KINDS = frozenset(
         "cache_read_error",
         "cache_write_error",
         "disk_full",
+        "warehouse_write_error",
     )
 )
 

@@ -37,6 +37,7 @@ import os
 import socketserver
 import threading
 import time
+import warnings
 from collections import deque
 from pathlib import Path
 from typing import Any, Deque, Dict, List, Optional, Tuple, Union
@@ -375,6 +376,15 @@ class IngestServer:
         publish_interval_s: warehouse flush cadence.
         run_id: warehouse partition key; defaults to
             ``ingest-<pid>``.
+        study_warehouse: a
+            :class:`~repro.warehouse.StudyWarehouse` (or its file path)
+            that every flushed session spool is compacted into on
+            :meth:`stop` — Table III statistics plus pattern occurrence
+            rows per session, filed under ``run_id``. Distinct from
+            ``warehouse`` (operational telemetry): the two are
+            different schemas and must be different files. Compaction
+            failures degrade (warn + ``warehouse.write_errors``), they
+            never block shutdown.
     """
 
     def __init__(
@@ -394,6 +404,7 @@ class IngestServer:
         warehouse: Optional[Union[str, Path, Warehouse]] = None,
         publish_interval_s: float = 2.0,
         run_id: Optional[str] = None,
+        study_warehouse: Optional[Union[str, Path, Any]] = None,
     ) -> None:
         self.spool_dir = Path(spool_dir)
         self.queue_limit = max(1, int(queue_limit))
@@ -423,6 +434,13 @@ class IngestServer:
         self.run_id = run_id or f"ingest-{os.getpid()}"
         #: The warehouse publisher, running between start() and stop().
         self.publisher: Optional[TelemetryPublisher] = None
+        if study_warehouse is not None and not hasattr(
+            study_warehouse, "ingest_spool"
+        ):
+            from repro.warehouse import StudyWarehouse
+
+            study_warehouse = StudyWarehouse(study_warehouse)
+        self.study_warehouse = study_warehouse
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -483,9 +501,70 @@ class IngestServer:
             except Exception:
                 pass
             state.spool.close()
+        if self.study_warehouse is not None:
+            self.compact_spools()
         if self.publisher is not None:
             self.publisher.stop()
             self.publisher = None
+
+    def compact_spools(self) -> Dict[str, int]:
+        """Compact every session's flushed spool into the study warehouse.
+
+        Each spool is re-read as a trace source, analyzed with the
+        warehouse ingest plan (``statistics`` + ``occurrence``), and
+        stored under this daemon's ``run_id`` — so the warehouse's
+        per-session ``records`` equals the spool's record count, which
+        equals ``records_flushed`` (the zero-loss contract). Per-session
+        failures warn, count ``warehouse.write_errors``, and move on;
+        one damaged spool never loses the rest. Returns
+        ``{"ingested", "skipped", "failed"}``.
+        """
+        ingested = skipped = failed = 0
+        if self.study_warehouse is None:
+            return {"ingested": 0, "skipped": 0, "failed": 0}
+        try:
+            self.study_warehouse.record_run(
+                self.run_id, source="spool"
+            )
+        except Exception as error:
+            warnings.warn(
+                f"study warehouse unavailable under "
+                f"{self.study_warehouse.path}: {error} — spools are "
+                f"intact, compaction skipped",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            obs_runtime.count("warehouse.write_errors")
+            return {
+                "ingested": 0,
+                "skipped": 0,
+                "failed": len(self.sessions()),
+            }
+        from repro.core.analyzer import AnalysisConfig
+
+        config = self.config if self.config is not None else AnalysisConfig()
+        for state in self.sessions():
+            try:
+                changed = self.study_warehouse.ingest_spool(
+                    state.spool.path, self.run_id, config,
+                    session_id=state.session,
+                )
+            except Exception as error:
+                failed += 1
+                obs_runtime.count("warehouse.write_errors")
+                warnings.warn(
+                    f"spool compaction failed for session "
+                    f"{state.session!r}: {error} — spool kept at "
+                    f"{state.spool.path}",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                continue
+            if changed:
+                ingested += 1
+            else:
+                skipped += 1
+        return {"ingested": ingested, "skipped": skipped, "failed": failed}
 
     def __enter__(self) -> "IngestServer":
         return self.start()

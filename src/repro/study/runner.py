@@ -252,6 +252,8 @@ def run_study(
     faults: Union[FaultPlan, FaultInjector, dict, None] = None,
     retry: Optional[RetryPolicy] = None,
     task_timeout: Optional[float] = None,
+    warehouse: Optional[Union[str, Path]] = None,
+    warehouse_run_id: Optional[str] = None,
 ) -> StudyResult:
     """Run the full characterization study.
 
@@ -280,6 +282,13 @@ def run_study(
             attempts with exponential backoff).
         task_timeout: per-task result wait in seconds on pooled paths;
             a hung worker trips it and the work re-runs serially.
+        warehouse: path of a study-warehouse SQLite file; after the
+            study, the fused bundles this run left in the result cache
+            are compacted into it as one queryable run (see
+            :mod:`repro.warehouse`). Requires ``use_cache=True``; any
+            warehouse failure warns and leaves the study result intact.
+        warehouse_run_id: the run id warehouse rows are filed under;
+            defaults to a deterministic ``study-<seed>-<config-fp>``.
     """
     config = config or StudyConfig()
     if obs is None:
@@ -337,4 +346,72 @@ def run_study(
                     if progress and result.quarantined:
                         for entry in result.quarantined:
                             print(f"    quarantined: {entry.describe()}")
+            if warehouse is not None:
+                _compact_into_warehouse(
+                    warehouse, warehouse_run_id, config, cache_dir,
+                    use_cache, progress,
+                )
     return StudyResult(config=config, apps=results)
+
+
+def _compact_into_warehouse(
+    warehouse: Union[str, Path],
+    run_id: Optional[str],
+    config: StudyConfig,
+    cache_dir: Optional[Union[str, Path]],
+    use_cache: bool,
+    progress: bool,
+) -> None:
+    """Compact this study's cache bundles into the study warehouse.
+
+    Best-effort by design: the warehouse is a byproduct of the study,
+    so every failure path warns (and counts
+    ``warehouse.write_errors``) instead of raising — a full disk must
+    not discard seven hours of analysis.
+    """
+    import warnings
+
+    from repro.engine.cache import ResultCache, config_fingerprint
+    from repro.warehouse import StudyWarehouse
+
+    if not use_cache:
+        warnings.warn(
+            "run_study(warehouse=...) needs use_cache=True — the "
+            "warehouse compacts the bundles the study leaves in the "
+            "result cache; skipping warehouse update",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+        return
+    fingerprint = config_fingerprint(config.analysis_config())
+    resolved_run = run_id or f"study-{config.seed}-{fingerprint[:8]}"
+    try:
+        store = StudyWarehouse(warehouse)
+        store.record_run(
+            resolved_run,
+            label=f"seed={config.seed} sessions={config.sessions}"
+            f" scale={config.scale}",
+            source="bundles",
+            config_fingerprint=fingerprint,
+            threshold_ms=config.perceptible_threshold_ms,
+        )
+        counts = store.ingest_bundles(
+            ResultCache(cache_dir),
+            resolved_run,
+            config_fingerprint=fingerprint,
+            applications=config.applications,
+        )
+        if progress:
+            print(
+                f"  warehouse: run {resolved_run} "
+                f"+{counts['ingested']} sessions "
+                f"({counts['skipped']} already present)"
+            )
+    except Exception as error:  # degrade, never kill the study
+        obs_runtime.count("warehouse.write_errors")
+        warnings.warn(
+            f"study warehouse update failed under {warehouse}: {error} — "
+            f"study results are unaffected",
+            RuntimeWarning,
+            stacklevel=3,
+        )

@@ -1,0 +1,37 @@
+"""Persistent cross-session study warehouse (see :mod:`repro.warehouse.store`)."""
+
+from repro.warehouse.schema import (
+    MIGRATIONS,
+    SCHEMA_VERSION,
+    StudyWarehouseError,
+)
+from repro.warehouse.store import (
+    BUCKET_WIDTHS,
+    INGEST_ANALYSES,
+    METRICS,
+    StudyWarehouse,
+)
+from repro.warehouse.types import (
+    AppAggregate,
+    PatternAggregate,
+    RegressionEntry,
+    RegressionReport,
+    RunRecord,
+    SeriesPoint,
+)
+
+__all__ = [
+    "AppAggregate",
+    "BUCKET_WIDTHS",
+    "INGEST_ANALYSES",
+    "METRICS",
+    "MIGRATIONS",
+    "PatternAggregate",
+    "RegressionEntry",
+    "RegressionReport",
+    "RunRecord",
+    "SCHEMA_VERSION",
+    "SeriesPoint",
+    "StudyWarehouse",
+    "StudyWarehouseError",
+]

@@ -1,0 +1,161 @@
+"""Versioned schema and migrations for the study warehouse.
+
+Unlike the telemetry warehouse (whose single-version schema is applied
+with ``CREATE TABLE IF NOT EXISTS``), the study warehouse is a durable
+cross-run dataset: its file outlives code upgrades, so the schema is
+expressed as an ordered migration chain. ``MIGRATIONS[n]`` upgrades a
+version-``n`` file to version ``n + 1``; opening a file always walks
+the chain from its recorded version to :data:`SCHEMA_VERSION`, inside
+one transaction per step, preserving existing rows.
+
+A file written by a *newer* code version (recorded version above
+:data:`SCHEMA_VERSION`) is refused rather than guessed at.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+
+from repro.core.errors import LagAlyzerError
+
+#: Version this code writes; files at lower versions migrate up on open.
+SCHEMA_VERSION = 2
+
+# Version 1: the core study tables — runs, per-session summaries, and
+# per-session pattern occurrence rows.
+_V1 = """
+CREATE TABLE IF NOT EXISTS meta (
+    key   TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS runs (
+    run_id             TEXT PRIMARY KEY,
+    label              TEXT NOT NULL DEFAULT '',
+    source             TEXT NOT NULL DEFAULT '',
+    config_fingerprint TEXT NOT NULL DEFAULT '',
+    threshold_ms       REAL,
+    created_ts         REAL NOT NULL
+);
+CREATE TABLE IF NOT EXISTS sessions (
+    run_id             TEXT NOT NULL,
+    app                TEXT NOT NULL,
+    session_id         TEXT NOT NULL,
+    trace_digest       TEXT NOT NULL DEFAULT '',
+    config_fingerprint TEXT NOT NULL DEFAULT '',
+    ingested_ts        REAL NOT NULL,
+    e2e_s              REAL NOT NULL DEFAULT 0,
+    in_episode_pct     REAL NOT NULL DEFAULT 0,
+    below_filter       REAL NOT NULL DEFAULT 0,
+    traced             REAL NOT NULL DEFAULT 0,
+    perceptible        REAL NOT NULL DEFAULT 0,
+    long_per_min       REAL NOT NULL DEFAULT 0,
+    distinct_patterns  REAL NOT NULL DEFAULT 0,
+    covered_episodes   REAL NOT NULL DEFAULT 0,
+    singleton_pct      REAL NOT NULL DEFAULT 0,
+    mean_descendants   REAL NOT NULL DEFAULT 0,
+    mean_depth         REAL NOT NULL DEFAULT 0,
+    excluded_episodes  INTEGER NOT NULL DEFAULT 0,
+    PRIMARY KEY (run_id, app, session_id)
+);
+CREATE INDEX IF NOT EXISTS idx_sessions_app
+    ON sessions (app, ingested_ts);
+CREATE TABLE IF NOT EXISTS patterns (
+    run_id      TEXT NOT NULL,
+    app         TEXT NOT NULL,
+    session_id  TEXT NOT NULL,
+    pattern_key TEXT NOT NULL,
+    count       INTEGER NOT NULL DEFAULT 0,
+    perceptible INTEGER NOT NULL DEFAULT 0,
+    PRIMARY KEY (run_id, app, session_id, pattern_key)
+);
+"""
+
+# Version 2: a records column on sessions (the spool zero-loss count),
+# a quarantine table for rows swept aside as corrupt, and a pattern
+# index serving the top-N query.
+_V2 = """
+ALTER TABLE sessions ADD COLUMN records INTEGER NOT NULL DEFAULT 0;
+CREATE TABLE IF NOT EXISTS quarantine (
+    rowid_src  INTEGER,
+    src_table  TEXT NOT NULL,
+    reason     TEXT NOT NULL,
+    payload    TEXT NOT NULL,
+    swept_ts   REAL NOT NULL
+);
+CREATE INDEX IF NOT EXISTS idx_patterns_app_key
+    ON patterns (app, pattern_key);
+"""
+
+#: ``MIGRATIONS[n]`` migrates a version-``n`` database to ``n + 1``.
+MIGRATIONS = (_V1, _V2)
+
+
+class StudyWarehouseError(LagAlyzerError):
+    """The study warehouse file is unusable or a query is malformed."""
+
+
+def stored_version(connection: sqlite3.Connection) -> int:
+    """The schema version recorded in the file, 0 for a fresh file."""
+    row = connection.execute(
+        "SELECT name FROM sqlite_master WHERE type='table' AND name='meta'"
+    ).fetchone()
+    if row is None:
+        return 0
+    row = connection.execute(
+        "SELECT value FROM meta WHERE key = 'study_schema_version'"
+    ).fetchone()
+    return int(row[0]) if row else 0
+
+
+def _statements(script: str) -> list:
+    """The individual statements of a migration script.
+
+    Scripts are executed statement by statement inside an explicit
+    transaction (``executescript`` would commit around itself and break
+    the write-lock serialization below), so they must not contain
+    string literals with semicolons.
+    """
+    return [part.strip() for part in script.split(";") if part.strip()]
+
+
+def ensure_schema(connection: sqlite3.Connection) -> int:
+    """Walk ``connection`` up the migration chain to the current version.
+
+    Returns the version the file started at. Each step runs inside a
+    ``BEGIN IMMEDIATE`` transaction: the write lock serializes
+    concurrent first-opens (the version is re-read under the lock, so
+    the loser sees the winner's work instead of re-running a
+    non-idempotent ``ALTER TABLE``), and a crash mid-chain leaves a
+    valid lower-version file that the next open resumes upgrading.
+
+    Raises:
+        StudyWarehouseError: the file reports a version newer than this
+            code understands.
+    """
+    start = stored_version(connection)
+    if start > SCHEMA_VERSION:
+        raise StudyWarehouseError(
+            f"study warehouse is schema v{start}, newer than this code's "
+            f"v{SCHEMA_VERSION} — upgrade repro or use a fresh file"
+        )
+    while stored_version(connection) < SCHEMA_VERSION:
+        connection.execute("BEGIN IMMEDIATE")
+        try:
+            version = stored_version(connection)
+            if version >= SCHEMA_VERSION:
+                connection.execute("COMMIT")
+                break
+            for statement in _statements(MIGRATIONS[version]):
+                connection.execute(statement)
+            connection.execute(
+                "INSERT INTO meta (key, value)"
+                " VALUES ('study_schema_version', ?)"
+                " ON CONFLICT(key) DO UPDATE SET value = excluded.value",
+                (str(version + 1),),
+            )
+            connection.execute("COMMIT")
+        except BaseException:
+            if connection.in_transaction:
+                connection.execute("ROLLBACK")
+            raise
+    return start

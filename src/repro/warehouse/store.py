@@ -1,0 +1,862 @@
+"""The study warehouse: a cross-session queryable store of analysis results.
+
+Engine cache bundles and ingest spools answer "what did *this* trace
+do?"; the study warehouse answers "which app regressed across the last
+500 sessions?" (ROADMAP item 1). It is one SQLite file (stdlib
+:mod:`sqlite3`, WAL mode) holding per-session Table III statistics and
+per-session pattern occurrence counts, partitioned by run / application
+/ session / config fingerprint, with query methods for cross-session
+aggregates, top-N worst patterns, per-app time series, and before/after
+regression diffs between two run sets.
+
+Design rules (shared with :mod:`repro.obs.warehouse`):
+
+- **Repository pattern, short-lived connections.** Every operation
+  opens its own connection, walks the migration chain, commits, and
+  closes. Delete the file mid-run and the next write recreates it.
+- **Parameterized SQL everywhere.** Application and session identifiers
+  come straight off the ingest wire; they are always bound values,
+  never spliced into statements.
+- **Degrade, never kill.** A failed session write warns, counts
+  ``warehouse.write_errors``, and lets the study run continue; corrupt
+  rows are swept into a quarantine table, not served and not fatal.
+- **Parity by construction.** :meth:`StudyWarehouse.ingest_trace` runs
+  the same fused plan (``statistics`` + ``occurrence``) that
+  :meth:`LagAlyzer.summaries` runs, and :meth:`ingest_bundles` compacts
+  partials the engine already computed — so warehouse queries agree
+  exactly with recomputing, which the parity tests pin.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+import time
+import warnings
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.core.statistics import SessionStats
+from repro.faults import runtime as faults_runtime
+from repro.obs import runtime as obs_runtime
+from repro.warehouse.schema import (
+    SCHEMA_VERSION,
+    StudyWarehouseError,
+    ensure_schema,
+)
+from repro.warehouse.types import (
+    AppAggregate,
+    PatternAggregate,
+    RegressionEntry,
+    RegressionReport,
+    RunRecord,
+    SeriesPoint,
+)
+
+#: The fused plan a direct trace ingest runs — the same operators whose
+#: partials :meth:`LagAlyzer.summaries` reduces for Table III rows and
+#: pattern occurrence counts.
+INGEST_ANALYSES: Tuple[str, ...] = ("statistics", "occurrence")
+
+#: Metrics the series / regression queries understand, mapped to the
+#: SQL aggregate over ``sessions`` rows that computes them. Every one is
+#: "higher is worse" for regression purposes.
+METRICS: Dict[str, str] = {
+    "perceptible_rate": "SUM(perceptible) * 1.0 / MAX(SUM(traced), 1)",
+    "perceptible": "SUM(perceptible)",
+    "traced": "SUM(traced)",
+    "long_per_min": "AVG(long_per_min)",
+    "e2e_s": "SUM(e2e_s)",
+}
+
+#: Display bucket widths accepted by :meth:`StudyWarehouse.series`.
+BUCKET_WIDTHS: Dict[str, int] = {
+    "minute": 60,
+    "hour": 3600,
+    "day": 86400,
+}
+
+#: SQL guard keeping corrupt (non-numeric) session rows out of every
+#: aggregate — quarantine sweeps remove them, queries never trust them.
+_NUMERIC_GUARD = (
+    "typeof(traced) IN ('integer', 'real')"
+    " AND typeof(perceptible) IN ('integer', 'real')"
+    " AND typeof(e2e_s) IN ('integer', 'real')"
+    " AND typeof(long_per_min) IN ('integer', 'real')"
+)
+
+#: ``sessions`` columns filled from :class:`SessionStats` fields.
+_STAT_COLUMNS: Tuple[str, ...] = SessionStats._NUMERIC_FIELDS
+
+
+def _metric_sql(metric: str) -> str:
+    sql = METRICS.get(metric)
+    if sql is None:
+        known = ", ".join(sorted(METRICS))
+        raise StudyWarehouseError(
+            f"unknown metric {metric!r}; choose from {known}"
+        )
+    return sql
+
+
+class StudyWarehouse:
+    """One SQLite-backed study warehouse.
+
+    Args:
+        path: the database file (created, with parents, on first write).
+    """
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+
+    # ------------------------------------------------------------------
+    # Connection / schema management
+    # ------------------------------------------------------------------
+
+    def _connect(self) -> sqlite3.Connection:
+        """A fresh connection, schema migrated to the current version."""
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        connection = sqlite3.connect(str(self.path), timeout=10.0)
+        try:
+            connection.execute("PRAGMA journal_mode=WAL")
+            connection.execute("PRAGMA synchronous=NORMAL")
+            ensure_schema(connection)
+        except sqlite3.Error:
+            connection.close()
+            raise
+        return connection
+
+    def schema_version(self) -> int:
+        """The schema version of the file (migrating it if behind)."""
+        connection = self._connect()
+        try:
+            row = connection.execute(
+                "SELECT value FROM meta WHERE key = 'study_schema_version'"
+            ).fetchone()
+            return int(row[0]) if row else SCHEMA_VERSION
+        finally:
+            connection.close()
+
+    # ------------------------------------------------------------------
+    # Writes
+    # ------------------------------------------------------------------
+
+    def record_run(
+        self,
+        run_id: str,
+        label: str = "",
+        source: str = "",
+        config_fingerprint: str = "",
+        threshold_ms: Optional[float] = None,
+        ts: Optional[float] = None,
+    ) -> None:
+        """Upsert one run row (idempotent; later calls refresh metadata)."""
+        now = time.time() if ts is None else float(ts)
+        connection = self._connect()
+        try:
+            with connection:
+                connection.execute(
+                    "INSERT INTO runs (run_id, label, source,"
+                    " config_fingerprint, threshold_ms, created_ts)"
+                    " VALUES (?, ?, ?, ?, ?, ?)"
+                    " ON CONFLICT(run_id) DO UPDATE SET"
+                    " label = CASE WHEN excluded.label != ''"
+                    "   THEN excluded.label ELSE label END,"
+                    " source = CASE WHEN excluded.source != ''"
+                    "   THEN excluded.source ELSE source END,"
+                    " config_fingerprint ="
+                    "   CASE WHEN excluded.config_fingerprint != ''"
+                    "   THEN excluded.config_fingerprint"
+                    "   ELSE config_fingerprint END,"
+                    " threshold_ms = COALESCE(excluded.threshold_ms,"
+                    "   threshold_ms)",
+                    (
+                        run_id, label, source, config_fingerprint,
+                        threshold_ms, now,
+                    ),
+                )
+        finally:
+            connection.close()
+
+    def ingest_session(
+        self,
+        run_id: str,
+        app: str,
+        session_id: str,
+        stats: SessionStats,
+        pattern_counts: Optional[Dict[str, Tuple[int, int]]] = None,
+        excluded: int = 0,
+        trace_digest: str = "",
+        config_fingerprint: str = "",
+        records: int = 0,
+        ts: Optional[float] = None,
+    ) -> bool:
+        """Store one session's summary + pattern rows (one transaction).
+
+        Dedup contract: re-ingesting a ``(run, app, session)`` whose
+        stored ``trace_digest`` matches is a no-op returning ``False``;
+        a *different* digest (the session was re-traced) replaces the
+        row and its pattern rows. Returns ``True`` when rows changed.
+
+        Raises:
+            OSError, sqlite3.Error: the write failed — callers that sit
+                inside a study run catch these, warn, and continue (the
+                warehouse is a byproduct, never a point of failure).
+        """
+        faults_runtime.check("warehouse.write", key=f"{app}/{session_id}")
+        now = time.time() if ts is None else float(ts)
+        counts = pattern_counts or {}
+        connection = self._connect()
+        try:
+            existing = connection.execute(
+                "SELECT trace_digest FROM sessions"
+                " WHERE run_id = ? AND app = ? AND session_id = ?",
+                (run_id, app, session_id),
+            ).fetchone()
+            if existing is not None and existing[0] == trace_digest:
+                return False
+            stat_values = [float(getattr(stats, name)) for name in _STAT_COLUMNS]
+            with connection:
+                connection.execute(
+                    "INSERT OR IGNORE INTO runs (run_id, created_ts)"
+                    " VALUES (?, ?)",
+                    (run_id, now),
+                )
+                connection.execute(
+                    "DELETE FROM patterns WHERE run_id = ? AND app = ?"
+                    " AND session_id = ?",
+                    (run_id, app, session_id),
+                )
+                connection.execute(
+                    "INSERT INTO sessions (run_id, app, session_id,"
+                    " trace_digest, config_fingerprint, ingested_ts,"
+                    " records, excluded_episodes, "
+                    + ", ".join(_STAT_COLUMNS)
+                    + ") VALUES (?, ?, ?, ?, ?, ?, ?, ?, "
+                    + ", ".join("?" for _ in _STAT_COLUMNS)
+                    + ") ON CONFLICT(run_id, app, session_id) DO UPDATE SET"
+                    " trace_digest = excluded.trace_digest,"
+                    " config_fingerprint = excluded.config_fingerprint,"
+                    " ingested_ts = excluded.ingested_ts,"
+                    " records = excluded.records,"
+                    " excluded_episodes = excluded.excluded_episodes, "
+                    + ", ".join(
+                        f"{name} = excluded.{name}" for name in _STAT_COLUMNS
+                    ),
+                    [
+                        run_id, app, session_id, trace_digest,
+                        config_fingerprint, now, int(records), int(excluded),
+                    ]
+                    + stat_values,
+                )
+                connection.executemany(
+                    "INSERT INTO patterns (run_id, app, session_id,"
+                    " pattern_key, count, perceptible)"
+                    " VALUES (?, ?, ?, ?, ?, ?)",
+                    [
+                        (
+                            run_id, app, session_id, str(key),
+                            int(pair[0]), int(pair[1]),
+                        )
+                        for key, pair in sorted(counts.items())
+                    ],
+                )
+        finally:
+            connection.close()
+        obs_runtime.count("warehouse.sessions_ingested")
+        return True
+
+    def ingest_trace(
+        self,
+        trace: Any,
+        run_id: str,
+        config: Any,
+        records: int = 0,
+        ts: Optional[float] = None,
+        session_id: Optional[str] = None,
+    ) -> bool:
+        """Analyze one trace with the ingest plan and store the session.
+
+        Runs the same fused ``statistics`` + ``occurrence`` pass the
+        engine runs, so the stored row is value-identical to what
+        :meth:`LagAlyzer.summaries` would reduce for this trace.
+
+        ``session_id`` overrides the trace's own metadata session id —
+        ingest daemons use their wire session id, which is unique per
+        connection where trace metadata may not be.
+        """
+        from repro.core.plan import build_plan
+        from repro.engine.cache import config_fingerprint
+        from repro.lila.digest import trace_digest
+
+        partials = build_plan(INGEST_ANALYSES).execute(trace, config)
+        stats = partials["statistics"]
+        occurrence = partials["occurrence"]
+        return self.ingest_session(
+            run_id=run_id,
+            app=trace.application,
+            session_id=(
+                session_id if session_id is not None
+                else trace.metadata.session_id
+            ),
+            stats=stats,
+            pattern_counts=occurrence.counts,
+            excluded=occurrence.excluded,
+            trace_digest=trace_digest(trace),
+            config_fingerprint=config_fingerprint(config),
+            records=records,
+            ts=ts,
+        )
+
+    def ingest_spool(
+        self,
+        spool_path: Union[str, Path],
+        run_id: str,
+        config: Any,
+        ts: Optional[float] = None,
+        session_id: Optional[str] = None,
+    ) -> bool:
+        """Analyze one ingest spool file and store its session.
+
+        ``records`` is the spool's record-line count, matching the
+        daemon's zero-loss ``records_flushed`` accounting.
+        """
+        from repro.lila.source import build_trace, open_source
+
+        spool_path = Path(spool_path)
+        # Every flushed line lands in the spool verbatim, so the line
+        # count is exactly the daemon's ``records_flushed`` for the
+        # session — the zero-loss contract, queryable after the fact.
+        with open(spool_path, "r", encoding="utf-8") as handle:
+            records = sum(1 for _ in handle)
+        trace = build_trace(open_source(spool_path))
+        return self.ingest_trace(
+            trace, run_id, config,
+            records=records, ts=ts, session_id=session_id,
+        )
+
+    def ingest_bundles(
+        self,
+        cache: Any,
+        run_id: str,
+        config_fingerprint: str = "",
+        applications: Optional[Iterable[str]] = None,
+        ts: Optional[float] = None,
+    ) -> Dict[str, int]:
+        """Compact a result cache's fused bundles into warehouse rows.
+
+        Consumes :meth:`repro.engine.cache.ResultCache.iter_bundles`
+        (the supported iteration surface — no globbing of cache
+        internals). Only bundles that carry provenance meta *and* both
+        ingest analyses are eligible; ``config_fingerprint`` /
+        ``applications`` narrow the sweep to one study's bundles.
+
+        Returns counters: ``{"ingested", "skipped", "ineligible"}`` —
+        ``skipped`` are eligible bundles already present (dedup),
+        ``ineligible`` lack meta, lack the ingest analyses, or fail the
+        filters.
+        """
+        wanted = set(applications) if applications is not None else None
+        ingested = skipped = ineligible = 0
+        for record in cache.iter_bundles():
+            meta = record.meta or {}
+            app = meta.get("application")
+            session_id = meta.get("session_id")
+            stats = record.partials.get("statistics")
+            occurrence = record.partials.get("occurrence")
+            if (
+                not app
+                or not session_id
+                or not isinstance(stats, SessionStats)
+                or occurrence is None
+                or not hasattr(occurrence, "counts")
+            ):
+                ineligible += 1
+                continue
+            if config_fingerprint and (
+                meta.get("config_fingerprint") != config_fingerprint
+            ):
+                ineligible += 1
+                continue
+            if wanted is not None and app not in wanted:
+                ineligible += 1
+                continue
+            changed = self.ingest_session(
+                run_id=run_id,
+                app=str(app),
+                session_id=str(session_id),
+                stats=stats,
+                pattern_counts=occurrence.counts,
+                excluded=int(getattr(occurrence, "excluded", 0)),
+                trace_digest=str(meta.get("trace_digest", "")),
+                config_fingerprint=str(meta.get("config_fingerprint", "")),
+                ts=ts,
+            )
+            if changed:
+                ingested += 1
+                obs_runtime.count("warehouse.bundles_compacted")
+            else:
+                skipped += 1
+        return {
+            "ingested": ingested,
+            "skipped": skipped,
+            "ineligible": ineligible,
+        }
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _filters(
+        apps: Optional[Sequence[str]] = None,
+        run_ids: Optional[Sequence[str]] = None,
+        since_ts: Optional[float] = None,
+    ) -> Tuple[str, List[Any]]:
+        """A parameterized WHERE tail from the common query filters."""
+        clauses: List[str] = [_NUMERIC_GUARD]
+        params: List[Any] = []
+        if apps:
+            clauses.append(
+                "app IN (" + ", ".join("?" for _ in apps) + ")"
+            )
+            params.extend(apps)
+        if run_ids:
+            clauses.append(
+                "run_id IN (" + ", ".join("?" for _ in run_ids) + ")"
+            )
+            params.extend(run_ids)
+        if since_ts is not None:
+            clauses.append("ingested_ts >= ?")
+            params.append(float(since_ts))
+        return " AND ".join(clauses), params
+
+    def runs(self) -> List[RunRecord]:
+        """Every recorded run, oldest first, with its session count."""
+        if not self.path.exists():
+            return []
+        connection = self._connect()
+        try:
+            rows = connection.execute(
+                "SELECT r.run_id, r.label, r.source, r.config_fingerprint,"
+                " r.threshold_ms, r.created_ts,"
+                " (SELECT COUNT(*) FROM sessions s WHERE s.run_id = r.run_id)"
+                " FROM runs r ORDER BY r.created_ts, r.run_id"
+            ).fetchall()
+        finally:
+            connection.close()
+        return [
+            RunRecord(
+                run_id=row[0],
+                label=row[1],
+                source=row[2],
+                config_fingerprint=row[3],
+                threshold_ms=row[4],
+                created_ts=float(row[5]),
+                sessions=int(row[6]),
+            )
+            for row in rows
+        ]
+
+    def aggregate(
+        self,
+        apps: Optional[Sequence[str]] = None,
+        run_ids: Optional[Sequence[str]] = None,
+        since_ts: Optional[float] = None,
+    ) -> List[AppAggregate]:
+        """Cross-session totals per application, app-name order."""
+        if not self.path.exists():
+            return []
+        where, params = self._filters(apps, run_ids, since_ts)
+        connection = self._connect()
+        try:
+            rows = connection.execute(
+                "SELECT app, COUNT(*), SUM(traced), SUM(perceptible),"
+                " SUM(e2e_s), AVG(long_per_min)"
+                f" FROM sessions WHERE {where}"
+                " GROUP BY app ORDER BY app",
+                params,
+            ).fetchall()
+        finally:
+            connection.close()
+        return [
+            AppAggregate(
+                application=row[0],
+                sessions=int(row[1]),
+                traced_episodes=int(row[2] or 0),
+                perceptible_episodes=int(row[3] or 0),
+                total_e2e_s=float(row[4] or 0.0),
+                mean_long_per_min=float(row[5] or 0.0),
+            )
+            for row in rows
+        ]
+
+    def top_patterns(
+        self,
+        n: int = 10,
+        metric: str = "perceptible_lag",
+        apps: Optional[Sequence[str]] = None,
+        run_ids: Optional[Sequence[str]] = None,
+    ) -> List[PatternAggregate]:
+        """The N worst patterns fleet-wide.
+
+        ``metric="perceptible_lag"`` ranks by perceptible episode count
+        (then total occurrences); ``metric="occurrences"`` ranks by
+        total occurrences (then perceptible count). Ties break on
+        (application, pattern key) ascending, so the ordering is fully
+        deterministic.
+        """
+        if metric == "perceptible_lag":
+            order = "total_perceptible DESC, total_count DESC"
+        elif metric == "occurrences":
+            order = "total_count DESC, total_perceptible DESC"
+        else:
+            raise StudyWarehouseError(
+                f"unknown pattern metric {metric!r};"
+                " choose from occurrences, perceptible_lag"
+            )
+        if not self.path.exists():
+            return []
+        clauses: List[str] = [
+            "typeof(count) IN ('integer', 'real')",
+            "typeof(perceptible) IN ('integer', 'real')",
+        ]
+        params: List[Any] = []
+        if apps:
+            clauses.append("app IN (" + ", ".join("?" for _ in apps) + ")")
+            params.extend(apps)
+        if run_ids:
+            clauses.append(
+                "run_id IN (" + ", ".join("?" for _ in run_ids) + ")"
+            )
+            params.extend(run_ids)
+        where = " AND ".join(clauses)
+        connection = self._connect()
+        try:
+            rows = connection.execute(
+                "SELECT app, pattern_key, SUM(count) AS total_count,"
+                " SUM(perceptible) AS total_perceptible,"
+                " COUNT(DISTINCT run_id || '/' || session_id)"
+                f" FROM patterns WHERE {where}"
+                " GROUP BY app, pattern_key"
+                f" ORDER BY {order}, app, pattern_key"
+                " LIMIT ?",
+                params + [int(n)],
+            ).fetchall()
+        finally:
+            connection.close()
+        return [
+            PatternAggregate(
+                application=row[0],
+                pattern_key=row[1],
+                occurrences=int(row[2] or 0),
+                perceptible=int(row[3] or 0),
+                sessions=int(row[4] or 0),
+            )
+            for row in rows
+        ]
+
+    def series(
+        self,
+        metric: str = "perceptible_rate",
+        bucket: str = "hour",
+        apps: Optional[Sequence[str]] = None,
+        run_ids: Optional[Sequence[str]] = None,
+        since_ts: Optional[float] = None,
+    ) -> List[SeriesPoint]:
+        """A per-app time series of ``metric`` over ingest time.
+
+        Sessions are bucketed by their ``ingested_ts`` into ``minute`` /
+        ``hour`` / ``day`` buckets; each point aggregates the sessions
+        in one (app, bucket).
+        """
+        width = BUCKET_WIDTHS.get(bucket)
+        if width is None:
+            known = ", ".join(sorted(BUCKET_WIDTHS))
+            raise StudyWarehouseError(
+                f"unknown bucket {bucket!r}; choose from {known}"
+            )
+        value_sql = _metric_sql(metric)
+        if not self.path.exists():
+            return []
+        where, params = self._filters(apps, run_ids, since_ts)
+        connection = self._connect()
+        try:
+            rows = connection.execute(
+                "SELECT app,"
+                " CAST(ingested_ts AS INTEGER) / ? * ? AS bucket_ts,"
+                f" COUNT(*), {value_sql}"
+                f" FROM sessions WHERE {where}"
+                " GROUP BY app, bucket_ts ORDER BY app, bucket_ts",
+                [width, width] + params,
+            ).fetchall()
+        finally:
+            connection.close()
+        return [
+            SeriesPoint(
+                application=row[0],
+                bucket_ts=float(row[1]),
+                sessions=int(row[2]),
+                value=float(row[3] or 0.0),
+            )
+            for row in rows
+        ]
+
+    def regression(
+        self,
+        baseline_runs: Sequence[str],
+        candidate_runs: Sequence[str],
+        metric: str = "perceptible_rate",
+        min_delta: float = 0.0,
+    ) -> RegressionReport:
+        """A before/after diff of ``metric`` between two run sets.
+
+        Every metric is higher-is-worse, so an app regressed when
+        ``candidate - baseline > min_delta``. Apps present in only one
+        set still appear (the missing side reads 0.0 with 0 sessions).
+        Entries are ordered by application name — deterministic across
+        worker counts because the underlying rows are value-identical.
+        """
+        value_sql = _metric_sql(metric)
+
+        def side(runs: Sequence[str]) -> Dict[str, Tuple[float, int]]:
+            if not self.path.exists() or not runs:
+                return {}
+            where, params = self._filters(run_ids=runs)
+            connection = self._connect()
+            try:
+                rows = connection.execute(
+                    f"SELECT app, {value_sql}, COUNT(*)"
+                    f" FROM sessions WHERE {where} GROUP BY app",
+                    params,
+                ).fetchall()
+            finally:
+                connection.close()
+            return {
+                row[0]: (float(row[1] or 0.0), int(row[2])) for row in rows
+            }
+
+        base = side(baseline_runs)
+        cand = side(candidate_runs)
+        entries: List[RegressionEntry] = []
+        for app in sorted(set(base) | set(cand)):
+            base_value, base_sessions = base.get(app, (0.0, 0))
+            cand_value, cand_sessions = cand.get(app, (0.0, 0))
+            delta = cand_value - base_value
+            entries.append(
+                RegressionEntry(
+                    application=app,
+                    baseline_value=base_value,
+                    candidate_value=cand_value,
+                    delta=delta,
+                    regressed=delta > min_delta,
+                    baseline_sessions=base_sessions,
+                    candidate_sessions=cand_sessions,
+                )
+            )
+        return RegressionReport(
+            metric=metric,
+            min_delta=min_delta,
+            baseline_runs=tuple(baseline_runs),
+            candidate_runs=tuple(candidate_runs),
+            entries=entries,
+        )
+
+    # ------------------------------------------------------------------
+    # Retention and hygiene
+    # ------------------------------------------------------------------
+
+    def prune(
+        self,
+        max_age_s: Optional[float] = None,
+        keep_runs: Optional[int] = None,
+        now: Optional[float] = None,
+    ) -> int:
+        """Drop whole runs past the retention horizon.
+
+        ``max_age_s`` drops runs created earlier than ``now -
+        max_age_s``; ``keep_runs`` keeps only the newest N runs. Either
+        filter alone or both together; sessions and pattern rows of a
+        dropped run go with it. Returns runs removed.
+        """
+        if max_age_s is None and keep_runs is None:
+            return 0
+        if not self.path.exists():
+            return 0
+        now = time.time() if now is None else float(now)
+        connection = self._connect()
+        try:
+            doomed: List[str] = []
+            if max_age_s is not None:
+                cutoff = now - float(max_age_s)
+                doomed.extend(
+                    row[0]
+                    for row in connection.execute(
+                        "SELECT run_id FROM runs WHERE created_ts < ?",
+                        (cutoff,),
+                    )
+                )
+            if keep_runs is not None:
+                doomed.extend(
+                    row[0]
+                    for row in connection.execute(
+                        "SELECT run_id FROM runs"
+                        " ORDER BY created_ts DESC, run_id DESC"
+                        " LIMIT -1 OFFSET ?",
+                        (max(0, int(keep_runs)),),
+                    )
+                )
+            doomed = sorted(set(doomed))
+            if doomed:
+                marks = ", ".join("?" for _ in doomed)
+                with connection:
+                    connection.execute(
+                        f"DELETE FROM patterns WHERE run_id IN ({marks})",
+                        doomed,
+                    )
+                    connection.execute(
+                        f"DELETE FROM sessions WHERE run_id IN ({marks})",
+                        doomed,
+                    )
+                    connection.execute(
+                        f"DELETE FROM runs WHERE run_id IN ({marks})",
+                        doomed,
+                    )
+        finally:
+            connection.close()
+        return len(doomed)
+
+    def compact(
+        self, older_than_s: float, now: Optional[float] = None
+    ) -> int:
+        """Fold old runs' per-session pattern rows into per-run rows.
+
+        Pattern rows dominate warehouse size; for runs older than the
+        horizon, per-session detail matters less than totals. Rows of
+        each old (run, app, pattern) collapse into one row with the
+        ``''`` sentinel session id, preserving every sum the top-N
+        query reads. Returns rows reclaimed; the file is VACUUMed when
+        any were.
+        """
+        if not self.path.exists():
+            return 0
+        now = time.time() if now is None else float(now)
+        cutoff = now - float(older_than_s)
+        connection = self._connect()
+        try:
+            old_runs = [
+                row[0]
+                for row in connection.execute(
+                    "SELECT run_id FROM runs WHERE created_ts < ?", (cutoff,)
+                )
+            ]
+            if not old_runs:
+                return 0
+            marks = ", ".join("?" for _ in old_runs)
+            before = connection.execute(
+                f"SELECT COUNT(*) FROM patterns WHERE run_id IN ({marks})",
+                old_runs,
+            ).fetchone()[0]
+            with connection:
+                connection.execute(
+                    "CREATE TEMP TABLE folded AS"
+                    " SELECT run_id, app, '' AS session_id, pattern_key,"
+                    " SUM(count) AS count, SUM(perceptible) AS perceptible"
+                    f" FROM patterns WHERE run_id IN ({marks})"
+                    " GROUP BY run_id, app, pattern_key",
+                    old_runs,
+                )
+                connection.execute(
+                    f"DELETE FROM patterns WHERE run_id IN ({marks})",
+                    old_runs,
+                )
+                connection.execute(
+                    "INSERT INTO patterns (run_id, app, session_id,"
+                    " pattern_key, count, perceptible)"
+                    " SELECT run_id, app, session_id, pattern_key,"
+                    " count, perceptible FROM folded"
+                )
+                connection.execute("DROP TABLE folded")
+            after = connection.execute(
+                f"SELECT COUNT(*) FROM patterns WHERE run_id IN ({marks})",
+                old_runs,
+            ).fetchone()[0]
+            reclaimed = int(before) - int(after)
+            if reclaimed > 0:
+                connection.execute("VACUUM")
+        finally:
+            connection.close()
+        return reclaimed
+
+    def quarantine_corrupt(self, now: Optional[float] = None) -> int:
+        """Sweep structurally corrupt rows into the quarantine table.
+
+        A session row whose numeric columns are not numbers (external
+        tampering, partial writes through a crash) is moved — payload
+        preserved as JSON — so aggregates stay trustworthy and the
+        damage stays inspectable. Returns rows quarantined.
+        """
+        import json
+
+        if not self.path.exists():
+            return 0
+        now = time.time() if now is None else float(now)
+        connection = self._connect()
+        try:
+            bad = connection.execute(
+                "SELECT rowid, * FROM sessions WHERE NOT (" + _NUMERIC_GUARD + ")"
+            ).fetchall()
+            bad_patterns = connection.execute(
+                "SELECT rowid, * FROM patterns WHERE NOT ("
+                "typeof(count) IN ('integer', 'real')"
+                " AND typeof(perceptible) IN ('integer', 'real'))"
+            ).fetchall()
+            with connection:
+                for row in bad:
+                    connection.execute(
+                        "INSERT INTO quarantine (rowid_src, src_table,"
+                        " reason, payload, swept_ts) VALUES (?, ?, ?, ?, ?)",
+                        (
+                            row[0], "sessions", "non-numeric stats",
+                            json.dumps(row[1:], default=str), now,
+                        ),
+                    )
+                    connection.execute(
+                        "DELETE FROM sessions WHERE rowid = ?", (row[0],)
+                    )
+                for row in bad_patterns:
+                    connection.execute(
+                        "INSERT INTO quarantine (rowid_src, src_table,"
+                        " reason, payload, swept_ts) VALUES (?, ?, ?, ?, ?)",
+                        (
+                            row[0], "patterns", "non-numeric counts",
+                            json.dumps(row[1:], default=str), now,
+                        ),
+                    )
+                    connection.execute(
+                        "DELETE FROM patterns WHERE rowid = ?", (row[0],)
+                    )
+        finally:
+            connection.close()
+        swept = len(bad) + len(bad_patterns)
+        if swept:
+            obs_runtime.count("warehouse.quarantined_rows", swept)
+        return swept
+
+    def quarantined(self) -> List[Tuple[str, str]]:
+        """``(table, reason)`` of every quarantined row, sweep order."""
+        if not self.path.exists():
+            return []
+        connection = self._connect()
+        try:
+            return [
+                (row[0], row[1])
+                for row in connection.execute(
+                    "SELECT src_table, reason FROM quarantine"
+                    " ORDER BY swept_ts, rowid"
+                )
+            ]
+        finally:
+            connection.close()
+
+    def __repr__(self) -> str:
+        return f"StudyWarehouse({str(self.path)!r})"

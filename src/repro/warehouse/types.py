@@ -1,0 +1,131 @@
+"""Result row types returned by :class:`repro.warehouse.StudyWarehouse` queries.
+
+Each query returns a list of frozen dataclasses rather than raw sqlite
+rows so callers (the ``repro study query`` CLI, tests, notebooks) get a
+stable, documented shape that survives schema migrations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class RunRecord:
+    """One recorded study run (a named set of ingested sessions)."""
+
+    run_id: str
+    label: str
+    source: str
+    """Where the sessions came from: ``"bundles"``, ``"spool"``,
+    ``"trace"``, or a caller-supplied tag."""
+    config_fingerprint: str
+    threshold_ms: Optional[float]
+    created_ts: float
+    sessions: int
+
+    def as_dict(self) -> Dict[str, Any]:
+        return asdict(self)
+
+
+@dataclass(frozen=True)
+class AppAggregate:
+    """Cross-session aggregate for one application."""
+
+    application: str
+    sessions: int
+    traced_episodes: int
+    perceptible_episodes: int
+    total_e2e_s: float
+    mean_long_per_min: float
+
+    @property
+    def perceptible_rate(self) -> float:
+        """Perceptible episodes per traced episode, 0.0 when untraced."""
+        if self.traced_episodes <= 0:
+            return 0.0
+        return self.perceptible_episodes / self.traced_episodes
+
+    def as_dict(self) -> Dict[str, Any]:
+        data = asdict(self)
+        data["perceptible_rate"] = self.perceptible_rate
+        return data
+
+
+@dataclass(frozen=True)
+class PatternAggregate:
+    """Cross-session totals for one (application, pattern) pair."""
+
+    application: str
+    pattern_key: str
+    occurrences: int
+    perceptible: int
+    sessions: int
+    """Distinct sessions the pattern appeared in."""
+
+    def as_dict(self) -> Dict[str, Any]:
+        return asdict(self)
+
+
+@dataclass(frozen=True)
+class SeriesPoint:
+    """One time bucket of a per-app metric series."""
+
+    application: str
+    bucket_ts: float
+    sessions: int
+    value: float
+
+    def as_dict(self) -> Dict[str, Any]:
+        return asdict(self)
+
+
+@dataclass(frozen=True)
+class RegressionEntry:
+    """One application's before/after comparison."""
+
+    application: str
+    baseline_value: float
+    candidate_value: float
+    delta: float
+    regressed: bool
+    baseline_sessions: int
+    candidate_sessions: int
+
+    def as_dict(self) -> Dict[str, Any]:
+        return asdict(self)
+
+
+@dataclass(frozen=True)
+class RegressionReport:
+    """A before/after diff between two run sets.
+
+    ``entries`` is ordered by application name; ``regressions`` lists
+    only the apps whose metric moved past ``min_delta`` in the bad
+    direction.
+    """
+
+    metric: str
+    min_delta: float
+    baseline_runs: Tuple[str, ...]
+    candidate_runs: Tuple[str, ...]
+    entries: List[RegressionEntry] = field(default_factory=list)
+
+    @property
+    def regressions(self) -> List[RegressionEntry]:
+        return [entry for entry in self.entries if entry.regressed]
+
+    @property
+    def regressed(self) -> bool:
+        return any(entry.regressed for entry in self.entries)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "metric": self.metric,
+            "min_delta": self.min_delta,
+            "baseline_runs": list(self.baseline_runs),
+            "candidate_runs": list(self.candidate_runs),
+            "entries": [entry.as_dict() for entry in self.entries],
+            "regressed": self.regressed,
+        }
