@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import argparse
 import gc
+import json
 import pickle
 import sys
 import time
@@ -82,6 +83,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--workers", type=int, nargs="+", default=[0, 2],
                         help="worker settings to benchmark (1 = serial "
                              "in-process, 0 = one worker per CPU)")
+    parser.add_argument("--json-out", default=None,
+                        help="also write the numbers as JSON to this path")
     args = parser.parse_args(argv)
 
     names = tuple(REGISTRY)
@@ -109,6 +112,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     print("verified: fused and per-analysis summaries are byte-identical")
 
     failed = False
+    rows = []
     print()
     print(f"{'workers':<10} {'legacy':>12} {'fused':>12} {'speedup':>9}")
     for workers in args.workers:
@@ -124,15 +128,50 @@ def main(argv: Optional[List[str]] = None) -> int:
         )
         print(f"{label:<10} {legacy_s * 1000:>9.1f} ms "
               f"{fused_s * 1000:>9.1f} ms {speedup:>8.2f}x")
+        rows.append({
+            "workers": workers,
+            "legacy_ms": legacy_s * 1000,
+            "fused_ms": fused_s * 1000,
+            "speedup": speedup,
+        })
         if fused_s > legacy_s:
             print(f"FAIL: fused pass is slower than {len(names)} "
                   f"per-analysis passes at workers={workers} "
                   f"({speedup:.2f}x)", file=sys.stderr)
             failed = True
 
+    if args.json_out:
+        append_trajectory(Path(args.json_out), {
+            "generated": time.strftime(
+                "%Y-%m-%dT%H:%M:%SZ", time.gmtime()
+            ),
+            "workload": {
+                "sessions": args.sessions,
+                "scale": args.scale,
+                "episodes": episodes,
+                "analyses": len(names),
+            },
+            "results": rows,
+            "passed": not failed,
+        })
+        print(f"trajectory entry appended to {args.json_out}")
+
     if not failed:
         print("PASS")
     return 1 if failed else 0
+
+
+def append_trajectory(path: Path, entry: dict) -> None:
+    """Append ``entry`` to the trajectory file (created if missing)."""
+    if path.exists():
+        data = json.loads(path.read_text(encoding="utf-8"))
+    else:
+        data = {"benchmark": "columns", "trajectory": []}
+    data["trajectory"].append(entry)
+    path.write_text(
+        json.dumps(data, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
 
 
 if __name__ == "__main__":

@@ -11,10 +11,22 @@ quantifies the difference on a synthetic session of configurable size:
 - **parse time** (best of ``--repeats`` runs).
 
 Both paths share the same tokenizer (:class:`TextTraceSource`), so the
-comparison isolates exactly the representation cost. The script exits
-nonzero if the memory improvement falls below ``--min-ratio`` (default
-2x) or, with ``--budget-mb``, if the columnar peak exceeds the budget —
-which is how CI uses it as an ingestion-regression gate::
+comparison isolates exactly the representation cost.
+
+Two further phases exercise the zero-copy column file:
+
+- **mmap fan-out**: the trace is converted to a ``.lilac`` column file
+  and the engine fan-out is timed against the in-memory store vs the
+  mmap-backed one; because a file-backed store pickles as its path,
+  the shipped task bytes collapse (gated by ``--min-ship-ratio``).
+- **sharding**: one large trace dispatched whole vs split into row
+  shards across workers, verified byte-identical and timed.
+
+The script exits nonzero if the memory improvement falls below
+``--min-ratio`` (default 2x), if the shipped-bytes improvement falls
+below ``--min-ship-ratio`` (default 2x), or, with ``--budget-mb``, if
+the columnar peak exceeds the budget — which is how CI uses it as an
+ingestion-regression gate::
 
     python benchmarks/bench_ingest.py --records 50000 --budget-mb 64
 """
@@ -23,6 +35,8 @@ from __future__ import annotations
 
 import argparse
 import gc
+import json
+import pickle
 import sys
 import tempfile
 import time
@@ -182,6 +196,118 @@ def columnar_read(path: Path):
     return build_store(TextTraceSource(path))
 
 
+def bench_mmap_fanout(
+    path: Path, workdir: Path, repeats: int, workers: int = 2
+) -> Dict[str, float]:
+    """Engine fan-out over the in-memory store vs the mmap column file.
+
+    Returns shipped pickle bytes per task and best fan-out times for
+    both shapes. A file-backed store pickles as its path, so workers
+    re-map the column file instead of receiving the columns by value.
+    """
+    from repro.core.analyzer import AnalysisConfig
+    from repro.core.store import FacadeTrace
+    from repro.engine.engine import AnalysisEngine
+    from repro.lila.colfile import open_column_trace, write_column_file
+
+    store = columnar_read(path)
+    column_path = write_column_file(store, workdir / "bench.lilac")
+    memory_trace = FacadeTrace(store)
+    mapped_trace = open_column_trace(column_path)
+
+    memory_bytes = len(pickle.dumps(memory_trace))
+    mapped_bytes = len(pickle.dumps(mapped_trace))
+
+    names = ("statistics", "occurrence")
+    config = AnalysisConfig()
+
+    def fanout(trace):
+        engine = AnalysisEngine(workers=workers, use_cache=False)
+        return engine.summarize_all(names, [trace], config)
+
+    check_memory = pickle.dumps(sorted(fanout(memory_trace).items()))
+    check_mapped = pickle.dumps(sorted(fanout(mapped_trace).items()))
+    assert check_memory == check_mapped, (
+        "mmap-backed fan-out disagrees with the in-memory fan-out"
+    )
+
+    memory_s = measure_time(lambda _: fanout(memory_trace), path, repeats)
+    mapped_s = measure_time(lambda _: fanout(mapped_trace), path, repeats)
+    return {
+        "memory_task_bytes": memory_bytes,
+        "mapped_task_bytes": mapped_bytes,
+        "ship_ratio": (
+            memory_bytes / mapped_bytes if mapped_bytes else float("inf")
+        ),
+        "memory_fanout_s": memory_s,
+        "mapped_fanout_s": mapped_s,
+        "fanout_speedup": memory_s / mapped_s if mapped_s else float("inf"),
+    }
+
+
+def bench_sharding(
+    path: Path, workdir: Path, repeats: int,
+    workers: int = 2, shards: int = 2,
+) -> Dict[str, float]:
+    """One large trace dispatched whole vs split into row shards.
+
+    A single trace is one engine task, so workers cannot help it until
+    it shards. The scaling signal reported is the **critical path**: the
+    slowest single shard task vs the whole-trace task — what a
+    multi-core fan-out waits for (wall-clock parallel speedup cannot be
+    measured on a single-CPU CI box, so the bench times each shard task
+    in-process instead). The sharded fan-out is verified byte-identical
+    through the real worker pool first.
+    """
+    from repro.core.analyzer import AnalysisConfig
+    from repro.core.plan import build_plan
+    from repro.engine.engine import AnalysisEngine
+    from repro.lila.colfile import open_column_trace, write_column_file
+
+    store = columnar_read(path)
+    column_path = write_column_file(store, workdir / "shard.lilac")
+    trace = open_column_trace(column_path)
+    names = ("statistics", "occurrence", "triggers")
+    config = AnalysisConfig()
+
+    def fanout(shard_count):
+        engine = AnalysisEngine(
+            workers=workers, use_cache=False, shards=shard_count
+        )
+        return engine.summarize_all(names, [trace], config)
+
+    whole = pickle.dumps(sorted(fanout(1).items()))
+    sharded = pickle.dumps(sorted(fanout(shards).items()))
+    assert whole == sharded, (
+        f"sharded fan-out ({shards} shards) disagrees with the whole-trace "
+        f"fan-out"
+    )
+
+    # Critical path: a worker-side task = re-map the column file, then
+    # execute its row range. Fresh trace per run so memos don't carry.
+    plan = build_plan(names)
+
+    def task(shard):
+        worker_trace = open_column_trace(column_path)
+        return plan.execute(worker_trace, config, shard=shard)
+
+    whole_s = measure_time(lambda _: task(None), path, repeats)
+    shard_times = [
+        measure_time(lambda _: task((index, shards)), path, repeats)
+        for index in range(shards)
+    ]
+    critical_s = max(shard_times)
+    return {
+        "shards": shards,
+        "whole_task_s": whole_s,
+        "critical_shard_s": critical_s,
+        "shard_task_s": shard_times,
+        "critical_path_speedup": (
+            whole_s / critical_s if critical_s else float("inf")
+        ),
+    }
+
+
 def measure_peak(func, path: Path) -> int:
     """Peak traced bytes while parsing and holding the result."""
     gc.collect()
@@ -223,10 +349,16 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="timing runs per path (best is reported)")
     parser.add_argument("--min-ratio", type=float, default=2.0,
                         help="required legacy/columnar peak-memory ratio")
+    parser.add_argument("--min-ship-ratio", type=float, default=2.0,
+                        help="required in-memory/mmap shipped-bytes ratio")
     parser.add_argument("--budget-mb", type=float, default=None,
                         help="fail if the columnar peak exceeds this")
     parser.add_argument("--trace", default=None,
                         help="use this text trace instead of a synthetic one")
+    parser.add_argument("--skip-fanout", action="store_true",
+                        help="skip the mmap fan-out and sharding phases")
+    parser.add_argument("--json-out", default=None,
+                        help="also write the numbers as JSON to this path")
     args = parser.parse_args(argv)
 
     tmpdir = None
@@ -286,11 +418,77 @@ def main(argv: Optional[List[str]] = None) -> int:
               f"exceeds the {args.budget_mb:.0f} MiB budget",
               file=sys.stderr)
         failed = True
+
+    fanout = sharding = None
+    if not args.skip_fanout:
+        workdir = Path(tmpdir.name) if tmpdir is not None else path.parent
+        fanout = bench_mmap_fanout(path, workdir, args.repeats)
+        print()
+        print("mmap fan-out (2 workers, statistics + occurrence):")
+        print(f"  shipped bytes/task: in-memory "
+              f"{fanout['memory_task_bytes']}, mapped "
+              f"{fanout['mapped_task_bytes']} "
+              f"({fanout['ship_ratio']:.0f}x lower)")
+        print(f"  fan-out time: in-memory "
+              f"{fanout['memory_fanout_s'] * 1000:.1f} ms, mapped "
+              f"{fanout['mapped_fanout_s'] * 1000:.1f} ms "
+              f"({fanout['fanout_speedup']:.2f}x)")
+        if fanout["ship_ratio"] < args.min_ship_ratio:
+            print(f"FAIL: shipped-bytes ratio {fanout['ship_ratio']:.2f}x "
+                  f"is below the required {args.min_ship_ratio:.1f}x",
+                  file=sys.stderr)
+            failed = True
+        sharding = bench_sharding(path, workdir, args.repeats)
+        print(f"sharding ({sharding['shards']} shards, "
+              f"verified byte-identical through the pool):")
+        print(f"  whole task {sharding['whole_task_s'] * 1000:.1f} ms, "
+              f"slowest shard task "
+              f"{sharding['critical_shard_s'] * 1000:.1f} ms "
+              f"({sharding['critical_path_speedup']:.2f}x shorter "
+              f"critical path)")
+
+    if args.json_out:
+        append_trajectory(Path(args.json_out), {
+            "generated": time.strftime(
+                "%Y-%m-%dT%H:%M:%SZ", time.gmtime()
+            ),
+            "bench": "ingest_columns",
+            "workload": {
+                "records": args.records if args.trace is None else None,
+                "intervals": intervals,
+                "ticks": ticks,
+                "store_bytes": store_bytes,
+            },
+            "legacy_peak_bytes": legacy_peak,
+            "columnar_peak_bytes": columnar_peak,
+            "legacy_parse_s": round(legacy_time, 6),
+            "columnar_parse_s": round(columnar_time, 6),
+            "memory_ratio": round(mem_ratio, 3),
+            "parse_speedup": round(time_ratio, 3),
+            "mmap_fanout": fanout,
+            "sharding": sharding,
+            "passed": not failed,
+        })
+        print(f"trajectory entry appended to {args.json_out}")
+
     if tmpdir is not None:
         tmpdir.cleanup()
     if not failed:
         print("PASS")
     return 1 if failed else 0
+
+
+def append_trajectory(path: Path, entry: dict) -> None:
+    """Append ``entry`` to the trajectory file (created if missing)."""
+    if path.exists():
+        data = json.loads(path.read_text(encoding="utf-8"))
+    else:
+        data = {"benchmark": "ingest_service", "trajectory": []}
+    data["trajectory"].append(entry)
+    path.write_text(
+        json.dumps(data, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
 
 
 if __name__ == "__main__":

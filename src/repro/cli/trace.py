@@ -182,7 +182,7 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         print(f"{path}:")
         try:
             trace = load_trace(path)
-        except TraceFormatError as error:
+        except (TraceFormatError, OSError) as error:
             print(f"  ERROR    FMT000: {error}")
             worst = 2
             continue
@@ -197,6 +197,55 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         else:
             worst = max(worst, 1 if args.strict else 0)
     return worst
+
+
+_CONVERT_SUFFIXES = {"text": ".lila", "binary": ".lilb", "lilac": ".lilac"}
+
+
+def _cmd_convert(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.core.errors import TraceFormatError
+
+    source = Path(args.trace)
+    target = (
+        Path(args.output)
+        if args.output is not None
+        else source.with_suffix(_CONVERT_SUFFIXES[args.to])
+    )
+    if target.resolve() == source.resolve():
+        print(
+            f"{source}: refusing to overwrite the input "
+            f"(pass --output for an explicit target)",
+            file=sys.stderr,
+        )
+        return 1
+    try:
+        if args.to == "lilac":
+            from repro.lila.colfile import write_column_file
+            from repro.lila.source import build_store, open_source
+
+            store = build_store(open_source(source))
+            path = write_column_file(store, target)
+            detail = f"{len(store.threads)} threads"
+        else:
+            from repro.lila.autodetect import load_trace
+
+            trace = load_trace(source)
+            if args.to == "binary":
+                from repro.lila.binary import write_trace_binary
+
+                path = write_trace_binary(trace, target)
+            else:
+                from repro.lila.writer import write_trace
+
+                path = write_trace(trace, target)
+            detail = f"{len(trace.episodes)} episodes"
+    except (TraceFormatError, OSError) as error:
+        print(f"{source}: unreadable trace: {error}", file=sys.stderr)
+        return 2
+    print(f"wrote {path} ({detail}, {path.stat().st_size} bytes)")
+    return 0
 
 
 def register(sub: argparse._SubParsersAction) -> None:
@@ -268,3 +317,14 @@ def register(sub: argparse._SubParsersAction) -> None:
     p_li.add_argument("--strict", action="store_true",
                       help="exit nonzero on warnings too")
     p_li.set_defaults(func=_cmd_lint)
+
+    p_cv = sub.add_parser(
+        "convert", help="re-encode a trace (text, binary, or column file)"
+    )
+    p_cv.add_argument("trace", help="input trace in any encoding")
+    p_cv.add_argument("--to", required=True,
+                      choices=("text", "binary", "lilac"),
+                      help="target encoding (lilac = mmap column file)")
+    p_cv.add_argument("-o", "--output", default=None,
+                      help="output path (default: input with new suffix)")
+    p_cv.set_defaults(func=_cmd_convert)

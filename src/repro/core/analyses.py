@@ -132,6 +132,20 @@ class MapReduceAnalysis:
     def map_trace(self, trace: Trace, config: Any) -> Any:
         return self.map_context(StageContext(trace, config))
 
+    def merge_shards(self, partials: Sequence[Any]) -> Any:
+        """Merge per-shard partials (shard order) into one trace partial.
+
+        Every built-in analysis overrides this with an associative
+        merge that is byte-identical to mapping the whole trace at
+        once; analyses that don't support intra-trace sharding keep
+        this default and reject multi-shard execution.
+        """
+        if len(partials) == 1:
+            return partials[0]
+        raise AnalysisError(
+            f"analysis {self.name!r} does not support intra-trace sharding"
+        )
+
     def reduce(self, partials: Sequence[Any], perceptible_only: bool = False) -> Any:
         raise NotImplementedError
 
@@ -176,6 +190,16 @@ def _pick_all(partials: Sequence[DualPartial], perceptible_only: bool) -> List[A
     return [p.pick(perceptible_only) for p in partials]
 
 
+def _merge_dual(
+    partials: Sequence[DualPartial], merge: "Any"
+) -> DualPartial:
+    """Merge shard :class:`DualPartial`\\ s population by population."""
+    return DualPartial(
+        all=merge([p.all for p in partials]),
+        perceptible=merge([p.perceptible for p in partials]),
+    )
+
+
 class TriggerAnalysis(MapReduceAnalysis):
     """Input/output/async/unspecified episode counts (Figure 5)."""
 
@@ -194,6 +218,19 @@ class TriggerAnalysis(MapReduceAnalysis):
             all=triggers_mod.summarize(population),
             perceptible=triggers_mod.summarize(perceptible),
         )
+
+    def merge_shards(self, partials: Sequence[DualPartial]) -> DualPartial:
+        # Add-merge in shard order: triggers first appear across the
+        # concatenated shards exactly where they first appear in the
+        # whole episode list, so key order matches the unsharded pass.
+        def merge(summaries: Sequence[TriggerSummary]) -> TriggerSummary:
+            counts: Dict[Any, int] = {}
+            for summary in summaries:
+                for trigger, count in summary.counts.items():
+                    counts[trigger] = counts.get(trigger, 0) + count
+            return TriggerSummary(counts)
+
+        return _merge_dual(partials, merge)
 
     def reduce(
         self, partials: Sequence[DualPartial], perceptible_only: bool = False
@@ -225,6 +262,30 @@ class ThreadStateAnalysis(MapReduceAnalysis):
             perceptible=threadstates_mod.summarize(perceptible),
         )
 
+    def merge_shards(self, partials: Sequence[DualPartial]) -> DualPartial:
+        # The columnar kernel emits counts in ThreadState enum order
+        # with zero tallies elided; a naive add-merge would order keys
+        # by first appearance across shards instead, so the merge
+        # re-tallies and rebuilds the dict in enum order.
+        from repro.core.samples import ThreadState
+
+        def merge(
+            summaries: Sequence[ThreadStateSummary],
+        ) -> ThreadStateSummary:
+            tallies: Dict[Any, int] = {}
+            for summary in summaries:
+                for state, count in summary.counts.items():
+                    tallies[state] = tallies.get(state, 0) + count
+            return ThreadStateSummary(
+                {
+                    state: tallies[state]
+                    for state in ThreadState
+                    if tallies.get(state)
+                }
+            )
+
+        return _merge_dual(partials, merge)
+
     def reduce(
         self, partials: Sequence[DualPartial], perceptible_only: bool = False
     ) -> ThreadStateSummary:
@@ -254,6 +315,17 @@ class ConcurrencyAnalysis(MapReduceAnalysis):
             all=concurrency_mod.summarize(population),
             perceptible=concurrency_mod.summarize(perceptible),
         )
+
+    def merge_shards(self, partials: Sequence[DualPartial]) -> DualPartial:
+        def merge(
+            summaries: Sequence[ConcurrencySummary],
+        ) -> ConcurrencySummary:
+            return ConcurrencySummary(
+                runnable_total=sum(s.runnable_total for s in summaries),
+                sample_count=sum(s.sample_count for s in summaries),
+            )
+
+        return _merge_dual(partials, merge)
 
     def reduce(
         self, partials: Sequence[DualPartial], perceptible_only: bool = False
@@ -287,6 +359,18 @@ class LocationAnalysis(MapReduceAnalysis):
                 perceptible, library_prefixes=prefixes
             ),
         )
+
+    def merge_shards(self, partials: Sequence[DualPartial]) -> DualPartial:
+        def merge(summaries: Sequence[LocationSummary]) -> LocationSummary:
+            return LocationSummary(
+                app_samples=sum(s.app_samples for s in summaries),
+                library_samples=sum(s.library_samples for s in summaries),
+                gc_ns=sum(s.gc_ns for s in summaries),
+                native_ns=sum(s.native_ns for s in summaries),
+                episode_ns=sum(s.episode_ns for s in summaries),
+            )
+
+        return _merge_dual(partials, merge)
 
     def reduce(
         self, partials: Sequence[DualPartial], perceptible_only: bool = False
@@ -384,6 +468,12 @@ class OccurrenceAnalysis(MapReduceAnalysis):
     def map_context(self, ctx: StageContext) -> PatternCountsPartial:
         return _mine_counts(ctx)
 
+    def merge_shards(
+        self, partials: Sequence[PatternCountsPartial]
+    ) -> PatternCountsPartial:
+        counts, excluded = _merge_counts(partials)
+        return PatternCountsPartial(counts=counts, excluded=excluded)
+
     def reduce(
         self,
         partials: Sequence[PatternCountsPartial],
@@ -439,6 +529,12 @@ class PatternStatsAnalysis(MapReduceAnalysis):
     def map_context(self, ctx: StageContext) -> PatternCountsPartial:
         return _mine_counts(ctx)
 
+    def merge_shards(
+        self, partials: Sequence[PatternCountsPartial]
+    ) -> PatternCountsPartial:
+        counts, excluded = _merge_counts(partials)
+        return PatternCountsPartial(counts=counts, excluded=excluded)
+
     def reduce(
         self,
         partials: Sequence[PatternCountsPartial],
@@ -489,7 +585,7 @@ class StatisticsAnalysis(MapReduceAnalysis):
     supports_perceptible_only = False
     shared_stages = ("pattern_counts",)
 
-    def map_context(self, ctx: StageContext) -> SessionStats:
+    def map_context(self, ctx: StageContext) -> Any:
         threshold = ctx.config.perceptible_threshold_ms
         if ctx.store is not None:
             # The Table III row always mines the GUI thread with GC
@@ -497,10 +593,25 @@ class StatisticsAnalysis(MapReduceAnalysis):
             # pass serves statistics, occurrence, and pattern mining
             # whenever the config matches those defaults.
             counts = ctx.pattern_counts(threshold, False, False)
+            if ctx.shard is not None:
+                # A shard cannot finalize a row (the float arithmetic
+                # needs the whole trace's tallies): return the
+                # integer-exact gather; merge_shards finalizes.
+                return store_kernels.session_stats_gather(
+                    ctx.store,
+                    threshold,
+                    rows=ctx.episode_rows(False),
+                    precomputed_counts=counts,
+                )
             return store_kernels.session_stats_row(
                 ctx.store, threshold, precomputed_counts=counts
             )
         return session_stats(ctx.trace, threshold)
+
+    def merge_shards(self, partials: Sequence[Any]) -> SessionStats:
+        return store_kernels.session_stats_finalize(
+            store_kernels.merge_stats_shards(partials)
+        )
 
     def reduce(
         self,

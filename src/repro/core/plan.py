@@ -36,7 +36,16 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, Hashable, List, Sequence, Tuple
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Hashable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from repro.core import episodes as episodes_mod
 from repro.core.store import kernels
@@ -46,6 +55,23 @@ from repro.obs import runtime as obs_runtime
 #: Folded into every plan fingerprint; bump when the fused bundle's
 #: shape changes incompatibly, so stale bundles never match.
 PLAN_VERSION = "plan/v1"
+
+#: One intra-trace shard: ``(index, count)`` — the ``index``-th of
+#: ``count`` contiguous row-range partitions.
+Shard = Tuple[int, int]
+
+
+def shard_range(total: int, shard: Shard) -> Tuple[int, int]:
+    """The ``[lo, hi)`` slice of ``total`` rows owned by ``shard``.
+
+    Contiguous, gap-free, and exhaustive: the slices of shards
+    ``(0, n) .. (n-1, n)`` concatenate to ``range(total)`` in order —
+    the property every shard-merge relies on for byte-identity.
+    """
+    index, count = shard
+    if count < 1 or not 0 <= index < count:
+        raise ValueError(f"bad shard {shard!r}")
+    return index * total // count, (index + 1) * total // count
 
 
 class StageContext:
@@ -59,15 +85,41 @@ class StageContext:
     the legacy per-analysis path a degenerate plan of size one.
     """
 
-    def __init__(self, trace: Trace, config: Any) -> None:
+    def __init__(
+        self, trace: Trace, config: Any, shard: Optional[Shard] = None
+    ) -> None:
         self.trace = trace
         self.config = config
         #: The trace's columnar store, or ``None`` for plain
         #: object-graph traces (which keep the classic episode path).
         self.store: Any = getattr(trace, "columnar", None)
+        #: The intra-trace row-range shard this context maps, or
+        #: ``None`` for a whole-trace pass. Columnar stores only.
+        self.shard = shard
+        if shard is not None:
+            shard_range(1, shard)  # validate eagerly
+            if self.store is None:
+                from repro.core.errors import AnalysisError
+
+                raise AnalysisError(
+                    "intra-trace sharding requires a columnar-backed trace"
+                )
         #: Stage requests served from the memo instead of recomputed.
         self.shared_hits = 0
         self._stages: Dict[Hashable, Any] = {}
+
+    def episode_rows(self, all_dispatch_threads: bool) -> List[Any]:
+        """This context's episode-row population — the full list, or
+        this shard's contiguous slice of it (memoized per population)."""
+        rows = self.store.episode_rows(
+            all_dispatch_threads=all_dispatch_threads
+        )
+        if self.shard is None:
+            return rows
+        lo, hi = shard_range(len(rows), self.shard)
+        return self.stage(
+            ("shard_rows", all_dispatch_threads), lambda: rows[lo:hi]
+        )
 
     def stage(self, key: Hashable, compute: Callable[[], Any]) -> Any:
         """The result of the stage named ``key``, computed at most once."""
@@ -91,7 +143,12 @@ class StageContext:
         if self.store is not None:
             return self.stage(
                 "episode_split",
-                lambda: self.store.split_episode_rows(self.config),
+                lambda: self.store.split_episode_rows(
+                    self.config,
+                    rows=self.episode_rows(
+                        self.config.all_dispatch_threads
+                    ),
+                ),
             )
         return self.stage(
             "episode_split",
@@ -115,7 +172,11 @@ class StageContext:
         return self.stage(
             key,
             lambda: kernels.pattern_counts(
-                self.store, threshold_ms, include_gc, all_dispatch_threads
+                self.store,
+                threshold_ms,
+                include_gc,
+                all_dispatch_threads,
+                rows=self.episode_rows(all_dispatch_threads),
             ),
         )
 
@@ -164,14 +225,21 @@ class AnalysisPlan:
                 tally[stage] = tally.get(stage, 0) + 1
         return [stage for stage in order if tally[stage] >= 2]
 
-    def execute(self, trace: Trace, config: Any) -> Dict[str, Any]:
+    def execute(
+        self, trace: Trace, config: Any, shard: Optional[Shard] = None
+    ) -> Dict[str, Any]:
         """One fused pass: every operator's partial for one trace.
 
         All operators map through one shared :class:`StageContext`, so
         each shared stage is computed once. Partials are byte-identical
         to running each analysis's ``map_trace`` independently.
+
+        With ``shard`` the pass maps only that contiguous row-range
+        shard of the trace (columnar stores only); the per-shard
+        partials are merged back into whole-trace partials with
+        :meth:`merge_shards`, byte-identical to the unsharded pass.
         """
-        ctx = StageContext(trace, config)
+        ctx = StageContext(trace, config, shard=shard)
         partials: Dict[str, Any] = {}
         for op in self.operators:
             with obs_runtime.maybe_span(
@@ -189,6 +257,23 @@ class AnalysisPlan:
         obs_runtime.count("plan.operators", len(self.operators))
         obs_runtime.count("plan.shared_hits", ctx.shared_hits)
         return partials
+
+    def merge_shards(
+        self, shard_partials: Sequence[Dict[str, Any]]
+    ) -> Dict[str, Any]:
+        """Merge per-shard partial dicts into whole-trace partials.
+
+        ``shard_partials`` must be in shard order (shard 0 first); every
+        analysis's ``merge_shards`` is associative over contiguous
+        shards, so the result is byte-identical to one unsharded
+        :meth:`execute` over the same trace.
+        """
+        merged: Dict[str, Any] = {}
+        for op in self.operators:
+            merged[op.name] = op.analysis.merge_shards(
+                [partials[op.name] for partials in shard_partials]
+            )
+        return merged
 
     def describe(self) -> List[str]:
         """Human-readable plan listing (the ``plan explain`` body)."""

@@ -38,6 +38,7 @@ Everything importable from the old single-module ``repro.core.store`` is
 re-exported here, so existing imports keep working unchanged.
 """
 
+from repro.core.store.buffers import ColumnBuffer, InternTable
 from repro.core.store.columns import (
     REC_CLOSE,
     REC_ENTRY,
@@ -47,6 +48,8 @@ from repro.core.store.columns import (
     REC_OPEN,
     REC_THREAD,
     REC_TICK,
+    SAMPLE_COLUMN_SPECS,
+    THREAD_COLUMN_SPECS,
     ColumnarTrace,
     _ThreadColumns,
 )
@@ -56,7 +59,7 @@ from repro.core.store.facade import (
     _restore_facade,
     as_columnar,
 )
-from repro.core.store import kernels
+from repro.core.store import accel, kernels
 
 __all__ = [
     "REC_META",
@@ -67,9 +70,14 @@ __all__ = [
     "REC_GC",
     "REC_TICK",
     "REC_ENTRY",
+    "SAMPLE_COLUMN_SPECS",
+    "THREAD_COLUMN_SPECS",
+    "ColumnBuffer",
     "ColumnarTrace",
     "ColumnarBuilder",
     "FacadeTrace",
+    "InternTable",
+    "accel",
     "as_columnar",
     "kernels",
 ]

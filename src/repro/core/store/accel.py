@@ -1,0 +1,71 @@
+"""Optional numpy acceleration behind the ``REPRO_NUMPY=1`` flag.
+
+The columnar kernels are pure-Python loops over typed ``array``/
+``memoryview`` columns. When numpy is installed *and* the environment
+opts in with ``REPRO_NUMPY=1``, a handful of whole-column reductions
+(perceptible filtering, sample sums) run through numpy instead. The
+accelerated paths are integer-exact twins of the Python loops — results
+are converted back with ``int()`` so partials, summaries, and cached
+bytes stay byte-identical either way (pinned by
+``tests/test_columnar_parity.py`` in both modes).
+
+The flag is read at call time, not import time, so tests can flip modes
+with ``monkeypatch.setenv`` and benchmarks can compare both in one
+process.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Optional, Sequence
+
+#: Environment variable that opts into numpy kernels when set to ``1``.
+ENV_FLAG = "REPRO_NUMPY"
+
+#: Memoized import result; keyed so flipping the flag re-resolves.
+_numpy_module: Any = None
+_numpy_probed = False
+
+
+def numpy_requested() -> bool:
+    """True when the environment opts into numpy acceleration."""
+    return os.environ.get(ENV_FLAG, "") == "1"
+
+
+def get_numpy() -> Optional[Any]:
+    """The numpy module when requested *and* importable, else ``None``.
+
+    Missing numpy is not an error: the flag simply stays inert and the
+    pure-Python kernels run (the container may not ship numpy at all).
+    """
+    global _numpy_module, _numpy_probed
+    if not numpy_requested():
+        return None
+    if not _numpy_probed:
+        try:
+            import numpy
+        except ImportError:
+            numpy = None
+        _numpy_module = numpy
+        _numpy_probed = True
+    return _numpy_module
+
+
+def as_ndarray(np: Any, column: Sequence[int]) -> Any:
+    """A zero-copy ndarray view of a typed column (array or memoryview).
+
+    ``np.asarray`` honors the buffer's typecode, so an ``array('q')``
+    and an mmap-backed ``memoryview.cast('q')`` both land as int64
+    without copying.
+    """
+    return np.asarray(memoryview(column))
+
+
+def span_sum(np: Optional[Any], column: Sequence[int], lo: int, hi: int) -> int:
+    """``sum(column[lo:hi])`` — numpy when enabled, exact either way."""
+    if np is not None and hi - lo > 32:
+        return int(as_ndarray(np, column)[lo:hi].sum())
+    total = 0
+    for index in range(lo, hi):
+        total += column[index]
+    return total

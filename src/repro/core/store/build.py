@@ -15,6 +15,7 @@ from typing import Any, Dict, List, Optional, Tuple
 from repro.core.errors import AnalysisError, NestingError, TraceFormatError
 from repro.core.intervals import Interval, IntervalKind
 from repro.core.samples import StackTrace
+from repro.core.store.buffers import InternTable
 from repro.core.store.columns import (
     ColumnarTrace,
     REC_CLOSE,
@@ -45,13 +46,16 @@ class ColumnarBuilder:
     invisible to everything that matches on messages.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, interns: Optional[InternTable] = None) -> None:
         self.meta: Dict[str, Any] = {}
         self.extra: Dict[str, Any] = {}
         self.short_count = 0
         self.record_count = 0
-        self._strings: List[str] = []
-        self._strings_map: Dict[str, int] = {}
+        # One table may be shared across the builders of a whole study
+        # (ids are internal, so sharing never changes serialization).
+        self.interns = interns if interns is not None else InternTable()
+        self._strings: List[str] = self.interns.strings
+        self._strings_map: Dict[str, int] = self.interns.ids
         self._threads: List[_ThreadColumns] = []
         self._thread_map: Dict[str, int] = {}
         # Per thread: a stack of [row, kind, symbol, start_ns, children_end]
@@ -66,8 +70,9 @@ class ColumnarBuilder:
         self._ticks: List[Tuple[int, List[Tuple[int, int, int]]]] = []
         self._pending_tick: Optional[int] = None
         self._pending_entries: List[Tuple[int, int, int]] = []
-        self._stacks: List[StackTrace] = []
-        self._stacks_map: Dict[StackTrace, int] = {}
+        self.stack_interns = InternTable()
+        self._stacks: List[StackTrace] = self.stack_interns.strings
+        self._stacks_map: Dict[StackTrace, int] = self.stack_interns.ids
 
     # -- interning -----------------------------------------------------
 
@@ -291,8 +296,8 @@ class ColumnarBuilder:
 
         return ColumnarTrace(
             metadata=metadata,
-            strings=self._strings,
-            strings_map=self._strings_map,
+            strings=self.interns,
+            strings_map=None,
             threads=self._threads,
             thread_map=self._thread_map,
             sample_ts=sample_ts,

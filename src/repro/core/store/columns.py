@@ -13,12 +13,14 @@ enumeration). The analysis kernels that *read* the columns live in
 
 from __future__ import annotations
 
+import sys
 from array import array
 from bisect import bisect_left
-from typing import Any, Dict, List, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.core.intervals import IntervalKind, NS_PER_MS
 from repro.core.samples import StackTrace, ThreadState
+from repro.core.store.buffers import ColumnBuffer, InternTable
 from repro.core.trace import Trace, TraceMetadata
 
 # ----------------------------------------------------------------------
@@ -72,8 +74,41 @@ _TRIGGER_CODES = (_LISTENER_CODE, _PAINT_CODE, _ASYNC_CODE)
 _RUNNABLE_CODE = _STATE_CODES[ThreadState.RUNNABLE]
 
 
+#: ``(attribute, typecode)`` of every per-thread column, in the `.lilac`
+#: segment serialization order.
+THREAD_COLUMN_SPECS: Tuple[Tuple[str, str], ...] = (
+    ("start", "q"),
+    ("end", "q"),
+    ("kind", "b"),
+    ("symbol", "i"),
+    ("parent", "i"),
+    ("size", "i"),
+    ("root_rows", "i"),
+)
+
+#: ``(attribute, typecode)`` of every trace-level sample column, in the
+#: `.lilac` segment serialization order.
+SAMPLE_COLUMN_SPECS: Tuple[Tuple[str, str], ...] = (
+    ("sample_ts", "q"),
+    ("sample_offsets", "i"),
+    ("entry_thread", "i"),
+    ("entry_state", "b"),
+    ("entry_stack", "i"),
+    ("sample_runnable", "i"),
+)
+
+
 class _ThreadColumns:
-    """One thread's interval rows as parallel arrays (rows in pre-order)."""
+    """One thread's interval rows as parallel arrays (rows in pre-order).
+
+    The column attributes hold the *raw* typed sequence of a
+    :class:`~repro.core.store.buffers.ColumnBuffer` — an appendable
+    ``array`` when built by the streaming builder, a zero-copy
+    ``memoryview`` cast when opened from an mmap'd `.lilac` file. The
+    two are duck-type compatible for every kernel access pattern
+    (indexing, ``len``, iteration, ``bisect``), so the hot paths never
+    pay a wrapper call.
+    """
 
     __slots__ = ("name", "start", "end", "kind", "symbol", "parent", "size",
                  "root_rows")
@@ -87,6 +122,24 @@ class _ThreadColumns:
         self.parent = array("i")
         self.size = array("i")
         self.root_rows = array("i")
+
+    @classmethod
+    def from_buffers(
+        cls, name: str, buffers: Dict[str, ColumnBuffer]
+    ) -> "_ThreadColumns":
+        """Wire a thread's columns straight onto existing buffers."""
+        columns = cls.__new__(cls)
+        columns.name = name
+        for attr, _typecode in THREAD_COLUMN_SPECS:
+            setattr(columns, attr, buffers[attr].data)
+        return columns
+
+    def buffers(self) -> Dict[str, ColumnBuffer]:
+        """This thread's columns wrapped as typed buffers."""
+        return {
+            attr: ColumnBuffer(typecode, getattr(self, attr))
+            for attr, typecode in THREAD_COLUMN_SPECS
+        }
 
     def __len__(self) -> int:
         return len(self.start)
@@ -115,8 +168,8 @@ class ColumnarTrace:
     def __init__(
         self,
         metadata: TraceMetadata,
-        strings: List[str],
-        strings_map: Dict[str, int],
+        strings: Union[List[str], InternTable],
+        strings_map: Optional[Dict[str, int]],
         threads: List[_ThreadColumns],
         thread_map: Dict[str, int],
         sample_ts: "array[int]",
@@ -129,8 +182,20 @@ class ColumnarTrace:
         short_episode_count: int = 0,
     ) -> None:
         self.metadata = metadata
-        self.strings = strings
-        self._strings_map = strings_map
+        if isinstance(strings, InternTable):
+            interns = strings
+        else:
+            interns = InternTable.adopt(
+                strings,
+                strings_map
+                if strings_map is not None
+                else {text: index for index, text in enumerate(strings)},
+            )
+        #: The string intern table; ``strings``/``_strings_map`` alias
+        #: its list and id map so kernels index plain containers.
+        self.interns = interns
+        self.strings = interns.strings
+        self._strings_map = interns.ids
         self.threads = threads
         self._thread_map = thread_map
         self.sample_ts = sample_ts
@@ -141,16 +206,35 @@ class ColumnarTrace:
         self.sample_runnable = sample_runnable
         self.stacks = stacks
         self.short_episode_count = short_episode_count
+        #: The on-disk `.lilac` file backing this store's columns, or
+        #: ``None`` for in-memory (array-backed) stores. Set by
+        #: :func:`repro.lila.colfile.open_column_store`.
+        self.backing: Optional[Any] = None
         self._episode_rows_cache: Dict[bool, List[Tuple[int, int, int, int, int]]] = {}
         self._key_cache: Dict[Tuple[int, int, bool], str] = {}
 
-    # -- pickling: drop derived caches, ship only the columns ----------
+    # -- pickling ------------------------------------------------------
+    #
+    # File-backed stores pickle as just their `.lilac` path: the worker
+    # re-opens the file via mmap (zero copied column bytes, shared page
+    # cache) instead of receiving the columns by value. In-memory
+    # stores ship their columns as before, minus derived caches.
 
     def __getstate__(self) -> dict:
         state = self.__dict__.copy()
         state["_episode_rows_cache"] = {}
         state["_key_cache"] = {}
+        state["backing"] = None
+        # The intern table is pure aliasing over ``strings`` /
+        # ``_strings_map``; rebuilding it on restore keeps the pickle
+        # byte-stable (and smaller) across pickling round-trips.
+        state.pop("interns", None)
         return state
+
+    def __reduce__(self) -> tuple:
+        if self.backing is not None:
+            return (_reopen_store, (str(self.backing.path),))
+        return (_restore_store, (self.__getstate__(),))
 
     # ------------------------------------------------------------------
     # Size accounting
@@ -214,17 +298,40 @@ class ColumnarTrace:
         self._episode_rows_cache[all_dispatch_threads] = merged
         return merged
 
-    def split_episode_rows(self, config: Any) -> Tuple[list, list]:
-        """(all episode rows, perceptible episode rows) under ``config``."""
-        rows = self.episode_rows(
-            all_dispatch_threads=config.all_dispatch_threads
-        )
+    def split_episode_rows(
+        self,
+        config: Any,
+        rows: Optional[Sequence[Tuple[int, int, int, int, int]]] = None,
+    ) -> Tuple[list, list]:
+        """(all episode rows, perceptible episode rows) under ``config``.
+
+        ``rows`` overrides the population (the fused executor passes a
+        contiguous shard of the full row list); the perceptible filter
+        then applies to exactly that subset, so shard splits concatenate
+        to the unsharded split.
+        """
+        if rows is None:
+            rows = self.episode_rows(
+                all_dispatch_threads=config.all_dispatch_threads
+            )
         threshold = config.perceptible_threshold_ms
+        np = _accel.get_numpy()
+        if np is not None and len(rows) > 64:
+            durations = np.fromiter(
+                (item[4] - item[3] for item in rows),
+                dtype=np.int64,
+                count=len(rows),
+            )
+            mask = (durations / NS_PER_MS) >= threshold
+            perceptible = [
+                rows[index] for index in np.nonzero(mask)[0].tolist()
+            ]
+            return list(rows), perceptible
         perceptible = [
             item for item in rows
             if (item[4] - item[3]) / NS_PER_MS >= threshold
         ]
-        return rows, perceptible
+        return list(rows), perceptible
 
     def _tick_range(self, start_ns: int, end_ns: int) -> Tuple[int, int]:
         """Sample tick indices in ``[start_ns, end_ns)``."""
@@ -305,6 +412,13 @@ class ColumnarTrace:
 
         return build.columnarize(trace)
 
+    def sample_buffers(self) -> Dict[str, ColumnBuffer]:
+        """The trace-level sample columns wrapped as typed buffers."""
+        return {
+            attr: ColumnBuffer(typecode, getattr(self, attr))
+            for attr, typecode in SAMPLE_COLUMN_SPECS
+        }
+
     def __repr__(self) -> str:
         return (
             f"ColumnarTrace({self.metadata.application!r}, "
@@ -313,8 +427,34 @@ class ColumnarTrace:
         )
 
 
+def _reopen_store(path: str) -> ColumnarTrace:
+    """Unpickle hook: re-open a file-backed store from its `.lilac` path.
+
+    The receiving process maps the column file instead of copying the
+    columns; damage (or a vanished file) surfaces as the same typed
+    :class:`~repro.core.errors.TraceFormatError` the reader raises, so
+    the engine's quarantine path handles it like any other bad trace.
+    """
+    from repro.lila.colfile import open_column_store
+
+    return open_column_store(path)
+
+
+def _restore_store(state: dict) -> ColumnarTrace:
+    """Unpickle hook: rebuild an in-memory store from its state dict."""
+    store = ColumnarTrace.__new__(ColumnarTrace)
+    # Intern attribute names like pickle's BUILD opcode does, so a
+    # round-tripped store repickles byte-identically to a fresh one.
+    store.__dict__.update(
+        (sys.intern(key), value) for key, value in state.items()
+    )
+    store.interns = InternTable.adopt(store.strings, store._strings_map)
+    return store
+
+
 # Bound after the class definitions so the kernels module (which imports
 # the code tables above) can resolve this module from sys.modules; the
 # delegation methods then pay one attribute lookup, not an import, per
 # call.
+from repro.core.store import accel as _accel  # noqa: E402
 from repro.core.store import kernels as _kernels  # noqa: E402

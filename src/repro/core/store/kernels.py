@@ -14,9 +14,11 @@ and pattern mining alike.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.intervals import NS_PER_MS
+from repro.core.store import accel
 from repro.core.store.columns import (
     _GC_CODE,
     _KIND_VALUES,
@@ -86,16 +88,24 @@ def pattern_counts(
     threshold_ms: float,
     include_gc: bool = False,
     all_dispatch_threads: bool = False,
+    rows: Optional[Sequence[EpisodeRow]] = None,
 ) -> Tuple[Dict[str, Tuple[int, int]], int]:
     """Per-pattern ``key -> (count, perceptible)`` tallies plus the
     count of structure-less episodes, in first-appearance key order
     (the order that makes merged tables bit-identical to serial
-    mining)."""
+    mining).
+
+    ``rows`` overrides the episode population (the fused executor
+    passes a contiguous shard of the full list); shard tallies merged
+    in shard order reproduce the unsharded table exactly, because
+    first appearance across concatenated contiguous shards is first
+    appearance over the whole list.
+    """
+    if rows is None:
+        rows = store.episode_rows(all_dispatch_threads=all_dispatch_threads)
     counts: Dict[str, Tuple[int, int]] = {}
     excluded = 0
-    for thread_idx, row, _index, start, end in store.episode_rows(
-        all_dispatch_threads=all_dispatch_threads
-    ):
+    for thread_idx, row, _index, start, end in rows:
         if store.threads[thread_idx].size[row] <= 1:
             excluded += 1
             continue
@@ -174,11 +184,11 @@ def concurrency_summary(store: Any, episode_rows: Sequence[EpisodeRow]) -> Any:
     runnable_total = 0
     sample_count = 0
     sample_runnable = store.sample_runnable
+    np = accel.get_numpy()
     for _thread_idx, _row, _index, start, end in episode_rows:
         lo, hi = store._tick_range(start, end)
         sample_count += hi - lo
-        for tick in range(lo, hi):
-            runnable_total += sample_runnable[tick]
+        runnable_total += accel.span_sum(np, sample_runnable, lo, hi)
     return ConcurrencySummary(
         runnable_total=runnable_total, sample_count=sample_count
     )
@@ -283,43 +293,130 @@ def location_summary(
     )
 
 
-def session_stats_row(
+@dataclass(frozen=True)
+class SessionStatsShard:
+    """Integer-exact intermediate of one (shard of a) Table III row.
+
+    Everything float in :class:`~repro.core.statistics.SessionStats` is
+    derived from these integer tallies in :func:`session_stats_finalize`
+    with exactly the reference implementation's expressions, so
+    ``finalize(merge(gathers))`` is bit-identical to
+    ``finalize(gather(all rows))`` — the shard merge only ever adds
+    integers and concatenates pattern tallies in shard order.
+
+    The per-trace constants (application, duration, filtered count) ride
+    along so the finalize step needs no store handle; they are identical
+    across the shards of one trace and the merge keeps the first.
+    """
+
+    episode_count: int
+    perceptible_count: int
+    in_episode_ns: int
+    counts: Dict[str, Tuple[int, int]]
+    excluded: int
+    application: str
+    e2e_ns: int
+    e2e_s: float
+    short_episode_count: int
+
+
+def session_stats_gather(
     store: Any,
     threshold_ms: float,
+    rows: Optional[Sequence[EpisodeRow]] = None,
     precomputed_counts: Optional[Tuple[Dict[str, Tuple[int, int]], int]] = None,
-) -> Any:
-    """Columnar twin of :func:`repro.core.statistics.session_stats`.
+) -> SessionStatsShard:
+    """The integer tallies of one Table III row over ``rows``.
 
-    Works over the GUI thread's episodes (the Table III population),
-    reproducing the reference implementation's arithmetic expression by
-    expression so rows compare equal to the object path.
-    ``precomputed_counts`` lets the fused plan executor pass in the
-    ``(counts, excluded)`` result of a :func:`pattern_counts` call it
-    already made with the identical parameters (``threshold_ms``,
-    ``include_gc=False``, ``all_dispatch_threads=False``) — the row is
-    the same either way, one tally pass cheaper.
+    ``rows`` defaults to the GUI thread's full episode population;
+    shard executions pass a contiguous slice of that list (and a
+    matching ``precomputed_counts`` tally over the same slice).
+    """
+    if rows is None:
+        rows = store.episode_rows(all_dispatch_threads=False)
+    perceptible_count = 0
+    in_episode_ns = 0
+    np = accel.get_numpy()
+    if np is not None and len(rows) > 64:
+        durations = np.fromiter(
+            (item[4] - item[3] for item in rows),
+            dtype=np.int64,
+            count=len(rows),
+        )
+        in_episode_ns = int(durations.sum())
+        perceptible_count = int(
+            ((durations / NS_PER_MS) >= threshold_ms).sum()
+        )
+    else:
+        for _thread_idx, _row, _index, start, end in rows:
+            in_episode_ns += end - start
+            if (end - start) / NS_PER_MS >= threshold_ms:
+                perceptible_count += 1
+    if precomputed_counts is not None:
+        counts, excluded = precomputed_counts
+    else:
+        counts, excluded = pattern_counts(
+            store, threshold_ms=threshold_ms, include_gc=False, rows=rows
+        )
+    return SessionStatsShard(
+        episode_count=len(rows),
+        perceptible_count=perceptible_count,
+        in_episode_ns=in_episode_ns,
+        counts=counts,
+        excluded=excluded,
+        application=store.metadata.application,
+        e2e_ns=store.metadata.duration_ns,
+        e2e_s=store.metadata.duration_s,
+        short_episode_count=store.short_episode_count,
+    )
+
+
+def merge_stats_shards(
+    shards: Sequence[SessionStatsShard],
+) -> SessionStatsShard:
+    """Associative merge of contiguous shard gathers, in shard order."""
+    first = shards[0]
+    if len(shards) == 1:
+        return first
+    counts: Dict[str, Tuple[int, int]] = {}
+    excluded = 0
+    episode_count = perceptible_count = in_episode_ns = 0
+    for shard in shards:
+        episode_count += shard.episode_count
+        perceptible_count += shard.perceptible_count
+        in_episode_ns += shard.in_episode_ns
+        excluded += shard.excluded
+        for key, (count, perceptible) in shard.counts.items():
+            prev_count, prev_perceptible = counts.get(key, (0, 0))
+            counts[key] = (prev_count + count, prev_perceptible + perceptible)
+    return SessionStatsShard(
+        episode_count=episode_count,
+        perceptible_count=perceptible_count,
+        in_episode_ns=in_episode_ns,
+        counts=counts,
+        excluded=excluded,
+        application=first.application,
+        e2e_ns=first.e2e_ns,
+        e2e_s=first.e2e_s,
+        short_episode_count=first.short_episode_count,
+    )
+
+
+def session_stats_finalize(shard: SessionStatsShard) -> Any:
+    """The :class:`~repro.core.statistics.SessionStats` row of a gather.
+
+    Expression-for-expression the reference implementation's float
+    arithmetic, applied to the integer tallies.
     """
     from repro.core.patterns import key_depth, key_descendant_count
     from repro.core.statistics import SECONDS_PER_MINUTE, SessionStats
 
-    episodes = store.episode_rows(all_dispatch_threads=False)
-    perceptible_count = 0
-    in_episode_ns = 0
-    for _thread_idx, _row, _index, start, end in episodes:
-        in_episode_ns += end - start
-        if (end - start) / NS_PER_MS >= threshold_ms:
-            perceptible_count += 1
-    in_episode_minutes = in_episode_ns / 1e9 / SECONDS_PER_MINUTE
+    in_episode_minutes = shard.in_episode_ns / 1e9 / SECONDS_PER_MINUTE
     if in_episode_minutes > 0:
-        long_per_min = perceptible_count / in_episode_minutes
+        long_per_min = shard.perceptible_count / in_episode_minutes
     else:
         long_per_min = 0.0
-    if precomputed_counts is not None:
-        counts, _excluded = precomputed_counts
-    else:
-        counts, _excluded = pattern_counts(
-            store, threshold_ms=threshold_ms, include_gc=False
-        )
+    counts = shard.counts
     distinct = len(counts)
     covered = sum(count for count, _perceptible in counts.values())
     singletons = sum(
@@ -335,22 +432,46 @@ def session_stats_row(
         singleton_fraction = 0.0
         mean_descendants = 0.0
         mean_depth = 0.0
-    e2e = store.metadata.duration_ns
-    if e2e == 0:
+    if shard.e2e_ns == 0:
         in_episode_fraction = 0.0
     else:
-        in_episode_fraction = in_episode_ns / e2e
+        in_episode_fraction = shard.in_episode_ns / shard.e2e_ns
     return SessionStats(
-        application=store.metadata.application,
-        e2e_s=store.metadata.duration_s,
+        application=shard.application,
+        e2e_s=shard.e2e_s,
         in_episode_pct=100.0 * in_episode_fraction,
-        below_filter=float(store.short_episode_count),
-        traced=float(len(episodes)),
-        perceptible=float(perceptible_count),
+        below_filter=float(shard.short_episode_count),
+        traced=float(shard.episode_count),
+        perceptible=float(shard.perceptible_count),
         long_per_min=long_per_min,
         distinct_patterns=float(distinct),
         covered_episodes=float(covered),
         singleton_pct=100.0 * singleton_fraction,
         mean_descendants=mean_descendants,
         mean_depth=mean_depth,
+    )
+
+
+def session_stats_row(
+    store: Any,
+    threshold_ms: float,
+    precomputed_counts: Optional[Tuple[Dict[str, Tuple[int, int]], int]] = None,
+) -> Any:
+    """Columnar twin of :func:`repro.core.statistics.session_stats`.
+
+    Works over the GUI thread's episodes (the Table III population),
+    reproducing the reference implementation's arithmetic expression by
+    expression so rows compare equal to the object path.
+    ``precomputed_counts`` lets the fused plan executor pass in the
+    ``(counts, excluded)`` result of a :func:`pattern_counts` call it
+    already made with the identical parameters (``threshold_ms``,
+    ``include_gc=False``, ``all_dispatch_threads=False``) — the row is
+    the same either way, one tally pass cheaper. Since the sharding
+    refactor this is just ``gather → finalize`` over the full row list;
+    shard executions run the same two halves around an integer merge.
+    """
+    return session_stats_finalize(
+        session_stats_gather(
+            store, threshold_ms, precomputed_counts=precomputed_counts
+        )
     )

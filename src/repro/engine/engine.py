@@ -77,25 +77,34 @@ def _run_map(name: str, trace: Trace, config: Any) -> Any:
             return get_analysis(name).map_trace(trace, config)
 
 
-def _map_task(task: Tuple[Trace, Tuple[str, ...], Any]) -> List[Any]:
+def _map_task(
+    task: Union[
+        Tuple[Trace, Tuple[str, ...], Any],
+        Tuple[Trace, Tuple[str, ...], Any, Optional[Tuple[int, int]]],
+    ]
+) -> List[Any]:
     """Worker: the missing partials of one trace (module-level for pickling).
 
     Executes one **fused pass**: the names are compiled into an
     :class:`~repro.core.plan.AnalysisPlan` whose operators all map
     through one shared :class:`~repro.core.plan.StageContext`, so the
     episode split and pattern tallies are computed once for the whole
-    task instead of once per analysis.
+    task instead of once per analysis. A four-tuple task carries an
+    intra-trace ``(index, count)`` shard: the pass then maps only that
+    contiguous row-range of the trace and the dispatcher merges the
+    shard partials back together.
     """
-    trace, names, config = task
+    trace, names, config = task[0], task[1], task[2]
+    shard = task[3] if len(task) > 3 else None
     faults_runtime.check(
         "trace.map", key=f"{trace.application}/{trace.metadata.session_id}"
     )
-    partials = build_plan(names).execute(trace, config)
+    partials = build_plan(names).execute(trace, config, shard=shard)
     return [partials[name] for name in names]
 
 
 def _obs_map_task(
-    task: Tuple[Trace, Tuple[str, ...], Any, bool]
+    task: Tuple[Any, ...]
 ) -> Tuple[List[Any], Optional[dict]]:
     """Worker: ``_map_task`` plus this process's observability snapshot.
 
@@ -103,16 +112,18 @@ def _obs_map_task(
     task and its snapshot shipped back for re-parented merging; when an
     ambient observer already exists (serial fallback in the dispatching
     process) spans land there directly and no snapshot is returned.
+    A five-tuple task carries an intra-trace shard in the last slot.
     """
-    trace, names, config, profile = task
+    trace, names, config, profile = task[0], task[1], task[2], task[3]
+    shard = task[4] if len(task) > 4 else None
     if obs_runtime.current() is not None:
-        return _map_task((trace, names, config)), None
+        return _map_task((trace, names, config, shard)), None
     worker = Observer(profile=profile)
     with obs_runtime.installed(worker):
         with worker.span(
             "engine.worker_task", analyses=len(names), application=trace.application
         ):
-            partials = _map_task((trace, names, config))
+            partials = _map_task((trace, names, config, shard))
     return partials, worker.snapshot()
 
 
@@ -165,6 +176,14 @@ class AnalysisEngine:
         task_timeout: per-task result wait in seconds when fanning out
             to a pool; a hung worker trips this, the pool is torn
             down, and unfinished tasks re-run serially.
+        shards: intra-trace shard count; ``None``/``1`` (the default)
+            maps each trace in one fused pass, ``n > 1`` splits every
+            columnar-backed trace's pass into ``n`` contiguous
+            row-range shard tasks whose partials are merged back with
+            :meth:`~repro.core.plan.AnalysisPlan.merge_shards`,
+            byte-identical to the unsharded pass. Lets a single large
+            trace scale across workers. Object-graph traces ignore the
+            knob and map whole.
 
     Traces whose map fails *deterministically* (typed trace damage,
     or a transient error that survived every retry) are dropped from
@@ -182,11 +201,15 @@ class AnalysisEngine:
         obs: Optional[Observer] = None,
         retry: Optional[RetryPolicy] = None,
         task_timeout: Optional[float] = None,
+        shards: Optional[int] = None,
     ) -> None:
         self.workers = workers
         self.obs = obs
         self.retry = retry
         self.task_timeout = task_timeout
+        if shards is not None and shards < 1:
+            raise AnalysisError(f"shards must be >= 1, got {shards!r}")
+        self.shards = shards
         #: Traces dropped by the most recent map/load call.
         self.quarantined: List[QuarantinedTrace] = []
         if cache is not None:
@@ -295,12 +318,49 @@ class AnalysisEngine:
                     if names_missing:
                         missing.append((index, names_missing))
             if missing:
+                # Expand each missing trace into its shard tasks. Only
+                # columnar-backed traces shard; everything else maps
+                # whole. Shards of one trace are contiguous in the task
+                # list, so grouped outcomes arrive in shard order.
+                shard_count = (
+                    self.shards if self.shards and self.shards > 1 else 1
+                )
+                specs: List[
+                    Tuple[int, Tuple[str, ...], Optional[Tuple[int, int]]]
+                ] = []
+                for index, names in missing:
+                    store = getattr(traces[index], "columnar", None)
+                    if shard_count > 1 and store is not None:
+                        specs.extend(
+                            (index, tuple(names), (part, shard_count))
+                            for part in range(shard_count)
+                        )
+                    else:
+                        specs.append((index, tuple(names), None))
                 if obs is not None:
-                    obs.metrics.inc("engine.tasks", len(missing))
+                    obs.metrics.inc("engine.tasks", len(specs))
+                    sharded = sum(
+                        1 for spec in specs if spec[2] is not None
+                    )
+                    if sharded:
+                        obs.metrics.inc("engine.shards", sharded)
+                    for index, _names, _shard in specs:
+                        backing = getattr(
+                            getattr(traces[index], "columnar", None),
+                            "backing",
+                            None,
+                        )
+                        if backing is not None:
+                            # File-backed stores pickle as their path:
+                            # these column bytes reach the worker by
+                            # mmap, not through the task pipe.
+                            obs.metrics.inc(
+                                "store.zero_copy_bytes", backing.nbytes
+                            )
                     profile = obs.profiler is not None
                     tasks: List[Any] = [
-                        (traces[index], tuple(names), config, profile)
-                        for index, names in missing
+                        (traces[index], names, config, profile, shard)
+                        for index, names, shard in specs
                     ]
                     task_func: Any = _obs_map_task
                     parent_id = (
@@ -310,8 +370,8 @@ class AnalysisEngine:
                     )
                 else:
                     tasks = [
-                        (traces[index], tuple(names), config)
-                        for index, names in missing
+                        (traces[index], names, config, shard)
+                        for index, names, shard in specs
                     ]
                     task_func = _map_task
                 outcomes = run_tasks(
@@ -322,30 +382,47 @@ class AnalysisEngine:
                     retry=self.retry,
                     quarantine_types=QUARANTINE_ERRORS,
                 )
-                for (index, names), outcome in zip(missing, outcomes):
+                failed: Dict[int, Any] = {}
+                shard_partials: Dict[int, List[Dict[str, Any]]] = {}
+                for (index, names, shard), outcome in zip(specs, outcomes):
                     if outcome.quarantined:
-                        trace = traces[index]
-                        self.quarantined.append(
-                            QuarantinedTrace(
-                                index=index,
-                                application=trace.application,
-                                session_id=trace.metadata.session_id,
-                                error=repr(outcome.error),
-                            )
-                        )
+                        failed.setdefault(index, outcome.error)
                         continue
                     if obs is not None:
                         partials, snapshot = outcome.value
                         obs.absorb(snapshot, parent_id=parent_id)
                     else:
                         partials = outcome.value
-                    for name, partial in zip(names, partials):
-                        results[name][index] = partial
+                    shard_partials.setdefault(index, []).append(
+                        dict(zip(names, partials))
+                    )
+                for index, names in missing:
+                    if index in failed:
+                        # Any failed shard poisons the whole trace —
+                        # partial coverage would silently under-count.
+                        trace = traces[index]
+                        self.quarantined.append(
+                            QuarantinedTrace(
+                                index=index,
+                                application=trace.application,
+                                session_id=trace.metadata.session_id,
+                                error=repr(failed[index]),
+                            )
+                        )
+                        continue
+                    parts = shard_partials[index]
+                    merged = (
+                        parts[0]
+                        if len(parts) == 1
+                        else build_plan(names).merge_shards(parts)
+                    )
+                    for name in names:
+                        results[name][index] = merged[name]
                         if self.cache is not None:
                             key = ResultCache.entry_key(
                                 trace_digest(traces[index]), fingerprint, name
                             )
-                            self.cache.put(key, partial)
+                            self.cache.put(key, merged[name])
             if plan_fp:
                 # Wherever the bundle probe missed, store the complete
                 # bundle (legacy cache hits plus freshly computed
@@ -357,6 +434,9 @@ class AnalysisEngine:
                         continue
                     trace = traces[index]
                     digest = trace_digest(trace)
+                    backing = getattr(
+                        getattr(trace, "columnar", None), "backing", None
+                    )
                     meta = {
                         "application": trace.application,
                         "session_id": trace.metadata.session_id,
@@ -366,6 +446,9 @@ class AnalysisEngine:
                         "analyses": sorted(analysis_names),
                         "threshold_ms": getattr(
                             config, "perceptible_threshold_ms", None
+                        ),
+                        "column_file": (
+                            str(backing.path) if backing is not None else None
                         ),
                     }
                     self.cache.put_bundle(

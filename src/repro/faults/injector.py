@@ -175,6 +175,13 @@ class FaultInjector:
             raise OSError(
                 errno.EIO, f"injected warehouse write failure for {key}"
             )
+        if kind == "mmap_error":
+            # A column file that cannot be mapped is deterministically
+            # unreadable — typed so the engine quarantines, whether the
+            # open happens at load time or at worker-side re-open.
+            raise TraceFormatError(
+                f"injected column-file map failure for {key}"
+            )
         if kind in ("trace_truncated", "trace_garbled"):
             # At a non-reader site (trace.map) the damaged trace
             # surfaces as the typed, deterministic parse failure the

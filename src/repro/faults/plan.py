@@ -37,6 +37,7 @@ SITES = (
     "cache.read",    # result-cache read (key = cache entry key)
     "cache.write",   # result-cache write (key = cache entry key)
     "lila.read",     # trace-file parse (key = file name)
+    "lila.mmap",     # column-file mmap open (key = file name)
     "ingest.frame",  # ingest-daemon frame intake (key = "session/seq")
     "ingest.flush",  # ingest-daemon spool flush (key = session id)
     "obs.publish",   # telemetry-warehouse flush (key = run id)
@@ -55,6 +56,7 @@ KIND_SITES: Dict[str, str] = {
     "disk_full": "cache.write",         # entry write raises ENOSPC
     "trace_truncated": "lila.read",     # trace records cut off mid-file
     "trace_garbled": "lila.read",       # one trace record garbled
+    "mmap_error": "lila.mmap",          # column-file map open raises IO
     "warehouse_write_error": "warehouse.write",  # study row write raises IO
 }
 

@@ -405,6 +405,7 @@ class IngestServer:
         publish_interval_s: float = 2.0,
         run_id: Optional[str] = None,
         study_warehouse: Optional[Union[str, Path, Any]] = None,
+        column_dir: Optional[Union[str, Path]] = None,
     ) -> None:
         self.spool_dir = Path(spool_dir)
         self.queue_limit = max(1, int(queue_limit))
@@ -441,6 +442,9 @@ class IngestServer:
 
             study_warehouse = StudyWarehouse(study_warehouse)
         self.study_warehouse = study_warehouse
+        #: When set, spool compaction also writes one ``.lilac`` column
+        #: file per session here and analyzes the mmap-backed store.
+        self.column_dir = Path(column_dir) if column_dir is not None else None
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -543,11 +547,19 @@ class IngestServer:
         from repro.core.analyzer import AnalysisConfig
 
         config = self.config if self.config is not None else AnalysisConfig()
+        if self.column_dir is not None:
+            self.column_dir.mkdir(parents=True, exist_ok=True)
         for state in self.sessions():
+            column_file = (
+                self.column_dir / f"{state.session}.lilac"
+                if self.column_dir is not None
+                else None
+            )
             try:
                 changed = self.study_warehouse.ingest_spool(
                     state.spool.path, self.run_id, config,
                     session_id=state.session,
+                    column_file=column_file,
                 )
             except Exception as error:
                 failed += 1

@@ -10,6 +10,12 @@ writer and reader with a round-trip guarantee.
 
 from repro.lila.autodetect import detect_format, expand_trace_paths, load_trace
 from repro.lila.binary import read_trace_binary, write_trace_binary
+from repro.lila.colfile import (
+    ColumnTraceSource,
+    open_column_store,
+    open_column_trace,
+    write_column_file,
+)
 from repro.lila.digest import file_digest, trace_digest
 from repro.lila.format import FORMAT_VERSION, MAGIC
 from repro.lila.reader import read_trace, read_trace_lines
@@ -28,6 +34,7 @@ from repro.lila.writer import write_trace, trace_to_lines
 
 __all__ = [
     "BinaryTraceSource",
+    "ColumnTraceSource",
     "FORMAT_VERSION",
     "LinesTraceSource",
     "MAGIC",
@@ -40,6 +47,8 @@ __all__ = [
     "expand_trace_paths",
     "file_digest",
     "lint_trace",
+    "open_column_store",
+    "open_column_trace",
     "open_source",
     "trace_digest",
     "load_trace",
@@ -47,6 +56,7 @@ __all__ = [
     "read_trace_binary",
     "read_trace_lines",
     "trace_to_lines",
+    "write_column_file",
     "write_trace",
     "write_trace_binary",
 ]

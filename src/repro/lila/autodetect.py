@@ -1,8 +1,9 @@
 """Loading traces regardless of encoding.
 
-Both encodings are self-identifying (``#%lila`` for text, ``LILB`` for
-binary), so callers should not have to care: :func:`load_trace` sniffs
-the first bytes and dispatches.
+All three encodings are self-identifying (``#%lila`` for text, ``LILB``
+for binary, ``LILC`` for the mmap-backed column file), so callers
+should not have to care: :func:`load_trace` sniffs the first bytes and
+dispatches.
 """
 
 from __future__ import annotations
@@ -18,27 +19,31 @@ from repro.lila import format as text_format
 from repro.lila.reader import read_trace
 
 #: File suffixes picked up when a directory is given to
-#: :func:`expand_trace_paths` (text and binary encodings).
-TRACE_SUFFIXES = (".lila", ".lilb")
+#: :func:`expand_trace_paths` (text, binary, and column encodings).
+TRACE_SUFFIXES = (".lila", ".lilb", ".lilac")
 
 _GLOB_CHARS = frozenset("*?[")
 
 
 def detect_format(path: Union[str, Path]) -> str:
-    """``"text"`` or ``"binary"``, by magic bytes.
+    """``"text"``, ``"binary"``, or ``"lilac"``, by magic bytes.
 
     Raises:
-        TraceFormatError: when neither magic matches.
+        TraceFormatError: when no magic matches.
     """
+    from repro.lila import colfile
+
     path = Path(path)
     with path.open("rb") as handle:
         head = handle.read(8)
     if head.startswith(binary_format.MAGIC):
         return "binary"
+    if head.startswith(colfile.MAGIC):
+        return "lilac"
     if head.startswith(text_format.MAGIC.encode("utf-8")):
         return "text"
     raise TraceFormatError(
-        f"{path}: not a LiLa trace in either encoding "
+        f"{path}: not a LiLa trace in any encoding "
         f"(first bytes: {head!r})"
     )
 
@@ -90,14 +95,20 @@ def load_trace(path: Union[str, Path]) -> Trace:
     """Read a trace file in whichever encoding it uses."""
     from repro.obs import runtime as obs_runtime
 
-    if detect_format(path) == "binary":
+    encoding = detect_format(path)
+    if encoding == "binary" or encoding == "lilac":
         with obs_runtime.maybe_span(
             "lila.read_trace",
             metric="lila.parse_ms",
             path=Path(path).name,
-            format="binary",
+            format=encoding,
         ):
-            trace = binary_format.read_trace_binary(path)
+            if encoding == "binary":
+                trace = binary_format.read_trace_binary(path)
+            else:
+                from repro.lila.colfile import open_column_trace
+
+                trace = open_column_trace(path)
         if obs_runtime.current() is not None:
             obs_runtime.count("lila.traces_parsed")
             try:

@@ -41,9 +41,16 @@ def trace_digest(trace: Trace) -> str:
         "lila.trace_digest", metric="lila.digest_ms"
     ):
         # Columnar-backed traces serialize straight from the columns;
-        # both paths produce the identical canonical byte stream.
+        # both paths produce the identical canonical byte stream. A
+        # store opened from a `.lilac` file already knows its digest
+        # (carried in the file header) — adopt it instead of
+        # re-serializing the whole trace.
         store = getattr(trace, "columnar", None)
         if store is not None:
+            memo = getattr(store, _MEMO_ATTR, None)
+            if memo is not None:
+                setattr(trace, _MEMO_ATTR, memo)
+                return memo
             lines = store.canonical_lines()
         else:
             from repro.lila.writer import trace_to_lines

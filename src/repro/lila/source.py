@@ -68,6 +68,16 @@ class TraceSource:
         """Yield validated ``REC_*`` records in stream order."""
         raise NotImplementedError
 
+    def open_store(self) -> Optional[ColumnarTrace]:
+        """A ready-made store, bypassing the record stream, or ``None``.
+
+        Sources whose on-disk layout *is* the columnar store (the
+        `.lilac` column file) override this;
+        :func:`build_store` then adopts the store directly instead of
+        replaying and re-building every record.
+        """
+        return None
+
     def annotate(self, error: TraceFormatError) -> TraceFormatError:
         """Stamp this source's position onto ``error`` (idempotent)."""
         if error.path is None:
@@ -530,8 +540,13 @@ def open_source(
     from repro.lila.autodetect import detect_format
 
     path = Path(path)
-    if detect_format(path) == "binary":
+    encoding = detect_format(path)
+    if encoding == "binary":
         return BinaryTraceSource(path)
+    if encoding == "lilac":
+        from repro.lila.colfile import ColumnTraceSource
+
+        return ColumnTraceSource(path)
     return TextTraceSource(path, faults=faults)
 
 
@@ -549,7 +564,18 @@ def build_store(source: TraceSource) -> ColumnarTrace:
       end-of-stream violations (unclosed intervals, bad bounds) as
       unprefixed ``TraceFormatError``;
     - for binary sources, nesting/bounds errors propagate raw.
+
+    Sources that *are* a serialized store (`.lilac`) short-circuit:
+    their :meth:`TraceSource.open_store` result is adopted as-is, with
+    no records streamed and no columns copied.
     """
+    direct = source.open_store()
+    if direct is not None:
+        from repro.obs import runtime as obs_runtime
+
+        if obs_runtime.current() is not None:
+            obs_runtime.set_gauge("store.bytes", direct.nbytes)
+        return direct
     builder = ColumnarBuilder()
     feed = builder.feed
     wrap = source.wrap_errors

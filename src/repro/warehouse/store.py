@@ -314,13 +314,19 @@ class StudyWarehouse:
         config: Any,
         ts: Optional[float] = None,
         session_id: Optional[str] = None,
+        column_file: Optional[Union[str, Path]] = None,
     ) -> bool:
         """Analyze one ingest spool file and store its session.
 
         ``records`` is the spool's record-line count, matching the
         daemon's zero-loss ``records_flushed`` accounting.
+
+        ``column_file`` converts the spool to a ``.lilac`` column file
+        at that path first and analyzes the mmap-backed store instead of
+        the parsed object graph — the spool is parsed exactly once and
+        every later read of the session maps the column file.
         """
-        from repro.lila.source import build_trace, open_source
+        from repro.lila.source import build_store, build_trace, open_source
 
         spool_path = Path(spool_path)
         # Every flushed line lands in the spool verbatim, so the line
@@ -328,7 +334,17 @@ class StudyWarehouse:
         # session — the zero-loss contract, queryable after the fact.
         with open(spool_path, "r", encoding="utf-8") as handle:
             records = sum(1 for _ in handle)
-        trace = build_trace(open_source(spool_path))
+        if column_file is not None:
+            from repro.lila.colfile import (
+                open_column_trace,
+                write_column_file,
+            )
+
+            store = build_store(open_source(spool_path))
+            write_column_file(store, Path(column_file))
+            trace = open_column_trace(Path(column_file))
+        else:
+            trace = build_trace(open_source(spool_path))
         return self.ingest_trace(
             trace, run_id, config,
             records=records, ts=ts, session_id=session_id,

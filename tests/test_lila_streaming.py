@@ -110,7 +110,7 @@ class TestAutodetect:
 
         garbage = tmp_path / "x.bin"
         garbage.write_bytes(b"garbage here")
-        with pytest.raises(TraceFormatError, match="either encoding"):
+        with pytest.raises(TraceFormatError, match="any encoding"):
             detect_format(garbage)
 
     def test_analyzer_loads_mixed_formats(self, trace_file, tmp_path):
