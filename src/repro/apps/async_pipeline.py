@@ -1,0 +1,227 @@
+"""The ``async_pipeline`` workload family: thread-pool stage chains.
+
+A batch pipeline (think an indexing or media-processing job) whose work
+items flow through a chain of stages executed on a thread pool. Episodes
+are rooted at STAGE intervals — one per stage execution on the observed
+pool worker — and begin with an ASYNC handoff interval covering the
+dequeue of the item posted by the upstream stage. The family's trigger
+vocabulary therefore classifies most episodes as asynchronous (the
+handoff is the first child), with no repaint-manager reclassification.
+
+As with ``io_service``, the traces come out of the same simulated VM as
+the gui sessions: only the episode vocabulary differs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.core.intervals import IntervalKind, NS_PER_MS, NS_PER_S
+from repro.core.samples import StackFrame, StackTrace, ThreadState
+from repro.core.trace import Trace
+from repro.vm.behavior import (
+    Behavior,
+    Compute,
+    Enclose,
+    NativeCall,
+    Wait,
+    edt_stack,
+)
+from repro.vm.jvm import PostedEvent, SessionConfig, SessionEvent, SimulatedJVM
+from repro.vm.rng import RngStream
+from repro.vm.threads import ThreadTimeline
+
+#: The pool worker whose stage executions the trace observes.
+WORKER_THREAD = "pipeline-worker-0"
+
+#: Episode-root symbol of the family.
+ROOT_SYMBOL = "StageRunner.runStage"
+
+
+@dataclass(frozen=True)
+class StageSpec:
+    """One pipeline stage: its work shape and throughput share."""
+
+    name: str
+    weight: float
+    handoff_ms: float
+    compute_ms: float
+    alloc_bytes_per_ms: int
+    native_ms: float = 0.0
+    native_symbol: str = ""
+
+
+#: The pipeline's stages. ``compress`` leans on a native codec and
+#: ``merge`` allocates heavily enough to provoke collections.
+STAGES: Tuple[StageSpec, ...] = (
+    StageSpec(
+        name="parse",
+        weight=0.35,
+        handoff_ms=0.8,
+        compute_ms=5.0,
+        alloc_bytes_per_ms=8192,
+    ),
+    StageSpec(
+        name="transform",
+        weight=0.30,
+        handoff_ms=1.0,
+        compute_ms=11.0,
+        alloc_bytes_per_ms=12288,
+    ),
+    StageSpec(
+        name="compress",
+        weight=0.20,
+        handoff_ms=0.7,
+        compute_ms=3.0,
+        alloc_bytes_per_ms=2048,
+        native_ms=40.0,
+        native_symbol="java.util.zip.Deflater.deflateBytes",
+    ),
+    StageSpec(
+        name="merge",
+        weight=0.15,
+        handoff_ms=1.4,
+        compute_ms=110.0,
+        alloc_bytes_per_ms=16384,
+    ),
+)
+
+#: Stage executions per minute on the observed worker at scale 1.0.
+ITEMS_PER_MIN = 130.0
+
+#: Full-scale session length in seconds.
+SESSION_S = 240.0
+
+
+def _stage_behavior(spec: StageSpec) -> Behavior:
+    """The stage execution: dequeue handoff, compute, optional native."""
+    handoff_stack = edt_stack(
+        StackFrame("java.util.concurrent.LinkedBlockingQueue", "take"),
+        StackFrame("com.acme.pipeline.StageRunner", "runStage"),
+    )
+    compute_stack = edt_stack(
+        StackFrame(f"com.acme.pipeline.{spec.name.capitalize()}Stage", "process"),
+        StackFrame("com.acme.pipeline.StageRunner", "runStage"),
+    )
+    steps = [
+        Enclose(
+            IntervalKind.ASYNC,
+            "java.util.concurrent.LinkedBlockingQueue.take",
+            [Wait(spec.handoff_ms, handoff_stack, sigma=0.3)],
+        ),
+        Compute(
+            spec.compute_ms,
+            compute_stack,
+            sigma=0.45,
+            alloc_bytes_per_ms=spec.alloc_bytes_per_ms,
+        ),
+    ]
+    if spec.native_ms > 0:
+        native_stack = StackTrace(
+            (
+                StackFrame(*spec.native_symbol.rsplit(".", 1), is_native=True),
+                StackFrame("java.util.zip.DeflaterOutputStream", "write"),
+                StackFrame("com.acme.pipeline.CompressStage", "process"),
+            )
+        )
+        steps.append(
+            NativeCall(
+                spec.native_symbol,
+                spec.native_ms,
+                native_stack,
+                sigma=0.35,
+                alloc_bytes_per_ms=512,
+            )
+        )
+    return Behavior(steps)
+
+
+def _item_events(rng: RngStream, duration_s: float) -> List[SessionEvent]:
+    """Stage executions landing on the observed worker."""
+    weights = [spec.weight for spec in STAGES]
+    behaviors = {spec.name: _stage_behavior(spec) for spec in STAGES}
+    mean_gap_s = 60.0 / ITEMS_PER_MIN
+    events: List[SessionEvent] = []
+    t_s = rng.exponential_ms(mean_gap_s * 1000.0) / 1000.0
+    while t_s < duration_s:
+        spec = rng.weighted_choice(STAGES, weights)
+        events.append(PostedEvent(round(t_s * NS_PER_S), behaviors[spec.name]))
+        t_s += rng.exponential_ms(mean_gap_s * 1000.0) / 1000.0
+    return events
+
+
+def _sibling_worker_timeline(
+    name: str, rng: RngStream, duration_s: float
+) -> ThreadTimeline:
+    """Another pool worker: busy in bursts while the pipeline flows."""
+    timeline = ThreadTimeline(name)
+    stack = StackTrace(
+        (
+            StackFrame("com.acme.pipeline.StageRunner", "runStage"),
+            StackFrame("java.util.concurrent.ThreadPoolExecutor$Worker", "run"),
+        )
+    )
+    t_ns = 0
+    end_ns = round(duration_s * NS_PER_S)
+    while t_ns < end_ns:
+        burst_ns = round(rng.exponential_ms(90.0) * NS_PER_MS)
+        burst_end = min(t_ns + max(burst_ns, NS_PER_MS), end_ns)
+        timeline.record(t_ns, burst_end, ThreadState.RUNNABLE, stack)
+        gap_ns = round(rng.exponential_ms(60.0) * NS_PER_MS)
+        t_ns = burst_end + max(gap_ns, NS_PER_MS)
+    return timeline
+
+
+def simulate_pipeline_session(
+    pipeline: str = "IndexBuilder",
+    session_index: int = 0,
+    seed: int = 20100401,
+    scale: float = 1.0,
+) -> Trace:
+    """Run one ``async_pipeline``-family session and return its trace.
+
+    Args:
+        pipeline: pipeline name (the trace's application).
+        session_index: which session to run.
+        seed: root seed of the study.
+        scale: session-length multiplier in (0, 1].
+    """
+    if scale <= 0 or scale > 1:
+        raise ValueError("scale must be in (0, 1]")
+    duration_s = SESSION_S * scale
+    rng = RngStream(seed).fork(pipeline).fork(f"session{session_index}")
+    session_seed = RngStream(seed).fork(pipeline).fork(
+        f"jvm{session_index}"
+    ).seed
+    config = SessionConfig(
+        application=pipeline,
+        session_id=f"session-{session_index}",
+        seed=session_seed,
+        duration_s=duration_s,
+        gui_thread=WORKER_THREAD,
+        family="async_pipeline",
+        root_kind=IntervalKind.STAGE,
+        root_symbol=ROOT_SYMBOL,
+    )
+    jvm = SimulatedJVM(config)
+    for index in (1, 2):
+        jvm.add_background_timeline(
+            _sibling_worker_timeline(
+                f"pipeline-worker-{index}", rng.fork(f"worker{index}"), duration_s
+            )
+        )
+    return jvm.run(_item_events(rng.fork("items"), duration_s))
+
+
+def simulate_pipeline_sessions(
+    pipeline: str = "IndexBuilder",
+    count: int = 4,
+    seed: int = 20100401,
+    scale: float = 1.0,
+) -> List[Trace]:
+    """Run ``count`` sessions of the pipeline."""
+    return [
+        simulate_pipeline_session(pipeline, index, seed=seed, scale=scale)
+        for index in range(count)
+    ]

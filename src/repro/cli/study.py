@@ -301,6 +301,57 @@ def _cmd_query_regressions(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_diff(args: argparse.Namespace) -> int:
+    store = _open_warehouse(args)
+    if store is None:
+        return EXIT_NO_WAREHOUSE
+    report = store.diff(
+        args.run_a,
+        args.run_b,
+        apps=args.apps,
+        perceptible_only=args.perceptible_only,
+    )
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "run_a": report.run_a,
+                    "run_b": report.run_b,
+                    "total_delta_ns": report.total_delta_ns,
+                    "deltas": [
+                        {
+                            "label": d.label,
+                            "delta_ns": d.delta_ns,
+                            "a_total_ns": d.a_total_ns,
+                            "b_total_ns": d.b_total_ns,
+                            "a_episodes": d.a_episodes,
+                            "b_episodes": d.b_episodes,
+                        }
+                        for d in report.deltas[: args.limit]
+                    ],
+                },
+                indent=2,
+            )
+        )
+        return 0
+    if not report.deltas:
+        print(f"no cause rows for {args.run_a} or {args.run_b}")
+        return 0
+    sign = "+" if report.total_delta_ns >= 0 else ""
+    print(
+        f"{report.run_a} -> {report.run_b}: "
+        f"{sign}{report.total_delta_ns / 1e6:.1f} ms in-episode self time"
+    )
+    print(f"{'DELTA[ms]':>10s} {'A[ms]':>9s} {'B[ms]':>9s}  CAUSE")
+    for delta in report.deltas[: args.limit]:
+        print(
+            f"{delta.delta_ns / 1e6:>+10.1f} "
+            f"{delta.a_total_ns / 1e6:>9.1f} "
+            f"{delta.b_total_ns / 1e6:>9.1f}  {delta.label}"
+        )
+    return 0
+
+
 def _add_query_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--warehouse", default=DEFAULT_WAREHOUSE, metavar="FILE",
@@ -415,3 +466,23 @@ def register(sub: argparse._SubParsersAction) -> None:
                        help="regression threshold on the metric delta "
                        "(default: 0.0)")
     p_reg.set_defaults(query_func=_cmd_query_regressions)
+
+    p_diff = study_sub.add_parser(
+        "diff",
+        help="attribute the latency delta between two runs to causes",
+    )
+    p_diff.add_argument("run_a", metavar="RUN_A", help="baseline run id")
+    p_diff.add_argument("run_b", metavar="RUN_B", help="candidate run id")
+    p_diff.add_argument(
+        "--warehouse", default=DEFAULT_WAREHOUSE, metavar="FILE",
+        help=f"study warehouse file (default: {DEFAULT_WAREHOUSE})",
+    )
+    p_diff.add_argument("--apps", nargs="+", default=None, metavar="APP",
+                        help="restrict to these applications")
+    p_diff.add_argument("--perceptible-only", action="store_true",
+                        help="diff perceptible-episode self time only")
+    p_diff.add_argument("-n", "--limit", type=int, default=15,
+                        help="causes to list (default: 15)")
+    p_diff.add_argument("--json", action="store_true",
+                        help="emit JSON instead of a table")
+    p_diff.set_defaults(query_func=_cmd_diff)

@@ -53,6 +53,7 @@ from typing import (
     runtime_checkable,
 )
 
+from repro.core import causegraph
 from repro.core import concurrency as concurrency_mod
 from repro.core import location as location_mod
 from repro.core import threadstates as threadstates_mod
@@ -60,6 +61,7 @@ from repro.core import triggers as triggers_mod
 from repro.core.concurrency import ConcurrencySummary
 from repro.core.episodes import trace_episodes  # noqa: F401  (re-exported; api.py uses it)
 from repro.core.errors import AnalysisError
+from repro.core.family import family_of
 from repro.core.location import LocationSummary
 from repro.core.occurrence import Occurrence, OccurrenceSummary
 from repro.core.patterns import (
@@ -214,9 +216,10 @@ class TriggerAnalysis(MapReduceAnalysis):
                 all=ctx.store.trigger_summary(population),
                 perceptible=ctx.store.trigger_summary(perceptible),
             )
+        family = family_of(ctx.trace.metadata)
         return DualPartial(
-            all=triggers_mod.summarize(population),
-            perceptible=triggers_mod.summarize(perceptible),
+            all=triggers_mod.summarize(population, family=family),
+            perceptible=triggers_mod.summarize(perceptible, family=family),
         )
 
     def merge_shards(self, partials: Sequence[DualPartial]) -> DualPartial:
@@ -241,6 +244,44 @@ class TriggerAnalysis(MapReduceAnalysis):
             for trigger, count in summary.counts.items():
                 counts[trigger] = counts.get(trigger, 0) + count
         return TriggerSummary(counts)
+
+
+class CauseAnalysis(MapReduceAnalysis):
+    """Self-time cause vectors per episode population (the diff axis).
+
+    The partial is the :data:`~repro.core.causegraph.CauseTally` of one
+    trace (both populations); tallies add-merge in trace/shard order,
+    so first-appearance label order — and therefore pickled bytes — are
+    identical across worker counts and shard layouts.
+    """
+
+    name = "causes"
+    supports_perceptible_only = True
+    shared_stages = ("episode_split",)
+
+    def map_context(self, ctx: StageContext) -> DualPartial:
+        population, perceptible = ctx.episode_split()
+        if ctx.store is not None:
+            return DualPartial(
+                all=ctx.store.cause_tally(population),
+                perceptible=ctx.store.cause_tally(perceptible),
+            )
+        return DualPartial(
+            all=causegraph.tally_causes(population),
+            perceptible=causegraph.tally_causes(perceptible),
+        )
+
+    def merge_shards(self, partials: Sequence[DualPartial]) -> DualPartial:
+        return _merge_dual(partials, causegraph.merge_cause_tallies)
+
+    def reduce(
+        self, partials: Sequence[DualPartial], perceptible_only: bool = False
+    ) -> "causegraph.CauseSummary":
+        self._check_flag(perceptible_only)
+        merged = causegraph.merge_cause_tallies(
+            _pick_all(partials, perceptible_only)
+        )
+        return causegraph.CauseSummary.from_tally(merged)
 
 
 class ThreadStateAnalysis(MapReduceAnalysis):
@@ -679,6 +720,7 @@ for _analysis in (
     ThreadStateAnalysis(),
     StatisticsAnalysis(),
     PatternStatsAnalysis(),
+    CauseAnalysis(),
 ):
     register(_analysis)
 del _analysis

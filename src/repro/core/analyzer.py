@@ -15,6 +15,7 @@ from pathlib import Path
 from typing import Any, List, Optional, Sequence, Tuple, Union
 
 from repro.core import analyses as analyses_mod
+from repro.core import causegraph
 from repro.core.concurrency import ConcurrencySummary
 from repro.core.episodes import DEFAULT_PERCEPTIBLE_MS, Episode
 from repro.core.errors import AnalysisError
@@ -324,6 +325,63 @@ class LagAlyzer:
     ) -> ThreadStateSummary:
         """GUI-thread blocked/wait/sleep/runnable split (Fig 8)."""
         return self.summary("threadstates", perceptible_only=perceptible_only)
+
+    # ------------------------------------------------------------------
+    # Cause analysis (dependency graphs and run diffing)
+    # ------------------------------------------------------------------
+
+    def cause_summary(
+        self, perceptible_only: bool = False
+    ) -> causegraph.CauseSummary:
+        """Self-time attribution by cause label over all episodes."""
+        return self.summary("causes", perceptible_only=perceptible_only)
+
+    def cause_graph(self, episode: Episode) -> causegraph.EpisodeCauseGraph:
+        """One episode's interval tree as a dependency graph."""
+        return causegraph.build_graph(episode)
+
+    def critical_path(
+        self, episode: Episode
+    ) -> Tuple[causegraph.CauseNode, ...]:
+        """The heaviest dependency chain of one episode."""
+        return causegraph.critical_path(causegraph.build_graph(episode))
+
+    def rank_outlier_causes(
+        self, threshold_ms: Optional[float] = None
+    ) -> List[Tuple[str, float]]:
+        """Causes ranked by their concentration in outlier episodes.
+
+        ``threshold_ms`` defaults to the config's perceptibility cut.
+        """
+        if threshold_ms is None:
+            threshold_ms = self.config.perceptible_threshold_ms
+        return causegraph.rank_outliers(self.episodes, threshold_ms)
+
+    @classmethod
+    def diff(
+        cls,
+        study_a: str,
+        study_b: str,
+        warehouse: Union[str, Path, Any],
+        apps: Optional[Sequence[str]] = None,
+        perceptible_only: bool = False,
+    ) -> causegraph.DiffReport:
+        """Attribute the latency delta between two warehouse runs.
+
+        ``study_a`` and ``study_b`` are run ids of a study warehouse
+        (a path or an open
+        :class:`~repro.warehouse.StudyWarehouse`); the report ranks
+        every cause label by how much self time it gained from A to B,
+        regressions first.
+        """
+        from repro.warehouse import StudyWarehouse
+
+        store = warehouse
+        if not isinstance(store, StudyWarehouse):
+            store = StudyWarehouse(warehouse)
+        return store.diff(
+            study_a, study_b, apps=apps, perceptible_only=perceptible_only
+        )
 
     # ------------------------------------------------------------------
     # Session statistics (Table III)

@@ -19,6 +19,15 @@ from repro.core.samples import Sample, ThreadSample, samples_in_range
 #: 100 ms rule).
 DEFAULT_PERCEPTIBLE_MS = 100.0
 
+#: Interval kinds that may root an episode — one per workload family
+#: (``dispatch``/gui, ``request``/io_service, ``stage``/async_pipeline).
+#: :func:`repro.core.family.register_family` adds to this set.
+EPISODE_ROOT_KINDS = {
+    IntervalKind.DISPATCH,
+    IntervalKind.REQUEST,
+    IntervalKind.STAGE,
+}
+
 
 class Episode:
     """One handled user request, with its interval tree and samples.
@@ -44,7 +53,7 @@ class Episode:
         gui_thread: str,
         samples: Sequence[Sample] = (),
     ) -> None:
-        if root.kind is not IntervalKind.DISPATCH:
+        if root.kind not in EPISODE_ROOT_KINDS:
             raise AnalysisError(
                 f"episode root must be a dispatch interval, got {root.kind.value}"
             )
@@ -143,20 +152,24 @@ def episodes_from_roots(
     roots: Sequence[Interval],
     gui_thread: str,
     session_samples: Sequence[Sample] = (),
+    root_kind: IntervalKind = IntervalKind.DISPATCH,
 ) -> List[Episode]:
-    """Build episodes from a thread's root dispatch intervals.
+    """Build episodes from a thread's root episode-boundary intervals.
 
-    Non-dispatch roots (e.g. a GC that fell between episodes) are ignored.
+    Roots of other kinds (e.g. a GC that fell between episodes) are
+    ignored.
 
     Args:
         roots: root intervals of the GUI thread's tree, in time order.
         gui_thread: name of the GUI thread.
         session_samples: all sampling ticks, sorted by time; each episode
             receives the slice that falls within it.
+        root_kind: the workload family's episode-boundary kind
+            (``dispatch`` for the default gui family).
     """
     episodes = []
     for root in roots:
-        if root.kind is not IntervalKind.DISPATCH:
+        if root.kind is not root_kind:
             continue
         episode = Episode(root, index=len(episodes), gui_thread=gui_thread)
         if session_samples:
@@ -225,19 +238,21 @@ class IncrementalEpisodeSplitter:
         self,
         gui_thread: str,
         threshold_ms: float = DEFAULT_PERCEPTIBLE_MS,
+        root_kind: IntervalKind = IntervalKind.DISPATCH,
     ) -> None:
         self.gui_thread = gui_thread
         self.threshold_ms = threshold_ms
+        self.root_kind = root_kind
         self.episodes: List[Episode] = []
         self.perceptible: List[Episode] = []
 
     def push_root(self, root: Interval) -> Optional[Episode]:
         """Register one completed root; the new episode, if it is one.
 
-        Non-dispatch roots (a GC between episodes) return ``None``,
+        Roots of other kinds (a GC between episodes) return ``None``,
         mirroring the batch splitter's filter.
         """
-        if root.kind is not IntervalKind.DISPATCH:
+        if root.kind is not self.root_kind:
             return None
         episode = Episode(
             root, index=len(self.episodes), gui_thread=self.gui_thread

@@ -1,0 +1,180 @@
+"""Workload families: pluggable episode boundaries and trigger vocabularies.
+
+The paper's pipeline is hard-wired to the Swing GUI shape — episodes are
+``dispatch`` roots on the event dispatch thread, triggers are the first
+listener/paint/async interval, and the repaint-manager quirk reclassifies
+async-wrapping-paint episodes as output. All of that is really one
+*workload family*: a boundary kind that delimits episodes, a mapping from
+interval kinds to trigger classes, and family-specific classification
+quirks. This module makes the family an explicit, registered object so
+the same episode/pattern/cause machinery serves genuinely different
+workloads:
+
+- ``gui`` — the paper's Swing shape, the default. Byte-identical to the
+  pre-family pipeline: traces that carry no family marker are ``gui``.
+- ``io_service`` — request/response services whose episodes are sliced
+  along ``request`` roots with ``iowait`` dependency intervals (episodes
+  à la ReLayTracer, PAPERS.md).
+- ``async_pipeline`` — thread-pool stage chains: each ``stage`` root is
+  one unit of pipeline work handed between workers.
+
+A trace declares its family in the metadata extra space under
+:data:`FAMILY_KEY` (``M x.family <name>`` in the text format); the key
+rides the columnar store header, the ``.lilac`` column file, ingest
+HELLO metadata, and the content digest, so mixed-family studies stay
+first-class everywhere downstream. A missing key means ``gui``, which is
+what keeps every pre-family trace, digest, and cache key unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional, Tuple
+
+from repro.core import episodes as episodes_mod
+from repro.core.errors import AnalysisError
+from repro.core.intervals import IntervalKind
+from repro.core.triggers import Trigger
+
+#: Metadata-extra key that names a trace's workload family.
+FAMILY_KEY = "family"
+
+#: Family of traces that carry no :data:`FAMILY_KEY` marker.
+DEFAULT_FAMILY_NAME = "gui"
+
+
+@dataclass(frozen=True)
+class EpisodeFamily:
+    """One workload family's episode vocabulary.
+
+    Attributes:
+        name: stable registry name (and the on-disk ``x.family`` value).
+        root_kind: interval kind whose thread-tree roots delimit
+            episodes — the family's boundary detector.
+        trigger_map: interval kind -> :class:`~repro.core.triggers.Trigger`
+            for the first matching interval of an episode's pre-order
+            walk; episodes with no match are ``UNSPECIFIED``.
+        reclassify_async_paint: apply the Swing repaint-manager quirk
+            (footnote 3): an ``async`` trigger that wraps a ``paint``
+            is reclassified as output. GUI only.
+        description: one line for docs and CLI listings.
+    """
+
+    name: str
+    root_kind: IntervalKind
+    trigger_map: Mapping[IntervalKind, Trigger]
+    reclassify_async_paint: bool = False
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "trigger_map", dict(self.trigger_map))
+
+    @property
+    def trigger_kinds(self) -> Tuple[IntervalKind, ...]:
+        """The kinds that can classify an episode, in map order."""
+        return tuple(self.trigger_map)
+
+
+#: Registered families by name. Registration order is stable; ``gui``
+#: is always first.
+FAMILIES: Dict[str, EpisodeFamily] = {}
+
+
+def register_family(family: EpisodeFamily, replace: bool = False) -> EpisodeFamily:
+    """Add ``family`` to the registry (downstream extension point).
+
+    The family's root kind joins
+    :data:`~repro.core.episodes.EPISODE_ROOT_KINDS`, so
+    :class:`~repro.core.episodes.Episode` construction accepts it.
+    """
+    if not family.name:
+        raise AnalysisError("an EpisodeFamily must have a non-empty name")
+    if family.name in FAMILIES and not replace:
+        raise AnalysisError(
+            f"episode family {family.name!r} is already registered "
+            "(pass replace=True to override)"
+        )
+    FAMILIES[family.name] = family
+    episodes_mod.EPISODE_ROOT_KINDS.add(family.root_kind)
+    return family
+
+
+def get_family(name: str) -> EpisodeFamily:
+    """Look a family up by name.
+
+    Raises:
+        AnalysisError: for unknown names, listing what is registered.
+    """
+    try:
+        return FAMILIES[name]
+    except KeyError:
+        known = ", ".join(sorted(FAMILIES))
+        raise AnalysisError(
+            f"unknown episode family {name!r}; registered: {known}"
+        ) from None
+
+
+def family_of(metadata: Optional[object]) -> EpisodeFamily:
+    """The family a trace's metadata declares (default ``gui``).
+
+    ``metadata`` is any object with an ``extra`` mapping (in practice a
+    :class:`~repro.core.trace.TraceMetadata`); ``None`` means ``gui``.
+    """
+    if metadata is None:
+        return FAMILIES[DEFAULT_FAMILY_NAME]
+    extra = getattr(metadata, "extra", None) or {}
+    return get_family(extra.get(FAMILY_KEY, DEFAULT_FAMILY_NAME))
+
+
+def family_name_of(metadata: Optional[object]) -> str:
+    """The declared family name without a registry lookup (default gui)."""
+    if metadata is None:
+        return DEFAULT_FAMILY_NAME
+    extra = getattr(metadata, "extra", None) or {}
+    return extra.get(FAMILY_KEY, DEFAULT_FAMILY_NAME)
+
+
+GUI = register_family(
+    EpisodeFamily(
+        name="gui",
+        root_kind=IntervalKind.DISPATCH,
+        trigger_map={
+            IntervalKind.LISTENER: Trigger.INPUT,
+            IntervalKind.PAINT: Trigger.OUTPUT,
+            IntervalKind.ASYNC: Trigger.ASYNC,
+        },
+        reclassify_async_paint=True,
+        description="Swing GUI sessions: dispatch-rooted episodes on the "
+        "event dispatch thread (the paper's workload).",
+    )
+)
+
+IO_SERVICE = register_family(
+    EpisodeFamily(
+        name="io_service",
+        root_kind=IntervalKind.REQUEST,
+        trigger_map={
+            IntervalKind.LISTENER: Trigger.INPUT,
+            IntervalKind.PAINT: Trigger.OUTPUT,
+            IntervalKind.IOWAIT: Trigger.ASYNC,
+        },
+        reclassify_async_paint=False,
+        description="Request/response services: request-rooted episodes "
+        "sliced along iowait dependency intervals.",
+    )
+)
+
+ASYNC_PIPELINE = register_family(
+    EpisodeFamily(
+        name="async_pipeline",
+        root_kind=IntervalKind.STAGE,
+        trigger_map={
+            IntervalKind.ASYNC: Trigger.ASYNC,
+            IntervalKind.LISTENER: Trigger.INPUT,
+            IntervalKind.PAINT: Trigger.OUTPUT,
+        },
+        reclassify_async_paint=False,
+        description="Thread-pool pipelines: stage-rooted episodes handed "
+        "between pool workers.",
+    )
+)

@@ -25,10 +25,13 @@ NS_PER_S = 1_000_000_000
 
 
 class IntervalKind(enum.Enum):
-    """The six interval types of Table I.
+    """The six interval types of Table I, plus workload-family kinds.
 
     The enum value is the short name used in trace files and in pattern
-    keys, so it is part of the stable on-disk vocabulary.
+    keys, so it is part of the stable on-disk vocabulary. The numeric
+    column codes are the enumeration-order indices, so new kinds are
+    only ever **appended** — inserting one would silently re-key every
+    existing column file.
     """
 
     DISPATCH = "dispatch"
@@ -49,12 +52,21 @@ class IntervalKind(enum.Enum):
     GC = "gc"
     """A garbage collection (stop-the-world)."""
 
+    REQUEST = "request"
+    """One request/response episode of the ``io_service`` family."""
+
+    IOWAIT = "iowait"
+    """Time blocked on an IO dependency (socket, disk, downstream RPC)."""
+
+    STAGE = "stage"
+    """One stage-chain episode of the ``async_pipeline`` family."""
+
     @classmethod
     def from_name(cls, name: str) -> "IntervalKind":
         """Return the kind whose trace-file name is ``name``.
 
         Raises:
-            ValueError: if ``name`` is not one of the six kind names.
+            ValueError: if ``name`` is not a known kind name.
         """
         try:
             return cls(name.lower())

@@ -54,7 +54,9 @@ from repro.obs import runtime as obs_runtime
 
 #: Folded into every plan fingerprint; bump when the fused bundle's
 #: shape changes incompatibly, so stale bundles never match.
-PLAN_VERSION = "plan/v1"
+#: v2: workload families — bundles carry a ``family`` meta key and the
+#: episode vocabulary is family-resolved rather than hard-wired gui.
+PLAN_VERSION = "plan/v2"
 
 #: One intra-trace shard: ``(index, count)`` — the ``index``-th of
 #: ``count`` contiguous row-range partitions.

@@ -69,3 +69,37 @@ def span_sum(np: Optional[Any], column: Sequence[int], lo: int, hi: int) -> int:
     for index in range(lo, hi):
         total += column[index]
     return total
+
+
+def subtree_self_times(
+    np: Optional[Any],
+    start: Sequence[int],
+    end: Sequence[int],
+    parent: Sequence[int],
+    row: int,
+    n: int,
+) -> Sequence[int]:
+    """Self time of each row of the subtree rooted at ``row``.
+
+    The masked per-episode range reduction behind the cause kernels: for
+    the ``n`` contiguous rows of one episode subtree (pre-order), the
+    time each interval spent outside its direct children. ``parent``
+    holds thread-local parent row indices (as the builder stores them);
+    entries are returned in row order as exact Python ints.
+
+    The numpy leg stays int64 end to end (``np.subtract.at`` over the
+    raw durations) and converts back with ``.tolist()``, so results are
+    byte-identical to the pure-Python loop; small subtrees skip numpy —
+    the crossover mirrors :func:`span_sum`.
+    """
+    if np is not None and n > 32:
+        seg_start = as_ndarray(np, start)[row : row + n]
+        seg_end = as_ndarray(np, end)[row : row + n]
+        self_times = seg_end - seg_start
+        child_parents = as_ndarray(np, parent)[row + 1 : row + n] - row
+        np.subtract.at(self_times, child_parents, self_times[1:].copy())
+        return self_times.tolist()
+    self_times = [end[i] - start[i] for i in range(row, row + n)]
+    for k in range(1, n):
+        self_times[parent[row + k] - row] -= end[row + k] - start[row + k]
+    return self_times

@@ -26,7 +26,6 @@ from repro.core.store.columns import (
     REC_OPEN,
     REC_THREAD,
     REC_TICK,
-    _DISPATCH_CODE,
     _KIND_CODES,
     _REQUIRED_META,
     _RUNNABLE_CODE,
@@ -46,7 +45,11 @@ class ColumnarBuilder:
     invisible to everything that matches on messages.
     """
 
-    def __init__(self, interns: Optional[InternTable] = None) -> None:
+    def __init__(
+        self,
+        interns: Optional[InternTable] = None,
+        stack_interns: Optional[InternTable] = None,
+    ) -> None:
         self.meta: Dict[str, Any] = {}
         self.extra: Dict[str, Any] = {}
         self.short_count = 0
@@ -70,7 +73,9 @@ class ColumnarBuilder:
         self._ticks: List[Tuple[int, List[Tuple[int, int, int]]]] = []
         self._pending_tick: Optional[int] = None
         self._pending_entries: List[Tuple[int, int, int]] = []
-        self.stack_interns = InternTable()
+        self.stack_interns = (
+            stack_interns if stack_interns is not None else InternTable()
+        )
         self._stacks: List[StackTrace] = self.stack_interns.strings
         self._stacks_map: Dict[StackTrace, int] = self.stack_interns.ids
 
@@ -279,10 +284,13 @@ class ColumnarBuilder:
 
         gui_index = self._thread_map.get(metadata.gui_thread)
         if gui_index is not None:
+            from repro.core.family import family_of
+
+            root_code = _KIND_CODES[family_of(metadata).root_kind]
             columns = self._threads[gui_index]
             episode_index = 0
             for row in columns.root_rows:
-                if columns.kind[row] != _DISPATCH_CODE:
+                if columns.kind[row] != root_code:
                     continue
                 if columns.start[row] < metadata.start_ns or (
                     columns.end[row] > metadata.end_ns
@@ -311,14 +319,21 @@ class ColumnarBuilder:
         )
 
 
-def columnarize(trace: Trace) -> ColumnarTrace:
+def columnarize(
+    trace: Trace,
+    interns: Optional[InternTable] = None,
+    stack_interns: Optional[InternTable] = None,
+) -> ColumnarTrace:
     """Columnarize an existing object-model trace.
 
     Threads keep the ``thread_roots`` iteration order and samples
     their sorted order, so ``to_trace`` round-trips and
     ``canonical_lines`` matches ``trace_to_lines(trace)`` exactly.
+    ``interns``/``stack_interns`` let a study run share one string and
+    one stack table across all of its traces (ids are internal, so
+    sharing never changes what any store serializes to).
     """
-    builder = ColumnarBuilder()
+    builder = ColumnarBuilder(interns=interns, stack_interns=stack_interns)
     meta = trace.metadata
     feed = builder.feed
     feed((REC_META, "application", meta.application, False))

@@ -70,6 +70,9 @@ _NATIVE_CODE = _KIND_CODES[IntervalKind.NATIVE]
 _LISTENER_CODE = _KIND_CODES[IntervalKind.LISTENER]
 _PAINT_CODE = _KIND_CODES[IntervalKind.PAINT]
 _ASYNC_CODE = _KIND_CODES[IntervalKind.ASYNC]
+_REQUEST_CODE = _KIND_CODES[IntervalKind.REQUEST]
+_IOWAIT_CODE = _KIND_CODES[IntervalKind.IOWAIT]
+_STAGE_CODE = _KIND_CODES[IntervalKind.STAGE]
 _TRIGGER_CODES = (_LISTENER_CODE, _PAINT_CODE, _ASYNC_CODE)
 _RUNNABLE_CODE = _STATE_CODES[ThreadState.RUNNABLE]
 
@@ -280,6 +283,7 @@ class ColumnarTrace:
         if cached is not None:
             return cached
         gui = self.metadata.gui_thread
+        root_code = _KIND_CODES[_family.family_of(self.metadata).root_kind]
         merged: List[Tuple[int, int, int, int, int]] = []
         for thread_idx, columns in enumerate(self.threads):
             if not all_dispatch_threads and columns.name != gui:
@@ -289,7 +293,7 @@ class ColumnarTrace:
             start = columns.start
             end = columns.end
             for row in columns.root_rows:
-                if kind[row] != _DISPATCH_CODE:
+                if kind[row] != root_code:
                     continue
                 merged.append((thread_idx, row, index, start[row], end[row]))
                 index += 1
@@ -372,6 +376,11 @@ class ColumnarTrace:
     ) -> Any:
         return _kernels.trigger_summary(self, episode_rows)
 
+    def cause_tally(
+        self, episode_rows: List[Tuple[int, int, int, int, int]]
+    ) -> Any:
+        return _kernels.cause_tally(self, episode_rows)
+
     def threadstate_summary(
         self, episode_rows: List[Tuple[int, int, int, int, int]]
     ) -> Any:
@@ -407,10 +416,17 @@ class ColumnarTrace:
         return facade.to_trace(self)
 
     @classmethod
-    def from_trace(cls, trace: Trace) -> "ColumnarTrace":
+    def from_trace(
+        cls,
+        trace: Trace,
+        interns: Optional[InternTable] = None,
+        stack_interns: Optional[InternTable] = None,
+    ) -> "ColumnarTrace":
         from repro.core.store import build
 
-        return build.columnarize(trace)
+        return build.columnarize(
+            trace, interns=interns, stack_interns=stack_interns
+        )
 
     def sample_buffers(self) -> Dict[str, ColumnBuffer]:
         """The trace-level sample columns wrapped as typed buffers."""
@@ -456,5 +472,6 @@ def _restore_store(state: dict) -> ColumnarTrace:
 # the code tables above) can resolve this module from sys.modules; the
 # delegation methods then pay one attribute lookup, not an import, per
 # call.
+from repro.core import family as _family  # noqa: E402
 from repro.core.store import accel as _accel  # noqa: E402
 from repro.core.store import kernels as _kernels  # noqa: E402

@@ -240,15 +240,25 @@ def _restore_facade(
     return trace
 
 
-def as_columnar(trace: Trace) -> Trace:
+def as_columnar(
+    trace: Trace,
+    interns: Optional[Any] = None,
+    stack_interns: Optional[Any] = None,
+) -> Trace:
     """``trace`` as a columnar-backed facade (no-op when it already is).
 
     Used by the study runner so simulated traces ship to workers as
     compact columns, with the memoized content digest carried over.
+    ``interns``/``stack_interns`` (:class:`InternTable`) let one study
+    run share its string and stack tables across every trace it
+    columnarizes — ids are store-internal, so sharing never changes
+    what any store serializes (or pickles) to.
     """
     if getattr(trace, "columnar", None) is not None:
         return trace
-    store = ColumnarTrace.from_trace(trace)
+    store = ColumnarTrace.from_trace(
+        trace, interns=interns, stack_interns=stack_interns
+    )
     facade = FacadeTrace(store)
     digest = getattr(trace, "_content_digest", None)
     if digest is not None:

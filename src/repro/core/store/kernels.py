@@ -21,11 +21,10 @@ from repro.core.intervals import NS_PER_MS
 from repro.core.store import accel
 from repro.core.store.columns import (
     _GC_CODE,
+    _KIND_CODES,
     _KIND_VALUES,
-    _LISTENER_CODE,
     _NATIVE_CODE,
     _PAINT_CODE,
-    _ASYNC_CODE,
     _STATES,
     _ThreadColumns,
 )
@@ -125,9 +124,20 @@ def pattern_counts(
 
 
 def trigger_summary(store: Any, episode_rows: Sequence[EpisodeRow]) -> Any:
-    """Columnar twin of :func:`repro.core.triggers.summarize`."""
+    """Columnar twin of :func:`repro.core.triggers.summarize`.
+
+    The store's workload family supplies the kind-to-trigger vocabulary
+    and whether the Swing repaint-manager reclassification applies; the
+    default gui family reproduces the pre-family behavior exactly.
+    """
+    from repro.core.family import family_of
     from repro.core.triggers import Trigger, TriggerSummary
 
+    family = family_of(store.metadata)
+    trigger_codes = {
+        _KIND_CODES[kind]: trig for kind, trig in family.trigger_map.items()
+    }
+    reclassify = family.reclassify_async_paint
     counts: Dict[Any, int] = {}
     for thread_idx, row, _index, _start, _end in episode_rows:
         columns = store.threads[thread_idx]
@@ -137,23 +147,52 @@ def trigger_summary(store: Any, episode_rows: Sequence[EpisodeRow]) -> Any:
         stop = row + size[row]
         i = row + 1
         while i < stop:
-            code = kind[i]
-            if code == _LISTENER_CODE:
-                trigger = Trigger.INPUT
-                break
-            if code == _PAINT_CODE:
-                trigger = Trigger.OUTPUT
-                break
-            if code == _ASYNC_CODE:
-                trigger = Trigger.ASYNC
-                for j in range(i + 1, i + size[i]):
-                    if kind[j] == _PAINT_CODE:
-                        trigger = Trigger.OUTPUT
-                        break
+            mapped = trigger_codes.get(kind[i])
+            if mapped is not None:
+                trigger = mapped
+                if mapped is Trigger.ASYNC and reclassify:
+                    for j in range(i + 1, i + size[i]):
+                        if kind[j] == _PAINT_CODE:
+                            trigger = Trigger.OUTPUT
+                            break
                 break
             i += 1
         counts[trigger] = counts.get(trigger, 0) + 1
     return TriggerSummary(counts)
+
+
+def cause_tally(
+    store: Any, episode_rows: Sequence[EpisodeRow]
+) -> Dict[str, Tuple[int, int]]:
+    """Columnar twin of :func:`repro.core.causegraph.tally_causes`.
+
+    Rows of one episode subtree are stored in pre-order, so iterating
+    them in row order reproduces the object path's first-appearance
+    label order exactly; self times come from the masked per-episode
+    range reduction (:func:`repro.core.store.accel.subtree_self_times`),
+    which is integer-exact in both numpy modes.
+    """
+    np = accel.get_numpy()
+    strings = store.strings
+    totals: Dict[str, Tuple[int, int]] = {}
+    for thread_idx, row, _index, _start, _end in episode_rows:
+        columns = store.threads[thread_idx]
+        n = columns.size[row]
+        self_ns = accel.subtree_self_times(
+            np, columns.start, columns.end, columns.parent, row, n
+        )
+        kind = columns.kind
+        symbol = columns.symbol
+        local: Dict[str, int] = {}
+        for k in range(n):
+            label = (
+                _KIND_VALUES[kind[row + k]] + ":" + strings[symbol[row + k]]
+            )
+            local[label] = local.get(label, 0) + self_ns[k]
+        for label, ns in local.items():
+            total, count = totals.get(label, (0, 0))
+            totals[label] = (total + ns, count + 1)
+    return totals
 
 
 def threadstate_summary(store: Any, episode_rows: Sequence[EpisodeRow]) -> Any:

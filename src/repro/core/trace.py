@@ -109,15 +109,19 @@ class Trace:
             samples, key=lambda s: s.timestamp_ns
         )
         self.short_episode_count = short_episode_count
-        # Episodes exist wherever dispatch intervals do. The paper's
+        # Episodes exist wherever the family's boundary intervals do
+        # (dispatch roots for the default gui family). The paper's
         # study uses a single GUI thread, but the tool supports traces
         # with multiple concurrent event dispatch threads (Section V):
         # an episode is the handling of one GUI event by *its* thread.
+        from repro.core.family import family_of
+
+        root_kind = family_of(metadata).root_kind
         self._episodes_by_thread: Dict[str, List[Episode]] = {}
         for thread_name, roots in self.thread_roots.items():
-            if any(r.kind is IntervalKind.DISPATCH for r in roots):
+            if any(r.kind is root_kind for r in roots):
                 self._episodes_by_thread[thread_name] = episodes_from_roots(
-                    roots, thread_name, self.samples
+                    roots, thread_name, self.samples, root_kind=root_kind
                 )
         self.episodes: List[Episode] = self._episodes_by_thread.get(
             metadata.gui_thread, []

@@ -18,6 +18,12 @@ sometimes produces an "async" interval that directly wraps a "paint"
 interval even though no background thread is involved. Episodes whose
 first trigger interval is such an async-wrapping-paint are reclassified
 as output episodes.
+
+Those rules are the **gui** family's vocabulary. Other workload
+families (:mod:`repro.core.family`) supply their own kind-to-trigger
+mapping and opt out of the repaint-manager reclassification; every
+function below accepts an optional ``family`` and defaults to gui, so
+the pre-family call sites classify byte-identically.
 """
 
 from __future__ import annotations
@@ -40,9 +46,16 @@ class Trigger(enum.Enum):
     UNSPECIFIED = "unspecified"
 
 
-def _first_trigger_interval(episode: Episode) -> Interval:
+def _default_family():
+    """The gui family (imported lazily — family.py imports this module)."""
+    from repro.core.family import GUI
+
+    return GUI
+
+
+def _first_trigger_interval(episode: Episode, trigger_kinds) -> Interval:
     for node in episode.root.preorder():
-        if node.kind in _TRIGGER_KINDS:
+        if node.kind in trigger_kinds:
             return node
     return None
 
@@ -58,19 +71,28 @@ def _async_wraps_paint(async_interval: Interval) -> bool:
     )
 
 
-def classify_episode(episode: Episode) -> Trigger:
-    """Determine the trigger of one episode (Section IV-C rules)."""
-    first = _first_trigger_interval(episode)
+def classify_episode(episode: Episode, family=None) -> Trigger:
+    """Determine the trigger of one episode (Section IV-C rules).
+
+    ``family`` is an :class:`~repro.core.family.EpisodeFamily` supplying
+    the kind-to-trigger mapping; ``None`` means the gui family, whose
+    rules are exactly the pre-family behavior.
+    """
+    if family is None:
+        family = _default_family()
+    trigger_map = family.trigger_map
+    first = _first_trigger_interval(episode, trigger_map)
     if first is None:
         return Trigger.UNSPECIFIED
-    if first.kind is IntervalKind.LISTENER:
-        return Trigger.INPUT
-    if first.kind is IntervalKind.PAINT:
+    trigger = trigger_map[first.kind]
+    # ASYNC: apply the repaint-manager reclassification (gui only).
+    if (
+        trigger is Trigger.ASYNC
+        and family.reclassify_async_paint
+        and _async_wraps_paint(first)
+    ):
         return Trigger.OUTPUT
-    # ASYNC: apply the repaint-manager reclassification.
-    if _async_wraps_paint(first):
-        return Trigger.OUTPUT
-    return Trigger.ASYNC
+    return trigger
 
 
 class TriggerSummary:
@@ -104,17 +126,23 @@ class TriggerSummary:
         return f"TriggerSummary({parts})"
 
 
-def summarize(episodes: Iterable[Episode]) -> TriggerSummary:
+def summarize(episodes: Iterable[Episode], family=None) -> TriggerSummary:
     """Classify every episode and tally the trigger classes."""
+    if family is None:
+        family = _default_family()
     counts: Dict[Trigger, int] = {}
     for episode in episodes:
-        trigger = classify_episode(episode)
+        trigger = classify_episode(episode, family=family)
         counts[trigger] = counts.get(trigger, 0) + 1
     return TriggerSummary(counts)
 
 
 def episodes_by_trigger(
-    episodes: Sequence[Episode], trigger: Trigger
+    episodes: Sequence[Episode], trigger: Trigger, family=None
 ) -> List[Episode]:
     """The episodes classified as ``trigger``."""
-    return [ep for ep in episodes if classify_episode(ep) is trigger]
+    if family is None:
+        family = _default_family()
+    return [
+        ep for ep in episodes if classify_episode(ep, family=family) is trigger
+    ]

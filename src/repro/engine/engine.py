@@ -443,6 +443,7 @@ class AnalysisEngine:
                         "trace_digest": digest,
                         "config_fingerprint": fingerprint,
                         "plan_fingerprint": plan_fp,
+                        "family": trace.metadata.extra.get("family", "gui"),
                         "analyses": sorted(analysis_names),
                         "threshold_ms": getattr(
                             config, "perceptible_threshold_ms", None

@@ -93,6 +93,9 @@ class TraceClient:
             ``(sample_seed, session)``, not a random draw, so repeated
             runs sample identically.
         sample_seed: seed for the sampling decision and the trace id.
+        family: workload family announced in HELLO (``"gui"``,
+            ``"io_service"``, ``"async_pipeline"``); gui omits the key,
+            keeping the frame byte-identical to pre-family clients.
     """
 
     def __init__(
@@ -109,6 +112,7 @@ class TraceClient:
         propagate: bool = True,
         sample_rate: float = 1.0,
         sample_seed: int = 0,
+        family: str = "gui",
     ) -> None:
         if overflow not in ("block", "drop"):
             raise IngestClientError(
@@ -117,6 +121,7 @@ class TraceClient:
         self.address = address
         self.session = session
         self.application = application
+        self.family = family
         self.batch_records = max(1, int(batch_records))
         self.max_pending_batches = max(1, int(max_pending_batches))
         self.overflow = overflow
@@ -299,7 +304,8 @@ class TraceClient:
         protocol.write_frame(
             self._wfile, protocol.T_HELLO, 0,
             protocol.encode_hello(
-                self.session, self.application, context=hello_context
+                self.session, self.application, context=hello_context,
+                family=self.family,
             ),
         )
         reply = protocol.read_frame(self._rfile)

@@ -195,16 +195,22 @@ def encode_hello(
     session: str,
     application: str = "",
     context: Optional[Mapping[str, Any]] = None,
+    family: str = "gui",
 ) -> bytes:
     """HELLO payload for ``session`` (sorted keys — byte-stable).
 
     ``context`` (a :meth:`TraceContext.to_dict` mapping) rides in the
-    JSON attribute space under the ``"trace"`` key; receivers that
-    predate it ignore unknown keys, so the frame stays version-1.
+    JSON attribute space under the ``"trace"`` key, and a non-gui
+    workload ``family`` under ``"family"``; receivers that predate
+    either ignore unknown keys, so the frame stays version-1. Gui
+    sessions omit the key and encode byte-identically to before
+    families existed.
     """
     raw: Dict[str, Any] = {"application": application, "session": session}
     if context is not None:
         raw["trace"] = dict(context)
+    if family != "gui":
+        raw["family"] = family
     return json.dumps(raw, sort_keys=True).encode("utf-8")
 
 
@@ -232,6 +238,18 @@ def decode_hello(payload: bytes) -> Tuple[str, str]:
     """``(session, application)`` from a HELLO payload."""
     session, application, _ = decode_hello_context(payload)
     return session, application
+
+
+def decode_hello_family(payload: bytes) -> str:
+    """The workload family announced in a HELLO (``"gui"`` if absent)."""
+    try:
+        raw = json.loads(payload.decode("utf-8"))
+    except (ValueError, UnicodeDecodeError) as error:
+        raise ProtocolError(f"malformed HELLO payload: {error}") from None
+    family = raw.get("family", "gui")
+    if not isinstance(family, str) or not family:
+        raise ProtocolError("HELLO 'family' must be a non-empty string")
+    return family
 
 
 #: High bit of the BATCH count word: a trace-context block follows.

@@ -72,9 +72,11 @@ class SessionState:
         spool: SessionSpool,
         queue_limit: int,
         analyzer: Optional[IncrementalSessionAnalyzer] = None,
+        family: str = "gui",
     ) -> None:
         self.session = session
         self.application = application
+        self.family = family
         self.spool = spool
         self.analyzer = analyzer
         self.analyzer_error: Optional[str] = None
@@ -206,10 +208,11 @@ class _IngestHandler(socketserver.StreamRequestHandler):
             session_id, application, hello_ctx = (
                 protocol.decode_hello_context(frame.payload)
             )
+            family = protocol.decode_hello_family(frame.payload)
         except protocol.ProtocolError as error:
             self._error(frame.seq, str(error))
             return
-        state = server.session(session_id, application)
+        state = server.session(session_id, application, family=family)
         hello_context = TraceContext.from_dict(hello_ctx)
         if hello_context is not None and hello_context.sampled:
             state.trace_id = hello_context.trace_id
@@ -589,7 +592,9 @@ class IngestServer:
     # Sessions
     # ------------------------------------------------------------------
 
-    def session(self, session_id: str, application: str) -> SessionState:
+    def session(
+        self, session_id: str, application: str, family: str = "gui"
+    ) -> SessionState:
         """The state for ``session_id``, created on first contact.
 
         A reconnecting client reattaches to its existing state, so seq
@@ -609,6 +614,7 @@ class IngestServer:
                     SessionSpool(self.spool_dir, session_id, application),
                     self.queue_limit,
                     analyzer=analyzer,
+                    family=family,
                 )
                 self._sessions[session_id] = state
                 obs_runtime.count("ingest.server.sessions")
@@ -654,6 +660,7 @@ class IngestServer:
                 {
                     "session": state.session,
                     "application": state.application,
+                    "family": state.family,
                     "records_accepted": state.records_accepted,
                     "records_flushed": state.records_flushed,
                     "pending_batches": state.pending_batches(),

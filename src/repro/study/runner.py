@@ -23,8 +23,10 @@ from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.core.analyzer import AnalysisConfig
+from repro.core.causegraph import CauseSummary
 from repro.core.errors import AnalysisError
 from repro.core.store import as_columnar
+from repro.core.store.buffers import InternTable
 from repro.core.trace import Trace
 from repro.obs import Observer
 from repro.obs import runtime as obs_runtime
@@ -51,6 +53,7 @@ _APP_ANALYSES = (
     "concurrency",
     "threadstates",
     "patterns",
+    "causes",
 )
 
 
@@ -88,6 +91,9 @@ class AppResult:
     threadstates_perceptible: ThreadStateSummary
     pattern_cdf: List[float]
     """Figure 3 curve: cumulative episode % by pattern % (101 points)."""
+
+    causes: Optional[CauseSummary] = None
+    """Self-time attribution by cause label over all episodes."""
 
     quarantined: List[QuarantinedTrace] = field(default_factory=list)
     """Sessions excluded from every summary above (damaged traces)."""
@@ -150,8 +156,16 @@ def analyze_app(
             )
     # Ship columns, not object trees: columnar-backed traces pickle
     # smaller to map workers and analyses read the arrays directly.
-    # Content digests are unchanged, so cache keys stay stable.
-    traces = [as_columnar(trace) for trace in traces]
+    # Content digests are unchanged, so cache keys stay stable. One
+    # string table and one stack table are shared across the app's
+    # sessions (they repeat the same symbols), cutting columnarization
+    # memory; ids are store-internal, so sharing changes no output.
+    interns = InternTable()
+    stack_interns = InternTable()
+    traces = [
+        as_columnar(trace, interns=interns, stack_interns=stack_interns)
+        for trace in traces
+    ]
     analysis_config = config.analysis_config()
     if engine is None:
         engine = AnalysisEngine(workers=1, use_cache=False)
@@ -190,6 +204,7 @@ def analyze_app(
             "threadstates", perceptible_only=True
         ),
         pattern_cdf=list(reduce("patterns").cdf),
+        causes=reduce("causes"),
         quarantined=quarantined,
     )
 

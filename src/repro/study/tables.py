@@ -20,9 +20,15 @@ _TABLE1_DESCRIPTIONS = {
 
 
 def format_table1() -> str:
-    """Table I: interval types."""
+    """Table I: interval types.
+
+    The paper's table lists the six gui-family kinds; the workload
+    family extensions (request/iowait/stage) are not part of Table I.
+    """
     lines = [f"{'Name':<10s} Description", "-" * 66]
     for kind in IntervalKind:
+        if kind not in _TABLE1_DESCRIPTIONS:
+            continue
         name = kind.value.capitalize() if kind is not IntervalKind.GC else "GC"
         lines.append(f"{name:<10s} {_TABLE1_DESCRIPTIONS[kind]}")
     return "\n".join(lines)

@@ -13,7 +13,9 @@ from typing import Dict, Sequence
 from repro.core.intervals import IntervalKind
 from repro.core.samples import ThreadState
 
-#: Fill colors per interval type (the episode-sketch legend).
+#: Fill colors per interval type (the episode-sketch legend). The
+#: workload-family kinds reuse shades of their gui analogues: request
+#: and stage root episodes like dispatch, iowait blocks like async.
 INTERVAL_COLORS: Dict[IntervalKind, str] = {
     IntervalKind.DISPATCH: "#9aa7b5",
     IntervalKind.LISTENER: "#4e79a7",
@@ -21,6 +23,9 @@ INTERVAL_COLORS: Dict[IntervalKind, str] = {
     IntervalKind.NATIVE: "#e15759",
     IntervalKind.ASYNC: "#b07aa1",
     IntervalKind.GC: "#edc948",
+    IntervalKind.REQUEST: "#7d8da0",
+    IntervalKind.IOWAIT: "#8c6d9e",
+    IntervalKind.STAGE: "#6f8f9e",
 }
 
 #: Sample-dot colors per thread state (runnable should read as "fine").

@@ -14,7 +14,7 @@ from dataclasses import dataclass, field
 from typing import List, Sequence, Union
 
 from repro.core.errors import SimulationError
-from repro.core.intervals import NS_PER_MS, NS_PER_S
+from repro.core.intervals import IntervalKind, NS_PER_MS, NS_PER_S
 from repro.core.samples import StackFrame, StackTrace, ThreadState
 from repro.core.trace import Trace, TraceMetadata
 from repro.vm.behavior import Behavior, ExecutionContext
@@ -59,6 +59,12 @@ class SessionConfig:
     sample_period_ns: int = 10 * NS_PER_MS
     filter_ms: float = 3.0
     heap: HeapConfig = field(default_factory=HeapConfig)
+    #: Workload family of the sessions this config produces. The gui
+    #: default keeps every existing call site byte-identical; the
+    #: io_service/async_pipeline simulators override all three fields.
+    family: str = "gui"
+    root_kind: IntervalKind = IntervalKind.DISPATCH
+    root_symbol: str = "EventQueue.dispatchEvent"
 
     def validate(self) -> None:
         if self.duration_s <= 0:
@@ -105,7 +111,10 @@ class SimulatedJVM:
         self._exec_rng = root.fork("exec")
         self.heap = Heap(config.heap, root.fork("heap"))
         self.tracer = TraceCollector(
-            config.gui_thread, config.filter_ms, root.fork("tracer")
+            config.gui_thread,
+            config.filter_ms,
+            root.fork("tracer"),
+            root_kind=config.root_kind,
         )
         self._sampler = Sampler(config.sample_period_ns, root.fork("sampler"))
         self.edt_timeline = ThreadTimeline(
@@ -163,7 +172,9 @@ class SimulatedJVM:
                     if request is not None:
                         ctx.run_gc(request)
             else:
-                self.tracer.begin_episode(self.clock.now_ns)
+                self.tracer.begin_episode(
+                    self.clock.now_ns, self.config.root_symbol
+                )
                 event.behavior.execute(ctx)
                 self.tracer.end_episode(self.clock.now_ns)
         self.clock.advance_to(session_end_ns)
@@ -174,6 +185,11 @@ class SimulatedJVM:
             timelines,
             self.tracer.merged_blackouts(),
         )
+        # Gui traces keep their historical one-key extra dict so their
+        # serialized form is byte-identical to pre-family versions.
+        extra = {"seed": str(self.config.seed)}
+        if self.config.family != "gui":
+            extra["family"] = self.config.family
         metadata = TraceMetadata(
             application=self.config.application,
             session_id=self.config.session_id,
@@ -182,7 +198,7 @@ class SimulatedJVM:
             gui_thread=self.config.gui_thread,
             sample_period_ns=self.config.sample_period_ns,
             filter_ms=self.config.filter_ms,
-            extra={"seed": str(self.config.seed)},
+            extra=extra,
         )
         return Trace(
             metadata,

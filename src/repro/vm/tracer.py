@@ -33,12 +33,14 @@ class TraceCollector:
         rng,
         safepoint_before_ms: float = 25.0,
         safepoint_after_ms: float = 5.0,
+        root_kind: IntervalKind = IntervalKind.DISPATCH,
     ) -> None:
         self.gui_thread = gui_thread
         self.filter_ns = round(filter_ms * NS_PER_MS)
         self._rng = rng
         self.safepoint_before_ms = safepoint_before_ms
         self.safepoint_after_ms = safepoint_after_ms
+        self.root_kind = root_kind
         self.thread_roots: Dict[str, List[Interval]] = {gui_thread: []}
         self.short_episode_count = 0
         self.blackouts: List[Tuple[int, int]] = []
@@ -57,11 +59,15 @@ class TraceCollector:
     # ------------------------------------------------------------------
 
     def begin_episode(self, start_ns: int, symbol: str = "EventQueue.dispatchEvent") -> None:
-        """Open the dispatch interval of a new episode."""
+        """Open the root interval of a new episode.
+
+        The root's kind is the collector's ``root_kind`` — dispatch for
+        the gui family, request/stage for the workload families.
+        """
         if self._episode_builder is not None:
             raise SimulationError("episode already in progress")
         self._episode_builder = IntervalTreeBuilder()
-        self._episode_builder.open(IntervalKind.DISPATCH, symbol, start_ns)
+        self._episode_builder.open(self.root_kind, symbol, start_ns)
 
     def open_interval(self, kind: IntervalKind, symbol: str, t_ns: int) -> None:
         """Open a nested interval inside the current episode."""
@@ -154,7 +160,7 @@ class TraceCollector:
         return [
             (root.start_ns, root.end_ns)
             for root in self.thread_roots[self.gui_thread]
-            if root.kind is IntervalKind.DISPATCH
+            if root.kind is self.root_kind
         ]
 
     def merged_blackouts(self) -> List[Tuple[int, int]]:

@@ -19,7 +19,7 @@ import sqlite3
 from repro.core.errors import LagAlyzerError
 
 #: Version this code writes; files at lower versions migrate up on open.
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
 
 # Version 1: the core study tables — runs, per-session summaries, and
 # per-session pattern occurrence rows.
@@ -86,8 +86,29 @@ CREATE INDEX IF NOT EXISTS idx_patterns_app_key
     ON patterns (app, pattern_key);
 """
 
+# Version 3: workload families and cause vectors. Sessions carry the
+# family that produced them (pre-v3 rows are gui by definition — the
+# default backfills them), and the causes table stores each session's
+# self-time attribution by cause label, the substrate of `study diff`.
+_V3 = """
+ALTER TABLE sessions ADD COLUMN family TEXT NOT NULL DEFAULT 'gui';
+CREATE TABLE IF NOT EXISTS causes (
+    run_id              TEXT NOT NULL,
+    app                 TEXT NOT NULL,
+    session_id          TEXT NOT NULL,
+    label               TEXT NOT NULL,
+    total_ns            INTEGER NOT NULL DEFAULT 0,
+    episodes            INTEGER NOT NULL DEFAULT 0,
+    perceptible_ns      INTEGER NOT NULL DEFAULT 0,
+    perceptible_episodes INTEGER NOT NULL DEFAULT 0,
+    PRIMARY KEY (run_id, app, session_id, label)
+);
+CREATE INDEX IF NOT EXISTS idx_causes_run_label
+    ON causes (run_id, label);
+"""
+
 #: ``MIGRATIONS[n]`` migrates a version-``n`` database to ``n + 1``.
-MIGRATIONS = (_V1, _V2)
+MIGRATIONS = (_V1, _V2, _V3)
 
 
 class StudyWarehouseError(LagAlyzerError):

@@ -53,9 +53,9 @@ from repro.warehouse.types import (
 )
 
 #: The fused plan a direct trace ingest runs — the same operators whose
-#: partials :meth:`LagAlyzer.summaries` reduces for Table III rows and
-#: pattern occurrence counts.
-INGEST_ANALYSES: Tuple[str, ...] = ("statistics", "occurrence")
+#: partials :meth:`LagAlyzer.summaries` reduces for Table III rows,
+#: pattern occurrence counts, and cause vectors.
+INGEST_ANALYSES: Tuple[str, ...] = ("statistics", "occurrence", "causes")
 
 #: Metrics the series / regression queries understand, mapped to the
 #: SQL aggregate over ``sessions`` rows that computes them. Every one is
@@ -86,6 +86,27 @@ _NUMERIC_GUARD = (
 
 #: ``sessions`` columns filled from :class:`SessionStats` fields.
 _STAT_COLUMNS: Tuple[str, ...] = SessionStats._NUMERIC_FIELDS
+
+
+def _cause_rows(partial: Any) -> Optional[Dict[str, Tuple[int, int, int, int]]]:
+    """Flatten a ``causes`` partial into per-label warehouse rows.
+
+    The partial is the analysis's dual tally (``all`` + ``perceptible``
+    populations, each ``label -> (ns, episodes)``); the warehouse row is
+    the four-column flattening. ``None`` (an old bundle without the
+    causes analysis) stays ``None``.
+    """
+    if partial is None:
+        return None
+    all_tally = getattr(partial, "all", None)
+    perceptible = getattr(partial, "perceptible", None) or {}
+    if not isinstance(all_tally, dict):
+        return None
+    rows: Dict[str, Tuple[int, int, int, int]] = {}
+    for label, (total_ns, episodes) in all_tally.items():
+        p_ns, p_eps = perceptible.get(label, (0, 0))
+        rows[label] = (int(total_ns), int(episodes), int(p_ns), int(p_eps))
+    return rows
 
 
 def _metric_sql(metric: str) -> str:
@@ -189,13 +210,21 @@ class StudyWarehouse:
         config_fingerprint: str = "",
         records: int = 0,
         ts: Optional[float] = None,
+        family: str = "gui",
+        causes: Optional[Dict[str, Tuple[int, int, int, int]]] = None,
     ) -> bool:
-        """Store one session's summary + pattern rows (one transaction).
+        """Store one session's summary + pattern + cause rows.
+
+        ``family`` is the workload family the session's trace declared;
+        ``causes`` maps cause labels to ``(total_ns, episodes,
+        perceptible_ns, perceptible_episodes)`` — the session's
+        self-time attribution, the substrate of :meth:`diff`.
 
         Dedup contract: re-ingesting a ``(run, app, session)`` whose
         stored ``trace_digest`` matches is a no-op returning ``False``;
         a *different* digest (the session was re-traced) replaces the
-        row and its pattern rows. Returns ``True`` when rows changed.
+        row and its pattern/cause rows. Returns ``True`` when rows
+        changed.
 
         Raises:
             OSError, sqlite3.Error: the write failed — callers that sit
@@ -227,24 +256,31 @@ class StudyWarehouse:
                     (run_id, app, session_id),
                 )
                 connection.execute(
+                    "DELETE FROM causes WHERE run_id = ? AND app = ?"
+                    " AND session_id = ?",
+                    (run_id, app, session_id),
+                )
+                connection.execute(
                     "INSERT INTO sessions (run_id, app, session_id,"
                     " trace_digest, config_fingerprint, ingested_ts,"
-                    " records, excluded_episodes, "
+                    " records, excluded_episodes, family, "
                     + ", ".join(_STAT_COLUMNS)
-                    + ") VALUES (?, ?, ?, ?, ?, ?, ?, ?, "
+                    + ") VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, "
                     + ", ".join("?" for _ in _STAT_COLUMNS)
                     + ") ON CONFLICT(run_id, app, session_id) DO UPDATE SET"
                     " trace_digest = excluded.trace_digest,"
                     " config_fingerprint = excluded.config_fingerprint,"
                     " ingested_ts = excluded.ingested_ts,"
                     " records = excluded.records,"
-                    " excluded_episodes = excluded.excluded_episodes, "
+                    " excluded_episodes = excluded.excluded_episodes,"
+                    " family = excluded.family, "
                     + ", ".join(
                         f"{name} = excluded.{name}" for name in _STAT_COLUMNS
                     ),
                     [
                         run_id, app, session_id, trace_digest,
                         config_fingerprint, now, int(records), int(excluded),
+                        str(family),
                     ]
                     + stat_values,
                 )
@@ -260,6 +296,21 @@ class StudyWarehouse:
                         for key, pair in sorted(counts.items())
                     ],
                 )
+                if causes:
+                    connection.executemany(
+                        "INSERT INTO causes (run_id, app, session_id,"
+                        " label, total_ns, episodes, perceptible_ns,"
+                        " perceptible_episodes)"
+                        " VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
+                        [
+                            (
+                                run_id, app, session_id, str(label),
+                                int(row[0]), int(row[1]),
+                                int(row[2]), int(row[3]),
+                            )
+                            for label, row in sorted(causes.items())
+                        ],
+                    )
         finally:
             connection.close()
         obs_runtime.count("warehouse.sessions_ingested")
@@ -284,6 +335,7 @@ class StudyWarehouse:
         ingest daemons use their wire session id, which is unique per
         connection where trace metadata may not be.
         """
+        from repro.core.family import family_name_of
         from repro.core.plan import build_plan
         from repro.engine.cache import config_fingerprint
         from repro.lila.digest import trace_digest
@@ -305,6 +357,8 @@ class StudyWarehouse:
             config_fingerprint=config_fingerprint(config),
             records=records,
             ts=ts,
+            family=family_name_of(trace.metadata),
+            causes=_cause_rows(partials.get("causes")),
         )
 
     def ingest_spool(
@@ -406,6 +460,8 @@ class StudyWarehouse:
                 trace_digest=str(meta.get("trace_digest", "")),
                 config_fingerprint=str(meta.get("config_fingerprint", "")),
                 ts=ts,
+                family=str(meta.get("family", "gui")),
+                causes=_cause_rows(record.partials.get("causes")),
             )
             if changed:
                 ingested += 1
@@ -427,6 +483,7 @@ class StudyWarehouse:
         apps: Optional[Sequence[str]] = None,
         run_ids: Optional[Sequence[str]] = None,
         since_ts: Optional[float] = None,
+        families: Optional[Sequence[str]] = None,
     ) -> Tuple[str, List[Any]]:
         """A parameterized WHERE tail from the common query filters."""
         clauses: List[str] = [_NUMERIC_GUARD]
@@ -444,6 +501,11 @@ class StudyWarehouse:
         if since_ts is not None:
             clauses.append("ingested_ts >= ?")
             params.append(float(since_ts))
+        if families:
+            clauses.append(
+                "family IN (" + ", ".join("?" for _ in families) + ")"
+            )
+            params.extend(families)
         return " AND ".join(clauses), params
 
     def runs(self) -> List[RunRecord]:
@@ -478,11 +540,12 @@ class StudyWarehouse:
         apps: Optional[Sequence[str]] = None,
         run_ids: Optional[Sequence[str]] = None,
         since_ts: Optional[float] = None,
+        families: Optional[Sequence[str]] = None,
     ) -> List[AppAggregate]:
         """Cross-session totals per application, app-name order."""
         if not self.path.exists():
             return []
-        where, params = self._filters(apps, run_ids, since_ts)
+        where, params = self._filters(apps, run_ids, since_ts, families)
         connection = self._connect()
         try:
             rows = connection.execute(
@@ -578,6 +641,7 @@ class StudyWarehouse:
         apps: Optional[Sequence[str]] = None,
         run_ids: Optional[Sequence[str]] = None,
         since_ts: Optional[float] = None,
+        families: Optional[Sequence[str]] = None,
     ) -> List[SeriesPoint]:
         """A per-app time series of ``metric`` over ingest time.
 
@@ -594,7 +658,7 @@ class StudyWarehouse:
         value_sql = _metric_sql(metric)
         if not self.path.exists():
             return []
-        where, params = self._filters(apps, run_ids, since_ts)
+        where, params = self._filters(apps, run_ids, since_ts, families)
         connection = self._connect()
         try:
             rows = connection.execute(
@@ -677,6 +741,72 @@ class StudyWarehouse:
             entries=entries,
         )
 
+    def cause_totals(
+        self,
+        run_id: str,
+        apps: Optional[Sequence[str]] = None,
+        perceptible_only: bool = False,
+    ) -> Dict[str, Tuple[int, int]]:
+        """Aggregated cause tally of one run: ``label -> (ns, episodes)``.
+
+        Sums the run's per-session cause rows; ``perceptible_only``
+        reads the perceptible columns instead. Labels come back in
+        label order (deterministic regardless of ingest order).
+        """
+        if not self.path.exists():
+            return {}
+        if perceptible_only:
+            value_cols = "SUM(perceptible_ns), SUM(perceptible_episodes)"
+        else:
+            value_cols = "SUM(total_ns), SUM(episodes)"
+        clauses = [
+            "run_id = ?",
+            "typeof(total_ns) IN ('integer', 'real')",
+            "typeof(episodes) IN ('integer', 'real')",
+        ]
+        params: List[Any] = [run_id]
+        if apps:
+            clauses.append("app IN (" + ", ".join("?" for _ in apps) + ")")
+            params.extend(apps)
+        where = " AND ".join(clauses)
+        connection = self._connect()
+        try:
+            rows = connection.execute(
+                f"SELECT label, {value_cols} FROM causes"
+                f" WHERE {where} GROUP BY label ORDER BY label",
+                params,
+            ).fetchall()
+        finally:
+            connection.close()
+        return {
+            row[0]: (int(row[1] or 0), int(row[2] or 0)) for row in rows
+        }
+
+    def diff(
+        self,
+        run_a: str,
+        run_b: str,
+        apps: Optional[Sequence[str]] = None,
+        perceptible_only: bool = False,
+    ) -> Any:
+        """Attribute the latency delta between two runs to ranked causes.
+
+        Aggregates each run's ``causes`` rows and hands the two tallies
+        to :func:`repro.core.causegraph.diff_cause_totals`; the report
+        ranks per-label self-time deltas regressions-first, so the
+        injected (or real) cause of a slowdown surfaces at the top. The
+        ranking is deterministic across worker counts because the
+        underlying rows are value-identical however they were computed.
+        """
+        from repro.core.causegraph import diff_cause_totals
+
+        return diff_cause_totals(
+            self.cause_totals(run_a, apps, perceptible_only),
+            self.cause_totals(run_b, apps, perceptible_only),
+            run_a,
+            run_b,
+        )
+
     # ------------------------------------------------------------------
     # Retention and hygiene
     # ------------------------------------------------------------------
@@ -727,6 +857,10 @@ class StudyWarehouse:
                 with connection:
                     connection.execute(
                         f"DELETE FROM patterns WHERE run_id IN ({marks})",
+                        doomed,
+                    )
+                    connection.execute(
+                        f"DELETE FROM causes WHERE run_id IN ({marks})",
                         doomed,
                     )
                     connection.execute(

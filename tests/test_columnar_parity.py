@@ -14,6 +14,7 @@ and with the numpy kernels on and off.
 
 from __future__ import annotations
 
+import os
 import pickle
 from pathlib import Path
 
@@ -34,7 +35,24 @@ from repro.lila.source import (
 )
 
 GOLDEN_DIR = Path(__file__).parent / "golden"
-GOLDEN_TRACES = sorted(GOLDEN_DIR.glob("*.lila"))
+
+#: ``PARITY_FAMILY`` narrows the corpus to one workload family's traces
+#: (the CI family matrix runs one leg per family); unset runs them all.
+_FAMILY_APPS = {
+    "gui": "CrosswordSage",
+    "io_service": "OrderApi",
+    "async_pipeline": "IndexBuilder",
+}
+_FAMILY = os.environ.get("PARITY_FAMILY", "")
+if _FAMILY and _FAMILY not in _FAMILY_APPS:
+    raise RuntimeError(
+        f"PARITY_FAMILY={_FAMILY!r} is not one of {sorted(_FAMILY_APPS)}"
+    )
+GOLDEN_TRACES = sorted(
+    path
+    for path in GOLDEN_DIR.glob("*.lila")
+    if not _FAMILY or path.stem.startswith(_FAMILY_APPS[_FAMILY])
+)
 
 CONFIGS = {
     "default": AnalysisConfig(perceptible_threshold_ms=100.0),
@@ -206,6 +224,58 @@ def test_truncated_column_file_is_typed(golden_path, tmp_path):
         assert error.value.offset is not None, (
             f"error lost its byte offset: {error.value}"
         )
+
+
+def test_subtree_self_times_numpy_parity_synthetic(monkeypatch):
+    """The masked per-episode range reduction behind the cause kernel
+    is integer-exact across numpy modes, on both sides of the n>32
+    crossover."""
+    from array import array
+
+    from repro.core.store import accel
+
+    monkeypatch.setenv("REPRO_NUMPY", "1")
+    np = accel.get_numpy()
+    for n in (1, 2, 5, 32, 33, 200):
+        start = array("q")
+        end = array("q")
+        parent = array("q")
+        for k in range(n):
+            start.append(1_000_000 + k * 10)
+            end.append(1_000_000 + k * 10 + (n - k) * 7 + (k % 3))
+            parent.append(-1 if k == 0 else (k - 1) // 2)
+        accelerated = accel.subtree_self_times(np, start, end, parent, 0, n)
+        reference = accel.subtree_self_times(None, start, end, parent, 0, n)
+        assert list(accelerated) == list(reference), f"n={n}"
+        assert all(isinstance(value, int) for value in accelerated)
+
+
+def test_subtree_self_times_numpy_parity_golden(golden_path, monkeypatch):
+    """Both modes agree on every real episode subtree of the corpus."""
+    from repro.core.store import accel
+
+    monkeypatch.setenv("REPRO_NUMPY", "1")
+    np = accel.get_numpy()
+    store = build_store(TextTraceSource(golden_path))
+    checked = 0
+    for columns in store.threads:
+        parent = columns.parent
+        size = columns.size
+        for row in range(len(columns)):
+            if parent[row] >= 0:
+                continue
+            n = size[row]
+            accelerated = accel.subtree_self_times(
+                np, columns.start, columns.end, parent, row, n
+            )
+            reference = accel.subtree_self_times(
+                None, columns.start, columns.end, parent, row, n
+            )
+            assert list(accelerated) == list(reference), (
+                f"{columns.name} row {row} (n={n})"
+            )
+            checked += 1
+    assert checked, "corpus trace held no episode subtrees"
 
 
 def test_garbled_column_file_is_typed(golden_path, tmp_path):

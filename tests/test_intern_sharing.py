@@ -1,0 +1,142 @@
+"""Study-wide intern-table sharing and pickle byte-identity pins.
+
+A study run columnarizes every trace through one shared string / stack
+:class:`~repro.core.store.buffers.InternTable` pair, so repeated
+symbols across a study's sessions intern once. The contract under test:
+sharing is *invisible* — canonical lines, content digests, and every
+analysis result are identical to per-trace interning — and pickled
+stores are byte-stable across pickling round-trips (the engine ships
+traces to workers by pickle; a round-trip must be a fixed point).
+"""
+
+from __future__ import annotations
+
+import pickle
+from pathlib import Path
+
+import pytest
+
+from repro.core.analyses import REGISTRY
+from repro.core.analyzer import AnalysisConfig, LagAlyzer
+from repro.core.export import analysis_to_dict
+from repro.core.store.buffers import InternTable
+from repro.core.store.facade import as_columnar
+from repro.lila.digest import trace_digest
+from repro.lila.reader import read_trace
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+GOLDEN_TRACES = sorted(GOLDEN_DIR.glob("*.lila"))
+
+CONFIG = AnalysisConfig(perceptible_threshold_ms=100.0)
+
+
+def object_traces() -> list:
+    """The corpus as plain object traces (what a study run simulates)."""
+    return [read_trace(path).columnar.to_trace() for path in GOLDEN_TRACES]
+
+
+def fresh_facades() -> list:
+    return [as_columnar(trace) for trace in object_traces()]
+
+
+def shared_facades() -> tuple:
+    interns = InternTable()
+    stack_interns = InternTable()
+    facades = [
+        as_columnar(trace, interns=interns, stack_interns=stack_interns)
+        for trace in object_traces()
+    ]
+    return facades, interns, stack_interns
+
+
+def by_application(facades: list) -> dict:
+    grouped: dict = {}
+    for facade in facades:
+        grouped.setdefault(facade.metadata.application, []).append(facade)
+    return grouped
+
+
+def test_sharing_pools_symbols_across_traces():
+    facades, interns, stack_interns = shared_facades()
+    assert len(facades) > 1, "corpus too small to witness sharing"
+    # Every store aliases the one shared pool...
+    for facade in facades:
+        assert facade.columnar.strings is interns.strings
+    # ...which is strictly smaller than the per-trace tables summed
+    # (the corpus apps share symbol vocabulary between sessions).
+    separate = sum(len(f.columnar.strings) for f in fresh_facades())
+    assert len(interns) < separate
+    assert len(stack_interns) > 0
+
+
+def test_sharing_is_invisible_to_serialization_and_digests():
+    shared, _, _ = shared_facades()
+    for fresh, pooled in zip(fresh_facades(), shared):
+        assert (
+            fresh.columnar.canonical_lines()
+            == pooled.columnar.canonical_lines()
+        )
+        assert trace_digest(fresh) == trace_digest(pooled)
+
+
+def test_sharing_is_invisible_to_every_analysis():
+    shared, _, _ = shared_facades()
+    for fresh, pooled in zip(fresh_facades(), shared):
+        expected = analysis_to_dict(
+            LagAlyzer.from_traces([fresh], config=CONFIG)
+        )
+        actual = analysis_to_dict(
+            LagAlyzer.from_traces([pooled], config=CONFIG)
+        )
+        assert expected == actual
+
+
+@pytest.mark.parametrize("mode", ("fresh", "shared"))
+def test_pickle_round_trip_is_a_fixed_point(mode):
+    """``dumps(loads(dumps(t)))`` == ``dumps(t)``, shared pool or not."""
+    if mode == "fresh":
+        facades = fresh_facades()
+    else:
+        facades, _, _ = shared_facades()
+    for facade in facades:
+        first = pickle.dumps(facade)
+        restored = pickle.loads(first)
+        second = pickle.dumps(restored)
+        assert first == second, (
+            f"pickle round-trip drifted ({mode}, "
+            f"{facade.metadata.session_id})"
+        )
+        # The restored trace is the same trace, behaviorally.
+        assert trace_digest(restored) == trace_digest(facade)
+        assert (
+            restored.columnar.canonical_lines()
+            == facade.columnar.canonical_lines()
+        )
+
+
+def test_round_tripped_store_still_analyzes_identically():
+    shared, _, _ = shared_facades()
+    for facade in shared:
+        restored = pickle.loads(pickle.dumps(facade))
+        expected = analysis_to_dict(
+            LagAlyzer.from_traces([facade], config=CONFIG)
+        )
+        actual = analysis_to_dict(
+            LagAlyzer.from_traces([restored], config=CONFIG)
+        )
+        assert expected == actual
+
+
+def test_registry_summaries_agree_between_pools():
+    """Every registered analysis (causes included) reduces identically
+    over a fresh-pool and a shared-pool study, app by app."""
+    fresh_by_app = by_application(fresh_facades())
+    shared_by_app = by_application(shared_facades()[0])
+    assert fresh_by_app.keys() == shared_by_app.keys()
+    names = tuple(REGISTRY)
+    for app in sorted(fresh_by_app):
+        fresh = LagAlyzer.from_traces(fresh_by_app[app], config=CONFIG)
+        shared = LagAlyzer.from_traces(shared_by_app[app], config=CONFIG)
+        assert pickle.dumps(sorted(fresh.summaries(names).items())) == (
+            pickle.dumps(sorted(shared.summaries(names).items()))
+        ), app

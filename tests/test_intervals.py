@@ -16,10 +16,18 @@ from helpers import dispatch, gc_iv, interval, ms, paint_iv
 
 class TestIntervalKind:
     def test_six_kinds_match_table1(self):
+        # Table I's six gui kinds, plus the workload-family kinds
+        # (request/iowait for io_service, stage for async_pipeline),
+        # which are appended after GC so enumeration-order codes of the
+        # original six never move.
         names = {kind.value for kind in IntervalKind}
         assert names == {
             "dispatch", "listener", "paint", "native", "async", "gc",
+            "request", "iowait", "stage",
         }
+        assert [kind.value for kind in IntervalKind][:6] == [
+            "dispatch", "listener", "paint", "native", "async", "gc",
+        ]
 
     def test_from_name_roundtrip(self):
         for kind in IntervalKind:
